@@ -1,0 +1,267 @@
+//! Truthfulness probability bounds (Lemma 6.2, Lemma 6.3, Remark 6.1).
+//!
+//! One CRA round with parameters `(q, mᵢ)` is `k`-truthful with probability
+//! at least
+//!
+//! ```text
+//! β(q, mᵢ, k) = (1 − 1/(q+mᵢ))^k + log(1 − 2k/(q+mᵢ)) − e^(−(q+mᵢ)/8)
+//! ```
+//!
+//! covering the three failure events of Lemma 6.2: a coalition ask lands in
+//! the price sample, the consensus rounding is not a `k`-consensus while
+//! `n_s > q + mᵢ`, and the probabilistic thinning overshoots `q + mᵢ`.
+//!
+//! **Log base.** The paper writes a bare `log`. Remark 6.1's worked example
+//! (`k = 10`, `mᵢ = 1000` ⇒ "the lower bound is 0.98") matches base 10
+//! (0.9813) rather than base 2 (0.9609) or base e (0.9698), so
+//! [`LogBase::Ten`] is the default; the base is configurable for sensitivity
+//! analysis.
+//!
+//! Algorithm 3 then derives a per-type round budget: with `η = H^(1/m)` and
+//! `β` the per-round bound, running at most `⌊log_β η⌋` rounds keeps every
+//! type `K_max`-truthful with probability ≥ `η`, hence the whole auction
+//! phase `(K_max, H)`-truthful (Lemma 6.3). Which `q` to plug into `β` is
+//! ambiguous in our source text; [`WorstCaseQ`] exposes both defensible
+//! readings (see DESIGN.md).
+
+/// Base of the logarithm in the Lemma 6.2 bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LogBase {
+    /// Base 2 (the base of the consensus lattice).
+    Two,
+    /// Natural logarithm.
+    E,
+    /// Base 10 — matches the paper's Remark 6.1 numerics (default).
+    #[default]
+    Ten,
+}
+
+impl LogBase {
+    /// Applies the logarithm to `x`.
+    #[must_use]
+    pub fn log(self, x: f64) -> f64 {
+        match self {
+            Self::Two => x.log2(),
+            Self::E => x.ln(),
+            Self::Ten => x.log10(),
+        }
+    }
+}
+
+/// Which `q` the per-type round budget plugs into the per-round bound `β`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WorstCaseQ {
+    /// `q = 0`: the bound of the *worst* round (Remark 6.1 notes `β`
+    /// decreases as `q` decreases). Strictly conservative — but at the
+    /// paper's own Fig 6(b)/Fig 9 scales it yields a zero round budget, so
+    /// the published curves cannot have used it.
+    Zero,
+    /// `q = mᵢ`: the bound of the *first* round (`q + mᵢ = 2mᵢ`). The
+    /// reading that reproduces the paper's evaluation scales (default).
+    #[default]
+    FirstRound,
+}
+
+/// The Lemma 6.2 lower bound `β(q, mᵢ, k)` on the probability that one CRA
+/// round is `k`-truthful.
+///
+/// Returns `f64::NEG_INFINITY` when `2k ≥ q + mᵢ` (the log term's argument
+/// is non-positive: the bound is vacuous and the guarantee unattainable).
+///
+/// ```
+/// use rit_auction::bounds::{cra_truthfulness_bound, LogBase};
+///
+/// // Remark 6.1: K_max = 10, mᵢ = 1000, q = 0 ⇒ ≈ 0.98.
+/// let b = cra_truthfulness_bound(0, 1000, 10, LogBase::Ten);
+/// assert!((b - 0.98).abs() < 0.005);
+/// ```
+#[must_use]
+pub fn cra_truthfulness_bound(q: u64, m_i: u64, k: u64, base: LogBase) -> f64 {
+    let qm = (q + m_i) as f64;
+    if qm <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let log_arg = 1.0 - 2.0 * k as f64 / qm;
+    if log_arg <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    (1.0 - 1.0 / qm).powi(k as i32) + base.log(log_arg) - (-qm / 8.0).exp()
+}
+
+/// `η = H^(1/m)`: the per-type truthfulness target such that all `m` types
+/// jointly achieve probability `H` (Algorithm 3, Line 2 / Lemma 6.3).
+///
+/// # Panics
+///
+/// Panics if `h` is outside `(0, 1)` or `num_types == 0`.
+#[must_use]
+pub fn per_type_target(h: f64, num_types: usize) -> f64 {
+    assert!(h > 0.0 && h < 1.0, "H must lie in (0, 1), got {h}");
+    assert!(num_types > 0, "need at least one task type");
+    h.powf(1.0 / num_types as f64)
+}
+
+/// The per-type CRA round budget `max = ⌊log_β η⌋` (Algorithm 3, Line 7):
+/// the largest number of rounds such that `β^max ≥ η`.
+///
+/// Returns `None` when the guarantee is unattainable (`β ≤ 0`, i.e. the job
+/// is too small relative to `K_max`); returns `Some(0)` when even a single
+/// round would break the target (`β < η`); `β ≥ 1` (only possible in the
+/// degenerate float limit) gives effectively unlimited rounds, capped at
+/// `u32::MAX`.
+#[must_use]
+pub fn max_rounds(beta: f64, eta: f64) -> Option<u32> {
+    if beta.is_nan() || beta <= 0.0 {
+        return None;
+    }
+    if beta >= 1.0 {
+        return Some(u32::MAX);
+    }
+    debug_assert!(eta > 0.0 && eta < 1.0);
+    let r = eta.ln() / beta.ln();
+    Some(r.floor().min(f64::from(u32::MAX)) as u32)
+}
+
+/// Convenience: the round budget for one task type given the evaluation
+/// parameters — combines [`cra_truthfulness_bound`] (at the `q` chosen by
+/// `worst_case`), [`per_type_target`], and [`max_rounds`].
+#[must_use]
+pub fn round_budget(
+    m_i: u64,
+    k_max: u64,
+    h: f64,
+    num_types: usize,
+    base: LogBase,
+    worst_case: WorstCaseQ,
+) -> Option<u32> {
+    let q = match worst_case {
+        WorstCaseQ::Zero => 0,
+        WorstCaseQ::FirstRound => m_i,
+    };
+    let beta = cra_truthfulness_bound(q, m_i, k_max, base);
+    let eta = per_type_target(h, num_types);
+    max_rounds(beta, eta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remark_6_1_example_matches_base_ten() {
+        let b = cra_truthfulness_bound(0, 1000, 10, LogBase::Ten);
+        assert!((b - 0.9813).abs() < 1e-3, "got {b}");
+        // And the other bases do NOT give the paper's 0.98.
+        assert!(cra_truthfulness_bound(0, 1000, 10, LogBase::Two) < 0.965);
+        assert!(cra_truthfulness_bound(0, 1000, 10, LogBase::E) < 0.975);
+    }
+
+    #[test]
+    fn remark_6_1_example_small_q_low_bound() {
+        // "if k = 10 and q = 50, the new lower bound is 0.59" — the remark's
+        // illustration of why plain consensus with q+... = q is too weak.
+        // With the paper's own formula at q + mᵢ = 50 (k = 10):
+        let b = cra_truthfulness_bound(50, 0, 10, LogBase::Ten);
+        assert!((b - 0.59).abs() < 0.05, "got {b}");
+    }
+
+    #[test]
+    fn bound_increases_with_job_size() {
+        let mut prev = f64::NEG_INFINITY;
+        for m_i in [50u64, 100, 500, 1000, 5000, 50_000] {
+            let b = cra_truthfulness_bound(0, m_i, 10, LogBase::Ten);
+            assert!(b > prev);
+            prev = b;
+        }
+        assert!(prev < 1.0);
+    }
+
+    #[test]
+    fn bound_decreases_with_coalition_size() {
+        let mut prev = f64::INFINITY;
+        for k in [1u64, 5, 10, 50, 100] {
+            let b = cra_truthfulness_bound(0, 1000, k, LogBase::Ten);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bound_decreases_as_q_shrinks() {
+        // Remark 6.1: the bound decreases with the decrement of q.
+        let hi = cra_truthfulness_bound(1000, 1000, 20, LogBase::Ten);
+        let lo = cra_truthfulness_bound(0, 1000, 20, LogBase::Ten);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn vacuous_bound_when_job_too_small() {
+        assert_eq!(
+            cra_truthfulness_bound(0, 20, 10, LogBase::Ten),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            cra_truthfulness_bound(0, 0, 1, LogBase::Ten),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn per_type_target_roots_h() {
+        let eta = per_type_target(0.8, 10);
+        assert!((eta.powi(10) - 0.8).abs() < 1e-12);
+        assert!(eta > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn per_type_target_validates_h() {
+        let _ = per_type_target(1.0, 10);
+    }
+
+    #[test]
+    fn max_rounds_algebra() {
+        // β^max ≥ η and β^(max+1) < η.
+        let beta = 0.99;
+        let eta = 0.97;
+        let r = max_rounds(beta, eta).unwrap();
+        assert!(beta.powi(r as i32) >= eta);
+        assert!(beta.powi(r as i32 + 1) < eta);
+    }
+
+    #[test]
+    fn max_rounds_edge_cases() {
+        assert_eq!(max_rounds(-1.0, 0.9), None);
+        assert_eq!(max_rounds(0.0, 0.9), None);
+        assert_eq!(max_rounds(1.0, 0.9), Some(u32::MAX));
+        // β < η: even one round breaks the target.
+        assert_eq!(max_rounds(0.5, 0.9), Some(0));
+    }
+
+    #[test]
+    fn paper_scale_budgets() {
+        // Fig 6(a) scale: mᵢ = 5000, K_max = 20, H = 0.8, m = 10.
+        let strict = round_budget(5000, 20, 0.8, 10, LogBase::Ten, WorstCaseQ::Zero).unwrap();
+        assert!(strict >= 2, "got {strict}");
+        let first = round_budget(5000, 20, 0.8, 10, LogBase::Ten, WorstCaseQ::FirstRound).unwrap();
+        assert!(first >= strict);
+
+        // Fig 6(b) smallest scale: mᵢ = 1000 — the strict reading gives 0
+        // rounds (the paper's curves cannot have used it), the first-round
+        // reading gives at least 1.
+        let strict_1k = round_budget(1000, 20, 0.8, 10, LogBase::Ten, WorstCaseQ::Zero).unwrap();
+        assert_eq!(strict_1k, 0);
+        let first_1k =
+            round_budget(1000, 20, 0.8, 10, LogBase::Ten, WorstCaseQ::FirstRound).unwrap();
+        assert!(first_1k >= 1);
+    }
+
+    #[test]
+    fn infeasible_budget_reported_as_none() {
+        // mᵢ = 30 with K_max = 20: 2k ≥ q + mᵢ under the strict reading.
+        assert_eq!(
+            round_budget(30, 20, 0.8, 10, LogBase::Ten, WorstCaseQ::Zero),
+            None
+        );
+    }
+}

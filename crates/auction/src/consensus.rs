@@ -1,0 +1,202 @@
+//! Consensus rounding on the randomized exponential lattice.
+//!
+//! CRA (Algorithm 1, Line 4–5) draws `y ~ U[0, 1)` once and rounds the count
+//! `z_s(α)` of asks at or below the sampled price *down* to the nearest
+//! value of the lattice `{2^(z+y) : z ∈ ℤ}`. Because the lattice is randomly
+//! offset, a coalition of `k` bidders shifting the count by at most `k` only
+//! changes the rounded value with probability `O(log(z/(z−k)))` — with the
+//! remaining probability the rounded count is a *consensus*: every profile
+//! the coalition can induce rounds to the same value, so the coalition
+//! cannot influence the winner set boundary (Goldberg & Hartline's consensus
+//! estimate, adapted by the paper).
+
+/// A randomly offset exponential lattice `{2^(z+y) : z ∈ ℤ}`.
+///
+/// ```
+/// use rit_auction::consensus::Lattice;
+///
+/// let lattice = Lattice::new(0.0).unwrap(); // degenerate offset: powers of two
+/// assert_eq!(lattice.round_down(9.0), Some(8.0));
+/// assert_eq!(lattice.round_down(8.0), Some(8.0));
+/// assert_eq!(lattice.round_down(0.6), Some(0.5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lattice {
+    y: f64,
+}
+
+impl Lattice {
+    /// Creates a lattice with offset `y`.
+    ///
+    /// Returns `None` if `y` is not in `[0, 1)`.
+    #[must_use]
+    pub fn new(y: f64) -> Option<Self> {
+        if (0.0..1.0).contains(&y) {
+            Some(Self { y })
+        } else {
+            None
+        }
+    }
+
+    /// Draws a uniformly random offset from `rng` (Algorithm 1, Line 4).
+    #[must_use]
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            y: rng.gen_range(0.0..1.0),
+        }
+    }
+
+    /// The offset `y`.
+    #[must_use]
+    pub const fn offset(&self) -> f64 {
+        self.y
+    }
+
+    /// The largest lattice value `2^(z+y) ≤ v`, or `None` if `v ≤ 0` (every
+    /// lattice value is positive, so nothing rounds down from a
+    /// non-positive input).
+    #[must_use]
+    pub fn round_down(&self, v: f64) -> Option<f64> {
+        if !v.is_finite() || v <= 0.0 {
+            return None;
+        }
+        // Candidate exponent; float log2 may be off by one ulp, so nudge.
+        let mut z = (v.log2() - self.y).floor();
+        let mut val = (z + self.y).exp2();
+        while val > v {
+            z -= 1.0;
+            val = (z + self.y).exp2();
+        }
+        while (z + 1.0 + self.y).exp2() <= v {
+            z += 1.0;
+            val = (z + self.y).exp2();
+        }
+        Some(val)
+    }
+
+    /// The consensus winner count `n_s` (Algorithm 1, Line 5): the integer
+    /// part of the lattice round-down of the raw count `z_s`. Returns 0 when
+    /// `z_s == 0`.
+    #[must_use]
+    pub fn consensus_count(&self, z_s: u64) -> u64 {
+        if z_s == 0 {
+            return 0;
+        }
+        let v = self
+            .round_down(z_s as f64)
+            .expect("positive count always rounds");
+        v.floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn new_validates_offset() {
+        assert!(Lattice::new(0.0).is_some());
+        assert!(Lattice::new(0.999).is_some());
+        assert!(Lattice::new(1.0).is_none());
+        assert!(Lattice::new(-0.1).is_none());
+        assert!(Lattice::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn round_down_at_zero_offset_is_power_of_two() {
+        let l = Lattice::new(0.0).unwrap();
+        assert_eq!(l.round_down(1.0), Some(1.0));
+        assert_eq!(l.round_down(1.9), Some(1.0));
+        assert_eq!(l.round_down(2.0), Some(2.0));
+        assert_eq!(l.round_down(1000.0), Some(512.0));
+        assert_eq!(l.round_down(0.3), Some(0.25));
+    }
+
+    #[test]
+    fn round_down_rejects_nonpositive() {
+        let l = Lattice::new(0.5).unwrap();
+        assert_eq!(l.round_down(0.0), None);
+        assert_eq!(l.round_down(-3.0), None);
+        assert_eq!(l.round_down(f64::NAN), None);
+        assert_eq!(l.round_down(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn round_down_is_idempotent_and_below_input() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let l = Lattice::random(&mut rng);
+            let v: f64 = rng.gen_range(1e-6..1e9);
+            let r = l.round_down(v).unwrap();
+            assert!(r <= v, "rounded {r} above input {v}");
+            assert!(r > v / 2.0, "gap between lattice points is a factor of 2");
+            let rr = l.round_down(r).unwrap();
+            assert!(
+                (rr - r).abs() <= f64::EPSILON * r.abs() * 4.0,
+                "not idempotent: {r} → {rr}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_down_is_monotone() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let l = Lattice::random(&mut rng);
+            let a: f64 = rng.gen_range(1.0..1e6);
+            let b: f64 = rng.gen_range(1.0..1e6);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            assert!(l.round_down(lo).unwrap() <= l.round_down(hi).unwrap());
+        }
+    }
+
+    #[test]
+    fn consensus_count_basics() {
+        let l = Lattice::new(0.0).unwrap();
+        assert_eq!(l.consensus_count(0), 0);
+        assert_eq!(l.consensus_count(1), 1);
+        assert_eq!(l.consensus_count(7), 4);
+        assert_eq!(l.consensus_count(8), 8);
+        assert_eq!(l.consensus_count(1023), 512);
+    }
+
+    #[test]
+    fn consensus_count_never_exceeds_input() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let l = Lattice::random(&mut rng);
+            let z: u64 = rng.gen_range(0..1_000_000);
+            let n = l.consensus_count(z);
+            assert!(n <= z);
+            if z > 0 {
+                // Lattice points are a factor of 2 apart, and flooring can
+                // lose at most 1 more.
+                assert!(n + 1 >= z.div_ceil(2), "count {n} too far below {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_probability_matches_theory() {
+        // For a shift of k on a count of z, the probability that the rounded
+        // value differs is log2(z / (z − k)). Empirically check z = 1000,
+        // k = 100: expected ≈ log2(1000/900) ≈ 0.152.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trials = 20_000;
+        let mut differs = 0;
+        for _ in 0..trials {
+            let l = Lattice::random(&mut rng);
+            if l.consensus_count(1000) != l.consensus_count(900) {
+                differs += 1;
+            }
+        }
+        let p = differs as f64 / trials as f64;
+        let expected = (1000.0f64 / 900.0).log2();
+        assert!(
+            (p - expected).abs() < 0.02,
+            "empirical {p:.3} vs theoretical {expected:.3}"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Extract — expanding user asks into unit asks (paper Algorithm 2).
+//!
+//! CRA prices *unit* asks (one ask = one task), while users submit bundled
+//! asks `(tⱼ, kⱼ, aⱼ)`. `Extract(τᵢ, A)` expands each ask of type `τᵢ` into
+//! `kⱼ` unit asks of value `aⱼ` and records the provenance map
+//! `λ(ω) = j`, so auction results can be folded back onto users.
+
+use rit_model::{Ask, TaskTypeId};
+
+/// The unit-ask vector `α` for one task type plus the provenance map `λ`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UnitAsks {
+    values: Vec<f64>,
+    owners: Vec<u32>,
+}
+
+impl UnitAsks {
+    /// The unit ask values `α = (α₁, α₂, …)`.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The provenance map: `owner(ω)` is the index of the user whose ask
+    /// produced unit ask `ω` (the paper's `λ(ω) = j`).
+    #[must_use]
+    pub fn owner(&self, omega: usize) -> usize {
+        self.owners[omega] as usize
+    }
+
+    /// Number of unit asks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no unit asks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(value, owner)` pairs in expansion order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
+        self.values
+            .iter()
+            .zip(&self.owners)
+            .map(|(&v, &o)| (v, o as usize))
+    }
+}
+
+/// `Extract(τᵢ, A)`: expands every ask of type `task_type` into unit asks
+/// (Algorithm 2). `asks[j]` is user `j`'s ask.
+#[must_use]
+pub fn extract(task_type: TaskTypeId, asks: &[Ask]) -> UnitAsks {
+    let quantities: Vec<u64> = asks.iter().map(Ask::quantity).collect();
+    extract_with_quantities(task_type, asks, &quantities)
+}
+
+/// Like [`extract`], but expanding only `remaining[j]` unit asks per user —
+/// the form RIT needs between rounds, where won tasks shrink the leftover
+/// claim `k'ⱼ` (Algorithm 3, Line 15).
+///
+/// # Panics
+///
+/// Panics if `remaining.len() != asks.len()`.
+#[must_use]
+pub fn extract_with_quantities(task_type: TaskTypeId, asks: &[Ask], remaining: &[u64]) -> UnitAsks {
+    assert_eq!(
+        asks.len(),
+        remaining.len(),
+        "remaining quantities must align with asks"
+    );
+    let mut values = Vec::new();
+    let mut owners = Vec::new();
+    for (j, (ask, &rem)) in asks.iter().zip(remaining).enumerate() {
+        if ask.task_type() != task_type {
+            continue;
+        }
+        for _ in 0..rem {
+            values.push(ask.unit_price());
+            owners.push(j as u32);
+        }
+    }
+    UnitAsks { values, owners }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rit_model::{Ask, TaskTypeId};
+
+    fn t(i: u32) -> TaskTypeId {
+        TaskTypeId::new(i)
+    }
+
+    #[test]
+    fn paper_example() {
+        // A = ((τ₀,2,3); (τ₁,3,4); (τ₀,4,2)) → α for τ₀ = (3,3,2,2,2,2),
+        // λ = (0,0,2,2,2,2) in zero-based indices.
+        let asks = vec![
+            Ask::new(t(0), 2, 3.0).unwrap(),
+            Ask::new(t(1), 3, 4.0).unwrap(),
+            Ask::new(t(0), 4, 2.0).unwrap(),
+        ];
+        let u = extract(t(0), &asks);
+        assert_eq!(u.values(), &[3.0, 3.0, 2.0, 2.0, 2.0, 2.0]);
+        let owners: Vec<usize> = (0..u.len()).map(|w| u.owner(w)).collect();
+        assert_eq!(owners, vec![0, 0, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn other_type_extraction() {
+        let asks = vec![
+            Ask::new(t(0), 2, 3.0).unwrap(),
+            Ask::new(t(1), 3, 4.0).unwrap(),
+        ];
+        let u = extract(t(1), &asks);
+        assert_eq!(u.values(), &[4.0, 4.0, 4.0]);
+        assert_eq!(u.owner(0), 1);
+    }
+
+    #[test]
+    fn no_matching_type_is_empty() {
+        let asks = vec![Ask::new(t(0), 2, 3.0).unwrap()];
+        let u = extract(t(7), &asks);
+        assert!(u.is_empty());
+        assert_eq!(u.len(), 0);
+    }
+
+    #[test]
+    fn remaining_quantities_shrink_expansion() {
+        let asks = vec![
+            Ask::new(t(0), 5, 3.0).unwrap(),
+            Ask::new(t(0), 2, 1.0).unwrap(),
+        ];
+        let u = extract_with_quantities(t(0), &asks, &[1, 0]);
+        assert_eq!(u.values(), &[3.0]);
+        assert_eq!(u.owner(0), 0);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let asks = vec![Ask::new(t(0), 2, 3.5).unwrap()];
+        let u = extract(t(0), &asks);
+        let pairs: Vec<(f64, usize)> = u.iter().collect();
+        assert_eq!(pairs, vec![(3.5, 0), (3.5, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_remaining_panics() {
+        let asks = vec![Ask::new(t(0), 2, 3.0).unwrap()];
+        let _ = extract_with_quantities(t(0), &asks, &[1, 2]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let u = extract(t(0), &[]);
+        assert!(u.is_empty());
+    }
+}

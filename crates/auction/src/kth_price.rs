@@ -1,0 +1,178 @@
+//! The `k`-th lowest price procurement auction (paper §4-A, citing \[31\]).
+//!
+//! Bidders each sell one item; the `k − 1` lowest asks win and are each paid
+//! the `k`-th lowest ask. This is the textbook truthful auction the paper
+//! uses in its design-challenge counterexamples — truthful in isolation, yet
+//! broken once combined with an incentive tree (Fig 2 and Fig 3).
+
+/// Outcome of a [`lowest_price_auction`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct KthPriceOutcome {
+    winners: Vec<bool>,
+    clearing_price: Option<f64>,
+}
+
+impl KthPriceOutcome {
+    /// Indicator vector over the input asks.
+    #[must_use]
+    pub fn winners(&self) -> &[bool] {
+        &self.winners
+    }
+
+    /// Whether ask `i` won.
+    #[must_use]
+    pub fn is_winner(&self, i: usize) -> bool {
+        self.winners.get(i).copied().unwrap_or(false)
+    }
+
+    /// The uniform clearing price (the `(slots+1)`-st lowest ask), or `None`
+    /// when there were at most `slots` asks so no losing ask could set the
+    /// price.
+    #[must_use]
+    pub fn clearing_price(&self) -> Option<f64> {
+        self.clearing_price
+    }
+
+    /// Number of winners.
+    #[must_use]
+    pub fn num_winners(&self) -> usize {
+        self.winners.iter().filter(|&&w| w).count()
+    }
+
+    /// Per-ask payment vector: clearing price for winners, 0 for losers.
+    /// Winners with no defined clearing price are paid their own ask
+    /// (degenerate full-supply case).
+    #[must_use]
+    pub fn payments(&self, asks: &[f64]) -> Vec<f64> {
+        self.winners
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                if !w {
+                    0.0
+                } else {
+                    self.clearing_price.unwrap_or(asks[i])
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs a procurement auction buying `slots` items: the `slots` lowest asks
+/// win (ties broken by index) and each is paid the `(slots+1)`-st lowest ask.
+///
+/// Equivalent to the paper's "`k`-th lowest price auction" with
+/// `k = slots + 1`.
+///
+/// # Panics
+///
+/// Panics if any ask is non-finite.
+#[must_use]
+pub fn lowest_price_auction(asks: &[f64], slots: usize) -> KthPriceOutcome {
+    assert!(
+        asks.iter().all(|a| a.is_finite()),
+        "ask values must be finite"
+    );
+    let n = asks.len();
+    let mut winners = vec![false; n];
+    if slots == 0 || n == 0 {
+        return KthPriceOutcome {
+            winners,
+            clearing_price: None,
+        };
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        asks[a]
+            .partial_cmp(&asks[b])
+            .expect("finite asks compare")
+            .then(a.cmp(&b))
+    });
+    for &i in order.iter().take(slots) {
+        winners[i] = true;
+    }
+    let clearing_price = order.get(slots).map(|&i| asks[i]);
+    KthPriceOutcome {
+        winners,
+        clearing_price,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_third_price() {
+        // Asks 5, 4, 5, 4 buying 2 → winners are the two 4s; price = 5.
+        let out = lowest_price_auction(&[5.0, 4.0, 5.0, 4.0], 2);
+        assert_eq!(out.winners(), &[false, true, false, true]);
+        assert_eq!(out.clearing_price(), Some(5.0));
+        assert_eq!(
+            out.payments(&[5.0, 4.0, 5.0, 4.0]),
+            vec![0.0, 5.0, 0.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn fig2_truthful_scenario() {
+        // §4-A: P1 asks (τ,2,2), P2 (τ,1,3), P3 (τ,1,5); two tasks. Unit
+        // asks (2,2,3,5); winners are both of P1's units, price = 3,
+        // auction payment 2×3 = 6.
+        let out = lowest_price_auction(&[2.0, 2.0, 3.0, 5.0], 2);
+        assert_eq!(out.winners(), &[true, true, false, false]);
+        assert_eq!(out.clearing_price(), Some(3.0));
+    }
+
+    #[test]
+    fn truthfulness_single_deviation() {
+        // Classic check: a bidder cannot gain by misreporting. Utilities
+        // computed against true costs.
+        let costs = [2.0f64, 3.0, 5.0, 4.0];
+        let slots = 2;
+        let truthful = lowest_price_auction(&costs, slots);
+        for i in 0..costs.len() {
+            let truthful_pay = truthful.payments(&costs)[i];
+            let truthful_util = truthful_pay - if truthful.is_winner(i) { costs[i] } else { 0.0 };
+            for dev in [0.5, 0.9, 1.1, 2.0, 10.0] {
+                let mut asks = costs;
+                asks[i] = costs[i] * dev;
+                let out = lowest_price_auction(&asks, slots);
+                let pay = out.payments(&asks)[i];
+                let util = pay - if out.is_winner(i) { costs[i] } else { 0.0 };
+                assert!(
+                    util <= truthful_util + 1e-9,
+                    "bidder {i} gains by deviating ×{dev}: {util} > {truthful_util}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_win_when_supply_exceeds_demand() {
+        let out = lowest_price_auction(&[3.0, 1.0], 5);
+        assert_eq!(out.num_winners(), 2);
+        assert_eq!(out.clearing_price(), None);
+        // Degenerate payment: own ask.
+        assert_eq!(out.payments(&[3.0, 1.0]), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_slots_or_empty() {
+        assert_eq!(lowest_price_auction(&[1.0], 0).num_winners(), 0);
+        assert_eq!(lowest_price_auction(&[], 3).num_winners(), 0);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let out = lowest_price_auction(&[2.0, 2.0, 2.0], 1);
+        assert_eq!(out.winners(), &[true, false, false]);
+        assert_eq!(out.clearing_price(), Some(2.0));
+    }
+
+    #[test]
+    fn out_of_range_is_winner_false() {
+        let out = lowest_price_auction(&[1.0], 1);
+        assert!(!out.is_winner(7));
+    }
+}

@@ -1,0 +1,42 @@
+//! Auction primitives for the RIT mechanism.
+//!
+//! This crate implements the auction-phase building blocks of *"Robust
+//! Incentive Tree Design for Mobile Crowdsensing"* (ICDCS 2017):
+//!
+//! * [`consensus`] — the Goldberg–Hartline consensus-rounding lattice
+//!   `{2^(z+y) : z ∈ ℤ}` that makes the winner count insensitive to small
+//!   coalitions;
+//! * [`cra`] — **Algorithm 1**, the Collusion-Resistant Auction: selects at
+//!   most `q` winning unit asks for one task type at a uniform clearing
+//!   price, `k`-truthful with high probability (Lemma 6.2);
+//! * [`extract`] — **Algorithm 2**: expands per-user asks `(tⱼ, kⱼ, aⱼ)`
+//!   into unit asks with a provenance map `λ`;
+//! * [`kth_price`] — the classic `k`-th lowest price procurement auction,
+//!   used by the paper's §4 design-challenge counterexamples;
+//! * [`bounds`] — the Lemma 6.2 truthfulness probability, `η = H^(1/m)`,
+//!   and the per-type round budget `max = ⌊log_β η⌋` of Algorithm 3.
+//!
+//! # Example: one CRA round
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rit_auction::cra;
+//!
+//! let asks = vec![2.0, 3.0, 5.0, 2.5, 4.0, 9.0];
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//! let outcome = cra::run(&asks, 2, 2, &mut rng);
+//! // At most q = 2 winners; every winner's ask is at most the clearing price.
+//! assert!(outcome.num_winners() <= 2);
+//! for w in outcome.winner_indices() {
+//!     assert!(asks[w] <= outcome.clearing_price());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod consensus;
+pub mod cra;
+pub mod extract;
+pub mod kth_price;

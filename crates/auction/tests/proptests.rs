@@ -1,0 +1,155 @@
+//! Property-based tests of the auction primitives.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_auction::consensus::Lattice;
+use rit_auction::{cra, extract, kth_price};
+use rit_model::{Ask, TaskTypeId};
+
+fn arb_asks() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..100.0, 0..80)
+}
+
+proptest! {
+    // ---- consensus lattice -------------------------------------------------
+
+    #[test]
+    fn lattice_round_down_bounds(y in 0.0f64..1.0, v in 1e-6f64..1e12) {
+        let l = Lattice::new(y).unwrap();
+        let r = l.round_down(v).unwrap();
+        prop_assert!(r <= v);
+        prop_assert!(r > v / 2.0);
+    }
+
+    #[test]
+    fn consensus_count_monotone_in_input(y in 0.0f64..1.0, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let l = Lattice::new(y).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(l.consensus_count(lo) <= l.consensus_count(hi));
+    }
+
+    // ---- CRA ---------------------------------------------------------------
+
+    #[test]
+    fn cra_respects_capacity_and_ir(
+        asks in arb_asks(),
+        q in 0u64..30,
+        m_i in 0u64..30,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(q + m_i > 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = cra::run(&asks, q, m_i, &mut rng);
+        // Never more than q winners.
+        prop_assert!(out.num_winners() as u64 <= q);
+        // Indicator and payments align; winners pay ≥ their ask (IR).
+        let payments = out.payments();
+        prop_assert_eq!(payments.len(), asks.len());
+        for (i, &a) in asks.iter().enumerate() {
+            if out.is_winner(i) {
+                prop_assert!(out.clearing_price() >= a - 1e-12);
+                prop_assert_eq!(payments[i], out.clearing_price());
+            } else {
+                prop_assert_eq!(payments[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cra_clearing_price_is_bid_independent_for_losers(
+        asks in prop::collection::vec(0.01f64..100.0, 2..40),
+        q in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        // Raising a loser's ask above the price never turns it into a winner
+        // under the same randomness (the winner set among others may shift,
+        // but the riser itself stays out). This is the monotonicity that
+        // underlies truthfulness.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = cra::run(&asks, q, q, &mut rng);
+        if let Some(loser) = (0..asks.len()).find(|&i| !out.is_winner(i) && asks[i] > out.clearing_price()) {
+            let mut higher = asks.clone();
+            higher[loser] = asks[loser] * 2.0;
+            let mut rng2 = SmallRng::seed_from_u64(seed);
+            let out2 = cra::run(&higher, q, q, &mut rng2);
+            prop_assert!(!out2.is_winner(loser));
+        }
+    }
+
+    #[test]
+    fn uniform_eligible_rule_matches_core_invariants(
+        asks in arb_asks(),
+        q in 0u64..30,
+        m_i in 0u64..30,
+        seed in any::<u64>(),
+    ) {
+        use rit_auction::cra::SelectionRule;
+        prop_assume!(q + m_i > 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = cra::run_with_rule(&asks, q, m_i, SelectionRule::UniformEligible, &mut rng);
+        prop_assert!(out.num_winners() as u64 <= q);
+        for (i, &a) in asks.iter().enumerate() {
+            if out.is_winner(i) {
+                prop_assert!(out.clearing_price() >= a - 1e-12);
+                if let Some(s) = out.diagnostics().threshold {
+                    prop_assert!(a <= s + 1e-12, "winner above the sampled threshold");
+                }
+            }
+        }
+        // Both rules agree on the *set of eligible* asks given the same
+        // coins: the diagnostics (sample, threshold, counts) coincide.
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        let rank = cra::run_with_rule(&asks, q, m_i, SelectionRule::SmallestFirst, &mut rng2);
+        prop_assert_eq!(out.diagnostics().threshold, rank.diagnostics().threshold);
+        prop_assert_eq!(out.diagnostics().raw_count, rank.diagnostics().raw_count);
+        prop_assert_eq!(out.diagnostics().consensus_count, rank.diagnostics().consensus_count);
+    }
+
+    // ---- Extract -----------------------------------------------------------
+
+    #[test]
+    fn extract_expands_exactly_quantities(
+        quantities in prop::collection::vec(1u64..10, 1..20),
+        prices in prop::collection::vec(0.1f64..50.0, 20),
+        type_picks in prop::collection::vec(0u32..3, 20),
+    ) {
+        let asks: Vec<Ask> = quantities
+            .iter()
+            .enumerate()
+            .map(|(j, &k)| Ask::new(TaskTypeId::new(type_picks[j]), k, prices[j]).unwrap())
+            .collect();
+        for t in 0..3u32 {
+            let u = extract::extract(TaskTypeId::new(t), &asks);
+            let expected: u64 = asks
+                .iter()
+                .filter(|a| a.task_type() == TaskTypeId::new(t))
+                .map(Ask::quantity)
+                .sum();
+            prop_assert_eq!(u.len() as u64, expected);
+            for (v, owner) in u.iter() {
+                prop_assert_eq!(asks[owner].task_type(), TaskTypeId::new(t));
+                prop_assert_eq!(v, asks[owner].unit_price());
+            }
+        }
+    }
+
+    // ---- k-th price --------------------------------------------------------
+
+    #[test]
+    fn kth_price_winners_are_the_cheapest(asks in prop::collection::vec(0.01f64..100.0, 1..50), slots in 1usize..20) {
+        let out = kth_price::lowest_price_auction(&asks, slots);
+        let price = out.clearing_price();
+        for (i, &a) in asks.iter().enumerate() {
+            if out.is_winner(i) {
+                if let Some(p) = price {
+                    prop_assert!(a <= p);
+                }
+            } else if let Some(p) = price {
+                // Losers are at least as expensive as the clearing price.
+                prop_assert!(a >= p - 1e-12);
+            }
+        }
+        prop_assert_eq!(out.num_winners(), slots.min(asks.len()));
+    }
+}

@@ -1,0 +1,39 @@
+//! Ablation: what the consensus machinery costs in time.
+//!
+//! RIT's CRA pays for collusion resistance with sampling, lattice rounding
+//! and probabilistic thinning. This bench prices that overhead against the
+//! plain (q+1)-st lowest price auction on identical unit-ask vectors — the
+//! deterministic mechanism the paper proves *cannot* be `K_max`-truthful.
+//! (The *quality* side of the ablation — how much a coalition gains against
+//! each — is measured by the `experiments` binary's `ablation` figure, which
+//! needs Monte Carlo rather than timing.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rit_auction::{cra, kth_price};
+use std::hint::black_box;
+
+fn consensus_vs_kth_price(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/consensus_overhead");
+    for w in [10_000usize, 100_000] {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let asks: Vec<f64> = (0..w).map(|_| rng.gen_range(0.01..10.0)).collect();
+        group.throughput(Throughput::Elements(w as u64));
+        group.bench_with_input(BenchmarkId::new("cra", w), &asks, |b, asks| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                black_box(cra::run(asks, 1_000, 1_000, &mut rng))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kth_price", w), &asks, |b, asks| {
+            b.iter(|| black_box(kth_price::lowest_price_auction(asks, 1_000)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, consensus_vs_kth_price);
+criterion_main!(benches);

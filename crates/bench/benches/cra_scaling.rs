@@ -1,0 +1,56 @@
+//! Component bench: one CRA round vs the number of unit asks.
+//!
+//! CRA sorts the unit-ask vector, so a round is O(W log W) in the unit count
+//! W; the overall auction phase stays `O(N·|J|)`-ish because the number of
+//! rounds is a small constant (Theorem 3). This bench pins the per-round
+//! constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rit_auction::cra;
+use std::hint::black_box;
+
+fn cra_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cra/unit_asks");
+    for w in [1_000usize, 10_000, 100_000] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let asks: Vec<f64> = (0..w).map(|_| rng.gen_range(0.01..10.0)).collect();
+        group.throughput(Throughput::Elements(w as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w), &asks, |b, asks| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                black_box(cra::run(asks, 500, 500, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn extract_expansion(c: &mut Criterion) {
+    use rit_model::{Ask, TaskTypeId};
+    let mut group = c.benchmark_group("extract/users");
+    for n in [10_000usize, 50_000] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let asks: Vec<Ask> = (0..n)
+            .map(|_| {
+                Ask::new(
+                    TaskTypeId::new(rng.gen_range(0..10)),
+                    rng.gen_range(1..=20),
+                    rng.gen_range(0.01..10.0),
+                )
+                .unwrap()
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &asks, |b, asks| {
+            b.iter(|| black_box(rit_auction::extract::extract(TaskTypeId::new(3), asks)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cra_round, extract_expansion);
+criterion_main!(benches);

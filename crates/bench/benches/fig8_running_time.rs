@@ -1,0 +1,69 @@
+//! Fig 8 — running time of RIT.
+//!
+//! * `fig8a/users/*`: wall time vs the number of users, with the per-type
+//!   job size held at `mᵢ = 2500` (half the paper's 5000, so Criterion's
+//!   statistics converge in seconds; the *linearity* is the claim).
+//! * `fig8b/tasks/*`: wall time vs the per-type job size at a fixed user
+//!   count.
+//!
+//! Each point measures both the auction phase alone and the full mechanism
+//! (auction + payment determination), matching the two curves of the paper's
+//! figure. Expect both curves to grow linearly and nearly coincide — the
+//! payment phase is a single O(N) sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rit_bench::BenchWorld;
+use std::hint::black_box;
+
+fn fig8a_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a/users");
+    group.sample_size(10);
+    for n in [20_000usize, 40_000, 80_000] {
+        let world = BenchWorld::paper(n, 2_500, 42);
+        group.bench_with_input(BenchmarkId::new("auction_phase", n), &world, |b, w| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = w.rng(seed);
+                black_box(w.rit.run_auction_phase(&w.job, &w.asks, &mut rng).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full_rit", n), &world, |b, w| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = w.rng(seed);
+                black_box(w.rit.run(&w.job, &w.tree, &w.asks, &mut rng).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig8b_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b/tasks");
+    group.sample_size(10);
+    for m_i in [500u64, 1_000, 1_500] {
+        let world = BenchWorld::paper(15_000, m_i, 43);
+        group.bench_with_input(BenchmarkId::new("auction_phase", m_i), &world, |b, w| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = w.rng(seed);
+                black_box(w.rit.run_auction_phase(&w.job, &w.asks, &mut rng).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full_rit", m_i), &world, |b, w| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = w.rng(seed);
+                black_box(w.rit.run(&w.job, &w.tree, &w.asks, &mut rng).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8a_users, fig8b_tasks);
+criterion_main!(benches);

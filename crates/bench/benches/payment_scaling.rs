@@ -1,0 +1,84 @@
+//! Component bench: the payment-determination phase (Theorem 3's O(N)
+//! claim) across tree sizes and shapes, plus the O(N²) reference for
+//! contrast at small N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rit_core::payment;
+use rit_model::{Ask, TaskTypeId};
+use rit_tree::{generate, IncentiveTree};
+use std::hint::black_box;
+
+fn fixture(tree: &IncentiveTree, seed: u64) -> (Vec<Ask>, Vec<f64>) {
+    let n = tree.num_users();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let asks: Vec<Ask> = (0..n)
+        .map(|_| {
+            Ask::new(
+                TaskTypeId::new(rng.gen_range(0..10)),
+                rng.gen_range(1..=20),
+                rng.gen_range(0.01..10.0),
+            )
+            .unwrap()
+        })
+        .collect();
+    let pa: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..50.0)).collect();
+    (asks, pa)
+}
+
+fn payment_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payment/size");
+    for n in [10_000usize, 40_000, 80_000] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tree = generate::preferential(n, &mut rng);
+        let (asks, pa) = fixture(&tree, 4);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| black_box(payment::determine_payments(&tree, &asks, &pa)));
+        });
+    }
+    group.finish();
+}
+
+fn payment_by_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payment/shape");
+    let n = 30_000usize;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let shapes: [(&str, IncentiveTree); 4] = [
+        ("star", generate::star(n)),
+        ("path", generate::path(n)),
+        ("binary", generate::k_ary(n, 2)),
+        ("preferential", generate::preferential(n, &mut rng)),
+    ];
+    for (name, tree) in &shapes {
+        let (asks, pa) = fixture(tree, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| black_box(payment::determine_payments(tree, &asks, &pa)));
+        });
+    }
+    group.finish();
+}
+
+fn linear_vs_quadratic_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payment/vs_reference");
+    let n = 3_000usize;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let tree = generate::preferential(n, &mut rng);
+    let (asks, pa) = fixture(&tree, 8);
+    group.bench_function("euler_sweep", |b| {
+        b.iter(|| black_box(payment::determine_payments(&tree, &asks, &pa)));
+    });
+    group.bench_function("naive_reference", |b| {
+        b.iter(|| black_box(payment::determine_payments_reference(&tree, &asks, &pa)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    payment_by_size,
+    payment_by_shape,
+    linear_vs_quadratic_reference
+);
+criterion_main!(benches);

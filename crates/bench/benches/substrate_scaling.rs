@@ -1,0 +1,135 @@
+//! Substrate benches: social-graph generation and the spanning-forest
+//! incentive-tree construction at the paper's population scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_socialgraph::{generators, spanning};
+use std::hint::black_box;
+
+fn graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("socialgraph/generate");
+    group.sample_size(10);
+    for n in [20_000usize, 80_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                black_box(generators::barabasi_albert(n, 2, &mut rng))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &n, |b, &n| {
+            let p = 4.0 / n as f64;
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                black_box(generators::erdos_renyi(n, p, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn spanning_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("socialgraph/spanning_forest");
+    group.sample_size(10);
+    for n in [20_000usize, 80_000] {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let graph = generators::barabasi_albert(n, 2, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| black_box(spanning::spanning_forest_tree(g)));
+        });
+    }
+    group.finish();
+}
+
+fn tree_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/from_parents");
+    group.sample_size(20);
+    for n in [40_000usize, 80_000] {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let tree = rit_tree::generate::uniform_recursive(n, &mut rng);
+        let parents = tree.to_parents();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &parents, |b, p| {
+            b.iter(|| black_box(rit_tree::IncentiveTree::from_parents(p).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn diffusion_cascade(c: &mut Criterion) {
+    use rit_socialgraph::diffusion::{self, DiffusionConfig};
+    let mut group = c.benchmark_group("socialgraph/diffusion");
+    group.sample_size(10);
+    for n in [20_000usize, 80_000] {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let graph = generators::barabasi_albert(n, 2, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                black_box(diffusion::simulate(
+                    g,
+                    &[0],
+                    &DiffusionConfig {
+                        invite_prob: 0.6,
+                        target: None,
+                        max_rounds: 64,
+                    },
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn lca_queries(c: &mut Criterion) {
+    use rand::Rng;
+    use rit_tree::lca::LcaIndex;
+    use rit_tree::NodeId;
+    let mut group = c.benchmark_group("tree/lca");
+    let n = 80_000usize;
+    let mut rng = SmallRng::seed_from_u64(13);
+    let tree = rit_tree::generate::uniform_recursive(n, &mut rng);
+    group.bench_function("build_80k", |b| {
+        b.iter(|| black_box(LcaIndex::build(&tree)));
+    });
+    let index = LcaIndex::build(&tree);
+    let queries: Vec<(NodeId, NodeId)> = (0..1024)
+        .map(|_| {
+            (
+                NodeId::new(rng.gen_range(0..=n as u32)),
+                NodeId::new(rng.gen_range(0..=n as u32)),
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("query_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(a, q) in &queries {
+                acc += u64::from(index.distance(a, q));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    graph_generation,
+    spanning_tree,
+    tree_construction,
+    diffusion_cascade,
+    lca_queries
+);
+criterion_main!(benches);

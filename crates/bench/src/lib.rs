@@ -1,0 +1,80 @@
+//! Shared fixtures for the RIT benchmark harness.
+//!
+//! The benches measure on pre-generated scenarios so Criterion's timing
+//! loops only see mechanism work, not workload generation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{Rit, RitConfig, RoundLimit};
+use rit_model::{Ask, Job, Population};
+use rit_sim::scenario::{Scenario, ScenarioConfig};
+use rit_tree::IncentiveTree;
+
+/// A frozen benchmark scenario.
+pub struct BenchWorld {
+    /// The sensing job.
+    pub job: Job,
+    /// The solicitation tree.
+    pub tree: IncentiveTree,
+    /// Truthful asks.
+    pub asks: Vec<Ask>,
+    /// True profiles.
+    pub population: Population,
+    /// The mechanism under test (best-effort rounds so every size runs).
+    pub rit: Rit,
+}
+
+impl BenchWorld {
+    /// Builds the §7-A scenario with `n` users and a 10-type job of `m_i`
+    /// tasks per type.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on invalid hard-coded configuration (never at runtime).
+    #[must_use]
+    pub fn paper(n: usize, m_i: u64, seed: u64) -> Self {
+        let scenario = Scenario::generate(&ScenarioConfig::paper(n), seed);
+        let Scenario {
+            population,
+            tree,
+            asks,
+        } = scenario;
+        Self {
+            job: Job::uniform(10, m_i).expect("10 types"),
+            tree,
+            asks,
+            population,
+            rit: Rit::new(RitConfig {
+                round_limit: RoundLimit::until_stall(),
+                ..RitConfig::default()
+            })
+            .expect("valid config"),
+        }
+    }
+
+    /// A fresh RNG for one measurement iteration.
+    #[must_use]
+    pub fn rng(&self, seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_world_is_consistent_and_runnable() {
+        let w = BenchWorld::paper(500, 20, 1);
+        assert_eq!(w.asks.len(), 500);
+        assert_eq!(w.tree.num_users(), 500);
+        assert_eq!(w.population.len(), 500);
+        assert_eq!(w.job.total_tasks(), 200);
+        let mut rng = w.rng(3);
+        let out = w
+            .rit
+            .run(&w.job, &w.tree, &w.asks, &mut rng)
+            .expect("aligned world");
+        assert_eq!(out.payments().len(), 500);
+    }
+}

@@ -1,0 +1,877 @@
+//! Command-line front end for the RIT mechanism.
+//!
+//! Implemented as a library (with a thin `main`) so every subcommand is
+//! unit-testable. Subcommands:
+//!
+//! * `rit generate --users N [--types M] [--seed S] --out DIR` — synthesize
+//!   a §7-A scenario (asks.csv, tree.csv, job.csv);
+//! * `rit run --asks F --tree F --job F [--h 0.8] [--seed S] [--best-effort]
+//!   [--out F]` — run the mechanism on CSV inputs, print a summary, write
+//!   outcome.csv;
+//! * `rit estimate --job F [--k-max K] [--safety X]` — the Remark 6.1
+//!   recruitment threshold;
+//! * `rit dot --tree F` — Graphviz dump of a solicitation tree.
+//!
+//! ```
+//! use rit_cli::{execute, Command};
+//!
+//! let cmd = Command::parse(&["estimate".into(), "--job".into(), "-".into()])?;
+//! assert!(matches!(cmd, Command::Estimate { .. }));
+//! # Ok::<(), rit_cli::CliError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{recruitment, Rit, RitConfig, RoundLimit};
+use rit_sim::io;
+use rit_sim::scenario::{Scenario, ScenarioConfig};
+
+/// A fully parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // field meanings match the CLI flags documented above
+pub enum Command {
+    Generate {
+        users: usize,
+        types: usize,
+        tasks_per_type: u64,
+        seed: u64,
+        out: PathBuf,
+    },
+    Run {
+        asks: PathBuf,
+        tree: PathBuf,
+        job: PathBuf,
+        h: f64,
+        seed: u64,
+        best_effort: bool,
+        out: Option<PathBuf>,
+        costs: Option<PathBuf>,
+    },
+    Estimate {
+        job: PathBuf,
+        k_max: u64,
+        safety: f64,
+    },
+    Trace {
+        asks: PathBuf,
+        job: PathBuf,
+        seed: u64,
+    },
+    Budget {
+        job: PathBuf,
+        k_max: u64,
+        h: f64,
+    },
+    Verify {
+        asks: PathBuf,
+        tree: PathBuf,
+        job: PathBuf,
+        runs: usize,
+        seed: u64,
+    },
+    Attack {
+        asks: PathBuf,
+        tree: PathBuf,
+        job: PathBuf,
+        victim: usize,
+        identities: usize,
+        price: Option<f64>,
+        runs: usize,
+        seed: u64,
+    },
+    Dot {
+        tree: PathBuf,
+    },
+    Help,
+}
+
+/// Errors of parsing or executing a CLI invocation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Input file did not parse.
+    Format(io::ScenarioIoError),
+    /// The mechanism rejected the inputs.
+    Mechanism(rit_core::RitError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "usage error: {msg}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Format(e) => write!(f, "input format error: {e}"),
+            Self::Mechanism(e) => write!(f, "mechanism error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<io::ScenarioIoError> for CliError {
+    fn from(e: io::ScenarioIoError) -> Self {
+        Self::Format(e)
+    }
+}
+
+impl From<rit_core::RitError> for CliError {
+    fn from(e: rit_core::RitError) -> Self {
+        Self::Mechanism(e)
+    }
+}
+
+/// The usage text printed by `rit help`.
+pub const USAGE: &str = "\
+rit — robust incentive tree mechanism for mobile crowdsensing
+
+USAGE:
+  rit generate --users N [--types M] [--tasks T] [--seed S] --out DIR
+  rit run --asks FILE --tree FILE --job FILE [--h 0.8] [--seed S]
+          [--best-effort] [--out FILE] [--costs FILE]
+  rit estimate --job FILE [--k-max 20] [--safety 1.3]
+  rit trace --asks FILE --job FILE [--seed S]
+  rit budget --job FILE [--k-max 20] [--h 0.8]
+  rit verify --asks FILE --tree FILE --job FILE [--runs 20] [--seed S]
+  rit attack --asks FILE --tree FILE --job FILE --victim J
+             [--identities 2] [--price P] [--runs 40] [--seed S]
+  rit dot --tree FILE
+  rit help
+";
+
+struct ArgCursor {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl ArgCursor {
+    fn flag_value(&mut self, flag: &str) -> Result<Option<String>, CliError> {
+        if let Some(i) = self.args.iter().skip(self.pos).position(|a| a == flag) {
+            let i = self.pos + i;
+            if i + 1 >= self.args.len() {
+                return Err(CliError::Usage(format!("missing value for {flag}")));
+            }
+            let value = self.args[i + 1].clone();
+            self.args.drain(i..=i + 1);
+            return Ok(Some(value));
+        }
+        Ok(None)
+    }
+
+    fn switch(&mut self, flag: &str) -> bool {
+        if let Some(i) = self.args.iter().skip(self.pos).position(|a| a == flag) {
+            self.args.remove(self.pos + i);
+            return true;
+        }
+        false
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        match self.args.get(self.pos) {
+            None => Ok(()),
+            Some(extra) => Err(CliError::Usage(format!("unexpected argument `{extra}`"))),
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError>
+where
+    T::Err: fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| CliError::Usage(format!("bad value for {flag}: {e}")))
+}
+
+impl Command {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown commands, missing required
+    /// flags, or malformed values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let Some(cmd) = args.first() else {
+            return Ok(Self::Help);
+        };
+        let mut cur = ArgCursor {
+            args: args.to_vec(),
+            pos: 1,
+        };
+        let require = |opt: Option<String>, flag: &str| {
+            opt.ok_or_else(|| CliError::Usage(format!("missing required flag {flag}")))
+        };
+        let command = match cmd.as_str() {
+            "generate" => Self::Generate {
+                users: parse_num(&require(cur.flag_value("--users")?, "--users")?, "--users")?,
+                types: match cur.flag_value("--types")? {
+                    Some(v) => parse_num(&v, "--types")?,
+                    None => 10,
+                },
+                tasks_per_type: match cur.flag_value("--tasks")? {
+                    Some(v) => parse_num(&v, "--tasks")?,
+                    None => 0, // 0 = auto-size from the population, see execute()
+                },
+                seed: match cur.flag_value("--seed")? {
+                    Some(v) => parse_num(&v, "--seed")?,
+                    None => 2017,
+                },
+                out: PathBuf::from(require(cur.flag_value("--out")?, "--out")?),
+            },
+            "run" => Self::Run {
+                asks: PathBuf::from(require(cur.flag_value("--asks")?, "--asks")?),
+                tree: PathBuf::from(require(cur.flag_value("--tree")?, "--tree")?),
+                job: PathBuf::from(require(cur.flag_value("--job")?, "--job")?),
+                h: match cur.flag_value("--h")? {
+                    Some(v) => parse_num(&v, "--h")?,
+                    None => 0.8,
+                },
+                seed: match cur.flag_value("--seed")? {
+                    Some(v) => parse_num(&v, "--seed")?,
+                    None => 2017,
+                },
+                best_effort: cur.switch("--best-effort"),
+                out: cur.flag_value("--out")?.map(PathBuf::from),
+                costs: cur.flag_value("--costs")?.map(PathBuf::from),
+            },
+            "estimate" => Self::Estimate {
+                job: PathBuf::from(require(cur.flag_value("--job")?, "--job")?),
+                k_max: match cur.flag_value("--k-max")? {
+                    Some(v) => parse_num(&v, "--k-max")?,
+                    None => 20,
+                },
+                safety: match cur.flag_value("--safety")? {
+                    Some(v) => parse_num(&v, "--safety")?,
+                    None => 1.3,
+                },
+            },
+            "trace" => Self::Trace {
+                asks: PathBuf::from(require(cur.flag_value("--asks")?, "--asks")?),
+                job: PathBuf::from(require(cur.flag_value("--job")?, "--job")?),
+                seed: match cur.flag_value("--seed")? {
+                    Some(v) => parse_num(&v, "--seed")?,
+                    None => 2017,
+                },
+            },
+            "budget" => Self::Budget {
+                job: PathBuf::from(require(cur.flag_value("--job")?, "--job")?),
+                k_max: match cur.flag_value("--k-max")? {
+                    Some(v) => parse_num(&v, "--k-max")?,
+                    None => 20,
+                },
+                h: match cur.flag_value("--h")? {
+                    Some(v) => parse_num(&v, "--h")?,
+                    None => 0.8,
+                },
+            },
+            "verify" => Self::Verify {
+                asks: PathBuf::from(require(cur.flag_value("--asks")?, "--asks")?),
+                tree: PathBuf::from(require(cur.flag_value("--tree")?, "--tree")?),
+                job: PathBuf::from(require(cur.flag_value("--job")?, "--job")?),
+                runs: match cur.flag_value("--runs")? {
+                    Some(v) => parse_num(&v, "--runs")?,
+                    None => 20,
+                },
+                seed: match cur.flag_value("--seed")? {
+                    Some(v) => parse_num(&v, "--seed")?,
+                    None => 2017,
+                },
+            },
+            "attack" => Self::Attack {
+                asks: PathBuf::from(require(cur.flag_value("--asks")?, "--asks")?),
+                tree: PathBuf::from(require(cur.flag_value("--tree")?, "--tree")?),
+                job: PathBuf::from(require(cur.flag_value("--job")?, "--job")?),
+                victim: parse_num(
+                    &require(cur.flag_value("--victim")?, "--victim")?,
+                    "--victim",
+                )?,
+                identities: match cur.flag_value("--identities")? {
+                    Some(v) => parse_num(&v, "--identities")?,
+                    None => 2,
+                },
+                price: match cur.flag_value("--price")? {
+                    Some(v) => Some(parse_num(&v, "--price")?),
+                    None => None,
+                },
+                runs: match cur.flag_value("--runs")? {
+                    Some(v) => parse_num(&v, "--runs")?,
+                    None => 40,
+                },
+                seed: match cur.flag_value("--seed")? {
+                    Some(v) => parse_num(&v, "--seed")?,
+                    None => 2017,
+                },
+            },
+            "dot" => Self::Dot {
+                tree: PathBuf::from(require(cur.flag_value("--tree")?, "--tree")?),
+            },
+            "help" | "--help" | "-h" => return Ok(Self::Help),
+            other => return Err(CliError::Usage(format!("unknown command `{other}`"))),
+        };
+        cur.finish()?;
+        Ok(command)
+    }
+}
+
+/// Executes a command, returning the text to print on stdout.
+///
+/// # Errors
+///
+/// Propagates file, format, and mechanism errors.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate {
+            users,
+            types,
+            tasks_per_type,
+            seed,
+            out,
+        } => generate(*users, *types, *tasks_per_type, *seed, out),
+        Command::Run {
+            asks,
+            tree,
+            job,
+            h,
+            seed,
+            best_effort,
+            out,
+            costs,
+        } => run(
+            asks,
+            tree,
+            job,
+            *h,
+            *seed,
+            *best_effort,
+            out.as_deref(),
+            costs.as_deref(),
+        ),
+        Command::Estimate { job, k_max, safety } => {
+            let job = io::parse_job(&fs::read_to_string(job)?)?;
+            let n = recruitment::estimate_threshold(&job, *k_max, *safety);
+            Ok(format!(
+                "job: {} tasks across {} types\nestimated recruitment threshold: {n} users\n\
+                 (Remark 6.1: each type needs claimed capacity ≥ 2·tasks before the auction runs)\n",
+                job.total_tasks(),
+                job.num_types()
+            ))
+        }
+        Command::Trace { asks, job, seed } => trace(asks, job, *seed),
+        Command::Budget { job, k_max, h } => budget(job, *k_max, *h),
+        Command::Verify {
+            asks,
+            tree,
+            job,
+            runs,
+            seed,
+        } => verify(asks, tree, job, *runs, *seed),
+        Command::Attack {
+            asks,
+            tree,
+            job,
+            victim,
+            identities,
+            price,
+            runs,
+            seed,
+        } => attack(asks, tree, job, *victim, *identities, *price, *runs, *seed),
+        Command::Dot { tree } => {
+            let tree = io::parse_tree(&fs::read_to_string(tree)?)?;
+            Ok(rit_tree::dot::to_dot(&tree, |n| n.to_string()))
+        }
+    }
+}
+
+fn budget(job_path: &Path, k_max: u64, h: f64) -> Result<String, CliError> {
+    use rit_auction::bounds::{self, LogBase, WorstCaseQ};
+    use std::fmt::Write as _;
+    let job = io::parse_job(&fs::read_to_string(job_path)?)?;
+    if !(h > 0.0 && h < 1.0) {
+        return Err(CliError::Usage(format!("--h must lie in (0, 1), got {h}")));
+    }
+    let eta = bounds::per_type_target(h, job.num_types());
+    let mut out = format!(
+        "K_max = {k_max}, H = {h}, m = {} types ⇒ per-type target η = {eta:.6}\n\n",
+        job.num_types()
+    );
+    let _ = writeln!(out, "type   tasks    budget(q=0)   budget(q=m_i)   verdict");
+    for (t, m_i) in job.iter() {
+        let label = format!("{t}");
+        if m_i == 0 {
+            let _ = writeln!(
+                out,
+                "{label:<7}{m_i:<9}—             —               trivial"
+            );
+            continue;
+        }
+        let fmt_budget = |wc: WorstCaseQ| {
+            bounds::round_budget(m_i, k_max, h, job.num_types(), LogBase::Ten, wc)
+                .map_or_else(|| "infeasible".to_string(), |b| b.to_string())
+        };
+        let strict = fmt_budget(WorstCaseQ::Zero);
+        let first = fmt_budget(WorstCaseQ::FirstRound);
+        let verdict = if strict == "infeasible" {
+            "job too small for K_max (Remark 6.1)"
+        } else if strict == "0" && first == "0" {
+            "no rounds possible — recruit more or lower H"
+        } else if strict == "0" {
+            "feasible only under the first-round reading"
+        } else {
+            "guarantee feasible"
+        };
+        let _ = writeln!(out, "{label:<7}{m_i:<9}{strict:<14}{first:<16}{verdict}");
+    }
+    Ok(out)
+}
+
+/// Empirical invariant check over repeated runs: individual rationality
+/// (payments cover every winner's ask), per-type exactness on completion,
+/// the §7 total-payment bound, and the void rule on failure.
+fn verify(
+    asks_path: &Path,
+    tree_path: &Path,
+    job_path: &Path,
+    runs: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let asks = io::parse_asks(&fs::read_to_string(asks_path)?)?;
+    let tree = io::parse_tree(&fs::read_to_string(tree_path)?)?;
+    let job = io::parse_job(&fs::read_to_string(job_path)?)?;
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })?;
+
+    let mut completed = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+    for r in 0..runs {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r as u64));
+        let out = rit.run(&job, &tree, &asks, &mut rng)?;
+        if !out.completed() {
+            if out.total_payment() != 0.0 || out.total_allocated() != 0 {
+                violations.push(format!("run {r}: failed run was not voided"));
+            }
+            continue;
+        }
+        completed += 1;
+        let mut per_type = vec![0u64; job.num_types()];
+        for (j, &x) in out.allocation().iter().enumerate() {
+            if x > out.allocation().len() as u64 + asks[j].quantity() {
+                violations.push(format!("run {r}: user {j} over-allocated"));
+            }
+            if x > 0 {
+                per_type[asks[j].task_type().index()] += x;
+            }
+            let floor = x as f64 * asks[j].unit_price();
+            if out.auction_payments()[j] < floor - 1e-9 {
+                violations.push(format!(
+                    "run {r}: user {j} paid {} below ask total {floor}",
+                    out.auction_payments()[j]
+                ));
+            }
+            if out.payment(j) < out.auction_payments()[j] - 1e-9 {
+                violations.push(format!("run {r}: user {j} final payment below auction"));
+            }
+        }
+        for (t, m_i) in job.iter() {
+            if per_type[t.index()] != m_i {
+                violations.push(format!(
+                    "run {r}: type {t} allocated {} ≠ {m_i}",
+                    per_type[t.index()]
+                ));
+            }
+        }
+        if out.total_payment() > 2.0 * out.total_auction_payment() + 1e-9 {
+            violations.push(format!("run {r}: §7 bound broken"));
+        }
+    }
+
+    let mut out = format!(
+        "verified {runs} runs: {completed} completed, {} failed (voided)\n",
+        runs - completed
+    );
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "all invariants hold: individual rationality, per-type exactness,\n\
+             payment ≥ auction payment, total ≤ 2× auction total, void-on-failure"
+        );
+    } else {
+        let _ = writeln!(out, "{} violations:", violations.len());
+        for v in violations.iter().take(20) {
+            let _ = writeln!(out, "  {v}");
+        }
+    }
+    Ok(out)
+}
+
+/// Measures a sybil attack's mean gain: the victim splits into
+/// `identities` chain-arranged identities at the given price (its own ask
+/// value when `--price` is omitted), and the attacker's mean total utility
+/// over `runs` replications is compared against honesty.
+#[allow(clippy::too_many_arguments)]
+fn attack(
+    asks_path: &Path,
+    tree_path: &Path,
+    job_path: &Path,
+    victim: usize,
+    identities: usize,
+    price: Option<f64>,
+    runs: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    use rit_core::sybil_exec;
+    use rit_tree::sybil::SybilPlan;
+    let asks = io::parse_asks(&fs::read_to_string(asks_path)?)?;
+    let tree = io::parse_tree(&fs::read_to_string(tree_path)?)?;
+    let job = io::parse_job(&fs::read_to_string(job_path)?)?;
+    if victim >= asks.len() {
+        return Err(CliError::Usage(format!(
+            "--victim {victim} out of range (0..{})",
+            asks.len()
+        )));
+    }
+    if identities < 2 {
+        return Err(CliError::Usage("--identities must be at least 2".into()));
+    }
+    if asks[victim].quantity() < identities as u64 {
+        return Err(CliError::Usage(format!(
+            "victim claims only {} tasks; cannot field {identities} identities",
+            asks[victim].quantity()
+        )));
+    }
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })?;
+    // The CLI treats the submitted ask value as the true cost — the
+    // conservative reading for an honest victim.
+    let cost = asks[victim].unit_price();
+    let identity_price = price.unwrap_or(cost);
+
+    let mut honest_sum = 0.0;
+    let mut attack_sum = 0.0;
+    for r in 0..runs as u64 {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r));
+        let out = rit.run(&job, &tree, &asks, &mut rng)?;
+        honest_sum += out.utility(victim, cost);
+
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r) ^ 0xA77A);
+        let identity_asks = sybil_exec::uniform_identity_asks(
+            asks[victim].task_type(),
+            asks[victim].quantity(),
+            identities,
+            identity_price,
+            &mut rng,
+        );
+        let sc = sybil_exec::apply_attack(
+            &tree,
+            &asks,
+            victim,
+            &identity_asks,
+            &SybilPlan::random(identities),
+            &mut rng,
+        )?;
+        let out = rit.run(&job, &sc.tree, &sc.asks, &mut rng)?;
+        attack_sum += sc.attacker_utility(&out, cost);
+    }
+    let honest = honest_sum / runs as f64;
+    let attacked = attack_sum / runs as f64;
+    Ok(format!(
+        "victim user {victim} (ask {:.4} × {}), {identities} identities at price {identity_price:.4}\n\
+         honest mean utility   {honest:.4}\n\
+         attacked mean utility {attacked:.4}\n\
+         gain {:+.4} — {}\n",
+        cost,
+        asks[victim].quantity(),
+        attacked - honest,
+        if attacked <= honest {
+            "the split does not pay (sybil-proofness)"
+        } else {
+            "positive point estimate; check against the run-to-run noise before concluding"
+        }
+    ))
+}
+
+fn trace(asks_path: &Path, job_path: &Path, seed: u64) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let asks = io::parse_asks(&fs::read_to_string(asks_path)?)?;
+    let job = io::parse_job(&fs::read_to_string(job_path)?)?;
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (phase, traces) = rit.run_auction_phase_traced(&job, &asks, &mut rng)?;
+    let mut out = format!(
+        "auction phase {}: {} / {} tasks allocated, total expenditure {:.4}\n\n",
+        if phase.completed() {
+            "completed"
+        } else {
+            "incomplete"
+        },
+        phase.allocation.iter().sum::<u64>(),
+        job.total_tasks(),
+        phase.auction_payments.iter().sum::<f64>(),
+    );
+    for t in &traces {
+        let _ = writeln!(
+            out,
+            "type {} ({} tasks, {} rounds, {} empty, expenditure {:.4}):",
+            t.task_type,
+            t.tasks,
+            t.rounds.len(),
+            t.empty_rounds(),
+            t.expenditure()
+        );
+        let _ = writeln!(
+            out,
+            "  round  q_before  unit_asks  z_s     n_s     winners  price"
+        );
+        for r in &t.rounds {
+            let _ = writeln!(
+                out,
+                "  {:<7}{:<10}{:<11}{:<8}{:<8}{:<9}{:.4}",
+                r.round,
+                r.q_before,
+                r.unit_asks,
+                r.diagnostics.raw_count,
+                r.diagnostics.consensus_count,
+                r.winners,
+                r.clearing_price
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn generate(
+    users: usize,
+    types: usize,
+    tasks_per_type: u64,
+    seed: u64,
+    out: &Path,
+) -> Result<String, CliError> {
+    let mut config = ScenarioConfig::paper(users);
+    config.workload.num_types = types;
+    let scenario = Scenario::generate(&config, seed);
+    // Auto-size the job to roughly a quarter of the expected per-type
+    // capacity, comfortably within Remark 6.1.
+    let tasks = if tasks_per_type > 0 {
+        tasks_per_type
+    } else {
+        let per_type = (users as u64 * (config.workload.capacity_max + 1) / 2) / types as u64;
+        (per_type / 4).max(1)
+    };
+    let job = rit_model::Job::uniform(types, tasks).map_err(io::ScenarioIoError::from)?;
+    fs::create_dir_all(out)?;
+    fs::write(out.join("asks.csv"), io::render_asks(&scenario.asks))?;
+    fs::write(out.join("tree.csv"), io::render_tree(&scenario.tree))?;
+    fs::write(out.join("job.csv"), io::render_job(&job))?;
+    let costs: Vec<f64> = scenario
+        .population
+        .iter()
+        .map(rit_model::UserProfile::unit_cost)
+        .collect();
+    fs::write(out.join("costs.csv"), io::render_costs(&costs))?;
+    Ok(format!(
+        "wrote {}/asks.csv, tree.csv, job.csv, costs.csv ({users} users, {types} types, {tasks} tasks/type)\n",
+        out.display()
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    asks_path: &Path,
+    tree_path: &Path,
+    job_path: &Path,
+    h: f64,
+    seed: u64,
+    best_effort: bool,
+    out: Option<&Path>,
+    costs_path: Option<&Path>,
+) -> Result<String, CliError> {
+    let asks = io::parse_asks(&fs::read_to_string(asks_path)?)?;
+    let tree = io::parse_tree(&fs::read_to_string(tree_path)?)?;
+    let job = io::parse_job(&fs::read_to_string(job_path)?)?;
+
+    let round_limit = if best_effort {
+        RoundLimit::until_stall()
+    } else {
+        RoundLimit::default()
+    };
+    let rit = Rit::new(RitConfig {
+        h,
+        round_limit,
+        ..RitConfig::default()
+    })?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let outcome = rit.run(&job, &tree, &asks, &mut rng)?;
+
+    let mut summary = String::new();
+    if outcome.completed() {
+        let winners = outcome.allocation().iter().filter(|&&x| x > 0).count();
+        let recruiters = outcome
+            .solicitation_rewards()
+            .iter()
+            .filter(|&&r| r > 1e-12)
+            .count();
+        summary.push_str(&format!(
+            "completed: {} tasks to {winners} users\n\
+             total payment {:.4} (auction {:.4} + solicitation {:.4} across {recruiters} recruiters)\n",
+            outcome.total_allocated(),
+            outcome.total_payment(),
+            outcome.total_auction_payment(),
+            outcome.total_payment() - outcome.total_auction_payment(),
+        ));
+        let stats = rit_sim::analysis::summarize(&asks, &outcome);
+        summary.push_str(&format!(
+            "payment distribution: gini {:.3}, top-decile share {:.1}%\n",
+            stats.gini,
+            100.0 * stats.top_decile_share
+        ));
+        if let Some(path) = costs_path {
+            let costs = io::parse_costs(&fs::read_to_string(path)?)?;
+            if costs.len() != asks.len() {
+                return Err(CliError::Usage(format!(
+                    "--costs has {} rows, expected {}",
+                    costs.len(),
+                    asks.len()
+                )));
+            }
+            let utilities: Vec<f64> = (0..asks.len())
+                .map(|j| outcome.utility(j, costs[j]))
+                .collect();
+            let min = utilities.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let mean = utilities.iter().sum::<f64>() / utilities.len() as f64;
+            summary.push_str(&format!(
+                "true-cost audit: mean utility {mean:.4}, min utility {min:.4} (IR ⇒ ≥ 0)\n"
+            ));
+        }
+    } else {
+        let missing: u64 = outcome.unallocated().iter().sum();
+        summary.push_str(&format!(
+            "NOT completed: {missing} tasks unallocated — all payments void (paper Line 27)\n\
+             consider more recruitment (`rit estimate`) or --best-effort\n"
+        ));
+    }
+    if let Some(path) = out {
+        fs::write(path, io::render_outcome(&asks, &outcome))?;
+        summary.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_generate_defaults() {
+        let cmd =
+            Command::parse(&args(&["generate", "--users", "100", "--out", "/tmp/x"])).unwrap();
+        match cmd {
+            Command::Generate {
+                users,
+                types,
+                seed,
+                tasks_per_type,
+                ..
+            } => {
+                assert_eq!(users, 100);
+                assert_eq!(types, 10);
+                assert_eq!(seed, 2017);
+                assert_eq!(tasks_per_type, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_run_full() {
+        let cmd = Command::parse(&args(&[
+            "run",
+            "--asks",
+            "a.csv",
+            "--tree",
+            "t.csv",
+            "--job",
+            "j.csv",
+            "--h",
+            "0.9",
+            "--best-effort",
+            "--out",
+            "o.csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                h,
+                best_effort,
+                out,
+                ..
+            } => {
+                assert_eq!(h, 0.9);
+                assert!(best_effort);
+                assert_eq!(out, Some(PathBuf::from("o.csv")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_extra() {
+        assert!(matches!(
+            Command::parse(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(&args(&["dot", "--tree", "t.csv", "surprise"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(&args(&["run", "--asks", "a.csv"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(&args(&["generate", "--users"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_execution_prints_usage() {
+        let out = execute(&Command::Help).unwrap();
+        assert!(out.contains("rit generate"));
+        assert!(out.contains("rit run"));
+    }
+}

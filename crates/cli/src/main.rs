@@ -1,0 +1,24 @@
+//! Thin binary wrapper over [`rit_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match rit_cli::Command::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", rit_cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match rit_cli::execute(&command) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end CLI flows against a temporary directory: generate → estimate
+//! → run → dot.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rit_cli::{execute, Command};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rit_cli_test_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_run_round_trip() {
+    let dir = temp_dir("roundtrip");
+    // Generate a scenario big enough to complete reliably.
+    let out = execute(&Command::Generate {
+        users: 800,
+        types: 4,
+        tasks_per_type: 0, // auto-size
+        seed: 11,
+        out: dir.clone(),
+    })
+    .unwrap();
+    assert!(out.contains("asks.csv"));
+    for f in ["asks.csv", "tree.csv", "job.csv"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+
+    // Estimate against the generated job.
+    let estimate = execute(&Command::Estimate {
+        job: dir.join("job.csv"),
+        k_max: 20,
+        safety: 1.3,
+    })
+    .unwrap();
+    assert!(estimate.contains("estimated recruitment threshold"));
+
+    // Run the mechanism best-effort and write the outcome.
+    let outcome_path = dir.join("outcome.csv");
+    let summary = execute(&Command::Run {
+        asks: dir.join("asks.csv"),
+        tree: dir.join("tree.csv"),
+        job: dir.join("job.csv"),
+        h: 0.8,
+        seed: 3,
+        best_effort: true,
+        out: Some(outcome_path.clone()),
+        costs: Some(dir.join("costs.csv")),
+    })
+    .unwrap();
+    assert!(
+        summary.contains("completed") || summary.contains("NOT completed"),
+        "unexpected summary: {summary}"
+    );
+    if summary.starts_with("completed") {
+        assert!(
+            summary.contains("true-cost audit"),
+            "missing audit: {summary}"
+        );
+    }
+    assert!(dir.join("costs.csv").exists());
+    let outcome = fs::read_to_string(&outcome_path).unwrap();
+    assert!(outcome.starts_with("user,task_type,allocated"));
+    assert_eq!(outcome.lines().count(), 801);
+
+    // DOT dump parses the same tree file.
+    let dot = execute(&Command::Dot {
+        tree: dir.join("tree.csv"),
+    })
+    .unwrap();
+    assert!(dot.starts_with("digraph incentive_tree"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_is_deterministic_per_seed() {
+    let dir = temp_dir("determinism");
+    execute(&Command::Generate {
+        users: 400,
+        types: 3,
+        tasks_per_type: 50,
+        seed: 5,
+        out: dir.clone(),
+    })
+    .unwrap();
+    let run = |seed: u64, tag: &str| {
+        let path = dir.join(format!("out_{tag}.csv"));
+        execute(&Command::Run {
+            asks: dir.join("asks.csv"),
+            tree: dir.join("tree.csv"),
+            job: dir.join("job.csv"),
+            h: 0.8,
+            seed,
+            best_effort: true,
+            out: Some(path.clone()),
+            costs: None,
+        })
+        .unwrap();
+        fs::read_to_string(path).unwrap()
+    };
+    let a = run(9, "a");
+    let b = run(9, "b");
+    let c = run(10, "c");
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_prints_per_type_stories() {
+    let dir = temp_dir("trace");
+    execute(&Command::Generate {
+        users: 500,
+        types: 3,
+        tasks_per_type: 40,
+        seed: 8,
+        out: dir.clone(),
+    })
+    .unwrap();
+    let out = execute(&Command::Trace {
+        asks: dir.join("asks.csv"),
+        job: dir.join("job.csv"),
+        seed: 2,
+    })
+    .unwrap();
+    assert!(out.contains("auction phase"), "got: {out}");
+    for t in ["τ0", "τ1", "τ2"] {
+        assert!(out.contains(&format!("type {t} (")), "missing {t}: {out}");
+    }
+    assert!(out.contains("q_before"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_reports_feasibility_per_type() {
+    let dir = temp_dir("budget");
+    fs::write(dir.join("job.csv"), "task_type,tasks\n0,5000\n1,30\n2,0\n").unwrap();
+    let out = execute(&Command::Budget {
+        job: dir.join("job.csv"),
+        k_max: 20,
+        h: 0.8,
+    })
+    .unwrap();
+    assert!(out.contains("guarantee feasible"), "got: {out}");
+    assert!(out.contains("Remark 6.1"), "got: {out}");
+    assert!(out.contains("trivial"), "got: {out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_reports_clean_invariants() {
+    let dir = temp_dir("verify");
+    execute(&Command::Generate {
+        users: 600,
+        types: 3,
+        tasks_per_type: 40,
+        seed: 12,
+        out: dir.clone(),
+    })
+    .unwrap();
+    let out = execute(&Command::Verify {
+        asks: dir.join("asks.csv"),
+        tree: dir.join("tree.csv"),
+        job: dir.join("job.csv"),
+        runs: 8,
+        seed: 4,
+    })
+    .unwrap();
+    assert!(out.contains("verified 8 runs"), "got: {out}");
+    assert!(out.contains("all invariants hold"), "got: {out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn attack_reports_gain_estimate() {
+    let dir = temp_dir("attack");
+    execute(&Command::Generate {
+        users: 400,
+        types: 2,
+        tasks_per_type: 60,
+        seed: 14,
+        out: dir.clone(),
+    })
+    .unwrap();
+    // Find a victim claiming at least 3 tasks.
+    let asks = fs::read_to_string(dir.join("asks.csv")).unwrap();
+    let victim = asks
+        .lines()
+        .skip(1)
+        .position(|l| l.split(',').nth(2).unwrap().parse::<u64>().unwrap() >= 3)
+        .unwrap();
+    let out = execute(&Command::Attack {
+        asks: dir.join("asks.csv"),
+        tree: dir.join("tree.csv"),
+        job: dir.join("job.csv"),
+        victim,
+        identities: 2,
+        price: None,
+        runs: 6,
+        seed: 5,
+    })
+    .unwrap();
+    assert!(out.contains("honest mean utility"), "got: {out}");
+    assert!(out.contains("gain"), "got: {out}");
+
+    // Guard rails.
+    let err = execute(&Command::Attack {
+        asks: dir.join("asks.csv"),
+        tree: dir.join("tree.csv"),
+        job: dir.join("job.csv"),
+        victim: 999_999,
+        identities: 2,
+        price: None,
+        runs: 1,
+        seed: 5,
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("out of range"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_files_surface_cleanly() {
+    let err = execute(&Command::Run {
+        asks: PathBuf::from("/nonexistent/asks.csv"),
+        tree: PathBuf::from("/nonexistent/tree.csv"),
+        job: PathBuf::from("/nonexistent/job.csv"),
+        h: 0.8,
+        seed: 1,
+        best_effort: false,
+        out: None,
+        costs: None,
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("i/o error"));
+}
+
+#[test]
+fn malformed_input_reports_line() {
+    let dir = temp_dir("malformed");
+    fs::write(dir.join("job.csv"), "task_type,tasks\n0,five\n").unwrap();
+    let err = execute(&Command::Estimate {
+        job: dir.join("job.csv"),
+        k_max: 20,
+        safety: 1.0,
+    })
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "got: {msg}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_mode_reports_infeasible_guarantee() {
+    let dir = temp_dir("strict");
+    // Tiny job: 2·K_max ≥ mᵢ under the paper budget.
+    execute(&Command::Generate {
+        users: 200,
+        types: 2,
+        tasks_per_type: 5,
+        seed: 2,
+        out: dir.clone(),
+    })
+    .unwrap();
+    let err = execute(&Command::Run {
+        asks: dir.join("asks.csv"),
+        tree: dir.join("tree.csv"),
+        job: dir.join("job.csv"),
+        h: 0.8,
+        seed: 1,
+        best_effort: false,
+        out: None,
+        costs: None,
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("mechanism error"), "got: {err}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,319 @@
+//! Sealed-bid asks `(tⱼ, kⱼ, aⱼ)` and ask profiles.
+
+use std::fmt;
+
+use crate::{ModelError, TaskTypeId};
+
+/// A sealed-bid ask `(tⱼ, kⱼ, aⱼ)` submitted by a user upon joining the
+/// incentive tree (paper §3-A).
+///
+/// * `task_type` — the single type `tⱼ` the user bids for (in mobile spectrum
+///   sensing, the user's geographic area);
+/// * `quantity` — `kⱼ > 0`, the maximum number of tasks the user claims to be
+///   able to complete;
+/// * `unit_price` — `aⱼ > 0`, the minimum reward demanded per task.
+///
+/// The submission is sealed: no user sees any other user's ask. `kⱼ` need not
+/// equal the true capacity `Kⱼ` and `aⱼ` need not equal the true cost `cⱼ`;
+/// the whole point of RIT is to make revealing both a dominant strategy with
+/// high probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ask {
+    task_type: TaskTypeId,
+    quantity: u64,
+    unit_price: f64,
+}
+
+impl Ask {
+    /// Creates a validated ask.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ZeroQuantity`] if `quantity == 0`;
+    /// * [`ModelError::NonPositivePrice`] if `unit_price` is not a positive,
+    ///   finite number.
+    pub fn new(task_type: TaskTypeId, quantity: u64, unit_price: f64) -> Result<Self, ModelError> {
+        if quantity == 0 {
+            return Err(ModelError::ZeroQuantity);
+        }
+        if !(unit_price.is_finite() && unit_price > 0.0) {
+            return Err(ModelError::NonPositivePrice { value: unit_price });
+        }
+        Ok(Self {
+            task_type,
+            quantity,
+            unit_price,
+        })
+    }
+
+    /// The task type `tⱼ` this ask bids for.
+    #[must_use]
+    pub const fn task_type(&self) -> TaskTypeId {
+        self.task_type
+    }
+
+    /// The claimed quantity `kⱼ`.
+    #[must_use]
+    pub const fn quantity(&self) -> u64 {
+        self.quantity
+    }
+
+    /// The claimed unit price `aⱼ`.
+    #[must_use]
+    pub const fn unit_price(&self) -> f64 {
+        self.unit_price
+    }
+
+    /// Returns a copy of this ask with a different unit price — handy for
+    /// probing untruthful deviations in tests and experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonPositivePrice`] if the new price is invalid.
+    pub fn with_unit_price(&self, unit_price: f64) -> Result<Self, ModelError> {
+        Self::new(self.task_type, self.quantity, unit_price)
+    }
+
+    /// Returns a copy of this ask with a different quantity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroQuantity`] if `quantity == 0`.
+    pub fn with_quantity(&self, quantity: u64) -> Result<Self, ModelError> {
+        Self::new(self.task_type, quantity, self.unit_price)
+    }
+}
+
+impl fmt::Display for Ask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            self.task_type, self.quantity, self.unit_price
+        )
+    }
+}
+
+/// The ask vector `A = ((t₁,k₁,a₁); …; (t_N,k_N,a_N))`: one ask per tree
+/// node, indexed in node order.
+///
+/// This is a thin collection wrapper so that mechanism code can speak in
+/// terms of "the ask profile" as the paper does.
+///
+/// ```
+/// use rit_model::{Ask, AskProfile, TaskTypeId};
+///
+/// let profile: AskProfile = vec![
+///     Ask::new(TaskTypeId::new(0), 2, 3.0)?,
+///     Ask::new(TaskTypeId::new(1), 3, 4.0)?,
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert_eq!(profile.len(), 2);
+/// assert_eq!(profile[1].quantity(), 3);
+/// # Ok::<(), rit_model::ModelError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AskProfile {
+    asks: Vec<Ask>,
+}
+
+impl AskProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a profile from a vector of asks (node order).
+    #[must_use]
+    pub fn from_vec(asks: Vec<Ask>) -> Self {
+        Self { asks }
+    }
+
+    /// Number of asks in the profile.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.asks.len()
+    }
+
+    /// Whether the profile is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.asks.is_empty()
+    }
+
+    /// The ask at `index`, if present.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Ask> {
+        self.asks.get(index)
+    }
+
+    /// Appends an ask.
+    pub fn push(&mut self, ask: Ask) {
+        self.asks.push(ask);
+    }
+
+    /// Iterates over the asks in node order.
+    pub fn iter(&self) -> impl Iterator<Item = &Ask> {
+        self.asks.iter()
+    }
+
+    /// The asks as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Ask] {
+        &self.asks
+    }
+
+    /// Consumes the profile, returning the underlying vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<Ask> {
+        self.asks
+    }
+
+    /// Total claimed quantity for one task type: `Σ{kⱼ : tⱼ = τ}`.
+    ///
+    /// Remark 6.1 requires this to be at least `2·mᵢ` per type for the
+    /// consensus auction to select `q + mᵢ` potential winners.
+    #[must_use]
+    pub fn claimed_quantity_of_type(&self, task_type: TaskTypeId) -> u64 {
+        self.asks
+            .iter()
+            .filter(|a| a.task_type() == task_type)
+            .map(Ask::quantity)
+            .sum()
+    }
+
+    /// The largest claimed quantity over all asks (0 if empty) — the
+    /// profile-level analogue of `K_max`.
+    #[must_use]
+    pub fn max_quantity(&self) -> u64 {
+        self.asks.iter().map(Ask::quantity).max().unwrap_or(0)
+    }
+}
+
+impl std::ops::Index<usize> for AskProfile {
+    type Output = Ask;
+
+    fn index(&self, index: usize) -> &Ask {
+        &self.asks[index]
+    }
+}
+
+impl FromIterator<Ask> for AskProfile {
+    fn from_iter<I: IntoIterator<Item = Ask>>(iter: I) -> Self {
+        Self {
+            asks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Ask> for AskProfile {
+    fn extend<I: IntoIterator<Item = Ask>>(&mut self, iter: I) {
+        self.asks.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a AskProfile {
+    type Item = &'a Ask;
+    type IntoIter = std::slice::Iter<'a, Ask>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.asks.iter()
+    }
+}
+
+impl IntoIterator for AskProfile {
+    type Item = Ask;
+    type IntoIter = std::vec::IntoIter<Ask>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.asks.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskTypeId {
+        TaskTypeId::new(i)
+    }
+
+    #[test]
+    fn ask_validates_quantity() {
+        assert_eq!(Ask::new(t(0), 0, 1.0), Err(ModelError::ZeroQuantity));
+        assert!(Ask::new(t(0), 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn ask_validates_price() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                Ask::new(t(0), 1, bad),
+                Err(ModelError::NonPositivePrice { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn with_unit_price_keeps_other_fields() {
+        let a = Ask::new(t(2), 5, 7.0).unwrap();
+        let b = a.with_unit_price(3.0).unwrap();
+        assert_eq!(b.task_type(), t(2));
+        assert_eq!(b.quantity(), 5);
+        assert_eq!(b.unit_price(), 3.0);
+        assert!(a.with_unit_price(-1.0).is_err());
+    }
+
+    #[test]
+    fn with_quantity_keeps_other_fields() {
+        let a = Ask::new(t(2), 5, 7.0).unwrap();
+        let b = a.with_quantity(1).unwrap();
+        assert_eq!(b.quantity(), 1);
+        assert_eq!(b.unit_price(), 7.0);
+        assert!(a.with_quantity(0).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_tuple_notation() {
+        let a = Ask::new(t(1), 5, 7.0).unwrap();
+        assert_eq!(a.to_string(), "(τ1, 5, 7)");
+    }
+
+    #[test]
+    fn profile_per_type_quantity() {
+        let profile: AskProfile = vec![
+            Ask::new(t(0), 2, 3.0).unwrap(),
+            Ask::new(t(1), 3, 4.0).unwrap(),
+            Ask::new(t(0), 4, 2.0).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(profile.claimed_quantity_of_type(t(0)), 6);
+        assert_eq!(profile.claimed_quantity_of_type(t(1)), 3);
+        assert_eq!(profile.claimed_quantity_of_type(t(9)), 0);
+        assert_eq!(profile.max_quantity(), 4);
+    }
+
+    #[test]
+    fn empty_profile_behaves() {
+        let p = AskProfile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.max_quantity(), 0);
+        assert!(p.get(0).is_none());
+    }
+
+    #[test]
+    fn profile_extend_and_iter() {
+        let mut p = AskProfile::new();
+        p.push(Ask::new(t(0), 1, 1.0).unwrap());
+        p.extend([Ask::new(t(0), 2, 2.0).unwrap()]);
+        assert_eq!(p.len(), 2);
+        let quantities: Vec<u64> = p.iter().map(Ask::quantity).collect();
+        assert_eq!(quantities, vec![1, 2]);
+        let owned: Vec<Ask> = p.clone().into_iter().collect();
+        assert_eq!(owned.len(), 2);
+        assert_eq!((&p).into_iter().count(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Heterogeneous cost models beyond the paper's uniform workload.
+//!
+//! The §7-A evaluation draws unit costs from `U(0, 10]`. Real sensing costs
+//! are rarely uniform — battery-rich devices cluster low, metered-data users
+//! cluster high — so robustness analysis needs alternative shapes with the
+//! same support discipline (positive, finite, bounded). [`CostModel`]
+//! provides four, and [`HeterogeneousWorkload`] plugs them into population
+//! sampling; the simulation harness's `robustness` experiment sweeps them to
+//! check that the paper's curve shapes are not artifacts of uniformity.
+
+use rand::Rng;
+
+use crate::{ModelError, Population, TaskTypeId, UserProfile};
+
+/// A unit-cost distribution with positive bounded support.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostModel {
+    /// The paper's `U(0, max]`.
+    Uniform {
+        /// Upper bound (exclusive of 0, inclusive of `max`).
+        max: f64,
+    },
+    /// Exponential with the given mean, clipped to `(0, cap]` — a heavy
+    /// mass of cheap sensors with a thin expensive tail.
+    Exponential {
+        /// Mean of the unclipped distribution.
+        mean: f64,
+        /// Hard cap.
+        cap: f64,
+    },
+    /// Two device classes: cost `low` with probability `1 − p_high`, `high`
+    /// with probability `p_high`, each jittered by `±jitter` uniformly.
+    Bimodal {
+        /// Cheap-class center.
+        low: f64,
+        /// Expensive-class center.
+        high: f64,
+        /// Probability of the expensive class.
+        p_high: f64,
+        /// Uniform jitter half-width.
+        jitter: f64,
+    },
+    /// Log-normal with the given median and log-space sigma, clipped to
+    /// `(0, cap]` — multiplicative heterogeneity.
+    LogNormal {
+        /// Median of the unclipped distribution.
+        median: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+        /// Hard cap.
+        cap: f64,
+    },
+}
+
+impl CostModel {
+    /// The paper's model.
+    #[must_use]
+    pub const fn paper() -> Self {
+        Self::Uniform { max: 10.0 }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonPositivePrice`] when any scale parameter is
+    /// non-positive or non-finite, or when `p_high`/`jitter` are out of
+    /// range.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let ok = match *self {
+            Self::Uniform { max } => max.is_finite() && max > 0.0,
+            Self::Exponential { mean, cap } => {
+                mean.is_finite() && mean > 0.0 && cap.is_finite() && cap > 0.0
+            }
+            Self::Bimodal {
+                low,
+                high,
+                p_high,
+                jitter,
+            } => {
+                low.is_finite()
+                    && high.is_finite()
+                    && low > 0.0
+                    && high >= low
+                    && (0.0..=1.0).contains(&p_high)
+                    && jitter >= 0.0
+                    && jitter < low
+            }
+            Self::LogNormal { median, sigma, cap } => {
+                median.is_finite() && median > 0.0 && sigma >= 0.0 && cap.is_finite() && cap > 0.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ModelError::NonPositivePrice { value: f64::NAN })
+        }
+    }
+
+    /// Draws one cost; always positive and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is invalid (call [`CostModel::validate`] first
+    /// when handling untrusted parameters).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.validate().expect("invalid cost model");
+        let tiny = f64::MIN_POSITIVE * 1e10;
+        match *self {
+            Self::Uniform { max } => (rng.gen_range(0.0..max) + max * f64::EPSILON).min(max),
+            Self::Exponential { mean, cap } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-u.ln() * mean).clamp(tiny, cap)
+            }
+            Self::Bimodal {
+                low,
+                high,
+                p_high,
+                jitter,
+            } => {
+                let center = if rng.gen_bool(p_high) { high } else { low };
+                let j = if jitter > 0.0 {
+                    rng.gen_range(-jitter..=jitter)
+                } else {
+                    0.0
+                };
+                (center + j).max(tiny)
+            }
+            Self::LogNormal { median, sigma, cap } => {
+                // Box–Muller normal draw in log space.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+                (median * (sigma * z).exp()).clamp(tiny, cap)
+            }
+        }
+    }
+}
+
+/// A workload with the paper's type/capacity structure but a pluggable
+/// cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeterogeneousWorkload {
+    /// Number of task types `m`.
+    pub num_types: usize,
+    /// Capacity upper bound: `Kⱼ ~ U{1..=capacity_max}`.
+    pub capacity_max: u64,
+    /// Unit-cost model.
+    pub cost: CostModel,
+}
+
+impl HeterogeneousWorkload {
+    /// The paper's exact workload.
+    #[must_use]
+    pub const fn paper() -> Self {
+        Self {
+            num_types: 10,
+            capacity_max: 20,
+            cost: CostModel::paper(),
+        }
+    }
+
+    /// Draws a population of `n` users.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyJob`] / [`ModelError::ZeroQuantity`] /
+    /// [`ModelError::NonPositivePrice`] for invalid parameters.
+    pub fn sample_population<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Population, ModelError> {
+        if self.num_types == 0 {
+            return Err(ModelError::EmptyJob);
+        }
+        if self.capacity_max == 0 {
+            return Err(ModelError::ZeroQuantity);
+        }
+        self.cost.validate()?;
+        let mut users = Vec::with_capacity(n);
+        for _ in 0..n {
+            let task_type = TaskTypeId::new(rng.gen_range(0..self.num_types as u32));
+            let capacity = rng.gen_range(1..=self.capacity_max);
+            let cost = self.cost.sample(rng);
+            users.push(UserProfile::new(task_type, capacity, cost)?);
+        }
+        Ok(Population::from_vec(users))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn models() -> Vec<CostModel> {
+        vec![
+            CostModel::paper(),
+            CostModel::Exponential {
+                mean: 3.0,
+                cap: 10.0,
+            },
+            CostModel::Bimodal {
+                low: 1.0,
+                high: 8.0,
+                p_high: 0.3,
+                jitter: 0.5,
+            },
+            CostModel::LogNormal {
+                median: 3.0,
+                sigma: 0.6,
+                cap: 10.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_models_sample_positive_finite_bounded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for model in models() {
+            for _ in 0..5000 {
+                let c = model.sample(&mut rng);
+                assert!(c.is_finite() && c > 0.0, "{model:?} produced {c}");
+                assert!(c <= 10.0 + 0.5, "{model:?} exceeded cap: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn means_land_near_targets() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mean_of = |model: &CostModel, rng: &mut SmallRng| {
+            (0..20_000).map(|_| model.sample(rng)).sum::<f64>() / 20_000.0
+        };
+        let uniform = mean_of(&CostModel::paper(), &mut rng);
+        assert!((uniform - 5.0).abs() < 0.15, "uniform mean {uniform}");
+        let expo = mean_of(
+            &CostModel::Exponential {
+                mean: 3.0,
+                cap: 100.0,
+            },
+            &mut rng,
+        );
+        assert!((expo - 3.0).abs() < 0.15, "exponential mean {expo}");
+        let bimodal = mean_of(
+            &CostModel::Bimodal {
+                low: 1.0,
+                high: 9.0,
+                p_high: 0.5,
+                jitter: 0.0,
+            },
+            &mut rng,
+        );
+        assert!((bimodal - 5.0).abs() < 0.15, "bimodal mean {bimodal}");
+    }
+
+    #[test]
+    fn lognormal_median_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = CostModel::LogNormal {
+            median: 2.0,
+            sigma: 0.8,
+            cap: 1000.0,
+        };
+        let mut draws: Vec<f64> = (0..10_001).map(|_| model.sample(&mut rng)).collect();
+        draws.sort_by(f64::total_cmp);
+        let median = draws[5000];
+        assert!((median - 2.0).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let bad = [
+            CostModel::Uniform { max: 0.0 },
+            CostModel::Exponential {
+                mean: -1.0,
+                cap: 5.0,
+            },
+            CostModel::Bimodal {
+                low: 1.0,
+                high: 0.5,
+                p_high: 0.5,
+                jitter: 0.0,
+            },
+            CostModel::Bimodal {
+                low: 1.0,
+                high: 2.0,
+                p_high: 1.5,
+                jitter: 0.0,
+            },
+            CostModel::LogNormal {
+                median: 2.0,
+                sigma: -0.1,
+                cap: 5.0,
+            },
+        ];
+        for model in bad {
+            assert!(model.validate().is_err(), "{model:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_population_sampling() {
+        let workload = HeterogeneousWorkload {
+            num_types: 4,
+            capacity_max: 6,
+            cost: CostModel::Exponential {
+                mean: 2.0,
+                cap: 10.0,
+            },
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pop = workload.sample_population(2000, &mut rng).unwrap();
+        assert_eq!(pop.len(), 2000);
+        assert!(pop.k_max() <= 6);
+        for u in pop.iter() {
+            assert!(u.task_type().index() < 4);
+            assert!(u.unit_cost() > 0.0 && u.unit_cost() <= 10.0);
+        }
+    }
+
+    #[test]
+    fn paper_workload_matches_uniform_config() {
+        // HeterogeneousWorkload::paper() and WorkloadConfig::paper() must
+        // describe the same distribution (checked by moments).
+        let mut rng = SmallRng::seed_from_u64(5);
+        let het = HeterogeneousWorkload::paper()
+            .sample_population(10_000, &mut rng)
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = crate::workload::WorkloadConfig::paper()
+            .sample_population(10_000, &mut rng)
+            .unwrap();
+        let mean = |p: &Population| p.iter().map(|u| u.unit_cost()).sum::<f64>() / p.len() as f64;
+        assert!((mean(&het) - mean(&cfg)).abs() < 0.2);
+    }
+
+    #[test]
+    fn empty_type_count_rejected() {
+        let workload = HeterogeneousWorkload {
+            num_types: 0,
+            capacity_max: 1,
+            cost: CostModel::paper(),
+        };
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(workload.sample_population(10, &mut rng).is_err());
+    }
+}

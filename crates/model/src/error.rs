@@ -1,0 +1,99 @@
+//! Validation errors for model construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::TaskTypeId;
+
+/// Error returned when constructing an invalid model value.
+///
+/// All constructors in this crate validate their arguments (prices and costs
+/// must be positive and finite, quantities positive, task types in range) so
+/// that downstream mechanism code can rely on these invariants without
+/// re-checking.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A unit price or unit cost was not a positive, finite number.
+    NonPositivePrice {
+        /// The offending value.
+        value: f64,
+    },
+    /// A claimed quantity or capacity was zero.
+    ZeroQuantity,
+    /// A job had no task types at all.
+    EmptyJob,
+    /// A task-type id referenced a type outside the job's range.
+    TypeOutOfRange {
+        /// The offending task type.
+        task_type: TaskTypeId,
+        /// The number of task types available.
+        num_types: usize,
+    },
+    /// An ask claimed more tasks than the user's capacity allows.
+    QuantityExceedsCapacity {
+        /// Claimed quantity `kⱼ`.
+        quantity: u64,
+        /// True capacity `Kⱼ`.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositivePrice { value } => {
+                write!(f, "price must be positive and finite, got {value}")
+            }
+            Self::ZeroQuantity => write!(f, "quantity must be at least 1"),
+            Self::EmptyJob => write!(f, "job must contain at least one task type"),
+            Self::TypeOutOfRange {
+                task_type,
+                num_types,
+            } => write!(
+                f,
+                "task type {task_type} out of range for a job with {num_types} types"
+            ),
+            Self::QuantityExceedsCapacity { quantity, capacity } => write!(
+                f,
+                "claimed quantity {quantity} exceeds user capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty_lowercase_messages() {
+        let errors = [
+            ModelError::NonPositivePrice { value: -1.0 },
+            ModelError::ZeroQuantity,
+            ModelError::EmptyJob,
+            ModelError::TypeOutOfRange {
+                task_type: TaskTypeId::new(9),
+                num_types: 3,
+            },
+            ModelError::QuantityExceedsCapacity {
+                quantity: 5,
+                capacity: 3,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

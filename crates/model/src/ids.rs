@@ -1,0 +1,151 @@
+//! Strongly-typed identifiers for task types and users.
+
+use std::fmt;
+
+/// Identifier of a task type `τᵢ` (an index into the job's type list).
+///
+/// The paper groups sensing tasks by geographic area; each area is one task
+/// type and each point of interest one task. A `TaskTypeId` is a plain index
+/// `0 ‥ m−1` wrapped in a newtype so it cannot be confused with a user index
+/// or a raw count.
+///
+/// ```
+/// use rit_model::TaskTypeId;
+/// let t = TaskTypeId::new(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "τ3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskTypeId(u32);
+
+impl TaskTypeId {
+    /// Creates a task-type id from its zero-based index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the zero-based index of this task type.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honors width/alignment flags (`{:<7}` etc.).
+        f.pad(&format!("τ{}", self.0))
+    }
+}
+
+impl From<u32> for TaskTypeId {
+    fn from(index: u32) -> Self {
+        Self::new(index)
+    }
+}
+
+/// Identifier of a crowdsensing user `Pⱼ` (zero-based).
+///
+/// User ids index the population vector and the per-user ask/payment vectors
+/// produced by the mechanism. The paper indexes users from 1 (`P₁ … P_N`);
+/// we use zero-based indices internally and render them one-based in
+/// `Display` to match the paper's notation.
+///
+/// ```
+/// use rit_model::UserId;
+/// let u = UserId::new(0);
+/// assert_eq!(u.to_string(), "P1");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UserId(u32);
+
+impl UserId {
+    /// Creates a user id from its zero-based index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the zero-based index of this user.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&format!("P{}", self.0 + 1))
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(index: u32) -> Self {
+        Self::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn task_type_id_round_trips_index() {
+        for i in [0u32, 1, 9, 4096] {
+            let t = TaskTypeId::new(i);
+            assert_eq!(t.index(), i as usize);
+            assert_eq!(t.raw(), i);
+            assert_eq!(TaskTypeId::from(i), t);
+        }
+    }
+
+    #[test]
+    fn user_id_round_trips_index() {
+        for i in [0u32, 1, 9, 4096] {
+            let u = UserId::new(i);
+            assert_eq!(u.index(), i as usize);
+            assert_eq!(UserId::from(i), u);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(TaskTypeId::new(0).to_string(), "τ0");
+        assert_eq!(UserId::new(0).to_string(), "P1");
+        assert_eq!(UserId::new(28).to_string(), "P29");
+    }
+
+    #[test]
+    fn display_honors_width_flags() {
+        assert_eq!(format!("{:<5}", TaskTypeId::new(7)), "τ7   ");
+        assert_eq!(format!("{:>5}", UserId::new(0)), "   P1");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(TaskTypeId::new(1) < TaskTypeId::new(2));
+        assert!(UserId::new(1) < UserId::new(2));
+        let set: HashSet<UserId> = [UserId::new(1), UserId::new(1)].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", TaskTypeId::default()).is_empty());
+        assert!(!format!("{:?}", UserId::default()).is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! The sensing job `J`: a multi-subset of task types.
+
+use std::fmt;
+
+use crate::{ModelError, TaskTypeId};
+
+/// A sensing job `J` posted by the crowdsensing platform.
+///
+/// A job is a multi-subset of the `m` task types: `mᵢ` is the number of tasks
+/// requested in type `τᵢ`. The job is *finished* if and only if every
+/// requested task has been completed (paper §3-A). For instance
+/// `J = {τ₀, τ₁, τ₂, τ₂}` has `m = 3`, `m₀ = m₁ = 1`, `m₂ = 2`.
+///
+/// ```
+/// use rit_model::{Job, TaskTypeId};
+///
+/// let job: Job = [TaskTypeId::new(0), TaskTypeId::new(2), TaskTypeId::new(2)]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(job.num_types(), 3);
+/// assert_eq!(job.tasks_of(TaskTypeId::new(2)), 2);
+/// assert_eq!(job.tasks_of(TaskTypeId::new(1)), 0);
+/// assert_eq!(job.total_tasks(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Job {
+    counts: Vec<u64>,
+}
+
+impl Job {
+    /// Creates a job from per-type task counts: `counts[i] = mᵢ`.
+    ///
+    /// Types with zero requested tasks are allowed (they are trivially
+    /// complete), but the job must have at least one type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyJob`] if `counts` is empty.
+    pub fn from_counts(counts: Vec<u64>) -> Result<Self, ModelError> {
+        if counts.is_empty() {
+            return Err(ModelError::EmptyJob);
+        }
+        Ok(Self { counts })
+    }
+
+    /// Creates a job requesting `tasks_per_type` tasks in each of
+    /// `num_types` types — the homogeneous shape used throughout the paper's
+    /// evaluation (e.g. `m = 10`, `mᵢ = 5000`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyJob`] if `num_types` is zero.
+    pub fn uniform(num_types: usize, tasks_per_type: u64) -> Result<Self, ModelError> {
+        Self::from_counts(vec![tasks_per_type; num_types])
+    }
+
+    /// The number of task types `m`.
+    #[must_use]
+    pub fn num_types(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The number of tasks `mᵢ` requested in type `task_type`.
+    ///
+    /// Returns 0 for types outside the job's range.
+    #[must_use]
+    pub fn tasks_of(&self, task_type: TaskTypeId) -> u64 {
+        self.counts.get(task_type.index()).copied().unwrap_or(0)
+    }
+
+    /// The total number of tasks `|J| = Σᵢ mᵢ`.
+    #[must_use]
+    pub fn total_tasks(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the job requests no tasks at all.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Whether `task_type` indexes one of this job's types.
+    #[must_use]
+    pub fn contains_type(&self, task_type: TaskTypeId) -> bool {
+        task_type.index() < self.counts.len()
+    }
+
+    /// Iterates over `(τᵢ, mᵢ)` pairs in type order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskTypeId, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (TaskTypeId::new(i as u32), c))
+    }
+
+    /// Iterates over the task types (including those with zero tasks).
+    pub fn types(&self) -> impl Iterator<Item = TaskTypeId> + '_ {
+        (0..self.counts.len() as u32).map(TaskTypeId::new)
+    }
+
+    /// The per-type counts as a slice (`counts[i] = mᵢ`).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{{")?;
+        for (i, (t, c)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}×{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<TaskTypeId> for Job {
+    /// Builds a job from a multiset of task types, as in the paper's
+    /// `J = {τ₁, τ₂, τ₃, τ₃}` notation. The number of types is one more than
+    /// the largest index seen.
+    fn from_iter<I: IntoIterator<Item = TaskTypeId>>(iter: I) -> Self {
+        let mut counts: Vec<u64> = Vec::new();
+        for t in iter {
+            if t.index() >= counts.len() {
+                counts.resize(t.index() + 1, 0);
+            }
+            counts[t.index()] += 1;
+        }
+        if counts.is_empty() {
+            counts.push(0);
+        }
+        Self { counts }
+    }
+}
+
+impl Extend<TaskTypeId> for Job {
+    fn extend<I: IntoIterator<Item = TaskTypeId>>(&mut self, iter: I) {
+        for t in iter {
+            if t.index() >= self.counts.len() {
+                self.counts.resize(t.index() + 1, 0);
+            }
+            self.counts[t.index()] += 1;
+        }
+    }
+}
+
+/// Incremental builder for [`Job`] values.
+///
+/// ```
+/// use rit_model::{JobBuilder, TaskTypeId};
+///
+/// let job = JobBuilder::new()
+///     .tasks(TaskTypeId::new(0), 5)
+///     .tasks(TaskTypeId::new(1), 3)
+///     .build()?;
+/// assert_eq!(job.total_tasks(), 8);
+/// # Ok::<(), rit_model::ModelError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct JobBuilder {
+    counts: Vec<u64>,
+}
+
+impl JobBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` tasks of `task_type`, growing the type range if needed.
+    #[must_use]
+    pub fn tasks(mut self, task_type: TaskTypeId, count: u64) -> Self {
+        if task_type.index() >= self.counts.len() {
+            self.counts.resize(task_type.index() + 1, 0);
+        }
+        self.counts[task_type.index()] += count;
+        self
+    }
+
+    /// Finalizes the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyJob`] if no type was ever mentioned.
+    pub fn build(self) -> Result<Job, ModelError> {
+        Job::from_counts(self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_rejects_empty() {
+        assert_eq!(Job::from_counts(vec![]), Err(ModelError::EmptyJob));
+    }
+
+    #[test]
+    fn uniform_job_matches_paper_setup() {
+        let job = Job::uniform(10, 5000).unwrap();
+        assert_eq!(job.num_types(), 10);
+        assert_eq!(job.total_tasks(), 50_000);
+        for t in job.types() {
+            assert_eq!(job.tasks_of(t), 5000);
+        }
+    }
+
+    #[test]
+    fn paper_example_multiset() {
+        // J = {τ₁, τ₂, τ₃, τ₃} from §3-A (0-based here).
+        let job: Job = [0u32, 1, 2, 2].into_iter().map(TaskTypeId::new).collect();
+        assert_eq!(job.num_types(), 3);
+        assert_eq!(job.counts(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn tasks_of_out_of_range_is_zero() {
+        let job = Job::uniform(2, 3).unwrap();
+        assert_eq!(job.tasks_of(TaskTypeId::new(99)), 0);
+        assert!(!job.contains_type(TaskTypeId::new(2)));
+        assert!(job.contains_type(TaskTypeId::new(1)));
+    }
+
+    #[test]
+    fn trivial_job_detection() {
+        assert!(Job::from_counts(vec![0, 0]).unwrap().is_trivial());
+        assert!(!Job::from_counts(vec![0, 1]).unwrap().is_trivial());
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut job = Job::uniform(1, 1).unwrap();
+        job.extend([TaskTypeId::new(0), TaskTypeId::new(3)]);
+        assert_eq!(job.counts(), &[2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn builder_accumulates_same_type() {
+        let job = JobBuilder::new()
+            .tasks(TaskTypeId::new(1), 2)
+            .tasks(TaskTypeId::new(1), 3)
+            .build()
+            .unwrap();
+        assert_eq!(job.tasks_of(TaskTypeId::new(1)), 5);
+        assert_eq!(job.tasks_of(TaskTypeId::new(0)), 0);
+    }
+
+    #[test]
+    fn builder_empty_fails() {
+        assert_eq!(JobBuilder::new().build(), Err(ModelError::EmptyJob));
+    }
+
+    #[test]
+    fn display_lists_types() {
+        let job = Job::from_counts(vec![1, 2]).unwrap();
+        assert_eq!(job.to_string(), "J{τ0×1, τ1×2}");
+    }
+
+    #[test]
+    fn from_iter_empty_yields_single_empty_type() {
+        let job: Job = std::iter::empty::<TaskTypeId>().collect();
+        assert_eq!(job.num_types(), 1);
+        assert!(job.is_trivial());
+    }
+}

@@ -1,0 +1,50 @@
+//! Crowdsensing domain model for the RIT mechanism.
+//!
+//! This crate defines the vocabulary types shared by every other crate in the
+//! workspace, mirroring Section 3-A of *"Robust Incentive Tree Design for
+//! Mobile Crowdsensing"* (Zhang, Xue, Yu, Yang, Tang — ICDCS 2017):
+//!
+//! * a sensing [`Job`] `J`, described as a multi-subset of `m` task types
+//!   `τ₁ … τ_m` (each type groups the tasks of one geographic area, each task
+//!   one point of interest);
+//! * crowdsensing users, each with a *private* [`UserProfile`] — a task type
+//!   `tⱼ`, a capacity `Kⱼ` (the most tasks the user can physically complete)
+//!   and a unit cost `cⱼ`;
+//! * sealed-bid [`Ask`]s `(tⱼ, kⱼ, aⱼ)` submitted to the platform, where
+//!   `kⱼ ≤ Kⱼ` is the claimed quantity and `aⱼ` the claimed unit price;
+//! * the §7-A synthetic [`workload`] distributions used by the paper's
+//!   evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use rit_model::{Job, TaskTypeId, UserProfile};
+//!
+//! // A job needing 1 task of type τ₀ and 2 tasks of type τ₁.
+//! let job = Job::from_counts(vec![1, 2])?;
+//! assert_eq!(job.num_types(), 2);
+//! assert_eq!(job.total_tasks(), 3);
+//!
+//! // A user able to complete up to 3 tasks of type τ₁ at unit cost 2.5.
+//! let user = UserProfile::new(TaskTypeId::new(1), 3, 2.5)?;
+//! let ask = user.truthful_ask();
+//! assert_eq!(ask.quantity(), 3);
+//! # Ok::<(), rit_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ask;
+pub mod distributions;
+mod error;
+mod ids;
+mod job;
+mod user;
+pub mod workload;
+
+pub use ask::{Ask, AskProfile};
+pub use error::ModelError;
+pub use ids::{TaskTypeId, UserId};
+pub use job::{Job, JobBuilder};
+pub use user::{Population, UserProfile};

@@ -1,0 +1,337 @@
+//! Private user profiles and populations.
+
+use std::fmt;
+
+use crate::{Ask, ModelError, TaskTypeId};
+
+/// The private type/capacity/cost profile of a crowdsensing user `Pⱼ`
+/// (paper §3-A).
+///
+/// * `task_type` — the one area `tⱼ` the user can sense during the job's time
+///   window;
+/// * `capacity` — `Kⱼ ≥ 1`, the true maximum number of tasks the user can
+///   complete;
+/// * `unit_cost` — `cⱼ > 0`, the true cost (battery, time, privacy) of
+///   completing one task.
+///
+/// The profile is private to the user; the platform only ever sees the
+/// submitted [`Ask`]. [`UserProfile::truthful_ask`] produces the honest
+/// revelation `(tⱼ, Kⱼ, cⱼ)` that RIT incentivizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UserProfile {
+    task_type: TaskTypeId,
+    capacity: u64,
+    unit_cost: f64,
+}
+
+impl UserProfile {
+    /// Creates a validated profile.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ZeroQuantity`] if `capacity == 0`;
+    /// * [`ModelError::NonPositivePrice`] if `unit_cost` is not positive and
+    ///   finite.
+    pub fn new(task_type: TaskTypeId, capacity: u64, unit_cost: f64) -> Result<Self, ModelError> {
+        if capacity == 0 {
+            return Err(ModelError::ZeroQuantity);
+        }
+        if !(unit_cost.is_finite() && unit_cost > 0.0) {
+            return Err(ModelError::NonPositivePrice { value: unit_cost });
+        }
+        Ok(Self {
+            task_type,
+            capacity,
+            unit_cost,
+        })
+    }
+
+    /// The user's task type `tⱼ`.
+    #[must_use]
+    pub const fn task_type(&self) -> TaskTypeId {
+        self.task_type
+    }
+
+    /// The true capacity `Kⱼ`.
+    #[must_use]
+    pub const fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The true unit cost `cⱼ`.
+    #[must_use]
+    pub const fn unit_cost(&self) -> f64 {
+        self.unit_cost
+    }
+
+    /// The truthful ask `(tⱼ, Kⱼ, cⱼ)`.
+    #[must_use]
+    pub fn truthful_ask(&self) -> Ask {
+        Ask::new(self.task_type, self.capacity, self.unit_cost)
+            .expect("profile invariants imply a valid ask")
+    }
+
+    /// An ask with the true type and capacity but a deviating unit price —
+    /// the untruthful-bidding deviation studied in Fig 9.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonPositivePrice`] if `unit_price` is invalid.
+    pub fn ask_with_price(&self, unit_price: f64) -> Result<Ask, ModelError> {
+        Ask::new(self.task_type, self.capacity, unit_price)
+    }
+
+    /// Validates that `ask` does not exceed this user's physical capability:
+    /// same type and `kⱼ ≤ Kⱼ` (the paper assumes users cannot claim more
+    /// than they can deliver).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::TypeOutOfRange`] is **not** used here; a mismatched
+    ///   type is reported as [`ModelError::QuantityExceedsCapacity`] with a
+    ///   zero effective capacity, since a user has no capacity outside its
+    ///   own type.
+    pub fn check_ask(&self, ask: &Ask) -> Result<(), ModelError> {
+        let effective_capacity = if ask.task_type() == self.task_type {
+            self.capacity
+        } else {
+            0
+        };
+        if ask.quantity() > effective_capacity {
+            return Err(ModelError::QuantityExceedsCapacity {
+                quantity: ask.quantity(),
+                capacity: effective_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// The user's quasi-linear utility: `payment − tasks_completed · cⱼ`
+    /// (paper Eq. for `Uⱼ`).
+    #[must_use]
+    pub fn utility(&self, payment: f64, tasks_completed: u64) -> f64 {
+        payment - tasks_completed as f64 * self.unit_cost
+    }
+}
+
+impl fmt::Display for UserProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "user(type={}, K={}, c={})",
+            self.task_type, self.capacity, self.unit_cost
+        )
+    }
+}
+
+/// A population of crowdsensing users, indexed by [`crate::UserId`].
+///
+/// ```
+/// use rit_model::{Population, TaskTypeId, UserProfile};
+///
+/// let pop: Population = vec![
+///     UserProfile::new(TaskTypeId::new(0), 2, 1.0)?,
+///     UserProfile::new(TaskTypeId::new(1), 5, 2.0)?,
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert_eq!(pop.len(), 2);
+/// assert_eq!(pop.k_max(), 5);
+/// # Ok::<(), rit_model::ModelError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Population {
+    users: Vec<UserProfile>,
+}
+
+impl Population {
+    /// Creates an empty population.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a population from a vector of profiles (user-id order).
+    #[must_use]
+    pub fn from_vec(users: Vec<UserProfile>) -> Self {
+        Self { users }
+    }
+
+    /// Number of users `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the population is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The profile at `index`, if present.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&UserProfile> {
+        self.users.get(index)
+    }
+
+    /// Appends a user, returning its index.
+    pub fn push(&mut self, user: UserProfile) -> usize {
+        self.users.push(user);
+        self.users.len() - 1
+    }
+
+    /// Iterates over profiles in user-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
+        self.users.iter()
+    }
+
+    /// The profiles as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// `K_max = max_j Kⱼ` (0 for an empty population), the coalition-size
+    /// bound used throughout the paper: a user with capacity `Kⱼ` can create
+    /// at most `Kⱼ` fake identities, each claiming at least one task.
+    #[must_use]
+    pub fn k_max(&self) -> u64 {
+        self.users
+            .iter()
+            .map(UserProfile::capacity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total true capacity available for one task type:
+    /// `Σ{Kⱼ : tⱼ = τ}`.
+    #[must_use]
+    pub fn capacity_of_type(&self, task_type: TaskTypeId) -> u64 {
+        self.users
+            .iter()
+            .filter(|u| u.task_type() == task_type)
+            .map(UserProfile::capacity)
+            .sum()
+    }
+
+    /// The truthful ask profile `(tⱼ, Kⱼ, cⱼ)` for every user.
+    #[must_use]
+    pub fn truthful_asks(&self) -> crate::AskProfile {
+        self.users.iter().map(UserProfile::truthful_ask).collect()
+    }
+}
+
+impl std::ops::Index<usize> for Population {
+    type Output = UserProfile;
+
+    fn index(&self, index: usize) -> &UserProfile {
+        &self.users[index]
+    }
+}
+
+impl FromIterator<UserProfile> for Population {
+    fn from_iter<I: IntoIterator<Item = UserProfile>>(iter: I) -> Self {
+        Self {
+            users: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<UserProfile> for Population {
+    fn extend<I: IntoIterator<Item = UserProfile>>(&mut self, iter: I) {
+        self.users.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Population {
+    type Item = &'a UserProfile;
+    type IntoIter = std::slice::Iter<'a, UserProfile>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.users.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskTypeId {
+        TaskTypeId::new(i)
+    }
+
+    #[test]
+    fn profile_validates() {
+        assert!(UserProfile::new(t(0), 0, 1.0).is_err());
+        assert!(UserProfile::new(t(0), 1, 0.0).is_err());
+        assert!(UserProfile::new(t(0), 1, f64::NAN).is_err());
+        assert!(UserProfile::new(t(0), 1, 0.5).is_ok());
+    }
+
+    #[test]
+    fn truthful_ask_reveals_profile() {
+        let u = UserProfile::new(t(3), 7, 2.25).unwrap();
+        let a = u.truthful_ask();
+        assert_eq!(a.task_type(), t(3));
+        assert_eq!(a.quantity(), 7);
+        assert_eq!(a.unit_price(), 2.25);
+    }
+
+    #[test]
+    fn check_ask_enforces_capability() {
+        let u = UserProfile::new(t(0), 3, 1.0).unwrap();
+        assert!(u.check_ask(&Ask::new(t(0), 3, 9.0).unwrap()).is_ok());
+        assert!(u.check_ask(&Ask::new(t(0), 4, 9.0).unwrap()).is_err());
+        // Wrong type: no capacity at all.
+        assert!(u.check_ask(&Ask::new(t(1), 1, 9.0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn utility_is_quasilinear() {
+        let u = UserProfile::new(t(0), 5, 2.0).unwrap();
+        assert_eq!(u.utility(10.0, 3), 4.0);
+        assert_eq!(u.utility(0.0, 0), 0.0);
+        assert!(u.utility(1.0, 3) < 0.0);
+    }
+
+    #[test]
+    fn population_k_max_and_type_capacity() {
+        let pop: Population = vec![
+            UserProfile::new(t(0), 2, 1.0).unwrap(),
+            UserProfile::new(t(1), 5, 2.0).unwrap(),
+            UserProfile::new(t(0), 3, 3.0).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(pop.k_max(), 5);
+        assert_eq!(pop.capacity_of_type(t(0)), 5);
+        assert_eq!(pop.capacity_of_type(t(1)), 5);
+        assert_eq!(pop.capacity_of_type(t(2)), 0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let pop = Population::new();
+        assert!(pop.is_empty());
+        assert_eq!(pop.k_max(), 0);
+        assert!(pop.get(0).is_none());
+        assert!(pop.truthful_asks().is_empty());
+    }
+
+    #[test]
+    fn truthful_asks_align_with_users() {
+        let mut pop = Population::new();
+        let idx = pop.push(UserProfile::new(t(1), 4, 1.5).unwrap());
+        assert_eq!(idx, 0);
+        let asks = pop.truthful_asks();
+        assert_eq!(asks.len(), 1);
+        assert_eq!(asks[0].task_type(), t(1));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let u = UserProfile::new(t(0), 5, 2.0).unwrap();
+        assert_eq!(u.to_string(), "user(type=τ0, K=5, c=2)");
+    }
+}

@@ -1,0 +1,229 @@
+//! Synthetic workload generation matching the paper's §7-A simulation setup.
+//!
+//! The evaluation in the paper draws, for each user `Pⱼ`:
+//!
+//! * the task type `tⱼ` uniformly among the `m = 10` types,
+//! * the capacity `kⱼ` uniformly over `(0, 20]` (interpreted here as the
+//!   integers `1 ..= 20`, since tasks are indivisible),
+//! * the unit cost `cⱼ = aⱼ` uniformly over `(0, 10]`.
+//!
+//! [`WorkloadConfig`] captures these parameters; [`WorkloadConfig::sample_population`]
+//! draws a [`Population`] from any [`rand::Rng`]. All randomness flows through
+//! caller-supplied RNGs so experiments stay reproducible from a seed.
+
+use rand::Rng;
+
+use crate::{ModelError, Population, TaskTypeId, UserProfile};
+
+/// Parameters of the §7-A user-population distribution.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rit_model::workload::WorkloadConfig;
+///
+/// let config = WorkloadConfig::paper();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let pop = config.sample_population(1000, &mut rng)?;
+/// assert_eq!(pop.len(), 1000);
+/// assert!(pop.k_max() <= 20);
+/// # Ok::<(), rit_model::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of task types `m` (types are drawn uniformly).
+    pub num_types: usize,
+    /// Maximum capacity: `Kⱼ ~ U{1 ..= capacity_max}`.
+    pub capacity_max: u64,
+    /// Maximum unit cost: `cⱼ ~ U(0, cost_max]`.
+    pub cost_max: f64,
+}
+
+impl WorkloadConfig {
+    /// The exact configuration of the paper's evaluation:
+    /// `m = 10`, `Kⱼ ~ U{1..20}`, `cⱼ ~ U(0, 10]`.
+    #[must_use]
+    pub const fn paper() -> Self {
+        Self {
+            num_types: 10,
+            capacity_max: 20,
+            cost_max: 10.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyJob`] if `num_types == 0`;
+    /// * [`ModelError::ZeroQuantity`] if `capacity_max == 0`;
+    /// * [`ModelError::NonPositivePrice`] if `cost_max` is not positive and
+    ///   finite.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.num_types == 0 {
+            return Err(ModelError::EmptyJob);
+        }
+        if self.capacity_max == 0 {
+            return Err(ModelError::ZeroQuantity);
+        }
+        if !(self.cost_max.is_finite() && self.cost_max > 0.0) {
+            return Err(ModelError::NonPositivePrice {
+                value: self.cost_max,
+            });
+        }
+        Ok(())
+    }
+
+    /// Draws a single user profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors; a valid configuration
+    /// always produces a valid profile.
+    pub fn sample_user<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<UserProfile, ModelError> {
+        self.validate()?;
+        let task_type = TaskTypeId::new(rng.gen_range(0..self.num_types as u32));
+        let capacity = rng.gen_range(1..=self.capacity_max);
+        // U(0, cost_max]: reject exact zero draws (probability ~0, but the
+        // paper's support excludes 0 and Ask/UserProfile require positivity).
+        let unit_cost = loop {
+            let c = rng.gen_range(0.0..self.cost_max) + f64::EPSILON * self.cost_max;
+            if c > 0.0 && c <= self.cost_max {
+                break c;
+            }
+        };
+        UserProfile::new(task_type, capacity, unit_cost)
+    }
+
+    /// Draws a population of `n` users.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn sample_population<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Population, ModelError> {
+        self.validate()?;
+        let mut users = Vec::with_capacity(n);
+        for _ in 0..n {
+            users.push(self.sample_user(rng)?);
+        }
+        Ok(Population::from_vec(users))
+    }
+}
+
+impl Default for WorkloadConfig {
+    /// Defaults to the paper's configuration ([`WorkloadConfig::paper`]).
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Draws per-type task counts `mᵢ ~ U{lo ..= hi}` — the Fig 9 job shape
+/// (`mᵢ` uniformly distributed over `(100, 500]`).
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyJob`] if `num_types == 0`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn sample_uniform_job<R: Rng + ?Sized>(
+    num_types: usize,
+    lo: u64,
+    hi: u64,
+    rng: &mut R,
+) -> Result<crate::Job, ModelError> {
+    assert!(lo <= hi, "empty task-count range {lo}..={hi}");
+    let counts = (0..num_types).map(|_| rng.gen_range(lo..=hi)).collect();
+    crate::Job::from_counts(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_is_valid() {
+        WorkloadConfig::paper().validate().unwrap();
+        assert_eq!(WorkloadConfig::default(), WorkloadConfig::paper());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = WorkloadConfig::paper();
+        c.num_types = 0;
+        assert!(c.validate().is_err());
+        let mut c = WorkloadConfig::paper();
+        c.capacity_max = 0;
+        assert!(c.validate().is_err());
+        let mut c = WorkloadConfig::paper();
+        c.cost_max = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn samples_respect_support() {
+        let config = WorkloadConfig::paper();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let pop = config.sample_population(5000, &mut rng).unwrap();
+        assert_eq!(pop.len(), 5000);
+        for u in pop.iter() {
+            assert!(u.task_type().index() < 10);
+            assert!((1..=20).contains(&u.capacity()));
+            assert!(u.unit_cost() > 0.0 && u.unit_cost() <= 10.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let config = WorkloadConfig::paper();
+        let a = config
+            .sample_population(100, &mut SmallRng::seed_from_u64(1))
+            .unwrap();
+        let b = config
+            .sample_population(100, &mut SmallRng::seed_from_u64(1))
+            .unwrap();
+        let c = config
+            .sample_population(100, &mut SmallRng::seed_from_u64(2))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_types_eventually_sampled() {
+        let config = WorkloadConfig::paper();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pop = config.sample_population(2000, &mut rng).unwrap();
+        let mut seen = [false; 10];
+        for u in pop.iter() {
+            seen[u.task_type().index()] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "2000 draws should hit all 10 types"
+        );
+    }
+
+    #[test]
+    fn uniform_job_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let job = sample_uniform_job(10, 100, 500, &mut rng).unwrap();
+        assert_eq!(job.num_types(), 10);
+        for (_, c) in job.iter() {
+            assert!((100..=500).contains(&c));
+        }
+    }
+
+    #[test]
+    fn uniform_job_degenerate_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let job = sample_uniform_job(3, 7, 7, &mut rng).unwrap();
+        assert_eq!(job.counts(), &[7, 7, 7]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the domain model.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_model::distributions::{CostModel, HeterogeneousWorkload};
+use rit_model::workload::WorkloadConfig;
+use rit_model::{Ask, AskProfile, Job, TaskTypeId, UserProfile};
+
+proptest! {
+    #[test]
+    fn job_from_multiset_counts_correctly(types in prop::collection::vec(0u32..16, 0..200)) {
+        let job: Job = types.iter().copied().map(TaskTypeId::new).collect();
+        // Total tasks equals the multiset size.
+        prop_assert_eq!(job.total_tasks(), types.len() as u64);
+        // Each type's count matches a direct tally.
+        for t in 0..16u32 {
+            let expected = types.iter().filter(|&&x| x == t).count() as u64;
+            prop_assert_eq!(job.tasks_of(TaskTypeId::new(t)), expected);
+        }
+        // num_types covers the largest index mentioned.
+        if let Some(&max) = types.iter().max() {
+            prop_assert_eq!(job.num_types(), max as usize + 1);
+        }
+    }
+
+    #[test]
+    fn job_iter_round_trips_counts(counts in prop::collection::vec(0u64..50, 1..30)) {
+        let job = Job::from_counts(counts.clone()).unwrap();
+        let collected: Vec<u64> = job.iter().map(|(_, c)| c).collect();
+        prop_assert_eq!(collected, counts.clone());
+        prop_assert_eq!(job.types().count(), counts.len());
+    }
+
+    #[test]
+    fn ask_constructors_accept_exactly_valid_inputs(
+        t in 0u32..100,
+        quantity in 0u64..100,
+        price in -10.0f64..10.0,
+    ) {
+        let result = Ask::new(TaskTypeId::new(t), quantity, price);
+        let should_be_valid = quantity > 0 && price > 0.0 && price.is_finite();
+        prop_assert_eq!(result.is_ok(), should_be_valid);
+    }
+
+    #[test]
+    fn truthful_ask_is_always_capacity_consistent(
+        t in 0u32..10,
+        capacity in 1u64..100,
+        cost in 0.001f64..100.0,
+    ) {
+        let user = UserProfile::new(TaskTypeId::new(t), capacity, cost).unwrap();
+        let ask = user.truthful_ask();
+        prop_assert!(user.check_ask(&ask).is_ok());
+        // Any quantity above the capacity must be rejected.
+        let over = ask.with_quantity(capacity + 1).unwrap();
+        prop_assert!(user.check_ask(&over).is_err());
+    }
+
+    #[test]
+    fn utility_is_linear_in_payment_and_tasks(
+        cost in 0.001f64..50.0,
+        payment in 0.0f64..500.0,
+        tasks in 0u64..20,
+    ) {
+        let user = UserProfile::new(TaskTypeId::new(0), 20, cost).unwrap();
+        let u = user.utility(payment, tasks);
+        prop_assert!((u - (payment - tasks as f64 * cost)).abs() < 1e-12);
+        // More payment, same tasks ⇒ more utility.
+        prop_assert!(user.utility(payment + 1.0, tasks) > u);
+    }
+
+    #[test]
+    fn profile_aggregates_match_naive_tally(
+        specs in prop::collection::vec((0u32..5, 1u64..10, 0.01f64..10.0), 0..50),
+    ) {
+        let profile: AskProfile = specs
+            .iter()
+            .map(|&(t, k, a)| Ask::new(TaskTypeId::new(t), k, a).unwrap())
+            .collect();
+        for t in 0..5u32 {
+            let expected: u64 = specs.iter().filter(|s| s.0 == t).map(|s| s.1).sum();
+            prop_assert_eq!(profile.claimed_quantity_of_type(TaskTypeId::new(t)), expected);
+        }
+        let expected_max = specs.iter().map(|s| s.1).max().unwrap_or(0);
+        prop_assert_eq!(profile.max_quantity(), expected_max);
+    }
+
+    #[test]
+    fn cost_models_always_sample_valid_costs(
+        seed in any::<u64>(),
+        mean in 0.1f64..20.0,
+        cap in 1.0f64..50.0,
+        p_high in 0.0f64..=1.0,
+        sigma in 0.0f64..2.0,
+    ) {
+        let models = [
+            CostModel::Uniform { max: cap },
+            CostModel::Exponential { mean, cap },
+            CostModel::Bimodal { low: 1.0, high: 1.0 + mean, p_high, jitter: 0.5 },
+            CostModel::LogNormal { median: mean, sigma, cap },
+        ];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for model in models {
+            prop_assert!(model.validate().is_ok(), "{model:?}");
+            for _ in 0..50 {
+                let c = model.sample(&mut rng);
+                prop_assert!(c.is_finite() && c > 0.0, "{model:?} gave {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_populations_always_ask_validly(
+        seed in any::<u64>(),
+        n in 1usize..100,
+        types in 1usize..8,
+        k in 1u64..30,
+    ) {
+        let workload = HeterogeneousWorkload {
+            num_types: types,
+            capacity_max: k,
+            cost: CostModel::Exponential { mean: 3.0, cap: 12.0 },
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pop = workload.sample_population(n, &mut rng).unwrap();
+        prop_assert_eq!(pop.len(), n);
+        for u in pop.iter() {
+            prop_assert!(u.task_type().index() < types);
+            prop_assert!(u.capacity() >= 1 && u.capacity() <= k);
+            prop_assert!(u.check_ask(&u.truthful_ask()).is_ok());
+        }
+    }
+
+    #[test]
+    fn workload_samples_always_valid(seed in any::<u64>(), n in 1usize..200) {
+        let config = WorkloadConfig::paper();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pop = config.sample_population(n, &mut rng).unwrap();
+        prop_assert_eq!(pop.len(), n);
+        prop_assert!(pop.k_max() >= 1 && pop.k_max() <= 20);
+        for u in pop.iter() {
+            prop_assert!(u.check_ask(&u.truthful_ask()).is_ok());
+        }
+    }
+}

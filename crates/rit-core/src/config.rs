@@ -1,0 +1,160 @@
+//! Configuration of the RIT mechanism.
+
+use rit_auction::bounds::{LogBase, WorstCaseQ};
+use rit_auction::cra::SelectionRule;
+
+use crate::RitError;
+
+/// How many CRA rounds the auction phase may run per task type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RoundLimit {
+    /// The paper's budget `max = ⌊log_β η⌋` (Algorithm 3, Line 7), with the
+    /// per-round bound `β` evaluated at the `q` given by [`WorstCaseQ`].
+    /// Running under this limit makes the mechanism `(K_max, H)`-truthful
+    /// (Lemma 6.3); if the budget is unattainable (`β ≤ 0`),
+    /// [`crate::Rit::run`] fails with [`RitError::GuaranteeInfeasible`].
+    Paper(WorstCaseQ),
+    /// A fixed per-type round cap, ignoring the truthfulness target. Useful
+    /// for ablations.
+    Fixed(u32),
+    /// Run until the type is fully allocated, a hard cap is hit, or
+    /// `max_stall` consecutive rounds allocate nothing. **No truthfulness
+    /// guarantee** — this is the best-effort mode needed to reproduce the
+    /// paper's Fig 9 setting, whose job sizes are too small for any positive
+    /// paper budget (see DESIGN.md).
+    UntilStall {
+        /// Hard cap on total rounds per type.
+        max_rounds: u32,
+        /// Stop after this many consecutive zero-allocation rounds.
+        max_stall: u32,
+    },
+}
+
+impl RoundLimit {
+    /// The best-effort default: up to 256 rounds, stopping after 8
+    /// consecutive empty rounds.
+    #[must_use]
+    pub const fn until_stall() -> Self {
+        Self::UntilStall {
+            max_rounds: 256,
+            max_stall: 8,
+        }
+    }
+}
+
+impl Default for RoundLimit {
+    /// Defaults to the paper budget with the first-round bound
+    /// (`q = mᵢ`) — the reading that reproduces the paper's evaluation
+    /// scales; see [`WorstCaseQ`] and DESIGN.md.
+    fn default() -> Self {
+        Self::Paper(WorstCaseQ::default())
+    }
+}
+
+/// Configuration of [`crate::Rit`].
+///
+/// ```
+/// use rit_core::RitConfig;
+///
+/// let config = RitConfig { h: 0.9, ..RitConfig::default() };
+/// assert!(config.validate().is_ok());
+/// assert!(RitConfig { h: 1.0, ..RitConfig::default() }.validate().is_err());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RitConfig {
+    /// The target probability `H ∈ (0, 1)` with which the mechanism is
+    /// truthful and sybil-proof (paper default: 0.8).
+    pub h: f64,
+    /// Base of the `log` in the Lemma 6.2 bound (default: base 10, matching
+    /// the paper's Remark 6.1 numerics).
+    pub log_base: LogBase,
+    /// Per-type round budget policy.
+    pub round_limit: RoundLimit,
+    /// Coalition-size bound `K_max`. `None` (default) uses the largest
+    /// claimed quantity in the submitted asks — the platform's only
+    /// observable proxy for the largest true capacity. Set explicitly when
+    /// the platform has outside knowledge of device limits.
+    pub k_max_override: Option<u64>,
+    /// How CRA selects winners among below-threshold asks. The default is
+    /// the paper's rank rule (Line 7); [`SelectionRule::UniformEligible`]
+    /// closes the residual bid-shading channel measured by the
+    /// `bound_check` experiment (see EXPERIMENTS.md).
+    pub selection_rule: SelectionRule,
+}
+
+impl RitConfig {
+    /// The paper's evaluation configuration: `H = 0.8`, base-10 log,
+    /// default round budget.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Checks that `H ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RitError::InvalidProbability`] otherwise.
+    pub fn validate(&self) -> Result<(), RitError> {
+        if !(self.h > 0.0 && self.h < 1.0) {
+            return Err(RitError::InvalidProbability { h: self.h });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RitConfig {
+    fn default() -> Self {
+        Self {
+            h: 0.8,
+            log_base: LogBase::default(),
+            round_limit: RoundLimit::default(),
+            k_max_override: None,
+            selection_rule: SelectionRule::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = RitConfig::default();
+        assert_eq!(c.h, 0.8);
+        assert_eq!(c.log_base, LogBase::Ten);
+        assert_eq!(c.round_limit, RoundLimit::Paper(WorstCaseQ::FirstRound));
+        assert_eq!(c.k_max_override, None);
+        assert_eq!(c.selection_rule, SelectionRule::SmallestFirst);
+        assert_eq!(c, RitConfig::paper());
+    }
+
+    #[test]
+    fn validate_h_bounds() {
+        for bad in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+            let c = RitConfig {
+                h: bad,
+                ..RitConfig::default()
+            };
+            assert!(c.validate().is_err(), "H = {bad} should be rejected");
+        }
+        assert!(RitConfig {
+            h: 0.99,
+            ..RitConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn until_stall_constants() {
+        assert_eq!(
+            RoundLimit::until_stall(),
+            RoundLimit::UntilStall {
+                max_rounds: 256,
+                max_stall: 8
+            }
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The MIT DARPA Network Challenge referral scheme (paper §1).
+//!
+//! The 2009 strategy that recruited ~4,400 participants in nine hours: a
+//! balloon finder receives `W` ($2,000), its inviter `W/2`, the inviter's
+//! inviter `W/4`, and so on up the referral chain. The paper's introduction
+//! uses it as the canonical incentive tree that is **not sybil-proof**: Bob
+//! the finder can split into Bob₁ (finder) and Bob₂ (Bob₁'s "inviter") to
+//! collect `W + W/2` while demoting honest Alice from `W/2` to `W/4`.
+//!
+//! This module implements the scheme so that examples and benchmarks can
+//! contrast it with RIT's geometric-in-*absolute-depth* weights, which kill
+//! exactly this attack (Lemma 6.4).
+
+use rit_tree::IncentiveTree;
+
+/// Computes the referral payments: each user receives its own reward plus
+/// `reward / 2^distance` for every descendant's reward.
+///
+/// `rewards[j]` is the direct reward of tree node `j + 1` (e.g. `W` for each
+/// balloon found by that user, 0 otherwise). Runs in O(N) via a post-order
+/// accumulation: `S(v) = reward_v + ½·Σ_children S(c)` and `p_v = S(v)`.
+///
+/// ```
+/// use rit_core::darpa::referral_payments;
+/// use rit_tree::generate;
+///
+/// // root ─ Alice ─ Bob (found the $2,000 balloon).
+/// let tree = generate::path(2);
+/// assert_eq!(referral_payments(&tree, &[0.0, 2000.0]), vec![1000.0, 2000.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rewards.len() != tree.num_users()`.
+#[must_use]
+pub fn referral_payments(tree: &IncentiveTree, rewards: &[f64]) -> Vec<f64> {
+    let n = tree.num_users();
+    assert_eq!(rewards.len(), n, "rewards must align with tree users");
+    let mut s = rewards.to_vec();
+    // Reverse preorder: every child is processed before its parent.
+    for &node in tree.preorder().iter().rev() {
+        let Some(u) = node.user_index() else { continue };
+        if let Some(parent) = tree.parent(node) {
+            if let Some(pu) = parent.user_index() {
+                s[pu] += 0.5 * s[u];
+            }
+        }
+    }
+    s
+}
+
+/// Total payout of the scheme — the platform's liability.
+#[must_use]
+pub fn total_payout(tree: &IncentiveTree, rewards: &[f64]) -> f64 {
+    referral_payments(tree, rewards).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rit_tree::{generate, IncentiveTree, NodeId};
+
+    #[test]
+    fn bob_and_alice_paper_example() {
+        // root ─ Alice ─ Bob(finder, $2000): Bob $2000, Alice $1000.
+        let tree = generate::path(2);
+        let p = referral_payments(&tree, &[0.0, 2000.0]);
+        assert_eq!(p, vec![1000.0, 2000.0]);
+    }
+
+    #[test]
+    fn bob_sybil_attack_pays_3000() {
+        // root ─ Alice ─ Bob₂ ─ Bob₁(finder): Bob₁ $2000, Bob₂ $1000,
+        // Alice $500 — the §1 story, verbatim.
+        let tree = generate::path(3);
+        let p = referral_payments(&tree, &[0.0, 0.0, 2000.0]);
+        assert_eq!(p, vec![500.0, 1000.0, 2000.0]);
+        // Bob's identities: users 1 and 2 → $3000 total vs $2000 honest.
+        assert_eq!(p[1] + p[2], 3000.0);
+    }
+
+    #[test]
+    fn branching_chains_sum_independently() {
+        // root ─ P1 ─ {P2(finder 8), P3(finder 4)}.
+        let tree =
+            IncentiveTree::from_parents(&[NodeId::ROOT, NodeId::new(1), NodeId::new(1)]).unwrap();
+        let p = referral_payments(&tree, &[0.0, 8.0, 4.0]);
+        assert_eq!(p, vec![6.0, 8.0, 4.0]);
+    }
+
+    #[test]
+    fn total_payout_bounded_by_twice_rewards() {
+        // Geometric halving: total ≤ 2 × direct rewards.
+        let mut rng = rand::rngs::mock::StepRng::new(3, 7);
+        let tree = generate::uniform_recursive(300, &mut rng);
+        let rewards: Vec<f64> = (0..300).map(|i| (i % 5) as f64).collect();
+        let total = total_payout(&tree, &rewards);
+        let direct: f64 = rewards.iter().sum();
+        assert!(total >= direct);
+        assert!(total <= 2.0 * direct);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = IncentiveTree::platform_only();
+        assert!(referral_payments(&tree, &[]).is_empty());
+        assert_eq!(total_payout(&tree, &[]), 0.0);
+    }
+}

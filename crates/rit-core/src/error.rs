@@ -1,0 +1,106 @@
+//! Errors of the RIT mechanism.
+
+use std::error::Error;
+use std::fmt;
+
+use rit_model::TaskTypeId;
+use rit_tree::TreeError;
+
+/// Error returned by [`crate::Rit`] and related mechanisms.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RitError {
+    /// `H` was outside the open interval `(0, 1)`.
+    InvalidProbability {
+        /// The offending value.
+        h: f64,
+    },
+    /// The ask vector length does not match the tree's user count.
+    AskCountMismatch {
+        /// Number of asks supplied.
+        asks: usize,
+        /// Number of user nodes in the incentive tree.
+        users: usize,
+    },
+    /// The `(K_max, H)` guarantee is unattainable for a task type: the
+    /// Lemma 6.2 bound is non-positive because the per-type job size is too
+    /// small relative to the coalition bound (`2·K_max ≥ q + mᵢ`). Remark
+    /// 6.1 requires the solicitation to recruit enough users first; choose a
+    /// different [`crate::RoundLimit`] to run best-effort instead.
+    GuaranteeInfeasible {
+        /// The affected task type.
+        task_type: TaskTypeId,
+        /// Tasks requested in that type.
+        tasks: u64,
+        /// The coalition bound `K_max` in effect.
+        k_max: u64,
+    },
+    /// A tree transformation failed.
+    Tree(TreeError),
+}
+
+impl fmt::Display for RitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidProbability { h } => {
+                write!(f, "probability H must lie in (0, 1), got {h}")
+            }
+            Self::AskCountMismatch { asks, users } => {
+                write!(f, "got {asks} asks for an incentive tree with {users} users")
+            }
+            Self::GuaranteeInfeasible {
+                task_type,
+                tasks,
+                k_max,
+            } => write!(
+                f,
+                "type {task_type} with {tasks} tasks cannot be (K_max = {k_max}, H)-truthful: job too small (Remark 6.1 needs 2·K_max < mᵢ)"
+            ),
+            Self::Tree(e) => write!(f, "tree transformation failed: {e}"),
+        }
+    }
+}
+
+impl Error for RitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for RitError {
+    fn from(e: TreeError) -> Self {
+        Self::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            RitError::InvalidProbability { h: 1.5 },
+            RitError::AskCountMismatch { asks: 3, users: 5 },
+            RitError::GuaranteeInfeasible {
+                task_type: TaskTypeId::new(2),
+                tasks: 10,
+                k_max: 20,
+            },
+            RitError::Tree(TreeError::CannotAttackRoot),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tree_error_converts_and_sources() {
+        let e: RitError = TreeError::CannotAttackRoot.into();
+        assert!(e.source().is_some());
+        assert!(RitError::InvalidProbability { h: 0.0 }.source().is_none());
+    }
+}

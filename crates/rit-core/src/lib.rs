@@ -1,0 +1,94 @@
+//! RIT — the Robust Incentive Tree mechanism for mobile crowdsensing.
+//!
+//! This crate is the primary contribution of *"Robust Incentive Tree Design
+//! for Mobile Crowdsensing"* (Zhang, Xue, Yu, Yang, Tang — ICDCS 2017):
+//! an incentive mechanism that pays crowdsensing users for **participation**
+//! (completing sensing tasks, priced by a randomized collusion-resistant
+//! auction) and for **solicitation** (recruiting further users, rewarded
+//! through the incentive tree), while being
+//!
+//! * `(K_max, H)`-**truthful** — no coalition of up to `K_max` identities
+//!   gains from misreporting costs, with probability at least the
+//!   user-chosen `H ∈ (0, 1)` (Theorem 2);
+//! * **sybil-proof** — splitting into fake identities never raises a user's
+//!   total utility (Lemma 6.4 exactly, Theorem 2 jointly with truthfulness);
+//! * **individually rational** (Theorem 1), **computationally efficient**
+//!   (`O(N·|J|)`, Theorem 3), and **solicitation-incentivizing** (Theorem 4).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rit_core::{Rit, RitConfig, RoundLimit};
+//! use rit_model::{Ask, Job, TaskTypeId};
+//! use rit_tree::{IncentiveTreeBuilder, NodeId};
+//!
+//! // One task type needing 2 tasks; three users in a small referral chain.
+//! // (A toy job this small cannot carry the (K_max, H) guarantee — Remark
+//! // 6.1 needs mᵢ ≫ 2·K_max — so we run best-effort; see `RoundLimit`.)
+//! let job = Job::from_counts(vec![2])?;
+//! let mut b = IncentiveTreeBuilder::new();
+//! let p1 = b.add_child(NodeId::ROOT);
+//! let p2 = b.add_child(p1);
+//! let _p3 = b.add_child(p2);
+//! let tree = b.build();
+//!
+//! let t = TaskTypeId::new(0);
+//! let asks = vec![
+//!     Ask::new(t, 2, 2.0)?,
+//!     Ask::new(t, 1, 3.0)?,
+//!     Ask::new(t, 1, 5.0)?,
+//! ];
+//!
+//! let config = RitConfig { round_limit: RoundLimit::until_stall(), ..RitConfig::default() };
+//! let rit = Rit::new(config)?;
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let outcome = rit.run(&job, &tree, &asks, &mut rng)?;
+//! // Either the job completed and every winner is paid at least its ask,
+//! // or nothing is allocated and all payments are zero.
+//! if outcome.completed() {
+//!     assert_eq!(outcome.total_allocated(), 2);
+//! } else {
+//!     assert_eq!(outcome.total_payment(), 0.0);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Module map
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`mechanism`] | Algorithm 3 (auction phase: rounds of CRA per type) |
+//! | [`payment`] | Algorithm 3, Lines 22–28 (payment determination) |
+//! | [`config`] | `H`, log base, round-budget policy |
+//! | [`outcome`] | `x`, `p^A`, `p`, utilities |
+//! | [`trace`] | per-round execution diagnostics of the auction phase |
+//! | [`recruitment`] | Remark 6.1 solicitation thresholds |
+//! | [`probes`] | Monte-Carlo deviation probes with significance reporting |
+//! | [`quality`] | bid-independent quality screening (the paper's deferred direction) |
+//! | [`referral`] | the referral-reward design space + split-resistance screen |
+//! | [`sybil_exec`] | executing §3-B sybil attacks against a scenario |
+//! | [`naive`] | §4 naive auction+tree combination (counterexamples) |
+//! | [`darpa`] | the MIT DARPA Network Challenge referral scheme (§1) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod darpa;
+mod error;
+pub mod mechanism;
+pub mod naive;
+pub mod outcome;
+pub mod payment;
+pub mod probes;
+pub mod quality;
+pub mod recruitment;
+pub mod referral;
+pub mod sybil_exec;
+pub mod trace;
+
+pub use config::{RitConfig, RoundLimit};
+pub use error::RitError;
+pub use mechanism::{AuctionPhaseResult, Rit};
+pub use outcome::RitOutcome;

@@ -1,0 +1,206 @@
+//! The naive auction + incentive-tree combination of §4.
+//!
+//! The paper motivates RIT by showing that gluing an off-the-shelf truthful
+//! auction (the `k`-th lowest price auction \[31\]) onto an off-the-shelf
+//! sybil-proof contribution-based incentive tree (Lv & Moscibroda \[24\],
+//! using auction payments as contributions) produces a mechanism that is
+//! **neither sybil-proof (Fig 2) nor truthful (Fig 3)**. This module
+//! implements that broken combination so both counterexamples are runnable,
+//! and so benchmarks can quantify how much an attacker gains against it
+//! versus against RIT.
+//!
+//! The reward function follows the paper's §4 formula
+//! `pⱼ = 2·p^Aⱼ + ln(1 − p^Aⱼ / Σ_{Pᵢ ∈ subtree(j)} p^Aᵢ)` with the log
+//! term dropped when the subtree has no outside contribution (the formula's
+//! domain edge; our source text is OCR-damaged here — see DESIGN.md — so the
+//! counterexamples are asserted qualitatively, not against the paper's
+//! constants).
+
+use rit_auction::{extract, kth_price};
+use rit_model::{Ask, Job};
+use rit_tree::IncentiveTree;
+
+/// Outcome of the naive combined mechanism.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NaiveOutcome {
+    /// Tasks allocated per user.
+    pub allocation: Vec<u64>,
+    /// Auction payments `p^A` per user.
+    pub auction_payments: Vec<f64>,
+    /// Final (tree-augmented) payments per user.
+    pub payments: Vec<f64>,
+}
+
+impl NaiveOutcome {
+    /// Quasi-linear utility of user `j` at true unit cost `c`.
+    #[must_use]
+    pub fn utility(&self, j: usize, unit_cost: f64) -> f64 {
+        self.payments[j] - self.allocation[j] as f64 * unit_cost
+    }
+}
+
+/// Runs the naive combination: per type, a `(mᵢ+1)`-st lowest price auction
+/// over the extracted unit asks, then the contribution-based tree reward.
+///
+/// Unlike RIT, the naive mechanism happily produces partial allocations —
+/// there is no all-or-nothing completion rule in the §4 strawman.
+///
+/// # Panics
+///
+/// Panics if `asks.len() != tree.num_users()`.
+#[must_use]
+pub fn run(job: &Job, tree: &IncentiveTree, asks: &[Ask]) -> NaiveOutcome {
+    let n = tree.num_users();
+    assert_eq!(asks.len(), n, "asks must align with tree users");
+    let mut allocation = vec![0u64; n];
+    let mut auction_payments = vec![0.0f64; n];
+
+    for (task_type, m_i) in job.iter() {
+        if m_i == 0 {
+            continue;
+        }
+        let alpha = extract::extract(task_type, asks);
+        let out = kth_price::lowest_price_auction(alpha.values(), m_i as usize);
+        let pay = out.payments(alpha.values());
+        for (omega, &payment) in pay.iter().enumerate() {
+            if out.is_winner(omega) {
+                let j = alpha.owner(omega);
+                allocation[j] += 1;
+                auction_payments[j] += payment;
+            }
+        }
+    }
+
+    let payments = tree_reward(tree, &auction_payments);
+    NaiveOutcome {
+        allocation,
+        auction_payments,
+        payments,
+    }
+}
+
+/// The contribution-based incentive-tree reward of §4, with the auction
+/// payment as each user's contribution.
+///
+/// `pⱼ = 2·p^Aⱼ + ln(1 − p^Aⱼ/Sⱼ)` where `Sⱼ` is the subtree contribution
+/// including `j`; when the subtree holds no contribution beyond `j`'s own
+/// (leaf case, log of 0) the reward degrades to the bare `p^Aⱼ`.
+#[must_use]
+pub fn tree_reward(tree: &IncentiveTree, auction_payments: &[f64]) -> Vec<f64> {
+    let n = tree.num_users();
+    assert_eq!(auction_payments.len(), n);
+    // Subtree sums via reverse-preorder accumulation.
+    let mut subtree = auction_payments.to_vec();
+    for &node in tree.preorder().iter().rev() {
+        let Some(u) = node.user_index() else { continue };
+        if let Some(parent) = tree.parent(node) {
+            if let Some(pu) = parent.user_index() {
+                subtree[pu] += subtree[u];
+            }
+        }
+    }
+    (0..n)
+        .map(|j| {
+            let own = auction_payments[j];
+            let s = subtree[j];
+            if own <= 0.0 {
+                // No contribution ⇒ 2·0 + ln(1 − 0) = 0, regardless of descendants.
+                0.0
+            } else if s > own {
+                2.0 * own + (1.0 - own / s).ln()
+            } else {
+                own // domain edge: no outside contribution in the subtree
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rit_model::TaskTypeId;
+    use rit_tree::generate;
+
+    fn t0() -> TaskTypeId {
+        TaskTypeId::new(0)
+    }
+
+    #[test]
+    fn allocates_cheapest_units_per_type() {
+        // Fig 2's truthful profile: P1 (τ0,2,2), P2 (τ0,1,3), P3 (τ0,1,5),
+        // two tasks. P1 wins both at the 3rd price 3 ⇒ p^A₁ = 6.
+        let job = Job::from_counts(vec![2]).unwrap();
+        let tree = generate::path(3);
+        let asks = vec![
+            Ask::new(t0(), 2, 2.0).unwrap(),
+            Ask::new(t0(), 1, 3.0).unwrap(),
+            Ask::new(t0(), 1, 5.0).unwrap(),
+        ];
+        let out = run(&job, &tree, &asks);
+        assert_eq!(out.allocation, vec![2, 0, 0]);
+        assert_eq!(out.auction_payments, vec![6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn tree_reward_leaf_is_bare_payment() {
+        let tree = generate::star(2);
+        let p = tree_reward(&tree, &[4.0, 0.0]);
+        assert_eq!(p, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn tree_reward_with_descendants_exceeds_own() {
+        // P1 contributes 4, its child P2 contributes 4:
+        // p₁ = 2·4 + ln(1 − 4/8) = 8 + ln(½) ≈ 7.307 > 4.
+        let tree = generate::path(2);
+        let p = tree_reward(&tree, &[4.0, 4.0]);
+        assert!((p[0] - (8.0 + 0.5f64.ln())).abs() < 1e-12);
+        assert_eq!(p[1], 4.0);
+    }
+
+    #[test]
+    fn zero_contribution_earns_nothing() {
+        // Even with rich descendants the §4 reward of a zero contributor is 0
+        // (matching the paper's Fig 3 narrative: p^A₁ = 0 ⇒ p₁ = 0).
+        let tree = generate::path(2);
+        let p = tree_reward(&tree, &[0.0, 9.0]);
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn fig3_untruthfulness_qualitative() {
+        // §4-B: four sellers of one type with costs 5, 4, 5, 4; two tasks.
+        // Truthful: P1 loses, utility 0. Underbidding to 4−ε makes P1 win at
+        // a clearing price ≥ its cost... the *auction* alone would leave
+        // utility ≈ 0 − but the tree reward doubles the payment, making the
+        // lie strictly profitable. P2, P3, P4 hang under P1.
+        let job = Job::from_counts(vec![2]).unwrap();
+        let tree = generate::path(4);
+        let costs = [5.0, 4.0, 5.0, 4.0];
+        let truthful: Vec<Ask> = costs
+            .iter()
+            .map(|&c| Ask::new(t0(), 1, c).unwrap())
+            .collect();
+        let honest = run(&job, &tree, &truthful);
+        let honest_utility = honest.utility(0, costs[0]);
+        assert_eq!(honest_utility, 0.0, "truthful P1 loses and earns 0");
+
+        let mut lying = truthful.clone();
+        lying[0] = Ask::new(t0(), 1, 4.0 - 1e-9).unwrap();
+        let dishonest = run(&job, &tree, &lying);
+        let lying_utility = dishonest.utility(0, costs[0]);
+        assert!(
+            lying_utility > honest_utility + 0.5,
+            "underbidding should be strictly profitable, got {lying_utility}"
+        );
+    }
+
+    #[test]
+    fn empty_scenario() {
+        let job = Job::from_counts(vec![1]).unwrap();
+        let tree = rit_tree::IncentiveTree::platform_only();
+        let out = run(&job, &tree, &[]);
+        assert!(out.allocation.is_empty());
+        assert!(out.payments.is_empty());
+    }
+}

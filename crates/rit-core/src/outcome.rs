@@ -1,0 +1,186 @@
+//! The result of running RIT: allocations, auction payments, final payments.
+
+use rit_model::UserProfile;
+
+/// Outcome of [`crate::Rit::run`] (Algorithm 3's `(x, p)` plus diagnostics).
+///
+/// All per-user vectors are indexed by user index (tree node `i + 1` ↔ user
+/// `i`, see [`rit_tree::NodeId::user_index`]).
+///
+/// When the job could **not** be fully allocated within the round budget,
+/// the paper's Line 27 applies: the allocation and final payments are all
+/// zero (no tasks are performed, nobody is paid). The auction-phase
+/// diagnostics (`auction_payments`, `rounds_used`, `unallocated`) still
+/// describe the attempted run so experiments can report completion rates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RitOutcome {
+    pub(crate) completed: bool,
+    pub(crate) allocation: Vec<u64>,
+    pub(crate) auction_payments: Vec<f64>,
+    pub(crate) payments: Vec<f64>,
+    pub(crate) rounds_used: Vec<u32>,
+    pub(crate) unallocated: Vec<u64>,
+}
+
+impl RitOutcome {
+    /// Whether every task of the job was allocated (the mechanism "ran to
+    /// completion"). If false, allocation and payments are all zero.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// The task allocation `x`: `allocation()[j]` tasks of user `j`'s type
+    /// were assigned to user `j`.
+    #[must_use]
+    pub fn allocation(&self) -> &[u64] {
+        &self.allocation
+    }
+
+    /// Total number of allocated tasks `Σⱼ xⱼ`.
+    #[must_use]
+    pub fn total_allocated(&self) -> u64 {
+        self.allocation.iter().sum()
+    }
+
+    /// The auction payments `p^A` (participation component). These are the
+    /// *internal* quantities the payment-determination phase weights into
+    /// the final payments — not what users receive.
+    #[must_use]
+    pub fn auction_payments(&self) -> &[f64] {
+        &self.auction_payments
+    }
+
+    /// The final payments `p`: what the platform actually pays each user
+    /// (auction payment plus solicitation rewards).
+    #[must_use]
+    pub fn payments(&self) -> &[f64] {
+        &self.payments
+    }
+
+    /// The final payment of user `j`.
+    #[must_use]
+    pub fn payment(&self, j: usize) -> f64 {
+        self.payments[j]
+    }
+
+    /// Total platform expenditure `Σⱼ pⱼ`.
+    #[must_use]
+    pub fn total_payment(&self) -> f64 {
+        self.payments.iter().sum()
+    }
+
+    /// Total auction-phase expenditure `Σⱼ p^Aⱼ`.
+    #[must_use]
+    pub fn total_auction_payment(&self) -> f64 {
+        self.auction_payments.iter().sum()
+    }
+
+    /// CRA rounds actually run, per task type.
+    #[must_use]
+    pub fn rounds_used(&self) -> &[u32] {
+        &self.rounds_used
+    }
+
+    /// Tasks left unallocated per type when the auction phase stopped
+    /// (all zeros iff [`RitOutcome::completed`]).
+    #[must_use]
+    pub fn unallocated(&self) -> &[u64] {
+        &self.unallocated
+    }
+
+    /// The quasi-linear utility `Uⱼ = pⱼ − xⱼ·cⱼ` of user `j` given its true
+    /// unit cost.
+    #[must_use]
+    pub fn utility(&self, j: usize, unit_cost: f64) -> f64 {
+        self.payments[j] - self.allocation[j] as f64 * unit_cost
+    }
+
+    /// All utilities, given the true population profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is shorter than the user count.
+    #[must_use]
+    pub fn utilities(&self, profiles: &[UserProfile]) -> Vec<f64> {
+        assert!(
+            profiles.len() >= self.payments.len(),
+            "profiles shorter than payment vector"
+        );
+        (0..self.payments.len())
+            .map(|j| self.utility(j, profiles[j].unit_cost()))
+            .collect()
+    }
+
+    /// The solicitation component of each payment: `pⱼ − p^Aⱼ` (zero when
+    /// the run failed).
+    #[must_use]
+    pub fn solicitation_rewards(&self) -> Vec<f64> {
+        if !self.completed {
+            return vec![0.0; self.payments.len()];
+        }
+        self.payments
+            .iter()
+            .zip(&self.auction_payments)
+            .map(|(&p, &pa)| p - pa)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rit_model::TaskTypeId;
+
+    fn outcome() -> RitOutcome {
+        RitOutcome {
+            completed: true,
+            allocation: vec![2, 0, 1],
+            auction_payments: vec![6.0, 0.0, 4.0],
+            payments: vec![7.0, 2.0, 4.0],
+            rounds_used: vec![1],
+            unallocated: vec![0],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let o = outcome();
+        assert_eq!(o.total_allocated(), 3);
+        assert_eq!(o.total_payment(), 13.0);
+        assert_eq!(o.total_auction_payment(), 10.0);
+    }
+
+    #[test]
+    fn utilities_quasilinear() {
+        let o = outcome();
+        assert_eq!(o.utility(0, 2.0), 3.0);
+        assert_eq!(o.utility(1, 9.0), 2.0); // pure solicitation reward
+        let profiles = vec![
+            UserProfile::new(TaskTypeId::new(0), 2, 2.0).unwrap(),
+            UserProfile::new(TaskTypeId::new(0), 1, 9.0).unwrap(),
+            UserProfile::new(TaskTypeId::new(1), 1, 4.0).unwrap(),
+        ];
+        assert_eq!(o.utilities(&profiles), vec![3.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn solicitation_rewards_split() {
+        let o = outcome();
+        assert_eq!(o.solicitation_rewards(), vec![1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn failed_run_zeroes_solicitation() {
+        let o = RitOutcome {
+            completed: false,
+            allocation: vec![0, 0],
+            auction_payments: vec![3.0, 0.0],
+            payments: vec![0.0, 0.0],
+            rounds_used: vec![2],
+            unallocated: vec![1],
+        };
+        assert_eq!(o.solicitation_rewards(), vec![0.0, 0.0]);
+        assert_eq!(o.total_payment(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The payment-determination phase (Algorithm 3, Lines 22–28).
+//!
+//! Once every task is allocated, the final payment of user `Pⱼ` is
+//!
+//! ```text
+//! pⱼ = p^Aⱼ + Σ_{Pᵢ ∈ Tⱼ, tᵢ ≠ tⱼ} (1/2)^{rᵢ} · p^Aᵢ
+//! ```
+//!
+//! where `Tⱼ` is the set of `Pⱼ`'s strict descendants and `rᵢ` is the
+//! **contributor's** depth (platform root at depth 0). Three consequences,
+//! each verified by tests here:
+//!
+//! * descendants *of the same type* contribute nothing — a user gains
+//!   nothing from recruiting competitors for its own tasks, removing the
+//!   incentive to pad the tree with same-type sybils;
+//! * the weight decays with the contributor's *absolute* depth, so pushing a
+//!   descendant deeper (as any stacked sybil identity would) strictly
+//!   shrinks the per-ancestor share (the `(zᵢ+1)/2 ≤ zᵢ` algebra of
+//!   Lemma 6.4);
+//! * user `Pᵢ` at depth `rᵢ` has at most `rᵢ − 1` proper user ancestors, so
+//!   the total solicitation payout triggered by `Pᵢ` is at most
+//!   `rᵢ·(1/2)^{rᵢ}·p^Aᵢ ≤ p^Aᵢ` — the platform pays at most twice the
+//!   auction total (§7's total-payment observation).
+//!
+//! # Complexity
+//!
+//! A single Euler-tour sweep answers every "sum of `w` over my descendants,
+//! minus those of my own type" query in O(N + m) total — the linear
+//! payment phase claimed by Theorem 3.
+
+use rit_model::Ask;
+use rit_tree::{IncentiveTree, NodeId};
+
+/// The geometric solicitation weight `(1/2)^depth` applied to a
+/// contributor's auction payment.
+#[must_use]
+pub fn solicitation_weight(depth: u32) -> f64 {
+    0.5f64.powi(depth.min(1100) as i32) // beyond ~1074 the value underflows to 0 anyway
+}
+
+/// Computes the final payment vector `p` from the incentive tree, the asks
+/// (for each user's task type) and the auction payments `p^A`
+/// (Algorithm 3, Line 24).
+///
+/// `asks[j]` and `auction_payments[j]` belong to tree node `j + 1`.
+///
+/// ```
+/// use rit_core::payment::determine_payments;
+/// use rit_model::{Ask, TaskTypeId};
+/// use rit_tree::generate;
+///
+/// // root ─ P1(τ0) ─ P2(τ1, paid 8 by the auction).
+/// let tree = generate::path(2);
+/// let asks = vec![
+///     Ask::new(TaskTypeId::new(0), 1, 1.0)?,
+///     Ask::new(TaskTypeId::new(1), 1, 1.0)?,
+/// ];
+/// let p = determine_payments(&tree, &asks, &[0.0, 8.0]);
+/// // P1 earns (1/2)² · 8 = 2 for recruiting P2 (depth 2).
+/// assert_eq!(p, vec![2.0, 8.0]);
+/// # Ok::<(), rit_model::ModelError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree with the tree's user count.
+#[must_use]
+pub fn determine_payments(
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    auction_payments: &[f64],
+) -> Vec<f64> {
+    let n = tree.num_users();
+    assert_eq!(asks.len(), n, "asks must align with tree users");
+    assert_eq!(
+        auction_payments.len(),
+        n,
+        "auction payments must align with tree users"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Weighted contribution of each user node: w_i = (1/2)^{r_i} · p^A_i.
+    let weight_of = |node: NodeId| -> f64 {
+        match node.user_index() {
+            None => 0.0,
+            Some(u) => solicitation_weight(tree.depth(node)) * auction_payments[u],
+        }
+    };
+
+    // Number of distinct task types mentioned (accumulator width).
+    let num_types = asks
+        .iter()
+        .map(|a| a.task_type().index() + 1)
+        .max()
+        .unwrap_or(1);
+
+    // Bucket two queries per user node at Euler positions:
+    //   start  (entry + 1): snapshot the running sums before the descendants;
+    //   end    (exit):      take the difference = descendant sums.
+    // Buckets in CSR form (counting sort by position): one flat allocation
+    // rather than a Vec per position. Query payload packs the user index
+    // with the end-flag in the top bit.
+    const END_FLAG: u32 = 1 << 31;
+    let num_positions = tree.num_nodes() + 1;
+    let mut bucket_start = vec![0u32; num_positions + 1];
+    for node in tree.user_nodes() {
+        bucket_start[tree.entry_time(node) + 2] += 1;
+        bucket_start[tree.exit_time(node) + 1] += 1;
+    }
+    for i in 0..num_positions {
+        bucket_start[i + 1] += bucket_start[i];
+    }
+    let mut cursor = bucket_start.clone();
+    let mut query_list = vec![0u32; 2 * n];
+    for node in tree.user_nodes() {
+        let u = node.user_index().expect("user node") as u32;
+        let start_pos = tree.entry_time(node) + 1;
+        query_list[cursor[start_pos] as usize] = u;
+        cursor[start_pos] += 1;
+        let end_pos = tree.exit_time(node);
+        query_list[cursor[end_pos] as usize] = u | END_FLAG;
+        cursor[end_pos] += 1;
+    }
+
+    let mut acc_total = 0.0f64;
+    let mut acc_type = vec![0.0f64; num_types];
+    let mut start_total = vec![0.0f64; n];
+    let mut start_type = vec![0.0f64; n];
+    let mut payments = vec![0.0f64; n];
+
+    for pos in 0..num_positions {
+        let bucket = &query_list[bucket_start[pos] as usize..bucket_start[pos + 1] as usize];
+        for &packed in bucket {
+            let u = (packed & !END_FLAG) as usize;
+            let t = asks[u].task_type().index();
+            if packed & END_FLAG != 0 {
+                let desc_total = acc_total - start_total[u];
+                let desc_same_type = acc_type[t] - start_type[u];
+                payments[u] = auction_payments[u] + (desc_total - desc_same_type);
+            } else {
+                start_total[u] = acc_total;
+                start_type[u] = acc_type[t];
+            }
+        }
+        if pos < tree.num_nodes() {
+            let node = tree.preorder()[pos];
+            if let Some(u) = node.user_index() {
+                let w = weight_of(node);
+                acc_total += w;
+                acc_type[asks[u].task_type().index()] += w;
+            }
+        }
+    }
+    payments
+}
+
+/// Reference implementation: the same formula evaluated directly from the
+/// definition in O(N²). Used by tests and available for cross-checking
+/// custom tree layouts.
+#[must_use]
+pub fn determine_payments_reference(
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    auction_payments: &[f64],
+) -> Vec<f64> {
+    let n = tree.num_users();
+    assert_eq!(asks.len(), n);
+    assert_eq!(auction_payments.len(), n);
+    let mut payments = vec![0.0f64; n];
+    for node in tree.user_nodes() {
+        let j = node.user_index().expect("user node");
+        let mut p = auction_payments[j];
+        for d in tree.descendants(node) {
+            let i = d.user_index().expect("descendants of a user are users");
+            if asks[i].task_type() != asks[j].task_type() {
+                p += solicitation_weight(tree.depth(d)) * auction_payments[i];
+            }
+        }
+        payments[j] = p;
+    }
+    payments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rit_model::TaskTypeId;
+    use rit_tree::generate;
+
+    fn ask(t: u32, price: f64) -> Ask {
+        Ask::new(TaskTypeId::new(t), 1, price).unwrap()
+    }
+
+    #[test]
+    fn weight_halves_per_level() {
+        assert_eq!(solicitation_weight(0), 1.0);
+        assert_eq!(solicitation_weight(1), 0.5);
+        assert_eq!(solicitation_weight(3), 0.125);
+        assert_eq!(solicitation_weight(4000), 0.0); // underflow guard
+    }
+
+    #[test]
+    fn single_chain_hand_computed() {
+        // root ─ P1(τ0) ─ P2(τ1) ─ P3(τ0)
+        let tree = generate::path(3);
+        let asks = vec![ask(0, 1.0), ask(1, 1.0), ask(0, 1.0)];
+        let pa = vec![4.0, 8.0, 16.0];
+        let p = determine_payments(&tree, &asks, &pa);
+        // P1: own 4 + P2 (τ1, depth 2 → ¼·8 = 2); P3 same type → nothing.
+        assert_eq!(p[0], 6.0);
+        // P2: own 8 + P3 (τ0, depth 3 → ⅛·16 = 2).
+        assert_eq!(p[1], 10.0);
+        // P3: leaf.
+        assert_eq!(p[2], 16.0);
+    }
+
+    #[test]
+    fn same_type_descendants_contribute_nothing() {
+        let tree = generate::path(3);
+        let asks = vec![ask(0, 1.0), ask(0, 1.0), ask(0, 1.0)];
+        let pa = vec![4.0, 8.0, 16.0];
+        let p = determine_payments(&tree, &asks, &pa);
+        assert_eq!(p, pa);
+    }
+
+    #[test]
+    fn star_tree_no_descendants() {
+        let tree = generate::star(4);
+        let asks = vec![ask(0, 1.0), ask(1, 1.0), ask(2, 1.0), ask(3, 1.0)];
+        let pa = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(determine_payments(&tree, &asks, &pa), pa);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = rit_tree::IncentiveTree::platform_only();
+        assert!(determine_payments(&tree, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn matches_reference_on_random_trees() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..200);
+            let tree = generate::uniform_recursive(n, &mut rng);
+            let asks: Vec<Ask> = (0..n)
+                .map(|_| ask(rng.gen_range(0..5), rng.gen_range(0.1..10.0)))
+                .collect();
+            let pa: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..50.0)).collect();
+            let fast = determine_payments(&tree, &asks, &pa);
+            let slow = determine_payments_reference(&tree, &asks, &pa);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9, "fast {f} vs reference {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_extra_payment_bounded_by_auction_total() {
+        // §7: Σ(pⱼ − p^Aⱼ) ≤ Σ p^Aⱼ.
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..300);
+            let tree = generate::preferential(n, &mut rng);
+            let asks: Vec<Ask> = (0..n)
+                .map(|_| ask(rng.gen_range(0..10), rng.gen_range(0.1..10.0)))
+                .collect();
+            let pa: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..50.0)).collect();
+            let p = determine_payments(&tree, &asks, &pa);
+            let extra: f64 = p.iter().zip(&pa).map(|(p, a)| p - a).sum();
+            let total: f64 = pa.iter().sum();
+            assert!(extra >= -1e-9, "solicitation rewards are non-negative");
+            assert!(
+                extra <= total + 1e-9,
+                "extra {extra} exceeds auction total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_contributor_pays_ancestors_less() {
+        // Same contributor payment, one level deeper → each ancestor share
+        // halves (the monotonicity behind Lemma 6.4's first attack kind).
+        let shallow = generate::path(2); // root ─ P1 ─ P2
+        let deep = generate::path(3); // root ─ P1 ─ P2 ─ P3
+        let asks2 = vec![ask(0, 1.0), ask(1, 1.0)];
+        let asks3 = vec![ask(0, 1.0), ask(2, 1.0), ask(1, 1.0)];
+        // Contributor pays 8 in both; in `deep` it sits at depth 3 not 2.
+        let p_shallow = determine_payments(&shallow, &asks2, &[0.0, 8.0]);
+        let p_deep = determine_payments(&deep, &asks3, &[0.0, 0.0, 8.0]);
+        assert_eq!(p_shallow[0], 2.0); // ¼ · 8
+        assert_eq!(p_deep[0], 1.0); // ⅛ · 8
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn length_mismatch_panics() {
+        let tree = generate::star(2);
+        let _ = determine_payments(&tree, &[ask(0, 1.0)], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Empirical property probes: structured Monte-Carlo checks of the paper's
+//! theorems against a concrete scenario.
+//!
+//! RIT's guarantees are probabilistic, so "does this deployment actually
+//! resist manipulation?" is an empirical question about a *distribution* of
+//! outcomes. Each probe runs an honest arm and a deviating arm over paired
+//! seeds and reports a [`ProbeReport`] with the estimated gain and its
+//! standard error, so callers (tests, experiments, operators) can apply
+//! whatever significance threshold they need instead of re-deriving the
+//! statistics.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rit_model::Ask;
+use rit_tree::sybil::SybilPlan;
+use rit_tree::IncentiveTree;
+
+use crate::{sybil_exec, Rit, RitError};
+
+/// Result of comparing a deviation against honesty over `runs` paired
+/// replications.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeReport {
+    /// Mean utility of the honest arm.
+    pub honest_mean: f64,
+    /// Mean utility of the deviating arm.
+    pub deviant_mean: f64,
+    /// `deviant_mean − honest_mean`.
+    pub gain: f64,
+    /// Standard error of the gain (independent-arm approximation).
+    pub gain_se: f64,
+    /// Number of replications per arm.
+    pub runs: usize,
+}
+
+impl ProbeReport {
+    /// The z-score of the gain (0 when the standard error vanishes).
+    #[must_use]
+    pub fn z_score(&self) -> f64 {
+        if self.gain_se > 0.0 {
+            self.gain / self.gain_se
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the deviation shows **no significant advantage** at `z_max`
+    /// standard errors (typical choice: 3.0).
+    #[must_use]
+    pub fn deviation_not_profitable(&self, z_max: f64) -> bool {
+        self.gain <= z_max * self.gain_se.max(f64::EPSILON)
+    }
+
+    fn from_samples(honest: &[f64], deviant: &[f64]) -> Self {
+        let runs = honest.len();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let var = |xs: &[f64], m: f64| {
+            if xs.len() < 2 {
+                0.0
+            } else {
+                xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+            }
+        };
+        let hm = mean(honest);
+        let dm = mean(deviant);
+        let se = ((var(honest, hm) + var(deviant, dm)) / runs.max(1) as f64).sqrt();
+        Self {
+            honest_mean: hm,
+            deviant_mean: dm,
+            gain: dm - hm,
+            gain_se: se,
+            runs,
+        }
+    }
+}
+
+/// A scenario under probe: mechanism, job, tree, asks, and the probed user's
+/// true unit cost.
+#[derive(Clone, Debug)]
+pub struct ProbeScenario<'a> {
+    /// The mechanism under test.
+    pub rit: &'a Rit,
+    /// The job.
+    pub job: &'a rit_model::Job,
+    /// The honest incentive tree.
+    pub tree: &'a IncentiveTree,
+    /// The honest ask vector.
+    pub asks: &'a [Ask],
+    /// The probed user.
+    pub user: usize,
+    /// The probed user's true unit cost.
+    pub unit_cost: f64,
+}
+
+impl ProbeScenario<'_> {
+    fn honest_utilities(&self, runs: usize, seed: u64) -> Result<Vec<f64>, RitError> {
+        (0..runs)
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
+                let out = self.rit.run(self.job, self.tree, self.asks, &mut rng)?;
+                Ok(out.utility(self.user, self.unit_cost))
+            })
+            .collect()
+    }
+
+    /// Probes a **price misreport**: the user bids `price_factor ×` its ask
+    /// value (Lemma 6.3 says this should not pay, with probability ≥ H).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mechanism errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled price is invalid (non-positive factor).
+    pub fn price_deviation(
+        &self,
+        price_factor: f64,
+        runs: usize,
+        seed: u64,
+    ) -> Result<ProbeReport, RitError> {
+        let honest = self.honest_utilities(runs, seed)?;
+        let mut asks = self.asks.to_vec();
+        asks[self.user] = asks[self.user]
+            .with_unit_price(asks[self.user].unit_price() * price_factor)
+            .expect("positive factor yields a valid price");
+        let deviant: Vec<f64> = (0..runs)
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
+                let out = self.rit.run(self.job, self.tree, &asks, &mut rng)?;
+                Ok::<f64, RitError>(out.utility(self.user, self.unit_cost))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(ProbeReport::from_samples(&honest, &deviant))
+    }
+
+    /// Probes a **quantity under-claim**: the user claims only `quantity`
+    /// tasks instead of its full capacity (the design goal says revealing
+    /// `Kⱼ` should be weakly best).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mechanism errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantity` is zero.
+    pub fn quantity_deviation(
+        &self,
+        quantity: u64,
+        runs: usize,
+        seed: u64,
+    ) -> Result<ProbeReport, RitError> {
+        let honest = self.honest_utilities(runs, seed)?;
+        let mut asks = self.asks.to_vec();
+        asks[self.user] = asks[self.user]
+            .with_quantity(quantity)
+            .expect("positive quantity");
+        let deviant: Vec<f64> = (0..runs)
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
+                let out = self.rit.run(self.job, self.tree, &asks, &mut rng)?;
+                Ok::<f64, RitError>(out.utility(self.user, self.unit_cost))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(ProbeReport::from_samples(&honest, &deviant))
+    }
+
+    /// Probes a **sybil attack**: the user splits into `plan.num_identities`
+    /// identities, all asking `identity_price`, with its claimed quantity
+    /// divided uniformly among them (Theorem 2's attack class).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mechanism and tree errors.
+    pub fn sybil_deviation(
+        &self,
+        plan: &SybilPlan,
+        identity_price: f64,
+        runs: usize,
+        seed: u64,
+    ) -> Result<ProbeReport, RitError> {
+        let honest = self.honest_utilities(runs, seed)?;
+        let mut deviant = Vec::with_capacity(runs);
+        for r in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
+            let identity_asks = sybil_exec::uniform_identity_asks(
+                self.asks[self.user].task_type(),
+                self.asks[self.user]
+                    .quantity()
+                    .max(plan.num_identities as u64),
+                plan.num_identities,
+                identity_price,
+                &mut rng,
+            );
+            let sc = sybil_exec::apply_attack(
+                self.tree,
+                self.asks,
+                self.user,
+                &identity_asks,
+                plan,
+                &mut rng,
+            )?;
+            let out = self.rit.run(self.job, &sc.tree, &sc.asks, &mut rng)?;
+            deviant.push(sc.attacker_utility(&out, self.unit_cost));
+        }
+        Ok(ProbeReport::from_samples(&honest, &deviant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RitConfig, RoundLimit};
+    use rit_model::workload::WorkloadConfig;
+    use rit_model::Job;
+    use rit_tree::generate;
+
+    fn world() -> (Rit, Job, IncentiveTree, Vec<Ask>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let config = WorkloadConfig {
+            num_types: 3,
+            capacity_max: 6,
+            cost_max: 10.0,
+        };
+        let pop = config.sample_population(900, &mut rng).unwrap();
+        let tree = generate::preferential(900, &mut rng);
+        let asks = pop.truthful_asks().into_vec();
+        let costs = pop.iter().map(|u| u.unit_cost()).collect();
+        let job = Job::uniform(3, 150).unwrap();
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        (rit, job, tree, asks, costs)
+    }
+
+    #[test]
+    fn probe_reports_are_internally_consistent() {
+        let (rit, job, tree, asks, costs) = world();
+        let scenario = ProbeScenario {
+            rit: &rit,
+            job: &job,
+            tree: &tree,
+            asks: &asks,
+            user: 3,
+            unit_cost: costs[3],
+        };
+        let report = scenario.price_deviation(1.3, 30, 5).unwrap();
+        assert_eq!(report.runs, 30);
+        assert!((report.gain - (report.deviant_mean - report.honest_mean)).abs() < 1e-12);
+        if report.gain_se > 0.0 {
+            assert!((report.z_score() - report.gain / report.gain_se).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overbidding_not_profitable() {
+        let (rit, job, tree, asks, costs) = world();
+        // A user with a mid-range cost: deviations have room to matter.
+        let user = (0..asks.len())
+            .find(|&j| asks[j].unit_price() < 5.0 && asks[j].quantity() >= 3)
+            .unwrap();
+        let scenario = ProbeScenario {
+            rit: &rit,
+            job: &job,
+            tree: &tree,
+            asks: &asks,
+            user,
+            unit_cost: costs[user],
+        };
+        let report = scenario.price_deviation(1.5, 60, 11).unwrap();
+        assert!(
+            report.deviation_not_profitable(3.0),
+            "overbid wins: {report:?}"
+        );
+    }
+
+    #[test]
+    fn underclaiming_not_profitable() {
+        let (rit, job, tree, asks, costs) = world();
+        let user = (0..asks.len()).find(|&j| asks[j].quantity() >= 4).unwrap();
+        let scenario = ProbeScenario {
+            rit: &rit,
+            job: &job,
+            tree: &tree,
+            asks: &asks,
+            user,
+            unit_cost: costs[user],
+        };
+        let report = scenario.quantity_deviation(1, 60, 13).unwrap();
+        assert!(
+            report.deviation_not_profitable(3.0),
+            "under-claim wins: {report:?}"
+        );
+    }
+
+    #[test]
+    fn sybil_probe_not_profitable() {
+        let (rit, job, tree, asks, costs) = world();
+        let user = (0..asks.len()).find(|&j| asks[j].quantity() >= 4).unwrap();
+        let scenario = ProbeScenario {
+            rit: &rit,
+            job: &job,
+            tree: &tree,
+            asks: &asks,
+            user,
+            unit_cost: costs[user],
+        };
+        let report = scenario
+            .sybil_deviation(&SybilPlan::random(3), asks[user].unit_price(), 60, 17)
+            .unwrap();
+        assert!(
+            report.deviation_not_profitable(3.0),
+            "sybil wins: {report:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_report_statistics() {
+        let r = ProbeReport::from_samples(&[1.0], &[1.0]);
+        assert_eq!(r.gain, 0.0);
+        assert_eq!(r.gain_se, 0.0);
+        assert_eq!(r.z_score(), 0.0);
+        assert!(r.deviation_not_profitable(3.0));
+    }
+}

@@ -1,0 +1,202 @@
+//! Quality screening — a minimal instantiation of the paper's deferred
+//! "data quality guarantee" direction (§3-C).
+//!
+//! The paper's model pays for task *count*; it explicitly defers data
+//! quality to future work. The lightest extension that preserves every
+//! proven property is **pre-auction screening**: the platform holds a
+//! quality score per user (from past jobs, device attestation, …) and
+//! excludes users below a threshold from *task allocation* before any ask
+//! is opened. Because eligibility depends only on exogenous scores — never
+//! on the submitted asks — the screening is bid-independent:
+//!
+//! * truthfulness and sybil-proofness arguments are unchanged (a user
+//!   cannot alter its eligibility by misreporting, and fresh sybil
+//!   identities have no history, so a sensible policy gives them the
+//!   *default* score — making identity-splitting strictly unattractive
+//!   when the attacker's earned score exceeds the default);
+//! * individual rationality is unchanged (screened users simply don't
+//!   participate in the auction);
+//! * screened users still earn solicitation rewards for their recruits —
+//!   quality gates *sensing*, not *recruiting*.
+
+use rand::Rng;
+
+use rit_model::{Ask, Job};
+use rit_tree::IncentiveTree;
+
+use crate::{Rit, RitError, RitOutcome};
+
+/// A quality-screening policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityPolicy {
+    /// Minimum score required to receive tasks.
+    pub min_quality: f64,
+    /// Score assigned to users with no history (e.g. fresh identities).
+    pub default_quality: f64,
+}
+
+impl QualityPolicy {
+    /// A permissive default: everything ≥ 0 passes, newcomers score 0.5.
+    #[must_use]
+    pub const fn permissive() -> Self {
+        Self {
+            min_quality: 0.0,
+            default_quality: 0.5,
+        }
+    }
+
+    /// The eligibility mask for a population. `scores[j] = None` means no
+    /// history; the default score applies.
+    #[must_use]
+    pub fn eligibility(&self, scores: &[Option<f64>]) -> Vec<bool> {
+        scores
+            .iter()
+            .map(|s| s.unwrap_or(self.default_quality) >= self.min_quality)
+            .collect()
+    }
+}
+
+impl Rit {
+    /// Runs RIT with a quality-eligibility mask: ineligible users submit no
+    /// unit asks (their claimed quantity is treated as zero in every
+    /// `Extract`), but they remain tree members and collect solicitation
+    /// rewards for eligible descendants as usual.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rit::run`]; additionally rejects a mask whose
+    /// length differs from the ask vector.
+    pub fn run_screened<R: Rng + ?Sized>(
+        &self,
+        job: &Job,
+        tree: &IncentiveTree,
+        asks: &[Ask],
+        eligible: &[bool],
+        rng: &mut R,
+    ) -> Result<RitOutcome, RitError> {
+        if asks.len() != tree.num_users() || eligible.len() != asks.len() {
+            return Err(RitError::AskCountMismatch {
+                asks: asks.len().min(eligible.len()),
+                users: tree.num_users(),
+            });
+        }
+        // Screening = remaining-quantity zeroing inside the auction phase:
+        // the asks themselves are untouched (they still carry each user's
+        // task type for the payment phase), but ineligible users contribute
+        // zero unit asks to every Extract.
+        let phase = self.auction_phase_screened(job, asks, eligible, rng)?;
+        Ok(self.determine_final_payments(tree, asks, phase))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RitConfig, RoundLimit};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rit_model::workload::WorkloadConfig;
+    use rit_tree::generate;
+
+    fn world(n: usize) -> (Job, IncentiveTree, Vec<Ask>, Rit) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let config = WorkloadConfig {
+            num_types: 2,
+            capacity_max: 5,
+            cost_max: 10.0,
+        };
+        let pop = config.sample_population(n, &mut rng).unwrap();
+        let tree = generate::preferential(n, &mut rng);
+        let asks = pop.truthful_asks().into_vec();
+        let job = Job::uniform(2, 80).unwrap();
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        (job, tree, asks, rit)
+    }
+
+    #[test]
+    fn policy_eligibility_mask() {
+        let policy = QualityPolicy {
+            min_quality: 0.6,
+            default_quality: 0.5,
+        };
+        let scores = vec![Some(0.9), Some(0.2), None, Some(0.6)];
+        assert_eq!(policy.eligibility(&scores), vec![true, false, false, true]);
+        let permissive = QualityPolicy::permissive();
+        assert!(permissive.eligibility(&scores).iter().all(|&e| e));
+    }
+
+    #[test]
+    fn screened_users_win_nothing_but_still_recruit() {
+        let (job, tree, asks, rit) = world(800);
+        // Screen out every third user.
+        let eligible: Vec<bool> = (0..asks.len()).map(|j| j % 3 != 0).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let out = rit
+            .run_screened(&job, &tree, &asks, &eligible, &mut rng)
+            .unwrap();
+        for (j, &e) in eligible.iter().enumerate() {
+            if !e {
+                assert_eq!(out.allocation()[j], 0, "screened user {j} won tasks");
+                assert_eq!(out.auction_payments()[j], 0.0);
+            }
+        }
+        if out.completed() {
+            // Some screened user with eligible descendants earns solicitation.
+            let rewards = out.solicitation_rewards();
+            let screened_with_reward = (0..asks.len())
+                .filter(|&j| !eligible[j] && rewards[j] > 1e-9)
+                .count();
+            assert!(
+                screened_with_reward > 0,
+                "quality gating should not cancel recruiting rewards"
+            );
+        }
+    }
+
+    #[test]
+    fn all_eligible_matches_plain_run() {
+        let (job, tree, asks, rit) = world(500);
+        let eligible = vec![true; asks.len()];
+        let a = rit
+            .run_screened(
+                &job,
+                &tree,
+                &asks,
+                &eligible,
+                &mut SmallRng::seed_from_u64(3),
+            )
+            .unwrap();
+        let b = rit
+            .run(&job, &tree, &asks, &mut SmallRng::seed_from_u64(3))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn screening_out_a_whole_type_voids_the_job() {
+        let (job, tree, asks, rit) = world(500);
+        // Screen everyone of type τ0.
+        let eligible: Vec<bool> = asks.iter().map(|a| a.task_type().index() != 0).collect();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = rit
+            .run_screened(&job, &tree, &asks, &eligible, &mut rng)
+            .unwrap();
+        assert!(!out.completed());
+        assert_eq!(out.total_payment(), 0.0);
+    }
+
+    #[test]
+    fn mask_length_mismatch_rejected() {
+        let (job, tree, asks, rit) = world(100);
+        let eligible = vec![true; 50];
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(
+            rit.run_screened(&job, &tree, &asks, &eligible, &mut rng),
+            Err(RitError::AskCountMismatch { .. })
+        ));
+    }
+}

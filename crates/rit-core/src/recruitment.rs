@@ -1,0 +1,162 @@
+//! Choosing the solicitation threshold `N` (paper Remark 6.1).
+//!
+//! The incentive tree stops growing once `N` users joined. Remark 6.1 ties
+//! `N` to the mechanism's needs: to select `q + mᵢ` potential winners, CRA
+//! needs at least `2mᵢ` unit asks per type, so solicitation must continue
+//! until the recruited users can jointly complete at least `2mᵢ` tasks in
+//! every type `τᵢ`.
+//!
+//! Two forms are provided:
+//!
+//! * [`capacity_satisfied`] — the exact check against a concrete ask
+//!   profile: "can the platform stop recruiting *now*?"
+//! * [`estimate_threshold`] — an a-priori estimate under the §7-A workload
+//!   distribution, for capacity planning before any user joins: with types
+//!   drawn uniformly among `m` and capacity uniform on `{1..K}`, a user
+//!   contributes `(K+1)/(2m)` expected tasks per type, so
+//!   `N ≈ 2·maxᵢ(mᵢ)·2m/(K+1)` scaled by a safety factor.
+
+use rit_model::{Ask, Job, TaskTypeId};
+
+/// Checks Remark 6.1's stopping rule against a concrete ask profile: every
+/// type of the job must have claimed capacity at least `2·mᵢ`.
+///
+/// Returns the first deficient type and its shortfall, or `Ok(())`.
+///
+/// ```
+/// use rit_core::recruitment::capacity_satisfied;
+/// use rit_model::{Ask, Job, TaskTypeId};
+///
+/// let job = Job::from_counts(vec![3])?; // needs 2·3 = 6 claimed tasks
+/// let asks = vec![Ask::new(TaskTypeId::new(0), 5, 1.0)?];
+/// assert_eq!(capacity_satisfied(&job, &asks), Err((TaskTypeId::new(0), 1)));
+/// # Ok::<(), rit_model::ModelError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns `Err((τᵢ, shortfall))` for the lowest-indexed deficient type.
+pub fn capacity_satisfied(job: &Job, asks: &[Ask]) -> Result<(), (TaskTypeId, u64)> {
+    let mut claimed = vec![0u64; job.num_types()];
+    for ask in asks {
+        if let Some(slot) = claimed.get_mut(ask.task_type().index()) {
+            *slot += ask.quantity();
+        }
+    }
+    for (task_type, m_i) in job.iter() {
+        let need = 2 * m_i;
+        let have = claimed[task_type.index()];
+        if have < need {
+            return Err((task_type, need - have));
+        }
+    }
+    Ok(())
+}
+
+/// A-priori estimate of the recruitment threshold `N` under a uniform
+/// workload: types uniform over `m`, capacities uniform over `{1..=k_max}`.
+///
+/// `safety` inflates the estimate to cover sampling variance (1.0 = exactly
+/// the expectation; the default used by callers is typically 1.2–1.5).
+///
+/// # Panics
+///
+/// Panics if `k_max == 0`, the job is empty, or `safety < 1.0`.
+#[must_use]
+pub fn estimate_threshold(job: &Job, k_max: u64, safety: f64) -> usize {
+    assert!(k_max > 0, "capacity bound must be positive");
+    assert!(safety >= 1.0, "safety factor must be at least 1");
+    let m = job.num_types();
+    let max_tasks = job.iter().map(|(_, c)| c).max().unwrap_or(0);
+    assert!(max_tasks > 0, "job requests no tasks");
+    // Expected per-type capacity contributed by one user.
+    let per_user = (k_max as f64 + 1.0) / 2.0 / m as f64;
+    ((2.0 * max_tasks as f64 / per_user) * safety).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rit_model::workload::WorkloadConfig;
+
+    fn t(i: u32) -> TaskTypeId {
+        TaskTypeId::new(i)
+    }
+
+    #[test]
+    fn capacity_check_exact_boundary() {
+        let job = Job::from_counts(vec![3]).unwrap();
+        // Need 2·3 = 6 units of type τ0.
+        let five = vec![Ask::new(t(0), 5, 1.0).unwrap()];
+        assert_eq!(capacity_satisfied(&job, &five), Err((t(0), 1)));
+        let six = vec![Ask::new(t(0), 6, 1.0).unwrap()];
+        assert_eq!(capacity_satisfied(&job, &six), Ok(()));
+    }
+
+    #[test]
+    fn capacity_check_reports_first_deficient_type() {
+        let job = Job::from_counts(vec![1, 5, 1]).unwrap();
+        let asks = vec![
+            Ask::new(t(0), 2, 1.0).unwrap(),
+            Ask::new(t(2), 2, 1.0).unwrap(),
+        ];
+        assert_eq!(capacity_satisfied(&job, &asks), Err((t(1), 10)));
+    }
+
+    #[test]
+    fn zero_task_types_need_nothing() {
+        let job = Job::from_counts(vec![0, 2]).unwrap();
+        let asks = vec![Ask::new(t(1), 4, 1.0).unwrap()];
+        assert_eq!(capacity_satisfied(&job, &asks), Ok(()));
+    }
+
+    #[test]
+    fn out_of_job_types_are_ignored() {
+        let job = Job::from_counts(vec![1]).unwrap();
+        let asks = vec![
+            Ask::new(t(0), 2, 1.0).unwrap(),
+            Ask::new(t(9), 50, 1.0).unwrap(), // no such type in the job
+        ];
+        assert_eq!(capacity_satisfied(&job, &asks), Ok(()));
+    }
+
+    #[test]
+    fn estimate_is_calibrated_against_sampled_populations() {
+        // The estimated N (with a modest safety factor) should satisfy the
+        // capacity rule for most sampled populations of that size.
+        let job = Job::uniform(10, 500).unwrap();
+        let n = estimate_threshold(&job, 20, 1.3);
+        let config = WorkloadConfig::paper();
+        let mut satisfied = 0;
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let pop = config.sample_population(n, &mut rng).unwrap();
+            let asks = pop.truthful_asks().into_vec();
+            if capacity_satisfied(&job, &asks).is_ok() {
+                satisfied += 1;
+            }
+        }
+        assert!(
+            satisfied >= 18,
+            "threshold too small: {satisfied}/20 satisfied"
+        );
+    }
+
+    #[test]
+    fn estimate_scales_with_job_and_capacity() {
+        let small = Job::uniform(10, 100).unwrap();
+        let large = Job::uniform(10, 1000).unwrap();
+        assert!(estimate_threshold(&large, 20, 1.0) > estimate_threshold(&small, 20, 1.0));
+        // Higher capacities need fewer users.
+        assert!(estimate_threshold(&small, 40, 1.0) < estimate_threshold(&small, 10, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no tasks")]
+    fn estimate_rejects_trivial_job() {
+        let job = Job::from_counts(vec![0]).unwrap();
+        let _ = estimate_threshold(&job, 20, 1.0);
+    }
+}

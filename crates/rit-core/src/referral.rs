@@ -1,0 +1,324 @@
+//! A small framework for referral-reward rules over incentive trees.
+//!
+//! The paper positions RIT inside a design space of *contribution-based*
+//! incentive trees (§2, §4): every rule maps each user's own contribution
+//! (here: its auction payment) plus the tree structure to a final payment.
+//! This module gives that space a common interface so the rules implemented
+//! across this crate — RIT's own depth-anchored weights, the DARPA-style
+//! distance decay, and the §4 subtree-log bonus — can be compared head to
+//! head, and so new rules can be prototyped and screened with the same
+//! sybil tests.
+//!
+//! The decisive design axis, demonstrated by the tests here and by
+//! `examples/darpa_challenge.rs`:
+//!
+//! * [`GeometricDistance`] pays ancestors by `β^distance` — *relative*
+//!   geometry. Inserting fake intermediate identities creates new paid
+//!   positions: **not sybil-proof** (the paper's Bob/Alice story).
+//! * [`GeometricDepth`] (RIT's rule) pays by `(1/2)^depth` of the
+//!   *contributor* — *absolute* geometry. Splitting can only push
+//!   contributors deeper and shrink every share (Lemma 6.4):
+//!   **split-proof**.
+//! * [`SubtreeLogBonus`] (the §4 strawman) is sybil-proof in isolation but
+//!   amplifies the contribution itself (`2·p + …`), which breaks
+//!   truthfulness once the contribution is an auction payment.
+
+use rit_model::Ask;
+use rit_tree::{IncentiveTree, NodeId};
+
+/// A rule turning per-user contributions into final payments over an
+/// incentive tree.
+///
+/// `asks[j]` and `contributions[j]` belong to tree node `j + 1`; the rule
+/// returns one payment per user. Implementations must be *pure*: no
+/// randomness, no state.
+pub trait ReferralReward {
+    /// Human-readable rule name (for tables and reports).
+    fn name(&self) -> &'static str;
+
+    /// Computes the payment vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the slice lengths disagree with the
+    /// tree's user count.
+    fn payments(&self, tree: &IncentiveTree, asks: &[Ask], contributions: &[f64]) -> Vec<f64>;
+}
+
+/// RIT's payment-determination rule (Algorithm 3, Line 24): own contribution
+/// plus `(1/2)^{rᵢ}·cᵢ` for every *different-type* descendant `i` at depth
+/// `rᵢ`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeometricDepth;
+
+impl ReferralReward for GeometricDepth {
+    fn name(&self) -> &'static str {
+        "geometric-depth (RIT)"
+    }
+
+    fn payments(&self, tree: &IncentiveTree, asks: &[Ask], contributions: &[f64]) -> Vec<f64> {
+        crate::payment::determine_payments(tree, asks, contributions)
+    }
+}
+
+/// DARPA-style distance decay: own contribution plus `β^d·cᵢ` for every
+/// descendant at tree distance `d`, regardless of task type (the MIT
+/// Network Challenge scheme is `β = 1/2` with contributions = balloon
+/// rewards).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeometricDistance {
+    /// Per-edge decay `β ∈ (0, 1)`.
+    pub beta: f64,
+}
+
+impl Default for GeometricDistance {
+    fn default() -> Self {
+        Self { beta: 0.5 }
+    }
+}
+
+impl ReferralReward for GeometricDistance {
+    fn name(&self) -> &'static str {
+        "geometric-distance (DARPA)"
+    }
+
+    fn payments(&self, tree: &IncentiveTree, asks: &[Ask], contributions: &[f64]) -> Vec<f64> {
+        let n = tree.num_users();
+        assert_eq!(asks.len(), n, "asks must align with tree users");
+        assert_eq!(contributions.len(), n, "contributions must align");
+        assert!(
+            self.beta > 0.0 && self.beta < 1.0,
+            "decay must be in (0, 1)"
+        );
+        // S(v) = c_v + β·Σ_children S(c); payment = S(v). Reverse preorder
+        // processes children before parents.
+        let mut s = contributions.to_vec();
+        for &node in tree.preorder().iter().rev() {
+            let Some(u) = node.user_index() else { continue };
+            if let Some(parent) = tree.parent(node) {
+                if let Some(pu) = parent.user_index() {
+                    s[pu] += self.beta * s[u];
+                }
+            }
+        }
+        s
+    }
+}
+
+/// The §4 strawman: `pⱼ = 2·cⱼ + ln(1 − cⱼ/Sⱼ)` with `Sⱼ` the subtree
+/// contribution (see [`crate::naive::tree_reward`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubtreeLogBonus;
+
+impl ReferralReward for SubtreeLogBonus {
+    fn name(&self) -> &'static str {
+        "subtree-log bonus (§4 strawman)"
+    }
+
+    fn payments(&self, tree: &IncentiveTree, asks: &[Ask], contributions: &[f64]) -> Vec<f64> {
+        assert_eq!(asks.len(), tree.num_users(), "asks must align");
+        crate::naive::tree_reward(tree, contributions)
+    }
+}
+
+/// Outcome of a [`split_resistance`] screening.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitScreen {
+    /// The attacker's payment without splitting.
+    pub honest: f64,
+    /// The attacker's best total payment over the probed splits.
+    pub best_attack: f64,
+}
+
+impl SplitScreen {
+    /// Whether no probed split strictly beat honesty (tolerance 1e-9).
+    #[must_use]
+    pub fn resistant(&self) -> bool {
+        self.best_attack <= self.honest + 1e-9
+    }
+}
+
+/// Screens a reward rule against the Lemma 6.4 attack class on the payment
+/// side: the victim splits into a chain of `delta` identities (contribution
+/// carried by the deepest identity; original children re-homed below it) —
+/// the rewiring that defeats distance-based schemes.
+///
+/// This is a *deterministic necessary check*, not a proof: rules failing it
+/// are certainly not sybil-proof; rules passing it still need the full
+/// probabilistic analysis.
+///
+/// # Panics
+///
+/// Panics if inputs misalign or `victim` is out of range.
+#[must_use]
+pub fn split_resistance<R: ReferralReward + ?Sized>(
+    rule: &R,
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    contributions: &[f64],
+    victim: usize,
+    max_delta: usize,
+) -> SplitScreen {
+    use rit_tree::sybil::{self, SybilPlan};
+    let honest = rule.payments(tree, asks, contributions)[victim];
+    let mut best_attack = f64::NEG_INFINITY;
+    for delta in 2..=max_delta.max(2) {
+        // Chain split is deterministic; the RNG is never consulted for it.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let out = sybil::apply(
+            &SybilPlan::chain(delta),
+            tree,
+            NodeId::from_user_index(victim),
+            &mut rng,
+        )
+        .expect("valid victim");
+        let mut new_asks = asks.to_vec();
+        let mut new_contrib = contributions.to_vec();
+        for _ in 1..delta {
+            new_asks.push(asks[victim]);
+            new_contrib.push(0.0);
+        }
+        // The deepest identity carries the whole contribution.
+        let identity_users: Vec<usize> = out
+            .identities
+            .iter()
+            .map(|id| id.user_index().expect("user node"))
+            .collect();
+        new_contrib[identity_users[0]] = 0.0;
+        new_contrib[*identity_users.last().expect("δ ≥ 2")] = contributions[victim];
+        let payments = rule.payments(&out.tree, &new_asks, &new_contrib);
+        let total: f64 = identity_users.iter().map(|&u| payments[u]).sum();
+        best_attack = best_attack.max(total);
+    }
+    SplitScreen {
+        honest,
+        best_attack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rit_model::TaskTypeId;
+    use rit_tree::generate;
+
+    fn ask(t: u32) -> Ask {
+        Ask::new(TaskTypeId::new(t), 1, 1.0).unwrap()
+    }
+
+    /// root ─ P1(τ0) ─ P2(τ1, contributes) ─ P3(τ2)
+    fn fixture() -> (IncentiveTree, Vec<Ask>, Vec<f64>) {
+        (
+            generate::path(3),
+            vec![ask(0), ask(1), ask(2)],
+            vec![0.0, 8.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn geometric_depth_matches_payment_module() {
+        let (tree, asks, c) = fixture();
+        let p = GeometricDepth.payments(&tree, &asks, &c);
+        // P1: ¼·8 + ⅛·4 = 2.5; P2: 8 + ⅛·4 = 8.5; P3: 4.
+        assert_eq!(p, vec![2.5, 8.5, 4.0]);
+    }
+
+    #[test]
+    fn geometric_distance_matches_darpa_module() {
+        let (tree, asks, c) = fixture();
+        let p = GeometricDistance::default().payments(&tree, &asks, &c);
+        let d = crate::darpa::referral_payments(&tree, &c);
+        assert_eq!(p, d);
+    }
+
+    #[test]
+    fn geometric_distance_beta_shapes_decay() {
+        let tree = generate::path(2);
+        let asks = vec![ask(0), ask(1)];
+        let c = vec![0.0, 10.0];
+        let steep = GeometricDistance { beta: 0.1 }.payments(&tree, &asks, &c);
+        let shallow = GeometricDistance { beta: 0.9 }.payments(&tree, &asks, &c);
+        assert_eq!(steep[0], 1.0);
+        assert_eq!(shallow[0], 9.0);
+    }
+
+    #[test]
+    fn darpa_rule_fails_the_split_screen() {
+        // The Bob/Alice attack, through the generic screen: Bob's chain split
+        // strictly increases his take under distance decay.
+        let tree = generate::path(2); // Alice ─ Bob
+        let asks = vec![ask(0), ask(1)];
+        let c = vec![0.0, 2000.0];
+        let screen = split_resistance(&GeometricDistance::default(), &tree, &asks, &c, 1, 4);
+        assert!(!screen.resistant());
+        assert_eq!(screen.honest, 2000.0);
+        // δ = 4 chain: 2000 + 1000 + 500 + 250.
+        assert_eq!(screen.best_attack, 3750.0);
+    }
+
+    #[test]
+    fn rit_rule_passes_the_split_screen_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let n = rng.gen_range(3..40);
+            let tree = generate::uniform_recursive(n, &mut rng);
+            let asks: Vec<Ask> = (0..n).map(|_| ask(rng.gen_range(0..4))).collect();
+            let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..20.0)).collect();
+            let victim = rng.gen_range(0..n);
+            let screen = split_resistance(&GeometricDepth, &tree, &asks, &c, victim, 5);
+            assert!(
+                screen.resistant(),
+                "RIT rule broken: {} > {}",
+                screen.best_attack,
+                screen.honest
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_log_passes_the_split_screen_but_amplifies() {
+        // The §4 rule is split-resistant on the tree side…
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..25 {
+            let n = rng.gen_range(3..30);
+            let tree = generate::uniform_recursive(n, &mut rng);
+            let asks: Vec<Ask> = (0..n).map(|_| ask(0)).collect();
+            let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..20.0)).collect();
+            let victim = rng.gen_range(0..n);
+            let screen = split_resistance(&SubtreeLogBonus, &tree, &asks, &c, victim, 4);
+            assert!(screen.resistant(), "unexpected split gain");
+        }
+        // …but it amplifies contributions (2·c − ε), which is what lets a
+        // manipulated auction payment pay double (§4-B).
+        let tree = generate::path(2);
+        let asks = vec![ask(0), ask(0)];
+        let p = SubtreeLogBonus.payments(&tree, &asks, &[4.0, 4.0]);
+        assert!(p[0] > 4.0 * 1.5, "no amplification: {}", p[0]);
+    }
+
+    #[test]
+    fn rule_names_are_distinct() {
+        let names = [
+            GeometricDepth.name(),
+            GeometricDistance::default().name(),
+            SubtreeLogBonus.name(),
+        ];
+        let set: std::collections::HashSet<&str> = names.into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let rules: Vec<Box<dyn ReferralReward>> = vec![
+            Box::new(GeometricDepth),
+            Box::new(GeometricDistance::default()),
+            Box::new(SubtreeLogBonus),
+        ];
+        let (tree, asks, c) = fixture();
+        for r in &rules {
+            assert_eq!(r.payments(&tree, &asks, &c).len(), 3);
+        }
+    }
+}

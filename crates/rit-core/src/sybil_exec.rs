@@ -1,0 +1,235 @@
+//! Executing §3-B sybil attacks against a full mechanism scenario.
+//!
+//! [`rit_tree::sybil`] rewires the tree; this module completes the attack by
+//! also rewriting the *ask vector*: the victim's ask is replaced by the
+//! first identity's ask and the remaining identity asks are appended in step
+//! with the appended identity nodes. The result is a drop-in `(tree, asks)`
+//! pair for [`crate::Rit::run`], plus the bookkeeping needed to total the
+//! attacker's utility across its identities.
+
+use rand::Rng;
+
+use rit_model::Ask;
+use rit_tree::sybil::{self, SybilPlan};
+use rit_tree::{IncentiveTree, NodeId};
+
+use crate::{RitError, RitOutcome};
+
+/// A scenario after a sybil attack: the transformed tree, the full ask
+/// vector, and which user indices belong to the attacker.
+#[derive(Clone, Debug)]
+pub struct AttackScenario {
+    /// The post-attack incentive tree.
+    pub tree: IncentiveTree,
+    /// The post-attack ask vector (aligned with `tree`'s user nodes).
+    pub asks: Vec<Ask>,
+    /// User indices of the attacker's identities.
+    pub identity_users: Vec<usize>,
+}
+
+impl AttackScenario {
+    /// Total utility the attacker collects across all identities under
+    /// `outcome`, given the attacker's true unit cost
+    /// (`Σ_l p_{j_l} − Σ_l x_{j_l}·cⱼ`, §3-B).
+    #[must_use]
+    pub fn attacker_utility(&self, outcome: &RitOutcome, unit_cost: f64) -> f64 {
+        self.identity_users
+            .iter()
+            .map(|&u| outcome.utility(u, unit_cost))
+            .sum()
+    }
+
+    /// Total tasks allocated to the attacker across identities.
+    #[must_use]
+    pub fn attacker_allocation(&self, outcome: &RitOutcome) -> u64 {
+        self.identity_users
+            .iter()
+            .map(|&u| outcome.allocation()[u])
+            .sum()
+    }
+}
+
+/// Applies a sybil attack to a `(tree, asks)` scenario.
+///
+/// `victim_user` is the attacker's user index; `identity_asks` are the asks
+/// its `δ` identities will submit (all must share the victim's task type —
+/// the paper's `t_{j_l} = t_j` assumption — and there must be exactly
+/// `plan.num_identities` of them). The *caller* is responsible for keeping
+/// `Σ k_{j_l}` within the attacker's true capacity, which the platform
+/// cannot observe.
+///
+/// # Errors
+///
+/// Propagates tree-transformation errors ([`RitError::Tree`]).
+///
+/// # Panics
+///
+/// Panics if `identity_asks.len() != plan.num_identities`, if any identity
+/// ask changes task type, or if `victim_user` is out of range.
+pub fn apply_attack<R: Rng + ?Sized>(
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    victim_user: usize,
+    identity_asks: &[Ask],
+    plan: &SybilPlan,
+    rng: &mut R,
+) -> Result<AttackScenario, RitError> {
+    assert_eq!(asks.len(), tree.num_users(), "asks must align with tree");
+    assert!(victim_user < asks.len(), "victim user out of range");
+    assert_eq!(
+        identity_asks.len(),
+        plan.num_identities,
+        "need one ask per identity"
+    );
+    let victim_type = asks[victim_user].task_type();
+    assert!(
+        identity_asks.iter().all(|a| a.task_type() == victim_type),
+        "identities must keep the victim's task type"
+    );
+
+    let victim_node = NodeId::from_user_index(victim_user);
+    let outcome = sybil::apply(plan, tree, victim_node, rng)?;
+
+    let mut new_asks = asks.to_vec();
+    new_asks[victim_user] = identity_asks[0];
+    new_asks.extend_from_slice(&identity_asks[1..]);
+    debug_assert_eq!(new_asks.len(), outcome.tree.num_users());
+
+    let identity_users = outcome
+        .identities
+        .iter()
+        .map(|id| id.user_index().expect("identities are user nodes"))
+        .collect();
+
+    Ok(AttackScenario {
+        tree: outcome.tree,
+        asks: new_asks,
+        identity_users,
+    })
+}
+
+/// Builds `δ` identity asks that split `total_quantity` uniformly at random
+/// into positive parts, all at the same `unit_price` — the Lemma 6.4
+/// equal-ask attack and the Fig 9 generator.
+///
+/// # Panics
+///
+/// Panics if `delta == 0`, `total_quantity < delta`, or `unit_price` is
+/// invalid.
+#[must_use]
+pub fn uniform_identity_asks<R: Rng + ?Sized>(
+    task_type: rit_model::TaskTypeId,
+    total_quantity: u64,
+    delta: usize,
+    unit_price: f64,
+    rng: &mut R,
+) -> Vec<Ask> {
+    sybil::split_quantity(total_quantity, delta, rng)
+        .into_iter()
+        .map(|k| Ask::new(task_type, k, unit_price).expect("valid split ask"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rit_model::TaskTypeId;
+    use rit_tree::generate;
+
+    fn t0() -> TaskTypeId {
+        TaskTypeId::new(0)
+    }
+
+    fn base() -> (IncentiveTree, Vec<Ask>) {
+        let tree = generate::path(4);
+        let asks = vec![
+            Ask::new(t0(), 3, 2.0).unwrap(),
+            Ask::new(t0(), 4, 3.0).unwrap(),
+            Ask::new(TaskTypeId::new(1), 2, 1.0).unwrap(),
+            Ask::new(t0(), 1, 5.0).unwrap(),
+        ];
+        (tree, asks)
+    }
+
+    #[test]
+    fn attack_rewrites_tree_and_asks() {
+        let (tree, asks) = base();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let identity_asks = vec![
+            Ask::new(t0(), 2, 3.0).unwrap(),
+            Ask::new(t0(), 2, 6.0).unwrap(),
+        ];
+        let sc = apply_attack(
+            &tree,
+            &asks,
+            1,
+            &identity_asks,
+            &SybilPlan::chain(2),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sc.tree.num_users(), 5);
+        assert_eq!(sc.asks.len(), 5);
+        // Victim slot holds the first identity's ask; appended slot the second.
+        assert_eq!(sc.asks[1].quantity(), 2);
+        assert_eq!(sc.asks[1].unit_price(), 3.0);
+        assert_eq!(sc.asks[4].unit_price(), 6.0);
+        assert_eq!(sc.identity_users, vec![1, 4]);
+        // Non-victims untouched.
+        assert_eq!(sc.asks[0], asks[0]);
+        assert_eq!(sc.asks[2], asks[2]);
+        assert_eq!(sc.asks[3], asks[3]);
+    }
+
+    #[test]
+    fn attacker_utility_sums_identities() {
+        let (tree, asks) = base();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let identity_asks = uniform_identity_asks(t0(), 4, 2, 3.0, &mut rng);
+        let sc = apply_attack(
+            &tree,
+            &asks,
+            1,
+            &identity_asks,
+            &SybilPlan::star(2),
+            &mut rng,
+        )
+        .unwrap();
+        let outcome = RitOutcome {
+            completed: true,
+            allocation: vec![0, 2, 0, 0, 1],
+            auction_payments: vec![0.0, 8.0, 0.0, 0.0, 4.0],
+            payments: vec![0.0, 9.0, 0.0, 0.0, 4.0],
+            rounds_used: vec![1],
+            unallocated: vec![0],
+        };
+        // Identities are users 1 and 4: (9 − 2·3) + (4 − 1·3) = 3 + 1 = 4.
+        assert_eq!(sc.attacker_utility(&outcome, 3.0), 4.0);
+        assert_eq!(sc.attacker_allocation(&outcome), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "task type")]
+    fn identities_cannot_switch_type() {
+        let (tree, asks) = base();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let bad = vec![
+            Ask::new(TaskTypeId::new(1), 1, 3.0).unwrap(),
+            Ask::new(t0(), 1, 3.0).unwrap(),
+        ];
+        let _ = apply_attack(&tree, &asks, 1, &bad, &SybilPlan::star(2), &mut rng);
+    }
+
+    #[test]
+    fn uniform_identity_asks_conserve_quantity() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for delta in 1..=6 {
+            let asks = uniform_identity_asks(t0(), 12, delta, 2.5, &mut rng);
+            assert_eq!(asks.len(), delta);
+            assert_eq!(asks.iter().map(Ask::quantity).sum::<u64>(), 12);
+            assert!(asks.iter().all(|a| a.unit_price() == 2.5));
+        }
+    }
+}

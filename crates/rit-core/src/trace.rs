@@ -1,0 +1,112 @@
+//! Execution tracing of the auction phase.
+//!
+//! Researchers tuning `H`, the round budget, or the recruitment threshold
+//! (Remark 6.1) need to see *why* a run allocated what it did: how many
+//! rounds each type used, the per-round consensus counts, clearing prices,
+//! and where allocation stalled. [`crate::Rit::run_auction_phase_traced`]
+//! records one [`RoundTrace`] per CRA invocation.
+
+use rit_auction::cra::CraDiagnostics;
+use rit_model::TaskTypeId;
+
+/// One CRA round within the auction phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundTrace {
+    /// Round index within this task type (0-based).
+    pub round: u32,
+    /// Unallocated tasks `q` before this round.
+    pub q_before: u64,
+    /// Number of unit asks extracted for this round.
+    pub unit_asks: usize,
+    /// Winners selected this round.
+    pub winners: usize,
+    /// Uniform clearing price paid this round (0 if no winners).
+    pub clearing_price: f64,
+    /// CRA internals (sample, threshold, consensus count).
+    pub diagnostics: CraDiagnostics,
+}
+
+/// The auction-phase history of one task type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeTrace {
+    /// The task type.
+    pub task_type: TaskTypeId,
+    /// Tasks requested (`mᵢ`).
+    pub tasks: u64,
+    /// The a-priori round budget (`None` in until-stall mode).
+    pub budget: Option<u32>,
+    /// Per-round records, in execution order.
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl TypeTrace {
+    /// Tasks allocated across all rounds.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.rounds.iter().map(|r| r.winners as u64).sum()
+    }
+
+    /// Whether this type was fully allocated.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.allocated() == self.tasks
+    }
+
+    /// Rounds that selected no winner (empty sample or consensus rounding
+    /// to zero) — the "stall" signal of [`crate::RoundLimit::UntilStall`].
+    #[must_use]
+    pub fn empty_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.winners == 0).count()
+    }
+
+    /// Total auction expenditure within this type.
+    #[must_use]
+    pub fn expenditure(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.winners as f64 * r.clearing_price)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(winners: usize, price: f64) -> RoundTrace {
+        RoundTrace {
+            round: 0,
+            q_before: 10,
+            unit_asks: 100,
+            winners,
+            clearing_price: price,
+            diagnostics: CraDiagnostics::default(),
+        }
+    }
+
+    #[test]
+    fn type_trace_aggregates() {
+        let t = TypeTrace {
+            task_type: TaskTypeId::new(1),
+            tasks: 7,
+            budget: Some(3),
+            rounds: vec![round(5, 2.0), round(0, 0.0), round(2, 3.0)],
+        };
+        assert_eq!(t.allocated(), 7);
+        assert!(t.completed());
+        assert_eq!(t.empty_rounds(), 1);
+        assert_eq!(t.expenditure(), 16.0);
+    }
+
+    #[test]
+    fn incomplete_trace() {
+        let t = TypeTrace {
+            task_type: TaskTypeId::new(0),
+            tasks: 9,
+            budget: None,
+            rounds: vec![round(4, 1.0)],
+        };
+        assert!(!t.completed());
+        assert_eq!(t.allocated(), 4);
+    }
+}

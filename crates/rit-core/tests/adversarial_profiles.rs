@@ -1,0 +1,180 @@
+//! Failure-injection tests: the mechanism must stay well-behaved on
+//! adversarial and degenerate ask profiles — identical prices everywhere,
+//! extreme magnitudes, single monopolist sellers, capacity cliffs.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{Rit, RitConfig, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::generate;
+
+fn best_effort() -> Rit {
+    Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap()
+}
+
+fn t0() -> TaskTypeId {
+    TaskTypeId::new(0)
+}
+
+#[test]
+fn all_identical_prices() {
+    // 200 users, all asking exactly 1.0 for 2 tasks each; 100 tasks wanted.
+    let n = 200;
+    let tree = generate::star(n);
+    let asks: Vec<Ask> = (0..n).map(|_| Ask::new(t0(), 2, 1.0).unwrap()).collect();
+    let job = Job::from_counts(vec![100]).unwrap();
+    let rit = best_effort();
+    let mut completed = 0;
+    for seed in 0..10 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+        if out.completed() {
+            completed += 1;
+            // Uniform price 1.0: payment per task must be exactly 1.0.
+            for j in 0..n {
+                let x = out.allocation()[j];
+                assert!(
+                    (out.auction_payments()[j] - x as f64).abs() < 1e-9,
+                    "user {j}: paid {} for {x} tasks at unit price 1",
+                    out.auction_payments()[j]
+                );
+            }
+        }
+    }
+    assert!(completed >= 5, "tie-heavy market should mostly complete");
+}
+
+#[test]
+fn extreme_price_magnitudes() {
+    // Prices spanning 12 orders of magnitude must not produce NaN/negative
+    // payments or broken totals.
+    let n = 120;
+    let tree = generate::star(n);
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| {
+            let price = 1e-6 * 10f64.powi((j % 13) as i32);
+            Ask::new(t0(), 3, price).unwrap()
+        })
+        .collect();
+    let job = Job::from_counts(vec![60]).unwrap();
+    let rit = best_effort();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let out = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+    for j in 0..n {
+        assert!(out.payments()[j].is_finite());
+        assert!(out.payments()[j] >= 0.0);
+        assert!(out.auction_payments()[j].is_finite());
+    }
+    if out.completed() {
+        assert!(out.total_payment().is_finite());
+        assert!(out.total_payment() >= 0.0);
+    }
+}
+
+#[test]
+fn monopolist_single_seller() {
+    // One user holds the entire supply of τ1; the job needs it.
+    let tree = generate::star(50);
+    let mut asks: Vec<Ask> = (0..49).map(|_| Ask::new(t0(), 4, 2.0).unwrap()).collect();
+    asks.push(Ask::new(TaskTypeId::new(1), 10, 3.0).unwrap());
+    let job = Job::from_counts(vec![40, 5]).unwrap();
+    let rit = best_effort();
+    let mut any_completed = false;
+    for seed in 0..30 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+        if out.completed() {
+            any_completed = true;
+            // The monopolist supplied all 5 τ1 tasks and is paid ≥ its ask.
+            assert_eq!(out.allocation()[49], 5);
+            assert!(out.auction_payments()[49] >= 5.0 * 3.0 - 1e-9);
+        } else {
+            assert_eq!(out.total_payment(), 0.0);
+        }
+    }
+    // A thin single-seller market completes rarely (the consensus count of
+    // a 10-ask market often rounds low) — but it must never misallocate.
+    let _ = any_completed;
+}
+
+#[test]
+fn capacity_exactly_at_remark_boundary() {
+    // Claimed capacity exactly 2·mᵢ — the Remark 6.1 boundary.
+    let n = 40;
+    let tree = generate::star(n);
+    let asks: Vec<Ask> = (0..n).map(|_| Ask::new(t0(), 2, 1.5).unwrap()).collect();
+    let job = Job::from_counts(vec![40]).unwrap(); // claimed = 80 = 2·40
+    assert_eq!(
+        rit_core::recruitment::capacity_satisfied(&job, &asks),
+        Ok(())
+    );
+    let rit = best_effort();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let out = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+    // Whatever the outcome, invariants hold.
+    for j in 0..n {
+        assert!(out.allocation()[j] <= 2);
+    }
+}
+
+#[test]
+fn deep_pathological_tree_with_payments() {
+    // A 30k-node chain with alternating types: payment determination must
+    // neither overflow the stack nor produce NaN from 0.5^30000 underflow.
+    let n = 30_000;
+    let tree = generate::path(n);
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| Ask::new(TaskTypeId::new((j % 2) as u32), 1, 1.0).unwrap())
+        .collect();
+    let pa: Vec<f64> = (0..n).map(|j| (j % 3) as f64).collect();
+    let p = rit_core::payment::determine_payments(&tree, &asks, &pa);
+    assert_eq!(p.len(), n);
+    for (j, &x) in p.iter().enumerate() {
+        assert!(x.is_finite(), "payment {j} not finite");
+        assert!(x >= pa[j] - 1e-9);
+    }
+    // Deep contributors' influence underflows to zero, not to NaN: compare
+    // the head user against an independent evaluation of the formula
+    // (approximately — summation order differs).
+    // User 0 has type 0; its contributing descendants are the odd-indexed
+    // users (type 1), each at depth j + 1 with weight (1/2)^(j+1).
+    let mut expected = pa[0];
+    for (j, &c) in pa.iter().enumerate().skip(1) {
+        if j % 2 == 1 {
+            expected += 0.5f64.powi(j as i32 + 1) * c;
+        }
+    }
+    assert!(
+        (p[0] - expected).abs() < 1e-9,
+        "head payment {} vs expected {expected}",
+        p[0]
+    );
+}
+
+#[test]
+fn job_with_many_zero_types() {
+    // 50 types, only two of which request tasks.
+    let mut counts = vec![0u64; 50];
+    counts[7] = 20;
+    counts[31] = 10;
+    let job = Job::from_counts(counts).unwrap();
+    let n = 300;
+    let tree = generate::star(n);
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| Ask::new(TaskTypeId::new((j % 50) as u32), 5, 1.0 + j as f64 * 0.01).unwrap())
+        .collect();
+    let rit = best_effort();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let out = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+    assert_eq!(out.rounds_used().len(), 50);
+    // Zero-task types run zero rounds.
+    for (t, &r) in out.rounds_used().iter().enumerate() {
+        if t != 7 && t != 31 {
+            assert_eq!(r, 0, "type {t} ran rounds for zero tasks");
+        }
+    }
+}

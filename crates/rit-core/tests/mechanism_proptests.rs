@@ -1,0 +1,131 @@
+//! Property-based tests of full-mechanism invariants on arbitrary small
+//! scenarios: random jobs, capacities, prices, and tree shapes.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{Rit, RitConfig, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::{IncentiveTree, NodeId};
+
+#[derive(Clone, Debug)]
+struct ArbScenario {
+    job: Job,
+    tree: IncentiveTree,
+    asks: Vec<Ask>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = ArbScenario> {
+    let users = prop::collection::vec((0u32..3, 1u64..6, 0.01f64..10.0, any::<u32>()), 1..60);
+    let job = prop::collection::vec(0u64..30, 1..4);
+    (users, job).prop_map(|(users, counts)| {
+        let parents: Vec<NodeId> = users
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _, _, p))| NodeId::new(p % (i as u32 + 1)))
+            .collect();
+        let tree = IncentiveTree::from_parents(&parents).expect("valid parents");
+        let asks: Vec<Ask> = users
+            .iter()
+            .map(|&(t, k, a, _)| Ask::new(TaskTypeId::new(t), k, a).expect("valid ask"))
+            .collect();
+        ArbScenario {
+            job: Job::from_counts(counts).expect("non-empty"),
+            tree,
+            asks,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mechanism_invariants_hold_on_arbitrary_scenarios(
+        scenario in arb_scenario(),
+        seed in any::<u64>(),
+    ) {
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = rit
+            .run(&scenario.job, &scenario.tree, &scenario.asks, &mut rng)
+            .expect("aligned inputs never error in best-effort mode");
+
+        let n = scenario.asks.len();
+        prop_assert_eq!(out.allocation().len(), n);
+        prop_assert_eq!(out.payments().len(), n);
+        prop_assert_eq!(out.rounds_used().len(), scenario.job.num_types());
+
+        if out.completed() {
+            // Per-type allocation equals the job exactly.
+            let mut per_type = vec![0u64; scenario.job.num_types()];
+            for (j, &x) in out.allocation().iter().enumerate() {
+                prop_assert!(x <= scenario.asks[j].quantity());
+                if x > 0 {
+                    let t = scenario.asks[j].task_type().index();
+                    prop_assert!(t < per_type.len(), "allocated an out-of-job type");
+                    per_type[t] += x;
+                }
+            }
+            for (t, &got) in per_type.iter().enumerate() {
+                prop_assert_eq!(got, scenario.job.tasks_of(TaskTypeId::new(t as u32)));
+            }
+            // Payments: IR at the ask level, solicitation non-negative,
+            // and the §7 total bound.
+            for j in 0..n {
+                let floor = out.allocation()[j] as f64 * scenario.asks[j].unit_price();
+                prop_assert!(out.auction_payments()[j] >= floor - 1e-9);
+                prop_assert!(out.payment(j) >= out.auction_payments()[j] - 1e-9);
+                prop_assert!(out.payment(j).is_finite());
+            }
+            prop_assert!(out.total_payment() <= 2.0 * out.total_auction_payment() + 1e-9);
+        } else {
+            // Void: everything zero.
+            prop_assert_eq!(out.total_allocated(), 0);
+            prop_assert_eq!(out.total_payment(), 0.0);
+            prop_assert!(out.unallocated().iter().any(|&q| q > 0));
+        }
+    }
+
+    #[test]
+    fn traced_and_untraced_agree_on_arbitrary_scenarios(
+        scenario in arb_scenario(),
+        seed in any::<u64>(),
+    ) {
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let plain = rit
+            .run_auction_phase(&scenario.job, &scenario.asks, &mut SmallRng::seed_from_u64(seed))
+            .unwrap();
+        let (traced, traces) = rit
+            .run_auction_phase_traced(
+                &scenario.job,
+                &scenario.asks,
+                &mut SmallRng::seed_from_u64(seed),
+            )
+            .unwrap();
+        prop_assert_eq!(&plain, &traced);
+        prop_assert_eq!(traces.len(), scenario.job.num_types());
+        let traced_total: f64 = traces.iter().map(|t| t.expenditure()).sum();
+        let phase_total: f64 = plain.auction_payments.iter().sum();
+        prop_assert!((traced_total - phase_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strict_budget_never_panics(
+        scenario in arb_scenario(),
+        seed in any::<u64>(),
+    ) {
+        // The paper budget may reject tiny jobs — but must never panic.
+        let rit = Rit::new(RitConfig::default()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let _ = rit.run(&scenario.job, &scenario.tree, &scenario.asks, &mut rng);
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests of RIT's mechanism-level invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{payment, Rit, RitConfig, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::sybil::SybilPlan;
+use rit_tree::{generate, IncentiveTree, NodeId};
+
+fn arb_tree(max_users: usize) -> impl Strategy<Value = IncentiveTree> {
+    prop::collection::vec(any::<u32>(), 1..max_users).prop_map(|choices| {
+        let parents: Vec<NodeId> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| NodeId::new(c % (i as u32 + 1)))
+            .collect();
+        IncentiveTree::from_parents(&parents).expect("valid parents")
+    })
+}
+
+proptest! {
+    /// Lemma 6.4, payment-determination half, checked *exactly*: when the
+    /// auction side is held fixed (same total auction payment, split
+    /// arbitrarily among identities; every other user's payment unchanged),
+    /// a sybil split can never increase the attacker's total tree payment.
+    #[test]
+    fn sybil_split_never_raises_tree_payment(
+        tree in arb_tree(40),
+        types in prop::collection::vec(0u32..4, 40),
+        pays in prop::collection::vec(0.0f64..20.0, 40),
+        victim_sel in any::<usize>(),
+        delta in 2usize..6,
+        split_sel in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let n = tree.num_users();
+        let victim = victim_sel % n;
+        let asks: Vec<Ask> = (0..n)
+            .map(|j| Ask::new(TaskTypeId::new(types[j]), 1, 1.0).unwrap())
+            .collect();
+        let pa: Vec<f64> = pays[..n].to_vec();
+
+        let honest = payment::determine_payments(&tree, &asks, &pa);
+        let honest_payment = honest[victim];
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plan = SybilPlan::random(delta);
+        let out = rit_tree::sybil::apply(&plan, &tree, NodeId::from_user_index(victim), &mut rng)
+            .unwrap();
+
+        // Post-attack asks: identities keep the victim's type.
+        let mut new_asks = asks.clone();
+        let mut new_pa = pa.clone();
+        for _ in 1..delta {
+            new_asks.push(asks[victim]);
+            new_pa.push(0.0);
+        }
+        // Split the victim's auction payment arbitrarily among identities.
+        let identity_users: Vec<usize> = out
+            .identities
+            .iter()
+            .map(|id| id.user_index().unwrap())
+            .collect();
+        let share = split_sel as f64 / u64::MAX as f64;
+        new_pa[identity_users[0]] = pa[victim] * share;
+        new_pa[identity_users[1]] = pa[victim] * (1.0 - share);
+        for &u in &identity_users[2..] {
+            new_pa[u] = 0.0;
+        }
+
+        let attacked = payment::determine_payments(&out.tree, &new_asks, &new_pa);
+        let attacker_total: f64 = identity_users.iter().map(|&u| attacked[u]).sum();
+        prop_assert!(
+            attacker_total <= honest_payment + 1e-9,
+            "sybil split raised tree payment: {attacker_total} > {honest_payment}"
+        );
+    }
+
+    /// Everyone else's payment never *increases* when someone sybils
+    /// (descendants of the victim can only sink deeper).
+    #[test]
+    fn sybil_split_never_helps_bystanders(
+        tree in arb_tree(30),
+        types in prop::collection::vec(0u32..3, 30),
+        pays in prop::collection::vec(0.0f64..20.0, 30),
+        victim_sel in any::<usize>(),
+        seed in any::<u64>(),
+    ) {
+        let n = tree.num_users();
+        let victim = victim_sel % n;
+        let asks: Vec<Ask> = (0..n)
+            .map(|j| Ask::new(TaskTypeId::new(types[j]), 1, 1.0).unwrap())
+            .collect();
+        let pa: Vec<f64> = pays[..n].to_vec();
+        let honest = payment::determine_payments(&tree, &asks, &pa);
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = rit_tree::sybil::apply(
+            &SybilPlan::chain(3),
+            &tree,
+            NodeId::from_user_index(victim),
+            &mut rng,
+        )
+        .unwrap();
+        let mut new_asks = asks.clone();
+        let mut new_pa = pa.clone();
+        for _ in 1..3 {
+            new_asks.push(asks[victim]);
+            new_pa.push(0.0);
+        }
+        let attacked = payment::determine_payments(&out.tree, &new_asks, &new_pa);
+        for j in 0..n {
+            if j == victim {
+                continue;
+            }
+            prop_assert!(
+                attacked[j] <= honest[j] + 1e-9,
+                "bystander {j} gained from the attack: {} > {}",
+                attacked[j],
+                honest[j]
+            );
+        }
+    }
+
+    /// Solicitation incentive (Theorem 4), tree-payment side: adding a new
+    /// contributor as OUR child helps us at least as much as the same
+    /// contributor joining under anyone else.
+    #[test]
+    fn new_child_is_weakly_best(
+        tree in arb_tree(25),
+        types in prop::collection::vec(0u32..3, 26),
+        pays in prop::collection::vec(0.0f64..20.0, 26),
+        host_sel in any::<usize>(),
+        other_sel in any::<usize>(),
+    ) {
+        let n = tree.num_users();
+        let host = host_sel % n;
+        let other = other_sel % n;
+        let asks: Vec<Ask> = (0..n)
+            .map(|j| Ask::new(TaskTypeId::new(types[j]), 1, 1.0).unwrap())
+            .collect();
+        let pa: Vec<f64> = pays[..n].to_vec();
+        let newcomer_ask = Ask::new(TaskTypeId::new(types[n]), 1, 1.0).unwrap();
+        let newcomer_pa = pays[n];
+
+        let extend = |parent: NodeId| {
+            let mut parents = tree.to_parents();
+            parents.push(parent);
+            let t2 = IncentiveTree::from_parents(&parents).unwrap();
+            let mut a2 = asks.clone();
+            a2.push(newcomer_ask);
+            let mut p2 = pa.clone();
+            p2.push(newcomer_pa);
+            payment::determine_payments(&t2, &a2, &p2)[host]
+        };
+
+        let as_my_child = extend(NodeId::from_user_index(host));
+        let under_other = extend(NodeId::from_user_index(other));
+        let under_root = extend(NodeId::ROOT);
+        prop_assert!(as_my_child >= under_other - 1e-9);
+        prop_assert!(as_my_child >= under_root - 1e-9);
+    }
+}
+
+/// Full-mechanism statistical check of Lemma 6.4: with equal ask values and
+/// a quantity-preserving split, the attacker's mean utility over many seeds
+/// does not rise.
+#[test]
+fn full_rit_sybil_attack_not_profitable_on_average() {
+    let mut setup_rng = SmallRng::seed_from_u64(2024);
+    let n = 800;
+    let job = Job::from_counts(vec![150, 150]).unwrap();
+    let tree = generate::preferential(n, &mut setup_rng);
+    let config = rit_model::workload::WorkloadConfig {
+        num_types: 2,
+        capacity_max: 6,
+        cost_max: 10.0,
+    };
+    let pop = config.sample_population(n, &mut setup_rng).unwrap();
+    let asks = pop.truthful_asks().into_vec();
+
+    // Pick an attacker with capacity ≥ 3 and a recruiter role.
+    let victim = (0..n)
+        .find(|&j| pop[j].capacity() >= 3 && !tree.children(NodeId::from_user_index(j)).is_empty())
+        .expect("some recruiter with capacity exists");
+    let cost = pop[victim].unit_cost();
+
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+
+    let runs = 60;
+    let mut honest_total = 0.0;
+    let mut attack_total = 0.0;
+    for seed in 0..runs {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let honest = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+        honest_total += honest.utility(victim, cost);
+
+        let mut rng = SmallRng::seed_from_u64(10_000 + seed);
+        let identity_asks = rit_core::sybil_exec::uniform_identity_asks(
+            asks[victim].task_type(),
+            asks[victim].quantity().max(2),
+            2,
+            asks[victim].unit_price(),
+            &mut rng,
+        );
+        let sc = rit_core::sybil_exec::apply_attack(
+            &tree,
+            &asks,
+            victim,
+            &identity_asks,
+            &SybilPlan::chain(2),
+            &mut rng,
+        )
+        .unwrap();
+        let attacked = rit.run(&job, &sc.tree, &sc.asks, &mut rng).unwrap();
+        attack_total += sc.attacker_utility(&attacked, cost);
+    }
+    let honest_mean = honest_total / runs as f64;
+    let attack_mean = attack_total / runs as f64;
+    // Allow sampling noise: the attack must not win by a clear margin.
+    assert!(
+        attack_mean <= honest_mean + 0.35 * honest_mean.abs().max(1.0),
+        "sybil attack profitable on average: {attack_mean:.3} vs honest {honest_mean:.3}"
+    );
+}

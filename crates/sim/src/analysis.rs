@@ -1,0 +1,190 @@
+//! Distributional analysis of mechanism outcomes.
+//!
+//! Beyond the paper's aggregate metrics, platform operators care about how
+//! payments *distribute*: does the mechanism concentrate earnings on a few
+//! super-recruiters (a pyramid-scheme smell), and what does each task type
+//! actually clear at? This module computes the standard summaries.
+
+use rit_core::RitOutcome;
+use rit_model::Ask;
+
+/// Distributional summary of one outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaymentSummary {
+    /// Total platform expenditure.
+    pub total: f64,
+    /// Users with a positive final payment.
+    pub paid_users: usize,
+    /// Gini coefficient of the final payments over all users (0 = equal,
+    /// → 1 = concentrated).
+    pub gini: f64,
+    /// Share of the total collected by the best-paid 10 % of users.
+    pub top_decile_share: f64,
+    /// Mean realized unit price per task type (`Σ p^A / Σ x` among that
+    /// type's users; `None` where nothing was allocated).
+    pub mean_unit_price: Vec<Option<f64>>,
+}
+
+/// The Gini coefficient of a set of non-negative values
+/// (0 for perfectly equal, approaching 1 for total concentration).
+/// Returns 0 for empty input or an all-zero vector.
+///
+/// ```
+/// use rit_sim::analysis::gini;
+///
+/// assert_eq!(gini(&[5.0, 5.0, 5.0]), 0.0);
+/// assert!(gini(&[0.0, 0.0, 0.0, 12.0]) > 0.7);
+/// ```
+#[must_use]
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // G = (2·Σ i·x_i) / (n·Σ x) − (n + 1)/n, with 1-based ranks i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Summarizes one outcome against its ask vector.
+///
+/// # Panics
+///
+/// Panics if `asks` does not align with the outcome's user count.
+#[must_use]
+pub fn summarize(asks: &[Ask], outcome: &RitOutcome) -> PaymentSummary {
+    let n = asks.len();
+    assert_eq!(n, outcome.payments().len(), "asks must align with outcome");
+    let payments = outcome.payments();
+    let total: f64 = payments.iter().sum();
+    let paid_users = payments.iter().filter(|&&p| p > 1e-12).count();
+
+    // Top-decile share.
+    let mut sorted: Vec<f64> = payments.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let decile = n.div_ceil(10);
+    let top: f64 = sorted.iter().take(decile).sum();
+    let top_decile_share = if total > 0.0 { top / total } else { 0.0 };
+
+    // Per-type realized unit prices.
+    let num_types = asks
+        .iter()
+        .map(|a| a.task_type().index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut pay_by_type = vec![0.0f64; num_types];
+    let mut tasks_by_type = vec![0u64; num_types];
+    for (j, a) in asks.iter().enumerate() {
+        let t = a.task_type().index();
+        pay_by_type[t] += outcome.auction_payments()[j];
+        tasks_by_type[t] += outcome.allocation()[j];
+    }
+    let mean_unit_price = pay_by_type
+        .iter()
+        .zip(&tasks_by_type)
+        .map(|(&p, &x)| if x > 0 { Some(p / x as f64) } else { None })
+        .collect();
+
+    PaymentSummary {
+        total,
+        paid_users,
+        gini: gini(payments),
+        top_decile_share,
+        mean_unit_price,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rit_core::{Rit, RitConfig, RoundLimit};
+    use rit_model::Job;
+
+    #[test]
+    fn gini_known_values() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert_eq!(gini(&[3.0]), 0.0);
+        assert!((gini(&[1.0, 1.0, 1.0, 1.0])).abs() < 1e-12);
+        // Two users, one takes all: G = 1/2 exactly.
+        assert!((gini(&[0.0, 10.0]) - 0.5).abs() < 1e-12);
+        // Monotone under concentration.
+        assert!(gini(&[1.0, 9.0]) > gini(&[4.0, 6.0]));
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let base = [1.0, 2.0, 3.0, 10.0];
+        let scaled: Vec<f64> = base.iter().map(|x| x * 7.5).collect();
+        assert!((gini(&base) - gini(&scaled)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_on_a_real_outcome() {
+        let mut config = ScenarioConfig::paper(800);
+        config.workload.num_types = 3;
+        let scenario = Scenario::generate(&config, 3);
+        let job = Job::uniform(3, 100).unwrap();
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let outcome = rit
+            .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+            .unwrap();
+        let s = summarize(&scenario.asks, &outcome);
+        if outcome.completed() {
+            assert!(s.total > 0.0);
+            assert!(s.paid_users > 0 && s.paid_users <= 800);
+            assert!(s.gini > 0.0 && s.gini < 1.0);
+            assert!(s.top_decile_share > 0.1 && s.top_decile_share <= 1.0);
+            assert_eq!(s.mean_unit_price.len(), 3);
+            for (t, price) in s.mean_unit_price.iter().enumerate() {
+                let p = price.unwrap_or_else(|| panic!("type {t} allocated nothing"));
+                assert!(p > 0.0 && p <= 10.0 * 3.0, "implausible unit price {p}");
+            }
+        } else {
+            assert_eq!(s.total, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_outcome_summary() {
+        let outcome = {
+            // Void outcome from an impossible job.
+            let tree = rit_tree::generate::star(2);
+            let asks = vec![
+                rit_model::Ask::new(rit_model::TaskTypeId::new(0), 1, 1.0).unwrap(),
+                rit_model::Ask::new(rit_model::TaskTypeId::new(0), 1, 1.0).unwrap(),
+            ];
+            let job = Job::from_counts(vec![50]).unwrap();
+            let rit = Rit::new(RitConfig {
+                round_limit: RoundLimit::until_stall(),
+                ..RitConfig::default()
+            })
+            .unwrap();
+            let mut rng = SmallRng::seed_from_u64(1);
+            let out = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+            (asks, out)
+        };
+        let s = summarize(&outcome.0, &outcome.1);
+        assert_eq!(s.total, 0.0);
+        assert_eq!(s.paid_users, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Command-line harness regenerating every figure of the paper's §7
+//! evaluation.
+//!
+//! ```text
+//! experiments [--figure all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|fig9]
+//!             [--scale smoke|default|paper] [--runs N] [--seed S]
+//!             [--out DIR]
+//! ```
+//!
+//! Prints each figure as a Markdown table and writes a CSV per figure into
+//! `--out` (default `results/`). `--scale default --runs 20` reproduces the
+//! paper's curve shapes in minutes; `--scale paper --runs 1000` is the
+//! full-fidelity grid (hours).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rit_sim::experiments::{
+    ablation, bound_check, fig9, quality_screening, robustness, sweeps, tree_shape,
+    truthfulness_profile, Scale,
+};
+use rit_sim::metrics::Figure;
+
+#[derive(Clone, Debug)]
+struct Args {
+    figures: Vec<String>,
+    scale: Scale,
+    runs: usize,
+    seed: u64,
+    out: PathBuf,
+    report: Option<PathBuf>,
+}
+
+const ALL_FIGURES: [&str; 15] = [
+    "fig6a",
+    "fig6b",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig9",
+    "ablation_collusion",
+    "ablation_rounds",
+    "bound_check",
+    "robustness",
+    "tree_shape",
+    "truthfulness_profile",
+    "quality_screening",
+    "campaign",
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figures: ALL_FIGURES.iter().map(|s| (*s).to_string()).collect(),
+        scale: Scale::Default,
+        runs: 10,
+        seed: 2017,
+        out: PathBuf::from("results"),
+        report: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--figure" => {
+                let v = value("--figure")?;
+                if v == "all" {
+                    args.figures = ALL_FIGURES.iter().map(|s| (*s).to_string()).collect();
+                } else if ALL_FIGURES.contains(&v.as_str()) {
+                    args.figures = vec![v];
+                } else {
+                    return Err(format!("unknown figure {v}; expected all|{ALL_FIGURES:?}"));
+                }
+            }
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "default" => Scale::Default,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale {other}")),
+                };
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("bad --runs: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--report" => args.report = Some(PathBuf::from(value("--report")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--figure all|fig6a|...|fig9] \
+                     [--scale smoke|default|paper] [--runs N] [--seed S] [--out DIR] \
+                     [--report FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn emit(figure: &Figure, out: &Path, report: &mut String) {
+    let md = figure.to_markdown();
+    println!("{md}");
+    report.push_str(&md);
+    report.push('\n');
+    let path = out.join(format!("{}.csv", figure.id));
+    match figure.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    let gp_path = out.join(format!("{}.gp", figure.id));
+    let gp = figure.to_gnuplot(&format!("{}.csv", figure.id));
+    match std::fs::write(&gp_path, gp) {
+        Ok(()) => println!("wrote {}\n", gp_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}\n", gp_path.display()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("error: cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let wants = |id: &str| args.figures.iter().any(|f| f == id);
+    let mut report = format!(
+        "# RIT experiment report\n\nscale {:?}, {} runs/point, seed {}\n\n",
+        args.scale, args.runs, args.seed
+    );
+    let sweep_config = sweeps::SweepConfig {
+        scale: args.scale,
+        runs: args.runs,
+        seed: args.seed,
+    };
+
+    if wants("fig6a") || wants("fig7a") || wants("fig8a") {
+        eprintln!(
+            "running user sweep ({} runs/point, scale {:?})…",
+            args.runs, args.scale
+        );
+        let data = sweeps::user_sweep(&sweep_config);
+        report_completion(&data);
+        if wants("fig6a") {
+            emit(&sweeps::utility_figure(&data), &args.out, &mut report);
+        }
+        if wants("fig7a") {
+            emit(&sweeps::payment_figure(&data), &args.out, &mut report);
+        }
+        if wants("fig8a") {
+            emit(&sweeps::runtime_figure(&data), &args.out, &mut report);
+        }
+    }
+    if wants("fig6b") || wants("fig7b") || wants("fig8b") {
+        eprintln!(
+            "running task sweep ({} runs/point, scale {:?})…",
+            args.runs, args.scale
+        );
+        let data = sweeps::task_sweep(&sweep_config);
+        report_completion(&data);
+        if wants("fig6b") {
+            emit(&sweeps::utility_figure(&data), &args.out, &mut report);
+        }
+        if wants("fig7b") {
+            emit(&sweeps::payment_figure(&data), &args.out, &mut report);
+        }
+        if wants("fig8b") {
+            emit(&sweeps::runtime_figure(&data), &args.out, &mut report);
+        }
+    }
+    let ablation_config = ablation::AblationConfig {
+        scale: args.scale,
+        runs: args.runs,
+        seed: args.seed,
+    };
+    if wants("ablation_collusion") {
+        eprintln!("running collusion ablation ({} runs/cell)…", args.runs);
+        emit(
+            &ablation::collusion(&ablation_config),
+            &args.out,
+            &mut report,
+        );
+    }
+    if wants("ablation_rounds") {
+        eprintln!("running round-budget ablation ({} runs/cell)…", args.runs);
+        emit(
+            &ablation::round_budget(&ablation_config),
+            &args.out,
+            &mut report,
+        );
+    }
+    if wants("bound_check") {
+        eprintln!(
+            "running Lemma 6.2 bound check ({} markets/cell)…",
+            args.runs
+        );
+        emit(
+            &bound_check::run(&bound_check::BoundCheckConfig {
+                scale: args.scale,
+                runs: args.runs,
+                inner_runs: 32,
+                seed: args.seed,
+                k: 10,
+            }),
+            &args.out,
+            &mut report,
+        );
+    }
+    if wants("robustness") {
+        eprintln!(
+            "running cost-distribution robustness sweep ({} runs/cell)…",
+            args.runs
+        );
+        emit(
+            &robustness::run(&robustness::RobustnessConfig {
+                scale: args.scale,
+                runs: args.runs,
+                seed: args.seed,
+            }),
+            &args.out,
+            &mut report,
+        );
+    }
+    if wants("tree_shape") {
+        eprintln!(
+            "running tree-shape sensitivity sweep ({} runs/model)…",
+            args.runs
+        );
+        emit(
+            &tree_shape::run(&tree_shape::TreeShapeConfig {
+                scale: args.scale,
+                runs: args.runs,
+                seed: args.seed,
+            }),
+            &args.out,
+            &mut report,
+        );
+    }
+    if wants("truthfulness_profile") {
+        eprintln!("running truthfulness profile ({} runs/factor)…", args.runs);
+        emit(
+            &truthfulness_profile::run(&truthfulness_profile::ProfileConfig {
+                scale: args.scale,
+                runs: args.runs,
+                seed: args.seed,
+            }),
+            &args.out,
+            &mut report,
+        );
+    }
+    if wants("quality_screening") {
+        eprintln!(
+            "running quality-screening sweep ({} runs/level)…",
+            args.runs
+        );
+        emit(
+            &quality_screening::run(&quality_screening::ScreeningConfig {
+                scale: args.scale,
+                runs: args.runs,
+                seed: args.seed,
+            }),
+            &args.out,
+            &mut report,
+        );
+    }
+    if wants("campaign") {
+        eprintln!("running campaign lifecycle (8 epochs)…");
+        let mut config = rit_sim::campaign::CampaignConfig::small();
+        config.num_jobs = 8;
+        match rit_sim::campaign::run(&config, args.seed) {
+            Ok(campaign_report) => emit(
+                &rit_sim::campaign::to_figure(&campaign_report),
+                &args.out,
+                &mut report,
+            ),
+            Err(e) => eprintln!("campaign failed: {e}"),
+        }
+    }
+    if wants("fig9") {
+        eprintln!(
+            "running fig9 sybil/truthfulness probe ({} runs/cell, scale {:?})…",
+            args.runs, args.scale
+        );
+        let figure = fig9::run(&fig9::Fig9Config {
+            scale: args.scale,
+            runs: args.runs,
+            seed: args.seed,
+        });
+        emit(&figure, &args.out, &mut report);
+    }
+    if let Some(path) = &args.report {
+        match std::fs::write(path, &report) {
+            Ok(()) => eprintln!("wrote combined report {}", path.display()),
+            Err(e) => eprintln!("warning: could not write report {}: {e}", path.display()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_completion(data: &sweeps::SweepData) {
+    for p in &data.points {
+        eprintln!(
+            "  {} = {}: completion rate {:.0}%",
+            data.kind,
+            p.x,
+            100.0 * p.completion_rate
+        );
+    }
+}

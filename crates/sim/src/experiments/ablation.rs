@@ -1,0 +1,313 @@
+//! Ablations of RIT's design choices.
+//!
+//! * [`collusion`] — *why consensus rounding?* The best single-user
+//!   withhold-and-decoy manipulation is computed against the naive `k`-th
+//!   price combination (where it is deterministic and often profitable in
+//!   thin markets), then replayed against RIT's CRA. Expected shape: the
+//!   naive gain is positive and shrinks as the market thickens; the CRA
+//!   gain hovers at zero everywhere.
+//! * [`round_budget`] — *why the first-round reading of Algorithm 3's
+//!   `max`?* Completion rate of the auction phase under the three
+//!   [`RoundLimit`] policies as the per-type job size grows. The strict
+//!   `q = 0` reading yields a zero budget below `mᵢ ≈ 1600` (at
+//!   `K_max = 20`, `H = 0.8`, `m = 10`) and therefore a 0% completion rate
+//!   there — evidence that the paper's own evaluation cannot have used it
+//!   (see DESIGN.md).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_auction::bounds::WorstCaseQ;
+use rit_auction::extract;
+use rit_core::sybil_exec;
+use rit_core::{naive, Rit, RitConfig, RoundLimit};
+use rit_model::{Ask, Job};
+use rit_tree::sybil::SybilPlan;
+
+use crate::experiments::Scale;
+use crate::metrics::{Figure, MeanStd, Point, Series};
+use crate::runner::{derive_seed, parallel_map};
+use crate::scenario::{Scenario, ScenarioConfig};
+
+/// Configuration shared by the ablations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AblationConfig {
+    /// Problem size.
+    pub scale: Scale,
+    /// Replications per cell for the randomized mechanism.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// The best withhold-and-decoy manipulation available to any single user
+/// against the naive mechanism, as `(attacker, decoy_price, estimated_gain)`.
+/// Returns `None` when no strictly profitable manipulation exists.
+fn best_decoy(job: &Job, scenario: &Scenario) -> Option<(usize, f64, f64)> {
+    let honest = naive::run(job, &scenario.tree, &scenario.asks);
+    let mut best: Option<(usize, f64, f64)> = None;
+    for (task_type, m_i) in job.iter() {
+        let alpha = extract::extract(task_type, &scenario.asks);
+        let mut values: Vec<f64> = alpha.values().to_vec();
+        values.sort_by(f64::total_cmp);
+        let slots = m_i as usize;
+        if values.len() < slots + 2 || values[slots + 1] <= values[slots] {
+            continue;
+        }
+        let clearing = values[slots];
+        let decoy = values[slots + 1] - 1e-9;
+        for j in 0..scenario.num_users() {
+            if scenario.asks[j].task_type() != task_type || honest.allocation[j] < 2 {
+                continue;
+            }
+            let units = honest.allocation[j] as f64;
+            let est =
+                (units - 1.0) * (decoy - clearing) - (clearing - scenario.asks[j].unit_price());
+            if est > best.map_or(0.0, |(_, _, g)| g) {
+                best = Some((j, decoy, est));
+            }
+        }
+    }
+    best
+}
+
+fn decoy_asks(scenario: &Scenario, attacker: usize, decoy: f64) -> Vec<Ask> {
+    let base = scenario.asks[attacker];
+    vec![
+        base.with_quantity(base.quantity().max(2) - 1)
+            .expect("quantity ≥ 1"),
+        Ask::new(base.task_type(), 1, decoy).expect("valid decoy price"),
+    ]
+}
+
+/// The collusion ablation: exact naive gain vs mean CRA gain of the same
+/// attack, swept over market size (single-type jobs, `n = 12·mᵢ / K̄`).
+#[must_use]
+pub fn collusion(config: &AblationConfig) -> Figure {
+    let sizes: Vec<u64> = match config.scale {
+        Scale::Smoke => vec![20, 40],
+        Scale::Default | Scale::Paper => vec![20, 50, 100, 200, 400],
+    };
+    let mut naive_series = Vec::with_capacity(sizes.len());
+    let mut cra_series = Vec::with_capacity(sizes.len());
+
+    for (pi, &m_i) in sizes.iter().enumerate() {
+        // Thin-ish single-type market: expected unit supply ≈ 3× demand.
+        let mut scen_config = ScenarioConfig::paper((m_i as usize * 12 / 5).max(20));
+        scen_config.workload.num_types = 1;
+        scen_config.workload.capacity_max = 4;
+        let job = Job::from_counts(vec![m_i]).expect("non-empty job");
+
+        // Scan market draws and keep the one admitting the most profitable
+        // manipulation — the adversary's best case against the naive design.
+        let mut chosen: Option<(Scenario, usize, f64, f64)> = None;
+        for s in 0..100u64 {
+            let scenario = Scenario::generate(&scen_config, derive_seed(config.seed, pi as u64, s));
+            if let Some((attacker, decoy, est)) = best_decoy(&job, &scenario) {
+                if est > chosen.as_ref().map_or(0.0, |&(_, _, _, g)| g) {
+                    chosen = Some((scenario, attacker, decoy, est));
+                }
+            }
+        }
+        let Some((scenario, attacker, decoy, _)) = chosen else {
+            // No manipulable draw found (thick-market regime): record zero gain.
+            naive_series.push(Point {
+                x: m_i as f64,
+                y: 0.0,
+                y_std: 0.0,
+            });
+            cra_series.push(Point {
+                x: m_i as f64,
+                y: 0.0,
+                y_std: 0.0,
+            });
+            continue;
+        };
+        let cost = scenario.population[attacker].unit_cost();
+        let identity_asks = decoy_asks(&scenario, attacker, decoy);
+
+        // Exact naive gain.
+        let honest_naive = naive::run(&job, &scenario.tree, &scenario.asks);
+        let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, pi as u64, 999));
+        let sc = sybil_exec::apply_attack(
+            &scenario.tree,
+            &scenario.asks,
+            attacker,
+            &identity_asks,
+            &SybilPlan::chain(2),
+            &mut rng,
+        )
+        .expect("valid attack");
+        let attacked_naive = naive::run(&job, &sc.tree, &sc.asks);
+        let naive_gain: f64 = sc
+            .identity_users
+            .iter()
+            .map(|&u| attacked_naive.utility(u, cost))
+            .sum::<f64>()
+            - honest_naive.utility(attacker, cost);
+        naive_series.push(Point {
+            x: m_i as f64,
+            y: naive_gain,
+            y_std: 0.0,
+        });
+
+        // Mean CRA gain of the same attack.
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .expect("valid config");
+        // Paired replications (same seed feeds both arms) cut variance.
+        let gains = parallel_map(config.runs * 4, |r| {
+            let seed = derive_seed(config.seed, 1_000 + pi as u64, r as u64);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let honest = rit
+                .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+                .expect("aligned");
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let sc = sybil_exec::apply_attack(
+                &scenario.tree,
+                &scenario.asks,
+                attacker,
+                &identity_asks,
+                &SybilPlan::chain(2),
+                &mut rng,
+            )
+            .expect("valid attack");
+            let attacked = rit
+                .run(&job, &sc.tree, &sc.asks, &mut rng)
+                .expect("aligned");
+            sc.attacker_utility(&attacked, cost) - honest.utility(attacker, cost)
+        });
+        let mut acc = MeanStd::new();
+        acc.extend(gains);
+        cra_series.push(Point {
+            x: m_i as f64,
+            y: acc.mean(),
+            y_std: acc.std_dev(),
+        });
+    }
+
+    Figure {
+        id: "ablation_collusion",
+        title: "best decoy-manipulation gain: naive k-th price vs CRA".into(),
+        x_label: "tasks in the market (m_i)",
+        y_label: "attacker gain over honest",
+        series: vec![
+            Series {
+                name: "naive k-th price (exact)".into(),
+                points: naive_series,
+            },
+            Series {
+                name: "RIT/CRA (mean)".into(),
+                points: cra_series,
+            },
+        ],
+    }
+}
+
+/// The round-budget ablation: auction-phase completion rate per
+/// [`RoundLimit`] policy as the per-type job size grows.
+#[must_use]
+pub fn round_budget(config: &AblationConfig) -> Figure {
+    let (n_users, sizes): (usize, Vec<u64>) = match config.scale {
+        Scale::Smoke => (6_000, vec![600, 1_200]),
+        Scale::Default | Scale::Paper => (30_000, vec![1_000, 1_400, 1_800, 2_200, 2_600, 3_000]),
+    };
+    let policies: [(&str, RoundLimit); 3] = [
+        ("paper budget, q = 0", RoundLimit::Paper(WorstCaseQ::Zero)),
+        (
+            "paper budget, q = m_i",
+            RoundLimit::Paper(WorstCaseQ::FirstRound),
+        ),
+        ("until stall", RoundLimit::until_stall()),
+    ];
+
+    let mut series: Vec<Series> = policies
+        .iter()
+        .map(|(name, _)| Series {
+            name: (*name).to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+
+    for (pi, &m_i) in sizes.iter().enumerate() {
+        // The number of types is chosen so total demand stays serviceable at
+        // the fixed population size.
+        let num_types = 4;
+        let job = Job::uniform(num_types, m_i).expect("positive types");
+        let mut scen_config = ScenarioConfig::paper(n_users);
+        scen_config.workload.num_types = num_types;
+
+        for (si, (_, policy)) in policies.iter().enumerate() {
+            let rit = Rit::new(RitConfig {
+                round_limit: *policy,
+                ..RitConfig::default()
+            })
+            .expect("valid config");
+            let completions = parallel_map(config.runs, |r| {
+                let seed = derive_seed(config.seed, (pi * 8 + si) as u64, r as u64);
+                let scenario = Scenario::generate(&scen_config, seed ^ 0x5A5A);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                match rit.run_auction_phase(&job, &scenario.asks, &mut rng) {
+                    Ok(phase) => u8::from(phase.completed()),
+                    Err(_) => 0, // infeasible guarantee counts as failure
+                }
+            });
+            let rate = completions.iter().map(|&c| f64::from(c)).sum::<f64>() / config.runs as f64;
+            series[si].points.push(Point {
+                x: m_i as f64,
+                y: rate,
+                y_std: 0.0,
+            });
+        }
+    }
+
+    Figure {
+        id: "ablation_rounds",
+        title: "auction-phase completion rate per round-budget policy".into(),
+        x_label: "tasks per type (m_i)",
+        y_label: "completion rate",
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AblationConfig {
+        AblationConfig {
+            scale: Scale::Smoke,
+            runs: 4,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn collusion_ablation_shapes() {
+        let fig = collusion(&cfg());
+        assert_eq!(fig.series.len(), 2);
+        // The naive mechanism should be manipulable in at least one thin market…
+        let naive_max = fig.series[0]
+            .points
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, p| a.max(p.y));
+        assert!(naive_max > 0.0, "expected a profitable naive manipulation");
+        // …while CRA's mean gain stays close to zero relative to the naive gain.
+        for p in &fig.series[1].points {
+            assert!(p.y.abs() < naive_max.max(1.0) * 3.0);
+        }
+    }
+
+    #[test]
+    fn round_budget_ablation_orders_policies() {
+        let fig = round_budget(&cfg());
+        assert_eq!(fig.series.len(), 3);
+        // Until-stall completes at least as often as the strict paper budget.
+        for (strict, loose) in fig.series[0].points.iter().zip(&fig.series[2].points) {
+            assert!(loose.y >= strict.y - 1e-9);
+        }
+        // The strict q = 0 budget yields zero rounds at small mᵢ ⇒ 0% completion.
+        assert_eq!(fig.series[0].points[0].y, 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Drivers regenerating each figure of the paper's §7 evaluation.
+//!
+//! Figures 6, 7 and 8 plot three metrics of the *same* two sweeps (over the
+//! user count and over the per-type job size), so [`sweeps`] runs each sweep
+//! once and slices it into the three figures. [`fig9`] runs the
+//! sybil/truthfulness probe.
+//!
+//! Every driver accepts a [`Scale`]:
+//!
+//! * [`Scale::Paper`] — the paper's exact sweep grids (n = 40k–80k step 1k,
+//!   `mᵢ` = 1k–3k step 100, 1000 runs is up to the caller) — hours of CPU;
+//! * [`Scale::Default`] — same ranges, coarser grids; minutes;
+//! * [`Scale::Smoke`] — tiny populations for tests and CI; the job sizes are
+//!   far below Remark 6.1's requirement, so the mechanism runs in
+//!   best-effort mode and only the qualitative shape survives.
+
+pub mod ablation;
+pub mod bound_check;
+pub mod fig9;
+pub mod quality_screening;
+pub mod robustness;
+pub mod sweeps;
+pub mod tree_shape;
+pub mod truthfulness_profile;
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{Rit, RitConfig, RitOutcome, RoundLimit};
+use rit_model::Job;
+
+use crate::scenario::Scenario;
+
+/// Sweep granularity / problem size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Tiny: seconds, shape only (best-effort round budget).
+    Smoke,
+    /// The paper's ranges on a coarse grid: minutes.
+    Default,
+    /// The paper's exact grid: hours at the paper's run counts.
+    Paper,
+}
+
+/// Metrics of one mechanism run — the raw material of Figs 6–8.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunMetrics {
+    /// Mean over users of the auction-phase utility `p^Aⱼ − xⱼcⱼ`.
+    pub avg_utility_auction: f64,
+    /// Mean over users of the final utility `pⱼ − xⱼcⱼ`.
+    pub avg_utility_rit: f64,
+    /// `Σⱼ p^Aⱼ` — what the platform would pay with no solicitation rewards.
+    pub total_payment_auction: f64,
+    /// `Σⱼ pⱼ` — the platform's actual expenditure.
+    pub total_payment_rit: f64,
+    /// Auction-phase wall time in seconds.
+    pub runtime_auction_s: f64,
+    /// Full-mechanism wall time in seconds (auction + payment phases).
+    pub runtime_rit_s: f64,
+    /// Whether the job was fully allocated.
+    pub completed: bool,
+}
+
+/// Runs RIT once on a scenario, timing the two phases separately.
+///
+/// On an incomplete run the paper voids all payments (Line 27), so both
+/// payment/utility metrics are zero and only the runtimes and the
+/// `completed` flag carry information.
+///
+/// # Panics
+///
+/// Panics if the mechanism rejects the scenario (the driver configures a
+/// feasible round limit for the chosen scale).
+#[must_use]
+pub fn run_once(rit: &Rit, job: &Job, scenario: &Scenario, seed: u64) -> RunMetrics {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = scenario.num_users().max(1) as f64;
+
+    let t0 = Instant::now();
+    let phase = rit
+        .run_auction_phase(job, &scenario.asks, &mut rng)
+        .expect("driver-selected round limit must be feasible");
+    let runtime_auction_s = t0.elapsed().as_secs_f64();
+
+    // Auction-only metrics, under the same all-or-nothing rule as RIT so the
+    // two series are comparable.
+    let completed = phase.completed();
+    let (avg_utility_auction, total_payment_auction) = if completed {
+        let mut util_sum = 0.0;
+        let mut pay_sum = 0.0;
+        for j in 0..scenario.asks.len() {
+            let pa = phase.auction_payments[j];
+            util_sum += pa - phase.allocation[j] as f64 * scenario.population[j].unit_cost();
+            pay_sum += pa;
+        }
+        (util_sum / n, pay_sum)
+    } else {
+        (0.0, 0.0)
+    };
+
+    let t1 = Instant::now();
+    let outcome: RitOutcome = rit.determine_final_payments(&scenario.tree, &scenario.asks, phase);
+    let payment_s = t1.elapsed().as_secs_f64();
+
+    let (avg_utility_rit, total_payment_rit) = if outcome.completed() {
+        let utils = outcome.utilities(scenario.population.as_slice());
+        (utils.iter().sum::<f64>() / n, outcome.total_payment())
+    } else {
+        (0.0, 0.0)
+    };
+
+    RunMetrics {
+        avg_utility_auction,
+        avg_utility_rit,
+        total_payment_auction,
+        total_payment_rit,
+        runtime_auction_s,
+        runtime_rit_s: runtime_auction_s + payment_s,
+        completed,
+    }
+}
+
+/// The round limit appropriate for a sweep whose smallest per-type job size
+/// is `min_m_i`: the paper budget where it is positive, best-effort
+/// otherwise (tiny smoke scenarios).
+#[must_use]
+pub fn round_limit_for(min_m_i: u64, k_max: u64, h: f64, num_types: usize) -> RoundLimit {
+    use rit_auction::bounds::{self, LogBase, WorstCaseQ};
+    let budget = bounds::round_budget(
+        min_m_i,
+        k_max,
+        h,
+        num_types,
+        LogBase::Ten,
+        WorstCaseQ::FirstRound,
+    );
+    match budget {
+        Some(b) if b >= 1 => RoundLimit::Paper(WorstCaseQ::FirstRound),
+        _ => RoundLimit::until_stall(),
+    }
+}
+
+/// The mechanism instance used by the drivers, with the paper's `H = 0.8`.
+///
+/// # Panics
+///
+/// Never: the embedded configuration is valid.
+#[must_use]
+pub fn paper_mechanism(round_limit: RoundLimit) -> Rit {
+    Rit::new(RitConfig {
+        round_limit,
+        ..RitConfig::default()
+    })
+    .expect("paper configuration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use rit_auction::bounds::WorstCaseQ;
+
+    #[test]
+    fn round_limit_picks_paper_when_feasible() {
+        assert_eq!(
+            round_limit_for(5000, 20, 0.8, 10),
+            RoundLimit::Paper(WorstCaseQ::FirstRound)
+        );
+        assert_eq!(round_limit_for(100, 20, 0.8, 10), RoundLimit::until_stall());
+    }
+
+    #[test]
+    fn run_once_produces_consistent_metrics() {
+        let mut config = ScenarioConfig::paper(600);
+        config.workload.num_types = 2;
+        config.workload.capacity_max = 6;
+        let scenario = Scenario::generate(&config, 3);
+        let job = Job::from_counts(vec![100, 100]).unwrap();
+        let rit = paper_mechanism(RoundLimit::until_stall());
+        let m = run_once(&rit, &job, &scenario, 42);
+        assert!(m.runtime_rit_s >= m.runtime_auction_s);
+        if m.completed {
+            // RIT pays at least the auction (solicitation rewards ≥ 0)…
+            assert!(m.total_payment_rit >= m.total_payment_auction - 1e-9);
+            // …but no more than twice it (§7 bound).
+            assert!(m.total_payment_rit <= 2.0 * m.total_payment_auction + 1e-9);
+            assert!(m.avg_utility_rit >= m.avg_utility_auction - 1e-12);
+        } else {
+            assert_eq!(m.total_payment_rit, 0.0);
+        }
+    }
+
+    #[test]
+    fn run_once_deterministic_modulo_time() {
+        let scenario = Scenario::generate(&ScenarioConfig::paper(300), 5);
+        let job = Job::from_counts(vec![50; 10]).unwrap();
+        let rit = paper_mechanism(RoundLimit::until_stall());
+        let a = run_once(&rit, &job, &scenario, 1);
+        let b = run_once(&rit, &job, &scenario, 1);
+        assert_eq!(a.avg_utility_rit, b.avg_utility_rit);
+        assert_eq!(a.total_payment_rit, b.total_payment_rit);
+        assert_eq!(a.completed, b.completed);
+    }
+}

@@ -1,0 +1,139 @@
+//! Effect of quality screening on completion and platform cost.
+//!
+//! [`rit_core::quality`] instantiates the paper's deferred "data quality"
+//! direction as bid-independent pre-auction screening. Screening shrinks
+//! the eligible supply, so it trades quality for price: as the screened
+//! fraction grows, the surviving (smaller) ask pool clears at higher
+//! prices, and past the Remark 6.1 threshold the job stops completing.
+//! This experiment traces that trade-off: completion rate and per-task
+//! platform cost vs the fraction of users screened out.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rit_core::RoundLimit;
+use rit_model::Job;
+
+use crate::experiments::{paper_mechanism, Scale};
+use crate::metrics::{Figure, MeanStd, Point, Series};
+use crate::runner::{derive_seed, parallel_map};
+use crate::scenario::{Scenario, ScenarioConfig};
+
+/// Configuration of the screening sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScreeningConfig {
+    /// Problem sizes.
+    pub scale: Scale,
+    /// Replications per screening level.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+const SCREEN_FRACTIONS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9];
+
+/// Runs the screening sweep.
+#[must_use]
+pub fn run(config: &ScreeningConfig) -> Figure {
+    let (n, m_i) = match config.scale {
+        Scale::Smoke => (1_200, 80),
+        Scale::Default | Scale::Paper => (8_000, 400),
+    };
+    let mut scen_config = ScenarioConfig::paper(n);
+    scen_config.workload.num_types = 4;
+    let job = Job::uniform(4, m_i).expect("positive types");
+    let rit = paper_mechanism(RoundLimit::until_stall());
+
+    let mut completion_points = Vec::with_capacity(SCREEN_FRACTIONS.len());
+    let mut cost_points = Vec::with_capacity(SCREEN_FRACTIONS.len());
+    for (fi, &fraction) in SCREEN_FRACTIONS.iter().enumerate() {
+        let samples = parallel_map(config.runs, |r| {
+            let seed = derive_seed(config.seed, fi as u64, r as u64);
+            let scenario = Scenario::generate(&scen_config, seed ^ 0x0DDB);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Random exogenous quality scores; threshold at `fraction`.
+            let eligible: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() >= fraction).collect();
+            let out = rit
+                .run_screened(&job, &scenario.tree, &scenario.asks, &eligible, &mut rng)
+                .expect("aligned scenario");
+            if out.completed() {
+                (1.0, Some(out.total_payment() / job.total_tasks() as f64))
+            } else {
+                (0.0, None)
+            }
+        });
+        let mut completion = MeanStd::new();
+        let mut cost = MeanStd::new();
+        for (c, p) in samples {
+            completion.push(c);
+            if let Some(p) = p {
+                cost.push(p);
+            }
+        }
+        completion_points.push(Point {
+            x: fraction,
+            y: completion.mean(),
+            y_std: completion.std_dev(),
+        });
+        cost_points.push(Point {
+            x: fraction,
+            y: cost.mean(),
+            y_std: cost.std_dev(),
+        });
+    }
+
+    Figure {
+        id: "quality_screening",
+        title: "quality screening: completion and per-task cost vs screened fraction".into(),
+        x_label: "fraction of users screened out",
+        y_label: "completion rate / cost per task",
+        series: vec![
+            Series {
+                name: "completion rate".into(),
+                points: completion_points,
+            },
+            Series {
+                name: "cost per task (completed runs)".into(),
+                points: cost_points,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screening_raises_cost_and_eventually_breaks_completion() {
+        let fig = run(&ScreeningConfig {
+            scale: Scale::Smoke,
+            runs: 6,
+            seed: 21,
+        });
+        let completion = &fig.series[0].points;
+        let cost = &fig.series[1].points;
+        // Unscreened completes reliably.
+        assert!(
+            completion[0].y > 0.8,
+            "baseline completion {}",
+            completion[0].y
+        );
+        // Completion never improves with more screening.
+        for w in completion.windows(2) {
+            assert!(w[1].y <= w[0].y + 0.34, "completion should trend down");
+        }
+        // Cost per task rises between no screening and heavy screening
+        // (comparing the completed runs only).
+        let baseline = cost[0].y;
+        let heavy = cost
+            .iter()
+            .rev()
+            .find(|p| p.y > 0.0)
+            .expect("some screened level completed");
+        assert!(
+            heavy.y >= baseline * 0.9,
+            "cost should not fall with screening: {} vs {baseline}",
+            heavy.y
+        );
+    }
+}

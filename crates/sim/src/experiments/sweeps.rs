@@ -1,0 +1,309 @@
+//! The two parameter sweeps behind Figures 6, 7 and 8.
+//!
+//! * **User sweep** (Figs 6a, 7a, 8a): `mᵢ = 5000` per type, user count
+//!   swept 40,000 → 80,000.
+//! * **Task sweep** (Figs 6b, 7b, 8b): `n = 30,000` users, per-type job
+//!   size swept 1,000 → 3,000.
+//!
+//! Each sweep runs `R` seeded replications per grid point in parallel and
+//! accumulates six metrics; the `figures` functions slice one sweep into the
+//! three paper figures (utility / total payment / running time, each with an
+//! "auction phase" and a "RIT" curve).
+
+use rit_model::Job;
+
+use rit_core::RoundLimit;
+
+use crate::experiments::{paper_mechanism, run_once, RunMetrics, Scale};
+use crate::metrics::{Figure, MeanStd, Point, Series};
+use crate::runner::{derive_seed, parallel_map};
+use crate::scenario::{Scenario, ScenarioConfig};
+
+/// Configuration of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepConfig {
+    /// Grid/problem sizes.
+    pub scale: Scale,
+    /// Replications per grid point (the paper averaged 1000).
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Accumulated metrics at one grid point.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointSummary {
+    /// The swept value (user count or per-type tasks).
+    pub x: u64,
+    /// Average user utility, auction phase only.
+    pub utility_auction: MeanStd,
+    /// Average user utility, full RIT.
+    pub utility_rit: MeanStd,
+    /// Total platform payment, auction phase only.
+    pub payment_auction: MeanStd,
+    /// Total platform payment, full RIT.
+    pub payment_rit: MeanStd,
+    /// Running time (s), auction phase only.
+    pub runtime_auction: MeanStd,
+    /// Running time (s), full RIT.
+    pub runtime_rit: MeanStd,
+    /// Fraction of replications that fully allocated the job.
+    pub completion_rate: f64,
+}
+
+/// A finished sweep: one summary per grid point, plus provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepData {
+    /// `"users"` or `"tasks"`.
+    pub kind: &'static str,
+    /// Per-point summaries in sweep order.
+    pub points: Vec<PointSummary>,
+    /// Replications per point.
+    pub runs: usize,
+}
+
+fn accumulate(x: u64, metrics: &[RunMetrics]) -> PointSummary {
+    let mut s = PointSummary {
+        x,
+        ..PointSummary::default()
+    };
+    let mut completed = 0usize;
+    for m in metrics {
+        s.utility_auction.push(m.avg_utility_auction);
+        s.utility_rit.push(m.avg_utility_rit);
+        s.payment_auction.push(m.total_payment_auction);
+        s.payment_rit.push(m.total_payment_rit);
+        s.runtime_auction.push(m.runtime_auction_s);
+        s.runtime_rit.push(m.runtime_rit_s);
+        if m.completed {
+            completed += 1;
+        }
+    }
+    s.completion_rate = if metrics.is_empty() {
+        0.0
+    } else {
+        completed as f64 / metrics.len() as f64
+    };
+    s
+}
+
+fn sweep(
+    kind: &'static str,
+    grid: Vec<(u64, usize, u64)>, // (x, num_users, m_i)
+    config: &SweepConfig,
+) -> SweepData {
+    let num_types = 10;
+    let points = grid
+        .iter()
+        .enumerate()
+        .map(|(pi, &(x, num_users, m_i))| {
+            let scenario_config = ScenarioConfig::paper(num_users);
+            let job = Job::uniform(num_types, m_i).expect("positive type count");
+            // Completion must hold across all 10 types simultaneously; under
+            // the paper's own round budget that probability collapses at the
+            // small end of the Fig 6(b) sweep (see the `ablation_rounds`
+            // figure and DESIGN.md), so the published curves can only have
+            // been produced best-effort — which is what we run here.
+            let rit = paper_mechanism(RoundLimit::until_stall());
+            let metrics = parallel_map(config.runs, |r| {
+                let seed = derive_seed(config.seed, pi as u64, r as u64);
+                // A fresh population/tree per replication, like the paper's
+                // "averaged over 1000 times".
+                let scenario = Scenario::generate(&scenario_config, seed ^ 0xA5A5_5A5A);
+                run_once(&rit, &job, &scenario, seed)
+            });
+            accumulate(x, &metrics)
+        })
+        .collect();
+    SweepData {
+        kind,
+        points,
+        runs: config.runs,
+    }
+}
+
+/// The Fig 6(a)/7(a)/8(a) sweep: vary the user count at `mᵢ = 5000`.
+#[must_use]
+pub fn user_sweep(config: &SweepConfig) -> SweepData {
+    let grid: Vec<(u64, usize, u64)> = match config.scale {
+        Scale::Paper => (40_000..=80_000)
+            .step_by(1_000)
+            .map(|n| (n as u64, n, 5_000))
+            .collect(),
+        Scale::Default => (40_000..=80_000)
+            .step_by(10_000)
+            .map(|n| (n as u64, n, 5_000))
+            .collect(),
+        Scale::Smoke => [1_500usize, 2_250, 3_000]
+            .into_iter()
+            .map(|n| (n as u64, n, 120))
+            .collect(),
+    };
+    sweep("users", grid, config)
+}
+
+/// The Fig 6(b)/7(b)/8(b) sweep: vary the per-type job size at `n = 30,000`.
+#[must_use]
+pub fn task_sweep(config: &SweepConfig) -> SweepData {
+    let grid: Vec<(u64, usize, u64)> = match config.scale {
+        Scale::Paper => (1_000..=3_000)
+            .step_by(100)
+            .map(|m| (m as u64, 30_000, m as u64))
+            .collect(),
+        Scale::Default => (1_000..=3_000)
+            .step_by(500)
+            .map(|m| (m as u64, 30_000, m as u64))
+            .collect(),
+        Scale::Smoke => [60u64, 100, 140]
+            .into_iter()
+            .map(|m| (m, 2_000, m))
+            .collect(),
+    };
+    sweep("tasks", grid, config)
+}
+
+fn two_series(
+    data: &SweepData,
+    pick_auction: impl Fn(&PointSummary) -> &MeanStd,
+    pick_rit: impl Fn(&PointSummary) -> &MeanStd,
+) -> Vec<Series> {
+    let to_points = |pick: &dyn Fn(&PointSummary) -> &MeanStd| {
+        data.points
+            .iter()
+            .map(|p| {
+                let m = pick(p);
+                Point {
+                    x: p.x as f64,
+                    y: m.mean(),
+                    y_std: m.std_dev(),
+                }
+            })
+            .collect()
+    };
+    vec![
+        Series {
+            name: "auction phase".into(),
+            points: to_points(&pick_auction),
+        },
+        Series {
+            name: "RIT".into(),
+            points: to_points(&pick_rit),
+        },
+    ]
+}
+
+fn x_label(data: &SweepData) -> &'static str {
+    if data.kind == "users" {
+        "number of users"
+    } else {
+        "tasks per type (m_i)"
+    }
+}
+
+/// Slices a sweep into the utility figure (Fig 6a or 6b).
+#[must_use]
+pub fn utility_figure(data: &SweepData) -> Figure {
+    let (id, title) = if data.kind == "users" {
+        ("fig6a", "average user utility vs number of users")
+    } else {
+        ("fig6b", "average user utility vs job size")
+    };
+    Figure {
+        id,
+        title: title.into(),
+        x_label: x_label(data),
+        y_label: "average user utility",
+        series: two_series(data, |p| &p.utility_auction, |p| &p.utility_rit),
+    }
+}
+
+/// Slices a sweep into the total-payment figure (Fig 7a or 7b).
+#[must_use]
+pub fn payment_figure(data: &SweepData) -> Figure {
+    let (id, title) = if data.kind == "users" {
+        ("fig7a", "total payment vs number of users")
+    } else {
+        ("fig7b", "total payment vs job size")
+    };
+    Figure {
+        id,
+        title: title.into(),
+        x_label: x_label(data),
+        y_label: "total platform payment",
+        series: two_series(data, |p| &p.payment_auction, |p| &p.payment_rit),
+    }
+}
+
+/// Slices a sweep into the running-time figure (Fig 8a or 8b).
+#[must_use]
+pub fn runtime_figure(data: &SweepData) -> Figure {
+    let (id, title) = if data.kind == "users" {
+        ("fig8a", "running time vs number of users")
+    } else {
+        ("fig8b", "running time vs job size")
+    };
+    Figure {
+        id,
+        title: title.into(),
+        x_label: x_label(data),
+        y_label: "running time (s)",
+        series: two_series(data, |p| &p.runtime_auction, |p| &p.runtime_rit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> SweepConfig {
+        SweepConfig {
+            scale: Scale::Smoke,
+            runs: 3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn user_sweep_smoke_produces_figures() {
+        let data = user_sweep(&smoke_config());
+        assert_eq!(data.points.len(), 3);
+        assert!(data.points.iter().any(|p| p.completion_rate > 0.0));
+        let f6 = utility_figure(&data);
+        let f7 = payment_figure(&data);
+        let f8 = runtime_figure(&data);
+        assert_eq!(f6.id, "fig6a");
+        assert_eq!(f7.id, "fig7a");
+        assert_eq!(f8.id, "fig8a");
+        for f in [&f6, &f7, &f8] {
+            assert_eq!(f.series.len(), 2);
+            assert_eq!(f.series[0].points.len(), 3);
+        }
+        // RIT utility and payment dominate the auction phase pointwise.
+        for (a, r) in f6.series[0].points.iter().zip(&f6.series[1].points) {
+            assert!(r.y >= a.y - 1e-9);
+        }
+        for (a, r) in f7.series[0].points.iter().zip(&f7.series[1].points) {
+            assert!(r.y >= a.y - 1e-9);
+            assert!(r.y <= 2.0 * a.y + 1e-9, "§7 bound: RIT ≤ 2× auction total");
+        }
+        // Runtime includes the payment phase.
+        for (a, r) in f8.series[0].points.iter().zip(&f8.series[1].points) {
+            assert!(r.y >= a.y);
+        }
+    }
+
+    #[test]
+    fn task_sweep_smoke_shapes() {
+        let data = task_sweep(&smoke_config());
+        assert_eq!(data.points.len(), 3);
+        let f6 = utility_figure(&data);
+        assert_eq!(f6.id, "fig6b");
+        // Fig 6(b): more tasks ⇒ higher average utility (first vs last point,
+        // RIT curve) — allow equality for noisy smoke runs.
+        let rit = &f6.series[1].points;
+        assert!(
+            rit.last().unwrap().y >= rit.first().unwrap().y - 1e-9,
+            "utility should not decrease with job size"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Sensitivity of the solicitation layer to the social-graph model.
+//!
+//! The paper's incentive tree comes from one Twitter trace; ours are
+//! synthetic, so it matters whether the solicitation economics depend on
+//! the generator. This experiment fixes the §7-A workload and job and swaps
+//! the graph: Barabási–Albert (heavy-tailed, shallow), Erdős–Rényi
+//! (homogeneous), Watts–Strogatz (clustered ring, deep trees). Reported per
+//! model: the RIT/auction payment ratio and the mean recruiter depth of the
+//! resulting tree.
+//!
+//! Expected: deeper trees shift solicitation mass down the `(1/2)^r`
+//! weights and *lower* the ratio; the §7 bound (ratio ≤ 2) holds
+//! everywhere.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::RoundLimit;
+use rit_model::Job;
+use rit_tree::stats::TreeStats;
+
+use crate::experiments::{paper_mechanism, Scale};
+use crate::metrics::{Figure, MeanStd, Point, Series};
+use crate::runner::{derive_seed, parallel_map};
+use crate::scenario::{GraphModel, Scenario, ScenarioConfig};
+
+/// Configuration of the tree-shape sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeShapeConfig {
+    /// Problem sizes.
+    pub scale: Scale,
+    /// Replications per graph model.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+fn graph_models() -> Vec<(&'static str, GraphModel)> {
+    vec![
+        ("barabasi-albert", GraphModel::BarabasiAlbert { m: 2 }),
+        ("erdos-renyi", GraphModel::ErdosRenyi { p: 0.0 }), // p filled per n below
+        (
+            "watts-strogatz",
+            GraphModel::WattsStrogatz { k: 4, beta: 0.1 },
+        ),
+    ]
+}
+
+struct ModelOutcome {
+    ratio: Option<f64>,
+    mean_depth: f64,
+}
+
+fn one_run(num_users: usize, m_i: u64, graph: GraphModel, seed: u64) -> ModelOutcome {
+    let mut config = ScenarioConfig::paper(num_users);
+    config.workload.num_types = 4;
+    config.graph = graph;
+    let scenario = Scenario::generate(&config, seed);
+    let depth = TreeStats::compute(&scenario.tree).mean_depth;
+    let job = Job::uniform(4, m_i).expect("positive types");
+    let rit = paper_mechanism(RoundLimit::until_stall());
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
+    let outcome = rit
+        .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+        .expect("aligned scenario");
+    let ratio = if outcome.completed() && outcome.total_auction_payment() > 0.0 {
+        Some(outcome.total_payment() / outcome.total_auction_payment())
+    } else {
+        None
+    };
+    ModelOutcome {
+        ratio,
+        mean_depth: depth,
+    }
+}
+
+/// Runs the tree-shape sweep. The x axis indexes the graph models (0 = BA,
+/// 1 = ER, 2 = WS); two series report the payment ratio and the mean
+/// recruiter depth.
+#[must_use]
+pub fn run(config: &TreeShapeConfig) -> Figure {
+    let (num_users, m_i) = match config.scale {
+        Scale::Smoke => (1_200, 80),
+        Scale::Default | Scale::Paper => (10_000, 500),
+    };
+    let mut ratio_points = Vec::new();
+    let mut depth_points = Vec::new();
+    for (gi, (_, mut graph)) in graph_models().into_iter().enumerate() {
+        if let GraphModel::ErdosRenyi { ref mut p } = graph {
+            // Match BA's mean degree (≈ 4).
+            *p = 4.0 / (num_users as f64 - 1.0);
+        }
+        let outcomes = parallel_map(config.runs, |r| {
+            one_run(
+                num_users,
+                m_i,
+                graph,
+                derive_seed(config.seed, gi as u64, r as u64),
+            )
+        });
+        let mut ratio = MeanStd::new();
+        let mut depth = MeanStd::new();
+        for o in &outcomes {
+            if let Some(x) = o.ratio {
+                ratio.push(x);
+            }
+            depth.push(o.mean_depth);
+        }
+        ratio_points.push(Point {
+            x: gi as f64,
+            y: ratio.mean(),
+            y_std: ratio.std_dev(),
+        });
+        depth_points.push(Point {
+            x: gi as f64,
+            y: depth.mean(),
+            y_std: depth.std_dev(),
+        });
+    }
+    Figure {
+        id: "tree_shape",
+        title: "solicitation economics vs social-graph model (0 = BA, 1 = ER, 2 = WS)".into(),
+        x_label: "graph model index",
+        y_label: "payment ratio / mean depth",
+        series: vec![
+            Series {
+                name: "payment ratio (RIT / auction)".into(),
+                points: ratio_points,
+            },
+            Series {
+                name: "mean user depth".into(),
+                points: depth_points,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_bounded_and_depth_orders_models() {
+        let fig = run(&TreeShapeConfig {
+            scale: Scale::Smoke,
+            runs: 3,
+            seed: 5,
+        });
+        let ratios = &fig.series[0].points;
+        let depths = &fig.series[1].points;
+        for p in ratios {
+            assert!(
+                p.y >= 1.0 - 1e-9 && p.y <= 2.0 + 1e-9,
+                "ratio {} outside the §7 band",
+                p.y
+            );
+        }
+        // Watts–Strogatz rings grow much deeper spanning trees than BA.
+        assert!(
+            depths[2].y > 2.0 * depths[0].y,
+            "WS depth {} not ≫ BA depth {}",
+            depths[2].y,
+            depths[0].y
+        );
+    }
+}

@@ -1,0 +1,523 @@
+//! Plain-text (CSV) interchange formats for scenarios and outcomes.
+//!
+//! A platform operator integrating RIT needs to feed real asks and a real
+//! solicitation tree into the mechanism and get payments back out. These
+//! formats are deliberately trivial — comma-separated, one header line,
+//! stable column order — so they can be produced from any database export:
+//!
+//! * **asks.csv** — `user,task_type,quantity,unit_price`, users in id order
+//!   starting at 0;
+//! * **tree.csv** — `node,parent` for nodes `1..=N` (parent `0` is the
+//!   platform);
+//! * **job.csv** — `task_type,tasks` for types `0..m`;
+//! * **costs.csv** (optional) — `user,unit_cost`: the *true* costs, which
+//!   only simulations know; lets auditors compute utilities offline;
+//! * **outcome.csv** (written) — per-user allocation and payments.
+//!
+//! All readers validate ordering and ranges and report the offending line.
+
+use std::fmt;
+use std::num::{ParseFloatError, ParseIntError};
+
+use rit_model::{Ask, Job, ModelError, TaskTypeId};
+use rit_tree::{IncentiveTree, NodeId, TreeError};
+
+/// Error while parsing a scenario file.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioIoError {
+    /// The header line did not match the expected columns.
+    BadHeader {
+        /// What was expected.
+        expected: &'static str,
+        /// What was found.
+        found: String,
+    },
+    /// A data line had the wrong number of fields or unparsable values.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Rows were present but not in the required dense id order.
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+        /// The id found.
+        found: u64,
+        /// The id required.
+        expected: u64,
+    },
+    /// A parsed value failed domain validation.
+    Model(ModelError),
+    /// The parsed parents did not form a valid tree.
+    Tree(TreeError),
+}
+
+impl fmt::Display for ScenarioIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadHeader { expected, found } => {
+                write!(f, "expected header `{expected}`, found `{found}`")
+            }
+            Self::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            Self::OutOfOrder {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line}: id {found} out of order (expected {expected})"
+            ),
+            Self::Model(e) => write!(f, "invalid value: {e}"),
+            Self::Tree(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioIoError {}
+
+impl From<ModelError> for ScenarioIoError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<TreeError> for ScenarioIoError {
+    fn from(e: TreeError) -> Self {
+        Self::Tree(e)
+    }
+}
+
+fn bad_int(line: usize, field: &str) -> impl FnOnce(ParseIntError) -> ScenarioIoError + '_ {
+    move |e| ScenarioIoError::BadLine {
+        line,
+        reason: format!("{field}: {e}"),
+    }
+}
+
+fn bad_float(line: usize, field: &str) -> impl FnOnce(ParseFloatError) -> ScenarioIoError + '_ {
+    move |e| ScenarioIoError::BadLine {
+        line,
+        reason: format!("{field}: {e}"),
+    }
+}
+
+fn rows<'a>(
+    text: &'a str,
+    header: &'static str,
+) -> Result<impl Iterator<Item = (usize, &'a str)>, ScenarioIoError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == header => {}
+        other => {
+            return Err(ScenarioIoError::BadHeader {
+                expected: header,
+                found: other.map(|(_, h)| h.to_string()).unwrap_or_default(),
+            })
+        }
+    }
+    Ok(lines
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#')))
+}
+
+/// Parses an asks file (`user,task_type,quantity,unit_price`).
+///
+/// # Errors
+///
+/// Any format, ordering, or domain violation, with the offending line.
+pub fn parse_asks(text: &str) -> Result<Vec<Ask>, ScenarioIoError> {
+    let mut asks = Vec::new();
+    for (line, row) in rows(text, "user,task_type,quantity,unit_price")? {
+        let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(ScenarioIoError::BadLine {
+                line,
+                reason: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let user: u64 = fields[0].parse().map_err(bad_int(line, "user"))?;
+        if user != asks.len() as u64 {
+            return Err(ScenarioIoError::OutOfOrder {
+                line,
+                found: user,
+                expected: asks.len() as u64,
+            });
+        }
+        let task_type: u32 = fields[1].parse().map_err(bad_int(line, "task_type"))?;
+        let quantity: u64 = fields[2].parse().map_err(bad_int(line, "quantity"))?;
+        let price: f64 = fields[3].parse().map_err(bad_float(line, "unit_price"))?;
+        asks.push(Ask::new(TaskTypeId::new(task_type), quantity, price)?);
+    }
+    Ok(asks)
+}
+
+/// Renders an asks file.
+#[must_use]
+pub fn render_asks(asks: &[Ask]) -> String {
+    let mut out = String::from("user,task_type,quantity,unit_price\n");
+    for (j, a) in asks.iter().enumerate() {
+        out.push_str(&format!(
+            "{j},{},{},{}\n",
+            a.task_type().raw(),
+            a.quantity(),
+            a.unit_price()
+        ));
+    }
+    out
+}
+
+/// Parses a tree file (`node,parent`, nodes `1..=N` dense and in order,
+/// parent `0` = platform).
+///
+/// # Errors
+///
+/// Any format, ordering, or tree violation.
+pub fn parse_tree(text: &str) -> Result<IncentiveTree, ScenarioIoError> {
+    let mut parents: Vec<NodeId> = Vec::new();
+    for (line, row) in rows(text, "node,parent")? {
+        let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+        if fields.len() != 2 {
+            return Err(ScenarioIoError::BadLine {
+                line,
+                reason: format!("expected 2 fields, found {}", fields.len()),
+            });
+        }
+        let node: u64 = fields[0].parse().map_err(bad_int(line, "node"))?;
+        if node != parents.len() as u64 + 1 {
+            return Err(ScenarioIoError::OutOfOrder {
+                line,
+                found: node,
+                expected: parents.len() as u64 + 1,
+            });
+        }
+        let parent: u32 = fields[1].parse().map_err(bad_int(line, "parent"))?;
+        parents.push(NodeId::new(parent));
+    }
+    Ok(IncentiveTree::from_parents(&parents)?)
+}
+
+/// Renders a tree file.
+#[must_use]
+pub fn render_tree(tree: &IncentiveTree) -> String {
+    let mut out = String::from("node,parent\n");
+    for (i, p) in tree.to_parents().iter().enumerate() {
+        out.push_str(&format!("{},{}\n", i + 1, p.index()));
+    }
+    out
+}
+
+/// Parses a job file (`task_type,tasks`, types `0..m` dense and in order).
+///
+/// # Errors
+///
+/// Any format, ordering, or domain violation.
+pub fn parse_job(text: &str) -> Result<Job, ScenarioIoError> {
+    let mut counts: Vec<u64> = Vec::new();
+    for (line, row) in rows(text, "task_type,tasks")? {
+        let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+        if fields.len() != 2 {
+            return Err(ScenarioIoError::BadLine {
+                line,
+                reason: format!("expected 2 fields, found {}", fields.len()),
+            });
+        }
+        let t: u64 = fields[0].parse().map_err(bad_int(line, "task_type"))?;
+        if t != counts.len() as u64 {
+            return Err(ScenarioIoError::OutOfOrder {
+                line,
+                found: t,
+                expected: counts.len() as u64,
+            });
+        }
+        counts.push(fields[1].parse().map_err(bad_int(line, "tasks"))?);
+    }
+    Ok(Job::from_counts(counts)?)
+}
+
+/// Renders a job file.
+#[must_use]
+pub fn render_job(job: &Job) -> String {
+    let mut out = String::from("task_type,tasks\n");
+    for (t, c) in job.iter() {
+        out.push_str(&format!("{},{c}\n", t.raw()));
+    }
+    out
+}
+
+/// Parses a true-cost file (`user,unit_cost`, users dense in order).
+///
+/// # Errors
+///
+/// Any format, ordering, or domain violation.
+pub fn parse_costs(text: &str) -> Result<Vec<f64>, ScenarioIoError> {
+    let mut costs = Vec::new();
+    for (line, row) in rows(text, "user,unit_cost")? {
+        let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+        if fields.len() != 2 {
+            return Err(ScenarioIoError::BadLine {
+                line,
+                reason: format!("expected 2 fields, found {}", fields.len()),
+            });
+        }
+        let user: u64 = fields[0].parse().map_err(bad_int(line, "user"))?;
+        if user != costs.len() as u64 {
+            return Err(ScenarioIoError::OutOfOrder {
+                line,
+                found: user,
+                expected: costs.len() as u64,
+            });
+        }
+        let cost: f64 = fields[1].parse().map_err(bad_float(line, "unit_cost"))?;
+        if !(cost.is_finite() && cost > 0.0) {
+            return Err(ScenarioIoError::Model(ModelError::NonPositivePrice {
+                value: cost,
+            }));
+        }
+        costs.push(cost);
+    }
+    Ok(costs)
+}
+
+/// Renders a true-cost file.
+#[must_use]
+pub fn render_costs(costs: &[f64]) -> String {
+    let mut out = String::from("user,unit_cost\n");
+    for (j, c) in costs.iter().enumerate() {
+        out.push_str(&format!("{j},{c}\n"));
+    }
+    out
+}
+
+/// One row of an outcome file (see [`render_outcome`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutcomeRow {
+    /// The user's task type (raw index).
+    pub task_type: u32,
+    /// Tasks allocated.
+    pub allocated: u64,
+    /// Auction payment `p^A`.
+    pub auction_payment: f64,
+    /// Final payment `p`.
+    pub payment: f64,
+    /// Solicitation component `p − p^A`.
+    pub solicitation_reward: f64,
+}
+
+/// Parses an outcome file written by [`render_outcome`].
+///
+/// # Errors
+///
+/// Any format or ordering violation, with the offending line.
+pub fn parse_outcome(text: &str) -> Result<Vec<OutcomeRow>, ScenarioIoError> {
+    let mut out = Vec::new();
+    for (line, row) in rows(
+        text,
+        "user,task_type,allocated,auction_payment,payment,solicitation_reward",
+    )? {
+        let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+        if fields.len() != 6 {
+            return Err(ScenarioIoError::BadLine {
+                line,
+                reason: format!("expected 6 fields, found {}", fields.len()),
+            });
+        }
+        let user: u64 = fields[0].parse().map_err(bad_int(line, "user"))?;
+        if user != out.len() as u64 {
+            return Err(ScenarioIoError::OutOfOrder {
+                line,
+                found: user,
+                expected: out.len() as u64,
+            });
+        }
+        out.push(OutcomeRow {
+            task_type: fields[1].parse().map_err(bad_int(line, "task_type"))?,
+            allocated: fields[2].parse().map_err(bad_int(line, "allocated"))?,
+            auction_payment: fields[3]
+                .parse()
+                .map_err(bad_float(line, "auction_payment"))?,
+            payment: fields[4].parse().map_err(bad_float(line, "payment"))?,
+            solicitation_reward: fields[5]
+                .parse()
+                .map_err(bad_float(line, "solicitation_reward"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders a mechanism outcome as CSV
+/// (`user,task_type,allocated,auction_payment,payment,solicitation_reward`).
+#[must_use]
+pub fn render_outcome(asks: &[Ask], outcome: &rit_core::RitOutcome) -> String {
+    let mut out =
+        String::from("user,task_type,allocated,auction_payment,payment,solicitation_reward\n");
+    let rewards = outcome.solicitation_rewards();
+    for (j, a) in asks.iter().enumerate() {
+        out.push_str(&format!(
+            "{j},{},{},{},{},{}\n",
+            a.task_type().raw(),
+            outcome.allocation()[j],
+            outcome.auction_payments()[j],
+            outcome.payment(j),
+            rewards[j]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rit_tree::generate;
+
+    #[test]
+    fn asks_round_trip() {
+        let asks = vec![
+            Ask::new(TaskTypeId::new(0), 2, 3.5).unwrap(),
+            Ask::new(TaskTypeId::new(4), 7, 0.25).unwrap(),
+        ];
+        let text = render_asks(&asks);
+        assert_eq!(parse_asks(&text).unwrap(), asks);
+    }
+
+    #[test]
+    fn tree_round_trip() {
+        let tree = generate::k_ary(10, 3);
+        let text = render_tree(&tree);
+        assert_eq!(parse_tree(&text).unwrap(), tree);
+    }
+
+    #[test]
+    fn job_round_trip() {
+        let job = Job::from_counts(vec![5, 0, 12]).unwrap();
+        let text = render_job(&job);
+        assert_eq!(parse_job(&text).unwrap(), job);
+    }
+
+    #[test]
+    fn header_mismatch_reported() {
+        let err = parse_asks("task_type,quantity\n").unwrap_err();
+        assert!(matches!(err, ScenarioIoError::BadHeader { .. }));
+        assert!(err.to_string().contains("expected header"));
+    }
+
+    #[test]
+    fn field_count_and_parse_errors_carry_line_numbers() {
+        let text = "user,task_type,quantity,unit_price\n0,1,2\n";
+        match parse_asks(text).unwrap_err() {
+            ScenarioIoError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let text = "user,task_type,quantity,unit_price\n0,1,two,3.0\n";
+        assert!(matches!(
+            parse_asks(text).unwrap_err(),
+            ScenarioIoError::BadLine { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_order_ids_rejected() {
+        let text = "user,task_type,quantity,unit_price\n1,0,1,1.0\n";
+        assert!(matches!(
+            parse_asks(text).unwrap_err(),
+            ScenarioIoError::OutOfOrder {
+                expected: 0,
+                found: 1,
+                ..
+            }
+        ));
+        let text = "node,parent\n2,0\n";
+        assert!(matches!(
+            parse_tree(text).unwrap_err(),
+            ScenarioIoError::OutOfOrder { expected: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn domain_errors_propagate() {
+        let text = "user,task_type,quantity,unit_price\n0,0,0,1.0\n";
+        assert!(matches!(
+            parse_asks(text).unwrap_err(),
+            ScenarioIoError::Model(ModelError::ZeroQuantity)
+        ));
+        // Cyclic tree: node 1's parent is itself.
+        let text = "node,parent\n1,1\n";
+        assert!(matches!(
+            parse_tree(text).unwrap_err(),
+            ScenarioIoError::Tree(TreeError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "task_type,tasks\n# a comment\n0,5\n\n1,3\n";
+        let job = parse_job(text).unwrap();
+        assert_eq!(job.counts(), &[5, 3]);
+    }
+
+    #[test]
+    fn costs_round_trip_and_validate() {
+        let costs = vec![0.5, 2.25, 9.99];
+        let text = render_costs(&costs);
+        assert_eq!(parse_costs(&text).unwrap(), costs);
+        // Non-positive costs rejected.
+        let bad = "user,unit_cost\n0,-1.0\n";
+        assert!(matches!(
+            parse_costs(bad).unwrap_err(),
+            ScenarioIoError::Model(ModelError::NonPositivePrice { .. })
+        ));
+        // Out-of-order ids rejected.
+        let bad = "user,unit_cost\n1,2.0\n";
+        assert!(matches!(
+            parse_costs(bad).unwrap_err(),
+            ScenarioIoError::OutOfOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn outcome_round_trips() {
+        use rand::SeedableRng;
+        let scenario =
+            crate::scenario::Scenario::generate(&crate::scenario::ScenarioConfig::paper(60), 5);
+        let job = Job::uniform(10, 5).unwrap();
+        let rit = rit_core::Rit::new(rit_core::RitConfig {
+            round_limit: rit_core::RoundLimit::until_stall(),
+            ..rit_core::RitConfig::default()
+        })
+        .unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let outcome = rit
+            .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+            .unwrap();
+        let text = render_outcome(&scenario.asks, &outcome);
+        let rows = parse_outcome(&text).unwrap();
+        assert_eq!(rows.len(), 60);
+        for (j, row) in rows.iter().enumerate() {
+            assert_eq!(row.task_type, scenario.asks[j].task_type().raw());
+            assert_eq!(row.allocated, outcome.allocation()[j]);
+            assert!((row.payment - outcome.payment(j)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outcome_rendering_includes_all_users() {
+        use rand::SeedableRng;
+        let scenario =
+            crate::scenario::Scenario::generate(&crate::scenario::ScenarioConfig::paper(50), 3);
+        let job = Job::uniform(10, 5).unwrap();
+        let rit = rit_core::Rit::new(rit_core::RitConfig {
+            round_limit: rit_core::RoundLimit::until_stall(),
+            ..rit_core::RitConfig::default()
+        })
+        .unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let outcome = rit
+            .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+            .unwrap();
+        let text = render_outcome(&scenario.asks, &outcome);
+        assert_eq!(text.lines().count(), 51);
+        assert!(text.starts_with("user,task_type,allocated"));
+    }
+}

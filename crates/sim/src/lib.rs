@@ -1,0 +1,44 @@
+//! Simulation harness reproducing the RIT paper's evaluation (§7).
+//!
+//! The paper evaluates RIT with `m = 10` task types, user capacities
+//! `~U{1..20}`, costs `~U(0,10]`, `H = 0.8`, an incentive tree grown from a
+//! social graph, and four figures:
+//!
+//! | figure | sweep | metric |
+//! |---|---|---|
+//! | Fig 6(a)/(b) | users 40k–80k / tasks 1k–3k | average user utility (auction vs RIT) |
+//! | Fig 7(a)/(b) | same sweeps | total platform payment (auction vs RIT) |
+//! | Fig 8(a)/(b) | same sweeps | running time (auction vs RIT) |
+//! | Fig 9 | identities δ = 2–17 | a sybil attacker's total utility at three ask values |
+//!
+//! [`experiments`] regenerates each figure as a [`metrics::Figure`] (series
+//! of `(x, y)` points with dispersion), which the `experiments` binary
+//! renders to Markdown, CSV and gnuplot. Beyond the paper's figures the
+//! harness ships two ablations (`ablation`), a Lemma 6.2 `bound_check`, the
+//! `robustness` / `tree_shape` / `quality_screening` sensitivity sweeps, a
+//! `truthfulness_profile`, and multi-epoch [`campaign`]s. [`scenario`]
+//! builds the §7-A populations and solicitation trees; [`runner`] spreads
+//! replications over CPU cores; [`analysis`] summarizes payment
+//! distributions; [`io`] speaks the CSV interchange formats.
+//!
+//! # Example
+//!
+//! ```
+//! use rit_sim::experiments::{fig9, Scale};
+//!
+//! // A smoke-scale Fig 9: tiny population, few runs — shape only.
+//! let figure = fig9::run(&fig9::Fig9Config { scale: Scale::Smoke, runs: 2, seed: 7 });
+//! assert_eq!(figure.id, "fig9");
+//! assert_eq!(figure.series.len(), 4); // three ask values + truthful reference
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod campaign;
+pub mod experiments;
+pub mod io;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;

@@ -1,0 +1,371 @@
+//! Metric accumulation and figure output.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// ```
+/// use rit_sim::metrics::MeanStd;
+///
+/// let mut acc = MeanStd::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.count(), 3);
+/// assert!((acc.std_dev() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeanStd {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The sample standard deviation (Bessel-corrected; 0 with < 2 samples).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &MeanStd) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+impl Extend<f64> for MeanStd {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// One data point of a figure series: `x`, mean `y`, and its std dev.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Mean of the metric over replications.
+    pub y: f64,
+    /// Standard deviation over replications.
+    pub y_std: f64,
+}
+
+/// A named series of points (one curve in a paper figure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Curve label, e.g. `"RIT"` or `"auction phase"`.
+    pub name: String,
+    /// The curve's points in sweep order.
+    pub points: Vec<Point>,
+}
+
+/// A reproduced paper figure: labelled series over a swept parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure {
+    /// Stable identifier, e.g. `"fig6a"`.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the swept parameter.
+    pub x_label: &'static str,
+    /// Label of the metric.
+    pub y_label: &'static str,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Renders the figure as a Markdown table (one row per x, one column
+    /// per series, `mean ± std`).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.name);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for r in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(r).map(|p| p.x))
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "| {x} |");
+            for s in &self.series {
+                match s.points.get(r) {
+                    Some(p) => {
+                        let _ = write!(out, " {:.4} ± {:.4} |", p.y, p.y_std);
+                    }
+                    None => {
+                        let _ = write!(out, " — |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the figure as CSV with columns
+    /// `x, <series>_mean, <series> _std, …`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label.replace(',', ";"));
+        for s in &self.series {
+            let name = s.name.replace(',', ";");
+            let _ = write!(out, ",{name}_mean,{name}_std");
+        }
+        let _ = writeln!(out);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for r in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(r).map(|p| p.x))
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.get(r) {
+                    Some(p) => {
+                        let _ = write!(out, ",{},{}", p.y, p.y_std);
+                    }
+                    None => {
+                        let _ = write!(out, ",,");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Renders a gnuplot script that plots this figure from its CSV file
+    /// (`csv_name`, as written by [`Figure::write_csv`]) with error bars.
+    ///
+    /// ```sh
+    /// gnuplot results/fig6a.gp    # produces results/fig6a.png
+    /// ```
+    #[must_use]
+    pub fn to_gnuplot(&self, csv_name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "set datafile separator ','");
+        let _ = writeln!(out, "set terminal pngcairo size 900,600");
+        let _ = writeln!(out, "set output '{}.png'", self.id);
+        let _ = writeln!(out, "set title {:?}", self.title);
+        let _ = writeln!(out, "set xlabel {:?}", self.x_label);
+        let _ = writeln!(out, "set ylabel {:?}", self.y_label);
+        let _ = writeln!(out, "set key outside right");
+        let _ = write!(out, "plot");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ",");
+            }
+            // Columns: 1 = x, then (mean, std) pairs per series.
+            let mean_col = 2 + 2 * i;
+            let std_col = mean_col + 1;
+            let _ = write!(
+                out,
+                " '{csv_name}' skip 1 using 1:{mean_col}:{std_col} with yerrorlines title {:?}",
+                s.name
+            );
+        }
+        let _ = writeln!(out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let mut acc = MeanStd::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        acc.push(10.0);
+        assert_eq!(acc.mean(), 10.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        acc.extend([20.0, 30.0]);
+        assert_eq!(acc.mean(), 20.0);
+        assert!((acc.std_dev() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 5.0 + 3.0).collect();
+        let mut all = MeanStd::new();
+        all.extend(xs.iter().copied());
+        let mut a = MeanStd::new();
+        let mut b = MeanStd::new();
+        a.extend(xs[..37].iter().copied());
+        b.extend(xs[37..].iter().copied());
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = MeanStd::new();
+        let mut b = MeanStd::new();
+        b.push(4.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), 4.0);
+        let empty = MeanStd::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    fn sample_figure() -> Figure {
+        Figure {
+            id: "figX",
+            title: "demo".into(),
+            x_label: "n",
+            y_label: "utility",
+            series: vec![
+                Series {
+                    name: "RIT".into(),
+                    points: vec![
+                        Point {
+                            x: 1.0,
+                            y: 2.0,
+                            y_std: 0.1,
+                        },
+                        Point {
+                            x: 2.0,
+                            y: 3.0,
+                            y_std: 0.2,
+                        },
+                    ],
+                },
+                Series {
+                    name: "auction".into(),
+                    points: vec![Point {
+                        x: 1.0,
+                        y: 1.5,
+                        y_std: 0.1,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample_figure().to_markdown();
+        assert!(md.contains("figX"));
+        assert!(md.contains("| n |"));
+        assert!(md.contains("2.0000 ± 0.1000"));
+        assert!(md.contains("—")); // missing cell placeholder
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "n,RIT_mean,RIT_std,auction_mean,auction_std");
+        assert!(lines[1].starts_with("1,2,0.1,1.5,0.1"));
+        assert!(lines[2].ends_with(",,"));
+    }
+
+    #[test]
+    fn gnuplot_script_references_all_series() {
+        let gp = sample_figure().to_gnuplot("figX.csv");
+        assert!(gp.contains("set output 'figX.png'"));
+        assert!(gp.contains("using 1:2:3"));
+        assert!(gp.contains("using 1:4:5"));
+        assert!(gp.contains("\"RIT\""));
+        assert!(gp.contains("\"auction\""));
+        assert_eq!(gp.matches("yerrorlines").count(), 2);
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("rit_sim_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.csv");
+        sample_figure().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("RIT_mean"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

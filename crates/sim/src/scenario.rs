@@ -1,0 +1,165 @@
+//! Building §7-A evaluation scenarios: population + social graph +
+//! incentive tree + truthful asks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rit_model::workload::WorkloadConfig;
+use rit_model::{Ask, Population};
+use rit_socialgraph::{generators, spanning};
+use rit_tree::IncentiveTree;
+
+/// Which synthetic social network substitutes for the paper's Twitter trace
+/// (see DESIGN.md §2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphModel {
+    /// Barabási–Albert preferential attachment with `m` edges per newcomer —
+    /// the default; heavy-tailed like a follower graph.
+    BarabasiAlbert {
+        /// Edges attached by each arriving node.
+        m: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`.
+    ErdosRenyi {
+        /// Edge probability.
+        p: f64,
+    },
+    /// Watts–Strogatz ring rewiring.
+    WattsStrogatz {
+        /// Even base degree.
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+}
+
+impl Default for GraphModel {
+    fn default() -> Self {
+        Self::BarabasiAlbert { m: 2 }
+    }
+}
+
+/// Configuration of one evaluation scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of crowdsensing users `n`.
+    pub num_users: usize,
+    /// The §7-A user-distribution parameters.
+    pub workload: WorkloadConfig,
+    /// Social-graph model for the solicitation structure.
+    pub graph: GraphModel,
+}
+
+impl ScenarioConfig {
+    /// The paper's setup with `n` users (workload `m = 10`, `K ≤ 20`,
+    /// `c ≤ 10`; BA graph).
+    #[must_use]
+    pub fn paper(num_users: usize) -> Self {
+        Self {
+            num_users,
+            workload: WorkloadConfig::paper(),
+            graph: GraphModel::default(),
+        }
+    }
+}
+
+/// A generated scenario: who the users are, how they were recruited, and
+/// what they (truthfully) ask.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The private user profiles.
+    pub population: Population,
+    /// The solicitation tree (user `j` ↔ tree node `j + 1`).
+    pub tree: IncentiveTree,
+    /// Truthful asks, one per user.
+    pub asks: Vec<Ask>,
+}
+
+impl Scenario {
+    /// Generates a scenario from a seed: population profiles, social graph,
+    /// spanning-forest incentive tree, and truthful asks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload configuration is invalid or the graph model's
+    /// preconditions fail (e.g. BA with `n ≤ m`).
+    #[must_use]
+    pub fn generate(config: &ScenarioConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Self::generate_with(config, &mut rng)
+    }
+
+    /// Like [`Scenario::generate`] but drawing from a caller-supplied RNG.
+    ///
+    /// # Panics
+    ///
+    /// See [`Scenario::generate`].
+    #[must_use]
+    pub fn generate_with<R: Rng + ?Sized>(config: &ScenarioConfig, rng: &mut R) -> Self {
+        let population = config
+            .workload
+            .sample_population(config.num_users, rng)
+            .expect("workload config validated by caller");
+        let graph = match config.graph {
+            GraphModel::BarabasiAlbert { m } => {
+                generators::barabasi_albert(config.num_users, m, rng)
+            }
+            GraphModel::ErdosRenyi { p } => generators::erdos_renyi(config.num_users, p, rng),
+            GraphModel::WattsStrogatz { k, beta } => {
+                generators::watts_strogatz(config.num_users, k, beta, rng)
+            }
+        };
+        let tree = spanning::spanning_forest_tree(&graph);
+        let asks = population.truthful_asks().into_vec();
+        Self {
+            population,
+            tree,
+            asks,
+        }
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn num_users(&self) -> usize {
+        self.population.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_scenario() {
+        let config = ScenarioConfig::paper(500);
+        let s = Scenario::generate(&config, 7);
+        assert_eq!(s.population.len(), 500);
+        assert_eq!(s.tree.num_users(), 500);
+        assert_eq!(s.asks.len(), 500);
+        // Truthful asks reveal the profiles.
+        for (j, ask) in s.asks.iter().enumerate() {
+            assert_eq!(ask.task_type(), s.population[j].task_type());
+            assert_eq!(ask.quantity(), s.population[j].capacity());
+            assert_eq!(ask.unit_price(), s.population[j].unit_cost());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = ScenarioConfig::paper(200);
+        let a = Scenario::generate(&config, 1);
+        let b = Scenario::generate(&config, 1);
+        let c = Scenario::generate(&config, 2);
+        assert_eq!(a.asks, b.asks);
+        assert_eq!(a.tree, b.tree);
+        assert_ne!(a.asks, c.asks);
+    }
+
+    #[test]
+    fn alternative_graph_models() {
+        let mut config = ScenarioConfig::paper(300);
+        config.graph = GraphModel::ErdosRenyi { p: 0.02 };
+        assert_eq!(Scenario::generate(&config, 3).tree.num_users(), 300);
+        config.graph = GraphModel::WattsStrogatz { k: 4, beta: 0.1 };
+        assert_eq!(Scenario::generate(&config, 3).tree.num_users(), 300);
+    }
+}

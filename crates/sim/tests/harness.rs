@@ -1,0 +1,138 @@
+//! Integration tests of the simulation harness: figure regeneration,
+//! determinism, and output rendering.
+
+use rit_sim::experiments::{ablation, fig9, sweeps, Scale};
+use rit_sim::metrics::Figure;
+
+fn smoke_sweep() -> sweeps::SweepConfig {
+    sweeps::SweepConfig {
+        scale: Scale::Smoke,
+        runs: 3,
+        seed: 99,
+    }
+}
+
+fn assert_renders(figure: &Figure) {
+    let md = figure.to_markdown();
+    assert!(md.contains(figure.id));
+    let csv = figure.to_csv();
+    assert_eq!(csv.lines().count(), 1 + figure.series[0].points.len());
+    // Every series name appears in the CSV header.
+    for s in &figure.series {
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains(&s.name.replace(',', ";")));
+    }
+}
+
+#[test]
+fn every_figure_regenerates_at_smoke_scale() {
+    let user_data = sweeps::user_sweep(&smoke_sweep());
+    let task_data = sweeps::task_sweep(&smoke_sweep());
+    let figures = vec![
+        sweeps::utility_figure(&user_data),
+        sweeps::payment_figure(&user_data),
+        sweeps::runtime_figure(&user_data),
+        sweeps::utility_figure(&task_data),
+        sweeps::payment_figure(&task_data),
+        sweeps::runtime_figure(&task_data),
+        fig9::run(&fig9::Fig9Config {
+            scale: Scale::Smoke,
+            runs: 2,
+            seed: 99,
+        }),
+        ablation::collusion(&ablation::AblationConfig {
+            scale: Scale::Smoke,
+            runs: 2,
+            seed: 99,
+        }),
+        ablation::round_budget(&ablation::AblationConfig {
+            scale: Scale::Smoke,
+            runs: 2,
+            seed: 99,
+        }),
+    ];
+    let ids: Vec<&str> = figures.iter().map(|f| f.id).collect();
+    assert_eq!(
+        ids,
+        vec![
+            "fig6a",
+            "fig7a",
+            "fig8a",
+            "fig6b",
+            "fig7b",
+            "fig8b",
+            "fig9",
+            "ablation_collusion",
+            "ablation_rounds"
+        ]
+    );
+    for f in &figures {
+        assert!(!f.series.is_empty(), "{} has no series", f.id);
+        assert!(
+            f.series.iter().all(|s| !s.points.is_empty()),
+            "{} has an empty series",
+            f.id
+        );
+        assert_renders(f);
+    }
+}
+
+#[test]
+fn sweeps_are_deterministic_in_everything_but_time() {
+    let a = sweeps::user_sweep(&smoke_sweep());
+    let b = sweeps::user_sweep(&smoke_sweep());
+    assert_eq!(a.points.len(), b.points.len());
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa.x, pb.x);
+        assert_eq!(pa.utility_rit, pb.utility_rit);
+        assert_eq!(pa.payment_rit, pb.payment_rit);
+        assert_eq!(pa.completion_rate, pb.completion_rate);
+        // Runtime metrics are wall-clock and may differ; everything else
+        // must be bit-identical.
+    }
+}
+
+#[test]
+fn different_seeds_change_results() {
+    let a = sweeps::task_sweep(&smoke_sweep());
+    let b = sweeps::task_sweep(&sweeps::SweepConfig {
+        seed: 100,
+        ..smoke_sweep()
+    });
+    let same = a
+        .points
+        .iter()
+        .zip(&b.points)
+        .all(|(x, y)| x.utility_rit == y.utility_rit);
+    assert!(!same, "different seeds should perturb the metrics");
+}
+
+#[test]
+fn fig9_series_names_follow_paper() {
+    let fig = fig9::run(&fig9::Fig9Config {
+        scale: Scale::Smoke,
+        runs: 2,
+        seed: 1,
+    });
+    let names: Vec<&str> = fig.series.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "a29 = 5.5",
+            "a29 = 6.25",
+            "a29 = 6.5",
+            "truthful, no attack"
+        ]
+    );
+    // x values are the identity counts, ascending.
+    for s in &fig.series {
+        let xs: Vec<f64> = s.points.iter().map(|p| p.x).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(xs, sorted);
+        assert!(xs[0] >= 2.0);
+    }
+}

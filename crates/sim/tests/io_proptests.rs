@@ -1,0 +1,64 @@
+//! Property tests of the CSV interchange formats: round trips for valid
+//! data, graceful errors (never panics) for arbitrary junk.
+
+use proptest::prelude::*;
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_sim::io;
+use rit_tree::{IncentiveTree, NodeId};
+
+proptest! {
+    #[test]
+    fn asks_round_trip(
+        specs in prop::collection::vec((0u32..50, 1u64..1000, 0.001f64..1e6), 0..100),
+    ) {
+        let asks: Vec<Ask> = specs
+            .iter()
+            .map(|&(t, k, a)| Ask::new(TaskTypeId::new(t), k, a).unwrap())
+            .collect();
+        let parsed = io::parse_asks(&io::render_asks(&asks)).unwrap();
+        prop_assert_eq!(parsed, asks);
+    }
+
+    #[test]
+    fn tree_round_trip(choices in prop::collection::vec(any::<u32>(), 0..120)) {
+        let parents: Vec<NodeId> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| NodeId::new(c % (i as u32 + 1)))
+            .collect();
+        let tree = IncentiveTree::from_parents(&parents).unwrap();
+        let parsed = io::parse_tree(&io::render_tree(&tree)).unwrap();
+        prop_assert_eq!(parsed, tree);
+    }
+
+    #[test]
+    fn job_round_trip(counts in prop::collection::vec(0u64..100_000, 1..40)) {
+        let job = Job::from_counts(counts).unwrap();
+        let parsed = io::parse_job(&io::render_job(&job)).unwrap();
+        prop_assert_eq!(parsed, job);
+    }
+
+    // Fuzz: arbitrary text must yield Ok or a structured error — never panic.
+    #[test]
+    fn parse_asks_never_panics(text in "\\PC{0,300}") {
+        let _ = io::parse_asks(&text);
+    }
+
+    #[test]
+    fn parse_tree_never_panics(text in "\\PC{0,300}") {
+        let _ = io::parse_tree(&text);
+    }
+
+    #[test]
+    fn parse_job_never_panics(text in "\\PC{0,300}") {
+        let _ = io::parse_job(&text);
+    }
+
+    // Fuzz with a valid header but arbitrary body lines.
+    #[test]
+    fn parse_with_valid_header_never_panics(body in "[0-9a-z,.\\-\n ]{0,300}") {
+        let _ = io::parse_asks(&format!("user,task_type,quantity,unit_price\n{body}"));
+        let _ = io::parse_tree(&format!("node,parent\n{body}"));
+        let _ = io::parse_job(&format!("task_type,tasks\n{body}"));
+    }
+}

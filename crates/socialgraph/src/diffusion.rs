@@ -1,0 +1,253 @@
+//! Probabilistic recruitment diffusion.
+//!
+//! The paper's §7-A tree construction is deterministic: every user refers
+//! *all* of its un-joined neighbors. Real referral cascades are leakier —
+//! an invitation reaches a neighbor only with some probability, and users
+//! keep inviting over multiple rounds until the platform's threshold `N` is
+//! met (or the cascade dies out). This module models that process so
+//! experiments can check that RIT's results are not an artifact of the
+//! full-diffusion assumption:
+//!
+//! * seeds join directly (children of the platform), like the paper;
+//! * in each round, every member invites each un-joined neighbor
+//!   independently with probability `invite_prob`; simultaneous invitations
+//!   tie-break to the smallest-index inviter (same rule as
+//!   [`crate::spanning`]);
+//! * the cascade stops when `target` users joined, when nobody new joined
+//!   for a round, or after `max_rounds`.
+
+use rand::Rng;
+use rit_tree::{IncentiveTree, NodeId};
+
+use crate::SocialGraph;
+
+/// Parameters of a recruitment cascade.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiffusionConfig {
+    /// Per-neighbor, per-round invitation success probability.
+    pub invite_prob: f64,
+    /// Stop once this many users joined (`None` = run to exhaustion).
+    pub target: Option<usize>,
+    /// Hard cap on rounds.
+    pub max_rounds: u32,
+}
+
+impl Default for DiffusionConfig {
+    fn default() -> Self {
+        Self {
+            invite_prob: 0.5,
+            target: None,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// Result of a cascade: the tree over the *joined* users plus the mapping
+/// from tree user indices back to graph node ids.
+#[derive(Clone, Debug)]
+pub struct DiffusionOutcome {
+    /// The incentive tree over joined users (user `j` of the tree is graph
+    /// node `joined[j]`).
+    pub tree: IncentiveTree,
+    /// Graph node of each tree user, in join order.
+    pub joined: Vec<u32>,
+    /// Rounds the cascade ran.
+    pub rounds: u32,
+}
+
+/// Runs a recruitment cascade over `graph`, seeded at `seeds` (graph node
+/// ids, deduplicated, all joining the platform directly in round 0).
+///
+/// # Panics
+///
+/// Panics if `invite_prob` is outside `[0, 1]` or a seed is out of range.
+pub fn simulate<R: Rng + ?Sized>(
+    graph: &SocialGraph,
+    seeds: &[usize],
+    config: &DiffusionConfig,
+    rng: &mut R,
+) -> DiffusionOutcome {
+    assert!(
+        (0.0..=1.0).contains(&config.invite_prob),
+        "invite_prob must be a probability"
+    );
+    let n = graph.num_nodes();
+    const UNJOINED: u32 = u32::MAX;
+    // tree parent of each *graph* node (0 = platform, else tree node id).
+    let mut parent_of = vec![UNJOINED; n];
+    let mut tree_id = vec![0u32; n]; // graph node -> tree node id (valid when joined)
+    let mut joined: Vec<u32> = Vec::new();
+
+    let mut frontier: Vec<u32> = Vec::new();
+    for &s in seeds {
+        assert!(s < n, "seed {s} out of range");
+        if parent_of[s] == UNJOINED {
+            parent_of[s] = 0;
+            joined.push(s as u32);
+            tree_id[s] = joined.len() as u32;
+            frontier.push(s as u32);
+        }
+    }
+    frontier.sort_unstable();
+
+    let mut rounds = 0u32;
+    let mut next: Vec<u32> = Vec::new();
+    while !frontier.is_empty()
+        && rounds < config.max_rounds
+        && config.target.is_none_or(|t| joined.len() < t)
+    {
+        next.clear();
+        'invite: for &inviter in &frontier {
+            for &nb in graph.neighbors(inviter as usize) {
+                if parent_of[nb as usize] != UNJOINED {
+                    continue;
+                }
+                if rng.gen_bool(config.invite_prob) {
+                    parent_of[nb as usize] = tree_id[inviter as usize];
+                    joined.push(nb);
+                    tree_id[nb as usize] = joined.len() as u32;
+                    next.push(nb);
+                    if config.target == Some(joined.len()) {
+                        break 'invite;
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        std::mem::swap(&mut frontier, &mut next);
+        rounds += 1;
+    }
+
+    // Parents in join order: tree node j+1 is graph node joined[j].
+    let parents: Vec<NodeId> = joined
+        .iter()
+        .map(|&g| NodeId::new(parent_of[g as usize]))
+        .collect();
+    let tree = IncentiveTree::from_parents(&parents).expect("cascade parents are acyclic");
+    DiffusionOutcome {
+        tree,
+        joined,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn line(n: usize) -> SocialGraph {
+        let mut g = SocialGraph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn full_probability_reproduces_spanning_bfs() {
+        let g = line(6);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = simulate(
+            &g,
+            &[0],
+            &DiffusionConfig {
+                invite_prob: 1.0,
+                ..DiffusionConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(out.tree.num_users(), 6);
+        assert_eq!(out.joined, vec![0, 1, 2, 3, 4, 5]);
+        // Line graph from one end: a path of depth 6.
+        assert_eq!(out.tree.depth(NodeId::from_user_index(5)), 6);
+        assert_eq!(out.rounds, 6); // five growth rounds + the final empty one
+    }
+
+    #[test]
+    fn zero_probability_joins_only_seeds() {
+        let g = line(5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = simulate(
+            &g,
+            &[2, 4],
+            &DiffusionConfig {
+                invite_prob: 0.0,
+                ..DiffusionConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(out.tree.num_users(), 2);
+        for u in out.tree.user_nodes() {
+            assert_eq!(out.tree.depth(u), 1);
+        }
+    }
+
+    #[test]
+    fn target_caps_membership() {
+        let g = crate::generators::barabasi_albert(500, 2, &mut SmallRng::seed_from_u64(3));
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = simulate(
+            &g,
+            &[0],
+            &DiffusionConfig {
+                invite_prob: 0.8,
+                target: Some(100),
+                max_rounds: 64,
+            },
+            &mut rng,
+        );
+        assert_eq!(out.tree.num_users(), 100);
+        assert_eq!(out.joined.len(), 100);
+    }
+
+    #[test]
+    fn parents_are_graph_neighbors() {
+        let g = crate::generators::erdos_renyi(300, 0.02, &mut SmallRng::seed_from_u64(5));
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = simulate(&g, &[0, 1, 2], &DiffusionConfig::default(), &mut rng);
+        for (j, &gnode) in out.joined.iter().enumerate() {
+            let p = out.tree.parent(NodeId::from_user_index(j)).unwrap();
+            if let Some(pj) = p.user_index() {
+                let pg = out.joined[pj] as usize;
+                assert!(g.has_edge(gnode as usize, pg));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_seeds_deduplicated() {
+        let g = line(3);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let out = simulate(
+            &g,
+            &[1, 1, 1],
+            &DiffusionConfig {
+                invite_prob: 0.0,
+                ..DiffusionConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(out.tree.num_users(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = crate::generators::barabasi_albert(200, 2, &mut SmallRng::seed_from_u64(8));
+        let a = simulate(
+            &g,
+            &[0],
+            &DiffusionConfig::default(),
+            &mut SmallRng::seed_from_u64(9),
+        );
+        let b = simulate(
+            &g,
+            &[0],
+            &DiffusionConfig::default(),
+            &mut SmallRng::seed_from_u64(9),
+        );
+        assert_eq!(a.joined, b.joined);
+        assert_eq!(a.tree, b.tree);
+    }
+}

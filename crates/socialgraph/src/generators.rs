@@ -1,0 +1,261 @@
+//! Random social-graph generators.
+//!
+//! These substitute for the paper's proprietary Twitter trace (see
+//! DESIGN.md). All generators are deterministic given the RNG and are
+//! efficient at the paper's scale (n up to 80,000).
+
+use rand::Rng;
+
+use crate::SocialGraph;
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+///
+/// Uses the Batagelj–Brandes geometric-skipping construction, so the running
+/// time is `O(n + |E|)` rather than `O(n²)` — essential at n = 80,000.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+#[must_use]
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> SocialGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut g = SocialGraph::new(n);
+    if p <= 0.0 || n < 2 {
+        return g;
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        return g;
+    }
+    // Walk the strictly-upper-triangular pair sequence, skipping a
+    // Geometric(p)-distributed gap between successive edges.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && (v as usize) < n {
+            w -= v;
+            v += 1;
+        }
+        if (v as usize) < n {
+            g.add_edge(w as usize, v as usize);
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m + 1` seed nodes; each subsequent node attaches `m` edges to existing
+/// nodes chosen with probability proportional to their degree.
+///
+/// Produces the heavy-tailed degree distribution characteristic of follower
+/// graphs, making it the default incentive-tree substrate in the simulation
+/// harness.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+#[must_use]
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> SocialGraph {
+    assert!(m > 0, "attachment count m must be positive");
+    assert!(n > m, "need at least m + 1 = {} nodes, got {n}", m + 1);
+    let mut g = SocialGraph::new(n);
+    // `targets` holds one entry per edge endpoint; sampling uniformly from it
+    // realizes degree-proportional selection.
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * m * n);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(u, v);
+            targets.push(u as u32);
+            targets.push(v as u32);
+        }
+    }
+    let mut picks: Vec<u32> = Vec::with_capacity(m);
+    for u in (m + 1)..n {
+        picks.clear();
+        while picks.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !picks.contains(&t) {
+                picks.push(t);
+            }
+        }
+        for &v in &picks {
+            g.add_edge(u, v as usize);
+            targets.push(u as u32);
+            targets.push(v);
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its `k / 2` nearest neighbors on each side, then each lattice edge is
+/// rewired with probability `beta` to a uniformly random endpoint.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k == 0`, `k >= n`, or `beta` is outside `[0, 1]`.
+#[must_use]
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> SocialGraph {
+    assert!(
+        k > 0 && k.is_multiple_of(2),
+        "k must be positive and even, got {k}"
+    );
+    assert!(k < n, "k = {k} must be smaller than n = {n}");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut g = SocialGraph::new(n);
+    for u in 0..n {
+        for d in 1..=(k / 2) {
+            let v = (u + d) % n;
+            if rng.gen_bool(beta) {
+                // Rewire: pick a random endpoint, avoiding loops/duplicates.
+                let mut attempts = 0;
+                loop {
+                    let w = rng.gen_range(0..n);
+                    if w != u && !g.has_edge(u, w) {
+                        g.add_edge(u, w);
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts > 32 {
+                        g.add_edge(u, v); // fall back to the lattice edge
+                        break;
+                    }
+                }
+            } else {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Copying model: each new node picks a random *prototype* among existing
+/// nodes; with probability `alpha` it copies each prototype edge, and it
+/// always links to the prototype itself. Another classic scale-free process,
+/// useful to check that experiment results are not an artifact of the BA
+/// construction.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `alpha` is outside `[0, 1]`.
+#[must_use]
+pub fn copying_model<R: Rng + ?Sized>(n: usize, alpha: f64, rng: &mut R) -> SocialGraph {
+    assert!(n > 0, "need at least one node");
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let mut g = SocialGraph::new(n);
+    for u in 1..n {
+        let proto = rng.gen_range(0..u);
+        let copied: Vec<u32> = g
+            .neighbors(proto)
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(alpha))
+            .collect();
+        g.add_edge(u, proto);
+        for v in copied {
+            g.add_edge(u, v as usize);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.005;
+        let g = erdos_renyi(n, p, &mut SmallRng::seed_from_u64(1));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let g0 = erdos_renyi(50, 0.0, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi(10, 1.0, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(g1.num_edges(), 45);
+        let tiny = erdos_renyi(1, 0.5, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(tiny.num_edges(), 0);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let n = 3000;
+        let m = 2;
+        let g = barabasi_albert(n, m, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(g.num_nodes(), n);
+        // Seed clique has C(3,2) = 3 edges; each later node adds exactly m.
+        assert_eq!(g.num_edges(), 3 + (n - m - 1) * m);
+        // Heavy tail: the max degree should far exceed the mean (~2m).
+        let max_deg = (0..n).map(|u| g.degree(u)).max().unwrap();
+        assert!(max_deg > 30, "expected a hub, max degree {max_deg}");
+        // Minimum degree is m.
+        assert!((0..n).all(|u| g.degree(u) >= m));
+        // BA graphs are connected by construction.
+        assert_eq!(g.components().len(), 1);
+    }
+
+    #[test]
+    fn watts_strogatz_degree_regular_at_beta_zero() {
+        let g = watts_strogatz(100, 4, 0.0, &mut SmallRng::seed_from_u64(3));
+        for u in 0..100 {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert_eq!(g.components().len(), 1);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_edge_count_close() {
+        let g = watts_strogatz(500, 6, 0.3, &mut SmallRng::seed_from_u64(4));
+        // Each node initiates k/2 = 3 edges; rewiring may occasionally merge
+        // into an existing edge, so allow slack below 1500.
+        assert!(g.num_edges() > 1400 && g.num_edges() <= 1500);
+    }
+
+    #[test]
+    fn copying_model_is_connected() {
+        let g = copying_model(1000, 0.5, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(g.components().len(), 1);
+        assert!(g.num_edges() >= 999); // at least the prototype links
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = barabasi_albert(200, 2, &mut SmallRng::seed_from_u64(7));
+        let b = barabasi_albert(200, 2, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = erdos_renyi(200, 0.05, &mut SmallRng::seed_from_u64(7));
+        let d = erdos_renyi(200, 0.05, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn erdos_renyi_validates_p() {
+        let _ = erdos_renyi(10, 1.5, &mut SmallRng::seed_from_u64(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "m + 1")]
+    fn barabasi_albert_validates_n() {
+        let _ = barabasi_albert(2, 2, &mut SmallRng::seed_from_u64(1));
+    }
+}

@@ -1,0 +1,192 @@
+//! Undirected social-graph representation.
+
+use std::fmt;
+
+/// An undirected social graph over users `0 ‥ n−1`.
+///
+/// Edges model social influence: an edge `{i, j}` means either user may
+/// solicit the other into the incentive tree. Parallel edges and self-loops
+/// are silently ignored on insertion, keeping the graph simple.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SocialGraph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl SocialGraph {
+    /// Creates an edgeless graph with `n` users.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected, deduplicated) edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops and duplicates are
+    /// ignored. Returns whether a new edge was inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        let n = self.num_nodes();
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} nodes");
+        if u == v || self.adj[u].contains(&(v as u32)) {
+            return false;
+        }
+        self.adj[u].push(v as u32);
+        self.adj[v].push(u as u32);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        // Query the smaller adjacency list.
+        let (a, b) = if self.adj[u].len() <= self.adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a].contains(&(b as u32))
+    }
+
+    /// The neighbors of `u` in insertion order.
+    #[must_use]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    /// The degree of `u`.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// The connected components, each listed in ascending node order;
+    /// components are ordered by their smallest member.
+    #[must_use]
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            seen[start] = true;
+            stack.push(start as u32);
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in &self.adj[v as usize] {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Degree histogram: `hist[d]` = number of users with degree `d`.
+    #[must_use]
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max_deg = self.adj.iter().map(Vec::len).max().unwrap_or(0);
+        let mut hist = vec![0usize; max_deg + 1];
+        for a in &self.adj {
+            hist[a.len()] += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Display for SocialGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "social graph: {} nodes, {} edges",
+            self.num_nodes(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_dedups_and_ignores_loops() {
+        let mut g = SocialGraph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(2, 2));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let mut g = SocialGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let mut g = SocialGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let mut g = SocialGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        // Star: one degree-3 hub, three degree-1 leaves.
+        assert_eq!(g.degree_histogram(), vec![0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SocialGraph::new(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert!(g.components().is_empty());
+        assert_eq!(g.degree_histogram(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_bounds_checked() {
+        let mut g = SocialGraph::new(2);
+        g.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! Social-network substrate for the RIT evaluation.
+//!
+//! The paper (§7-A) grows its incentive tree from a Twitter follower graph
+//! of ~80,000 users \[21\]: a spanning forest is generated where *"each user
+//! refers all of its un-joined neighbors into the incentive tree"*, the
+//! platform is the root, the forest roots attach to the platform, and
+//! simultaneous invitations tie-break to the smallest inviter index.
+//!
+//! The original trace is proprietary, so this crate substitutes synthetic
+//! generators with the same structural role (see DESIGN.md §2):
+//!
+//! * [`generators::barabasi_albert`] — preferential attachment; reproduces
+//!   the heavy-tailed degree distribution of follower graphs and is the
+//!   default in the simulation harness;
+//! * [`generators::erdos_renyi`] — the homogeneous G(n, p) baseline;
+//! * [`generators::watts_strogatz`] — high clustering, small world;
+//! * [`generators::copying_model`] — an alternative scale-free process.
+//!
+//! [`spanning::spanning_forest_tree`] implements the paper's tree
+//! construction verbatim: multi-source BFS per connected component (seeded
+//! at each component's smallest-index user), parent = smallest-index
+//! inviter, forest roots as children of the platform.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rit_socialgraph::{generators, spanning};
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let graph = generators::barabasi_albert(1000, 2, &mut rng);
+//! let tree = spanning::spanning_forest_tree(&graph);
+//! assert_eq!(tree.num_users(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diffusion;
+pub mod generators;
+mod graph;
+pub mod spanning;
+pub mod stats;
+
+pub use graph::SocialGraph;

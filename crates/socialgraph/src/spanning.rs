@@ -1,0 +1,178 @@
+//! The paper's spanning-forest incentive-tree construction (§7-A).
+//!
+//! *"We generate a spanning forest of the social network where each user
+//! refers all of its un-joined neighbors into the incentive tree. We set the
+//! platform as the root of the incentive tree and attach all roots of the
+//! spanning forest as the children of the root. If multiple invitations
+//! arrive at a user at the same time, we break the ties by choosing the one
+//! with the smallest index among the inviters as the parent."*
+//!
+//! Concretely this is a round-based (breadth-first) diffusion: within each
+//! connected component the smallest-index user joins first (as a child of
+//! the platform); in every subsequent round, each just-joined user invites
+//! all of its un-joined neighbors simultaneously, and a user receiving
+//! several simultaneous invitations picks the smallest-index inviter.
+
+use rit_tree::{IncentiveTree, NodeId};
+
+use crate::SocialGraph;
+
+/// Builds the incentive tree for `graph` by the paper's spanning-forest
+/// rule. User `i` of the graph becomes tree node `i + 1`
+/// ([`NodeId::from_user_index`]); isolated users attach directly to the
+/// platform (they "join at the very beginning" of their own one-user
+/// component).
+#[must_use]
+pub fn spanning_forest_tree(graph: &SocialGraph) -> IncentiveTree {
+    let n = graph.num_nodes();
+    // parent_of[i]: tree parent of user i; u32::MAX = not joined yet.
+    const UNJOINED: u32 = u32::MAX;
+    let mut parent_of = vec![UNJOINED; n];
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::new();
+
+    for seed in 0..n {
+        if parent_of[seed] != UNJOINED {
+            continue;
+        }
+        // `seed` is the smallest unjoined index, hence the smallest index of
+        // its component: it starts the component as a child of the platform.
+        parent_of[seed] = 0; // 0 encodes the platform root
+        frontier.clear();
+        frontier.push(seed as u32);
+        while !frontier.is_empty() {
+            next.clear();
+            // Ascending inviter order ⇒ first assignment wins the tie-break.
+            for &inviter in frontier.iter() {
+                for &nb in graph.neighbors(inviter as usize) {
+                    if parent_of[nb as usize] == UNJOINED {
+                        parent_of[nb as usize] = inviter + 1; // tree node id of inviter
+                        next.push(nb);
+                    }
+                }
+            }
+            next.sort_unstable();
+            std::mem::swap(&mut frontier, &mut next);
+        }
+    }
+
+    let parents: Vec<NodeId> = parent_of.into_iter().map(NodeId::new).collect();
+    IncentiveTree::from_parents(&parents).expect("BFS forest parents are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> SocialGraph {
+        let mut g = SocialGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn line_graph_becomes_path() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let t = spanning_forest_tree(&g);
+        assert_eq!(t.parent(NodeId::from_user_index(0)), Some(NodeId::ROOT));
+        assert_eq!(
+            t.parent(NodeId::from_user_index(1)),
+            Some(NodeId::from_user_index(0))
+        );
+        assert_eq!(t.depth(NodeId::from_user_index(3)), 4);
+    }
+
+    #[test]
+    fn tie_break_prefers_smallest_inviter() {
+        // 0 and 1 both neighbor 2; both are at depth 1 in round 1 of the
+        // component seeded at 0… but 1 is only reached via 2. Build a diamond:
+        // 0–1, 0–2, 1–3, 2–3: round 1 joins {1, 2}; both invite 3
+        // simultaneously; 3 must pick inviter 1.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let t = spanning_forest_tree(&g);
+        assert_eq!(
+            t.parent(NodeId::from_user_index(3)),
+            Some(NodeId::from_user_index(1))
+        );
+    }
+
+    #[test]
+    fn components_each_get_a_seed() {
+        let g = graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let t = spanning_forest_tree(&g);
+        // Seeds 0, 2, 4 attach to the platform.
+        for seed in [0usize, 2, 4] {
+            assert_eq!(t.parent(NodeId::from_user_index(seed)), Some(NodeId::ROOT));
+        }
+        for follower in [1usize, 3, 5] {
+            assert_eq!(t.depth(NodeId::from_user_index(follower)), 2);
+        }
+        assert_eq!(t.children(NodeId::ROOT).len(), 3);
+    }
+
+    #[test]
+    fn isolated_users_join_directly() {
+        let g = SocialGraph::new(5);
+        let t = spanning_forest_tree(&g);
+        assert_eq!(t.children(NodeId::ROOT).len(), 5);
+    }
+
+    #[test]
+    fn empty_graph_gives_platform_only() {
+        let t = spanning_forest_tree(&SocialGraph::new(0));
+        assert_eq!(t.num_users(), 0);
+    }
+
+    #[test]
+    fn depths_are_bfs_distances() {
+        // Star around node 3 plus chain 0–1–2 entering at 2–3.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)]);
+        let t = spanning_forest_tree(&g);
+        let depths: Vec<u32> = (0..6)
+            .map(|u| t.depth(NodeId::from_user_index(u)))
+            .collect();
+        assert_eq!(depths, vec![1, 2, 3, 4, 5, 5]);
+    }
+
+    #[test]
+    fn parent_is_always_a_neighbor_or_platform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = crate::generators::barabasi_albert(500, 2, &mut rng);
+        let t = spanning_forest_tree(&g);
+        for u in 0..500 {
+            let p = t.parent(NodeId::from_user_index(u)).unwrap();
+            match p.user_index() {
+                None => {} // platform seed
+                Some(pu) => assert!(
+                    g.has_edge(u, pu),
+                    "tree parent {pu} of {u} is not a graph neighbor"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn connected_graph_single_seed() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = crate::generators::barabasi_albert(300, 2, &mut rng);
+        let t = spanning_forest_tree(&g);
+        assert_eq!(t.children(NodeId::ROOT).len(), 1);
+        assert_eq!(t.children(NodeId::ROOT)[0], NodeId::from_user_index(0));
+    }
+
+    #[test]
+    fn spanning_tree_covers_all_users() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = crate::generators::erdos_renyi(400, 0.01, &mut rng);
+        let t = spanning_forest_tree(&g);
+        assert_eq!(t.num_users(), 400);
+        // Every user has a well-defined positive depth.
+        for u in t.user_nodes() {
+            assert!(t.depth(u) >= 1);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Descriptive statistics of social graphs.
+//!
+//! The incentive-tree shape (and hence the solicitation-reward mass) is
+//! driven by the underlying graph's degree structure; experiments report
+//! these statistics so runs on different generators are comparable.
+
+use crate::SocialGraph;
+
+/// Summary statistics of a social graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of users.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Mean degree `2|E|/n` (0 for an empty graph).
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Global clustering coefficient: `3·triangles / open triads`
+    /// (0 when the graph has no path of length 2).
+    pub clustering: f64,
+}
+
+impl GraphStats {
+    /// Computes all statistics. Triangle counting is `O(Σ deg²)` — fine for
+    /// the sparse graphs used here (BA with m = 2 has mean degree 4).
+    #[must_use]
+    pub fn compute(graph: &SocialGraph) -> Self {
+        let n = graph.num_nodes();
+        let num_edges = graph.num_edges();
+        let max_degree = (0..n).map(|u| graph.degree(u)).max().unwrap_or(0);
+        let components = graph.components();
+        let largest_component = components.iter().map(Vec::len).max().unwrap_or(0);
+
+        // Count closed and open triads.
+        let mut triangles3 = 0u64; // 3 × number of triangles (each counted per vertex)
+        let mut triads = 0u64; // paths of length 2 centered anywhere
+        for u in 0..n {
+            let neigh = graph.neighbors(u);
+            let d = neigh.len() as u64;
+            triads += d.saturating_sub(1) * d / 2;
+            for (i, &a) in neigh.iter().enumerate() {
+                for &b in &neigh[i + 1..] {
+                    if graph.has_edge(a as usize, b as usize) {
+                        triangles3 += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            num_nodes: n,
+            num_edges,
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * num_edges as f64 / n as f64
+            },
+            max_degree,
+            num_components: components.len(),
+            largest_component,
+            clustering: if triads == 0 {
+                0.0
+            } else {
+                triangles3 as f64 / triads as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> SocialGraph {
+        let mut g = SocialGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.clustering, 1.0);
+        assert_eq!(s.num_components, 1);
+        assert_eq!(s.mean_degree, 2.0);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.largest_component, 4);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let s = GraphStats::compute(&SocialGraph::new(0));
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.largest_component, 0);
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_components, 3);
+        assert_eq!(s.largest_component, 2);
+    }
+
+    #[test]
+    fn watts_strogatz_clusters_more_than_erdos_renyi() {
+        // The defining small-world property: at equal density, the rewired
+        // ring lattice retains far higher clustering than G(n, p).
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ws = crate::generators::watts_strogatz(800, 6, 0.1, &mut rng);
+        let er = crate::generators::erdos_renyi(800, 6.0 / 799.0, &mut rng);
+        let cw = GraphStats::compute(&ws).clustering;
+        let ce = GraphStats::compute(&er).clustering;
+        assert!(cw > 3.0 * ce, "WS {cw:.3} should dwarf ER {ce:.3}");
+    }
+
+    #[test]
+    fn barabasi_albert_has_hub_and_one_component() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = crate::generators::barabasi_albert(2000, 2, &mut rng);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_components, 1);
+        assert!((s.mean_degree - 4.0).abs() < 0.1);
+        assert!(s.max_degree as f64 > 5.0 * s.mean_degree);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of graph generation, spanning-forest construction,
+//! and recruitment diffusion.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_socialgraph::diffusion::{self, DiffusionConfig};
+use rit_socialgraph::{generators, spanning, SocialGraph};
+use rit_tree::NodeId;
+
+fn arb_graph() -> impl Strategy<Value = SocialGraph> {
+    (
+        2usize..80,
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..200),
+    )
+        .prop_map(|(n, edges)| {
+            let mut g = SocialGraph::new(n);
+            for (a, b) in edges {
+                g.add_edge(a as usize % n, b as usize % n);
+            }
+            g
+        })
+}
+
+proptest! {
+    #[test]
+    fn spanning_forest_covers_all_users_with_neighbor_parents(g in arb_graph()) {
+        let tree = spanning::spanning_forest_tree(&g);
+        prop_assert_eq!(tree.num_users(), g.num_nodes());
+        for u in 0..g.num_nodes() {
+            let node = NodeId::from_user_index(u);
+            let p = tree.parent(node).unwrap();
+            match p.user_index() {
+                None => {} // component seed
+                Some(pu) => prop_assert!(g.has_edge(u, pu)),
+            }
+        }
+        // Number of platform children equals the number of components.
+        prop_assert_eq!(
+            tree.children(NodeId::ROOT).len(),
+            g.components().len()
+        );
+    }
+
+    #[test]
+    fn spanning_depths_are_bfs_distances(g in arb_graph()) {
+        // Depth of u = 1 + BFS distance from its component's seed.
+        let tree = spanning::spanning_forest_tree(&g);
+        for comp in g.components() {
+            let seed = comp[0] as usize;
+            // BFS distances within the component.
+            let mut dist = vec![usize::MAX; g.num_nodes()];
+            dist[seed] = 0;
+            let mut queue = std::collections::VecDeque::from([seed]);
+            while let Some(v) = queue.pop_front() {
+                for &w in g.neighbors(v) {
+                    if dist[w as usize] == usize::MAX {
+                        dist[w as usize] = dist[v] + 1;
+                        queue.push_back(w as usize);
+                    }
+                }
+            }
+            for &u in &comp {
+                let d = tree.depth(NodeId::from_user_index(u as usize)) as usize;
+                prop_assert_eq!(d, dist[u as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn diffusion_joins_are_connected_and_bounded(
+        g in arb_graph(),
+        prob_sel in 0u8..=100,
+        seed in any::<u64>(),
+        target_sel in any::<u16>(),
+    ) {
+        let target = 1 + target_sel as usize % g.num_nodes();
+        let out = diffusion::simulate(
+            &g,
+            &[0],
+            &DiffusionConfig {
+                invite_prob: f64::from(prob_sel) / 100.0,
+                target: Some(target),
+                max_rounds: 64,
+            },
+            &mut SmallRng::seed_from_u64(seed),
+        );
+        prop_assert!(out.tree.num_users() <= target.max(1));
+        prop_assert_eq!(out.tree.num_users(), out.joined.len());
+        // Every non-seed member's tree parent is a graph neighbor.
+        for (j, &gnode) in out.joined.iter().enumerate() {
+            let p = out.tree.parent(NodeId::from_user_index(j)).unwrap();
+            if let Some(pj) = p.user_index() {
+                prop_assert!(g.has_edge(gnode as usize, out.joined[pj] as usize));
+            } else {
+                prop_assert_eq!(gnode, 0, "only the seed hangs off the platform");
+            }
+        }
+        // No duplicates.
+        let mut sorted = out.joined.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.joined.len());
+    }
+
+    #[test]
+    fn diffusion_prefix_stability(
+        seed in any::<u64>(),
+        small in 2usize..40,
+        extra in 1usize..40,
+    ) {
+        // The campaign layer relies on this: growing the target replays the
+        // same join prefix.
+        let g = generators::barabasi_albert(120, 2, &mut SmallRng::seed_from_u64(1));
+        let run = |target: usize| {
+            diffusion::simulate(
+                &g,
+                &[0],
+                &DiffusionConfig {
+                    invite_prob: 0.6,
+                    target: Some(target),
+                    max_rounds: 64,
+                },
+                &mut SmallRng::seed_from_u64(seed),
+            )
+        };
+        let a = run(small);
+        let b = run(small + extra);
+        prop_assert!(b.joined.len() >= a.joined.len());
+        prop_assert_eq!(&b.joined[..a.joined.len()], &a.joined[..]);
+        // Tree parents agree on the shared prefix.
+        for j in 0..a.joined.len() {
+            let node = NodeId::from_user_index(j);
+            prop_assert_eq!(a.tree.parent(node), b.tree.parent(node));
+        }
+    }
+
+    #[test]
+    fn generators_produce_simple_graphs(n in 4usize..120, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for g in [
+            generators::barabasi_albert(n, 2, &mut rng),
+            generators::erdos_renyi(n, 0.1, &mut rng),
+            generators::copying_model(n, 0.4, &mut rng),
+        ] {
+            // Simplicity: no self-loops, no duplicate edges (checked via the
+            // degree sum identity against the deduplicated count).
+            let degree_sum: usize = (0..n).map(|u| g.degree(u)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.num_edges());
+            for u in 0..n {
+                prop_assert!(!g.has_edge(u, u));
+                let mut nb: Vec<u32> = g.neighbors(u).to_vec();
+                let before = nb.len();
+                nb.sort_unstable();
+                nb.dedup();
+                prop_assert_eq!(nb.len(), before, "duplicate neighbor at {}", u);
+            }
+        }
+    }
+}

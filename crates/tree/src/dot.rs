@@ -1,0 +1,77 @@
+//! Graphviz (DOT) export of incentive trees.
+//!
+//! Small solicitation trees — counterexamples, attack scenarios, unit-test
+//! fixtures — are much easier to reason about drawn. `to_dot` renders the
+//! tree with caller-supplied labels:
+//!
+//! ```
+//! use rit_tree::{dot, generate};
+//!
+//! let tree = generate::path(2);
+//! let out = dot::to_dot(&tree, |node| format!("{node}"));
+//! assert!(out.starts_with("digraph incentive_tree"));
+//! assert!(out.contains("n0 -> n1"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{IncentiveTree, NodeId};
+
+/// Renders the tree in DOT format. `label` supplies the display text per
+/// node; quotes and backslashes in labels are escaped.
+pub fn to_dot<F: Fn(NodeId) -> String>(tree: &IncentiveTree, label: F) -> String {
+    let mut out = String::from("digraph incentive_tree {\n  rankdir=TB;\n");
+    for &node in tree.preorder() {
+        let text = escape(&label(node));
+        let shape = if node.is_root() { "box" } else { "ellipse" };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{text}\", shape={shape}];",
+            node.index()
+        );
+    }
+    for &node in tree.preorder() {
+        for &child in tree.children(node) {
+            let _ = writeln!(out, "  n{} -> n{};", node.index(), child.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let tree = generate::star(3);
+        let out = to_dot(&tree, |n| format!("{n}"));
+        for i in 0..=3 {
+            assert!(out.contains(&format!("n{i} [label=")), "missing node {i}");
+        }
+        assert_eq!(out.matches("->").count(), 3);
+        assert!(out.contains("shape=box")); // platform root
+        assert!(out.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let tree = generate::path(1);
+        let out = to_dot(&tree, |_| "say \"hi\" \\ bye".into());
+        assert!(out.contains("say \\\"hi\\\" \\\\ bye"));
+    }
+
+    #[test]
+    fn empty_tree_renders_root_only() {
+        let tree = crate::IncentiveTree::platform_only();
+        let out = to_dot(&tree, |n| format!("{n}"));
+        assert!(out.contains("n0 [label=\"root\""));
+        assert!(!out.contains("->"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Errors for incentive-tree construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when building or transforming an incentive tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// A parent pointer referenced a node outside the tree.
+    ParentOutOfRange {
+        /// Index of the node with the bad pointer.
+        node: usize,
+        /// The referenced parent index.
+        parent: usize,
+        /// Number of nodes in the tree.
+        num_nodes: usize,
+    },
+    /// The parent pointers contain a cycle (some node never reaches the root).
+    CycleDetected {
+        /// A node on the cycle.
+        node: usize,
+    },
+    /// A node id referenced a node outside the tree.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Number of nodes in the tree.
+        num_nodes: usize,
+    },
+    /// A sybil attack targeted the platform root, which has no parent to
+    /// attach identities to.
+    CannotAttackRoot,
+    /// A sybil attack requested fewer than two identities (δ > 1 by
+    /// definition; δ = 1 is not an attack).
+    TooFewIdentities {
+        /// The requested identity count.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ParentOutOfRange {
+                node,
+                parent,
+                num_nodes,
+            } => write!(
+                f,
+                "node {node} references parent {parent} outside tree of {num_nodes} nodes"
+            ),
+            Self::CycleDetected { node } => {
+                write!(f, "parent pointers contain a cycle through node {node}")
+            }
+            Self::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for tree of {num_nodes} nodes")
+            }
+            Self::CannotAttackRoot => write!(f, "the platform root cannot launch a sybil attack"),
+            Self::TooFewIdentities { requested } => write!(
+                f,
+                "a sybil attack needs at least 2 identities, got {requested}"
+            ),
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errs = [
+            TreeError::ParentOutOfRange {
+                node: 1,
+                parent: 9,
+                num_nodes: 2,
+            },
+            TreeError::CycleDetected { node: 3 },
+            TreeError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2,
+            },
+            TreeError::CannotAttackRoot,
+            TreeError::TooFewIdentities { requested: 1 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TreeError>();
+    }
+}

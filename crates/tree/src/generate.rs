@@ -1,0 +1,156 @@
+//! Synthetic incentive trees for tests, examples and micro-benchmarks.
+//!
+//! Realistic solicitation trees come from [`rit-socialgraph`]'s
+//! spanning-forest construction; the shapes here are the standard extreme
+//! and average cases used to exercise tree algorithms.
+//!
+//! [`rit-socialgraph`]: https://docs.rs/rit-socialgraph
+
+use rand::Rng;
+
+use crate::{IncentiveTree, NodeId};
+
+/// A path of `n` users: root ─ P₁ ─ P₂ ─ … ─ Pₙ (maximum depth).
+#[must_use]
+pub fn path(n: usize) -> IncentiveTree {
+    let parents: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+    IncentiveTree::from_parents(&parents).expect("path parents are valid")
+}
+
+/// A star of `n` users, all children of the platform root (minimum depth —
+/// everyone joined at the very beginning, nobody solicited anyone).
+#[must_use]
+pub fn star(n: usize) -> IncentiveTree {
+    let parents = vec![NodeId::ROOT; n];
+    IncentiveTree::from_parents(&parents).expect("star parents are valid")
+}
+
+/// A complete `k`-ary tree with `n` users (breadth-first filling).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn k_ary(n: usize, k: usize) -> IncentiveTree {
+    assert!(k > 0, "arity must be positive");
+    let parents: Vec<NodeId> = (0..n)
+        .map(|i| {
+            if i < k {
+                NodeId::ROOT
+            } else {
+                // Users are nodes 1..=n; user i (0-based) hangs under user (i−k)/k… in
+                // breadth-first order every user has at most k children.
+                NodeId::from_user_index((i - k) / k)
+            }
+        })
+        .collect();
+    IncentiveTree::from_parents(&parents).expect("k-ary parents are valid")
+}
+
+/// A uniform random recursive tree: each new user picks its inviter
+/// uniformly among the platform and all earlier users. Expected depth is
+/// `Θ(log n)` — a reasonable stand-in for organic referral cascades.
+#[must_use]
+pub fn uniform_recursive<R: Rng + ?Sized>(n: usize, rng: &mut R) -> IncentiveTree {
+    let parents: Vec<NodeId> = (0..n)
+        .map(|i| NodeId::new(rng.gen_range(0..=i as u32)))
+        .collect();
+    IncentiveTree::from_parents(&parents).expect("recursive parents are valid")
+}
+
+/// A preferential-attachment recursive tree: each new user picks its inviter
+/// with probability proportional to `1 + current child count` — produces the
+/// heavy-tailed branching seen in viral recruitment (the DARPA Network
+/// Challenge tree had a few huge recruiters and many leaves).
+#[must_use]
+pub fn preferential<R: Rng + ?Sized>(n: usize, rng: &mut R) -> IncentiveTree {
+    let mut parents: Vec<NodeId> = Vec::with_capacity(n);
+    // weights[i] = 1 + children(node i); node 0 is the root.
+    let mut weights: Vec<u64> = vec![1];
+    let mut total: u64 = 1;
+    for _ in 0..n {
+        let mut pick = rng.gen_range(0..total);
+        let mut chosen = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            if pick < w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        parents.push(NodeId::new(chosen as u32));
+        weights[chosen] += 1;
+        weights.push(1);
+        total += 2;
+    }
+    IncentiveTree::from_parents(&parents).expect("preferential parents are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let t = path(5);
+        assert_eq!(t.num_users(), 5);
+        assert_eq!(t.depth(NodeId::new(5)), 5);
+        assert_eq!(t.children(NodeId::new(2)), &[NodeId::new(3)]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(5);
+        assert_eq!(t.children(NodeId::ROOT).len(), 5);
+        for u in t.user_nodes() {
+            assert_eq!(t.depth(u), 1);
+        }
+    }
+
+    #[test]
+    fn empty_generators() {
+        assert_eq!(path(0).num_users(), 0);
+        assert_eq!(star(0).num_users(), 0);
+        assert_eq!(k_ary(0, 3).num_users(), 0);
+    }
+
+    #[test]
+    fn k_ary_shape() {
+        let t = k_ary(7, 2);
+        // Complete binary tree: root has 2 children, each has 2, etc.
+        assert_eq!(t.children(NodeId::ROOT).len(), 2);
+        assert_eq!(t.children(NodeId::new(1)).len(), 2);
+        assert_eq!(t.depth(NodeId::new(7)), 3);
+        for u in t.user_nodes() {
+            assert!(t.children(u).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn uniform_recursive_is_valid_and_seeded() {
+        let a = uniform_recursive(500, &mut SmallRng::seed_from_u64(1));
+        let b = uniform_recursive(500, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        assert_eq!(a.num_users(), 500);
+        // Log-depth sanity: a 500-node recursive tree is far shallower than a path.
+        let max_depth = a.user_nodes().map(|u| a.depth(u)).max().unwrap();
+        assert!(max_depth < 60, "unexpectedly deep: {max_depth}");
+    }
+
+    #[test]
+    fn preferential_has_heavy_hub() {
+        let t = preferential(2000, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(t.num_users(), 2000);
+        let max_children = std::iter::once(NodeId::ROOT)
+            .chain(t.user_nodes())
+            .map(|u| t.children(u).len())
+            .max()
+            .unwrap();
+        assert!(
+            max_children > 20,
+            "expected a hub, max degree {max_children}"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Lowest-common-ancestor and distance queries.
+//!
+//! Analysis tooling regularly needs tree distances — e.g. measuring how far
+//! a sybil identity drifted from its victim's original position, or
+//! profiling referral chains. [`LcaIndex`] preprocesses a tree in
+//! `O(N log N)` (sparse table over the Euler tour of depths) and answers
+//! [`LcaIndex::lca`] / [`LcaIndex::distance`] in `O(1)`.
+//!
+//! ```
+//! use rit_tree::{generate, lca::LcaIndex, NodeId};
+//!
+//! let tree = generate::k_ary(7, 2); // complete binary tree
+//! let index = LcaIndex::build(&tree);
+//! // Users 4 and 5 share user 2 as parent… in BFS order: children of P2
+//! // are P4 and P5? k_ary(7,2): P1,P2 under root; P3,P4 under P1; P5,P6 under P2; P7 under P3.
+//! assert_eq!(index.lca(NodeId::new(3), NodeId::new(4)), NodeId::new(1));
+//! assert_eq!(index.distance(NodeId::new(3), NodeId::new(4)), 2);
+//! assert_eq!(index.lca(NodeId::new(3), NodeId::new(5)), NodeId::ROOT);
+//! ```
+
+use crate::{IncentiveTree, NodeId};
+
+/// A preprocessed LCA/distance index over one tree.
+///
+/// The index borrows nothing: it snapshots the Euler structure at build
+/// time, so it stays valid for the lifetime of the `IncentiveTree` value it
+/// was built from (trees are immutable).
+#[derive(Clone, Debug)]
+pub struct LcaIndex {
+    // Euler tour of nodes (2N−1 entries) and their depths.
+    euler: Vec<NodeId>,
+    euler_depth: Vec<u32>,
+    // First occurrence of each node in the tour.
+    first: Vec<u32>,
+    // Sparse table of argmin-depth positions over `euler_depth`.
+    table: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+}
+
+impl LcaIndex {
+    /// Builds the index in `O(N log N)`.
+    #[must_use]
+    pub fn build(tree: &IncentiveTree) -> Self {
+        let n = tree.num_nodes();
+        let mut euler: Vec<NodeId> = Vec::with_capacity(2 * n);
+        let mut euler_depth: Vec<u32> = Vec::with_capacity(2 * n);
+        let mut first = vec![u32::MAX; n];
+
+        // Iterative Euler tour: push node on entry and after each child.
+        let mut stack: Vec<(NodeId, usize)> = vec![(NodeId::ROOT, 0)];
+        while let Some(&mut (v, ref mut next_child)) = stack.last_mut() {
+            if *next_child == 0 {
+                // entry visit
+                if first[v.index()] == u32::MAX {
+                    first[v.index()] = euler.len() as u32;
+                }
+                euler.push(v);
+                euler_depth.push(tree.depth(v));
+            }
+            let children = tree.children(v);
+            if *next_child < children.len() {
+                let c = children[*next_child];
+                *next_child += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                // Re-visit the parent after finishing this subtree.
+                if let Some(&(p, _)) = stack.last() {
+                    euler.push(p);
+                    euler_depth.push(tree.depth(p));
+                }
+            }
+        }
+
+        // Sparse table over euler_depth (positions of minima).
+        let m = euler.len();
+        let levels = (usize::BITS - m.leading_zeros()) as usize;
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..m as u32).collect());
+        let mut span = 1usize;
+        while 2 * span <= m {
+            let prev = table.last().expect("at least level 0");
+            let mut row = Vec::with_capacity(m - 2 * span + 1);
+            for i in 0..=(m - 2 * span) {
+                let a = prev[i];
+                let b = prev[i + span];
+                row.push(if euler_depth[a as usize] <= euler_depth[b as usize] {
+                    a
+                } else {
+                    b
+                });
+            }
+            table.push(row);
+            span *= 2;
+        }
+
+        let depth = (0..n as u32).map(|i| tree.depth(NodeId::new(i))).collect();
+        Self {
+            euler,
+            euler_depth,
+            first,
+            table,
+            depth,
+        }
+    }
+
+    fn argmin(&self, lo: usize, hi: usize) -> usize {
+        // Inclusive range over euler positions.
+        debug_assert!(lo <= hi);
+        let len = hi - lo + 1;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let a = self.table[k][lo];
+        let b = self.table[k][hi + 1 - (1 << k)];
+        if self.euler_depth[a as usize] <= self.euler_depth[b as usize] {
+            a as usize
+        } else {
+            b as usize
+        }
+    }
+
+    /// The lowest common ancestor of `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range for the indexed tree.
+    #[must_use]
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let fa = self.first[a.index()] as usize;
+        let fb = self.first[b.index()] as usize;
+        let (lo, hi) = if fa <= fb { (fa, fb) } else { (fb, fa) };
+        self.euler[self.argmin(lo, hi)]
+    }
+
+    /// The edge distance between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let l = self.lca(a, b);
+        self.depth[a.index()] + self.depth[b.index()] - 2 * self.depth[l.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_lca(tree: &IncentiveTree, a: NodeId, b: NodeId) -> NodeId {
+        let ancestors_a: Vec<NodeId> = std::iter::once(a).chain(tree.ancestors(a)).collect();
+        let mut cursor = b;
+        loop {
+            if ancestors_a.contains(&cursor) {
+                return cursor;
+            }
+            cursor = tree.parent(cursor).expect("root is a common ancestor");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..120);
+            let tree = generate::uniform_recursive(n, &mut rng);
+            let index = LcaIndex::build(&tree);
+            for _ in 0..80 {
+                let a = NodeId::new(rng.gen_range(0..=n as u32));
+                let b = NodeId::new(rng.gen_range(0..=n as u32));
+                let expected = naive_lca(&tree, a, b);
+                assert_eq!(index.lca(a, b), expected, "lca({a}, {b})");
+                // Distance consistency.
+                let d = index.distance(a, b);
+                let expected_d = tree.depth(a) + tree.depth(b) - 2 * tree.depth(expected);
+                assert_eq!(d, expected_d);
+            }
+        }
+    }
+
+    #[test]
+    fn identities_and_edges() {
+        let tree = generate::path(5);
+        let index = LcaIndex::build(&tree);
+        for u in tree.user_nodes() {
+            assert_eq!(index.lca(u, u), u);
+            assert_eq!(index.distance(u, u), 0);
+            if let Some(p) = tree.parent(u) {
+                assert_eq!(index.lca(u, p), p);
+                assert_eq!(index.distance(u, p), 1);
+            }
+        }
+        // Path extremes.
+        assert_eq!(index.distance(NodeId::ROOT, NodeId::new(5)), 5);
+    }
+
+    #[test]
+    fn star_siblings_meet_at_root() {
+        let tree = generate::star(6);
+        let index = LcaIndex::build(&tree);
+        assert_eq!(index.lca(NodeId::new(1), NodeId::new(6)), NodeId::ROOT);
+        assert_eq!(index.distance(NodeId::new(1), NodeId::new(6)), 2);
+    }
+
+    #[test]
+    fn platform_only_tree() {
+        let tree = IncentiveTree::platform_only();
+        let index = LcaIndex::build(&tree);
+        assert_eq!(index.lca(NodeId::ROOT, NodeId::ROOT), NodeId::ROOT);
+        assert_eq!(index.distance(NodeId::ROOT, NodeId::ROOT), 0);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let tree = generate::path(100_000);
+        let index = LcaIndex::build(&tree);
+        assert_eq!(index.distance(NodeId::new(1), NodeId::new(100_000)), 99_999);
+    }
+}

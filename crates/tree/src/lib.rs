@@ -1,0 +1,58 @@
+//! The incentive tree `T` used by the RIT mechanism.
+//!
+//! The paper (§3-A) models solicitation as a tree: the crowdsensing platform
+//! is the root, users who join at the very beginning are children of the
+//! root, and there is an edge `Pᵢ → Pⱼ` whenever `Pⱼ` joined by `Pᵢ`'s
+//! solicitation. Each user notifies the platform of its inviter, so the
+//! platform knows the full structure when solicitation ends.
+//!
+//! This crate provides:
+//!
+//! * [`IncentiveTree`] — an immutable arena tree with O(1) parent/depth
+//!   lookups, children slices, and a precomputed Euler tour enabling O(1)
+//!   ancestor tests and O(N) subtree aggregation (the key to the paper's
+//!   linear-time payment-determination phase, Theorem 3);
+//! * [`IncentiveTreeBuilder`] and [`IncentiveTree::from_parents`] —
+//!   construction with full validation (single root, no cycles);
+//! * [`sybil`] — the §3-B sybil-attack transformation: replace one node by
+//!   `δ` fake identities attached to the victim's parent or to each other,
+//!   re-homing the original children;
+//! * [`generate`] — simple synthetic trees (path, star, k-ary, random
+//!   recursive, preferential) for tests and micro-benchmarks;
+//! * [`lca`] — O(1) lowest-common-ancestor and distance queries after an
+//!   `O(N log N)` build;
+//! * [`dot`] — Graphviz export for small trees;
+//! * [`stats`] — depth/branching summaries.
+//!
+//! # Example
+//!
+//! ```
+//! use rit_tree::IncentiveTreeBuilder;
+//!
+//! // platform ── P1 ── P2
+//! //          └─ P3
+//! let mut b = IncentiveTreeBuilder::new();
+//! let p1 = b.add_child(rit_tree::NodeId::ROOT);
+//! let _p2 = b.add_child(p1);
+//! let _p3 = b.add_child(rit_tree::NodeId::ROOT);
+//! let tree = b.build();
+//! assert_eq!(tree.num_users(), 3);
+//! assert_eq!(tree.depth(p1), 1);
+//! assert_eq!(tree.subtree_size(p1), 2); // P1 and P2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+mod error;
+pub mod generate;
+pub mod lca;
+pub mod stats;
+pub mod sybil;
+mod traverse;
+mod tree;
+
+pub use error::TreeError;
+pub use traverse::{Ancestors, Descendants};
+pub use tree::{IncentiveTree, IncentiveTreeBuilder, NodeId};

@@ -1,0 +1,137 @@
+//! Descriptive statistics of incentive trees.
+//!
+//! The paper's guarantees hold for any tree shape, but the *magnitude* of
+//! solicitation rewards depends on depth (the `(1/2)^{rᵢ}` weights decay
+//! geometrically). These statistics let experiments report the shape of the
+//! trees they ran on.
+
+use crate::{IncentiveTree, NodeId};
+
+/// Summary statistics of an incentive tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Number of user nodes `N`.
+    pub num_users: usize,
+    /// Maximum user depth (0 when there are no users).
+    pub max_depth: u32,
+    /// Mean user depth (0 when there are no users).
+    pub mean_depth: f64,
+    /// Number of leaf users (no children).
+    pub num_leaves: usize,
+    /// Number of users who solicited at least one other user.
+    pub num_recruiters: usize,
+    /// Largest child count over the root and all users.
+    pub max_branching: usize,
+    /// Users who joined directly (children of the platform root).
+    pub num_seeds: usize,
+}
+
+impl TreeStats {
+    /// Computes statistics for `tree` in one pass.
+    #[must_use]
+    pub fn compute(tree: &IncentiveTree) -> Self {
+        let num_users = tree.num_users();
+        let mut max_depth = 0u32;
+        let mut depth_sum = 0u64;
+        let mut num_leaves = 0usize;
+        let mut num_recruiters = 0usize;
+        let mut max_branching = tree.children(NodeId::ROOT).len();
+        for u in tree.user_nodes() {
+            let d = tree.depth(u);
+            max_depth = max_depth.max(d);
+            depth_sum += u64::from(d);
+            let c = tree.children(u).len();
+            max_branching = max_branching.max(c);
+            if c == 0 {
+                num_leaves += 1;
+            } else {
+                num_recruiters += 1;
+            }
+        }
+        Self {
+            num_users,
+            max_depth,
+            mean_depth: if num_users == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / num_users as f64
+            },
+            num_leaves,
+            num_recruiters,
+            max_branching,
+            num_seeds: tree.children(NodeId::ROOT).len(),
+        }
+    }
+}
+
+/// Per-depth user counts: `histogram[d - 1]` is the number of users at depth
+/// `d` (depth 1 = direct children of the platform root). The root itself is
+/// not counted.
+#[must_use]
+pub fn depth_histogram(tree: &IncentiveTree) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in tree.user_nodes() {
+        let d = tree.depth(u) as usize;
+        if d > hist.len() {
+            hist.resize(d, 0);
+        }
+        hist[d - 1] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn stats_of_path() {
+        let t = generate::path(4);
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.num_users, 4);
+        assert_eq!(s.max_depth, 4);
+        assert_eq!(s.mean_depth, 2.5);
+        assert_eq!(s.num_leaves, 1);
+        assert_eq!(s.num_recruiters, 3);
+        assert_eq!(s.max_branching, 1);
+        assert_eq!(s.num_seeds, 1);
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let t = generate::star(6);
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.max_depth, 1);
+        assert_eq!(s.mean_depth, 1.0);
+        assert_eq!(s.num_leaves, 6);
+        assert_eq!(s.num_recruiters, 0);
+        assert_eq!(s.max_branching, 6);
+        assert_eq!(s.num_seeds, 6);
+    }
+
+    #[test]
+    fn stats_of_empty_tree() {
+        let t = IncentiveTree::platform_only();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.num_users, 0);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.mean_depth, 0.0);
+        assert_eq!(s.num_seeds, 0);
+    }
+
+    #[test]
+    fn histogram_of_path_and_star() {
+        assert_eq!(depth_histogram(&generate::path(3)), vec![1, 1, 1]);
+        assert_eq!(depth_histogram(&generate::star(3)), vec![3]);
+        assert!(depth_histogram(&IncentiveTree::platform_only()).is_empty());
+    }
+
+    #[test]
+    fn histogram_sums_to_user_count() {
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        let t = generate::uniform_recursive(200, &mut rng);
+        let h = depth_histogram(&t);
+        assert_eq!(h.iter().sum::<usize>(), 200);
+    }
+}

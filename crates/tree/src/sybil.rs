@@ -1,0 +1,443 @@
+//! The §3-B sybil-attack transformation.
+//!
+//! A sybil attack by user `Pⱼ` replaces `Pⱼ`'s node with `δ(j) > 1` fake
+//! identities `Pⱼ₁ … Pⱼ_δ`. By the paper's technical convention (Remark 3.1,
+//! shared with the incentive-tree literature it cites):
+//!
+//! * each identity is attached either to `Pⱼ`'s original parent or to
+//!   another identity of `Pⱼ` (other users never reached out to `Pⱼ`'s
+//!   identities during solicitation);
+//! * each original child of `Pⱼ` is re-homed under one of the identities;
+//! * the rest of the tree is unchanged.
+//!
+//! Lemma 6.4 decomposes any such attack into "simpler" splits of one
+//! identity into two — either stacked (one becomes the parent of the other,
+//! Fig 4) or as siblings (Fig 5). [`IdentityArrangement::Chain`] and
+//! [`IdentityArrangement::Star`] are the pure forms of those two moves;
+//! [`IdentityArrangement::Random`] mixes them, which is how the Fig 9
+//! experiment generates attacks ("let `P₂₉` randomly generate the
+//! identities").
+
+use rand::Rng;
+
+use crate::{IncentiveTree, NodeId, TreeError};
+
+/// How the fake identities attach to each other and to the victim's parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IdentityArrangement {
+    /// A path: identity 1 is a child of the original parent, identity `l+1`
+    /// a child of identity `l` (the Fig 4 "stacked" attack, the profitable
+    /// one against naive referral schemes).
+    Chain,
+    /// All identities are siblings under the original parent (Fig 5).
+    Star,
+    /// Each identity independently picks the original parent or any earlier
+    /// identity, uniformly at random.
+    Random,
+    /// A complete `k`-ary hierarchy of identities under the original parent
+    /// (breadth-first filling) — the attack shape that spreads identities
+    /// across several shallow levels at once.
+    Balanced {
+        /// Children per identity in the hierarchy.
+        arity: usize,
+    },
+}
+
+/// How the victim's original children are re-homed among the identities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChildAssignment {
+    /// All original children attach to the first identity.
+    AllToFirst,
+    /// All original children attach to the last identity (deepest in a
+    /// chain — maximizes depth inflation of the original subtree).
+    AllToLast,
+    /// Children are spread round-robin over the identities.
+    RoundRobin,
+    /// Each child picks an identity uniformly at random.
+    Random,
+}
+
+/// A sybil attack description: how many identities and how they arrange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SybilPlan {
+    /// Number of identities `δ(j) ≥ 2`.
+    pub num_identities: usize,
+    /// Identity topology.
+    pub arrangement: IdentityArrangement,
+    /// Re-homing rule for original children.
+    pub child_assignment: ChildAssignment,
+}
+
+impl SybilPlan {
+    /// A chain of `delta` identities with children moved to the deepest one —
+    /// the attack shape that maximally demotes honest descendants.
+    #[must_use]
+    pub const fn chain(delta: usize) -> Self {
+        Self {
+            num_identities: delta,
+            arrangement: IdentityArrangement::Chain,
+            child_assignment: ChildAssignment::AllToLast,
+        }
+    }
+
+    /// A star of `delta` sibling identities, children on the first.
+    #[must_use]
+    pub const fn star(delta: usize) -> Self {
+        Self {
+            num_identities: delta,
+            arrangement: IdentityArrangement::Star,
+            child_assignment: ChildAssignment::AllToFirst,
+        }
+    }
+
+    /// A uniformly random arrangement with `delta` identities (the Fig 9
+    /// attack generator).
+    #[must_use]
+    pub const fn random(delta: usize) -> Self {
+        Self {
+            num_identities: delta,
+            arrangement: IdentityArrangement::Random,
+            child_assignment: ChildAssignment::Random,
+        }
+    }
+}
+
+/// Result of applying a [`SybilPlan`].
+///
+/// Node ids of all non-victim nodes are preserved; the victim's old id
+/// becomes the first identity, and the remaining `δ − 1` identities are
+/// appended at the end of the arena.
+#[derive(Clone, Debug)]
+pub struct SybilOutcome {
+    /// The transformed tree.
+    pub tree: IncentiveTree,
+    /// The identity nodes, in creation order. `identities[0]` reuses the
+    /// victim's original id.
+    pub identities: Vec<NodeId>,
+}
+
+/// Applies a sybil attack to `tree`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rit_tree::sybil::{apply, SybilPlan};
+/// use rit_tree::{generate, NodeId};
+///
+/// // P2 (a leaf of a 3-user chain) splits into a chain of 2 identities.
+/// let tree = generate::path(3);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let out = apply(&SybilPlan::chain(2), &tree, NodeId::new(3), &mut rng)?;
+/// assert_eq!(out.tree.num_users(), 4);
+/// assert_eq!(out.identities.len(), 2);
+/// # Ok::<(), rit_tree::TreeError>(())
+/// ```
+///
+/// # Errors
+///
+/// * [`TreeError::CannotAttackRoot`] if `victim` is the platform root;
+/// * [`TreeError::NodeOutOfRange`] if `victim` is not in the tree;
+/// * [`TreeError::TooFewIdentities`] if the plan has `δ < 2`.
+pub fn apply<R: Rng + ?Sized>(
+    plan: &SybilPlan,
+    tree: &IncentiveTree,
+    victim: NodeId,
+    rng: &mut R,
+) -> Result<SybilOutcome, TreeError> {
+    if victim.is_root() {
+        return Err(TreeError::CannotAttackRoot);
+    }
+    if victim.index() >= tree.num_nodes() {
+        return Err(TreeError::NodeOutOfRange {
+            node: victim.index(),
+            num_nodes: tree.num_nodes(),
+        });
+    }
+    if plan.num_identities < 2 {
+        return Err(TreeError::TooFewIdentities {
+            requested: plan.num_identities,
+        });
+    }
+
+    let delta = plan.num_identities;
+    let old_n = tree.num_nodes();
+    let victim_parent = tree
+        .parent(victim)
+        .expect("non-root node always has a parent");
+
+    // Identity ids: the victim's slot plus δ−1 appended slots.
+    let mut identities = Vec::with_capacity(delta);
+    identities.push(victim);
+    for l in 0..delta - 1 {
+        identities.push(NodeId::new((old_n + l) as u32));
+    }
+
+    // New parent vector, indexed by node id − 1.
+    let mut parents: Vec<NodeId> = vec![NodeId::ROOT; old_n - 1 + (delta - 1)];
+    for node in tree.user_nodes() {
+        let p = tree.parent(node).expect("user nodes have parents");
+        if node == victim {
+            continue; // set below as identities[0]
+        }
+        parents[node.index() - 1] = if p == victim {
+            assign_child(plan.child_assignment, &identities, node, rng)
+        } else {
+            p
+        };
+    }
+
+    // Identity attachment.
+    parents[victim.index() - 1] = victim_parent;
+    for l in 1..delta {
+        let parent = match plan.arrangement {
+            IdentityArrangement::Chain => identities[l - 1],
+            IdentityArrangement::Star => victim_parent,
+            IdentityArrangement::Random => {
+                // Uniform over {victim's parent} ∪ {identities[0..l]}.
+                let pick = rng.gen_range(0..=l);
+                if pick == 0 {
+                    victim_parent
+                } else {
+                    identities[pick - 1]
+                }
+            }
+            IdentityArrangement::Balanced { arity } => {
+                assert!(arity > 0, "balanced arity must be positive");
+                // Breadth-first: identity l hangs under identity (l−1)/arity.
+                identities[(l - 1) / arity]
+            }
+        };
+        parents[identities[l].index() - 1] = parent;
+    }
+
+    let tree = IncentiveTree::from_parents(&parents)?;
+    Ok(SybilOutcome { tree, identities })
+}
+
+fn assign_child<R: Rng + ?Sized>(
+    rule: ChildAssignment,
+    identities: &[NodeId],
+    child: NodeId,
+    rng: &mut R,
+) -> NodeId {
+    match rule {
+        ChildAssignment::AllToFirst => identities[0],
+        ChildAssignment::AllToLast => *identities.last().expect("δ ≥ 2"),
+        ChildAssignment::RoundRobin => identities[child.index() % identities.len()],
+        ChildAssignment::Random => identities[rng.gen_range(0..identities.len())],
+    }
+}
+
+/// Splits a total claimed quantity into `parts` positive integers summing to
+/// `total` — how an attacker divides its capacity `Kⱼ` among identities
+/// (each identity must claim at least one task, which is why `Pⱼ` can create
+/// at most `Kⱼ` identities).
+///
+/// Uses a uniform random composition (stars and bars).
+///
+/// # Panics
+///
+/// Panics if `parts == 0` or `total < parts`.
+pub fn split_quantity<R: Rng + ?Sized>(total: u64, parts: usize, rng: &mut R) -> Vec<u64> {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(
+        total >= parts as u64,
+        "cannot split {total} into {parts} positive parts"
+    );
+    // Choose parts−1 distinct cut points in 1..total.
+    let mut cuts: Vec<u64> = Vec::with_capacity(parts - 1);
+    while cuts.len() < parts - 1 {
+        let c = rng.gen_range(1..total);
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(parts);
+    let mut prev = 0;
+    for &c in &cuts {
+        out.push(c - prev);
+        prev = c;
+    }
+    out.push(total - prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// root ─ 1 ─ 2 ─ {3, 4}
+    ///      └ 5
+    fn sample() -> IncentiveTree {
+        IncentiveTree::from_parents(&[
+            NodeId::ROOT,
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(2),
+            NodeId::ROOT,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_attack_matches_fig4() {
+        // P2 splits into a chain of 2; children go under the deepest identity.
+        let t = sample();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = apply(&SybilPlan::chain(2), &t, NodeId::new(2), &mut rng).unwrap();
+        let nt = &out.tree;
+        assert_eq!(nt.num_users(), 6);
+        let id0 = out.identities[0];
+        let id1 = out.identities[1];
+        assert_eq!(id0, NodeId::new(2));
+        assert_eq!(nt.parent(id0), Some(NodeId::new(1)));
+        assert_eq!(nt.parent(id1), Some(id0));
+        // Original children 3 and 4 now hang under id1, one level deeper.
+        assert_eq!(nt.parent(NodeId::new(3)), Some(id1));
+        assert_eq!(nt.parent(NodeId::new(4)), Some(id1));
+        assert_eq!(nt.depth(NodeId::new(3)), t.depth(NodeId::new(3)) + 1);
+    }
+
+    #[test]
+    fn star_attack_matches_fig5() {
+        let t = sample();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = apply(&SybilPlan::star(3), &t, NodeId::new(2), &mut rng).unwrap();
+        let nt = &out.tree;
+        for &id in &out.identities {
+            assert_eq!(nt.parent(id), Some(NodeId::new(1)));
+        }
+        // Children keep their original depth: siblings don't add levels.
+        assert_eq!(nt.depth(NodeId::new(3)), t.depth(NodeId::new(3)));
+        assert_eq!(nt.parent(NodeId::new(3)), Some(out.identities[0]));
+    }
+
+    #[test]
+    fn random_attack_respects_attachment_rule() {
+        let t = sample();
+        for seed in 0..50 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let out = apply(&SybilPlan::random(4), &t, NodeId::new(2), &mut rng).unwrap();
+            let nt = &out.tree;
+            let victim_parent = NodeId::new(1);
+            for (l, &id) in out.identities.iter().enumerate() {
+                let p = nt.parent(id).unwrap();
+                let valid = p == victim_parent || out.identities[..l].contains(&p);
+                assert!(valid, "identity {id} attached to invalid parent {p}");
+            }
+            // Original children must hang under some identity.
+            for c in [NodeId::new(3), NodeId::new(4)] {
+                assert!(out.identities.contains(&nt.parent(c).unwrap()));
+            }
+            // Untouched branch unchanged.
+            assert_eq!(nt.parent(NodeId::new(5)), Some(NodeId::ROOT));
+            assert_eq!(nt.parent(NodeId::new(1)), Some(NodeId::ROOT));
+        }
+    }
+
+    #[test]
+    fn balanced_attack_builds_a_bfs_hierarchy() {
+        let t = sample();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let plan = SybilPlan {
+            num_identities: 6,
+            arrangement: IdentityArrangement::Balanced { arity: 2 },
+            child_assignment: ChildAssignment::RoundRobin,
+        };
+        let out = apply(&plan, &t, NodeId::new(2), &mut rng).unwrap();
+        let nt = &out.tree;
+        let ids = &out.identities;
+        // Identity 0 under the original parent; 1,2 under 0; 3,4 under 1; 5 under 2.
+        assert_eq!(nt.parent(ids[0]), Some(NodeId::new(1)));
+        assert_eq!(nt.parent(ids[1]), Some(ids[0]));
+        assert_eq!(nt.parent(ids[2]), Some(ids[0]));
+        assert_eq!(nt.parent(ids[3]), Some(ids[1]));
+        assert_eq!(nt.parent(ids[4]), Some(ids[1]));
+        assert_eq!(nt.parent(ids[5]), Some(ids[2]));
+        // Every identity holds at most `arity` identity children.
+        for &id in ids {
+            let identity_children = nt.children(id).iter().filter(|c| ids.contains(c)).count();
+            assert!(identity_children <= 2);
+        }
+    }
+
+    #[test]
+    fn attack_preserves_other_subtree_shape() {
+        let t = sample();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let out = apply(&SybilPlan::chain(3), &t, NodeId::new(5), &mut rng).unwrap();
+        // Victim 5 is a leaf: nothing else should move.
+        for node in [1u32, 2, 3, 4] {
+            let node = NodeId::new(node);
+            assert_eq!(out.tree.parent(node), t.parent(node));
+            assert_eq!(out.tree.depth(node), t.depth(node));
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let t = sample();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            apply(&SybilPlan::star(2), &t, NodeId::ROOT, &mut rng).unwrap_err(),
+            TreeError::CannotAttackRoot
+        );
+        assert!(matches!(
+            apply(&SybilPlan::star(2), &t, NodeId::new(99), &mut rng).unwrap_err(),
+            TreeError::NodeOutOfRange { .. }
+        ));
+        assert!(matches!(
+            apply(&SybilPlan::star(1), &t, NodeId::new(1), &mut rng).unwrap_err(),
+            TreeError::TooFewIdentities { requested: 1 }
+        ));
+    }
+
+    #[test]
+    fn split_quantity_sums_and_is_positive() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for total in [2u64, 5, 17, 100] {
+            for parts in 1..=total.min(10) as usize {
+                let split = split_quantity(total, parts, &mut rng);
+                assert_eq!(split.len(), parts);
+                assert_eq!(split.iter().sum::<u64>(), total);
+                assert!(split.iter().all(|&s| s >= 1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive parts")]
+    fn split_quantity_rejects_too_many_parts() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        split_quantity(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn round_robin_assignment_spreads_children() {
+        // Victim 1 with 4 children 2,3,4,5.
+        let t = IncentiveTree::from_parents(&[
+            NodeId::ROOT,
+            NodeId::new(1),
+            NodeId::new(1),
+            NodeId::new(1),
+            NodeId::new(1),
+        ])
+        .unwrap();
+        let plan = SybilPlan {
+            num_identities: 2,
+            arrangement: IdentityArrangement::Star,
+            child_assignment: ChildAssignment::RoundRobin,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = apply(&plan, &t, NodeId::new(1), &mut rng).unwrap();
+        let mut counts = [0usize; 2];
+        for c in [2u32, 3, 4, 5] {
+            let p = out.tree.parent(NodeId::new(c)).unwrap();
+            let idx = out.identities.iter().position(|&i| i == p).unwrap();
+            counts[idx] += 1;
+        }
+        assert_eq!(counts, [2, 2]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Traversal iterators over [`IncentiveTree`].
+
+use crate::{IncentiveTree, NodeId};
+
+/// Iterator over the strict descendants of a node (the paper's `Tⱼ`), in
+/// preorder. Produced by [`IncentiveTree::descendants`].
+///
+/// Because the tree stores an Euler tour, the subtree of `v` occupies the
+/// contiguous preorder range `entry(v)+1 .. exit(v)`, so iteration is a
+/// simple slice walk — no stack, no allocation.
+#[derive(Clone, Debug)]
+pub struct Descendants<'a> {
+    slice: std::slice::Iter<'a, NodeId>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(tree: &'a IncentiveTree, node: NodeId) -> Self {
+        let start = tree.entry_time(node) + 1;
+        let end = tree.exit_time(node);
+        Self {
+            slice: tree.preorder()[start..end].iter(),
+        }
+    }
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.slice.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.slice.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Descendants<'_> {}
+
+/// Iterator over the strict ancestors of a node, from its parent up to and
+/// including the platform root. Produced by [`IncentiveTree::ancestors`].
+#[derive(Clone, Debug)]
+pub struct Ancestors<'a> {
+    tree: &'a IncentiveTree,
+    current: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(tree: &'a IncentiveTree, node: NodeId) -> Self {
+        Self {
+            tree,
+            current: tree.parent(node),
+        }
+    }
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.current?;
+        self.current = self.tree.parent(node);
+        Some(node)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.current {
+            None => (0, Some(0)),
+            Some(n) => {
+                let d = self.tree.depth(n) as usize + 1;
+                (d, Some(d))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for Ancestors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{IncentiveTree, NodeId};
+
+    fn chain(n: u32) -> IncentiveTree {
+        let parents: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        IncentiveTree::from_parents(&parents).unwrap()
+    }
+
+    #[test]
+    fn descendants_len_matches_subtree() {
+        let t = chain(10);
+        let d = t.descendants(NodeId::new(3));
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.count(), 7);
+    }
+
+    #[test]
+    fn descendants_preorder_on_branching_tree() {
+        // root ─ 1 ─ {2 ─ 4, 3}
+        let t = IncentiveTree::from_parents(&[
+            NodeId::ROOT,
+            NodeId::new(1),
+            NodeId::new(1),
+            NodeId::new(2),
+        ])
+        .unwrap();
+        let d: Vec<NodeId> = t.descendants(NodeId::new(1)).collect();
+        assert_eq!(d, vec![NodeId::new(2), NodeId::new(4), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn ancestors_size_hint_exact() {
+        let t = chain(5);
+        let a = t.ancestors(NodeId::new(5));
+        assert_eq!(a.len(), 5);
+        let collected: Vec<NodeId> = a.collect();
+        assert_eq!(collected.last(), Some(&NodeId::ROOT));
+    }
+
+    #[test]
+    fn leaf_has_no_descendants() {
+        let t = chain(3);
+        assert_eq!(t.descendants(NodeId::new(3)).len(), 0);
+    }
+}

@@ -1,0 +1,492 @@
+//! Arena representation of the incentive tree.
+
+use std::fmt;
+
+use crate::{Ancestors, Descendants, TreeError};
+
+/// Identifier of a node in an [`IncentiveTree`].
+///
+/// Node 0 is always the crowdsensing platform (the root); nodes `1 ‥ N` are
+/// the solicitation participants, in join order. After a sybil attack extra
+/// identity nodes are appended at the end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The platform root.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Creates a node id from its index (0 = platform root).
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The node's index within the tree arena.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the platform root.
+    #[must_use]
+    pub const fn is_root(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The zero-based *user* index for a non-root node: node `i` (i ≥ 1)
+    /// corresponds to user `i − 1` in ask/payment vectors.
+    ///
+    /// Returns `None` for the root, which is not a user.
+    #[must_use]
+    pub const fn user_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 as usize - 1)
+        }
+    }
+
+    /// The node corresponding to the zero-based user index `user`.
+    #[must_use]
+    pub const fn from_user_index(user: usize) -> Self {
+        Self(user as u32 + 1)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            f.pad("root")
+        } else {
+            f.pad(&format!("P{}", self.0))
+        }
+    }
+}
+
+/// An immutable incentive tree `T` over the platform root and `N` users.
+///
+/// Internally an arena: parent pointers, contiguously stored children lists,
+/// per-node depth `rⱼ` (distance to the root, root = 0), and an Euler tour
+/// (preorder entry/exit times) supporting O(1) ancestor queries and the O(N)
+/// subtree-aggregation pass used by the payment-determination phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncentiveTree {
+    parent: Vec<u32>,        // parent[0] == 0 (self-loop, never read for root)
+    depth: Vec<u32>,         // depth[0] == 0
+    child_start: Vec<u32>,   // CSR offsets into `child_list`, len = n + 1
+    child_list: Vec<NodeId>, // children of node i: child_list[start[i]..start[i+1]]
+    entry: Vec<u32>,         // Euler entry time (preorder index)
+    exit: Vec<u32>,          // Euler exit time: entry..exit covers the subtree
+    preorder: Vec<NodeId>,   // preorder[entry[v]] == v
+}
+
+impl IncentiveTree {
+    /// Builds a tree from parent pointers: `parents[i]` is the parent of node
+    /// `i + 1` (node 0, the root, has no entry).
+    ///
+    /// Forward references are allowed (a node's parent may have a larger
+    /// index), which arises naturally after sybil transformations.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::ParentOutOfRange`] if a parent index exceeds the arena;
+    /// * [`TreeError::CycleDetected`] if some node cannot reach the root.
+    pub fn from_parents(parents: &[NodeId]) -> Result<Self, TreeError> {
+        let n = parents.len() + 1;
+        let mut parent = vec![0u32; n];
+        for (i, p) in parents.iter().enumerate() {
+            if p.index() >= n {
+                return Err(TreeError::ParentOutOfRange {
+                    node: i + 1,
+                    parent: p.index(),
+                    num_nodes: n,
+                });
+            }
+            parent[i + 1] = p.0;
+        }
+
+        // Children in CSR form (counting sort keeps child order stable by id).
+        let mut counts = vec![0u32; n];
+        for &p in &parent[1..] {
+            counts[p as usize] += 1;
+        }
+        let mut child_start = vec![0u32; n + 1];
+        for i in 0..n {
+            child_start[i + 1] = child_start[i] + counts[i];
+        }
+        let mut cursor = child_start.clone();
+        let mut child_list = vec![NodeId(0); n - 1];
+        // Index loop: `i` addresses `parent` while `cursor` walks the CSR.
+        #[allow(clippy::needless_range_loop)]
+        for i in 1..n {
+            let p = parent[i] as usize;
+            child_list[cursor[p] as usize] = NodeId(i as u32);
+            cursor[p] += 1;
+        }
+
+        // Depth + Euler tour via iterative preorder DFS from the root.
+        let mut depth = vec![u32::MAX; n];
+        let mut entry = vec![0u32; n];
+        let mut exit = vec![0u32; n];
+        let mut preorder = Vec::with_capacity(n);
+        depth[0] = 0;
+        let mut time = 0u32;
+        // Stack holds (node, next-child cursor within its CSR range).
+        let mut stack: Vec<(u32, u32)> = vec![(0, child_start[0])];
+        entry[0] = 0;
+        preorder.push(NodeId(0));
+        time += 1;
+        while let Some(&mut (v, ref mut cur)) = stack.last_mut() {
+            let v = v as usize;
+            if *cur < child_start[v + 1] {
+                let c = child_list[*cur as usize];
+                *cur += 1;
+                depth[c.index()] = depth[v] + 1;
+                entry[c.index()] = time;
+                preorder.push(c);
+                time += 1;
+                stack.push((c.0, child_start[c.index()]));
+            } else {
+                exit[v] = time;
+                stack.pop();
+            }
+        }
+        // Any node never reached lies on a cycle (or below one).
+        if let Some(node) = depth.iter().position(|&d| d == u32::MAX) {
+            return Err(TreeError::CycleDetected { node });
+        }
+
+        Ok(Self {
+            parent,
+            depth,
+            child_start,
+            child_list,
+            entry,
+            exit,
+            preorder,
+        })
+    }
+
+    /// A tree with only the platform root and no users.
+    #[must_use]
+    pub fn platform_only() -> Self {
+        Self::from_parents(&[]).expect("empty parent list is always valid")
+    }
+
+    /// The platform root.
+    #[must_use]
+    pub const fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Total node count, including the platform root.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of user nodes `N` (everything but the root).
+    #[must_use]
+    pub fn num_users(&self) -> usize {
+        self.parent.len() - 1
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        assert!(node.index() < self.num_nodes(), "node out of range");
+        if node.is_root() {
+            None
+        } else {
+            Some(NodeId(self.parent[node.index()]))
+        }
+    }
+
+    /// The depth `rⱼ` of `node`: its distance to the platform root
+    /// (root = 0, the paper's "users who join at the very beginning" = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.depth[node.index()]
+    }
+
+    /// The children of `node`, in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        &self.child_list[self.child_start[i] as usize..self.child_start[i + 1] as usize]
+    }
+
+    /// Number of nodes in the subtree rooted at `node`, **including** `node`.
+    #[must_use]
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        (self.exit[node.index()] - self.entry[node.index()]) as usize
+    }
+
+    /// Whether `ancestor` is a (strict or non-strict) ancestor of `node`.
+    /// O(1) via Euler tour times. `is_ancestor(v, v)` is `true`.
+    #[must_use]
+    pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.entry[ancestor.index()] <= self.entry[node.index()]
+            && self.entry[node.index()] < self.exit[ancestor.index()]
+    }
+
+    /// Iterates over the **strict** descendants of `node` (the paper's `Tⱼ`),
+    /// in preorder.
+    #[must_use]
+    pub fn descendants(&self, node: NodeId) -> Descendants<'_> {
+        Descendants::new(self, node)
+    }
+
+    /// Iterates over the strict ancestors of `node`, from parent up to (and
+    /// including) the root.
+    #[must_use]
+    pub fn ancestors(&self, node: NodeId) -> Ancestors<'_> {
+        Ancestors::new(self, node)
+    }
+
+    /// The full preorder traversal starting at the root.
+    #[must_use]
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.preorder
+    }
+
+    /// Euler entry time of `node` (its preorder index).
+    #[must_use]
+    pub fn entry_time(&self, node: NodeId) -> usize {
+        self.entry[node.index()] as usize
+    }
+
+    /// Euler exit time of `node`: the subtree of `node` occupies preorder
+    /// slots `entry_time(node) .. exit_time(node)`.
+    #[must_use]
+    pub fn exit_time(&self, node: NodeId) -> usize {
+        self.exit[node.index()] as usize
+    }
+
+    /// Iterates over all user nodes `P₁ ‥ P_N` in id order.
+    pub fn user_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// The parent-pointer vector (`parents[i]` = parent of node `i + 1`),
+    /// suitable for [`IncentiveTree::from_parents`] round trips.
+    #[must_use]
+    pub fn to_parents(&self) -> Vec<NodeId> {
+        self.parent[1..].iter().map(|&p| NodeId(p)).collect()
+    }
+}
+
+/// Incremental builder: nodes are appended one at a time under an existing
+/// parent, mirroring how solicitation grows the tree over time.
+///
+/// ```
+/// use rit_tree::{IncentiveTreeBuilder, NodeId};
+///
+/// let mut b = IncentiveTreeBuilder::new();
+/// let a = b.add_child(NodeId::ROOT);
+/// let _b2 = b.add_child(a);
+/// let tree = b.build();
+/// assert_eq!(tree.num_users(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IncentiveTreeBuilder {
+    parents: Vec<NodeId>,
+}
+
+impl IncentiveTreeBuilder {
+    /// Creates a builder with only the platform root.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly `n` users.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            parents: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of nodes added so far (excluding the root).
+    #[must_use]
+    pub fn num_users(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Adds a new node as a child of `parent`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist yet.
+    pub fn add_child(&mut self, parent: NodeId) -> NodeId {
+        assert!(
+            parent.index() <= self.parents.len(),
+            "parent {parent} does not exist yet"
+        );
+        self.parents.push(parent);
+        NodeId::new(self.parents.len() as u32)
+    }
+
+    /// Finalizes the tree.
+    #[must_use]
+    pub fn build(self) -> IncentiveTree {
+        IncentiveTree::from_parents(&self.parents)
+            .expect("builder maintains the parent-exists invariant")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root ─ 1 ─ 2 ─ 4
+    ///      │    └ 3
+    ///      └ 5
+    fn sample() -> IncentiveTree {
+        IncentiveTree::from_parents(&[
+            NodeId::ROOT,
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(2),
+            NodeId::ROOT,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let t = sample();
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.num_users(), 5);
+        assert_eq!(t.children(NodeId::ROOT), &[NodeId::new(1), NodeId::new(5)]);
+        assert_eq!(
+            t.children(NodeId::new(2)),
+            &[NodeId::new(3), NodeId::new(4)]
+        );
+        assert_eq!(t.parent(NodeId::new(4)), Some(NodeId::new(2)));
+        assert_eq!(t.parent(NodeId::ROOT), None);
+    }
+
+    #[test]
+    fn depths() {
+        let t = sample();
+        assert_eq!(t.depth(NodeId::ROOT), 0);
+        assert_eq!(t.depth(NodeId::new(1)), 1);
+        assert_eq!(t.depth(NodeId::new(2)), 2);
+        assert_eq!(t.depth(NodeId::new(4)), 3);
+        assert_eq!(t.depth(NodeId::new(5)), 1);
+    }
+
+    #[test]
+    fn subtree_sizes_and_ancestry() {
+        let t = sample();
+        assert_eq!(t.subtree_size(NodeId::ROOT), 6);
+        assert_eq!(t.subtree_size(NodeId::new(1)), 4);
+        assert_eq!(t.subtree_size(NodeId::new(5)), 1);
+        assert!(t.is_ancestor(NodeId::new(1), NodeId::new(4)));
+        assert!(t.is_ancestor(NodeId::new(1), NodeId::new(1)));
+        assert!(!t.is_ancestor(NodeId::new(2), NodeId::new(5)));
+        assert!(!t.is_ancestor(NodeId::new(4), NodeId::new(1)));
+    }
+
+    #[test]
+    fn descendants_exclude_self() {
+        let t = sample();
+        let d: Vec<NodeId> = t.descendants(NodeId::new(1)).collect();
+        assert_eq!(d, vec![NodeId::new(2), NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(t.descendants(NodeId::new(5)).count(), 0);
+        assert_eq!(t.descendants(NodeId::ROOT).count(), 5);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let t = sample();
+        let a: Vec<NodeId> = t.ancestors(NodeId::new(4)).collect();
+        assert_eq!(a, vec![NodeId::new(2), NodeId::new(1), NodeId::ROOT]);
+        assert_eq!(t.ancestors(NodeId::ROOT).count(), 0);
+    }
+
+    #[test]
+    fn preorder_consistent_with_entry_times() {
+        let t = sample();
+        for v in t.preorder() {
+            assert_eq!(t.preorder()[t.entry_time(*v)], *v);
+        }
+        assert_eq!(t.preorder().len(), t.num_nodes());
+    }
+
+    #[test]
+    fn forward_parent_references_allowed() {
+        // Node 1's parent is node 2 (a forward reference), node 2's is root.
+        let t = IncentiveTree::from_parents(&[NodeId::new(2), NodeId::ROOT]).unwrap();
+        assert_eq!(t.depth(NodeId::new(1)), 2);
+        assert_eq!(t.depth(NodeId::new(2)), 1);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // 1 → 2, 2 → 1: unreachable from root.
+        let r = IncentiveTree::from_parents(&[NodeId::new(2), NodeId::new(1)]);
+        assert!(matches!(r, Err(TreeError::CycleDetected { .. })));
+    }
+
+    #[test]
+    fn parent_out_of_range_rejected() {
+        let r = IncentiveTree::from_parents(&[NodeId::new(9)]);
+        assert!(matches!(r, Err(TreeError::ParentOutOfRange { .. })));
+    }
+
+    #[test]
+    fn platform_only_tree() {
+        let t = IncentiveTree::platform_only();
+        assert_eq!(t.num_users(), 0);
+        assert_eq!(t.subtree_size(NodeId::ROOT), 1);
+        assert_eq!(t.user_nodes().count(), 0);
+    }
+
+    #[test]
+    fn builder_round_trips_parents() {
+        let t = sample();
+        let rebuilt = IncentiveTree::from_parents(&t.to_parents()).unwrap();
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn builder_rejects_future_parent() {
+        let mut b = IncentiveTreeBuilder::new();
+        b.add_child(NodeId::new(5));
+    }
+
+    #[test]
+    fn user_index_mapping() {
+        assert_eq!(NodeId::ROOT.user_index(), None);
+        assert_eq!(NodeId::new(1).user_index(), Some(0));
+        assert_eq!(NodeId::from_user_index(0), NodeId::new(1));
+        assert_eq!(NodeId::from_user_index(28).to_string(), "P29");
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 200k-node chain: recursion would blow the stack; our DFS is iterative.
+        let n = 200_000u32;
+        let parents: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let t = IncentiveTree::from_parents(&parents).unwrap();
+        assert_eq!(t.depth(NodeId::new(n)), n);
+        assert_eq!(t.subtree_size(NodeId::new(1)), n as usize);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the incentive-tree invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_tree::sybil::{self, SybilPlan};
+use rit_tree::{IncentiveTree, NodeId};
+
+/// Strategy: a random recursive tree described by its parent choices —
+/// node `i + 1` attaches to a uniformly chosen earlier node.
+fn arb_tree(max_users: usize) -> impl Strategy<Value = IncentiveTree> {
+    prop::collection::vec(0u32..=u32::MAX, 1..max_users).prop_map(|choices| {
+        let parents: Vec<NodeId> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| NodeId::new(c % (i as u32 + 1)))
+            .collect();
+        IncentiveTree::from_parents(&parents).expect("constructed parents are valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn depth_equals_ancestor_count(tree in arb_tree(120)) {
+        for u in tree.user_nodes() {
+            prop_assert_eq!(tree.depth(u) as usize, tree.ancestors(u).count());
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_are_consistent(tree in arb_tree(120)) {
+        // Children subtree sizes + 1 == own subtree size.
+        let all = std::iter::once(NodeId::ROOT).chain(tree.user_nodes());
+        for v in all {
+            let child_sum: usize = tree.children(v).iter().map(|&c| tree.subtree_size(c)).sum();
+            prop_assert_eq!(tree.subtree_size(v), child_sum + 1);
+            prop_assert_eq!(tree.subtree_size(v), tree.descendants(v).count() + 1);
+        }
+    }
+
+    #[test]
+    fn euler_ancestor_test_matches_walk(tree in arb_tree(80)) {
+        for u in tree.user_nodes() {
+            for v in tree.user_nodes() {
+                let by_walk = u == v || tree.ancestors(v).any(|a| a == u);
+                prop_assert_eq!(tree.is_ancestor(u, v), by_walk);
+            }
+        }
+    }
+
+    #[test]
+    fn parents_round_trip(tree in arb_tree(120)) {
+        let rebuilt = IncentiveTree::from_parents(&tree.to_parents()).unwrap();
+        prop_assert_eq!(&tree, &rebuilt);
+    }
+
+    #[test]
+    fn preorder_is_a_permutation(tree in arb_tree(120)) {
+        let mut seen = vec![false; tree.num_nodes()];
+        for v in tree.preorder() {
+            prop_assert!(!seen[v.index()], "duplicate node in preorder");
+            seen[v.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sybil_attack_preserves_everyone_else(
+        tree in arb_tree(60),
+        victim_sel in 0usize..60,
+        delta in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = tree.num_users();
+        let victim = NodeId::from_user_index(victim_sel % n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = sybil::apply(&SybilPlan::random(delta), &tree, victim, &mut rng).unwrap();
+        let nt = &out.tree;
+
+        prop_assert_eq!(nt.num_users(), n + delta - 1);
+        prop_assert_eq!(out.identities.len(), delta);
+
+        // Every non-victim node keeps its id; parents only change for the
+        // victim's original children, and those must point at an identity.
+        for node in tree.user_nodes() {
+            if node == victim {
+                continue;
+            }
+            let old_parent = tree.parent(node).unwrap();
+            let new_parent = nt.parent(node).unwrap();
+            if old_parent == victim {
+                prop_assert!(out.identities.contains(&new_parent));
+            } else {
+                prop_assert_eq!(new_parent, old_parent);
+            }
+        }
+
+        // Identities form a connected "blob" hanging off the victim's old parent:
+        // each identity's ancestors, after leaving the identity set, start at the
+        // victim's original parent.
+        let victim_parent = tree.parent(victim).unwrap();
+        for &id in &out.identities {
+            let mut walker = id;
+            loop {
+                let p = nt.parent(walker).unwrap();
+                if out.identities.contains(&p) {
+                    walker = p;
+                } else {
+                    prop_assert_eq!(p, victim_parent);
+                    break;
+                }
+            }
+        }
+
+        // Depths of nodes outside the victim's subtree are unchanged.
+        for node in tree.user_nodes() {
+            if node != victim && !tree.is_ancestor(victim, node) {
+                prop_assert_eq!(nt.depth(node), tree.depth(node));
+            }
+        }
+
+        // Depths never decrease for the victim's original descendants
+        // (identities can only insert levels, never remove them).
+        for node in tree.descendants(victim) {
+            prop_assert!(nt.depth(node) >= tree.depth(node));
+        }
+    }
+
+    #[test]
+    fn split_quantity_is_a_composition(total in 1u64..200, parts_sel in 1usize..20, seed in any::<u64>()) {
+        let parts = 1 + parts_sel % (total as usize).min(19);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let split = sybil::split_quantity(total, parts, &mut rng);
+        prop_assert_eq!(split.len(), parts);
+        prop_assert_eq!(split.iter().sum::<u64>(), total);
+        prop_assert!(split.iter().all(|&x| x >= 1));
+    }
+}

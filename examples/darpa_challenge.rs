@@ -1,0 +1,100 @@
+//! The DARPA Network Challenge referral scheme and its sybil hole (§1).
+//!
+//! The MIT team's 2009 strategy paid a balloon finder $2,000, the finder's
+//! inviter $1,000, the inviter's inviter $500, … — brilliantly effective at
+//! recruiting, but not sybil-proof: the paper's introduction walks through
+//! Bob splitting himself into Bob₁/Bob₂ to pocket $3,000 while honest Alice
+//! drops to $500. This example reproduces those numbers exactly, then shows
+//! how RIT's depth-anchored `(1/2)^{rᵢ}` weights remove the incentive.
+//!
+//! ```sh
+//! cargo run --example darpa_challenge
+//! ```
+
+use rit::core::{darpa, payment};
+use rit::model::{Ask, TaskTypeId};
+use rit::tree::{generate, IncentiveTree, NodeId};
+
+fn main() {
+    println!("== MIT DARPA scheme ==\n");
+
+    // Honest: root ─ Alice ─ Bob(finder).
+    let honest = generate::path(2);
+    let p = darpa::referral_payments(&honest, &[0.0, 2000.0]);
+    println!("honest:  Bob ${:.0}, Alice ${:.0}", p[1], p[0]);
+
+    // Attack: root ─ Alice ─ Bob₂ ─ Bob₁(finder).
+    let attacked = generate::path(3);
+    let q = darpa::referral_payments(&attacked, &[0.0, 0.0, 2000.0]);
+    println!(
+        "attack:  Bob₁ ${:.0} + Bob₂ ${:.0} = ${:.0} for Bob, Alice ${:.0}",
+        q[2],
+        q[1],
+        q[1] + q[2],
+        q[0]
+    );
+    println!(
+        "⇒ Bob gains ${:.0} by splitting; Alice loses ${:.0}\n",
+        q[1] + q[2] - p[1],
+        p[0] - q[0]
+    );
+
+    println!("== Same story under RIT's payment rule ==\n");
+    // RIT weights a contributor by (1/2)^(its own depth), independent of who
+    // sits between. Alice's reward from Bob's contribution only shrinks when
+    // Bob *digs himself deeper* — and Bob's identities collect nothing extra
+    // because an identity's "descendant" contribution is discounted by the
+    // deeper depth it itself created.
+    let tau_find = TaskTypeId::new(0);
+    let tau_alice = TaskTypeId::new(1);
+    let contribution = 2000.0;
+
+    // Honest: Alice (τ1) at depth 1, Bob (τ0, contributes 2000) at depth 2.
+    let honest_asks = vec![
+        Ask::new(tau_alice, 1, 1.0).unwrap(),
+        Ask::new(tau_find, 1, 1.0).unwrap(),
+    ];
+    let honest_pay = payment::determine_payments(&honest, &honest_asks, &[0.0, contribution]);
+    println!(
+        "honest:  Bob {:.0}, Alice {:.0} (= ¼·2000: Bob sits at depth 2)",
+        honest_pay[1], honest_pay[0]
+    );
+
+    // Attack: Alice ─ Bob₂ ─ Bob₁(contributes 2000, now depth 3).
+    let attack_asks = vec![
+        Ask::new(tau_alice, 1, 1.0).unwrap(),
+        Ask::new(tau_find, 1, 1.0).unwrap(),
+        Ask::new(tau_find, 1, 1.0).unwrap(),
+    ];
+    let attack_pay =
+        payment::determine_payments(&attacked, &attack_asks, &[0.0, 0.0, contribution]);
+    let bob_total = attack_pay[1] + attack_pay[2];
+    println!(
+        "attack:  Bob₁ {:.0} + Bob₂ {:.0} = {:.0} for Bob, Alice {:.0}",
+        attack_pay[2], attack_pay[1], bob_total, attack_pay[0]
+    );
+    println!(
+        "⇒ Bob's split gains him {:.0} (Bob₂ earns nothing from Bob₁: same task type),",
+        bob_total - honest_pay[1]
+    );
+    println!("  and had the types differed, Bob₁'s deeper depth would halve the share anyway.");
+
+    // Quantify that last remark: suppose Bob's identities pretended to be of
+    // different types (not allowed in the model, but the arithmetic is the
+    // point): Bob₂ would collect (1/2)³·2000 = 250 while Bob₁'s own reward
+    // is unchanged — but Alice's ALSO drops to 250, and Bob₂'s 250 comes at
+    // the price of Bob₁ keeping depth 3 forever after. Splitting shuffles
+    // shares downward; it never mints new money.
+    let deep_example =
+        IncentiveTree::from_parents(&[NodeId::ROOT, NodeId::new(1), NodeId::new(2)]).unwrap();
+    let mixed_asks = vec![
+        Ask::new(tau_alice, 1, 1.0).unwrap(),
+        Ask::new(TaskTypeId::new(2), 1, 1.0).unwrap(),
+        Ask::new(tau_find, 1, 1.0).unwrap(),
+    ];
+    let mixed = payment::determine_payments(&deep_example, &mixed_asks, &[0.0, 0.0, contribution]);
+    println!(
+        "  (cross-type illustration: middle identity {:.0}, Alice {:.0} — both ⅛·2000)",
+        mixed[1], mixed[0]
+    );
+}

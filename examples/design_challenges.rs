@@ -1,0 +1,121 @@
+//! The §4 design challenges: why auctions and incentive trees cannot simply
+//! be glued together.
+//!
+//! * **Fig 2** — a truthful auction (k-th lowest price) under a sybil-proof
+//!   contribution tree loses its sybil-proofness: by splitting, an attacker
+//!   manipulates the clearing price its other identity is paid.
+//! * **Fig 3** — a sybil-proof incentive tree under a truthful auction loses
+//!   its truthfulness: the tree reward more than doubles a manipulated
+//!   auction payment, making underbidding profitable.
+//!
+//! ```sh
+//! cargo run --example design_challenges
+//! ```
+
+use rit::core::naive;
+use rit::model::{Ask, Job, TaskTypeId};
+use rit::tree::{generate, IncentiveTree, NodeId};
+
+fn t0() -> TaskTypeId {
+    TaskTypeId::new(0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    fig2_sybil_breaks_naive()?;
+    fig3_tree_breaks_truthfulness()?;
+    Ok(())
+}
+
+/// Fig 2: three users selling type τ₀, two tasks wanted. P1 (cost 2,
+/// capacity 2) is truthful; splitting into two identities with a price-
+/// setting decoy raises the clearing price for the identity that still wins.
+fn fig2_sybil_breaks_naive() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig 2: sybil attack on the naive combination ==\n");
+    let job = Job::from_counts(vec![2])?;
+
+    // Honest world: P1 ─ P2 ─ P3 under the platform.
+    let tree = generate::path(3);
+    let asks = vec![
+        Ask::new(t0(), 2, 2.0)?, // P1: 2 tasks at cost 2
+        Ask::new(t0(), 1, 3.0)?,
+        Ask::new(t0(), 1, 5.0)?,
+    ];
+    let honest = naive::run(&job, &tree, &asks);
+    let honest_utility = honest.utility(0, 2.0);
+    println!(
+        "honest:  P1 wins {} tasks, auction payment {:.2}, utility {:.2}",
+        honest.allocation[0], honest.auction_payments[0], honest_utility
+    );
+
+    // Attack: P1 splits into P1a (1 task @ 2) and a price decoy P1b
+    // (1 task @ 4.5). The decoy displaces P2 from the price position:
+    // clearing price rises from 3 to 4.5 for the winning identity.
+    let attacked_tree = IncentiveTree::from_parents(&[
+        NodeId::ROOT,   // P1a (old P1 slot)
+        NodeId::new(4), // P2 now hangs under the decoy
+        NodeId::new(2), // P3 under P2 as before
+        NodeId::new(1), // P1b, child of P1a
+    ])
+    .unwrap();
+    let attacked_asks = vec![
+        Ask::new(t0(), 1, 2.0)?, // P1a
+        Ask::new(t0(), 1, 3.0)?, // P2
+        Ask::new(t0(), 1, 5.0)?, // P3
+        Ask::new(t0(), 1, 4.5)?, // P1b — the decoy
+    ];
+    let attacked = naive::run(&job, &attacked_tree, &attacked_asks);
+    let attack_utility = attacked.utility(0, 2.0) + attacked.utility(3, 2.0);
+    println!(
+        "attack:  P1a wins {} @ {:.2}, decoy P1b wins {} — total utility {:.2}",
+        attacked.allocation[0],
+        attacked.auction_payments[0],
+        attacked.allocation[3],
+        attack_utility
+    );
+    assert!(
+        attack_utility > honest_utility,
+        "the §4 counterexample must show a strict gain"
+    );
+    println!("⇒ sybil-proofness violated: {attack_utility:.2} > {honest_utility:.2}\n");
+    Ok(())
+}
+
+/// Fig 3: four sellers with costs 5, 4, 5, 4, two tasks. Truthful P1 loses
+/// (utility 0); underbidding to 4−ε wins at a clearing price equal to its
+/// cost — zero auction profit — but the naive tree reward turns the lie
+/// strictly profitable.
+fn fig3_tree_breaks_truthfulness() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig 3: untruthfulness under the naive combination ==\n");
+    let job = Job::from_counts(vec![2])?;
+    let tree = generate::path(4); // P2, P3, P4 hang below P1
+    let costs = [5.0, 4.0, 5.0, 4.0];
+
+    let truthful: Vec<Ask> = costs
+        .iter()
+        .map(|&c| Ask::new(t0(), 1, c))
+        .collect::<Result<_, _>>()?;
+    let honest = naive::run(&job, &tree, &truthful);
+    println!(
+        "truthful: P1 auction payment {:.2}, final payment {:.2}, utility {:.2}",
+        honest.auction_payments[0],
+        honest.payments[0],
+        honest.utility(0, costs[0])
+    );
+
+    let mut lying = truthful.clone();
+    lying[0] = Ask::new(t0(), 1, 4.0 - 1e-6)?;
+    let dishonest = naive::run(&job, &tree, &lying);
+    println!(
+        "lying:    P1 bids 4−ε, auction payment {:.2}, final payment {:.2}, utility {:.2}",
+        dishonest.auction_payments[0],
+        dishonest.payments[0],
+        dishonest.utility(0, costs[0])
+    );
+    assert!(dishonest.utility(0, costs[0]) > honest.utility(0, costs[0]));
+    println!(
+        "⇒ truthfulness violated: {:.2} > {:.2}",
+        dishonest.utility(0, costs[0]),
+        honest.utility(0, costs[0])
+    );
+    Ok(())
+}

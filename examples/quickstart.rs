@@ -1,0 +1,92 @@
+//! Quickstart: run RIT once on a small crowdsensing scenario and inspect
+//! the outcome.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit::core::{Rit, RitConfig, RoundLimit};
+use rit::model::Job;
+use rit::sim::scenario::{Scenario, ScenarioConfig};
+use rit::tree::stats::TreeStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 2,000 users with the paper's §7-A profile distribution, recruited over
+    // a Barabási–Albert social graph via the spanning-forest rule.
+    let scenario = Scenario::generate(&ScenarioConfig::paper(2000), 42);
+    let stats = TreeStats::compute(&scenario.tree);
+    println!(
+        "incentive tree: {} users, max depth {}, mean depth {:.2}, {} direct joiners",
+        stats.num_users, stats.max_depth, stats.mean_depth, stats.num_seeds
+    );
+
+    // A job with 10 task types (areas), 150 tasks each.
+    let job = Job::uniform(10, 150)?;
+    println!(
+        "job: {} tasks across {} types",
+        job.total_tasks(),
+        job.num_types()
+    );
+
+    // H = 0.8 as in the paper. The job here is small relative to user
+    // capacities, so run the auction best-effort (see RoundLimit docs).
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })?;
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let outcome = rit.run(&job, &scenario.tree, &scenario.asks, &mut rng)?;
+
+    if !outcome.completed() {
+        println!("job not completable this round — all payments void (paper Line 27)");
+        return Ok(());
+    }
+
+    let utilities = outcome.utilities(scenario.population.as_slice());
+    let winners = outcome.allocation().iter().filter(|&&x| x > 0).count();
+    let recruiters_paid = outcome
+        .solicitation_rewards()
+        .iter()
+        .filter(|&&r| r > 1e-12)
+        .count();
+
+    println!(
+        "allocated {} tasks to {} winning users",
+        outcome.total_allocated(),
+        winners
+    );
+    println!(
+        "platform pays {:.2} total ({:.2} auction + {:.2} solicitation rewards to {} recruiters)",
+        outcome.total_payment(),
+        outcome.total_auction_payment(),
+        outcome.total_payment() - outcome.total_auction_payment(),
+        recruiters_paid,
+    );
+    println!(
+        "average user utility {:.4}; minimum utility {:.4} (individual rationality ⇒ ≥ 0)",
+        utilities.iter().sum::<f64>() / utilities.len() as f64,
+        utilities.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+    );
+
+    // Show the five best-paid users.
+    let mut by_pay: Vec<usize> = (0..scenario.num_users()).collect();
+    by_pay.sort_by(|&a, &b| outcome.payment(b).total_cmp(&outcome.payment(a)));
+    println!("\ntop 5 payments:");
+    println!("user  type  tasks  auction   solicit.   total");
+    for &j in by_pay.iter().take(5) {
+        let solicit = outcome.payment(j) - outcome.auction_payments()[j];
+        println!(
+            "P{:<5}{:<6}{:<7}{:<10.2}{:<11.2}{:.2}",
+            j + 1,
+            scenario.population[j].task_type().to_string(),
+            outcome.allocation()[j],
+            outcome.auction_payments()[j],
+            solicit,
+            outcome.payment(j),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Planning the solicitation threshold `N` (Remark 6.1) and watching the
+//! auction phase work, round by round.
+//!
+//! The platform must keep recruiting until the joined users can jointly
+//! complete at least `2·mᵢ` tasks per type — otherwise CRA cannot select its
+//! `q + mᵢ` potential winners and the truthfulness guarantee (and often the
+//! job itself) is lost. This example:
+//!
+//! 1. estimates the threshold a priori from the workload distribution;
+//! 2. grows membership with a *probabilistic* recruitment cascade over a
+//!    social graph, checking the exact Remark 6.1 stopping rule after each
+//!    cascade stage;
+//! 3. runs RIT with execution tracing and prints the per-round story of one
+//!    task type.
+//!
+//! ```sh
+//! cargo run --release --example recruitment_planning
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit::core::{recruitment, Rit, RitConfig, RoundLimit};
+use rit::model::workload::WorkloadConfig;
+use rit::model::{Ask, Job};
+use rit::socialgraph::diffusion::{self, DiffusionConfig};
+use rit::socialgraph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadConfig::paper();
+    let job = Job::uniform(10, 400)?;
+    let mut rng = SmallRng::seed_from_u64(2017);
+
+    // 1. A-priori estimate from the distribution.
+    let estimate = recruitment::estimate_threshold(&job, workload.capacity_max, 1.3);
+    println!(
+        "job {} tasks / {} types; estimated recruitment threshold N ≈ {estimate}",
+        job.total_tasks(),
+        job.num_types()
+    );
+
+    // 2. Grow membership in cascade stages until the exact rule is met.
+    let graph = generators::barabasi_albert(4 * estimate, 2, &mut rng);
+    let mut target = estimate / 2;
+    let (tree, asks) = loop {
+        let outcome = diffusion::simulate(
+            &graph,
+            &[0],
+            &DiffusionConfig {
+                invite_prob: 0.6,
+                target: Some(target),
+                max_rounds: 64,
+            },
+            &mut rng,
+        );
+        // Joined users draw their private profiles.
+        let mut profile_rng = SmallRng::seed_from_u64(7);
+        let population = workload.sample_population(outcome.tree.num_users(), &mut profile_rng)?;
+        let asks: Vec<Ask> = population.truthful_asks().into_vec();
+        match recruitment::capacity_satisfied(&job, &asks) {
+            Ok(()) => {
+                println!(
+                    "{} users joined after {} cascade rounds — Remark 6.1 satisfied, stop recruiting",
+                    outcome.tree.num_users(),
+                    outcome.rounds
+                );
+                break (outcome.tree, asks);
+            }
+            Err((task_type, shortfall)) => {
+                println!(
+                    "{} users joined: type {task_type} still short {shortfall} claimed tasks — keep recruiting",
+                    outcome.tree.num_users()
+                );
+                target += estimate / 4;
+            }
+        }
+    };
+
+    let stats = rit::tree::stats::TreeStats::compute(&tree);
+    println!(
+        "cascade tree: max depth {}, mean depth {:.2}, {} recruiters",
+        stats.max_depth, stats.mean_depth, stats.num_recruiters
+    );
+
+    // 3. Run the auction phase with tracing and narrate one type.
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })?;
+    let (phase, traces) = rit.run_auction_phase_traced(&job, &asks, &mut rng)?;
+    println!(
+        "\nauction phase {}: {} tasks allocated",
+        if phase.completed() {
+            "completed"
+        } else {
+            "incomplete"
+        },
+        phase.allocation.iter().sum::<u64>()
+    );
+
+    let busiest = traces
+        .iter()
+        .max_by_key(|t| t.rounds.len())
+        .expect("job has types");
+    println!(
+        "\nbusiest type {} ({} tasks, {} rounds, {} empty):",
+        busiest.task_type,
+        busiest.tasks,
+        busiest.rounds.len(),
+        busiest.empty_rounds()
+    );
+    println!("round  q_before  unit_asks  sample  z_s     n_s     winners  price");
+    for r in busiest.rounds.iter().take(12) {
+        println!(
+            "{:<7}{:<10}{:<11}{:<8}{:<8}{:<8}{:<9}{:.3}",
+            r.round,
+            r.q_before,
+            r.unit_asks,
+            r.diagnostics.sample_size,
+            r.diagnostics.raw_count,
+            r.diagnostics.consensus_count,
+            r.winners,
+            r.clearing_price,
+        );
+    }
+    println!(
+        "\ntype expenditure {:.2}; total auction expenditure {:.2}",
+        busiest.expenditure(),
+        phase.auction_payments.iter().sum::<f64>()
+    );
+    Ok(())
+}

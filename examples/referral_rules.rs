@@ -1,0 +1,95 @@
+//! Comparing referral-reward rules on one recruitment tree.
+//!
+//! Three rules from the design space the paper navigates (see
+//! `rit::core::referral`): the DARPA distance decay, the §4 subtree-log
+//! bonus, and RIT's depth-anchored weights. For each rule the example
+//! reports (a) the platform's total payout over the auction total and
+//! (b) the Lemma 6.4 split-resistance screen for every recruiter — showing
+//! *why* the paper lands on absolute-depth weights.
+//!
+//! ```sh
+//! cargo run --release --example referral_rules
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit::core::referral::{
+    split_resistance, GeometricDepth, GeometricDistance, ReferralReward, SubtreeLogBonus,
+};
+use rit::core::{Rit, RitConfig, RoundLimit};
+use rit::model::Job;
+use rit::sim::scenario::{Scenario, ScenarioConfig};
+use rit::tree::NodeId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ScenarioConfig::paper(1200);
+    config.workload.num_types = 4;
+    let scenario = Scenario::generate(&config, 21);
+    let job = Job::uniform(4, 150)?;
+
+    // One auction-phase run provides the contributions every rule shares.
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })?;
+    let mut rng = SmallRng::seed_from_u64(4);
+    let phase = rit.run_auction_phase(&job, &scenario.asks, &mut rng)?;
+    let contributions = &phase.auction_payments;
+    let auction_total: f64 = contributions.iter().sum();
+    println!(
+        "auction phase: {} tasks, total auction payment {auction_total:.2}\n",
+        phase.allocation.iter().sum::<u64>()
+    );
+
+    let rules: Vec<Box<dyn ReferralReward>> = vec![
+        Box::new(GeometricDistance::default()),
+        Box::new(SubtreeLogBonus),
+        Box::new(GeometricDepth),
+    ];
+
+    println!(
+        "{:<32}{:>14}{:>12}{:>18}",
+        "rule", "total payout", "overhead", "split-vulnerable"
+    );
+    for rule in &rules {
+        let payments = rule.payments(&scenario.tree, &scenario.asks, contributions);
+        let total: f64 = payments.iter().sum();
+
+        // Screen every recruiter with a positive contribution.
+        let mut vulnerable = 0usize;
+        let mut screened = 0usize;
+        for j in 0..scenario.num_users() {
+            let node = NodeId::from_user_index(j);
+            if contributions[j] > 0.0 && !scenario.tree.children(node).is_empty() {
+                screened += 1;
+                let screen = split_resistance(
+                    rule.as_ref(),
+                    &scenario.tree,
+                    &scenario.asks,
+                    contributions,
+                    j,
+                    4,
+                );
+                if !screen.resistant() {
+                    vulnerable += 1;
+                }
+            }
+        }
+        println!(
+            "{:<32}{:>14.2}{:>11.1}%{:>12}/{screened}",
+            rule.name(),
+            total,
+            100.0 * (total - auction_total) / auction_total,
+            vulnerable,
+        );
+    }
+
+    println!(
+        "\nthe distance-decay rule is split-vulnerable at every contributing recruiter;\n\
+         the log-bonus rule resists splits, but the doubling in `2·p^A + ln(…)` rewards a\n\
+         recruiter per unit of its *own* manipulated auction payment — the §4-B\n\
+         truthfulness break (see `design_challenges`); RIT's depth rule resists splits\n\
+         at a bounded overhead (≤ 100% of the auction total, §7)."
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'ablation_collusion.png'
+set title "best decoy-manipulation gain: naive k-th price vs CRA"
+set xlabel "tasks in the market (m_i)"
+set ylabel "attacker gain over honest"
+set key outside right
+plot 'ablation_collusion.csv' skip 1 using 1:2:3 with yerrorlines title "naive k-th price (exact)", 'ablation_collusion.csv' skip 1 using 1:4:5 with yerrorlines title "RIT/CRA (mean)"

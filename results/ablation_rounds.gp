@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'ablation_rounds.png'
+set title "auction-phase completion rate per round-budget policy"
+set xlabel "tasks per type (m_i)"
+set ylabel "completion rate"
+set key outside right
+plot 'ablation_rounds.csv' skip 1 using 1:2:3 with yerrorlines title "paper budget, q = 0", 'ablation_rounds.csv' skip 1 using 1:4:5 with yerrorlines title "paper budget, q = m_i", 'ablation_rounds.csv' skip 1 using 1:6:7 with yerrorlines title "until stall"

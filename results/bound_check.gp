@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'bound_check.png'
+set title "coalition (k = 10) expected misreport gain vs Lemma 6.2 allowance"
+set xlabel "tasks in the market (m_i)"
+set ylabel "expected gain per coalition unit / probability"
+set key outside right
+plot 'bound_check.csv' skip 1 using 1:2:3 with yerrorlines title "gain, rank selection (paper Line 7)", 'bound_check.csv' skip 1 using 1:4:5 with yerrorlines title "gain, uniform-eligible selection", 'bound_check.csv' skip 1 using 1:6:7 with yerrorlines title "analytic allowance 1 − β"

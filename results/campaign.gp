@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'campaign.png'
+set title "campaign lifecycle: membership, per-task cost, solicitation share"
+set xlabel "epoch"
+set ylabel "members / cost per task / share"
+set key outside right
+plot 'campaign.csv' skip 1 using 1:2:3 with yerrorlines title "members", 'campaign.csv' skip 1 using 1:4:5 with yerrorlines title "cost per task", 'campaign.csv' skip 1 using 1:6:7 with yerrorlines title "solicitation share"

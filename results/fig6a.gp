@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig6a.png'
+set title "average user utility vs number of users"
+set xlabel "number of users"
+set ylabel "average user utility"
+set key outside right
+plot 'fig6a.csv' skip 1 using 1:2:3 with yerrorlines title "auction phase", 'fig6a.csv' skip 1 using 1:4:5 with yerrorlines title "RIT"

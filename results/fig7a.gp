@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig7a.png'
+set title "total payment vs number of users"
+set xlabel "number of users"
+set ylabel "total platform payment"
+set key outside right
+plot 'fig7a.csv' skip 1 using 1:2:3 with yerrorlines title "auction phase", 'fig7a.csv' skip 1 using 1:4:5 with yerrorlines title "RIT"

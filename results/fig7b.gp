@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig7b.png'
+set title "total payment vs job size"
+set xlabel "tasks per type (m_i)"
+set ylabel "total platform payment"
+set key outside right
+plot 'fig7b.csv' skip 1 using 1:2:3 with yerrorlines title "auction phase", 'fig7b.csv' skip 1 using 1:4:5 with yerrorlines title "RIT"

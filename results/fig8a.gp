@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig8a.png'
+set title "running time vs number of users"
+set xlabel "number of users"
+set ylabel "running time (s)"
+set key outside right
+plot 'fig8a.csv' skip 1 using 1:2:3 with yerrorlines title "auction phase", 'fig8a.csv' skip 1 using 1:4:5 with yerrorlines title "RIT"

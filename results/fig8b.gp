@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig8b.png'
+set title "running time vs job size"
+set xlabel "tasks per type (m_i)"
+set ylabel "running time (s)"
+set key outside right
+plot 'fig8b.csv' skip 1 using 1:2:3 with yerrorlines title "auction phase", 'fig8b.csv' skip 1 using 1:4:5 with yerrorlines title "RIT"

@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig9.png'
+set title "sybil attacker's total utility (c = 5.5, K = 17)"
+set xlabel "number of identities"
+set ylabel "attacker total utility"
+set key outside right
+plot 'fig9.csv' skip 1 using 1:2:3 with yerrorlines title "a29 = 5.5", 'fig9.csv' skip 1 using 1:4:5 with yerrorlines title "a29 = 6.25", 'fig9.csv' skip 1 using 1:6:7 with yerrorlines title "a29 = 6.5", 'fig9.csv' skip 1 using 1:8:9 with yerrorlines title "truthful, no attack"

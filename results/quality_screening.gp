@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'quality_screening.png'
+set title "quality screening: completion and per-task cost vs screened fraction"
+set xlabel "fraction of users screened out"
+set ylabel "completion rate / cost per task"
+set key outside right
+plot 'quality_screening.csv' skip 1 using 1:2:3 with yerrorlines title "completion rate", 'quality_screening.csv' skip 1 using 1:4:5 with yerrorlines title "cost per task (completed runs)"

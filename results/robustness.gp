@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'robustness.png'
+set title "RIT/auction payment ratio across cost distributions"
+set xlabel "tasks per type (m_i)"
+set ylabel "total payment ratio (RIT / auction phase)"
+set key outside right
+plot 'robustness.csv' skip 1 using 1:2:3 with yerrorlines title "uniform (paper)", 'robustness.csv' skip 1 using 1:4:5 with yerrorlines title "exponential", 'robustness.csv' skip 1 using 1:6:7 with yerrorlines title "bimodal", 'robustness.csv' skip 1 using 1:8:9 with yerrorlines title "log-normal"

@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'tree_shape.png'
+set title "solicitation economics vs social-graph model (0 = BA, 1 = ER, 2 = WS)"
+set xlabel "graph model index"
+set ylabel "payment ratio / mean depth"
+set key outside right
+plot 'tree_shape.csv' skip 1 using 1:2:3 with yerrorlines title "payment ratio (RIT / auction)", 'tree_shape.csv' skip 1 using 1:4:5 with yerrorlines title "mean user depth"

@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'truthfulness_profile.png'
+set title "expected auction utility vs reported price (user 24, true cost 0.39)"
+set xlabel "reported price / true cost"
+set ylabel "expected utility / expected tasks"
+set key outside right
+plot 'truthfulness_profile.csv' skip 1 using 1:2:3 with yerrorlines title "expected utility", 'truthfulness_profile.csv' skip 1 using 1:4:5 with yerrorlines title "expected tasks won"

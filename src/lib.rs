@@ -1,0 +1,64 @@
+//! # rit — Robust Incentive Tree Design for Mobile Crowdsensing
+//!
+//! A production-quality Rust reproduction of *"Robust Incentive Tree Design
+//! for Mobile Crowdsensing"* (Xiang Zhang, Guoliang Xue, Ruozhou Yu, Dejun
+//! Yang, Jian Tang — ICDCS 2017).
+//!
+//! RIT is an incentive mechanism for crowdsensing platforms that rewards
+//! users both for **performing sensing tasks** (via a randomized,
+//! collusion-resistant sealed-bid auction) and for **recruiting other
+//! users** (via geometrically weighted referral rewards over the
+//! solicitation tree), while provably resisting untruthful bidding and
+//! sybil attacks.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`model`] | jobs, task types, users, asks, §7-A workloads |
+//! | [`tree`] | the incentive tree, traversal, sybil transformations |
+//! | [`socialgraph`] | synthetic social networks + spanning-forest trees |
+//! | [`auction`] | CRA, consensus rounding, Extract, k-th price, bounds |
+//! | [`core`] | the RIT mechanism, payment phase, baselines, attack harness |
+//! | [`sim`] | experiment drivers for every figure of the paper |
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rit::core::{Rit, RitConfig, RoundLimit};
+//! use rit::model::{workload::WorkloadConfig, Job};
+//! use rit::sim::scenario::{Scenario, ScenarioConfig};
+//!
+//! // A small end-to-end run: 1,000 users recruited over a synthetic social
+//! // graph, a 10-type job, truthful asks.
+//! let scenario = Scenario::generate(&ScenarioConfig::paper(1000), 42);
+//! let job = Job::uniform(10, 60)?;
+//! let rit = Rit::new(RitConfig {
+//!     round_limit: RoundLimit::until_stall(),
+//!     ..RitConfig::default()
+//! })?;
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let outcome = rit.run(&job, &scenario.tree, &scenario.asks, &mut rng)?;
+//! if outcome.completed() {
+//!     assert_eq!(outcome.total_allocated(), 600);
+//!     // Nobody loses money (individual rationality, Theorem 1).
+//!     for (j, u) in outcome.utilities(scenario.population.as_slice()).iter().enumerate() {
+//!         assert!(*u >= -1e-9, "user {j} lost money");
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rit_auction as auction;
+pub use rit_core as core;
+pub use rit_model as model;
+pub use rit_sim as sim;
+pub use rit_socialgraph as socialgraph;
+pub use rit_tree as tree;

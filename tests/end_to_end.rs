@@ -1,0 +1,205 @@
+//! End-to-end integration tests: full RIT runs over social-graph-grown
+//! incentive trees, exercising every crate together.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit::core::{Rit, RitConfig, RitError, RoundLimit};
+use rit::model::{Job, TaskTypeId};
+use rit::sim::scenario::{GraphModel, Scenario, ScenarioConfig};
+use rit::tree::NodeId;
+
+fn best_effort_rit() -> Rit {
+    Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .expect("valid config")
+}
+
+#[test]
+fn full_pipeline_allocates_and_pays_consistently() {
+    let scenario = Scenario::generate(&ScenarioConfig::paper(3000), 1);
+    let job = Job::uniform(10, 200).unwrap();
+    let rit = best_effort_rit();
+    let mut completed = 0;
+    for seed in 0..5 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = rit
+            .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+            .unwrap();
+        if !out.completed() {
+            assert_eq!(out.total_payment(), 0.0);
+            continue;
+        }
+        completed += 1;
+        // Exactly the job, per type.
+        let mut per_type = vec![0u64; 10];
+        for (j, &x) in out.allocation().iter().enumerate() {
+            assert!(x <= scenario.asks[j].quantity(), "over-allocated user {j}");
+            per_type[scenario.asks[j].task_type().index()] += x;
+        }
+        assert_eq!(per_type, vec![200; 10]);
+
+        // Payments: p ≥ p^A ≥ x·a, and the §7 budget bound.
+        for j in 0..scenario.num_users() {
+            let floor = out.allocation()[j] as f64 * scenario.asks[j].unit_price();
+            assert!(out.auction_payments()[j] >= floor - 1e-9);
+            assert!(out.payment(j) >= out.auction_payments()[j] - 1e-9);
+        }
+        assert!(out.total_payment() <= 2.0 * out.total_auction_payment() + 1e-9);
+
+        // Individual rationality with truthful asks.
+        for (j, u) in out
+            .utilities(scenario.population.as_slice())
+            .iter()
+            .enumerate()
+        {
+            assert!(*u >= -1e-9, "user {j} has negative utility {u}");
+        }
+    }
+    assert!(
+        completed >= 3,
+        "most seeds should complete, got {completed}/5"
+    );
+}
+
+#[test]
+fn solicitation_rewards_flow_to_ancestors_only() {
+    let scenario = Scenario::generate(&ScenarioConfig::paper(2000), 2);
+    let job = Job::uniform(10, 120).unwrap();
+    let rit = best_effort_rit();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let out = rit
+        .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+        .unwrap();
+    if !out.completed() {
+        return;
+    }
+    let rewards = out.solicitation_rewards();
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..scenario.num_users() {
+        if rewards[j] <= 1e-9 {
+            continue;
+        }
+        // A solicitation reward requires a descendant of a different type
+        // with a positive auction payment.
+        let node = NodeId::from_user_index(j);
+        let has_paying_descendant = scenario.tree.descendants(node).any(|d| {
+            let i = d.user_index().unwrap();
+            scenario.asks[i].task_type() != scenario.asks[j].task_type()
+                && out.auction_payments()[i] > 0.0
+        });
+        assert!(
+            has_paying_descendant,
+            "user {j} rewarded without a contributor"
+        );
+    }
+}
+
+#[test]
+fn works_across_graph_models() {
+    let job = Job::uniform(5, 80).unwrap();
+    let rit = best_effort_rit();
+    for (i, graph) in [
+        GraphModel::BarabasiAlbert { m: 3 },
+        GraphModel::ErdosRenyi { p: 0.01 },
+        GraphModel::WattsStrogatz { k: 6, beta: 0.3 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut config = ScenarioConfig::paper(1200);
+        config.workload.num_types = 5;
+        config.graph = graph;
+        let scenario = Scenario::generate(&config, 100 + i as u64);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let out = rit
+            .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+            .unwrap();
+        // Regardless of completion, the run must be internally consistent.
+        assert_eq!(out.allocation().len(), 1200);
+        assert_eq!(out.payments().len(), 1200);
+        assert_eq!(out.rounds_used().len(), 5);
+    }
+}
+
+#[test]
+fn paper_budget_vs_best_effort_agree_when_feasible() {
+    // At mᵢ = 2000 with K_max ≤ 4 the paper budget is large; both modes
+    // should complete and produce valid (not necessarily equal) outcomes.
+    let mut config = ScenarioConfig::paper(6000);
+    config.workload.num_types = 2;
+    config.workload.capacity_max = 4;
+    let scenario = Scenario::generate(&config, 5);
+    let job = Job::uniform(2, 2000).unwrap();
+
+    let strict = Rit::new(RitConfig::default()).unwrap();
+    let loose = best_effort_rit();
+    let mut rng1 = SmallRng::seed_from_u64(9);
+    let mut rng2 = SmallRng::seed_from_u64(9);
+    let a = strict
+        .run(&job, &scenario.tree, &scenario.asks, &mut rng1)
+        .unwrap();
+    let b = loose
+        .run(&job, &scenario.tree, &scenario.asks, &mut rng2)
+        .unwrap();
+    // Identical RNG + identical per-round behavior ⇒ same outcome as long as
+    // the strict budget wasn't hit.
+    if a.completed() && b.completed() {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn infeasible_guarantee_surfaces_not_panics() {
+    let mut config = ScenarioConfig::paper(100);
+    config.workload.num_types = 2;
+    let scenario = Scenario::generate(&config, 6);
+    let job = Job::uniform(2, 10).unwrap(); // tiny: 2·K_max ≥ mᵢ
+    let strict = Rit::new(RitConfig::default()).unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+    match strict.run(&job, &scenario.tree, &scenario.asks, &mut rng) {
+        Err(RitError::GuaranteeInfeasible { .. }) => {}
+        other => panic!("expected GuaranteeInfeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_capacity_type_cannot_complete() {
+    // Job demands a type nobody offers.
+    let mut config = ScenarioConfig::paper(500);
+    config.workload.num_types = 2;
+    let scenario = Scenario::generate(&config, 8);
+    let job = Job::from_counts(vec![50, 50, 10]).unwrap(); // type τ2 unstaffed
+    let rit = best_effort_rit();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let out = rit
+        .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+        .unwrap();
+    assert!(!out.completed());
+    assert_eq!(out.unallocated()[2], 10);
+    assert_eq!(out.total_payment(), 0.0);
+    assert_eq!(out.total_allocated(), 0);
+}
+
+#[test]
+fn utilities_respect_task_type_boundaries() {
+    // Users only ever get tasks of their own type.
+    let scenario = Scenario::generate(&ScenarioConfig::paper(1000), 10);
+    let job = Job::uniform(10, 50).unwrap();
+    let rit = best_effort_rit();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let out = rit
+        .run(&job, &scenario.tree, &scenario.asks, &mut rng)
+        .unwrap();
+    let mut demand_by_type = [0u64; 10];
+    for (j, &x) in out.allocation().iter().enumerate() {
+        demand_by_type[scenario.population[j].task_type().index()] += x;
+    }
+    for (t, &d) in demand_by_type.iter().enumerate() {
+        assert!(
+            d <= job.tasks_of(TaskTypeId::new(t as u32)),
+            "type {t} over-allocated"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Statistical verification of the paper's theorems on the full mechanism.
+//!
+//! The proofs give probabilistic guarantees; these tests probe them
+//! empirically with seeded Monte Carlo at sizes where the guarantees apply,
+//! using tolerances wide enough to be deterministic in CI yet tight enough
+//! to catch sign errors in payments or weights.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit::core::sybil_exec;
+use rit::core::{Rit, RitConfig, RoundLimit};
+use rit::model::{Job, UserProfile};
+use rit::sim::metrics::MeanStd;
+use rit::sim::scenario::{Scenario, ScenarioConfig};
+use rit::tree::sybil::SybilPlan;
+use rit::tree::NodeId;
+
+struct World {
+    scenario: Scenario,
+    job: Job,
+    rit: Rit,
+}
+
+fn world(n: usize, num_types: usize, m_i: u64, seed: u64) -> World {
+    let mut config = ScenarioConfig::paper(n);
+    config.workload.num_types = num_types;
+    config.workload.capacity_max = 8;
+    let scenario = Scenario::generate(&config, seed);
+    let job = Job::uniform(num_types, m_i).unwrap();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+    World { scenario, job, rit }
+}
+
+fn mean_utility(w: &World, user: usize, asks: &[rit::model::Ask], runs: u64, base: u64) -> MeanStd {
+    let cost = w.scenario.population[user].unit_cost();
+    let mut acc = MeanStd::new();
+    for s in 0..runs {
+        let mut rng = SmallRng::seed_from_u64(base + s);
+        let out = w.rit.run(&w.job, &w.scenario.tree, asks, &mut rng).unwrap();
+        acc.push(out.utility(user, cost));
+    }
+    acc
+}
+
+/// Theorem (truthfulness, Lemma 6.3): misreporting the ask value does not
+/// raise expected utility. Probed for over- and under-bidding at ±20%.
+#[test]
+fn price_deviations_do_not_beat_truthful_on_average() {
+    let w = world(1500, 3, 250, 42);
+    // A user that wins regularly when truthful.
+    let mut probe_rng = SmallRng::seed_from_u64(999);
+    let probe = w
+        .rit
+        .run(&w.job, &w.scenario.tree, &w.scenario.asks, &mut probe_rng)
+        .unwrap();
+    let user = (0..w.scenario.num_users())
+        .find(|&j| probe.auction_payments()[j] > 0.0 && w.scenario.population[j].capacity() >= 4)
+        .expect("a regular winner exists");
+
+    let runs = 120;
+    let truthful = mean_utility(&w, user, &w.scenario.asks, runs, 0);
+    for factor in [0.8, 1.2] {
+        let mut asks = w.scenario.asks.clone();
+        asks[user] = asks[user]
+            .with_unit_price(asks[user].unit_price() * factor)
+            .unwrap();
+        let deviant = mean_utility(&w, user, &asks, runs, 50_000);
+        let se = (truthful.std_dev().powi(2) / runs as f64
+            + deviant.std_dev().powi(2) / runs as f64)
+            .sqrt();
+        assert!(
+            deviant.mean() <= truthful.mean() + 3.0 * se.max(0.05),
+            "deviation ×{factor} beats truthful: {:.4} > {:.4} (se {se:.4})",
+            deviant.mean(),
+            truthful.mean()
+        );
+    }
+}
+
+/// Theorem 2 (sybil-proofness): splitting with equal asks does not raise
+/// expected total utility, across all three arrangement shapes.
+#[test]
+fn sybil_arrangements_do_not_beat_honest_on_average() {
+    let w = world(1200, 3, 200, 7);
+    let attacker = (0..w.scenario.num_users())
+        .find(|&j| {
+            w.scenario.population[j].capacity() >= 6
+                && !w
+                    .scenario
+                    .tree
+                    .children(NodeId::from_user_index(j))
+                    .is_empty()
+        })
+        .expect("capable recruiter exists");
+    let cost = w.scenario.population[attacker].unit_cost();
+    let runs = 80;
+    let honest = mean_utility(&w, attacker, &w.scenario.asks, runs, 0);
+
+    for (name, plan) in [
+        ("chain", SybilPlan::chain(3)),
+        ("star", SybilPlan::star(3)),
+        ("random", SybilPlan::random(3)),
+    ] {
+        let mut acc = MeanStd::new();
+        for s in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(70_000 + s);
+            let identity_asks = sybil_exec::uniform_identity_asks(
+                w.scenario.asks[attacker].task_type(),
+                w.scenario.asks[attacker].quantity(),
+                3,
+                w.scenario.asks[attacker].unit_price(),
+                &mut rng,
+            );
+            let sc = sybil_exec::apply_attack(
+                &w.scenario.tree,
+                &w.scenario.asks,
+                attacker,
+                &identity_asks,
+                &plan,
+                &mut rng,
+            )
+            .unwrap();
+            let out = w.rit.run(&w.job, &sc.tree, &sc.asks, &mut rng).unwrap();
+            acc.push(sc.attacker_utility(&out, cost));
+        }
+        let se =
+            (honest.std_dev().powi(2) / runs as f64 + acc.std_dev().powi(2) / runs as f64).sqrt();
+        assert!(
+            acc.mean() <= honest.mean() + 3.0 * se.max(0.05),
+            "{name} attack beats honest: {:.4} > {:.4} (se {se:.4})",
+            acc.mean(),
+            honest.mean()
+        );
+    }
+}
+
+/// Theorem 4 (solicitation incentive): a user's utility with a recruited
+/// different-type child is at least its utility had the same newcomer joined
+/// elsewhere.
+#[test]
+fn recruiting_pays_weakly_more_than_not() {
+    let w = world(1000, 4, 150, 21);
+    // Host: a depth-1 user; the newcomer has a different task type.
+    let host = (0..w.scenario.num_users())
+        .find(|&j| w.scenario.tree.depth(NodeId::from_user_index(j)) == 1)
+        .expect("depth-1 user exists");
+    let host_type = w.scenario.population[host].task_type();
+    let new_type = rit::model::TaskTypeId::new((host_type.raw() + 1) % 4);
+    let newcomer = UserProfile::new(new_type, 5, 1.0).unwrap();
+
+    let extend = |parent: NodeId| {
+        let mut parents = w.scenario.tree.to_parents();
+        parents.push(parent);
+        let tree = rit::tree::IncentiveTree::from_parents(&parents).unwrap();
+        let mut asks = w.scenario.asks.clone();
+        asks.push(newcomer.truthful_ask());
+        (tree, asks)
+    };
+    let (tree_mine, asks_mine) = extend(NodeId::from_user_index(host));
+    let (tree_other, asks_other) = extend(NodeId::ROOT);
+
+    let runs = 80;
+    let cost = w.scenario.population[host].unit_cost();
+    let mut mine = MeanStd::new();
+    let mut other = MeanStd::new();
+    for s in 0..runs {
+        let mut rng = SmallRng::seed_from_u64(s);
+        let out = w.rit.run(&w.job, &tree_mine, &asks_mine, &mut rng).unwrap();
+        mine.push(out.utility(host, cost));
+        let mut rng = SmallRng::seed_from_u64(s);
+        let out = w
+            .rit
+            .run(&w.job, &tree_other, &asks_other, &mut rng)
+            .unwrap();
+        other.push(out.utility(host, cost));
+    }
+    // Same seeds, same ask multiset ⇒ paired comparison.
+    assert!(
+        mine.mean() >= other.mean() - 1e-9,
+        "hosting the recruit pays less: {:.4} < {:.4}",
+        mine.mean(),
+        other.mean()
+    );
+}
+
+/// Lemma 6.1 / Theorem 1 at scale: across many completed runs, no truthful
+/// user is ever paid below its incurred cost.
+#[test]
+fn no_truthful_user_ever_underwater() {
+    let w = world(2000, 5, 150, 33);
+    for seed in 0..6 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = w
+            .rit
+            .run(&w.job, &w.scenario.tree, &w.scenario.asks, &mut rng)
+            .unwrap();
+        let utils = out.utilities(w.scenario.population.as_slice());
+        let min = utils.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(min >= -1e-9, "seed {seed}: minimum utility {min}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Integration tests of the referral-rule framework and the deviation
+//! probes against full social-graph scenarios.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit::core::probes::ProbeScenario;
+use rit::core::referral::{
+    split_resistance, GeometricDepth, GeometricDistance, ReferralReward, SubtreeLogBonus,
+};
+use rit::core::{Rit, RitConfig, RoundLimit};
+use rit::model::Job;
+use rit::sim::scenario::{Scenario, ScenarioConfig};
+use rit::tree::NodeId;
+
+fn world() -> (Scenario, Job, Rit) {
+    let mut config = ScenarioConfig::paper(1000);
+    config.workload.num_types = 4;
+    let scenario = Scenario::generate(&config, 31);
+    let job = Job::uniform(4, 120).unwrap();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+    (scenario, job, rit)
+}
+
+#[test]
+fn rit_payment_rule_split_resistant_on_real_auction_payments() {
+    let (scenario, job, rit) = world();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let phase = rit
+        .run_auction_phase(&job, &scenario.asks, &mut rng)
+        .unwrap();
+    let contributions = &phase.auction_payments;
+
+    let mut screened = 0;
+    for j in 0..scenario.num_users() {
+        if contributions[j] <= 0.0 {
+            continue;
+        }
+        let screen = split_resistance(
+            &GeometricDepth,
+            &scenario.tree,
+            &scenario.asks,
+            contributions,
+            j,
+            4,
+        );
+        assert!(
+            screen.resistant(),
+            "user {j}: split pays {} > honest {}",
+            screen.best_attack,
+            screen.honest
+        );
+        screened += 1;
+        if screened >= 50 {
+            break; // plenty of coverage, keep the test fast
+        }
+    }
+    assert!(screened >= 20, "too few contributors screened: {screened}");
+}
+
+#[test]
+fn distance_rule_is_vulnerable_where_depth_rule_is_not() {
+    let (scenario, job, rit) = world();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let phase = rit
+        .run_auction_phase(&job, &scenario.asks, &mut rng)
+        .unwrap();
+    let contributions = &phase.auction_payments;
+
+    // Find a contributing recruiter; under distance decay it must gain by
+    // splitting, under RIT's rule it must not.
+    let victim = (0..scenario.num_users())
+        .find(|&j| {
+            contributions[j] > 1.0
+                && !scenario
+                    .tree
+                    .children(NodeId::from_user_index(j))
+                    .is_empty()
+        })
+        .expect("contributing recruiter exists");
+    let darpa = split_resistance(
+        &GeometricDistance::default(),
+        &scenario.tree,
+        &scenario.asks,
+        contributions,
+        victim,
+        4,
+    );
+    assert!(!darpa.resistant(), "distance rule unexpectedly resistant");
+    let rit_rule = split_resistance(
+        &GeometricDepth,
+        &scenario.tree,
+        &scenario.asks,
+        contributions,
+        victim,
+        4,
+    );
+    assert!(rit_rule.resistant());
+}
+
+#[test]
+fn all_rules_pay_at_least_the_contribution() {
+    let (scenario, job, rit) = world();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let phase = rit
+        .run_auction_phase(&job, &scenario.asks, &mut rng)
+        .unwrap();
+    let c = &phase.auction_payments;
+    let rules: Vec<Box<dyn ReferralReward>> = vec![
+        Box::new(GeometricDepth),
+        Box::new(GeometricDistance::default()),
+        Box::new(SubtreeLogBonus),
+    ];
+    for rule in &rules {
+        let p = rule.payments(&scenario.tree, &scenario.asks, c);
+        for j in 0..c.len() {
+            assert!(
+                p[j] >= c[j] - 1e-9,
+                "{}: user {j} paid {} below contribution {}",
+                rule.name(),
+                p[j],
+                c[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn probe_api_confirms_theorems_on_a_real_scenario() {
+    let (scenario, job, rit) = world();
+    // Pick a user that wins regularly.
+    let mut probe_rng = SmallRng::seed_from_u64(4);
+    let phase = rit
+        .run_auction_phase(&job, &scenario.asks, &mut probe_rng)
+        .unwrap();
+    let user = (0..scenario.num_users())
+        .find(|&j| phase.auction_payments[j] > 0.0 && scenario.asks[j].quantity() >= 3)
+        .unwrap();
+    let probe = ProbeScenario {
+        rit: &rit,
+        job: &job,
+        tree: &scenario.tree,
+        asks: &scenario.asks,
+        user,
+        unit_cost: scenario.population[user].unit_cost(),
+    };
+    let runs = 50;
+    // Price misreports, both directions.
+    for factor in [0.7, 1.4] {
+        let report = probe.price_deviation(factor, runs, 99).unwrap();
+        assert!(
+            report.deviation_not_profitable(3.0),
+            "price ×{factor}: {report:?}"
+        );
+    }
+    // Under-claiming capacity.
+    let report = probe.quantity_deviation(1, runs, 101).unwrap();
+    assert!(report.deviation_not_profitable(3.0), "quantity: {report:?}");
+    // Sybil splitting at the truthful price.
+    let report = probe
+        .sybil_deviation(
+            &rit::tree::sybil::SybilPlan::star(2),
+            scenario.asks[user].unit_price(),
+            runs,
+            103,
+        )
+        .unwrap();
+    assert!(report.deviation_not_profitable(3.0), "sybil: {report:?}");
+}
