@@ -77,6 +77,7 @@ impl Lattice {
     /// The consensus winner count `n_s` (Algorithm 1, Line 5): the integer
     /// part of the lattice round-down of the raw count `z_s`. Returns 0 when
     /// `z_s == 0`.
+    #[inline]
     #[must_use]
     pub fn consensus_count(&self, z_s: u64) -> u64 {
         if z_s == 0 {

@@ -23,10 +23,17 @@
 //! makes the multi-round composition in RIT `(K_max, H)`-truthful
 //! (Lemma 6.2 / Remark 6.1): the winner boundary is set by the consensus
 //! count, which a small coalition can rarely move.
+//!
+//! Since the run-length refactor this module is a thin wrapper over
+//! [`crate::engine`]: the flat unit values are viewed as singleton runs and
+//! one engine round is executed. The engine consumes randomness in exactly
+//! the order documented above, so callers see identical outcomes whether
+//! they go through this wrapper or drive [`crate::engine::run_round`]
+//! directly on grouped runs.
 
 use rand::Rng;
 
-use crate::consensus::Lattice;
+use crate::engine::{self, AuctionWorkspace};
 
 /// Internal quantities of one CRA round, exposed for tracing, debugging and
 /// experiment analysis. Everything here is *derived from randomness and the
@@ -180,112 +187,22 @@ pub fn run_with_rule<R: Rng + ?Sized>(
     if n == 0 || q == 0 {
         return CraOutcome::empty(n, CraDiagnostics::default());
     }
-    let qm = usize::try_from(q.saturating_add(m_i)).unwrap_or(usize::MAX);
+    // Lines 2-24 live in the engine; flat unit values are singleton runs.
+    let compact = engine::CompactAsks::from_unit_values(asks);
+    let mut ws = AuctionWorkspace::new();
+    let report = engine::run_round(&compact, 0, q, m_i, rule, &mut ws, rng);
 
-    // Line 2–3: sample with probability 1/(q+mᵢ); s = min sampled value.
-    let sample_p = 1.0 / qm as f64;
-    let mut s = f64::INFINITY;
-    let mut sample_size = 0usize;
-    for &a in asks {
-        if rng.gen_bool(sample_p) {
-            sample_size += 1;
-            if a < s {
-                s = a;
-            }
-        }
-    }
-    if !s.is_finite() {
-        // Empty sample: no consensus estimate this round. Allocating nothing
-        // is independent of every bid, so it costs no truthfulness.
-        return CraOutcome::empty(
-            n,
-            CraDiagnostics {
-                sample_size,
-                ..CraDiagnostics::default()
-            },
-        );
-    }
-
-    // Line 4–5: consensus count of the asks at or below s.
-    let lattice = Lattice::random(rng);
-    let z_s = asks.iter().filter(|&&a| a <= s).count() as u64;
-    let n_s = lattice.consensus_count(z_s) as usize;
-
-    // Ascending value order (ties by index) for "smallest n asks" selections.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        asks[a]
-            .partial_cmp(&asks[b])
-            .expect("finite asks compare")
-            .then(a.cmp(&b))
-    });
-    if rule == SelectionRule::UniformEligible {
-        // Shuffle the eligible prefix (asks ≤ s) so rank below the threshold
-        // carries no information; the per-value order beyond z_s still
-        // matters for the (q+mᵢ+1)-st price fallback, so only the prefix is
-        // permuted.
-        let z = z_s as usize;
-        let (eligible, _) = order.split_at_mut(z.min(n));
-        use rand::seq::SliceRandom;
-        eligible.shuffle(rng);
-    }
-
-    // Line 6–12: tentative selection.
-    let mut chosen: Vec<usize> = if n_s <= qm {
-        order[..n_s.min(n)].to_vec()
-    } else {
-        let keep_p = qm as f64 / (2.0 * n_s as f64);
-        order[..n_s.min(n)]
-            .iter()
-            .copied()
-            .filter(|_| rng.gen_bool(keep_p))
-            .collect()
-    };
-
-    // Line 13–16: (q+mᵢ+1)-st price fallback if still too many.
-    let mut price = s;
-    let mut price_from_fallback = false;
-    if chosen.len() > qm {
-        if rule == SelectionRule::UniformEligible {
-            // The shuffled draw must be re-sorted so the fallback keeps the
-            // paper's "smallest q+mᵢ" semantics and the price stays above
-            // every winner's ask (individual rationality).
-            chosen.sort_by(|&a, &b| {
-                asks[a]
-                    .partial_cmp(&asks[b])
-                    .expect("finite asks compare")
-                    .then(a.cmp(&b))
-            });
-        }
-        // `chosen` is in ascending value order on both paths here.
-        price = asks[chosen[qm]];
-        price_from_fallback = true;
-        chosen.truncate(qm);
-    }
-
-    // Line 17–19: thin to exactly q winners uniformly at random.
-    if chosen.len() > q as usize {
-        let picked = rand::seq::index::sample(rng, chosen.len(), q as usize);
-        chosen = picked.iter().map(|i| chosen[i]).collect();
-    }
-
-    // Line 20–24: emit indicators and the uniform payment.
+    // Emit indicators and the uniform payment. Singleton runs make the run
+    // id the unit index, so the engine's winner list maps directly.
     let mut winners = vec![false; n];
-    for &w in &chosen {
-        winners[w] = true;
+    for &r in ws.winners() {
+        winners[r as usize] = true;
     }
-    let num_winners = chosen.len();
     CraOutcome {
         winners,
-        clearing_price: if num_winners > 0 { price } else { 0.0 },
-        num_winners,
-        diagnostics: CraDiagnostics {
-            sample_size,
-            threshold: Some(s),
-            raw_count: z_s,
-            consensus_count: n_s as u64,
-            price_from_fallback,
-        },
+        clearing_price: report.clearing_price,
+        num_winners: report.num_winners,
+        diagnostics: report.diagnostics,
     }
 }
 

@@ -1,0 +1,628 @@
+//! The allocation-free auction engine: CRA over run-length unit asks.
+//!
+//! [`crate::extract`] (Algorithm 2) expands every bundled ask `(tⱼ, kⱼ, aⱼ)`
+//! into `kⱼ` unit asks — but all `kⱼ` units share one value and one owner, so
+//! the expansion is pure redundancy. This module keeps the compressed form:
+//! a [`CompactAsks`] table holds one `(value, owner, remaining)` *run* per
+//! user and type, grouped by type and value-sorted **once**. A CRA round
+//! ([`run_round`]) then works directly on the sorted runs:
+//!
+//! * per-round "extraction" is the `remaining > 0` view of the runs — an
+//!   `O(users-of-type)` scan instead of an `O(Σkⱼ)` rebuild;
+//! * the per-round sort disappears (the run order is round-invariant; only
+//!   `remaining` changes between rounds);
+//! * sampling, consensus counting, the `(q+mᵢ+1)`-st price fallback, and
+//!   winner thinning all run over the sorted runs with zero heap
+//!   allocations, using the reusable buffers of an [`AuctionWorkspace`].
+//!
+//! **Draw-order guarantee.** For the same RNG state, [`run_round`] consumes
+//! randomness exactly like the flat-unit algorithm in [`crate::cra`] (which
+//! is now a thin wrapper over this engine): per-unit Bernoulli draws in
+//! expansion (user) order, one lattice offset, the `UniformEligible` prefix
+//! shuffle, per-unit keep draws in ascending value order, and a partial
+//! Fisher–Yates thinning pass. Grouped and singleton-run representations of
+//! the same unit multiset therefore produce identical winners, prices,
+//! diagnostics, and successor RNG states.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use rit_model::Ask;
+
+use crate::consensus::Lattice;
+use crate::cra::{CraDiagnostics, SelectionRule};
+
+/// Run-length unit asks for all task types: one `(value, owner, remaining)`
+/// run per (user, type), grouped by type in user order, plus a value-sorted
+/// run permutation per type computed once at build time.
+///
+/// Build with [`CompactAsks::rebuild`] (reusing buffers) or
+/// [`CompactAsks::from_unit_values`] (singleton runs, the [`crate::cra`]
+/// wrapper path); consume winners between rounds with
+/// [`CompactAsks::consume`]; restore the initial quantities with
+/// [`CompactAsks::reset`].
+#[derive(Clone, Debug, Default)]
+pub struct CompactAsks {
+    /// Unit value of each run.
+    values: Vec<f64>,
+    /// Owning user index of each run.
+    owners: Vec<u32>,
+    /// Initial unit count of each run (the ask quantity).
+    totals: Vec<u64>,
+    /// Units of each run not yet won this run-through.
+    rem: Vec<u64>,
+    /// Run ids in ascending `(value, run id)` order, per type segment.
+    sorted: Vec<u32>,
+    /// Segment boundaries: runs of type `t` occupy
+    /// `type_start[t]..type_start[t+1]`.
+    type_start: Vec<u32>,
+    /// Remaining units per type (`Σ rem` over the segment).
+    active: Vec<u64>,
+    /// Counting-sort scratch, reused across rebuilds.
+    cursors: Vec<u32>,
+}
+
+impl CompactAsks {
+    /// Creates an empty table (no types, no runs).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the table from bundled asks, reusing all buffers.
+    ///
+    /// One run is created per ask whose type index is below `num_types` and
+    /// whose user is eligible (`eligible[j]`, when a mask is given — the
+    /// [quality-screening](../../rit_core/quality/index.html) path). Runs
+    /// are grouped by type in user order, matching the unit expansion order
+    /// of [`crate::extract::extract_with_quantities`].
+    pub fn rebuild(&mut self, num_types: usize, asks: &[Ask], eligible: Option<&[bool]>) {
+        self.values.clear();
+        self.owners.clear();
+        self.totals.clear();
+        self.rem.clear();
+        self.sorted.clear();
+        self.type_start.clear();
+        self.active.clear();
+        self.cursors.clear();
+        self.cursors.resize(num_types, 0);
+
+        let included =
+            |j: usize, ask: &Ask| ask.task_type().index() < num_types && eligible.is_none_or(|e| e[j]);
+        for (j, ask) in asks.iter().enumerate() {
+            if included(j, ask) {
+                self.cursors[ask.task_type().index()] += 1;
+            }
+        }
+        let mut acc = 0u32;
+        self.type_start.push(0);
+        for c in &self.cursors {
+            acc += c;
+            self.type_start.push(acc);
+        }
+        let total_runs = acc as usize;
+        self.values.resize(total_runs, 0.0);
+        self.owners.resize(total_runs, 0);
+        self.totals.resize(total_runs, 0);
+        for (t, c) in self.cursors.iter_mut().enumerate() {
+            *c = self.type_start[t];
+        }
+        for (j, ask) in asks.iter().enumerate() {
+            if !included(j, ask) {
+                continue;
+            }
+            let r = self.cursors[ask.task_type().index()] as usize;
+            self.cursors[ask.task_type().index()] += 1;
+            self.values[r] = ask.unit_price();
+            self.owners[r] = u32::try_from(j).expect("user index fits u32");
+            self.totals[r] = ask.quantity();
+        }
+        self.rem.extend_from_slice(&self.totals);
+        self.sorted.extend(0..total_runs as u32);
+        let values = &self.values;
+        for t in 0..num_types {
+            let (lo, hi) = (self.type_start[t] as usize, self.type_start[t + 1] as usize);
+            // `sort_unstable_by` allocates nothing (std's stable sort does),
+            // and the `(value, run id)` key is a total order, so the result
+            // is deterministic despite the instability.
+            self.sorted[lo..hi].sort_unstable_by(|&x, &y| {
+                values[x as usize]
+                    .partial_cmp(&values[y as usize])
+                    .expect("finite asks compare")
+                    .then(x.cmp(&y))
+            });
+        }
+        for t in 0..num_types {
+            let (lo, hi) = (self.type_start[t] as usize, self.type_start[t + 1] as usize);
+            self.active.push(self.rem[lo..hi].iter().sum());
+        }
+    }
+
+    /// Builds a single-type table of singleton runs (one unit per run) from
+    /// raw unit values — the flat representation [`crate::cra`] accepts. Run
+    /// `r` owns exactly unit `r`, so [`CompactAsks::owner`] is the identity.
+    #[must_use]
+    pub fn from_unit_values(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut c = Self::new();
+        c.values.extend_from_slice(values);
+        c.owners.extend(0..u32::try_from(n).expect("unit count fits u32"));
+        c.totals.resize(n, 1);
+        c.rem.resize(n, 1);
+        c.sorted.extend(0..n as u32);
+        let vals = &c.values;
+        c.sorted.sort_unstable_by(|&x, &y| {
+            vals[x as usize]
+                .partial_cmp(&vals[y as usize])
+                .expect("finite asks compare")
+                .then(x.cmp(&y))
+        });
+        c.type_start.push(0);
+        c.type_start.push(n as u32);
+        c.active.push(n as u64);
+        c
+    }
+
+    /// Restores every run's remaining count to its initial quantity, without
+    /// re-sorting — the cheap way to replay the same scenario.
+    pub fn reset(&mut self) {
+        self.rem.clear();
+        self.rem.extend_from_slice(&self.totals);
+        for (t, a) in self.active.iter_mut().enumerate() {
+            let (lo, hi) = (self.type_start[t] as usize, self.type_start[t + 1] as usize);
+            *a = self.rem[lo..hi].iter().sum();
+        }
+    }
+
+    /// Number of task-type segments.
+    #[must_use]
+    pub fn num_types(&self) -> usize {
+        self.type_start.len().saturating_sub(1)
+    }
+
+    /// Number of runs across all types.
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Remaining (not yet won) units of type `type_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_index` is out of range.
+    #[must_use]
+    pub fn active_units(&self, type_index: usize) -> u64 {
+        self.active[type_index]
+    }
+
+    /// The user owning run `run` — the provenance map `λ` of Algorithm 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn owner(&self, run: u32) -> usize {
+        self.owners[run as usize] as usize
+    }
+
+    /// The unit value of run `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn value(&self, run: u32) -> f64 {
+        self.values[run as usize]
+    }
+
+    /// Units of run `run` not yet won.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn remaining(&self, run: u32) -> u64 {
+        self.rem[run as usize]
+    }
+
+    /// Records that one unit of run `run` (of type `type_index`) was won
+    /// (Algorithm 3, Line 15: the winner's leftover claim shrinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the run is already exhausted.
+    pub fn consume(&mut self, type_index: usize, run: u32) {
+        debug_assert!(self.rem[run as usize] > 0, "consuming an exhausted run");
+        self.rem[run as usize] -= 1;
+        self.active[type_index] -= 1;
+    }
+
+    /// The `(start, end)` run range of a type segment.
+    fn type_range(&self, type_index: usize) -> (usize, usize) {
+        (
+            self.type_start[type_index] as usize,
+            self.type_start[type_index + 1] as usize,
+        )
+    }
+}
+
+/// Reusable scratch buffers for [`run_round`]. After the first round of a
+/// given scenario shape the buffers are warm and rounds allocate nothing.
+///
+/// After a round, [`AuctionWorkspace::winners`] holds one run id per winning
+/// unit (a run appears once per unit it won).
+#[derive(Clone, Debug, Default)]
+pub struct AuctionWorkspace {
+    /// `UniformEligible` per-unit run ids (the shuffled eligible prefix).
+    eligible: Vec<u32>,
+    /// Chosen per-unit run ids; after the round, the winners.
+    chosen: Vec<u32>,
+}
+
+impl AuctionWorkspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run ids of the last round's winning units, one entry per unit won
+    /// (order is an artifact of selection and thinning — treat as a
+    /// multiset).
+    #[must_use]
+    pub fn winners(&self) -> &[u32] {
+        &self.chosen
+    }
+}
+
+/// Summary of one engine CRA round. The winning units live in the
+/// workspace ([`AuctionWorkspace::winners`]); everything here is `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundReport {
+    /// Units entering the round (the flat `α` length of Algorithm 2).
+    pub unit_asks: u64,
+    /// Winning units selected (`≤ q`).
+    pub num_winners: usize,
+    /// Uniform clearing price paid per winning unit (0 when no winners).
+    pub clearing_price: f64,
+    /// CRA internals (sample, threshold, consensus count).
+    pub diagnostics: CraDiagnostics,
+}
+
+/// Runs one round of CRA (Algorithm 1) for `type_index` directly on the
+/// sorted runs of `asks`, with `q` unallocated tasks and job size `m_i`.
+///
+/// Winners are left in `ws` ([`AuctionWorkspace::winners`]); the caller
+/// applies them (and calls [`CompactAsks::consume`] per winning unit).
+/// Consumes randomness identically to [`crate::cra::run_with_rule`] over the
+/// equivalent flat unit asks.
+///
+/// # Panics
+///
+/// Panics if `type_index` is out of range.
+#[must_use]
+pub fn run_round<R: Rng + ?Sized>(
+    asks: &CompactAsks,
+    type_index: usize,
+    q: u64,
+    m_i: u64,
+    rule: SelectionRule,
+    ws: &mut AuctionWorkspace,
+    rng: &mut R,
+) -> RoundReport {
+    ws.chosen.clear();
+    ws.eligible.clear();
+    let n = asks.active_units(type_index);
+    if n == 0 || q == 0 {
+        return RoundReport {
+            unit_asks: n,
+            num_winners: 0,
+            clearing_price: 0.0,
+            diagnostics: CraDiagnostics::default(),
+        };
+    }
+    let (lo, hi) = asks.type_range(type_index);
+    let qm = usize::try_from(q.saturating_add(m_i)).unwrap_or(usize::MAX);
+
+    // Lines 2-3: sample each unit with probability 1/(q+mᵢ) in the same
+    // per-user expansion order Extract used; s = min sampled value.
+    let sample_p = 1.0 / qm as f64;
+    let mut s = f64::INFINITY;
+    let mut sample_size = 0usize;
+    for r in lo..hi {
+        let rem = asks.rem[r];
+        if rem == 0 {
+            continue;
+        }
+        let v = asks.values[r];
+        for _ in 0..rem {
+            if rng.gen_bool(sample_p) {
+                sample_size += 1;
+                if v < s {
+                    s = v;
+                }
+            }
+        }
+    }
+    if !s.is_finite() {
+        // Empty sample: allocate nothing (bid-independent), next round.
+        return RoundReport {
+            unit_asks: n,
+            num_winners: 0,
+            clearing_price: 0.0,
+            diagnostics: CraDiagnostics {
+                sample_size,
+                ..CraDiagnostics::default()
+            },
+        };
+    }
+
+    // Lines 4-5: consensus count of units at or below s — a prefix scan of
+    // the value-sorted runs (all units ≤ s precede any unit > s).
+    let lattice = Lattice::random(rng);
+    let mut z_s = 0u64;
+    for &ri in &asks.sorted[lo..hi] {
+        if asks.values[ri as usize] > s {
+            break;
+        }
+        z_s += asks.rem[ri as usize];
+    }
+    let n_s = lattice.consensus_count(z_s);
+    let n_s_usize = usize::try_from(n_s).unwrap_or(usize::MAX);
+    let take = n_s_usize.min(usize::try_from(n).unwrap_or(usize::MAX));
+
+    // Lines 6-12: tentative selection among the n_s cheapest units.
+    if rule == SelectionRule::UniformEligible {
+        // Materialize the eligible units (value ≤ s) and shuffle the prefix
+        // so rank below the threshold carries no information.
+        let z = usize::try_from(z_s).unwrap_or(usize::MAX);
+        let mut left = z;
+        for &ri in &asks.sorted[lo..hi] {
+            if left == 0 {
+                break;
+            }
+            let c = usize::try_from(asks.rem[ri as usize])
+                .unwrap_or(usize::MAX)
+                .min(left);
+            for _ in 0..c {
+                ws.eligible.push(ri);
+            }
+            left -= c;
+        }
+        ws.eligible.shuffle(rng);
+        if n_s_usize <= qm {
+            ws.chosen.extend_from_slice(&ws.eligible[..take]);
+        } else {
+            let keep_p = qm as f64 / (2.0 * n_s as f64);
+            for &ri in &ws.eligible[..take] {
+                if rng.gen_bool(keep_p) {
+                    ws.chosen.push(ri);
+                }
+            }
+        }
+    } else if n_s_usize <= qm {
+        let mut left = take;
+        for &ri in &asks.sorted[lo..hi] {
+            if left == 0 {
+                break;
+            }
+            let c = usize::try_from(asks.rem[ri as usize])
+                .unwrap_or(usize::MAX)
+                .min(left);
+            for _ in 0..c {
+                ws.chosen.push(ri);
+            }
+            left -= c;
+        }
+    } else {
+        let keep_p = qm as f64 / (2.0 * n_s as f64);
+        let mut left = take;
+        for &ri in &asks.sorted[lo..hi] {
+            let mut rem = usize::try_from(asks.rem[ri as usize]).unwrap_or(usize::MAX);
+            while rem > 0 && left > 0 {
+                if rng.gen_bool(keep_p) {
+                    ws.chosen.push(ri);
+                }
+                rem -= 1;
+                left -= 1;
+            }
+            if left == 0 {
+                break;
+            }
+        }
+    }
+
+    // Lines 13-16: (q+mᵢ+1)-st price fallback if still too many.
+    let mut price = s;
+    let mut price_from_fallback = false;
+    if ws.chosen.len() > qm {
+        if rule == SelectionRule::UniformEligible {
+            // Restore ascending value order so the fallback keeps the
+            // paper's "smallest q+mᵢ" semantics (individual rationality).
+            let values = &asks.values;
+            ws.chosen.sort_unstable_by(|&x, &y| {
+                values[x as usize]
+                    .partial_cmp(&values[y as usize])
+                    .expect("finite asks compare")
+                    .then(x.cmp(&y))
+            });
+        }
+        price = asks.values[ws.chosen[qm] as usize];
+        price_from_fallback = true;
+        ws.chosen.truncate(qm);
+    }
+
+    // Lines 17-19: thin to exactly q winners. A partial Fisher-Yates pass
+    // draws a uniform q-subset in place, allocation-free.
+    let q_usize = usize::try_from(q).unwrap_or(usize::MAX);
+    if ws.chosen.len() > q_usize {
+        let len = ws.chosen.len();
+        for i in 0..q_usize {
+            let j = rng.gen_range(i..len);
+            ws.chosen.swap(i, j);
+        }
+        ws.chosen.truncate(q_usize);
+    }
+
+    let num_winners = ws.chosen.len();
+    RoundReport {
+        unit_asks: n,
+        num_winners,
+        clearing_price: if num_winners > 0 { price } else { 0.0 },
+        diagnostics: CraDiagnostics {
+            sample_size,
+            threshold: Some(s),
+            raw_count: z_s,
+            consensus_count: n_s,
+            price_from_fallback,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rit_model::TaskTypeId;
+
+    fn t(i: u32) -> TaskTypeId {
+        TaskTypeId::new(i)
+    }
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rebuild_groups_by_type_in_user_order() {
+        let asks = vec![
+            Ask::new(t(1), 2, 3.0).unwrap(),
+            Ask::new(t(0), 4, 2.0).unwrap(),
+            Ask::new(t(1), 1, 1.0).unwrap(),
+            Ask::new(t(7), 1, 1.0).unwrap(), // outside the job: dropped
+        ];
+        let mut c = CompactAsks::new();
+        c.rebuild(2, &asks, None);
+        assert_eq!(c.num_types(), 2);
+        assert_eq!(c.num_runs(), 3);
+        assert_eq!(c.active_units(0), 4);
+        assert_eq!(c.active_units(1), 3);
+        // Type 0 segment: run for user 1. Type 1 segment: users 0, 2.
+        assert_eq!(c.owner(0), 1);
+        assert_eq!(c.owner(1), 0);
+        assert_eq!(c.owner(2), 2);
+        assert_eq!(c.value(1), 3.0);
+        assert_eq!(c.remaining(1), 2);
+    }
+
+    #[test]
+    fn eligibility_mask_drops_runs() {
+        let asks = vec![
+            Ask::new(t(0), 2, 3.0).unwrap(),
+            Ask::new(t(0), 4, 2.0).unwrap(),
+        ];
+        let mut c = CompactAsks::new();
+        c.rebuild(1, &asks, Some(&[false, true]));
+        assert_eq!(c.num_runs(), 1);
+        assert_eq!(c.owner(0), 1);
+        assert_eq!(c.active_units(0), 4);
+    }
+
+    #[test]
+    fn consume_and_reset_track_quantities() {
+        let asks = vec![Ask::new(t(0), 3, 2.0).unwrap()];
+        let mut c = CompactAsks::new();
+        c.rebuild(1, &asks, None);
+        c.consume(0, 0);
+        c.consume(0, 0);
+        assert_eq!(c.remaining(0), 1);
+        assert_eq!(c.active_units(0), 1);
+        c.reset();
+        assert_eq!(c.remaining(0), 3);
+        assert_eq!(c.active_units(0), 3);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_across_shapes() {
+        let mut c = CompactAsks::new();
+        let big: Vec<Ask> = (0..50)
+            .map(|i| Ask::new(t(i % 3), 2, 1.0 + f64::from(i)).unwrap())
+            .collect();
+        c.rebuild(3, &big, None);
+        assert_eq!(c.num_runs(), 50);
+        let small = vec![Ask::new(t(0), 1, 5.0).unwrap()];
+        c.rebuild(1, &small, None);
+        assert_eq!(c.num_types(), 1);
+        assert_eq!(c.num_runs(), 1);
+        assert_eq!(c.active_units(0), 1);
+        assert_eq!(c.value(0), 5.0);
+    }
+
+    #[test]
+    fn run_round_respects_q_and_individual_rationality() {
+        let asks: Vec<Ask> = (0..60)
+            .map(|i| Ask::new(t(0), 1 + u64::from(i % 4), 0.1 + f64::from(i) * 0.13).unwrap())
+            .collect();
+        let mut c = CompactAsks::new();
+        c.rebuild(1, &asks, None);
+        let mut ws = AuctionWorkspace::new();
+        for seed in 0..200 {
+            c.reset();
+            let report = run_round(
+                &c,
+                0,
+                7,
+                10,
+                SelectionRule::SmallestFirst,
+                &mut ws,
+                &mut rng(seed),
+            );
+            assert!(report.num_winners <= 7);
+            assert_eq!(report.num_winners, ws.winners().len());
+            for &r in ws.winners() {
+                assert!(c.value(r) <= report.clearing_price + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_runs_have_identity_owners() {
+        let c = CompactAsks::from_unit_values(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.num_types(), 1);
+        assert_eq!(c.active_units(0), 3);
+        for r in 0..3 {
+            assert_eq!(c.owner(r), r as usize);
+            assert_eq!(c.remaining(r), 1);
+        }
+    }
+
+    #[test]
+    fn empty_type_or_zero_q_is_a_noop_round() {
+        let c = CompactAsks::from_unit_values(&[]);
+        let mut ws = AuctionWorkspace::new();
+        let report = run_round(
+            &c,
+            0,
+            5,
+            5,
+            SelectionRule::SmallestFirst,
+            &mut ws,
+            &mut rng(1),
+        );
+        assert_eq!(report.num_winners, 0);
+        assert_eq!(report.unit_asks, 0);
+        let c = CompactAsks::from_unit_values(&[1.0]);
+        let report = run_round(
+            &c,
+            0,
+            0,
+            5,
+            SelectionRule::SmallestFirst,
+            &mut ws,
+            &mut rng(1),
+        );
+        assert_eq!(report.num_winners, 0);
+    }
+}

@@ -4,6 +4,12 @@
 //! asks `(tⱼ, kⱼ, aⱼ)`. `Extract(τᵢ, A)` expands each ask of type `τᵢ` into
 //! `kⱼ` unit asks of value `aⱼ` and records the provenance map
 //! `λ(ω) = j`, so auction results can be folded back onto users.
+//!
+//! This is the reference (materializing) form of the expansion. The hot path
+//! in [`crate::engine`] keeps the run-length form instead — one
+//! `(value, owner, remaining)` run per user — and never materializes the
+//! units; both enumerate units in the same per-user order, so outcomes and
+//! RNG draws agree exactly.
 
 use rit_model::{Ask, TaskTypeId};
 

@@ -82,7 +82,9 @@ pub fn lowest_price_auction(asks: &[f64], slots: usize) -> KthPriceOutcome {
         };
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
+    // Unstable sort avoids the stable sort's scratch allocation; the
+    // (value, index) key is a total order, so the result is deterministic.
+    order.sort_unstable_by(|&a, &b| {
         asks[a]
             .partial_cmp(&asks[b])
             .expect("finite asks compare")

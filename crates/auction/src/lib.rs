@@ -11,6 +11,9 @@
 //!   price, `k`-truthful with high probability (Lemma 6.2);
 //! * [`extract`] — **Algorithm 2**: expands per-user asks `(tⱼ, kⱼ, aⱼ)`
 //!   into unit asks with a provenance map `λ`;
+//! * [`engine`] — the allocation-free auction engine: CRA over run-length
+//!   unit asks ([`engine::CompactAsks`]) with reusable scratch buffers
+//!   ([`engine::AuctionWorkspace`]); [`cra`] is a thin wrapper over it;
 //! * [`kth_price`] — the classic `k`-th lowest price procurement auction,
 //!   used by the paper's §4 design-challenge counterexamples;
 //! * [`bounds`] — the Lemma 6.2 truthfulness probability, `η = H^(1/m)`,
@@ -38,5 +41,6 @@
 pub mod bounds;
 pub mod consensus;
 pub mod cra;
+pub mod engine;
 pub mod extract;
 pub mod kth_price;

@@ -2,13 +2,26 @@
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rit_auction::consensus::Lattice;
+use rit_auction::engine::{self, AuctionWorkspace, CompactAsks};
 use rit_auction::{cra, extract, kth_price};
 use rit_model::{Ask, TaskTypeId};
 
 fn arb_asks() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.01f64..100.0, 0..80)
+}
+
+/// Bundled asks with duplicated prices so tie-breaking is exercised.
+fn arb_bundled_asks() -> impl Strategy<Value = Vec<Ask>> {
+    prop::collection::vec((1u64..6, 1u32..40), 1..40).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(k, tenths)| {
+                Ask::new(TaskTypeId::new(0), k, f64::from(tenths) * 0.1).unwrap()
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -104,6 +117,95 @@ proptest! {
         prop_assert_eq!(out.diagnostics().threshold, rank.diagnostics().threshold);
         prop_assert_eq!(out.diagnostics().raw_count, rank.diagnostics().raw_count);
         prop_assert_eq!(out.diagnostics().consensus_count, rank.diagnostics().consensus_count);
+    }
+
+    // ---- engine/legacy equivalence -----------------------------------------
+
+    #[test]
+    fn engine_grouped_runs_match_flat_cra_exactly(
+        asks in arb_bundled_asks(),
+        q in 1u64..40,
+        m_i in 0u64..30,
+        uniform in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use rit_auction::cra::SelectionRule;
+        let rule = if uniform { SelectionRule::UniformEligible } else { SelectionRule::SmallestFirst };
+
+        // Engine path: run-length runs built from the bundled asks.
+        let mut compact = CompactAsks::new();
+        compact.rebuild(1, &asks, None);
+        let mut ws = AuctionWorkspace::new();
+        let mut rng_engine = SmallRng::seed_from_u64(seed);
+        let report = engine::run_round(&compact, 0, q, m_i, rule, &mut ws, &mut rng_engine);
+
+        // Legacy path: Extract to flat unit asks, then the cra wrapper.
+        let flat = extract::extract(TaskTypeId::new(0), &asks);
+        let mut rng_flat = SmallRng::seed_from_u64(seed);
+        let out = cra::run_with_rule(flat.values(), q, m_i, rule, &mut rng_flat);
+
+        // Identical prices, counts, and diagnostics...
+        prop_assert_eq!(report.clearing_price, out.clearing_price());
+        prop_assert_eq!(report.num_winners, out.num_winners());
+        prop_assert_eq!(&report.diagnostics, out.diagnostics());
+        prop_assert_eq!(report.unit_asks as usize, flat.len());
+        // ...identical per-user win counts...
+        let mut engine_wins = vec![0u64; asks.len()];
+        for &r in ws.winners() {
+            engine_wins[compact.owner(r)] += 1;
+        }
+        let mut flat_wins = vec![0u64; asks.len()];
+        for w in out.winner_indices() {
+            flat_wins[flat.owner(w)] += 1;
+        }
+        prop_assert_eq!(engine_wins, flat_wins);
+        // ...and identical RNG draw counts (the streams stay in lockstep).
+        prop_assert_eq!(rng_engine.gen::<u64>(), rng_flat.gen::<u64>());
+    }
+
+    #[test]
+    fn engine_consume_matches_re_extraction(
+        asks in arb_bundled_asks(),
+        q0 in 1u64..20,
+        seed in any::<u64>(),
+    ) {
+        use rit_auction::cra::SelectionRule;
+        // Two consecutive rounds: the engine consumes winners in place, the
+        // legacy path re-extracts with shrunken remaining quantities. Both
+        // must agree round by round.
+        let m_i = q0;
+        let mut compact = CompactAsks::new();
+        compact.rebuild(1, &asks, None);
+        let mut ws = AuctionWorkspace::new();
+        let mut rng_engine = SmallRng::seed_from_u64(seed);
+
+        let mut remaining: Vec<u64> = asks.iter().map(Ask::quantity).collect();
+        let mut rng_flat = SmallRng::seed_from_u64(seed);
+        let mut q = q0;
+        for _ in 0..2 {
+            if q == 0 || compact.active_units(0) == 0 {
+                break;
+            }
+            let report = engine::run_round(
+                &compact, 0, q, m_i, SelectionRule::SmallestFirst, &mut ws, &mut rng_engine,
+            );
+            let flat = extract::extract_with_quantities(TaskTypeId::new(0), &asks, &remaining);
+            let out = cra::run_with_rule(flat.values(), q, m_i, SelectionRule::SmallestFirst, &mut rng_flat);
+            prop_assert_eq!(report.num_winners, out.num_winners());
+            prop_assert_eq!(report.clearing_price, out.clearing_price());
+            let mut engine_wins = vec![0u64; asks.len()];
+            for &r in ws.winners() {
+                engine_wins[compact.owner(r)] += 1;
+                compact.consume(0, r);
+                q -= 1;
+            }
+            let mut flat_wins = vec![0u64; asks.len()];
+            for w in out.winner_indices() {
+                flat_wins[flat.owner(w)] += 1;
+                remaining[flat.owner(w)] -= 1;
+            }
+            prop_assert_eq!(engine_wins, flat_wins);
+        }
     }
 
     // ---- Extract -----------------------------------------------------------

@@ -1,0 +1,137 @@
+//! Engine vs legacy loop — the payoff of the run-length auction engine.
+//!
+//! Three arms over a Fig 8-scale workload (N = 20,000 users, 10 types of
+//! `mᵢ = 1,000` tasks):
+//!
+//! * `legacy_extract_loop`: the pre-engine auction phase, re-materializing
+//!   the flat unit-ask vector every round via the public `extract` + `cra`
+//!   APIs (kept here as the measurement baseline);
+//! * `engine_fresh_workspace`: the engine path through a fresh
+//!   [`rit_core::RitWorkspace`] each run (first-run cost included);
+//! * `engine_warm_workspace`: the steady-state path — one workspace reused
+//!   across iterations, zero per-round allocation.
+//!
+//! The setup asserts outcome equality between the arms on one seed before
+//! timing, so the speedup is never measured against a diverged baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rit_auction::{cra, extract};
+use rit_bench::BenchWorld;
+use rit_core::{NoopObserver, RitWorkspace};
+use rit_model::{Ask, Job};
+use std::hint::black_box;
+
+/// The pre-engine auction phase (until-stall semantics, matching
+/// `RoundLimit::until_stall()`): per round, materialize the remaining unit
+/// asks and hand them to the CRA wrapper.
+fn legacy_auction_phase<R: Rng + ?Sized>(
+    job: &Job,
+    asks: &[Ask],
+    rule: cra::SelectionRule,
+    rng: &mut R,
+) -> (Vec<u64>, Vec<f64>, Vec<u32>, Vec<u64>) {
+    let (max_rounds, max_stall) = (256u32, 8u32);
+    let n = asks.len();
+    let mut allocation = vec![0u64; n];
+    let mut payments = vec![0.0f64; n];
+    let mut remaining: Vec<u64> = asks.iter().map(Ask::quantity).collect();
+    let mut rounds_used = Vec::new();
+    let mut unallocated = Vec::new();
+
+    for (task_type, m_i) in job.iter() {
+        if m_i == 0 {
+            rounds_used.push(0);
+            unallocated.push(0);
+            continue;
+        }
+        let mut q = m_i;
+        let mut rounds = 0u32;
+        let mut stall = 0u32;
+        while q > 0 && rounds < max_rounds && stall < max_stall {
+            let alpha = extract::extract_with_quantities(task_type, asks, &remaining);
+            if alpha.is_empty() {
+                break;
+            }
+            let out = cra::run_with_rule(alpha.values(), q, m_i, rule, rng);
+            let price = out.clearing_price();
+            let mut progressed = false;
+            for omega in out.winner_indices() {
+                let j = alpha.owner(omega);
+                allocation[j] += 1;
+                payments[j] += price;
+                remaining[j] -= 1;
+                q -= 1;
+                progressed = true;
+            }
+            rounds += 1;
+            stall = if progressed { 0 } else { stall + 1 };
+        }
+        rounds_used.push(rounds);
+        unallocated.push(q);
+    }
+    (allocation, payments, rounds_used, unallocated)
+}
+
+fn engine_vs_legacy(c: &mut Criterion) {
+    let world = BenchWorld::paper(20_000, 1_000, 42);
+    let rule = world.rit.config().selection_rule;
+
+    // Sanity: the arms must agree before their speed is compared.
+    let phase = world
+        .rit
+        .run_auction_phase(&world.job, &world.asks, &mut world.rng(7))
+        .expect("aligned world");
+    let (allocation, payments, rounds_used, unallocated) =
+        legacy_auction_phase(&world.job, &world.asks, rule, &mut world.rng(7));
+    assert_eq!(phase.allocation, allocation, "engine diverged from legacy");
+    assert_eq!(phase.auction_payments, payments);
+    assert_eq!(phase.rounds_used, rounds_used);
+    assert_eq!(phase.unallocated, unallocated);
+
+    let mut group = c.benchmark_group("engine_vs_legacy");
+    group.sample_size(10);
+
+    group.bench_function("legacy_extract_loop", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = world.rng(seed);
+            black_box(legacy_auction_phase(&world.job, &world.asks, rule, &mut rng))
+        });
+    });
+
+    group.bench_function("engine_fresh_workspace", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = world.rng(seed);
+            black_box(
+                world
+                    .rit
+                    .run_auction_phase(&world.job, &world.asks, &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("engine_warm_workspace", |b| {
+        let mut ws = RitWorkspace::new();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = world.rng(seed);
+            black_box(
+                world
+                    .rit
+                    .run_auction_phase_with(&world.job, &world.asks, &mut ws, &mut NoopObserver, &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, engine_vs_legacy);
+criterion_main!(benches);

@@ -62,6 +62,8 @@
 //! | [`payment`] | Algorithm 3, Lines 22–28 (payment determination) |
 //! | [`config`] | `H`, log base, round-budget policy |
 //! | [`outcome`] | `x`, `p^A`, `p`, utilities |
+//! | [`observer`] | zero-cost hooks into the auction-phase engine loop |
+//! | [`workspace`] | reusable scratch buffers for allocation-free reruns |
 //! | [`trace`] | per-round execution diagnostics of the auction phase |
 //! | [`recruitment`] | Remark 6.1 solicitation thresholds |
 //! | [`probes`] | Monte-Carlo deviation probes with significance reporting |
@@ -79,6 +81,7 @@ pub mod darpa;
 mod error;
 pub mod mechanism;
 pub mod naive;
+pub mod observer;
 pub mod outcome;
 pub mod payment;
 pub mod probes;
@@ -87,8 +90,12 @@ pub mod recruitment;
 pub mod referral;
 pub mod sybil_exec;
 pub mod trace;
+pub mod workspace;
 
 pub use config::{RitConfig, RoundLimit};
 pub use error::RitError;
 pub use mechanism::{AuctionPhaseResult, Rit};
+pub use observer::{AuctionObserver, NoopObserver};
 pub use outcome::RitOutcome;
+pub use trace::TraceObserver;
+pub use workspace::RitWorkspace;

@@ -2,12 +2,17 @@
 //!
 //! `RIT(J, A, T, H)` runs in two phases:
 //!
-//! **Auction phase.** For each task type `τᵢ`, repeatedly `Extract` the
-//! not-yet-won unit asks and run [`rit_auction::cra`] to allocate the
-//! remaining `q` tasks, up to the per-type round budget (see
-//! [`crate::RoundLimit`]). Each winning unit ask allocates one task to its
-//! owner and adds the round's clearing price to the owner's auction payment
-//! `p^Aⱼ`.
+//! **Auction phase.** Build the run-length unit-ask table
+//! ([`rit_auction::engine::CompactAsks`]) once, then for each task type
+//! `τᵢ` repeatedly run a CRA round ([`rit_auction::engine::run_round`])
+//! over the not-yet-won units to allocate the remaining `q` tasks, up to
+//! the per-type round budget (see [`crate::RoundLimit`]). Each winning unit
+//! allocates one task to its owner and adds the round's clearing price to
+//! the owner's auction payment `p^Aⱼ`. This is outcome- and draw-for-draw
+//! RNG-equivalent to the paper's materializing `Extract` + CRA loop (the
+//! `engine_equivalence` integration tests pin this), but touches only
+//! per-user state per round and allocates nothing once a
+//! [`crate::RitWorkspace`] is warm.
 //!
 //! **Payment determination phase.** If *every* task of the job was
 //! allocated, final payments are computed by [`crate::payment`]; otherwise
@@ -17,10 +22,13 @@
 use rand::Rng;
 
 use rit_auction::bounds::{self, WorstCaseQ};
-use rit_auction::{cra, extract};
+use rit_auction::engine;
 use rit_model::{Ask, Job};
 use rit_tree::IncentiveTree;
 
+use crate::observer::{AuctionObserver, NoopObserver};
+use crate::trace::{RoundTrace, TraceObserver, TypeTrace};
+use crate::workspace::RitWorkspace;
 use crate::{payment, RitConfig, RitError, RitOutcome, RoundLimit};
 
 /// The Robust Incentive Tree mechanism.
@@ -92,6 +100,26 @@ impl Rit {
         asks: &[Ask],
         rng: &mut R,
     ) -> Result<RitOutcome, RitError> {
+        let mut ws = RitWorkspace::new();
+        self.run_with_workspace(job, tree, asks, &mut ws, rng)
+    }
+
+    /// Like [`Rit::run`], reusing the scratch buffers in `ws`. Repeated runs
+    /// through the same workspace allocate nothing in the auction phase once
+    /// the buffers are warm; outcomes are bit-identical to [`Rit::run`] for
+    /// the same RNG state, regardless of what the workspace ran before.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rit::run`].
+    pub fn run_with_workspace<R: Rng + ?Sized>(
+        &self,
+        job: &Job,
+        tree: &IncentiveTree,
+        asks: &[Ask],
+        ws: &mut RitWorkspace,
+        rng: &mut R,
+    ) -> Result<RitOutcome, RitError> {
         let n = tree.num_users();
         if asks.len() != n {
             return Err(RitError::AskCountMismatch {
@@ -99,7 +127,7 @@ impl Rit {
                 users: n,
             });
         }
-        let phase = self.run_auction_phase(job, asks, rng)?;
+        let phase = self.auction_phase_with(job, asks, None, ws, &mut NoopObserver, rng)?;
         Ok(self.determine_final_payments(tree, asks, phase))
     }
 
@@ -117,7 +145,27 @@ impl Rit {
         asks: &[Ask],
         rng: &mut R,
     ) -> Result<AuctionPhaseResult, RitError> {
-        self.auction_phase_impl(job, asks, None, rng, None)
+        let mut ws = RitWorkspace::new();
+        self.auction_phase_with(job, asks, None, &mut ws, &mut NoopObserver, rng)
+    }
+
+    /// Auction phase with a caller-provided workspace and
+    /// [`AuctionObserver`] — the fully general entry point the others wrap.
+    /// The observer receives type boundaries and per-round results as they
+    /// happen; it never affects the outcome (observers draw no randomness).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rit::run_auction_phase`].
+    pub fn run_auction_phase_with<R: Rng + ?Sized, O: AuctionObserver>(
+        &self,
+        job: &Job,
+        asks: &[Ask],
+        ws: &mut RitWorkspace,
+        observer: &mut O,
+        rng: &mut R,
+    ) -> Result<AuctionPhaseResult, RitError> {
+        self.auction_phase_with(job, asks, None, ws, observer, rng)
     }
 
     /// Auction phase with a quality-eligibility mask (see
@@ -129,12 +177,14 @@ impl Rit {
         eligible: &[bool],
         rng: &mut R,
     ) -> Result<AuctionPhaseResult, RitError> {
-        self.auction_phase_impl(job, asks, Some(eligible), rng, None)
+        let mut ws = RitWorkspace::new();
+        self.auction_phase_with(job, asks, Some(eligible), &mut ws, &mut NoopObserver, rng)
     }
 
     /// Like [`Rit::run_auction_phase`], additionally recording one
     /// [`crate::trace::TypeTrace`] per task type with per-round CRA
-    /// diagnostics — see [`crate::trace`].
+    /// diagnostics — see [`crate::trace`]. Sugar for
+    /// [`Rit::run_auction_phase_with`] and a [`TraceObserver`].
     ///
     /// The traced and untraced entry points consume randomness identically:
     /// given the same RNG state they produce the same
@@ -148,19 +198,24 @@ impl Rit {
         job: &Job,
         asks: &[Ask],
         rng: &mut R,
-    ) -> Result<(AuctionPhaseResult, Vec<crate::trace::TypeTrace>), RitError> {
-        let mut traces = Vec::with_capacity(job.num_types());
-        let result = self.auction_phase_impl(job, asks, None, rng, Some(&mut traces))?;
-        Ok((result, traces))
+    ) -> Result<(AuctionPhaseResult, Vec<TypeTrace>), RitError> {
+        let mut ws = RitWorkspace::new();
+        let mut observer = TraceObserver::with_capacity(job.num_types());
+        let result = self.auction_phase_with(job, asks, None, &mut ws, &mut observer, rng)?;
+        Ok((result, observer.into_traces()))
     }
 
-    fn auction_phase_impl<R: Rng + ?Sized>(
+    /// The single auction-phase implementation: builds the run-length ask
+    /// table once, then drives [`engine::run_round`] per type, folding
+    /// winners back onto users in place (no per-round re-extraction).
+    fn auction_phase_with<R: Rng + ?Sized, O: AuctionObserver>(
         &self,
         job: &Job,
         asks: &[Ask],
         eligible: Option<&[bool]>,
+        ws: &mut RitWorkspace,
+        observer: &mut O,
         rng: &mut R,
-        mut traces: Option<&mut Vec<crate::trace::TypeTrace>>,
     ) -> Result<AuctionPhaseResult, RitError> {
         let n = asks.len();
         let k_max = self
@@ -171,83 +226,65 @@ impl Rit {
         let num_types = job.num_types();
         let eta = bounds::per_type_target(self.config.h, num_types.max(1));
 
+        // One pass over the asks; afterwards rounds only decrement the
+        // per-run `remaining` counters.
+        ws.compact.rebuild(num_types, asks, eligible);
+
         let mut allocation = vec![0u64; n];
         let mut auction_payments = vec![0.0f64; n];
-        let mut remaining: Vec<u64> = asks
-            .iter()
-            .enumerate()
-            .map(|(j, a)| {
-                if eligible.is_none_or(|e| e[j]) {
-                    a.quantity()
-                } else {
-                    0
-                }
-            })
-            .collect();
         let mut rounds_used = Vec::with_capacity(num_types);
         let mut unallocated = Vec::with_capacity(num_types);
 
-        for (task_type, m_i) in job.iter() {
+        for (t, (task_type, m_i)) in job.iter().enumerate() {
             if m_i == 0 {
+                observer.type_start(task_type, 0, None);
+                observer.type_end();
                 rounds_used.push(0);
                 unallocated.push(0);
-                if let Some(traces) = traces.as_deref_mut() {
-                    traces.push(crate::trace::TypeTrace {
-                        task_type,
-                        tasks: 0,
-                        budget: None,
-                        rounds: Vec::new(),
-                    });
-                }
                 continue;
             }
             let budget = self.round_budget(task_type, m_i, k_max, eta)?;
-            let mut type_rounds: Vec<crate::trace::RoundTrace> = Vec::new();
+            observer.type_start(task_type, m_i, budget);
 
             let mut q = m_i;
             let mut rounds = 0u32;
             let mut stall = 0u32;
             while q > 0 && self.may_continue(budget, rounds, stall) {
-                let alpha = extract::extract_with_quantities(task_type, asks, &remaining);
-                if alpha.is_empty() {
+                if ws.compact.active_units(t) == 0 {
                     break;
                 }
                 let q_before = q;
-                let out =
-                    cra::run_with_rule(alpha.values(), q, m_i, self.config.selection_rule, rng);
-                let price = out.clearing_price();
-                let mut progressed = false;
-                for omega in out.winner_indices() {
-                    let j = alpha.owner(omega);
+                let report = engine::run_round(
+                    &ws.compact,
+                    t,
+                    q,
+                    m_i,
+                    self.config.selection_rule,
+                    &mut ws.auction,
+                    rng,
+                );
+                let price = report.clearing_price;
+                for &r in ws.auction.winners() {
+                    let j = ws.compact.owner(r);
                     allocation[j] += 1;
                     auction_payments[j] += price;
-                    remaining[j] -= 1;
+                    ws.compact.consume(t, r);
                     q -= 1;
-                    progressed = true;
                 }
-                if traces.is_some() {
-                    type_rounds.push(crate::trace::RoundTrace {
-                        round: rounds,
-                        q_before,
-                        unit_asks: alpha.len(),
-                        winners: out.num_winners(),
-                        clearing_price: price,
-                        diagnostics: *out.diagnostics(),
-                    });
-                }
+                observer.round(&RoundTrace {
+                    round: rounds,
+                    q_before,
+                    unit_asks: usize::try_from(report.unit_asks).unwrap_or(usize::MAX),
+                    winners: report.num_winners,
+                    clearing_price: price,
+                    diagnostics: report.diagnostics,
+                });
                 rounds += 1;
-                stall = if progressed { 0 } else { stall + 1 };
+                stall = if report.num_winners > 0 { 0 } else { stall + 1 };
             }
+            observer.type_end();
             rounds_used.push(rounds);
             unallocated.push(q);
-            if let Some(traces) = traces.as_deref_mut() {
-                traces.push(crate::trace::TypeTrace {
-                    task_type,
-                    tasks: m_i,
-                    budget,
-                    rounds: std::mem::take(&mut type_rounds),
-                });
-            }
         }
 
         Ok(AuctionPhaseResult {
@@ -566,6 +603,50 @@ mod tests {
         let a = rit.run(&job, &tree, &asks, &mut rng(9)).unwrap();
         let b = rit.run(&job, &tree, &asks, &mut rng(9)).unwrap();
         assert_eq!(a, b);
+        // A caller-provided workspace is pure capacity: same outcome.
+        let mut ws = crate::RitWorkspace::new();
+        let c = rit
+            .run_with_workspace(&job, &tree, &asks, &mut ws, &mut rng(9))
+            .unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        // Run scenario A, a differently shaped B, then A again through ONE
+        // workspace; every outcome must equal a fresh-workspace run.
+        let (job_a, tree_a, asks_a, _) = scenario(500, 120, 41);
+        let mut r = rng(43);
+        let job_b = Job::from_counts(vec![40, 0, 60]).unwrap();
+        let tree_b = generate::uniform_recursive(300, &mut r);
+        let config = rit_model::workload::WorkloadConfig {
+            num_types: 3,
+            capacity_max: 3,
+            cost_max: 8.0,
+        };
+        let asks_b = config
+            .sample_population(300, &mut r)
+            .unwrap()
+            .truthful_asks()
+            .into_vec();
+
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let mut ws = crate::RitWorkspace::new();
+        for (seed, (job, tree, asks)) in [
+            (51u64, (&job_a, &tree_a, &asks_a)),
+            (52, (&job_b, &tree_b, &asks_b)),
+            (53, (&job_a, &tree_a, &asks_a)),
+        ] {
+            let warm = rit
+                .run_with_workspace(job, tree, asks, &mut ws, &mut rng(seed))
+                .unwrap();
+            let fresh = rit.run(job, tree, asks, &mut rng(seed)).unwrap();
+            assert_eq!(warm, fresh, "dirty workspace perturbed seed {seed}");
+        }
     }
 
     #[test]

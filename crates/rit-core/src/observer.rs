@@ -1,0 +1,104 @@
+//! Zero-cost observation of the auction phase.
+//!
+//! The traced, untraced, and screened entry points of [`crate::Rit`] used to
+//! be separate plumbing (`Option<&mut Vec<TypeTrace>>` threaded through a
+//! private implementation). They now share **one** code path, parameterized
+//! by an [`AuctionObserver`]: the mechanism reports type boundaries and
+//! per-round results to the observer, and the observer decides what to keep.
+//!
+//! [`NoopObserver`] is the default; its empty methods inline away, so the
+//! untraced path pays nothing for the hook. [`crate::trace::TraceObserver`]
+//! records full [`crate::trace::TypeTrace`]s; [`crate::probes`] aggregates
+//! lightweight round statistics. Observers never draw randomness, so
+//! **every observer sees — and every entry point produces — the same
+//! allocation for the same RNG state** (the invariant the
+//! `traced_run_matches_untraced_and_is_coherent` test pins).
+
+use rit_model::TaskTypeId;
+
+use crate::trace::RoundTrace;
+
+/// Receives auction-phase events from [`crate::Rit`]'s engine loop.
+///
+/// All methods default to no-ops, so an observer only implements what it
+/// needs. Calls arrive strictly as, per task type:
+/// `type_start`, then one `round` per CRA round, then `type_end` — types in
+/// job order, exactly once each (zero-task types produce an empty
+/// `type_start`/`type_end` pair with no rounds).
+pub trait AuctionObserver {
+    /// A task type's round loop is about to start. `budget` is the a-priori
+    /// round budget (`None` for zero-task types and in until-stall mode).
+    fn type_start(&mut self, task_type: TaskTypeId, tasks: u64, budget: Option<u32>) {
+        let _ = (task_type, tasks, budget);
+    }
+
+    /// One CRA round finished (winners already applied).
+    fn round(&mut self, round: &RoundTrace) {
+        let _ = round;
+    }
+
+    /// The current task type's round loop finished.
+    fn type_end(&mut self) {}
+}
+
+/// The do-nothing observer: the untraced fast path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl AuctionObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rit_auction::cra::CraDiagnostics;
+
+    #[derive(Default)]
+    struct Counter {
+        starts: usize,
+        rounds: usize,
+        ends: usize,
+    }
+
+    impl AuctionObserver for Counter {
+        fn type_start(&mut self, _t: TaskTypeId, _tasks: u64, _budget: Option<u32>) {
+            self.starts += 1;
+        }
+        fn round(&mut self, _r: &RoundTrace) {
+            self.rounds += 1;
+        }
+        fn type_end(&mut self) {
+            self.ends += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut noop = NoopObserver;
+        noop.type_start(TaskTypeId::new(0), 5, Some(3));
+        noop.round(&RoundTrace {
+            round: 0,
+            q_before: 5,
+            unit_asks: 10,
+            winners: 2,
+            clearing_price: 1.0,
+            diagnostics: CraDiagnostics::default(),
+        });
+        noop.type_end();
+    }
+
+    #[test]
+    fn custom_observer_counts_events() {
+        let mut c = Counter::default();
+        c.type_start(TaskTypeId::new(0), 5, None);
+        c.round(&RoundTrace {
+            round: 0,
+            q_before: 5,
+            unit_asks: 10,
+            winners: 2,
+            clearing_price: 1.0,
+            diagnostics: CraDiagnostics::default(),
+        });
+        c.type_end();
+        assert_eq!((c.starts, c.rounds, c.ends), (1, 1, 1));
+    }
+}

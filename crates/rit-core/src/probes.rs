@@ -12,10 +12,13 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use rit_model::Ask;
+use rit_model::{Ask, TaskTypeId};
 use rit_tree::sybil::SybilPlan;
 use rit_tree::IncentiveTree;
 
+use crate::observer::AuctionObserver;
+use crate::trace::RoundTrace;
+use crate::workspace::RitWorkspace;
 use crate::{sybil_exec, Rit, RitError};
 
 /// Result of comparing a deviation against honesty over `runs` paired
@@ -93,15 +96,79 @@ pub struct ProbeScenario<'a> {
     pub unit_cost: f64,
 }
 
+/// Aggregate round pressure observed across one or more auction-phase runs:
+/// an [`AuctionObserver`] counting types, rounds, and zero-winner rounds.
+///
+/// Much lighter than full tracing — three counters instead of a
+/// [`crate::trace::TypeTrace`] per type — so it suits large Monte-Carlo
+/// sweeps where only "how hard did the auction work" matters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundActivity {
+    /// Task types entered (summed over replications).
+    pub types: u64,
+    /// CRA rounds executed.
+    pub rounds: u64,
+    /// Rounds that selected no winner (the stall signal of
+    /// [`crate::RoundLimit::UntilStall`]).
+    pub empty_rounds: u64,
+}
+
+impl RoundActivity {
+    /// Share of rounds that allocated nothing (0 when no rounds ran).
+    #[must_use]
+    pub fn empty_share(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.empty_rounds as f64 / self.rounds as f64
+        }
+    }
+}
+
+impl AuctionObserver for RoundActivity {
+    fn type_start(&mut self, _task_type: TaskTypeId, _tasks: u64, _budget: Option<u32>) {
+        self.types += 1;
+    }
+
+    fn round(&mut self, round: &RoundTrace) {
+        self.rounds += 1;
+        if round.winners == 0 {
+            self.empty_rounds += 1;
+        }
+    }
+}
+
 impl ProbeScenario<'_> {
     fn honest_utilities(&self, runs: usize, seed: u64) -> Result<Vec<f64>, RitError> {
+        let mut ws = RitWorkspace::new();
         (0..runs)
             .map(|r| {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-                let out = self.rit.run(self.job, self.tree, self.asks, &mut rng)?;
+                let out = self
+                    .rit
+                    .run_with_workspace(self.job, self.tree, self.asks, &mut ws, &mut rng)?;
                 Ok(out.utility(self.user, self.unit_cost))
             })
             .collect()
+    }
+
+    /// Measures the auction-phase round pressure of the honest scenario
+    /// across `runs` replications (same seed schedule as the deviation
+    /// probes): how many CRA rounds the job needs and how often a round
+    /// stalls. Useful when tuning [`crate::RoundLimit`] budgets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mechanism errors.
+    pub fn round_activity(&self, runs: usize, seed: u64) -> Result<RoundActivity, RitError> {
+        let mut ws = RitWorkspace::new();
+        let mut activity = RoundActivity::default();
+        for r in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
+            self.rit
+                .run_auction_phase_with(self.job, self.asks, &mut ws, &mut activity, &mut rng)?;
+        }
+        Ok(activity)
     }
 
     /// Probes a **price misreport**: the user bids `price_factor ×` its ask
@@ -125,10 +192,13 @@ impl ProbeScenario<'_> {
         asks[self.user] = asks[self.user]
             .with_unit_price(asks[self.user].unit_price() * price_factor)
             .expect("positive factor yields a valid price");
+        let mut ws = RitWorkspace::new();
         let deviant: Vec<f64> = (0..runs)
             .map(|r| {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-                let out = self.rit.run(self.job, self.tree, &asks, &mut rng)?;
+                let out = self
+                    .rit
+                    .run_with_workspace(self.job, self.tree, &asks, &mut ws, &mut rng)?;
                 Ok::<f64, RitError>(out.utility(self.user, self.unit_cost))
             })
             .collect::<Result<_, _>>()?;
@@ -157,10 +227,13 @@ impl ProbeScenario<'_> {
         asks[self.user] = asks[self.user]
             .with_quantity(quantity)
             .expect("positive quantity");
+        let mut ws = RitWorkspace::new();
         let deviant: Vec<f64> = (0..runs)
             .map(|r| {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-                let out = self.rit.run(self.job, self.tree, &asks, &mut rng)?;
+                let out = self
+                    .rit
+                    .run_with_workspace(self.job, self.tree, &asks, &mut ws, &mut rng)?;
                 Ok::<f64, RitError>(out.utility(self.user, self.unit_cost))
             })
             .collect::<Result<_, _>>()?;
@@ -182,6 +255,7 @@ impl ProbeScenario<'_> {
         seed: u64,
     ) -> Result<ProbeReport, RitError> {
         let honest = self.honest_utilities(runs, seed)?;
+        let mut ws = RitWorkspace::new();
         let mut deviant = Vec::with_capacity(runs);
         for r in 0..runs {
             let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
@@ -202,7 +276,9 @@ impl ProbeScenario<'_> {
                 plan,
                 &mut rng,
             )?;
-            let out = self.rit.run(self.job, &sc.tree, &sc.asks, &mut rng)?;
+            let out = self
+                .rit
+                .run_with_workspace(self.job, &sc.tree, &sc.asks, &mut ws, &mut rng)?;
             deviant.push(sc.attacker_utility(&out, self.unit_cost));
         }
         Ok(ProbeReport::from_samples(&honest, &deviant))
@@ -315,6 +391,36 @@ mod tests {
         assert!(
             report.deviation_not_profitable(3.0),
             "sybil wins: {report:?}"
+        );
+    }
+
+    #[test]
+    fn round_activity_counts_match_tracing() {
+        let (rit, job, tree, asks, costs) = world();
+        let scenario = ProbeScenario {
+            rit: &rit,
+            job: &job,
+            tree: &tree,
+            asks: &asks,
+            user: 0,
+            unit_cost: costs[0],
+        };
+        let act = scenario.round_activity(5, 3).unwrap();
+        assert_eq!(act.types, 5 * job.num_types() as u64);
+        assert!(act.rounds > 0);
+        assert!(act.empty_rounds <= act.rounds);
+        assert!((0.0..=1.0).contains(&act.empty_share()));
+        // Replication r = 0 uses seed 3 directly; the traced entry point on
+        // that seed must see the same rounds the aggregate counted.
+        let (_, traces) = rit
+            .run_auction_phase_traced(&job, &asks, &mut SmallRng::seed_from_u64(3))
+            .unwrap();
+        let traced_rounds: u64 = traces.iter().map(|t| t.rounds.len() as u64).sum();
+        let single = scenario.round_activity(1, 3).unwrap();
+        assert_eq!(single.rounds, traced_rounds);
+        assert_eq!(
+            single.empty_rounds,
+            traces.iter().map(|t| t.empty_rounds() as u64).sum::<u64>()
         );
     }
 

@@ -4,10 +4,14 @@
 //! (Remark 6.1) need to see *why* a run allocated what it did: how many
 //! rounds each type used, the per-round consensus counts, clearing prices,
 //! and where allocation stalled. [`crate::Rit::run_auction_phase_traced`]
-//! records one [`RoundTrace`] per CRA invocation.
+//! records one [`RoundTrace`] per CRA invocation; under the hood it is the
+//! [`TraceObserver`] attached to the engine loop via
+//! [`crate::observer::AuctionObserver`].
 
 use rit_auction::cra::CraDiagnostics;
 use rit_model::TaskTypeId;
+
+use crate::observer::AuctionObserver;
 
 /// One CRA round within the auction phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +73,63 @@ impl TypeTrace {
     }
 }
 
+/// An [`AuctionObserver`] that records the full auction-phase history: one
+/// [`TypeTrace`] per task type, each with its per-round [`RoundTrace`]s.
+///
+/// [`crate::Rit::run_auction_phase_traced`] is sugar for attaching a fresh
+/// `TraceObserver` to [`crate::Rit::run_auction_phase_with`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceObserver {
+    traces: Vec<TypeTrace>,
+}
+
+impl TraceObserver {
+    /// Creates an empty observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an observer with capacity for `num_types` type traces.
+    #[must_use]
+    pub fn with_capacity(num_types: usize) -> Self {
+        Self {
+            traces: Vec::with_capacity(num_types),
+        }
+    }
+
+    /// The traces recorded so far, one per observed task type.
+    #[must_use]
+    pub fn traces(&self) -> &[TypeTrace] {
+        &self.traces
+    }
+
+    /// Consumes the observer, yielding the recorded traces.
+    #[must_use]
+    pub fn into_traces(self) -> Vec<TypeTrace> {
+        self.traces
+    }
+}
+
+impl AuctionObserver for TraceObserver {
+    fn type_start(&mut self, task_type: TaskTypeId, tasks: u64, budget: Option<u32>) {
+        self.traces.push(TypeTrace {
+            task_type,
+            tasks,
+            budget,
+            rounds: Vec::new(),
+        });
+    }
+
+    fn round(&mut self, round: &RoundTrace) {
+        self.traces
+            .last_mut()
+            .expect("type_start precedes every round")
+            .rounds
+            .push(round.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +157,23 @@ mod tests {
         assert!(t.completed());
         assert_eq!(t.empty_rounds(), 1);
         assert_eq!(t.expenditure(), 16.0);
+    }
+
+    #[test]
+    fn trace_observer_groups_rounds_under_types() {
+        let mut obs = TraceObserver::with_capacity(2);
+        obs.type_start(TaskTypeId::new(0), 5, Some(4));
+        obs.round(&round(3, 2.0));
+        obs.round(&round(2, 1.5));
+        obs.type_end();
+        obs.type_start(TaskTypeId::new(1), 0, None);
+        obs.type_end();
+        assert_eq!(obs.traces().len(), 2);
+        assert_eq!(obs.traces()[0].rounds.len(), 2);
+        assert_eq!(obs.traces()[0].allocated(), 5);
+        assert!(obs.traces()[1].rounds.is_empty());
+        let traces = obs.into_traces();
+        assert_eq!(traces[1].task_type, TaskTypeId::new(1));
     }
 
     #[test]

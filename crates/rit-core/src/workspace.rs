@@ -1,0 +1,33 @@
+//! Reusable scratch state for repeated RIT runs.
+//!
+//! A [`RitWorkspace`] owns the engine's run-length ask table
+//! ([`rit_auction::engine::CompactAsks`]) and per-round scratch buffers
+//! ([`rit_auction::engine::AuctionWorkspace`]). Passing the same workspace
+//! to [`crate::Rit::run_with_workspace`] across replications (the `R`-loop
+//! of every experiment) keeps the buffers warm: after the first run of a
+//! scenario shape, the auction phase performs **zero heap allocations per
+//! CRA round** (pinned by the `alloc_counting` integration test).
+//!
+//! Workspaces carry no results — only capacity. Reusing one across
+//! different jobs, ask vectors, or eligibility masks is always correct
+//! (every run rebuilds the table) and produces bit-identical outcomes to a
+//! fresh workspace.
+
+use rit_auction::engine::{AuctionWorkspace, CompactAsks};
+
+/// Scratch buffers threaded through one mechanism run.
+#[derive(Clone, Debug, Default)]
+pub struct RitWorkspace {
+    /// The run-length unit-ask table, rebuilt at the start of each run.
+    pub(crate) compact: CompactAsks,
+    /// Per-round CRA scratch (eligible/chosen unit buffers).
+    pub(crate) auction: AuctionWorkspace,
+}
+
+impl RitWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

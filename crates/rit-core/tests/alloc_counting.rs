@@ -1,0 +1,97 @@
+//! Pins the engine's allocation discipline: once a [`RitWorkspace`] has run
+//! a scenario shape, further auction phases through it perform **no heap
+//! allocation per CRA round** — only the handful of output vectors of the
+//! phase result itself.
+//!
+//! A counting global allocator wraps the system allocator; the test warms a
+//! workspace, then compares the allocation count of a multi-round phase
+//! against a small constant that does not scale with the number of rounds.
+//! This file deliberately contains a single test so no concurrent test
+//! thread pollutes the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{NoopObserver, Rit, RitConfig, RitWorkspace, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_auction_phase_allocates_only_its_outputs() {
+    // A deliberately round-heavy scenario: many users, small per-user
+    // capacity, a job large enough that allocation takes dozens of rounds.
+    let n = 3000usize;
+    let job = Job::from_counts(vec![600]).unwrap();
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| {
+            let k = 1 + (j as u64 * 5) % 3;
+            let price = 1.0 + ((j * 17) % 89) as f64 * 0.1;
+            Ask::new(TaskTypeId::new(0), k, price).unwrap()
+        })
+        .collect();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+
+    // Warm the workspace: first contact with this shape sizes every buffer.
+    let mut ws = RitWorkspace::new();
+    for seed in 0..2 {
+        rit.run_auction_phase_with(&job, &asks, &mut ws, &mut NoopObserver, &mut rng(seed))
+            .unwrap();
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let phase = rit
+        .run_auction_phase_with(&job, &asks, &mut ws, &mut NoopObserver, &mut rng(7))
+        .unwrap();
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+
+    let rounds: u32 = phase.rounds_used.iter().sum();
+    assert!(
+        rounds >= 10,
+        "scenario too easy to witness per-round behavior: {rounds} rounds"
+    );
+    // The phase result owns 4 vectors (allocation, payments, rounds_used,
+    // unallocated). Everything else — sampling, consensus, selection,
+    // thinning, winner folding — must reuse workspace memory. Small slack
+    // for allocator-internal bookkeeping differences across platforms.
+    assert!(
+        delta <= 16,
+        "warm run allocated {delta} times over {rounds} rounds; engine is leaking per-round allocations"
+    );
+}
+
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

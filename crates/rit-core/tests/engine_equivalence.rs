@@ -1,0 +1,224 @@
+//! The run-length auction engine must be indistinguishable — outcome *and*
+//! RNG draw order — from the paper-literal loop it replaced.
+//!
+//! The reference implementation here re-extracts the flat unit-ask vector
+//! every round via the public [`rit_auction::extract`] + [`rit_auction::cra`]
+//! APIs (the pre-engine shape of `Rit`'s auction phase). The mechanism now
+//! runs [`rit_auction::engine::run_round`] over a run-length table instead;
+//! both must produce bit-identical allocations, payments, round counts, and
+//! leftover tasks for every seed. A golden regression test additionally pins
+//! one full `Rit::run` outcome on a fixed seed across refactors.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rit_auction::cra::{self, SelectionRule};
+use rit_auction::extract;
+use rit_core::{Rit, RitConfig, RitWorkspace, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::{IncentiveTree, NodeId};
+
+/// The pre-engine auction phase: per round, materialize the remaining unit
+/// asks of the type and hand them to the CRA wrapper. Mirrors
+/// `RoundLimit::UntilStall { max_rounds, max_stall }` semantics.
+fn legacy_auction_phase<R: Rng + ?Sized>(
+    job: &Job,
+    asks: &[Ask],
+    rule: SelectionRule,
+    max_rounds: u32,
+    max_stall: u32,
+    rng: &mut R,
+) -> (Vec<u64>, Vec<f64>, Vec<u32>, Vec<u64>) {
+    let n = asks.len();
+    let mut allocation = vec![0u64; n];
+    let mut payments = vec![0.0f64; n];
+    let mut remaining: Vec<u64> = asks.iter().map(Ask::quantity).collect();
+    let mut rounds_used = Vec::new();
+    let mut unallocated = Vec::new();
+
+    for (task_type, m_i) in job.iter() {
+        if m_i == 0 {
+            rounds_used.push(0);
+            unallocated.push(0);
+            continue;
+        }
+        let mut q = m_i;
+        let mut rounds = 0u32;
+        let mut stall = 0u32;
+        while q > 0 && rounds < max_rounds && stall < max_stall {
+            let alpha = extract::extract_with_quantities(task_type, asks, &remaining);
+            if alpha.is_empty() {
+                break;
+            }
+            let out = cra::run_with_rule(alpha.values(), q, m_i, rule, rng);
+            let price = out.clearing_price();
+            let mut progressed = false;
+            for omega in out.winner_indices() {
+                let j = alpha.owner(omega);
+                allocation[j] += 1;
+                payments[j] += price;
+                remaining[j] -= 1;
+                q -= 1;
+                progressed = true;
+            }
+            rounds += 1;
+            stall = if progressed { 0 } else { stall + 1 };
+        }
+        rounds_used.push(rounds);
+        unallocated.push(q);
+    }
+    (allocation, payments, rounds_used, unallocated)
+}
+
+fn arb_profile() -> impl Strategy<Value = (Job, Vec<Ask>)> {
+    let users = prop::collection::vec((0u32..4, 1u64..6, 1u32..50), 1..50);
+    let job = prop::collection::vec(0u64..25, 1..4);
+    (users, job).prop_map(|(users, counts)| {
+        let asks: Vec<Ask> = users
+            .iter()
+            // Prices on a coarse 0.1 grid so equal-value tie-breaking between
+            // different owners is exercised constantly.
+            .map(|&(t, k, tenths)| {
+                Ask::new(TaskTypeId::new(t), k, f64::from(tenths) * 0.1).expect("valid ask")
+            })
+            .collect();
+        (Job::from_counts(counts).expect("non-empty"), asks)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engine_loop_matches_legacy_reference_loop(
+        (job, asks) in arb_profile(),
+        uniform in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let rule = if uniform {
+            SelectionRule::UniformEligible
+        } else {
+            SelectionRule::SmallestFirst
+        };
+        let (max_rounds, max_stall) = (64, 4);
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::UntilStall { max_rounds, max_stall },
+            selection_rule: rule,
+            ..RitConfig::default()
+        })
+        .unwrap();
+
+        let mut rng_engine = SmallRng::seed_from_u64(seed);
+        let phase = rit.run_auction_phase(&job, &asks, &mut rng_engine).unwrap();
+
+        let mut rng_legacy = SmallRng::seed_from_u64(seed);
+        let (allocation, payments, rounds_used, unallocated) =
+            legacy_auction_phase(&job, &asks, rule, max_rounds, max_stall, &mut rng_legacy);
+
+        prop_assert_eq!(&phase.allocation, &allocation);
+        // Bit-identical, not approximately equal: both paths add the same
+        // clearing price to the same accumulators the same number of times.
+        prop_assert_eq!(&phase.auction_payments, &payments);
+        prop_assert_eq!(&phase.rounds_used, &rounds_used);
+        prop_assert_eq!(&phase.unallocated, &unallocated);
+        // The RNG streams stay in lockstep through the whole phase.
+        prop_assert_eq!(rng_engine.gen::<u64>(), rng_legacy.gen::<u64>());
+    }
+
+    #[test]
+    fn warm_workspace_never_perturbs_outcomes(
+        (job_a, asks_a) in arb_profile(),
+        (job_b, asks_b) in arb_profile(),
+        seed in any::<u64>(),
+    ) {
+        // Alternate two arbitrary scenario shapes through one workspace; every
+        // run must equal the fresh-workspace run of the same seed.
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let mut ws = RitWorkspace::new();
+        for (s, (job, asks)) in [
+            (seed, (&job_a, &asks_a)),
+            (seed ^ 1, (&job_b, &asks_b)),
+            (seed ^ 2, (&job_a, &asks_a)),
+        ] {
+            let mut observer = rit_core::NoopObserver;
+            let warm = rit
+                .run_auction_phase_with(job, asks, &mut ws, &mut observer, &mut SmallRng::seed_from_u64(s))
+                .unwrap();
+            let fresh = rit
+                .run_auction_phase(job, asks, &mut SmallRng::seed_from_u64(s))
+                .unwrap();
+            prop_assert_eq!(warm, fresh);
+        }
+    }
+}
+
+/// Pins the complete outcome of one `Rit::run` on a fixed seed. On first
+/// execution the test *blesses* `tests/golden/rit_run_fixed_seed.txt`; later
+/// runs compare against the blessed file, so any refactor that shifts a
+/// single RNG draw or payment bit fails loudly. Delete the file to re-bless
+/// after an intentional behavior change.
+#[test]
+fn golden_run_on_fixed_seed() {
+    use std::fmt::Write as _;
+
+    // Deterministic scenario, no sampling helpers: a 3-type job over a
+    // 400-user chain-with-branches tree and hand-rolled asks.
+    let n = 400usize;
+    let job = Job::from_counts(vec![60, 0, 45]).unwrap();
+    let parents: Vec<NodeId> = (0..n)
+        .map(|i| NodeId::new((i as u32) / 3))
+        .collect();
+    let tree = IncentiveTree::from_parents(&parents).unwrap();
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| {
+            let t = TaskTypeId::new((j % 3) as u32);
+            let k = 1 + (j as u64 * 7) % 4;
+            let price = 0.5 + ((j * 13) % 97) as f64 * 0.1;
+            Ask::new(t, k, price).unwrap()
+        })
+        .collect();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+    let out = rit
+        .run(&job, &tree, &asks, &mut SmallRng::seed_from_u64(0xF1C5))
+        .unwrap();
+
+    let mut got = String::new();
+    writeln!(got, "completed {}", out.completed()).unwrap();
+    writeln!(got, "rounds_used {:?}", out.rounds_used()).unwrap();
+    writeln!(got, "unallocated {:?}", out.unallocated()).unwrap();
+    for j in 0..n {
+        if out.allocation()[j] > 0 || out.payment(j) != 0.0 {
+            writeln!(
+                got,
+                "user {j} x {} pA {:.17e} p {:.17e}",
+                out.allocation()[j],
+                out.auction_payments()[j],
+                out.payment(j)
+            )
+            .unwrap();
+        }
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/rit_run_fixed_seed.txt");
+    if path.exists() {
+        let want = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got, want,
+            "golden mismatch — if the change is intentional, delete {} and re-run",
+            path.display()
+        );
+    } else {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed new golden file at {}", path.display());
+    }
+}

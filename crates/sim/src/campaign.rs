@@ -11,7 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rit_core::{Rit, RitConfig, RitError, RoundLimit};
+use rit_core::{Rit, RitConfig, RitError, RitWorkspace, RoundLimit};
 use rit_model::workload::WorkloadConfig;
 use rit_model::{Ask, Job, UserProfile};
 use rit_socialgraph::diffusion::{self, DiffusionConfig};
@@ -124,6 +124,7 @@ pub fn run(config: &CampaignConfig, seed: u64) -> Result<CampaignReport, RitErro
     let job =
         Job::uniform(config.workload.num_types, config.tasks_per_type).expect("workload has types");
 
+    let mut ws = RitWorkspace::new(); // auction scratch, reused across epochs
     let mut joined: Vec<u32> = Vec::new(); // graph node per member
     let mut profiles: Vec<UserProfile> = Vec::new();
     let mut asks: Vec<Ask> = Vec::new();
@@ -167,7 +168,13 @@ pub fn run(config: &CampaignConfig, seed: u64) -> Result<CampaignReport, RitErro
 
         // Run the job.
         let run_seed = rng.gen::<u64>();
-        let outcome = rit.run(&job, &tree, &asks, &mut SmallRng::seed_from_u64(run_seed))?;
+        let outcome = rit.run_with_workspace(
+            &job,
+            &tree,
+            &asks,
+            &mut ws,
+            &mut SmallRng::seed_from_u64(run_seed),
+        )?;
         let total_payment = outcome.total_payment();
         let solicitation: f64 = outcome.solicitation_rewards().iter().sum();
         for j in 0..joined.len() {

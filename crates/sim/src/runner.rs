@@ -2,12 +2,13 @@
 //!
 //! Every experiment point is averaged over `R` independent runs, each fully
 //! determined by its own seed. [`parallel_map`] fans the run indices out
-//! over CPU cores with crossbeam's scoped threads — no shared mutable state,
-//! results collected in index order so output is deterministic regardless of
-//! scheduling.
+//! over CPU cores with crossbeam's scoped threads. Work is claimed from a
+//! shared atomic counter, but each worker accumulates its `(index, value)`
+//! pairs privately and hands them back through the thread's join handle —
+//! no lock on the result path — and a single merge pass restores index
+//! order, so output is deterministic regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Runs `f(0), f(1), …, f(count - 1)` across available cores and returns the
 /// results in index order.
@@ -31,23 +32,36 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let value = f(i);
-                results.lock().expect("runner mutex poisoned")[i] = Some(value);
-            });
-        }
+    let batches: Vec<Vec<(usize, T)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut batch: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        batch.push((i, f(i)));
+                    }
+                    batch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     })
     .expect("worker thread panicked");
-    results
-        .into_inner()
-        .expect("runner mutex poisoned")
+
+    // Single merge pass: scatter each batch into its slots by index.
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (i, value) in batches.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(value);
+    }
+    slots
         .into_iter()
         .map(|v| v.expect("every index filled"))
         .collect()
