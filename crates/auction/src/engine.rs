@@ -87,8 +87,9 @@ impl CompactAsks {
         self.cursors.clear();
         self.cursors.resize(num_types, 0);
 
-        let included =
-            |j: usize, ask: &Ask| ask.task_type().index() < num_types && eligible.is_none_or(|e| e[j]);
+        let included = |j: usize, ask: &Ask| {
+            ask.task_type().index() < num_types && eligible.is_none_or(|e| e[j])
+        };
         for (j, ask) in asks.iter().enumerate() {
             if included(j, ask) {
                 self.cursors[ask.task_type().index()] += 1;
@@ -146,7 +147,8 @@ impl CompactAsks {
         let n = values.len();
         let mut c = Self::new();
         c.values.extend_from_slice(values);
-        c.owners.extend(0..u32::try_from(n).expect("unit count fits u32"));
+        c.owners
+            .extend(0..u32::try_from(n).expect("unit count fits u32"));
         c.totals.resize(n, 1);
         c.rem.resize(n, 1);
         c.sorted.extend(0..n as u32);

@@ -17,9 +17,7 @@ fn arb_bundled_asks() -> impl Strategy<Value = Vec<Ask>> {
     prop::collection::vec((1u64..6, 1u32..40), 1..40).prop_map(|specs| {
         specs
             .into_iter()
-            .map(|(k, tenths)| {
-                Ask::new(TaskTypeId::new(0), k, f64::from(tenths) * 0.1).unwrap()
-            })
+            .map(|(k, tenths)| Ask::new(TaskTypeId::new(0), k, f64::from(tenths) * 0.1).unwrap())
             .collect()
     })
 }

@@ -97,7 +97,12 @@ fn engine_vs_legacy(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut rng = world.rng(seed);
-            black_box(legacy_auction_phase(&world.job, &world.asks, rule, &mut rng))
+            black_box(legacy_auction_phase(
+                &world.job,
+                &world.asks,
+                rule,
+                &mut rng,
+            ))
         });
     });
 
@@ -124,7 +129,13 @@ fn engine_vs_legacy(c: &mut Criterion) {
             black_box(
                 world
                     .rit
-                    .run_auction_phase_with(&world.job, &world.asks, &mut ws, &mut NoopObserver, &mut rng)
+                    .run_auction_phase_with(
+                        &world.job,
+                        &world.asks,
+                        &mut ws,
+                        &mut NoopObserver,
+                        &mut rng,
+                    )
                     .unwrap(),
             )
         });

@@ -1,0 +1,301 @@
+//! Simulation-level bench harness: substrate caching and incremental
+//! recruitment, timed end to end and emitted as machine-readable JSON.
+//!
+//! ```text
+//! bench_sim [--quick] [--reps N] [--seed S] [--out FILE]
+//! ```
+//!
+//! Four arms, timed with `std::time::Instant`:
+//!
+//! * `sweep_uncached` — the user sweep in rotating-substrate mode against a
+//!   passthrough [`rit_sim::substrate::SubstrateCache`] (every replication
+//!   regenerates its substrate).
+//! * `sweep_cached` — the same sweep against a memoizing cache (each
+//!   substrate is generated once per `(config, seed)` key).
+//! * `campaign_replay` — a campaign replaying the full recruitment cascade
+//!   from round 0 every epoch.
+//! * `campaign_incremental` — the same campaign extending a checkpointed
+//!   [`rit_socialgraph::diffusion::DiffusionState`] per epoch.
+//!
+//! Before any timing, both members of each pair are run once and their
+//! results asserted equal (non-runtime sweep metrics; full campaign
+//! reports), so the timings always compare like with like. The report —
+//! wall-clock seconds per repetition plus cache generation/hit counters —
+//! is written to `BENCH_sim.json` (see EXPERIMENTS.md for the schema).
+//!
+//! Set `RIT_THREADS` to pin the worker-thread count for reproducible
+//! timings; the value used is recorded in the report.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rit_sim::campaign::{self, CampaignConfig, RecruitmentMode};
+use rit_sim::experiments::{sweeps, Scale};
+use rit_sim::runner::default_threads;
+use rit_sim::substrate::{SubstrateCache, SubstrateMode};
+
+#[derive(Clone, Copy, Debug)]
+struct Args {
+    quick: bool,
+    reps: usize,
+    seed: u64,
+}
+
+/// One timed arm of the bench, plus its substrate-cache counters from the
+/// final repetition (zero for arms that do not touch a cache).
+struct ArmReport {
+    name: &'static str,
+    wall_s: Vec<f64>,
+    generations: u64,
+    cache_hits: u64,
+}
+
+impl ArmReport {
+    fn min_wall_s(&self) -> f64 {
+        self.wall_s.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn mean_wall_s(&self) -> f64 {
+        self.wall_s.iter().sum::<f64>() / self.wall_s.len() as f64
+    }
+}
+
+fn parse_args() -> Result<(Args, PathBuf), String> {
+    let mut args = Args {
+        quick: false,
+        reps: 3,
+        seed: 2017,
+    };
+    let mut out = PathBuf::from("BENCH_sim.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.reps = 1;
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+                if args.reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!("usage: bench_sim [--quick] [--reps N] [--seed S] [--out FILE]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((args, out))
+}
+
+/// Times `run` `reps` times; the per-rep cache counters come from a fresh
+/// cache built by `make_cache` each repetition, so the cached arm pays its
+/// generations inside the timed region exactly once per repetition.
+fn time_arm<C>(
+    name: &'static str,
+    reps: usize,
+    make_cache: impl Fn() -> C,
+    run: impl Fn(&C),
+    counters: impl Fn(&C) -> (u64, u64),
+) -> ArmReport {
+    let mut wall_s = Vec::with_capacity(reps);
+    let mut generations = 0;
+    let mut cache_hits = 0;
+    for _ in 0..reps {
+        let cache = make_cache();
+        let start = Instant::now();
+        run(&cache);
+        wall_s.push(start.elapsed().as_secs_f64());
+        (generations, cache_hits) = counters(&cache);
+    }
+    let report = ArmReport {
+        name,
+        wall_s,
+        generations,
+        cache_hits,
+    };
+    eprintln!("  {name}: min {:.3}s over {reps} reps", report.min_wall_s());
+    report
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_report(
+    args: &Args,
+    sweep_config: &sweeps::SweepConfig,
+    campaign_config: &CampaignConfig,
+    arms: &[ArmReport],
+) -> String {
+    let substrates = match sweep_config.substrate {
+        SubstrateMode::PerReplication => 0,
+        SubstrateMode::Rotating(k) => k,
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"bench\": \"bench_sim\",");
+    let _ = writeln!(s, "  \"quick\": {},", args.quick);
+    let _ = writeln!(s, "  \"threads\": {},", default_threads());
+    let _ = writeln!(s, "  \"equality_checked\": true,");
+    s.push_str("  \"config\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"sweep\": {{\"scale\": \"{:?}\", \"runs\": {}, \"substrates\": {}, \"seed\": {}}},",
+        sweep_config.scale, sweep_config.runs, substrates, sweep_config.seed
+    );
+    let _ = writeln!(
+        s,
+        "    \"campaign\": {{\"num_jobs\": {}, \"universe\": {}, \"initial_target\": {}, \
+         \"growth_per_epoch\": {}, \"seed\": {}}},",
+        campaign_config.num_jobs,
+        campaign_config.universe,
+        campaign_config.initial_target,
+        campaign_config.growth_per_epoch,
+        args.seed
+    );
+    let _ = writeln!(s, "    \"reps\": {}", args.reps);
+    s.push_str("  },\n");
+    s.push_str("  \"arms\": [\n");
+    for (i, arm) in arms.iter().enumerate() {
+        let walls: Vec<String> = arm.wall_s.iter().map(|&w| json_f64(w)).collect();
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"wall_s\": [{}], \"min_wall_s\": {}, \
+             \"mean_wall_s\": {}, \"substrate_generations\": {}, \"substrate_cache_hits\": {}}}",
+            arm.name,
+            walls.join(", "),
+            json_f64(arm.min_wall_s()),
+            json_f64(arm.mean_wall_s()),
+            arm.generations,
+            arm.cache_hits
+        );
+        s.push_str(if i + 1 < arms.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let (args, out) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut sweep_config =
+        sweeps::SweepConfig::new(Scale::Smoke, if args.quick { 6 } else { 24 }, args.seed);
+    sweep_config.substrate = SubstrateMode::Rotating(if args.quick { 2 } else { 4 });
+    let mut campaign_config = CampaignConfig::small();
+    campaign_config.num_jobs = if args.quick { 4 } else { 10 };
+
+    // Equality gates: run both members of each pair once and require
+    // identical results before any timing happens. A bench that compares
+    // arms computing different things measures nothing.
+    eprintln!("checking cached sweep == uncached sweep…");
+    let cached = sweeps::user_sweep_with(&sweep_config, &SubstrateCache::new());
+    let uncached = sweeps::user_sweep_with(&sweep_config, &SubstrateCache::passthrough());
+    assert_eq!(cached.points.len(), uncached.points.len());
+    for (a, b) in cached.points.iter().zip(&uncached.points) {
+        assert_eq!(a.x, b.x, "sweep arms diverged");
+        assert_eq!(a.utility_auction, b.utility_auction, "sweep arms diverged");
+        assert_eq!(a.utility_rit, b.utility_rit, "sweep arms diverged");
+        assert_eq!(a.payment_auction, b.payment_auction, "sweep arms diverged");
+        assert_eq!(a.payment_rit, b.payment_rit, "sweep arms diverged");
+        assert_eq!(a.completion_rate, b.completion_rate, "sweep arms diverged");
+    }
+
+    eprintln!("checking incremental campaign == replay campaign…");
+    let incremental =
+        campaign::run_with_mode(&campaign_config, args.seed, RecruitmentMode::Incremental)
+            .expect("campaign runs");
+    let replay = campaign::run_with_mode(&campaign_config, args.seed, RecruitmentMode::Replay)
+        .expect("campaign runs");
+    assert_eq!(incremental, replay, "campaign recruitment modes diverged");
+
+    eprintln!("timing {} reps per arm…", args.reps);
+    let arms = vec![
+        time_arm(
+            "sweep_uncached",
+            args.reps,
+            SubstrateCache::passthrough,
+            |cache| {
+                let _ = sweeps::user_sweep_with(&sweep_config, cache);
+            },
+            |cache| {
+                let stats = cache.stats();
+                (stats.generations, stats.hits)
+            },
+        ),
+        time_arm(
+            "sweep_cached",
+            args.reps,
+            SubstrateCache::new,
+            |cache| {
+                let _ = sweeps::user_sweep_with(&sweep_config, cache);
+            },
+            |cache| {
+                let stats = cache.stats();
+                (stats.generations, stats.hits)
+            },
+        ),
+        time_arm(
+            "campaign_replay",
+            args.reps,
+            || (),
+            |()| {
+                let _ =
+                    campaign::run_with_mode(&campaign_config, args.seed, RecruitmentMode::Replay)
+                        .expect("campaign runs");
+            },
+            |()| (0, 0),
+        ),
+        time_arm(
+            "campaign_incremental",
+            args.reps,
+            || (),
+            |()| {
+                let _ = campaign::run_with_mode(
+                    &campaign_config,
+                    args.seed,
+                    RecruitmentMode::Incremental,
+                )
+                .expect("campaign runs");
+            },
+            |()| (0, 0),
+        ),
+    ];
+
+    let report = render_report(&args, &sweep_config, &campaign_config, &arms);
+    match std::fs::write(&out, &report) {
+        Ok(()) => {
+            println!("{report}");
+            eprintln!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -98,4 +98,4 @@ pub use mechanism::{AuctionPhaseResult, Rit};
 pub use observer::{AuctionObserver, NoopObserver};
 pub use outcome::RitOutcome;
 pub use trace::TraceObserver;
-pub use workspace::RitWorkspace;
+pub use workspace::{PooledWorkspace, RitWorkspace, WorkspacePool};

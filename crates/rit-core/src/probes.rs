@@ -165,8 +165,13 @@ impl ProbeScenario<'_> {
         let mut activity = RoundActivity::default();
         for r in 0..runs {
             let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-            self.rit
-                .run_auction_phase_with(self.job, self.asks, &mut ws, &mut activity, &mut rng)?;
+            self.rit.run_auction_phase_with(
+                self.job,
+                self.asks,
+                &mut ws,
+                &mut activity,
+                &mut rng,
+            )?;
         }
         Ok(activity)
     }

@@ -12,6 +12,14 @@
 //! different jobs, ask vectors, or eligibility masks is always correct
 //! (every run rebuilds the table) and produces bit-identical outcomes to a
 //! fresh workspace.
+//!
+//! When the set of concurrent runners is dynamic (thread pools, request
+//! handlers) a [`WorkspacePool`] keeps warm workspaces checked in between
+//! runs: [`WorkspacePool::acquire`] hands out a guard that returns its
+//! workspace — capacity intact — when dropped.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 
 use rit_auction::engine::{AuctionWorkspace, CompactAsks};
 
@@ -29,5 +37,108 @@ impl RitWorkspace {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// A checkout/checkin pool of warm [`RitWorkspace`]s for dynamic sets of
+/// concurrent runners. Workspaces carry only capacity, so any checked-in
+/// workspace is as good as any other; the pool grows on demand and never
+/// shrinks.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<RitWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a workspace (a warm one when available, a fresh one
+    /// otherwise). The guard checks it back in on drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's lock was poisoned by a panicking holder.
+    #[must_use]
+    pub fn acquire(&self) -> PooledWorkspace<'_> {
+        let ws = self
+            .free
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Number of workspaces currently checked in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's lock was poisoned by a panicking holder.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    fn release(&self, ws: RitWorkspace) {
+        self.free.lock().expect("workspace pool poisoned").push(ws);
+    }
+}
+
+/// A checked-out workspace; derefs to [`RitWorkspace`] and checks itself
+/// back into its [`WorkspacePool`] on drop.
+#[derive(Debug)]
+pub struct PooledWorkspace<'a> {
+    pool: &'a WorkspacePool,
+    ws: Option<RitWorkspace>,
+}
+
+impl Deref for PooledWorkspace<'_> {
+    type Target = RitWorkspace;
+
+    fn deref(&self) -> &RitWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut RitWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.release(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_checked_in_workspaces() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle(), 0);
+        {
+            let _a = pool.acquire();
+            let _b = pool.acquire();
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 2);
+        {
+            let _c = pool.acquire();
+            assert_eq!(pool.idle(), 1);
+        }
+        assert_eq!(pool.idle(), 2);
     }
 }

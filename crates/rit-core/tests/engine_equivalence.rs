@@ -156,11 +156,14 @@ proptest! {
     }
 }
 
-/// Pins the complete outcome of one `Rit::run` on a fixed seed. On first
-/// execution the test *blesses* `tests/golden/rit_run_fixed_seed.txt`; later
-/// runs compare against the blessed file, so any refactor that shifts a
-/// single RNG draw or payment bit fails loudly. Delete the file to re-bless
-/// after an intentional behavior change.
+/// Pins the complete outcome of one `Rit::run` on a fixed seed. Runs compare
+/// against the committed `tests/golden/rit_run_fixed_seed.txt`, so any
+/// refactor that shifts a single RNG draw or payment bit fails loudly.
+///
+/// (Re)blessing is explicit: the file is only (over)written when the
+/// `RIT_BLESS=1` environment variable is set. A silent first-run bless would
+/// let a behavior change mint its own reference and pass, so a missing
+/// golden without `RIT_BLESS=1` is a hard failure.
 #[test]
 fn golden_run_on_fixed_seed() {
     use std::fmt::Write as _;
@@ -169,9 +172,7 @@ fn golden_run_on_fixed_seed() {
     // 400-user chain-with-branches tree and hand-rolled asks.
     let n = 400usize;
     let job = Job::from_counts(vec![60, 0, 45]).unwrap();
-    let parents: Vec<NodeId> = (0..n)
-        .map(|i| NodeId::new((i as u32) / 3))
-        .collect();
+    let parents: Vec<NodeId> = (0..n).map(|i| NodeId::new((i as u32) / 3)).collect();
     let tree = IncentiveTree::from_parents(&parents).unwrap();
     let asks: Vec<Ask> = (0..n)
         .map(|j| {
@@ -209,16 +210,27 @@ fn golden_run_on_fixed_seed() {
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden/rit_run_fixed_seed.txt");
-    if path.exists() {
-        let want = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(
-            got, want,
-            "golden mismatch — if the change is intentional, delete {} and re-run",
-            path.display()
-        );
-    } else {
+    let blessing = std::env::var("RIT_BLESS").is_ok_and(|v| v == "1");
+    if blessing {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &got).unwrap();
-        eprintln!("blessed new golden file at {}", path.display());
+        eprintln!("blessed golden file at {}", path.display());
+        return;
     }
+    let want = match std::fs::read_to_string(&path) {
+        Ok(want) => want,
+        Err(e) => panic!(
+            "missing golden file {}: {e}\n\
+             run `RIT_BLESS=1 cargo test -p rit-core --test engine_equivalence \
+             golden_run_on_fixed_seed` and commit the generated file",
+            path.display()
+        ),
+    };
+    assert_eq!(
+        got,
+        want,
+        "golden mismatch — if the change is intentional, re-bless with \
+         RIT_BLESS=1 and commit {}",
+        path.display()
+    );
 }

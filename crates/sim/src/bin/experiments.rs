@@ -4,8 +4,13 @@
 //! ```text
 //! experiments [--figure all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|fig9]
 //!             [--scale smoke|default|paper] [--runs N] [--seed S]
-//!             [--out DIR]
+//!             [--substrates K] [--out DIR]
 //! ```
+//!
+//! `--substrates K` switches the sweep/ablation/screening experiments from
+//! per-replication scenario generation (paper fidelity, the default) to `K`
+//! rotating substrates served from a shared [`rit_sim::substrate::SubstrateCache`],
+//! amortizing graph/tree/profile construction across replications.
 //!
 //! Prints each figure as a Markdown table and writes a CSV per figure into
 //! `--out` (default `results/`). `--scale default --runs 20` reproduces the
@@ -20,6 +25,7 @@ use rit_sim::experiments::{
     truthfulness_profile, Scale,
 };
 use rit_sim::metrics::Figure;
+use rit_sim::substrate::SubstrateMode;
 
 #[derive(Clone, Debug)]
 struct Args {
@@ -27,6 +33,7 @@ struct Args {
     scale: Scale,
     runs: usize,
     seed: u64,
+    substrate: SubstrateMode,
     out: PathBuf,
     report: Option<PathBuf>,
 }
@@ -55,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Default,
         runs: 10,
         seed: 2017,
+        substrate: SubstrateMode::PerReplication,
         out: PathBuf::from("results"),
         report: None,
     };
@@ -90,13 +98,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--substrates" => {
+                let k: usize = value("--substrates")?
+                    .parse()
+                    .map_err(|e| format!("bad --substrates: {e}"))?;
+                if k == 0 {
+                    return Err("--substrates must be at least 1".into());
+                }
+                args.substrate = SubstrateMode::Rotating(k);
+            }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--report" => args.report = Some(PathBuf::from(value("--report")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--figure all|fig6a|...|fig9] \
-                     [--scale smoke|default|paper] [--runs N] [--seed S] [--out DIR] \
-                     [--report FILE]"
+                     [--scale smoke|default|paper] [--runs N] [--seed S] \
+                     [--substrates K] [--out DIR] [--report FILE]"
                 );
                 std::process::exit(0);
             }
@@ -142,11 +159,8 @@ fn main() -> ExitCode {
         "# RIT experiment report\n\nscale {:?}, {} runs/point, seed {}\n\n",
         args.scale, args.runs, args.seed
     );
-    let sweep_config = sweeps::SweepConfig {
-        scale: args.scale,
-        runs: args.runs,
-        seed: args.seed,
-    };
+    let mut sweep_config = sweeps::SweepConfig::new(args.scale, args.runs, args.seed);
+    sweep_config.substrate = args.substrate;
 
     if wants("fig6a") || wants("fig7a") || wants("fig8a") {
         eprintln!(
@@ -182,11 +196,8 @@ fn main() -> ExitCode {
             emit(&sweeps::runtime_figure(&data), &args.out, &mut report);
         }
     }
-    let ablation_config = ablation::AblationConfig {
-        scale: args.scale,
-        runs: args.runs,
-        seed: args.seed,
-    };
+    let mut ablation_config = ablation::AblationConfig::new(args.scale, args.runs, args.seed);
+    ablation_config.substrate = args.substrate;
     if wants("ablation_collusion") {
         eprintln!("running collusion ablation ({} runs/cell)…", args.runs);
         emit(
@@ -267,12 +278,11 @@ fn main() -> ExitCode {
             "running quality-screening sweep ({} runs/level)…",
             args.runs
         );
+        let mut screening_config =
+            quality_screening::ScreeningConfig::new(args.scale, args.runs, args.seed);
+        screening_config.substrate = args.substrate;
         emit(
-            &quality_screening::run(&quality_screening::ScreeningConfig {
-                scale: args.scale,
-                runs: args.runs,
-                seed: args.seed,
-            }),
+            &quality_screening::run(&screening_config),
             &args.out,
             &mut report,
         );

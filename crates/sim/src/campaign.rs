@@ -14,9 +14,22 @@ use rand::{Rng, SeedableRng};
 use rit_core::{Rit, RitConfig, RitError, RitWorkspace, RoundLimit};
 use rit_model::workload::WorkloadConfig;
 use rit_model::{Ask, Job, UserProfile};
-use rit_socialgraph::diffusion::{self, DiffusionConfig};
+use rit_socialgraph::diffusion::{self, DiffusionConfig, DiffusionState};
 use rit_socialgraph::{generators, SocialGraph};
 use rit_tree::IncentiveTree;
+
+/// How the per-epoch recruitment cascade is advanced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecruitmentMode {
+    /// Checkpoint a [`DiffusionState`] and extend it to each epoch's target:
+    /// O(new joins) per epoch. The default.
+    #[default]
+    Incremental,
+    /// Replay the full cascade from round 0 every epoch (the pre-cache
+    /// behavior): O(total cascade) per epoch. Kept as the equivalence
+    /// baseline — both modes produce bit-identical [`CampaignReport`]s.
+    Replay,
+}
 
 /// Configuration of a campaign.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -103,7 +116,7 @@ impl CampaignReport {
     }
 }
 
-/// Runs a campaign.
+/// Runs a campaign with incremental recruitment (see [`RecruitmentMode`]).
 ///
 /// # Errors
 ///
@@ -112,8 +125,31 @@ impl CampaignReport {
 ///
 /// # Panics
 ///
-/// Panics on invalid configuration (zero universe, bad probabilities).
+/// Panics on invalid configuration (zero universe, bad probabilities) or on
+/// a cascade that fails to embed the previous epoch's membership (a
+/// determinism bug — see [`run_with_mode`]).
 pub fn run(config: &CampaignConfig, seed: u64) -> Result<CampaignReport, RitError> {
+    run_with_mode(config, seed, RecruitmentMode::Incremental)
+}
+
+/// Runs a campaign with an explicit [`RecruitmentMode`]. Both modes are
+/// bit-identical in every reported number (pinned by the
+/// `campaign_equivalence` proptest); they differ only in per-epoch cost.
+///
+/// # Errors
+///
+/// See [`run`].
+///
+/// # Panics
+///
+/// See [`run`]. The membership-embedding guards are hard asserts (not
+/// `debug_assert!`): a release-mode cascade divergence would silently
+/// misalign `lifetime_earnings` with the member list, so it must abort.
+pub fn run_with_mode(
+    config: &CampaignConfig,
+    seed: u64,
+    mode: RecruitmentMode,
+) -> Result<CampaignReport, RitError> {
     assert!(config.universe > 2, "universe too small");
     let mut rng = SmallRng::seed_from_u64(seed);
     let graph: SocialGraph = generators::barabasi_albert(config.universe, 2, &mut rng);
@@ -124,6 +160,12 @@ pub fn run(config: &CampaignConfig, seed: u64) -> Result<CampaignReport, RitErro
     let job =
         Job::uniform(config.workload.num_types, config.tasks_per_type).expect("workload has types");
 
+    // Incremental mode: one cascade state and one dedicated RNG live across
+    // all epochs; each epoch extends the cascade to its target instead of
+    // replaying it from round 0.
+    let mut cascade = DiffusionState::new(&graph, &[0]);
+    let mut cascade_rng = SmallRng::seed_from_u64(seed ^ 0xCAFE);
+
     let mut ws = RitWorkspace::new(); // auction scratch, reused across epochs
     let mut joined: Vec<u32> = Vec::new(); // graph node per member
     let mut profiles: Vec<UserProfile> = Vec::new();
@@ -133,26 +175,45 @@ pub fn run(config: &CampaignConfig, seed: u64) -> Result<CampaignReport, RitErro
     let mut epochs = Vec::with_capacity(config.num_jobs);
 
     for epoch in 0..config.num_jobs {
-        // Recruitment: regrow the cascade over the whole graph to the new
-        // target. Members keep their position; the diffusion is re-seeded
-        // from the same origin so previously joined users re-appear first,
-        // and we extend our bookkeeping only for the newcomers.
+        // Recruitment to the new target. Members keep their position: the
+        // cascade is deterministic and strictly extends epoch over epoch,
+        // so we extend our bookkeeping only for the newcomers.
         let target = config.initial_target + epoch * config.growth_per_epoch;
-        let outcome = diffusion::simulate(
-            &graph,
-            &[0],
-            &DiffusionConfig {
-                invite_prob: config.invite_prob,
-                target: Some(target.min(config.universe)),
-                max_rounds: 64,
-            },
-            &mut SmallRng::seed_from_u64(seed ^ 0xCAFE), // same cascade each epoch
-        );
-        // The deterministic cascade replays the same join order, so the
-        // first `joined.len()` entries coincide with existing members.
-        debug_assert!(outcome.joined.len() >= joined.len());
-        for &g in outcome.joined.iter().skip(joined.len()) {
-            joined.push(g);
+        let diffusion_config = DiffusionConfig {
+            invite_prob: config.invite_prob,
+            target: Some(target.min(config.universe)),
+            max_rounds: 64,
+        };
+        let tree: IncentiveTree = match mode {
+            RecruitmentMode::Incremental => {
+                cascade.extend(&graph, &diffusion_config, &mut cascade_rng);
+                assert!(
+                    cascade.joined()[..joined.len()] == joined[..],
+                    "incremental cascade mutated the existing membership"
+                );
+                joined.extend_from_slice(&cascade.joined()[joined.len()..]);
+                cascade.tree()
+            }
+            RecruitmentMode::Replay => {
+                // Pre-cache behavior: regrow the whole cascade, re-seeded
+                // from the same origin so previously joined users re-appear
+                // first in the same order.
+                let outcome = diffusion::simulate(
+                    &graph,
+                    &[0],
+                    &diffusion_config,
+                    &mut SmallRng::seed_from_u64(seed ^ 0xCAFE), // same cascade each epoch
+                );
+                assert!(
+                    outcome.joined.len() >= joined.len()
+                        && outcome.joined[..joined.len()] == joined[..],
+                    "replayed cascade failed to embed the previous membership"
+                );
+                joined.extend_from_slice(&outcome.joined[joined.len()..]);
+                outcome.tree
+            }
+        };
+        for _ in profiles.len()..joined.len() {
             let profile = config
                 .workload
                 .sample_user(&mut rng)
@@ -162,9 +223,13 @@ pub fn run(config: &CampaignConfig, seed: u64) -> Result<CampaignReport, RitErro
             lifetime_earnings.push(0.0);
             join_epoch.push(epoch);
         }
-        let tree: IncentiveTree = outcome.tree;
-        // Guard: the replayed cascade must embed the previous membership.
-        debug_assert_eq!(tree.num_users(), joined.len());
+        // Guard: the cascade must embed the previous membership exactly —
+        // a divergence here would misalign `lifetime_earnings`.
+        assert_eq!(
+            tree.num_users(),
+            joined.len(),
+            "cascade tree diverged from the accumulated membership"
+        );
 
         // Run the job.
         let run_seed = rng.gen::<u64>();
@@ -288,6 +353,18 @@ mod tests {
             first >= late,
             "early joiners earned {first:.3} < late joiners {late:.3}"
         );
+    }
+
+    #[test]
+    fn incremental_recruitment_matches_full_replay() {
+        for seed in [11u64, 17, 23] {
+            let incremental =
+                run_with_mode(&CampaignConfig::small(), seed, RecruitmentMode::Incremental)
+                    .unwrap();
+            let replay =
+                run_with_mode(&CampaignConfig::small(), seed, RecruitmentMode::Replay).unwrap();
+            assert_eq!(incremental, replay, "modes diverged at seed {seed}");
+        }
     }
 
     #[test]

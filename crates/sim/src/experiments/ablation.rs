@@ -27,6 +27,7 @@ use crate::experiments::Scale;
 use crate::metrics::{Figure, MeanStd, Point, Series};
 use crate::runner::{derive_seed, parallel_map};
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::substrate::{SubstrateCache, SubstrateMode};
 
 /// Configuration shared by the ablations.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,7 +38,26 @@ pub struct AblationConfig {
     pub runs: usize,
     /// Master seed.
     pub seed: u64,
+    /// Substrate sourcing for the round-budget ablation (the collusion
+    /// ablation scans adversarial market draws, so it always generates).
+    pub substrate: SubstrateMode,
 }
+
+impl AblationConfig {
+    /// An ablation configuration with per-replication substrates.
+    #[must_use]
+    pub fn new(scale: Scale, runs: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            runs,
+            seed,
+            substrate: SubstrateMode::PerReplication,
+        }
+    }
+}
+
+/// Salt separating substrate seeds from the ablation's mechanism seeds.
+const SUBSTRATE_STREAM: u64 = 0x5A5A_F00D;
 
 /// The best withhold-and-decoy manipulation available to any single user
 /// against the naive mechanism, as `(attacker, decoy_price, estimated_gain)`.
@@ -209,6 +229,14 @@ pub fn collusion(config: &AblationConfig) -> Figure {
 /// [`RoundLimit`] policy as the per-type job size grows.
 #[must_use]
 pub fn round_budget(config: &AblationConfig) -> Figure {
+    round_budget_with(config, &SubstrateCache::new())
+}
+
+/// [`round_budget`] against a caller-owned [`SubstrateCache`]. All policy
+/// cells share a scenario configuration, so rotating substrates are
+/// generated once and replayed under every round-limit policy.
+#[must_use]
+pub fn round_budget_with(config: &AblationConfig, cache: &SubstrateCache) -> Figure {
     let (n_users, sizes): (usize, Vec<u64>) = match config.scale {
         Scale::Smoke => (6_000, vec![600, 1_200]),
         Scale::Default | Scale::Paper => (30_000, vec![1_000, 1_400, 1_800, 2_200, 2_600, 3_000]),
@@ -246,7 +274,13 @@ pub fn round_budget(config: &AblationConfig) -> Figure {
             .expect("valid config");
             let completions = parallel_map(config.runs, |r| {
                 let seed = derive_seed(config.seed, (pi * 8 + si) as u64, r as u64);
-                let scenario = Scenario::generate(&scen_config, seed ^ 0x5A5A);
+                let scenario = match config.substrate.slot(r) {
+                    None => std::sync::Arc::new(Scenario::generate(&scen_config, seed ^ 0x5A5A)),
+                    Some(slot) => cache.scenario(
+                        &scen_config,
+                        derive_seed(config.seed, SUBSTRATE_STREAM, slot as u64),
+                    ),
+                };
                 let mut rng = SmallRng::seed_from_u64(seed);
                 match rit.run_auction_phase(&job, &scenario.asks, &mut rng) {
                     Ok(phase) => u8::from(phase.completed()),
@@ -276,11 +310,19 @@ mod tests {
     use super::*;
 
     fn cfg() -> AblationConfig {
-        AblationConfig {
-            scale: Scale::Smoke,
-            runs: 4,
-            seed: 5,
-        }
+        AblationConfig::new(Scale::Smoke, 4, 5)
+    }
+
+    #[test]
+    fn round_budget_rotating_substrates_amortize_generation() {
+        let mut config = cfg();
+        config.substrate = SubstrateMode::Rotating(2);
+        let cache = SubstrateCache::new();
+        let fig = round_budget_with(&config, &cache);
+        assert_eq!(fig.series.len(), 3);
+        // 2 sizes × 3 policies × 4 runs would be 24 generations; all cells
+        // share one scenario configuration, so 2 slots suffice.
+        assert_eq!(cache.generations(), 2);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rit_core::{Rit, RitConfig, RitOutcome, RoundLimit};
+use rit_core::{NoopObserver, Rit, RitConfig, RitOutcome, RitWorkspace, RoundLimit};
 use rit_model::Job;
 
 use crate::scenario::Scenario;
@@ -74,12 +74,32 @@ pub struct RunMetrics {
 /// feasible round limit for the chosen scale).
 #[must_use]
 pub fn run_once(rit: &Rit, job: &Job, scenario: &Scenario, seed: u64) -> RunMetrics {
+    let mut ws = RitWorkspace::new();
+    run_once_in(rit, job, scenario, &mut ws, seed)
+}
+
+/// Like [`run_once`], reusing the auction scratch in `ws`. Outcomes are
+/// bit-identical to [`run_once`] for the same seed; per-worker workspace
+/// reuse (see [`crate::runner::parallel_map_init`]) keeps the auction
+/// phase allocation-free across a sweep's replications.
+///
+/// # Panics
+///
+/// See [`run_once`].
+#[must_use]
+pub fn run_once_in(
+    rit: &Rit,
+    job: &Job,
+    scenario: &Scenario,
+    ws: &mut RitWorkspace,
+    seed: u64,
+) -> RunMetrics {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = scenario.num_users().max(1) as f64;
 
     let t0 = Instant::now();
     let phase = rit
-        .run_auction_phase(job, &scenario.asks, &mut rng)
+        .run_auction_phase_with(job, &scenario.asks, ws, &mut NoopObserver, &mut rng)
         .expect("driver-selected round limit must be feasible");
     let runtime_auction_s = t0.elapsed().as_secs_f64();
 
@@ -201,5 +221,20 @@ mod tests {
         assert_eq!(a.avg_utility_rit, b.avg_utility_rit);
         assert_eq!(a.total_payment_rit, b.total_payment_rit);
         assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn warm_workspace_run_matches_fresh() {
+        let scenario = Scenario::generate(&ScenarioConfig::paper(300), 5);
+        let job = Job::from_counts(vec![50; 10]).unwrap();
+        let rit = paper_mechanism(RoundLimit::until_stall());
+        let mut ws = RitWorkspace::new();
+        for seed in [1u64, 2, 3] {
+            let warm = run_once_in(&rit, &job, &scenario, &mut ws, seed);
+            let fresh = run_once(&rit, &job, &scenario, seed);
+            assert_eq!(warm.avg_utility_rit, fresh.avg_utility_rit);
+            assert_eq!(warm.total_payment_rit, fresh.total_payment_rit);
+            assert_eq!(warm.completed, fresh.completed);
+        }
     }
 }

@@ -17,6 +17,7 @@ use crate::experiments::{paper_mechanism, Scale};
 use crate::metrics::{Figure, MeanStd, Point, Series};
 use crate::runner::{derive_seed, parallel_map};
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::substrate::{SubstrateCache, SubstrateMode};
 
 /// Configuration of the screening sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,13 +28,39 @@ pub struct ScreeningConfig {
     pub runs: usize,
     /// Master seed.
     pub seed: u64,
+    /// Substrate sourcing (see [`SubstrateMode`]). Screening levels share a
+    /// scenario configuration, so rotating substrates are reused across the
+    /// whole sweep.
+    pub substrate: SubstrateMode,
+}
+
+impl ScreeningConfig {
+    /// A screening sweep with per-replication substrates.
+    #[must_use]
+    pub fn new(scale: Scale, runs: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            runs,
+            seed,
+            substrate: SubstrateMode::PerReplication,
+        }
+    }
 }
 
 const SCREEN_FRACTIONS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9];
 
+/// Salt separating substrate seeds from screening/mechanism seeds.
+const SUBSTRATE_STREAM: u64 = 0x0DDB_F00D;
+
 /// Runs the screening sweep.
 #[must_use]
 pub fn run(config: &ScreeningConfig) -> Figure {
+    run_with(config, &SubstrateCache::new())
+}
+
+/// [`run`] against a caller-owned [`SubstrateCache`].
+#[must_use]
+pub fn run_with(config: &ScreeningConfig, cache: &SubstrateCache) -> Figure {
     let (n, m_i) = match config.scale {
         Scale::Smoke => (1_200, 80),
         Scale::Default | Scale::Paper => (8_000, 400),
@@ -48,7 +75,13 @@ pub fn run(config: &ScreeningConfig) -> Figure {
     for (fi, &fraction) in SCREEN_FRACTIONS.iter().enumerate() {
         let samples = parallel_map(config.runs, |r| {
             let seed = derive_seed(config.seed, fi as u64, r as u64);
-            let scenario = Scenario::generate(&scen_config, seed ^ 0x0DDB);
+            let scenario = match config.substrate.slot(r) {
+                None => std::sync::Arc::new(Scenario::generate(&scen_config, seed ^ 0x0DDB)),
+                Some(slot) => cache.scenario(
+                    &scen_config,
+                    derive_seed(config.seed, SUBSTRATE_STREAM, slot as u64),
+                ),
+            };
             let mut rng = SmallRng::seed_from_u64(seed);
             // Random exogenous quality scores; threshold at `fraction`.
             let eligible: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() >= fraction).collect();
@@ -104,12 +137,19 @@ mod tests {
     use super::*;
 
     #[test]
+    fn rotating_substrates_amortize_generation_across_levels() {
+        let mut config = ScreeningConfig::new(Scale::Smoke, 4, 21);
+        config.substrate = SubstrateMode::Rotating(2);
+        let cache = SubstrateCache::new();
+        let _ = run_with(&config, &cache);
+        // 6 screening levels × 4 runs would be 24 generations; rotating over
+        // 2 shared substrates pays it twice.
+        assert_eq!(cache.generations(), 2);
+    }
+
+    #[test]
     fn screening_raises_cost_and_eventually_breaks_completion() {
-        let fig = run(&ScreeningConfig {
-            scale: Scale::Smoke,
-            runs: 6,
-            seed: 21,
-        });
+        let fig = run(&ScreeningConfig::new(Scale::Smoke, 6, 21));
         let completion = &fig.series[0].points;
         let cost = &fig.series[1].points;
         // Unscreened completes reliably.

@@ -12,12 +12,13 @@
 
 use rit_model::Job;
 
-use rit_core::RoundLimit;
+use rit_core::{RitWorkspace, RoundLimit};
 
-use crate::experiments::{paper_mechanism, run_once, RunMetrics, Scale};
+use crate::experiments::{paper_mechanism, run_once_in, RunMetrics, Scale};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
+use crate::runner::{derive_seed, parallel_map_init};
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::substrate::{SubstrateCache, SubstrateMode};
 
 /// Configuration of a sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -28,6 +29,23 @@ pub struct SweepConfig {
     pub runs: usize,
     /// Master seed.
     pub seed: u64,
+    /// Substrate sourcing: fresh per replication (paper fidelity) or
+    /// rotated over `k` cached substrates (amortized generation).
+    pub substrate: SubstrateMode,
+}
+
+impl SweepConfig {
+    /// A sweep at `scale` with per-replication substrates — the paper's
+    /// semantics.
+    #[must_use]
+    pub fn new(scale: Scale, runs: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            runs,
+            seed,
+            substrate: SubstrateMode::PerReplication,
+        }
+    }
 }
 
 /// Accumulated metrics at one grid point.
@@ -87,10 +105,41 @@ fn accumulate(x: u64, metrics: &[RunMetrics]) -> PointSummary {
     s
 }
 
+/// Salt separating the rotating-substrate seed stream from the
+/// per-replication mechanism seeds.
+const SUBSTRATE_STREAM: u64 = 0xF00D_CAFE;
+
+/// The substrate for replication `r` of grid point `pi`: a fresh
+/// generation per replication in [`SubstrateMode::PerReplication`] (the
+/// cache is bypassed — memoizing single-use draws would only hold memory),
+/// or one of `k` cached substrates in [`SubstrateMode::Rotating`]. Rotating
+/// seeds depend only on the slot, so grid points sharing a scenario
+/// configuration (e.g. every point of the task sweep) share substrates
+/// through `cache`.
+fn substrate_for(
+    cache: &SubstrateCache,
+    scenario_config: &ScenarioConfig,
+    config: &SweepConfig,
+    pi: usize,
+    r: usize,
+) -> std::sync::Arc<Scenario> {
+    match config.substrate.slot(r) {
+        None => {
+            let seed = derive_seed(config.seed, pi as u64, r as u64);
+            std::sync::Arc::new(Scenario::generate(scenario_config, seed ^ 0xA5A5_5A5A))
+        }
+        Some(slot) => {
+            let seed = derive_seed(config.seed, SUBSTRATE_STREAM, slot as u64);
+            cache.scenario(scenario_config, seed)
+        }
+    }
+}
+
 fn sweep(
     kind: &'static str,
     grid: Vec<(u64, usize, u64)>, // (x, num_users, m_i)
     config: &SweepConfig,
+    cache: &SubstrateCache,
 ) -> SweepData {
     let num_types = 10;
     let points = grid
@@ -105,12 +154,10 @@ fn sweep(
             // figure and DESIGN.md), so the published curves can only have
             // been produced best-effort — which is what we run here.
             let rit = paper_mechanism(RoundLimit::until_stall());
-            let metrics = parallel_map(config.runs, |r| {
+            let metrics = parallel_map_init(config.runs, RitWorkspace::new, |ws, r| {
                 let seed = derive_seed(config.seed, pi as u64, r as u64);
-                // A fresh population/tree per replication, like the paper's
-                // "averaged over 1000 times".
-                let scenario = Scenario::generate(&scenario_config, seed ^ 0xA5A5_5A5A);
-                run_once(&rit, &job, &scenario, seed)
+                let scenario = substrate_for(cache, &scenario_config, config, pi, r);
+                run_once_in(&rit, &job, &scenario, ws, seed)
             });
             accumulate(x, &metrics)
         })
@@ -125,6 +172,14 @@ fn sweep(
 /// The Fig 6(a)/7(a)/8(a) sweep: vary the user count at `mᵢ = 5000`.
 #[must_use]
 pub fn user_sweep(config: &SweepConfig) -> SweepData {
+    user_sweep_with(config, &SubstrateCache::new())
+}
+
+/// [`user_sweep`] against a caller-owned [`SubstrateCache`], so multiple
+/// sweeps (or bench arms) can share substrates and read the cache's
+/// generation counters afterwards.
+#[must_use]
+pub fn user_sweep_with(config: &SweepConfig, cache: &SubstrateCache) -> SweepData {
     let grid: Vec<(u64, usize, u64)> = match config.scale {
         Scale::Paper => (40_000..=80_000)
             .step_by(1_000)
@@ -139,12 +194,20 @@ pub fn user_sweep(config: &SweepConfig) -> SweepData {
             .map(|n| (n as u64, n, 120))
             .collect(),
     };
-    sweep("users", grid, config)
+    sweep("users", grid, config, cache)
 }
 
 /// The Fig 6(b)/7(b)/8(b) sweep: vary the per-type job size at `n = 30,000`.
 #[must_use]
 pub fn task_sweep(config: &SweepConfig) -> SweepData {
+    task_sweep_with(config, &SubstrateCache::new())
+}
+
+/// [`task_sweep`] against a caller-owned [`SubstrateCache`] — every grid
+/// point here shares one population size, so in rotating mode the whole
+/// sweep reuses the same `k` substrates.
+#[must_use]
+pub fn task_sweep_with(config: &SweepConfig, cache: &SubstrateCache) -> SweepData {
     let grid: Vec<(u64, usize, u64)> = match config.scale {
         Scale::Paper => (1_000..=3_000)
             .step_by(100)
@@ -159,7 +222,7 @@ pub fn task_sweep(config: &SweepConfig) -> SweepData {
             .map(|m| (m, 2_000, m))
             .collect(),
     };
-    sweep("tasks", grid, config)
+    sweep("tasks", grid, config, cache)
 }
 
 fn two_series(
@@ -256,11 +319,7 @@ mod tests {
     use super::*;
 
     fn smoke_config() -> SweepConfig {
-        SweepConfig {
-            scale: Scale::Smoke,
-            runs: 3,
-            seed: 11,
-        }
+        SweepConfig::new(Scale::Smoke, 3, 11)
     }
 
     #[test]
@@ -289,6 +348,52 @@ mod tests {
         // Runtime includes the payment phase.
         for (a, r) in f8.series[0].points.iter().zip(&f8.series[1].points) {
             assert!(r.y >= a.y);
+        }
+    }
+
+    #[test]
+    fn rotating_substrates_generate_once_per_key_not_per_replication() {
+        let mut config = smoke_config();
+        config.substrate = SubstrateMode::Rotating(2);
+        let cache = SubstrateCache::new();
+        let data = user_sweep_with(&config, &cache);
+        assert_eq!(data.points.len(), 3);
+        // 3 grid points with distinct user counts × 2 substrate slots:
+        // exactly 6 generations, not points × runs = 9.
+        assert_eq!(cache.generations(), 6);
+        assert_eq!(cache.len(), 6);
+        // With runs = 3 over 2 slots, each point replays one substrate.
+        assert_eq!(cache.stats().hits, 3);
+    }
+
+    #[test]
+    fn task_sweep_shares_substrates_across_grid_points() {
+        // Every task-sweep point has the same population size, so in
+        // rotating mode the whole sweep shares one substrate per slot.
+        let mut config = smoke_config();
+        config.substrate = SubstrateMode::Rotating(2);
+        let cache = SubstrateCache::new();
+        let data = task_sweep_with(&config, &cache);
+        assert_eq!(data.points.len(), 3);
+        assert_eq!(cache.generations(), 2);
+    }
+
+    #[test]
+    fn cached_and_passthrough_rotating_arms_agree() {
+        let mut config = smoke_config();
+        config.substrate = SubstrateMode::Rotating(2);
+        let cached = user_sweep_with(&config, &SubstrateCache::new());
+        let passthrough = SubstrateCache::passthrough();
+        let uncached = user_sweep_with(&config, &passthrough);
+        // The passthrough arm regenerated per replication…
+        assert_eq!(passthrough.generations(), 9);
+        // …but the results are bit-identical to the memoized arm.
+        for (a, b) in cached.points.iter().zip(&uncached.points) {
+            assert_eq!(a.utility_auction, b.utility_auction);
+            assert_eq!(a.utility_rit, b.utility_rit);
+            assert_eq!(a.payment_auction, b.payment_auction);
+            assert_eq!(a.payment_rit, b.payment_rit);
+            assert_eq!(a.completion_rate, b.completion_rate);
         }
     }
 

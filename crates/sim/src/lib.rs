@@ -17,9 +17,10 @@
 //! harness ships two ablations (`ablation`), a Lemma 6.2 `bound_check`, the
 //! `robustness` / `tree_shape` / `quality_screening` sensitivity sweeps, a
 //! `truthfulness_profile`, and multi-epoch [`campaign`]s. [`scenario`]
-//! builds the §7-A populations and solicitation trees; [`runner`] spreads
-//! replications over CPU cores; [`analysis`] summarizes payment
-//! distributions; [`io`] speaks the CSV interchange formats.
+//! builds the §7-A populations and solicitation trees; [`substrate`]
+//! memoizes them across replications; [`runner`] spreads replications over
+//! CPU cores; [`analysis`] summarizes payment distributions; [`io`] speaks
+//! the CSV interchange formats.
 //!
 //! # Example
 //!
@@ -42,3 +43,4 @@ pub mod io;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod substrate;

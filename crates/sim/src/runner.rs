@@ -10,8 +10,38 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Runs `f(0), f(1), …, f(count - 1)` across available cores and returns the
-/// results in index order.
+/// The environment variable that pins the worker-thread count (CI and
+/// benchmarks use it for reproducible timing). Unset, empty, unparsable,
+/// or `0` means "use all available cores".
+pub const THREADS_ENV: &str = "RIT_THREADS";
+
+/// Parses a `RIT_THREADS`-style value: `Some(n)` for a positive integer,
+/// `None` (auto) otherwise.
+#[must_use]
+pub fn parse_thread_override(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// The worker-thread count honoring the [`THREADS_ENV`] override, falling
+/// back to the available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .as_deref()
+        .and_then(parse_thread_override)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f(0), f(1), …, f(count - 1)` across available cores (or the
+/// [`THREADS_ENV`] override) and returns the results in index order.
 ///
 /// `f` must be deterministic in its index for reproducible experiments (use
 /// the index to derive an RNG seed).
@@ -20,15 +50,55 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with_threads(count, default_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count (clamped to
+/// `[1, count]`).
+pub fn parallel_map_with_threads<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_init_with_threads(count, threads, || (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with per-worker scratch state: each worker thread calls
+/// `init` once and threads the resulting state through every index it
+/// claims. Experiments use this to reuse one [`rit_core::RitWorkspace`] per
+/// worker across all replications, so auction scratch is allocated
+/// `threads` times per sweep point instead of `R` times.
+///
+/// `f` must produce the same result for an index regardless of the state's
+/// history (workspaces carry capacity, not results), or determinism breaks.
+pub fn parallel_map_init<T, S, I, F>(count: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    parallel_map_init_with_threads(count, default_threads(), init, f)
+}
+
+/// [`parallel_map_init`] with an explicit worker-thread count.
+pub fn parallel_map_init_with_threads<T, S, I, F>(
+    count: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if count == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(count);
+    let threads = threads.max(1).min(count);
     if threads <= 1 {
-        return (0..count).map(f).collect();
+        let mut state = init();
+        return (0..count).map(|i| f(&mut state, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -36,13 +106,14 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|_| {
+                    let mut state = init();
                     let mut batch: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
                         }
-                        batch.push((i, f(i)));
+                        batch.push((i, f(&mut state, i)));
                     }
                     batch
                 })
@@ -117,6 +188,50 @@ mod tests {
             })
             .collect();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn explicit_thread_counts_preserve_results() {
+        let expected: Vec<usize> = (0..40).map(|i| i * 3).collect();
+        for threads in [1, 2, 7, 64] {
+            assert_eq!(
+                parallel_map_with_threads(40, threads, |i| i * 3),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_not_shared() {
+        // Each worker counts the indices it processed in its own state; the
+        // per-index results must be identical to a stateless map and the
+        // total work must cover every index exactly once.
+        let out = parallel_map_init_with_threads(
+            100,
+            4,
+            || 0usize,
+            |calls, i| {
+                *calls += 1;
+                (i, *calls)
+            },
+        );
+        let indices: Vec<usize> = out.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, (0..100).collect::<Vec<_>>());
+        // Every worker's call counter ends at its own batch size; the
+        // counters over all indices must sum to the total count.
+        let max_calls = out.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(max_calls >= 100 / 4, "some worker claimed a full share");
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 16 "), Some(16));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("auto"), None);
+        assert_eq!(parse_thread_override("-2"), None);
     }
 
     #[test]

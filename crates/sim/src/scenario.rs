@@ -117,6 +117,22 @@ impl Scenario {
         }
     }
 
+    /// Like [`Scenario::generate`], memoized through `cache`: the first
+    /// request for `(config, seed)` generates, later ones share the `Arc`.
+    /// See [`crate::substrate::SubstrateCache`].
+    ///
+    /// # Panics
+    ///
+    /// See [`Scenario::generate`].
+    #[must_use]
+    pub fn generate_cached(
+        cache: &crate::substrate::SubstrateCache,
+        config: &ScenarioConfig,
+        seed: u64,
+    ) -> std::sync::Arc<Self> {
+        cache.scenario(config, seed)
+    }
+
     /// Number of users.
     #[must_use]
     pub fn num_users(&self) -> usize {

@@ -1,0 +1,323 @@
+//! Memoized scenario substrates.
+//!
+//! Every replication of every experiment starts from the same kind of
+//! immutable input — a sampled population, a generated social graph, the
+//! spanning-forest incentive tree, and the truthful asks — bundled as a
+//! [`Scenario`]. Generating that substrate is O(n log n) and, after the
+//! allocation-free auction engine, dominates the wall time of a sweep
+//! point. A [`SubstrateCache`] memoizes fully generated scenarios behind
+//! `Arc`s, keyed by the exact generation inputs `(config, seed)`, so the
+//! `R` replications of a sweep point (and any other sweep point that asks
+//! for the same substrate) pay the generation cost once.
+//!
+//! The cache is concurrent: [`parallel_map`](crate::runner::parallel_map)
+//! workers hitting the same key block only on that key's one-time
+//! generation (a per-key [`OnceLock`]), never on each other's distinct
+//! keys, and a hit is a lock-free clone of an `Arc`. Generation happens
+//! exactly once per key — pinned by the generation-counter tests — and a
+//! cached scenario is bit-identical to [`Scenario::generate`] with the
+//! same inputs because it *is* that call, memoized.
+//!
+//! [`SubstrateCache::passthrough`] builds a cache that never memoizes but
+//! still counts generations; the `bench_sim` harness uses it as the
+//! uncached arm so both arms run the same code path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::scenario::{GraphModel, Scenario, ScenarioConfig};
+
+/// Hashable identity of a generation call: the full scenario configuration
+/// (floats by bit pattern) plus the substrate seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct SubstrateKey {
+    num_users: usize,
+    num_types: usize,
+    capacity_max: u64,
+    cost_max_bits: u64,
+    graph: GraphKey,
+    seed: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum GraphKey {
+    BarabasiAlbert { m: usize },
+    ErdosRenyi { p_bits: u64 },
+    WattsStrogatz { k: usize, beta_bits: u64 },
+}
+
+impl SubstrateKey {
+    fn new(config: &ScenarioConfig, seed: u64) -> Self {
+        Self {
+            num_users: config.num_users,
+            num_types: config.workload.num_types,
+            capacity_max: config.workload.capacity_max,
+            cost_max_bits: config.workload.cost_max.to_bits(),
+            graph: match config.graph {
+                GraphModel::BarabasiAlbert { m } => GraphKey::BarabasiAlbert { m },
+                GraphModel::ErdosRenyi { p } => GraphKey::ErdosRenyi {
+                    p_bits: p.to_bits(),
+                },
+                GraphModel::WattsStrogatz { k, beta } => GraphKey::WattsStrogatz {
+                    k,
+                    beta_bits: beta.to_bits(),
+                },
+            },
+            seed,
+        }
+    }
+}
+
+/// Concurrent memoization of [`Scenario::generate`] — see the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub struct SubstrateCache {
+    /// `None` = passthrough mode (count generations, memoize nothing).
+    entries: Option<Mutex<HashMap<SubstrateKey, Arc<OnceLock<Arc<Scenario>>>>>>,
+    generations: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counter snapshot of a cache's activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Scenarios actually generated (the expensive path).
+    pub generations: u64,
+    /// Requests served from memory.
+    pub hits: u64,
+    /// Requests that had to generate (or found generation in flight).
+    pub misses: u64,
+}
+
+impl SubstrateCache {
+    /// An empty memoizing cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Some(Mutex::new(HashMap::new())),
+            ..Self::default()
+        }
+    }
+
+    /// A cache that never memoizes: every request generates. Keeps the
+    /// same counters, so benches can run cached and uncached arms through
+    /// one code path.
+    #[must_use]
+    pub fn passthrough() -> Self {
+        Self::default()
+    }
+
+    /// The scenario for `(config, seed)`, generated at most once for a
+    /// memoizing cache. Bit-identical to `Scenario::generate(config, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates [`Scenario::generate`] panics (invalid configuration).
+    #[must_use]
+    pub fn scenario(&self, config: &ScenarioConfig, seed: u64) -> Arc<Scenario> {
+        let Some(entries) = &self.entries else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(Scenario::generate(config, seed));
+        };
+        let key = SubstrateKey::new(config, seed);
+        let cell = {
+            let mut map = entries.lock().expect("substrate cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        if let Some(hit) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // First caller generates; concurrent callers of the same key block
+        // here (and only here) until the scenario is ready.
+        Arc::clone(cell.get_or_init(|| {
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Scenario::generate(config, seed))
+        }))
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            generations: self.generations.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Scenarios actually generated so far.
+    #[must_use]
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct substrates held (0 for a passthrough cache).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .as_ref()
+            .map_or(0, |e| e.lock().expect("substrate cache poisoned").len())
+    }
+
+    /// Whether the cache holds no substrates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every held substrate (counters keep running).
+    pub fn clear(&self) {
+        if let Some(entries) = &self.entries {
+            entries.lock().expect("substrate cache poisoned").clear();
+        }
+    }
+}
+
+/// How an experiment sources its per-replication substrates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubstrateMode {
+    /// A fresh substrate per replication — the paper's "averaged over 1000
+    /// times" semantics. The cache is bypassed (memoizing every draw would
+    /// hold R scenarios alive for zero hits).
+    PerReplication,
+    /// Rotate replications over `k` distinct substrates per configuration:
+    /// replication `r` uses substrate `r % k`, so generation cost is paid
+    /// `k` times regardless of `R` and mechanism randomness still varies
+    /// per replication. `Rotating(k ≥ R)` degenerates to per-replication
+    /// statistics at full generation cost.
+    Rotating(usize),
+}
+
+impl Default for SubstrateMode {
+    fn default() -> Self {
+        Self::PerReplication
+    }
+}
+
+impl SubstrateMode {
+    /// The substrate slot replication `r` draws from, or `None` for a
+    /// fresh per-replication substrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Rotating(0)`.
+    #[must_use]
+    pub fn slot(self, replication: usize) -> Option<usize> {
+        match self {
+            Self::PerReplication => None,
+            Self::Rotating(k) => {
+                assert!(k > 0, "Rotating(0) has no substrates");
+                Some(replication % k)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::parallel_map;
+
+    fn config() -> ScenarioConfig {
+        ScenarioConfig::paper(120)
+    }
+
+    #[test]
+    fn cached_scenario_is_bit_identical_to_fresh_for_every_graph_model() {
+        let models = [
+            GraphModel::BarabasiAlbert { m: 3 },
+            GraphModel::ErdosRenyi { p: 0.04 },
+            GraphModel::WattsStrogatz { k: 4, beta: 0.2 },
+        ];
+        let cache = SubstrateCache::new();
+        for (i, model) in models.into_iter().enumerate() {
+            let mut config = config();
+            config.graph = model;
+            let seed = 9 + i as u64;
+            // Warm the entry, then read it back as a hit.
+            let _ = cache.scenario(&config, seed);
+            let cached = cache.scenario(&config, seed);
+            let fresh = Scenario::generate(&config, seed);
+            assert_eq!(cached.asks, fresh.asks, "asks diverged for {model:?}");
+            assert_eq!(cached.tree, fresh.tree, "tree diverged for {model:?}");
+            assert_eq!(
+                cached.population.as_slice(),
+                fresh.population.as_slice(),
+                "profiles diverged for {model:?}"
+            );
+        }
+        assert_eq!(cache.generations(), 3);
+        assert_eq!(cache.stats().hits, 3);
+    }
+
+    #[test]
+    fn generation_happens_once_per_key() {
+        let cache = SubstrateCache::new();
+        for _ in 0..5 {
+            let _ = cache.scenario(&config(), 1);
+            let _ = cache.scenario(&config(), 2);
+        }
+        assert_eq!(cache.generations(), 2);
+        assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 10);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_keys() {
+        let cache = SubstrateCache::new();
+        let a = config();
+        let mut b = config();
+        b.graph = crate::scenario::GraphModel::ErdosRenyi { p: 0.05 };
+        let mut c = config();
+        c.workload.cost_max = 5.0;
+        let _ = cache.scenario(&a, 1);
+        let _ = cache.scenario(&b, 1);
+        let _ = cache.scenario(&c, 1);
+        assert_eq!(cache.generations(), 3);
+    }
+
+    #[test]
+    fn concurrent_hits_generate_once() {
+        let cache = SubstrateCache::new();
+        let scenarios = parallel_map(16, |_| cache.scenario(&config(), 7));
+        assert_eq!(cache.generations(), 1);
+        for s in &scenarios {
+            assert!(Arc::ptr_eq(s, &scenarios[0]), "all callers share one Arc");
+        }
+    }
+
+    #[test]
+    fn passthrough_regenerates_every_time() {
+        let cache = SubstrateCache::passthrough();
+        let a = cache.scenario(&config(), 3);
+        let b = cache.scenario(&config(), 3);
+        assert_eq!(cache.generations(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(a.asks, b.asks);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = SubstrateCache::new();
+        let _ = cache.scenario(&config(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        let _ = cache.scenario(&config(), 1);
+        assert_eq!(cache.generations(), 2);
+    }
+
+    #[test]
+    fn rotating_mode_maps_replications_to_slots() {
+        assert_eq!(SubstrateMode::PerReplication.slot(5), None);
+        assert_eq!(SubstrateMode::Rotating(4).slot(0), Some(0));
+        assert_eq!(SubstrateMode::Rotating(4).slot(7), Some(3));
+        assert_eq!(SubstrateMode::Rotating(1).slot(999), Some(0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based equivalence of the two campaign recruitment paths.
+//!
+//! [`rit_sim::campaign::run_with_mode`] advances recruitment either by
+//! extending a checkpointed cascade (`Incremental`, O(new joins) per epoch)
+//! or by replaying the whole cascade from round 0 (`Replay`, the pre-cache
+//! behavior). The modes must be interchangeable: every reported number —
+//! epoch metrics, lifetime earnings, join epochs — bit-identical.
+
+use proptest::prelude::*;
+use rit_model::workload::WorkloadConfig;
+use rit_sim::campaign::{run_with_mode, CampaignConfig, RecruitmentMode};
+
+fn arb_config() -> impl Strategy<Value = CampaignConfig> {
+    (
+        2usize..5,     // num_jobs
+        120usize..400, // universe
+        10usize..40,   // initial_target
+        0usize..30,    // growth_per_epoch
+        0.3f64..0.95,  // invite_prob
+        2usize..5,     // num_types
+        3u64..12,      // tasks_per_type
+    )
+        .prop_map(
+            |(num_jobs, universe, initial_target, growth, invite_prob, num_types, tasks)| {
+                CampaignConfig {
+                    num_jobs,
+                    universe,
+                    initial_target,
+                    growth_per_epoch: growth,
+                    invite_prob,
+                    workload: WorkloadConfig {
+                        num_types,
+                        capacity_max: 6,
+                        cost_max: 10.0,
+                    },
+                    tasks_per_type: tasks,
+                }
+            },
+        )
+}
+
+proptest! {
+    // Each case runs two full campaigns (several RIT auctions each), so
+    // keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_and_replay_reports_are_bit_identical(
+        config in arb_config(),
+        seed in any::<u64>(),
+    ) {
+        let incremental = run_with_mode(&config, seed, RecruitmentMode::Incremental)
+            .expect("campaign runs");
+        let replay = run_with_mode(&config, seed, RecruitmentMode::Replay)
+            .expect("campaign runs");
+        prop_assert_eq!(incremental, replay);
+    }
+}
+
+#[test]
+fn default_mode_is_incremental() {
+    let config = CampaignConfig {
+        num_jobs: 3,
+        universe: 300,
+        initial_target: 30,
+        growth_per_epoch: 20,
+        invite_prob: 0.6,
+        workload: WorkloadConfig {
+            num_types: 3,
+            capacity_max: 6,
+            cost_max: 10.0,
+        },
+        tasks_per_type: 8,
+    };
+    let via_run = rit_sim::campaign::run(&config, 7).expect("campaign runs");
+    let explicit = run_with_mode(&config, 7, RecruitmentMode::Incremental).expect("campaign runs");
+    assert_eq!(via_run, explicit);
+    assert_eq!(RecruitmentMode::default(), RecruitmentMode::Incremental);
+}

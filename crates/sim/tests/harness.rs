@@ -5,11 +5,7 @@ use rit_sim::experiments::{ablation, fig9, sweeps, Scale};
 use rit_sim::metrics::Figure;
 
 fn smoke_sweep() -> sweeps::SweepConfig {
-    sweeps::SweepConfig {
-        scale: Scale::Smoke,
-        runs: 3,
-        seed: 99,
-    }
+    sweeps::SweepConfig::new(Scale::Smoke, 3, 99)
 }
 
 fn assert_renders(figure: &Figure) {
@@ -43,16 +39,8 @@ fn every_figure_regenerates_at_smoke_scale() {
             runs: 2,
             seed: 99,
         }),
-        ablation::collusion(&ablation::AblationConfig {
-            scale: Scale::Smoke,
-            runs: 2,
-            seed: 99,
-        }),
-        ablation::round_budget(&ablation::AblationConfig {
-            scale: Scale::Smoke,
-            runs: 2,
-            seed: 99,
-        }),
+        ablation::collusion(&ablation::AblationConfig::new(Scale::Smoke, 2, 99)),
+        ablation::round_budget(&ablation::AblationConfig::new(Scale::Smoke, 2, 99)),
     ];
     let ids: Vec<&str> = figures.iter().map(|f| f.id).collect();
     assert_eq!(

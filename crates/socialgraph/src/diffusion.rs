@@ -55,6 +55,221 @@ pub struct DiffusionOutcome {
     pub rounds: u32,
 }
 
+const UNJOINED: u32 = u32::MAX;
+
+/// A checkpointable recruitment cascade.
+///
+/// A cascade with a membership `target` is a strict prefix of the same
+/// cascade run to a larger target: the RNG draws are consumed in a
+/// deterministic iteration order, so stopping at `target` and resuming
+/// later replays *exactly* the draws a from-scratch run would make. The
+/// state therefore records not just the joined set and frontier but the
+/// in-round position (which inviter, which neighbor) where the previous
+/// [`DiffusionState::extend`] call stopped, so an extension to a larger
+/// target costs O(new joins) rather than O(total cascade).
+///
+/// [`simulate`] is a thin wrapper: `new` + one `extend` + `into_outcome`.
+/// Extending a state with the *same RNG* it was grown with is bit-identical
+/// (joined order, tree, reported rounds) to a from-scratch [`simulate`] at
+/// the larger target — pinned by the `incremental` proptests.
+#[derive(Clone, Debug)]
+pub struct DiffusionState {
+    /// Tree parent of each *graph* node (0 = platform, else tree node id).
+    parent_of: Vec<u32>,
+    /// Graph node -> tree node id (valid when joined).
+    tree_id: Vec<u32>,
+    /// Graph node of each member, in join order.
+    joined: Vec<u32>,
+    /// Members still inviting this round.
+    frontier: Vec<u32>,
+    /// Joins of the in-progress round (unsorted until the round completes).
+    next: Vec<u32>,
+    /// Resume position: index into `frontier`.
+    cursor_inviter: usize,
+    /// Resume position: index into the current inviter's neighbor list.
+    cursor_neighbor: usize,
+    /// Completed rounds.
+    rounds: u32,
+}
+
+impl DiffusionState {
+    /// Starts a cascade over a graph with `num_nodes` nodes, seeded at
+    /// `seeds` (graph node ids, deduplicated, all joining the platform
+    /// directly in round 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed is out of range.
+    #[must_use]
+    pub fn new(graph: &SocialGraph, seeds: &[usize]) -> Self {
+        let n = graph.num_nodes();
+        let mut parent_of = vec![UNJOINED; n];
+        let mut tree_id = vec![0u32; n];
+        let mut joined: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+        for &s in seeds {
+            assert!(s < n, "seed {s} out of range");
+            if parent_of[s] == UNJOINED {
+                parent_of[s] = 0;
+                joined.push(s as u32);
+                tree_id[s] = joined.len() as u32;
+                frontier.push(s as u32);
+            }
+        }
+        frontier.sort_unstable();
+        Self {
+            parent_of,
+            tree_id,
+            joined,
+            frontier,
+            next: Vec::new(),
+            cursor_inviter: 0,
+            cursor_neighbor: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Whether the state sits at a round boundary (no round in progress).
+    fn at_round_start(&self) -> bool {
+        self.cursor_inviter == 0 && self.cursor_neighbor == 0 && self.next.is_empty()
+    }
+
+    /// Runs the cascade (from wherever the previous `extend` stopped) until
+    /// `config.target` is met, the cumulative round cap is hit, or the
+    /// cascade dies out. Returns the number of *new* joins.
+    ///
+    /// `rng` must be the same stream the state was grown with for the
+    /// resume to match a from-scratch run; `config.max_rounds` counts
+    /// cumulatively over the state's whole life.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `invite_prob` is outside `[0, 1]` or `graph` does not have
+    /// the node count the state was created with.
+    pub fn extend<R: Rng + ?Sized>(
+        &mut self,
+        graph: &SocialGraph,
+        config: &DiffusionConfig,
+        rng: &mut R,
+    ) -> usize {
+        assert!(
+            (0.0..=1.0).contains(&config.invite_prob),
+            "invite_prob must be a probability"
+        );
+        assert_eq!(
+            graph.num_nodes(),
+            self.parent_of.len(),
+            "graph changed size under the cascade"
+        );
+        let before = self.joined.len();
+        loop {
+            if config.target.is_some_and(|t| self.joined.len() >= t) {
+                // Mid-round this leaves the cursors in place, so a later
+                // extension resumes exactly where the draw stream stopped.
+                break;
+            }
+            if self.at_round_start()
+                && (self.frontier.is_empty() || self.rounds >= config.max_rounds)
+            {
+                break;
+            }
+            // Run (the rest of) the current round.
+            'round: while self.cursor_inviter < self.frontier.len() {
+                let inviter = self.frontier[self.cursor_inviter];
+                let neighbors = graph.neighbors(inviter as usize);
+                while self.cursor_neighbor < neighbors.len() {
+                    let nb = neighbors[self.cursor_neighbor];
+                    self.cursor_neighbor += 1;
+                    if self.parent_of[nb as usize] != UNJOINED {
+                        continue;
+                    }
+                    if rng.gen_bool(config.invite_prob) {
+                        self.parent_of[nb as usize] = self.tree_id[inviter as usize];
+                        self.joined.push(nb);
+                        self.tree_id[nb as usize] = self.joined.len() as u32;
+                        self.next.push(nb);
+                        if config.target == Some(self.joined.len()) {
+                            break 'round;
+                        }
+                    }
+                }
+                if self.cursor_neighbor >= neighbors.len() {
+                    self.cursor_inviter += 1;
+                    self.cursor_neighbor = 0;
+                }
+            }
+            if self.cursor_inviter >= self.frontier.len() {
+                // Round complete: promote this round's joins to the frontier.
+                self.next.sort_unstable();
+                std::mem::swap(&mut self.frontier, &mut self.next);
+                self.next.clear();
+                self.cursor_inviter = 0;
+                self.cursor_neighbor = 0;
+                self.rounds += 1;
+            }
+        }
+        self.joined.len() - before
+    }
+
+    /// Graph node of each member, in join order.
+    #[must_use]
+    pub fn joined(&self) -> &[u32] {
+        &self.joined
+    }
+
+    /// Number of members so far.
+    #[must_use]
+    pub fn num_joined(&self) -> usize {
+        self.joined.len()
+    }
+
+    /// Rounds the cascade has run, counting an in-progress round the way
+    /// [`simulate`] reports it (a round cut short by the target counts).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds + u32::from(!self.at_round_start())
+    }
+
+    /// Materializes the incentive tree over the current membership
+    /// (tree node `j + 1` is graph node `joined[j]`). O(members).
+    ///
+    /// # Panics
+    ///
+    /// Never: cascade parents are acyclic by construction.
+    #[must_use]
+    pub fn tree(&self) -> IncentiveTree {
+        let parents: Vec<NodeId> = self
+            .joined
+            .iter()
+            .map(|&g| NodeId::new(self.parent_of[g as usize]))
+            .collect();
+        IncentiveTree::from_parents(&parents).expect("cascade parents are acyclic")
+    }
+
+    /// Snapshots the state as a [`DiffusionOutcome`].
+    #[must_use]
+    pub fn outcome(&self) -> DiffusionOutcome {
+        DiffusionOutcome {
+            tree: self.tree(),
+            joined: self.joined.clone(),
+            rounds: self.rounds(),
+        }
+    }
+
+    /// Consumes the state into a [`DiffusionOutcome`] without copying the
+    /// join list.
+    #[must_use]
+    pub fn into_outcome(self) -> DiffusionOutcome {
+        let tree = self.tree();
+        let rounds = self.rounds();
+        DiffusionOutcome {
+            tree,
+            joined: self.joined,
+            rounds,
+        }
+    }
+}
+
 /// Runs a recruitment cascade over `graph`, seeded at `seeds` (graph node
 /// ids, deduplicated, all joining the platform directly in round 0).
 ///
@@ -67,68 +282,9 @@ pub fn simulate<R: Rng + ?Sized>(
     config: &DiffusionConfig,
     rng: &mut R,
 ) -> DiffusionOutcome {
-    assert!(
-        (0.0..=1.0).contains(&config.invite_prob),
-        "invite_prob must be a probability"
-    );
-    let n = graph.num_nodes();
-    const UNJOINED: u32 = u32::MAX;
-    // tree parent of each *graph* node (0 = platform, else tree node id).
-    let mut parent_of = vec![UNJOINED; n];
-    let mut tree_id = vec![0u32; n]; // graph node -> tree node id (valid when joined)
-    let mut joined: Vec<u32> = Vec::new();
-
-    let mut frontier: Vec<u32> = Vec::new();
-    for &s in seeds {
-        assert!(s < n, "seed {s} out of range");
-        if parent_of[s] == UNJOINED {
-            parent_of[s] = 0;
-            joined.push(s as u32);
-            tree_id[s] = joined.len() as u32;
-            frontier.push(s as u32);
-        }
-    }
-    frontier.sort_unstable();
-
-    let mut rounds = 0u32;
-    let mut next: Vec<u32> = Vec::new();
-    while !frontier.is_empty()
-        && rounds < config.max_rounds
-        && config.target.is_none_or(|t| joined.len() < t)
-    {
-        next.clear();
-        'invite: for &inviter in &frontier {
-            for &nb in graph.neighbors(inviter as usize) {
-                if parent_of[nb as usize] != UNJOINED {
-                    continue;
-                }
-                if rng.gen_bool(config.invite_prob) {
-                    parent_of[nb as usize] = tree_id[inviter as usize];
-                    joined.push(nb);
-                    tree_id[nb as usize] = joined.len() as u32;
-                    next.push(nb);
-                    if config.target == Some(joined.len()) {
-                        break 'invite;
-                    }
-                }
-            }
-        }
-        next.sort_unstable();
-        std::mem::swap(&mut frontier, &mut next);
-        rounds += 1;
-    }
-
-    // Parents in join order: tree node j+1 is graph node joined[j].
-    let parents: Vec<NodeId> = joined
-        .iter()
-        .map(|&g| NodeId::new(parent_of[g as usize]))
-        .collect();
-    let tree = IncentiveTree::from_parents(&parents).expect("cascade parents are acyclic");
-    DiffusionOutcome {
-        tree,
-        joined,
-        rounds,
-    }
+    let mut state = DiffusionState::new(graph, seeds);
+    state.extend(graph, config, rng);
+    state.into_outcome()
 }
 
 #[cfg(test)]

@@ -1,0 +1,123 @@
+//! Property-based tests pinning the resumability contract of
+//! [`DiffusionState`]: a cascade stopped at one membership target and
+//! extended later with the same RNG stream is bit-identical — join order,
+//! tree, reported rounds — to a from-scratch cascade run straight to the
+//! larger target.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_socialgraph::diffusion::{self, DiffusionConfig, DiffusionState};
+use rit_socialgraph::{generators, SocialGraph};
+
+fn arb_graph() -> impl Strategy<Value = (SocialGraph, u64)> {
+    (20usize..120, 1usize..4, any::<u64>()).prop_map(|(n, m, seed)| {
+        let g = generators::barabasi_albert(n, m, &mut SmallRng::seed_from_u64(seed));
+        (g, seed)
+    })
+}
+
+fn config(invite_prob: f64, target: usize) -> DiffusionConfig {
+    DiffusionConfig {
+        invite_prob,
+        target: Some(target),
+        max_rounds: 64,
+    }
+}
+
+proptest! {
+    /// extend(T1); extend(T2) == simulate(T2), for T1 ≤ T2.
+    #[test]
+    fn two_step_extension_matches_from_scratch(
+        (g, _) in arb_graph(),
+        rng_seed in any::<u64>(),
+        invite_prob in 0.05f64..1.0,
+        t1_frac in 0.0f64..1.0,
+        t2_frac in 0.0f64..1.0,
+    ) {
+        let n = g.num_nodes();
+        let t2 = 1 + (t2_frac * (n - 1) as f64) as usize;
+        let t1 = 1 + (t1_frac * (t2 - 1) as f64) as usize; // 1 ≤ t1 ≤ t2
+
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut state = DiffusionState::new(&g, &[0]);
+        state.extend(&g, &config(invite_prob, t1), &mut rng);
+        prop_assert!(state.num_joined() <= t1.max(1));
+        state.extend(&g, &config(invite_prob, t2), &mut rng);
+
+        let fresh = diffusion::simulate(
+            &g,
+            &[0],
+            &config(invite_prob, t2),
+            &mut SmallRng::seed_from_u64(rng_seed),
+        );
+        prop_assert_eq!(state.joined(), &fresh.joined[..]);
+        prop_assert_eq!(state.rounds(), fresh.rounds);
+        prop_assert_eq!(state.tree(), fresh.tree);
+    }
+
+    /// A chain of many small extensions equals one from-scratch run at the
+    /// final target, and intermediate snapshots are prefixes.
+    #[test]
+    fn many_step_chain_matches_from_scratch(
+        (g, _) in arb_graph(),
+        rng_seed in any::<u64>(),
+        invite_prob in 0.05f64..1.0,
+        steps in 2usize..8,
+    ) {
+        let n = g.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut state = DiffusionState::new(&g, &[0]);
+        let mut prev_joined: Vec<u32> = state.joined().to_vec();
+        for s in 1..=steps {
+            let target = 1 + s * (n - 1) / steps;
+            state.extend(&g, &config(invite_prob, target), &mut rng);
+            // Strict growth: the previous membership is an exact prefix.
+            prop_assert_eq!(&state.joined()[..prev_joined.len()], &prev_joined[..]);
+            prev_joined = state.joined().to_vec();
+        }
+
+        let fresh = diffusion::simulate(
+            &g,
+            &[0],
+            &config(invite_prob, n),
+            &mut SmallRng::seed_from_u64(rng_seed),
+        );
+        prop_assert_eq!(state.joined(), &fresh.joined[..]);
+        prop_assert_eq!(state.rounds(), fresh.rounds);
+        prop_assert_eq!(state.tree(), fresh.tree);
+    }
+
+    /// Extending a cascade that already died out (or met its cumulative
+    /// round cap) is a no-op, never a divergence.
+    #[test]
+    fn extension_past_exhaustion_is_a_noop(
+        (g, _) in arb_graph(),
+        rng_seed in any::<u64>(),
+        invite_prob in 0.05f64..1.0,
+    ) {
+        let n = g.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut state = DiffusionState::new(&g, &[0]);
+        state.extend(&g, &config(invite_prob, n), &mut rng);
+        let joined = state.joined().to_vec();
+        let rounds = state.rounds();
+        let grew = state.extend(&g, &config(invite_prob, n), &mut rng);
+        prop_assert_eq!(grew, 0);
+        prop_assert_eq!(state.joined(), &joined[..]);
+        prop_assert_eq!(state.rounds(), rounds);
+    }
+}
+
+#[test]
+fn outcome_snapshot_matches_into_outcome() {
+    let g = generators::barabasi_albert(200, 2, &mut SmallRng::seed_from_u64(5));
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut state = DiffusionState::new(&g, &[0]);
+    state.extend(&g, &config(0.5, 80), &mut rng);
+    let snap = state.outcome();
+    let owned = state.into_outcome();
+    assert_eq!(snap.joined, owned.joined);
+    assert_eq!(snap.rounds, owned.rounds);
+    assert_eq!(snap.tree, owned.tree);
+}

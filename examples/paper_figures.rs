@@ -14,11 +14,7 @@
 use rit::sim::experiments::{fig9, sweeps, Scale};
 
 fn main() {
-    let config = sweeps::SweepConfig {
-        scale: Scale::Smoke,
-        runs: 5,
-        seed: 2017,
-    };
+    let config = sweeps::SweepConfig::new(Scale::Smoke, 5, 2017);
 
     println!("running user sweep (Figs 6a, 7a, 8a)…\n");
     let users = sweeps::user_sweep(&config);
