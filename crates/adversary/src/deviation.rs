@@ -1,0 +1,718 @@
+//! The deviation vocabulary: strategic transformations of a `(tree, asks)`
+//! scenario.
+//!
+//! Each [`Deviation`] rewrites a [`BaseScenario`] into an [`Attacked`]
+//! scenario and reports which user slots belong to the attacker
+//! ([`Identity`]). The transformations are pure data manipulation over
+//! `rit-model` and `rit-tree` types — no mechanism in sight — which is what
+//! lets `rit-core` probes, `rit-sim` experiments, and the `experiments`
+//! binary share them.
+
+use std::borrow::Cow;
+
+use rand::{Rng, RngCore};
+
+use rit_model::{Ask, TaskTypeId};
+use rit_tree::sybil::{self, SybilPlan};
+use rit_tree::{IncentiveTree, NodeId};
+
+use crate::error::AdversaryError;
+
+/// The honest scenario a deviation starts from.
+///
+/// `costs` holds each user's *true* unit cost `cⱼ` (used to price the
+/// attacker's allocation); callers that only evaluate attacker-free
+/// deviations (e.g. platform-side [`Screening`]) may pass an empty slice.
+#[derive(Clone, Copy, Debug)]
+pub struct BaseScenario<'a> {
+    /// The honest incentive tree.
+    pub tree: &'a IncentiveTree,
+    /// The honest ask vector, aligned with `tree`'s user nodes.
+    pub asks: &'a [Ask],
+    /// True unit costs, indexed by user. Must cover every user referenced
+    /// by a deviation's [`Identity::origin`] or attacker set.
+    pub costs: &'a [f64],
+}
+
+/// One user slot controlled by the attacker in an attacked scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Identity {
+    /// The user index of this identity in the *attacked* scenario.
+    pub user: usize,
+    /// The user (in the *base* scenario) whose true cost applies: a sybil
+    /// identity performs tasks at the victim's real cost, a coalition
+    /// member at its own.
+    pub origin: usize,
+}
+
+/// A scenario after a deviation was applied.
+///
+/// Tree and asks are [`Cow`]s: deviations that leave them untouched (e.g.
+/// [`Screening`]) borrow the base scenario, so the honest structures are
+/// never copied just to be re-run.
+#[derive(Clone, Debug)]
+pub struct Attacked<'a> {
+    /// The post-attack incentive tree.
+    pub tree: Cow<'a, IncentiveTree>,
+    /// The post-attack ask vector (aligned with `tree`'s user nodes).
+    pub asks: Cow<'a, [Ask]>,
+    /// The attacker's identities in the attacked scenario.
+    pub identities: Vec<Identity>,
+    /// Per-user eligibility mask for platform-side screening deviations
+    /// (`None` means everyone participates).
+    pub eligible: Option<Vec<bool>>,
+}
+
+impl<'a> Attacked<'a> {
+    /// An untouched copy of the base scenario (no attacker, no mask).
+    #[must_use]
+    pub fn honest(base: &BaseScenario<'a>) -> Self {
+        Self {
+            tree: Cow::Borrowed(base.tree),
+            asks: Cow::Borrowed(base.asks),
+            identities: Vec::new(),
+            eligible: None,
+        }
+    }
+}
+
+/// A strategic deviation from honest participation.
+///
+/// Implementations must be deterministic given the scenario and the
+/// generator state: all randomness comes from `rng`, and the runner hands
+/// the *same* generator to the mechanism afterwards, so the number of
+/// draws an implementation makes is part of its reproducibility contract.
+pub trait Deviation: Send + Sync {
+    /// A short kind label (stable across runs; used in reports).
+    fn name(&self) -> &str;
+
+    /// The base-scenario users the attacker controls. Their summed honest
+    /// utility is the baseline the deviation is compared against.
+    fn attacker(&self) -> Vec<usize>;
+
+    /// Transforms the base scenario into the attacked scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdversaryError`] when the deviation is ill-formed for this
+    /// scenario (invalid rewritten ask, out-of-range user, tree error).
+    fn apply<'a>(
+        &self,
+        base: &BaseScenario<'a>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Attacked<'a>, AdversaryError>;
+}
+
+/// How a [`SybilSplit`]'s identities price themselves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SybilPricing {
+    /// All identities ask `unit_price`, splitting the victim's claimed
+    /// quantity uniformly at random into positive parts (the Lemma 6.4
+    /// equal-ask attack and the Fig 9 generator).
+    Uniform {
+        /// The per-identity unit price.
+        unit_price: f64,
+    },
+    /// Explicit per-identity asks (must match the plan's identity count
+    /// and keep the victim's task type) — e.g. the ablation's
+    /// withhold-and-decoy pair.
+    Explicit(Vec<Ask>),
+}
+
+/// A §3-B sybil attack: `user` splits into `plan.num_identities` fake
+/// identities re-arranged per `plan`, with asks given by `pricing`.
+#[derive(Clone, Debug)]
+pub struct SybilSplit {
+    /// The attacking user (victim slot of the split).
+    pub user: usize,
+    /// Identity count and topology.
+    pub plan: SybilPlan,
+    /// How the identities bid.
+    pub pricing: SybilPricing,
+}
+
+impl Deviation for SybilSplit {
+    fn name(&self) -> &str {
+        "sybil"
+    }
+
+    fn attacker(&self) -> Vec<usize> {
+        vec![self.user]
+    }
+
+    fn apply<'a>(
+        &self,
+        base: &BaseScenario<'a>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Attacked<'a>, AdversaryError> {
+        if self.user >= base.asks.len() {
+            return Err(AdversaryError::UserOutOfRange {
+                user: self.user,
+                users: base.asks.len(),
+            });
+        }
+        let victim_ask = base.asks[self.user];
+        // Draw order matters for stream reproducibility: quantity split
+        // first, then the tree transformation.
+        let identity_asks: Cow<'_, [Ask]> = match &self.pricing {
+            SybilPricing::Uniform { unit_price } => Cow::Owned(uniform_identity_asks(
+                victim_ask.task_type(),
+                victim_ask.quantity().max(self.plan.num_identities as u64),
+                self.plan.num_identities,
+                *unit_price,
+                rng,
+            )),
+            SybilPricing::Explicit(asks) => Cow::Borrowed(asks.as_slice()),
+        };
+        let sc = apply_sybil_attack(
+            base.tree,
+            base.asks,
+            self.user,
+            &identity_asks,
+            &self.plan,
+            rng,
+        )?;
+        Ok(Attacked {
+            tree: Cow::Owned(sc.tree),
+            asks: Cow::Owned(sc.asks),
+            identities: sc
+                .identity_users
+                .into_iter()
+                .map(|user| Identity {
+                    user,
+                    origin: self.user,
+                })
+                .collect(),
+            eligible: None,
+        })
+    }
+}
+
+/// A price misreport: `user` bids `factor ×` its honest unit price
+/// (overbidding for `factor > 1`, shading for `factor < 1`; Lemma 6.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriceMisreport {
+    /// The misreporting user.
+    pub user: usize,
+    /// Multiplier on the honest unit price.
+    pub factor: f64,
+}
+
+impl Deviation for PriceMisreport {
+    fn name(&self) -> &str {
+        "misreport"
+    }
+
+    fn attacker(&self) -> Vec<usize> {
+        vec![self.user]
+    }
+
+    fn apply<'a>(
+        &self,
+        base: &BaseScenario<'a>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Attacked<'a>, AdversaryError> {
+        let asks = rewrite_ask(base.asks, self.user, |a| {
+            a.with_unit_price(a.unit_price() * self.factor)
+        })?;
+        let identities = vec![Identity {
+            user: self.user,
+            origin: self.user,
+        }];
+        Ok(Attacked {
+            tree: Cow::Borrowed(base.tree),
+            asks: Cow::Owned(asks),
+            identities,
+            eligible: None,
+        })
+    }
+}
+
+/// A quantity withhold: `user` claims only `quantity` tasks instead of its
+/// full capacity (revealing `Kⱼ` should be weakly best).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Withholding {
+    /// The withholding user.
+    pub user: usize,
+    /// The under-claimed quantity.
+    pub quantity: u64,
+}
+
+impl Deviation for Withholding {
+    fn name(&self) -> &str {
+        "withholding"
+    }
+
+    fn attacker(&self) -> Vec<usize> {
+        vec![self.user]
+    }
+
+    fn apply<'a>(
+        &self,
+        base: &BaseScenario<'a>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Attacked<'a>, AdversaryError> {
+        let asks = rewrite_ask(base.asks, self.user, |a| a.with_quantity(self.quantity))?;
+        let identities = vec![Identity {
+            user: self.user,
+            origin: self.user,
+        }];
+        Ok(Attacked {
+            tree: Cow::Borrowed(base.tree),
+            asks: Cow::Owned(asks),
+            identities,
+            eligible: None,
+        })
+    }
+}
+
+/// A `K`-coalition price manipulation: every member bids `factor ×` its
+/// honest price in concert; the coalition's pooled utility is compared
+/// against its pooled honest utility (the `(K_max, H)`-collusion notion).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coalition {
+    /// The colluding users.
+    pub members: Vec<usize>,
+    /// Multiplier on each member's honest unit price.
+    pub factor: f64,
+}
+
+impl Deviation for Coalition {
+    fn name(&self) -> &str {
+        "coalition"
+    }
+
+    fn attacker(&self) -> Vec<usize> {
+        self.members.clone()
+    }
+
+    fn apply<'a>(
+        &self,
+        base: &BaseScenario<'a>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Attacked<'a>, AdversaryError> {
+        let mut asks = base.asks.to_vec();
+        for &m in &self.members {
+            if m >= asks.len() {
+                return Err(AdversaryError::UserOutOfRange {
+                    user: m,
+                    users: asks.len(),
+                });
+            }
+            asks[m] = asks[m].with_unit_price(asks[m].unit_price() * self.factor)?;
+        }
+        let identities = self
+            .members
+            .iter()
+            .map(|&user| Identity { user, origin: user })
+            .collect();
+        Ok(Attacked {
+            tree: Cow::Borrowed(base.tree),
+            asks: Cow::Owned(asks),
+            identities,
+            eligible: None,
+        })
+    }
+}
+
+/// Platform-side quality screening: each user independently survives with
+/// probability `1 − fraction` (one uniform draw per user, in user order).
+///
+/// This is a *platform* deviation — there is no attacker, so its
+/// [`GainReport`](crate::GainReport) side is evaluated through the
+/// single-arm [`ProbeRunner::deviant_replication`](crate::ProbeRunner)
+/// path and the utility fields stay zero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Screening {
+    /// Fraction of users screened out in expectation (`0 ≤ fraction ≤ 1`).
+    pub fraction: f64,
+}
+
+impl Deviation for Screening {
+    fn name(&self) -> &str {
+        "screening"
+    }
+
+    fn attacker(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn apply<'a>(
+        &self,
+        base: &BaseScenario<'a>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Attacked<'a>, AdversaryError> {
+        // Random exogenous quality scores; threshold at `fraction`. One
+        // draw per user even at fraction 0, to keep the stream stable
+        // across screening levels.
+        let eligible: Vec<bool> = (0..base.asks.len())
+            .map(|_| rng.gen::<f64>() >= self.fraction)
+            .collect();
+        Ok(Attacked {
+            tree: Cow::Borrowed(base.tree),
+            asks: Cow::Borrowed(base.asks),
+            identities: Vec::new(),
+            eligible: Some(eligible),
+        })
+    }
+}
+
+fn rewrite_ask(
+    asks: &[Ask],
+    user: usize,
+    f: impl FnOnce(&Ask) -> Result<Ask, rit_model::ModelError>,
+) -> Result<Vec<Ask>, AdversaryError> {
+    if user >= asks.len() {
+        return Err(AdversaryError::UserOutOfRange {
+            user,
+            users: asks.len(),
+        });
+    }
+    let mut asks = asks.to_vec();
+    asks[user] = f(&asks[user])?;
+    Ok(asks)
+}
+
+/// A `(tree, asks)` scenario after a sybil attack, plus the user indices of
+/// the attacker's identities.
+#[derive(Clone, Debug)]
+pub struct SybilScenario {
+    /// The post-attack incentive tree.
+    pub tree: IncentiveTree,
+    /// The post-attack ask vector (aligned with `tree`'s user nodes).
+    pub asks: Vec<Ask>,
+    /// User indices of the attacker's identities.
+    pub identity_users: Vec<usize>,
+}
+
+/// Applies a sybil attack to a `(tree, asks)` scenario.
+///
+/// [`rit_tree::sybil`] rewires the tree; this function completes the attack
+/// by also rewriting the *ask vector*: the victim's ask is replaced by the
+/// first identity's ask and the remaining identity asks are appended in
+/// step with the appended identity nodes. `victim_user` is the attacker's
+/// user index; `identity_asks` are the asks its `δ` identities will submit
+/// (all must share the victim's task type — the paper's `t_{j_l} = t_j`
+/// assumption — and there must be exactly `plan.num_identities` of them).
+/// The *caller* is responsible for keeping `Σ k_{j_l}` within the
+/// attacker's true capacity, which the platform cannot observe.
+///
+/// # Errors
+///
+/// Propagates tree-transformation errors ([`AdversaryError::Tree`]).
+///
+/// # Panics
+///
+/// Panics if `identity_asks.len() != plan.num_identities`, if any identity
+/// ask changes task type, or if `victim_user` is out of range.
+pub fn apply_sybil_attack<R: Rng + ?Sized>(
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    victim_user: usize,
+    identity_asks: &[Ask],
+    plan: &SybilPlan,
+    rng: &mut R,
+) -> Result<SybilScenario, AdversaryError> {
+    assert_eq!(asks.len(), tree.num_users(), "asks must align with tree");
+    assert!(victim_user < asks.len(), "victim user out of range");
+    assert_eq!(
+        identity_asks.len(),
+        plan.num_identities,
+        "need one ask per identity"
+    );
+    let victim_type = asks[victim_user].task_type();
+    assert!(
+        identity_asks.iter().all(|a| a.task_type() == victim_type),
+        "identities must keep the victim's task type"
+    );
+
+    let victim_node = NodeId::from_user_index(victim_user);
+    let outcome = sybil::apply(plan, tree, victim_node, rng)?;
+
+    let mut new_asks = asks.to_vec();
+    new_asks[victim_user] = identity_asks[0];
+    new_asks.extend_from_slice(&identity_asks[1..]);
+    debug_assert_eq!(new_asks.len(), outcome.tree.num_users());
+
+    let identity_users = outcome
+        .identities
+        .iter()
+        .map(|id| id.user_index().expect("identities are user nodes"))
+        .collect();
+
+    Ok(SybilScenario {
+        tree: outcome.tree,
+        asks: new_asks,
+        identity_users,
+    })
+}
+
+/// Builds `δ` identity asks that split `total_quantity` uniformly at random
+/// into positive parts, all at the same `unit_price` — the Lemma 6.4
+/// equal-ask attack and the Fig 9 generator.
+///
+/// # Panics
+///
+/// Panics if `delta == 0`, `total_quantity < delta`, or `unit_price` is
+/// invalid.
+#[must_use]
+pub fn uniform_identity_asks<R: Rng + ?Sized>(
+    task_type: TaskTypeId,
+    total_quantity: u64,
+    delta: usize,
+    unit_price: f64,
+    rng: &mut R,
+) -> Vec<Ask> {
+    sybil::split_quantity(total_quantity, delta, rng)
+        .into_iter()
+        .map(|k| Ask::new(task_type, k, unit_price).expect("valid split ask"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rit_tree::generate;
+
+    fn t0() -> TaskTypeId {
+        TaskTypeId::new(0)
+    }
+
+    fn base_world() -> (IncentiveTree, Vec<Ask>, Vec<f64>) {
+        let tree = generate::path(4);
+        let asks = vec![
+            Ask::new(t0(), 3, 2.0).unwrap(),
+            Ask::new(t0(), 4, 3.0).unwrap(),
+            Ask::new(TaskTypeId::new(1), 2, 1.0).unwrap(),
+            Ask::new(t0(), 1, 5.0).unwrap(),
+        ];
+        let costs = vec![2.0, 3.0, 1.0, 5.0];
+        (tree, asks, costs)
+    }
+
+    #[test]
+    fn sybil_split_rewrites_tree_asks_and_identities() {
+        let (tree, asks, costs) = base_world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let dev = SybilSplit {
+            user: 1,
+            plan: SybilPlan::chain(2),
+            pricing: SybilPricing::Uniform { unit_price: 3.0 },
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let attacked = dev.apply(&base, &mut rng).unwrap();
+        assert_eq!(attacked.tree.num_users(), 5);
+        assert_eq!(attacked.asks.len(), 5);
+        assert_eq!(
+            attacked.identities,
+            vec![
+                Identity { user: 1, origin: 1 },
+                Identity { user: 4, origin: 1 }
+            ]
+        );
+        // Quantity conserved across the split, price uniform.
+        let split: u64 = [1usize, 4]
+            .iter()
+            .map(|&u| attacked.asks[u].quantity())
+            .sum();
+        assert_eq!(split, 4);
+        assert!(attacked.asks[1].unit_price() == 3.0 && attacked.asks[4].unit_price() == 3.0);
+        // Non-victims untouched.
+        assert_eq!(attacked.asks[0], asks[0]);
+        assert_eq!(attacked.asks[2], asks[2]);
+        assert_eq!(attacked.asks[3], asks[3]);
+    }
+
+    #[test]
+    fn sybil_split_matches_manual_application_on_shared_stream() {
+        // The deviation must consume the generator exactly like the manual
+        // split-then-attack sequence the probes used to hand-roll.
+        let (tree, asks, costs) = base_world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let plan = SybilPlan::random(3);
+        let dev = SybilSplit {
+            user: 1,
+            plan,
+            pricing: SybilPricing::Uniform { unit_price: 3.0 },
+        };
+        let mut dev_rng = SmallRng::seed_from_u64(42);
+        let attacked = dev.apply(&base, &mut dev_rng).unwrap();
+
+        let mut manual_rng = SmallRng::seed_from_u64(42);
+        let identity_asks = uniform_identity_asks(t0(), 4, 3, 3.0, &mut manual_rng);
+        let manual =
+            apply_sybil_attack(&tree, &asks, 1, &identity_asks, &plan, &mut manual_rng).unwrap();
+        assert_eq!(attacked.asks.as_ref(), manual.asks.as_slice());
+        assert_eq!(
+            attacked
+                .identities
+                .iter()
+                .map(|i| i.user)
+                .collect::<Vec<_>>(),
+            manual.identity_users
+        );
+        // Both generators must land in the same state.
+        assert_eq!(dev_rng.gen::<u64>(), manual_rng.gen::<u64>());
+    }
+
+    #[test]
+    fn explicit_pricing_uses_given_asks_verbatim() {
+        let (tree, asks, costs) = base_world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let decoys = vec![
+            Ask::new(t0(), 3, 3.0).unwrap(),
+            Ask::new(t0(), 1, 9.5).unwrap(),
+        ];
+        let dev = SybilSplit {
+            user: 1,
+            plan: SybilPlan::chain(2),
+            pricing: SybilPricing::Explicit(decoys.clone()),
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let attacked = dev.apply(&base, &mut rng).unwrap();
+        assert_eq!(attacked.asks[1], decoys[0]);
+        assert_eq!(attacked.asks[4], decoys[1]);
+    }
+
+    #[test]
+    fn misreport_and_withholding_rewrite_one_ask() {
+        let (tree, asks, costs) = base_world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let over = PriceMisreport {
+            user: 0,
+            factor: 1.5,
+        }
+        .apply(&base, &mut rng)
+        .unwrap();
+        assert_eq!(over.asks[0].unit_price(), 3.0);
+        assert_eq!(over.asks[1], asks[1]);
+        assert!(matches!(over.tree, Cow::Borrowed(_)));
+
+        let under = Withholding {
+            user: 1,
+            quantity: 1,
+        }
+        .apply(&base, &mut rng)
+        .unwrap();
+        assert_eq!(under.asks[1].quantity(), 1);
+        assert_eq!(under.identities, vec![Identity { user: 1, origin: 1 }]);
+    }
+
+    #[test]
+    fn invalid_rewrites_surface_model_errors() {
+        let (tree, asks, costs) = base_world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let bad_price = PriceMisreport {
+            user: 0,
+            factor: -1.0,
+        }
+        .apply(&base, &mut rng);
+        assert!(matches!(bad_price, Err(AdversaryError::Model(_))));
+        let bad_quantity = Withholding {
+            user: 0,
+            quantity: 0,
+        }
+        .apply(&base, &mut rng);
+        assert!(matches!(bad_quantity, Err(AdversaryError::Model(_))));
+        let out_of_range = PriceMisreport {
+            user: 99,
+            factor: 1.1,
+        }
+        .apply(&base, &mut rng);
+        assert!(matches!(
+            out_of_range,
+            Err(AdversaryError::UserOutOfRange { user: 99, users: 4 })
+        ));
+    }
+
+    #[test]
+    fn coalition_scales_every_member() {
+        let (tree, asks, costs) = base_world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let dev = Coalition {
+            members: vec![0, 3],
+            factor: 2.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let attacked = dev.apply(&base, &mut rng).unwrap();
+        assert_eq!(attacked.asks[0].unit_price(), 4.0);
+        assert_eq!(attacked.asks[3].unit_price(), 10.0);
+        assert_eq!(attacked.asks[1], asks[1]);
+        assert_eq!(dev.attacker(), vec![0, 3]);
+        assert_eq!(attacked.identities.len(), 2);
+    }
+
+    #[test]
+    fn screening_draws_one_lottery_per_user() {
+        let (tree, asks, costs) = base_world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let attacked = Screening { fraction: 0.5 }.apply(&base, &mut rng).unwrap();
+        let eligible = attacked.eligible.as_ref().unwrap();
+        assert_eq!(eligible.len(), 4);
+        // Exactly n draws were consumed: replaying them yields the mask.
+        let mut replay = SmallRng::seed_from_u64(5);
+        let expected: Vec<bool> = (0..4).map(|_| replay.gen::<f64>() >= 0.5).collect();
+        assert_eq!(eligible, &expected);
+        assert_eq!(rng.gen::<u64>(), replay.gen::<u64>());
+        // Fraction 0 keeps everyone but still consumes the stream.
+        let mut rng0 = SmallRng::seed_from_u64(5);
+        let all = Screening { fraction: 0.0 }.apply(&base, &mut rng0).unwrap();
+        assert!(all.eligible.unwrap().iter().all(|&e| e));
+    }
+
+    #[test]
+    #[should_panic(expected = "task type")]
+    fn sybil_identities_cannot_switch_type() {
+        let (tree, asks, _) = base_world();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let bad = vec![
+            Ask::new(TaskTypeId::new(1), 1, 3.0).unwrap(),
+            Ask::new(t0(), 1, 3.0).unwrap(),
+        ];
+        let _ = apply_sybil_attack(&tree, &asks, 1, &bad, &SybilPlan::star(2), &mut rng);
+    }
+
+    #[test]
+    fn uniform_identity_asks_conserve_quantity() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for delta in 1..=6 {
+            let asks = uniform_identity_asks(t0(), 12, delta, 2.5, &mut rng);
+            assert_eq!(asks.len(), delta);
+            assert_eq!(asks.iter().map(Ask::quantity).sum::<u64>(), 12);
+            assert!(asks.iter().all(|a| a.unit_price() == 2.5));
+        }
+    }
+}

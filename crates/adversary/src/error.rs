@@ -1,0 +1,118 @@
+//! Errors of the adversary layer.
+
+use std::error::Error;
+use std::fmt;
+
+use rit_model::ModelError;
+use rit_tree::TreeError;
+
+/// Error returned when constructing or applying a deviation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AdversaryError {
+    /// A tree transformation failed (e.g. a sybil attack on the root).
+    Tree(TreeError),
+    /// A rewritten ask was invalid (e.g. a misreport factor producing a
+    /// non-positive price, or a withheld quantity of zero).
+    Model(ModelError),
+    /// A deviation referenced a user outside the scenario.
+    UserOutOfRange {
+        /// The offending user index.
+        user: usize,
+        /// Number of users in the scenario.
+        users: usize,
+    },
+    /// The ask vector does not align with the tree's user count.
+    AskCountMismatch {
+        /// Number of asks supplied.
+        asks: usize,
+        /// Number of user nodes in the incentive tree.
+        users: usize,
+    },
+    /// A declarative attack spec could not be parsed or resolved.
+    InvalidSpec {
+        /// The offending spec line.
+        line: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tree(e) => write!(f, "tree transformation failed: {e}"),
+            Self::Model(e) => write!(f, "deviation produced an invalid ask: {e}"),
+            Self::UserOutOfRange { user, users } => {
+                write!(
+                    f,
+                    "deviation targets user {user} in a scenario of {users} users"
+                )
+            }
+            Self::AskCountMismatch { asks, users } => {
+                write!(
+                    f,
+                    "got {asks} asks for an incentive tree with {users} users"
+                )
+            }
+            Self::InvalidSpec { line, reason } => {
+                write!(f, "invalid attack spec `{line}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AdversaryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Tree(e) => Some(e),
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for AdversaryError {
+    fn from(e: TreeError) -> Self {
+        Self::Tree(e)
+    }
+}
+
+impl From<ModelError> for AdversaryError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sources_chain() {
+        let errs = [
+            AdversaryError::Tree(TreeError::CannotAttackRoot),
+            AdversaryError::Model(ModelError::ZeroQuantity),
+            AdversaryError::UserOutOfRange { user: 9, users: 4 },
+            AdversaryError::AskCountMismatch { asks: 3, users: 5 },
+            AdversaryError::InvalidSpec {
+                line: "sybil foo".into(),
+                reason: "unknown key".into(),
+            },
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errs[0].source().is_some());
+        assert!(errs[1].source().is_some());
+        assert!(errs[2].source().is_none());
+    }
+
+    #[test]
+    fn conversions_from_layer_errors() {
+        let t: AdversaryError = TreeError::CannotAttackRoot.into();
+        assert_eq!(t, AdversaryError::Tree(TreeError::CannotAttackRoot));
+        let m: AdversaryError = ModelError::ZeroQuantity.into();
+        assert_eq!(m, AdversaryError::Model(ModelError::ZeroQuantity));
+    }
+}

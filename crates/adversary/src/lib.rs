@@ -1,0 +1,51 @@
+//! The adversary layer of the RIT reproduction: **one deviation vocabulary
+//! for every attack the paper studies**, shared by unit probes
+//! (`rit-core`), the simulation harness (`rit-sim`), and the `experiments`
+//! binary.
+//!
+//! The paper's robustness claims all have the same experimental shape: take
+//! a `(tree, asks)` scenario, transform it into an attacked scenario (a
+//! sybil split, a price misreport, a quantity withhold, a colluding
+//! coalition, a platform-side screening pass), run the mechanism on both
+//! the honest and the attacked scenario over *paired seeds*, and compare
+//! the attacker's utility across arms. Before this crate each consumer
+//! hand-rolled that loop; here it is factored into three pieces:
+//!
+//! * [`Deviation`] — an object-safe strategy transforming a
+//!   [`BaseScenario`] into an [`Attacked`] scenario plus the attacker's
+//!   identity set ([`SybilSplit`], [`PriceMisreport`], [`Withholding`],
+//!   [`Coalition`], [`Screening`]);
+//! * [`ProbeRunner`] — the paired-seed evaluation loop. It is generic over
+//!   an *evaluation closure* `(ScenarioView, &mut SmallRng) -> Evaluation`,
+//!   so this crate never depends on the mechanism: `rit-core` plugs in
+//!   `Rit::run_with_workspace`, a test could plug in a stub;
+//! * [`AttackSuite`] — a named set of deviations (parsed from a
+//!   declarative text spec or built in code) evaluated in one batched pass
+//!   that shares each replication's honest run across all deviations.
+//!
+//! Randomness discipline: every replication `r` derives a fresh seed from a
+//! [`SeedSchedule`]; the deviant arm draws its attack randomness (identity
+//! arrangement, quantity splits, screening lotteries) *first* and the
+//! mechanism continues on the same generator, which reproduces the exact
+//! streams of the pre-existing hand-rolled loops bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deviation;
+mod error;
+mod observer;
+mod runner;
+mod suite;
+
+pub use deviation::{
+    apply_sybil_attack, uniform_identity_asks, Attacked, BaseScenario, Coalition, Deviation,
+    Identity, PriceMisreport, Screening, SybilPricing, SybilScenario, SybilSplit, Withholding,
+};
+pub use error::AdversaryError;
+pub use observer::{AttackObserver, NoopAttackObserver};
+pub use runner::{
+    derive_seed, ArmOutcome, Evaluation, GainReport, PairedOutcome, ProbeRunner, ScenarioView,
+    SeedSchedule,
+};
+pub use suite::{AttackResult, AttackSuite, DeviationSpec, UserSelector};

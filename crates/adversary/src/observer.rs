@@ -1,0 +1,100 @@
+//! Observation hooks into a suite evaluation, mirroring `rit-core`'s
+//! `AuctionObserver`: the runner pushes events, implementations aggregate
+//! whatever they need (progress bars, per-replication dumps, counters)
+//! without the runner allocating trace structures it may not need.
+
+use crate::runner::{GainReport, PairedOutcome};
+
+/// Observer of an [`AttackSuite`](crate::AttackSuite) /
+/// [`ProbeRunner::run_suite`](crate::ProbeRunner::run_suite) evaluation.
+///
+/// All methods default to no-ops so implementations subscribe only to the
+/// events they care about.
+pub trait AttackObserver {
+    /// A suite evaluation begins: `deviations` attacks × `runs`
+    /// replications.
+    fn suite_start(&mut self, deviations: usize, runs: usize) {
+        let _ = (deviations, runs);
+    }
+
+    /// One paired replication of attack `attack` (by index and name)
+    /// finished.
+    fn replication(&mut self, attack: usize, name: &str, r: usize, outcome: &PairedOutcome) {
+        let _ = (attack, name, r, outcome);
+    }
+
+    /// Attack `attack` finished all replications with `report`.
+    fn attack_summary(&mut self, attack: usize, name: &str, report: &GainReport) {
+        let _ = (attack, name, report);
+    }
+
+    /// The suite evaluation finished.
+    fn suite_end(&mut self) {}
+}
+
+/// The do-nothing observer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopAttackObserver;
+
+impl AttackObserver for NoopAttackObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ArmOutcome;
+
+    #[derive(Default)]
+    struct Counter {
+        replications: usize,
+        summaries: usize,
+        started: bool,
+        ended: bool,
+    }
+
+    impl AttackObserver for Counter {
+        fn suite_start(&mut self, _d: usize, _r: usize) {
+            self.started = true;
+        }
+        fn replication(&mut self, _a: usize, _n: &str, _r: usize, _o: &PairedOutcome) {
+            self.replications += 1;
+        }
+        fn attack_summary(&mut self, _a: usize, _n: &str, _report: &GainReport) {
+            self.summaries += 1;
+        }
+        fn suite_end(&mut self) {
+            self.ended = true;
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops_and_custom_hooks_fire() {
+        let outcome = PairedOutcome {
+            honest: ArmOutcome {
+                utility: 0.0,
+                completed: true,
+                total_payment: 1.0,
+            },
+            deviant: ArmOutcome {
+                utility: 0.5,
+                completed: true,
+                total_payment: 1.5,
+            },
+        };
+        let report = GainReport::from_paired_samples(&[0.0], &[0.5]);
+        // Noop accepts everything silently.
+        let mut noop = NoopAttackObserver;
+        noop.suite_start(2, 3);
+        noop.replication(0, "sybil", 0, &outcome);
+        noop.attack_summary(0, "sybil", &report);
+        noop.suite_end();
+        // A counting observer sees each event.
+        let mut counter = Counter::default();
+        counter.suite_start(1, 1);
+        counter.replication(0, "sybil", 0, &outcome);
+        counter.attack_summary(0, "sybil", &report);
+        counter.suite_end();
+        assert!(counter.started && counter.ended);
+        assert_eq!(counter.replications, 1);
+        assert_eq!(counter.summaries, 1);
+    }
+}

@@ -1,0 +1,677 @@
+//! The paired-seed evaluation loop shared by every attack experiment.
+//!
+//! [`ProbeRunner`] owns the statistics; the *mechanism* is injected as an
+//! evaluation closure `(ScenarioView, &mut SmallRng) -> Evaluation`, so the
+//! runner works for RIT, the naive auction, or any future mechanism without
+//! this crate depending on them. Per replication `r` the runner reseeds a
+//! fresh generator from its [`SeedSchedule`] for *each arm*: the honest arm
+//! evaluates the base scenario directly; the deviant arm first lets the
+//! [`Deviation`] draw its attack randomness and then continues the
+//! mechanism on the same generator — the exact discipline the hand-rolled
+//! probe loops used, preserved bit for bit.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rit_model::Ask;
+use rit_tree::IncentiveTree;
+
+use crate::deviation::{BaseScenario, Deviation};
+use crate::error::AdversaryError;
+use crate::observer::AttackObserver;
+
+/// Derives a per-run seed from an experiment seed, a sweep-point index, and
+/// a replication index — stable across runs and distinct across points
+/// (SplitMix64 finalizer over the packed triple).
+#[must_use]
+pub fn derive_seed(experiment_seed: u64, point: u64, replication: u64) -> u64 {
+    let mut z = experiment_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(point.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(replication.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How replication indices map to seeds.
+///
+/// Both conventions predate this crate and are kept verbatim so fixed-seed
+/// results (and the statistical tests calibrated on them) are unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedSchedule {
+    /// The probe convention: `seed ^ (r · 0x9E37)` (replication 0 uses
+    /// `seed` itself, which fixed-seed regression tests rely on).
+    Xor {
+        /// The probe's base seed.
+        seed: u64,
+    },
+    /// The experiment convention: [`derive_seed`]`(master, point, r)`.
+    Derived {
+        /// The experiment's master seed.
+        master: u64,
+        /// The sweep-point index.
+        point: u64,
+    },
+}
+
+impl SeedSchedule {
+    /// The seed for replication `r`.
+    #[must_use]
+    pub fn replication_seed(&self, r: usize) -> u64 {
+        match *self {
+            Self::Xor { seed } => seed ^ (r as u64).wrapping_mul(0x9E37),
+            Self::Derived { master, point } => derive_seed(master, point, r as u64),
+        }
+    }
+
+    /// A fresh generator for replication `r`.
+    #[must_use]
+    pub fn rng(&self, r: usize) -> SmallRng {
+        SmallRng::seed_from_u64(self.replication_seed(r))
+    }
+}
+
+/// The scenario an evaluation closure runs the mechanism on: either the
+/// honest base or a deviation's output.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioView<'s> {
+    /// The incentive tree.
+    pub tree: &'s IncentiveTree,
+    /// The ask vector (aligned with `tree`'s user nodes).
+    pub asks: &'s [Ask],
+    /// Screening mask, when the deviation imposes one.
+    pub eligible: Option<&'s [bool]>,
+}
+
+/// What a mechanism run yields, in adversary-layer terms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Final payment per user slot.
+    pub payments: Vec<f64>,
+    /// Allocated tasks per user slot.
+    pub allocation: Vec<u64>,
+    /// Whether the job was fully allocated.
+    pub completed: bool,
+}
+
+impl Evaluation {
+    /// The quasi-linear utility `pⱼ − xⱼ·cⱼ` of user slot `j`.
+    #[must_use]
+    pub fn utility(&self, j: usize, unit_cost: f64) -> f64 {
+        self.payments[j] - self.allocation[j] as f64 * unit_cost
+    }
+
+    /// Total platform expenditure `Σⱼ pⱼ`.
+    #[must_use]
+    pub fn total_payment(&self) -> f64 {
+        self.payments.iter().sum()
+    }
+}
+
+/// One arm (honest or deviant) of one replication.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArmOutcome {
+    /// The attacker's pooled utility across its identities (0 for
+    /// attacker-free deviations such as screening).
+    pub utility: f64,
+    /// Whether the job was fully allocated.
+    pub completed: bool,
+    /// Total platform expenditure.
+    pub total_payment: f64,
+}
+
+/// Both arms of one replication under paired seeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairedOutcome {
+    /// The honest arm.
+    pub honest: ArmOutcome,
+    /// The deviant arm.
+    pub deviant: ArmOutcome,
+}
+
+impl PairedOutcome {
+    /// The attacker's gain `deviant − honest` in this replication.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.deviant.utility - self.honest.utility
+    }
+}
+
+/// Result of comparing a deviation against honesty over `runs` paired
+/// replications.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GainReport {
+    /// Mean utility of the honest arm.
+    pub honest_mean: f64,
+    /// Mean utility of the deviating arm.
+    pub deviant_mean: f64,
+    /// `deviant_mean − honest_mean`.
+    pub gain: f64,
+    /// Standard error of the gain, from the **paired differences**
+    /// `dᵣ − hᵣ` (arms share seeds, so pairing removes the common
+    /// market-draw variance the old independent-arm approximation kept).
+    pub gain_se: f64,
+    /// Number of replications per arm.
+    pub runs: usize,
+}
+
+impl GainReport {
+    /// Builds a report from per-replication paired samples (`honest[r]`
+    /// and `deviant[r]` share replication `r`'s seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample vectors differ in length.
+    #[must_use]
+    pub fn from_paired_samples(honest: &[f64], deviant: &[f64]) -> Self {
+        assert_eq!(honest.len(), deviant.len(), "arms must be paired");
+        let runs = honest.len();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let hm = mean(honest);
+        let dm = mean(deviant);
+        let gain_se = if runs < 2 {
+            0.0
+        } else {
+            let diffs: Vec<f64> = deviant.iter().zip(honest).map(|(d, h)| d - h).collect();
+            let dmean = mean(&diffs);
+            let var = diffs.iter().map(|d| (d - dmean).powi(2)).sum::<f64>() / (runs - 1) as f64;
+            (var / runs as f64).sqrt()
+        };
+        Self {
+            honest_mean: hm,
+            deviant_mean: dm,
+            gain: dm - hm,
+            gain_se,
+            runs,
+        }
+    }
+
+    /// Builds a report from paired outcomes.
+    #[must_use]
+    pub fn from_paired(outcomes: &[PairedOutcome]) -> Self {
+        let honest: Vec<f64> = outcomes.iter().map(|o| o.honest.utility).collect();
+        let deviant: Vec<f64> = outcomes.iter().map(|o| o.deviant.utility).collect();
+        Self::from_paired_samples(&honest, &deviant)
+    }
+
+    /// The z-score of the gain (0 when the standard error vanishes).
+    #[must_use]
+    pub fn z_score(&self) -> f64 {
+        if self.gain_se > 0.0 {
+            self.gain / self.gain_se
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the deviation shows **no significant advantage** at `z_max`
+    /// standard errors (typical choice: 3.0).
+    #[must_use]
+    pub fn deviation_not_profitable(&self, z_max: f64) -> bool {
+        self.gain <= z_max * self.gain_se.max(f64::EPSILON)
+    }
+}
+
+/// The paired-seed Monte-Carlo evaluator.
+///
+/// Construction is free (it borrows the scenario); the mechanism enters
+/// through the evaluation closure of each method, with the signature
+/// `FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<Evaluation, E>` where
+/// `E: From<AdversaryError>`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeRunner<'a> {
+    base: BaseScenario<'a>,
+    schedule: SeedSchedule,
+    runs: usize,
+}
+
+impl<'a> ProbeRunner<'a> {
+    /// A runner over `runs` paired replications of `base` under `schedule`.
+    #[must_use]
+    pub fn new(base: BaseScenario<'a>, schedule: SeedSchedule, runs: usize) -> Self {
+        Self {
+            base,
+            schedule,
+            runs,
+        }
+    }
+
+    /// The base scenario.
+    #[must_use]
+    pub fn base(&self) -> &BaseScenario<'a> {
+        &self.base
+    }
+
+    /// The replication count.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The seed schedule.
+    #[must_use]
+    pub fn schedule(&self) -> SeedSchedule {
+        self.schedule
+    }
+
+    fn honest_arm(attacker: &[usize], costs: &[f64], ev: &Evaluation) -> ArmOutcome {
+        ArmOutcome {
+            utility: attacker.iter().map(|&u| ev.utility(u, costs[u])).sum(),
+            completed: ev.completed,
+            total_payment: ev.total_payment(),
+        }
+    }
+
+    /// Runs the honest arm of replication `r` and prices the would-be
+    /// attacker's slots at their true costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn honest_replication<E, F>(
+        &self,
+        r: usize,
+        attacker: &[usize],
+        eval: &mut F,
+    ) -> Result<ArmOutcome, E>
+    where
+        F: FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<Evaluation, E>,
+    {
+        let mut rng = self.schedule.rng(r);
+        let ev = eval(
+            ScenarioView {
+                tree: self.base.tree,
+                asks: self.base.asks,
+                eligible: None,
+            },
+            &mut rng,
+        )?;
+        Ok(Self::honest_arm(attacker, self.base.costs, &ev))
+    }
+
+    /// Runs the deviant arm of replication `r`: reseeds, lets `deviation`
+    /// draw its attack randomness, then evaluates the attacked scenario on
+    /// the same generator. This is the whole loop body for *single-arm*
+    /// deviations (platform-side screening has no honest attacker to
+    /// compare against).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deviation and evaluation errors.
+    pub fn deviant_replication<E, F>(
+        &self,
+        r: usize,
+        deviation: &dyn Deviation,
+        eval: &mut F,
+    ) -> Result<ArmOutcome, E>
+    where
+        E: From<AdversaryError>,
+        F: FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<Evaluation, E>,
+    {
+        let mut rng = self.schedule.rng(r);
+        let attacked = deviation.apply(&self.base, &mut rng).map_err(E::from)?;
+        let ev = eval(
+            ScenarioView {
+                tree: &attacked.tree,
+                asks: &attacked.asks,
+                eligible: attacked.eligible.as_deref(),
+            },
+            &mut rng,
+        )?;
+        let utility = attacked
+            .identities
+            .iter()
+            .map(|id| ev.utility(id.user, self.base.costs[id.origin]))
+            .sum();
+        Ok(ArmOutcome {
+            utility,
+            completed: ev.completed,
+            total_payment: ev.total_payment(),
+        })
+    }
+
+    /// Runs both arms of replication `r` for one deviation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deviation and evaluation errors.
+    pub fn replication<E, F>(
+        &self,
+        r: usize,
+        deviation: &dyn Deviation,
+        eval: &mut F,
+    ) -> Result<PairedOutcome, E>
+    where
+        E: From<AdversaryError>,
+        F: FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<Evaluation, E>,
+    {
+        let honest = self.honest_replication(r, &deviation.attacker(), eval)?;
+        let deviant = self.deviant_replication(r, deviation, eval)?;
+        Ok(PairedOutcome { honest, deviant })
+    }
+
+    /// Runs both arms of replication `r` for a whole deviation set,
+    /// evaluating the honest scenario **once** and sharing it across
+    /// deviations (each deviation prices its own attacker set against the
+    /// shared honest evaluation; each deviant arm reseeds fresh).
+    ///
+    /// This is the batched per-replication primitive parallel executors
+    /// fan out over (one call per `r`, merged in index order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deviation and evaluation errors.
+    pub fn suite_replication<E, F>(
+        &self,
+        r: usize,
+        deviations: &[Box<dyn Deviation>],
+        eval: &mut F,
+    ) -> Result<Vec<PairedOutcome>, E>
+    where
+        E: From<AdversaryError>,
+        F: FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<Evaluation, E>,
+    {
+        let mut rng = self.schedule.rng(r);
+        let honest_ev = eval(
+            ScenarioView {
+                tree: self.base.tree,
+                asks: self.base.asks,
+                eligible: None,
+            },
+            &mut rng,
+        )?;
+        deviations
+            .iter()
+            .map(|deviation| {
+                let honest = Self::honest_arm(&deviation.attacker(), self.base.costs, &honest_ev);
+                let deviant = self.deviant_replication(r, deviation.as_ref(), eval)?;
+                Ok(PairedOutcome { honest, deviant })
+            })
+            .collect()
+    }
+
+    /// Evaluates one deviation over all replications and reports the gain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deviation and evaluation errors.
+    pub fn run<E, F>(&self, deviation: &dyn Deviation, eval: &mut F) -> Result<GainReport, E>
+    where
+        E: From<AdversaryError>,
+        F: FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<Evaluation, E>,
+    {
+        let outcomes = (0..self.runs)
+            .map(|r| self.replication(r, deviation, eval))
+            .collect::<Result<Vec<_>, E>>()?;
+        Ok(GainReport::from_paired(&outcomes))
+    }
+
+    /// Evaluates a deviation set in one batched sequential pass: per
+    /// replication the honest scenario runs once and every deviant arm
+    /// runs against it (see [`Self::suite_replication`]). The observer
+    /// sees every paired outcome and each deviation's final report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deviation and evaluation errors.
+    pub fn run_suite<E, F, O>(
+        &self,
+        deviations: &[Box<dyn Deviation>],
+        eval: &mut F,
+        observer: &mut O,
+    ) -> Result<Vec<GainReport>, E>
+    where
+        E: From<AdversaryError>,
+        F: FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<Evaluation, E>,
+        O: AttackObserver,
+    {
+        observer.suite_start(deviations.len(), self.runs);
+        let mut samples: Vec<Vec<PairedOutcome>> = deviations
+            .iter()
+            .map(|_| Vec::with_capacity(self.runs))
+            .collect();
+        for r in 0..self.runs {
+            let outcomes = self.suite_replication(r, deviations, eval)?;
+            for (di, outcome) in outcomes.into_iter().enumerate() {
+                observer.replication(di, deviations[di].name(), r, &outcome);
+                samples[di].push(outcome);
+            }
+        }
+        let reports: Vec<GainReport> = samples.iter().map(|s| GainReport::from_paired(s)).collect();
+        for (di, report) in reports.iter().enumerate() {
+            observer.attack_summary(di, deviations[di].name(), report);
+        }
+        observer.suite_end();
+        Ok(reports)
+    }
+
+    /// Sweeps the honest scenario over all replications with the schedule's
+    /// generators, without computing statistics — for side-effect probes
+    /// (e.g. counting auction rounds through an observer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn honest_sweep<E, F>(&self, eval: &mut F) -> Result<(), E>
+    where
+        F: FnMut(ScenarioView<'_>, &mut SmallRng) -> Result<(), E>,
+    {
+        for r in 0..self.runs {
+            let mut rng = self.schedule.rng(r);
+            eval(
+                ScenarioView {
+                    tree: self.base.tree,
+                    asks: self.base.asks,
+                    eligible: None,
+                },
+                &mut rng,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::{PriceMisreport, Screening, Withholding};
+    use rand::Rng;
+    use rit_model::{Ask, TaskTypeId};
+    use rit_tree::generate;
+
+    /// A toy "mechanism": pays each user its asked price per unit for one
+    /// unit, minus a noise term shared between arms through the seed.
+    fn toy_eval(view: ScenarioView<'_>, rng: &mut SmallRng) -> Result<Evaluation, AdversaryError> {
+        let noise: f64 = rng.gen();
+        let payments: Vec<f64> = view
+            .asks
+            .iter()
+            .enumerate()
+            .map(|(j, a)| {
+                if view.eligible.is_some_and(|e| !e[j]) {
+                    0.0
+                } else {
+                    a.unit_price() + noise
+                }
+            })
+            .collect();
+        let allocation = vec![1; view.asks.len()];
+        Ok(Evaluation {
+            payments,
+            allocation,
+            completed: true,
+        })
+    }
+
+    fn world() -> (rit_tree::IncentiveTree, Vec<Ask>, Vec<f64>) {
+        let tree = generate::path(3);
+        let t = TaskTypeId::new(0);
+        let asks = vec![
+            Ask::new(t, 2, 2.0).unwrap(),
+            Ask::new(t, 3, 3.0).unwrap(),
+            Ask::new(t, 1, 4.0).unwrap(),
+        ];
+        let costs = vec![2.0, 3.0, 4.0];
+        (tree, asks, costs)
+    }
+
+    #[test]
+    fn seed_schedules_match_legacy_conventions() {
+        let xor = SeedSchedule::Xor { seed: 11 };
+        assert_eq!(xor.replication_seed(0), 11);
+        assert_eq!(xor.replication_seed(3), 11 ^ 3u64.wrapping_mul(0x9E37));
+        let derived = SeedSchedule::Derived {
+            master: 7,
+            point: 2,
+        };
+        assert_eq!(derived.replication_seed(5), derive_seed(7, 2, 5));
+    }
+
+    #[test]
+    fn paired_gain_reflects_misreport_delta() {
+        let (tree, asks, costs) = world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let runner = ProbeRunner::new(base, SeedSchedule::Xor { seed: 9 }, 16);
+        let dev = PriceMisreport {
+            user: 1,
+            factor: 1.5,
+        };
+        let report = runner
+            .run::<AdversaryError, _>(&dev, &mut toy_eval)
+            .unwrap();
+        // The toy mechanism pays the asked price, so the gain is exactly
+        // the price bump and the paired noise cancels: zero SE.
+        assert_eq!(report.runs, 16);
+        assert!((report.gain - 1.5).abs() < 1e-12);
+        assert!(report.gain_se < 1e-12);
+        assert!(!report.deviation_not_profitable(3.0));
+    }
+
+    #[test]
+    fn paired_se_drops_shared_noise_but_keeps_real_variance() {
+        let h = [1.0, 2.0, 3.0, 4.0];
+        // Constant offset over paired seeds: paired SE is zero…
+        let d_const: Vec<f64> = h.iter().map(|x| x + 0.5).collect();
+        let r = GainReport::from_paired_samples(&h, &d_const);
+        assert_eq!(r.gain_se, 0.0);
+        assert!((r.gain - 0.5).abs() < 1e-12);
+        // …while a varying difference is still measured.
+        let d_var = [1.0, 3.0, 3.0, 5.0];
+        let r = GainReport::from_paired_samples(&h, &d_var);
+        assert!(r.gain_se > 0.0);
+        // sd of diffs {0,1,0,1} = sqrt(1/3); se = sd/2.
+        assert!((r.gain_se - (1.0f64 / 3.0).sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_report_statistics() {
+        let r = GainReport::from_paired_samples(&[1.0], &[1.0]);
+        assert_eq!(r.gain, 0.0);
+        assert_eq!(r.gain_se, 0.0);
+        assert_eq!(r.z_score(), 0.0);
+        assert!(r.deviation_not_profitable(3.0));
+    }
+
+    #[test]
+    fn suite_shares_the_honest_arm_across_deviations() {
+        let (tree, asks, costs) = world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let runner = ProbeRunner::new(
+            base,
+            SeedSchedule::Derived {
+                master: 3,
+                point: 0,
+            },
+            8,
+        );
+        let deviations: Vec<Box<dyn Deviation>> = vec![
+            Box::new(PriceMisreport {
+                user: 0,
+                factor: 2.0,
+            }),
+            Box::new(Withholding {
+                user: 2,
+                quantity: 1,
+            }),
+        ];
+        let mut evals = 0usize;
+        let mut eval = |view: ScenarioView<'_>, rng: &mut SmallRng| {
+            evals += 1;
+            toy_eval(view, rng)
+        };
+        let reports = runner
+            .run_suite::<AdversaryError, _, _>(
+                &deviations,
+                &mut eval,
+                &mut crate::NoopAttackObserver,
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        // 8 replications × (1 shared honest + 2 deviants) = 24 evaluations,
+        // not 8 × 2 × 2 = 32.
+        assert_eq!(evals, 24);
+        // Batched reports equal the one-deviation-at-a-time reports.
+        for (di, dev) in deviations.iter().enumerate() {
+            let alone = runner
+                .run::<AdversaryError, _>(dev.as_ref(), &mut toy_eval)
+                .unwrap();
+            assert_eq!(reports[di], alone);
+        }
+    }
+
+    #[test]
+    fn screening_is_single_arm_and_masks_payments() {
+        let (tree, asks, costs) = world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let runner = ProbeRunner::new(
+            base,
+            SeedSchedule::Derived {
+                master: 5,
+                point: 1,
+            },
+            4,
+        );
+        let dev = Screening { fraction: 1.0 };
+        let arm = runner
+            .deviant_replication::<AdversaryError, _>(0, &dev, &mut toy_eval)
+            .unwrap();
+        // Everyone screened out: nobody is paid, and with no attacker the
+        // utility side stays zero.
+        assert_eq!(arm.total_payment, 0.0);
+        assert_eq!(arm.utility, 0.0);
+    }
+
+    #[test]
+    fn honest_sweep_visits_every_replication_seed() {
+        let (tree, asks, costs) = world();
+        let base = BaseScenario {
+            tree: &tree,
+            asks: &asks,
+            costs: &costs,
+        };
+        let schedule = SeedSchedule::Xor { seed: 77 };
+        let runner = ProbeRunner::new(base, schedule, 5);
+        let mut seen = Vec::new();
+        runner
+            .honest_sweep::<AdversaryError, _>(&mut |_, rng| {
+                seen.push(rng.gen::<u64>());
+                Ok(())
+            })
+            .unwrap();
+        let expected: Vec<u64> = (0..5).map(|r| schedule.rng(r).gen::<u64>()).collect();
+        assert_eq!(seen, expected);
+    }
+}

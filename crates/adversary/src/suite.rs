@@ -1,0 +1,608 @@
+//! Named deviation sets and the declarative attack-spec format.
+//!
+//! An [`AttackSuite`] is an ordered list of named deviations evaluated
+//! together by [`ProbeRunner::run_suite`](crate::ProbeRunner::run_suite)
+//! (one batched pass, honest arm shared per replication). Suites are built
+//! in code or parsed from a plain-text spec — one attack per line:
+//!
+//! ```text
+//! # identity count, topology and victim of a sybil split
+//! sybil identities=3 arrangement=random user=auto price=auto
+//! misreport factor=1.5 user=auto
+//! withholding quantity=1 user=auto
+//! coalition size=5 factor=1.3
+//! screening fraction=0.4
+//! ```
+//!
+//! `user=auto` resolves deterministically against the scenario's asks (a
+//! user with room to deviate); `price=auto` means the victim's own unit
+//! price. Lines starting with `#` and blank lines are ignored. The format
+//! is deliberately `key=value` only — no quoting, no nesting — so it needs
+//! no external parser.
+
+use rit_model::Ask;
+use rit_tree::sybil::SybilPlan;
+
+use crate::deviation::{
+    Attacked, BaseScenario, Coalition, Deviation, PriceMisreport, Screening, SybilPricing,
+    SybilSplit, Withholding,
+};
+use crate::error::AdversaryError;
+use crate::observer::AttackObserver;
+use crate::runner::{Evaluation, GainReport, ProbeRunner, ScenarioView};
+
+/// How a spec line designates the deviating user.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UserSelector {
+    /// Pick a deterministic "interesting" user from the scenario: the
+    /// first user claiming at least 4 tasks, falling back to the largest
+    /// claim (mirrors the probe tests' selection).
+    Auto,
+    /// A fixed user index.
+    Index(usize),
+}
+
+impl UserSelector {
+    /// Resolves the selector against an ask vector.
+    ///
+    /// # Errors
+    ///
+    /// [`AdversaryError::UserOutOfRange`] for an explicit index outside
+    /// the scenario (auto always resolves on non-empty asks).
+    pub fn resolve(&self, asks: &[Ask]) -> Result<usize, AdversaryError> {
+        match *self {
+            Self::Index(user) if user < asks.len() => Ok(user),
+            Self::Index(user) => Err(AdversaryError::UserOutOfRange {
+                user,
+                users: asks.len(),
+            }),
+            Self::Auto => {
+                if asks.is_empty() {
+                    return Err(AdversaryError::UserOutOfRange { user: 0, users: 0 });
+                }
+                Ok((0..asks.len())
+                    .find(|&j| asks[j].quantity() >= 4)
+                    .unwrap_or_else(|| {
+                        (0..asks.len())
+                            .max_by_key(|&j| asks[j].quantity())
+                            .expect("non-empty asks")
+                    }))
+            }
+        }
+    }
+}
+
+/// One parsed attack-spec line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeviationSpec {
+    /// `sybil identities=δ arrangement=chain|star|random user=… price=…`
+    Sybil {
+        /// Identity count `δ ≥ 2`.
+        identities: usize,
+        /// Identity topology (`chain`, `star` or `random`).
+        arrangement: String,
+        /// The victim slot.
+        user: UserSelector,
+        /// Per-identity unit price; `None` means the victim's own price.
+        price: Option<f64>,
+    },
+    /// `misreport factor=f user=…`
+    Misreport {
+        /// Multiplier on the honest unit price.
+        factor: f64,
+        /// The misreporting user.
+        user: UserSelector,
+    },
+    /// `withholding quantity=k user=…`
+    Withholding {
+        /// The under-claimed quantity.
+        quantity: u64,
+        /// The withholding user.
+        user: UserSelector,
+    },
+    /// `coalition size=K factor=f` — the `K` cheapest users collude.
+    Coalition {
+        /// Coalition size (clamped to the population).
+        size: usize,
+        /// Multiplier on each member's honest unit price.
+        factor: f64,
+    },
+    /// `screening fraction=φ` — platform-side screening lottery.
+    Screening {
+        /// Expected fraction screened out.
+        fraction: f64,
+    },
+}
+
+impl DeviationSpec {
+    /// Parses one spec line (the caller strips comments/blank lines).
+    ///
+    /// # Errors
+    ///
+    /// [`AdversaryError::InvalidSpec`] on unknown kinds, unknown or
+    /// repeated keys, malformed values, or out-of-range parameters.
+    pub fn parse(line: &str) -> Result<Self, AdversaryError> {
+        let invalid = |reason: &str| AdversaryError::InvalidSpec {
+            line: line.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut tokens = line.split_whitespace();
+        let kind = tokens.next().ok_or_else(|| invalid("empty line"))?;
+        let mut keys: Vec<(&str, &str)> = Vec::new();
+        for token in tokens {
+            let (k, v) = token
+                .split_once('=')
+                .ok_or_else(|| invalid("expected key=value tokens"))?;
+            if keys.iter().any(|&(seen, _)| seen == k) {
+                return Err(invalid(&format!("repeated key `{k}`")));
+            }
+            keys.push((k, v));
+        }
+        let lookup = |key: &str| keys.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+        let allowed = |names: &[&str]| -> Result<(), AdversaryError> {
+            for &(k, _) in &keys {
+                if !names.contains(&k) {
+                    return Err(invalid(&format!("unknown key `{k}`")));
+                }
+            }
+            Ok(())
+        };
+        let user = |key_value: Option<&str>| -> Result<UserSelector, AdversaryError> {
+            match key_value {
+                None | Some("auto") => Ok(UserSelector::Auto),
+                Some(v) => v
+                    .parse::<usize>()
+                    .map(UserSelector::Index)
+                    .map_err(|_| invalid("user must be `auto` or an index")),
+            }
+        };
+
+        match kind {
+            "sybil" => {
+                allowed(&["identities", "arrangement", "user", "price"])?;
+                let identities: usize = lookup("identities")
+                    .ok_or_else(|| invalid("sybil needs identities=δ"))?
+                    .parse()
+                    .map_err(|_| invalid("identities must be an integer"))?;
+                if identities < 2 {
+                    return Err(invalid("a sybil split needs at least 2 identities"));
+                }
+                let arrangement = lookup("arrangement").unwrap_or("random");
+                if !matches!(arrangement, "chain" | "star" | "random") {
+                    return Err(invalid("arrangement must be chain, star or random"));
+                }
+                let price = match lookup("price") {
+                    None | Some("auto") => None,
+                    Some(v) => Some(
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|p| p.is_finite() && *p > 0.0)
+                            .ok_or_else(|| invalid("price must be `auto` or positive"))?,
+                    ),
+                };
+                Ok(Self::Sybil {
+                    identities,
+                    arrangement: arrangement.to_string(),
+                    user: user(lookup("user"))?,
+                    price,
+                })
+            }
+            "misreport" => {
+                allowed(&["factor", "user"])?;
+                let factor: f64 = lookup("factor")
+                    .ok_or_else(|| invalid("misreport needs factor=f"))?
+                    .parse()
+                    .map_err(|_| invalid("factor must be a number"))?;
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(invalid("factor must be positive and finite"));
+                }
+                Ok(Self::Misreport {
+                    factor,
+                    user: user(lookup("user"))?,
+                })
+            }
+            "withholding" => {
+                allowed(&["quantity", "user"])?;
+                let quantity: u64 = lookup("quantity")
+                    .ok_or_else(|| invalid("withholding needs quantity=k"))?
+                    .parse()
+                    .map_err(|_| invalid("quantity must be an integer"))?;
+                if quantity == 0 {
+                    return Err(invalid("quantity must be at least 1"));
+                }
+                Ok(Self::Withholding {
+                    quantity,
+                    user: user(lookup("user"))?,
+                })
+            }
+            "coalition" => {
+                allowed(&["size", "factor"])?;
+                let size: usize = lookup("size")
+                    .ok_or_else(|| invalid("coalition needs size=K"))?
+                    .parse()
+                    .map_err(|_| invalid("size must be an integer"))?;
+                if size == 0 {
+                    return Err(invalid("coalition size must be at least 1"));
+                }
+                let factor: f64 = lookup("factor")
+                    .ok_or_else(|| invalid("coalition needs factor=f"))?
+                    .parse()
+                    .map_err(|_| invalid("factor must be a number"))?;
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(invalid("factor must be positive and finite"));
+                }
+                Ok(Self::Coalition { size, factor })
+            }
+            "screening" => {
+                allowed(&["fraction"])?;
+                let fraction: f64 = lookup("fraction")
+                    .ok_or_else(|| invalid("screening needs fraction=φ"))?
+                    .parse()
+                    .map_err(|_| invalid("fraction must be a number"))?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(invalid("fraction must lie in [0, 1]"));
+                }
+                Ok(Self::Screening { fraction })
+            }
+            other => Err(invalid(&format!("unknown attack kind `{other}`"))),
+        }
+    }
+
+    /// Parses a whole spec document (one attack per line; `#` comments and
+    /// blank lines ignored).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first line's parse error.
+    pub fn parse_document(text: &str) -> Result<Vec<Self>, AdversaryError> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(Self::parse)
+            .collect()
+    }
+
+    /// Resolves the spec against a concrete ask vector into a named,
+    /// runnable deviation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector resolution errors.
+    pub fn resolve(&self, asks: &[Ask]) -> Result<(String, Box<dyn Deviation>), AdversaryError> {
+        match self {
+            Self::Sybil {
+                identities,
+                arrangement,
+                user,
+                price,
+            } => {
+                let user = user.resolve(asks)?;
+                let plan = match arrangement.as_str() {
+                    "chain" => SybilPlan::chain(*identities),
+                    "star" => SybilPlan::star(*identities),
+                    _ => SybilPlan::random(*identities),
+                };
+                let unit_price = price.unwrap_or_else(|| asks[user].unit_price());
+                let name =
+                    format!("sybil(identities={identities},arrangement={arrangement},user={user})");
+                Ok((
+                    name,
+                    Box::new(SybilSplit {
+                        user,
+                        plan,
+                        pricing: SybilPricing::Uniform { unit_price },
+                    }),
+                ))
+            }
+            Self::Misreport { factor, user } => {
+                let user = user.resolve(asks)?;
+                Ok((
+                    format!("misreport(factor={factor},user={user})"),
+                    Box::new(PriceMisreport {
+                        user,
+                        factor: *factor,
+                    }),
+                ))
+            }
+            Self::Withholding { quantity, user } => {
+                let user = user.resolve(asks)?;
+                Ok((
+                    format!("withholding(quantity={quantity},user={user})"),
+                    Box::new(Withholding {
+                        user,
+                        quantity: *quantity,
+                    }),
+                ))
+            }
+            Self::Coalition { size, factor } => {
+                // The K cheapest users: the likeliest winners, so colluding
+                // on price actually has leverage. Deterministic tie-break
+                // by index.
+                let mut by_price: Vec<usize> = (0..asks.len()).collect();
+                by_price.sort_by(|&a, &b| {
+                    asks[a]
+                        .unit_price()
+                        .total_cmp(&asks[b].unit_price())
+                        .then(a.cmp(&b))
+                });
+                let members: Vec<usize> = by_price.into_iter().take(*size).collect();
+                Ok((
+                    format!("coalition(size={},factor={factor})", members.len()),
+                    Box::new(Coalition {
+                        members,
+                        factor: *factor,
+                    }),
+                ))
+            }
+            Self::Screening { fraction } => Ok((
+                format!("screening(fraction={fraction})"),
+                Box::new(Screening {
+                    fraction: *fraction,
+                }),
+            )),
+        }
+    }
+}
+
+/// A deviation re-labelled with a resolved, human-readable name.
+struct Named {
+    name: String,
+    inner: Box<dyn Deviation>,
+}
+
+impl Deviation for Named {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn attacker(&self) -> Vec<usize> {
+        self.inner.attacker()
+    }
+
+    fn apply<'a>(
+        &self,
+        base: &BaseScenario<'a>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Attacked<'a>, AdversaryError> {
+        self.inner.apply(base, rng)
+    }
+}
+
+/// The outcome of one attack in a suite evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttackResult {
+    /// The attack's resolved name.
+    pub name: String,
+    /// Its gain statistics.
+    pub report: GainReport,
+}
+
+/// An ordered, named set of deviations evaluated in one batched pass.
+pub struct AttackSuite {
+    deviations: Vec<Box<dyn Deviation>>,
+}
+
+impl AttackSuite {
+    /// An empty suite.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            deviations: Vec::new(),
+        }
+    }
+
+    /// Builds a suite from a spec document, resolving selectors against
+    /// `asks`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and resolution errors.
+    pub fn from_spec(text: &str, asks: &[Ask]) -> Result<Self, AdversaryError> {
+        let mut suite = Self::new();
+        for spec in DeviationSpec::parse_document(text)? {
+            let (name, deviation) = spec.resolve(asks)?;
+            suite.push(name, deviation);
+        }
+        Ok(suite)
+    }
+
+    /// The default four-attack robustness suite (sybil split, overbid,
+    /// withhold, coalition), resolved against `asks`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector resolution errors (empty scenarios).
+    pub fn standard(asks: &[Ask]) -> Result<Self, AdversaryError> {
+        Self::from_spec(
+            "sybil identities=3 arrangement=random user=auto price=auto\n\
+             misreport factor=1.5 user=auto\n\
+             withholding quantity=1 user=auto\n\
+             coalition size=5 factor=1.3\n",
+            asks,
+        )
+    }
+
+    /// Appends a deviation under a display name.
+    pub fn push(&mut self, name: String, deviation: Box<dyn Deviation>) {
+        self.deviations.push(Box::new(Named {
+            name,
+            inner: deviation,
+        }));
+    }
+
+    /// The suite's deviations, in evaluation order.
+    #[must_use]
+    pub fn deviations(&self) -> &[Box<dyn Deviation>] {
+        &self.deviations
+    }
+
+    /// The number of attacks in the suite.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deviations.len()
+    }
+
+    /// Whether the suite holds no attacks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deviations.is_empty()
+    }
+
+    /// Evaluates the suite on `runner` (see
+    /// [`ProbeRunner::run_suite`]): one batched sequential pass sharing
+    /// each replication's honest evaluation across all attacks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deviation and evaluation errors.
+    pub fn run<E, F, O>(
+        &self,
+        runner: &ProbeRunner<'_>,
+        eval: &mut F,
+        observer: &mut O,
+    ) -> Result<Vec<AttackResult>, E>
+    where
+        E: From<AdversaryError>,
+        F: FnMut(ScenarioView<'_>, &mut rand::rngs::SmallRng) -> Result<Evaluation, E>,
+        O: AttackObserver,
+    {
+        let reports = runner.run_suite(&self.deviations, eval, observer)?;
+        Ok(self
+            .deviations
+            .iter()
+            .zip(reports)
+            .map(|(d, report)| AttackResult {
+                name: d.name().to_string(),
+                report,
+            })
+            .collect())
+    }
+}
+
+impl Default for AttackSuite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rit_model::TaskTypeId;
+
+    fn asks() -> Vec<Ask> {
+        let t = TaskTypeId::new(0);
+        vec![
+            Ask::new(t, 2, 5.0).unwrap(),
+            Ask::new(t, 6, 2.0).unwrap(),
+            Ask::new(t, 3, 1.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn parses_every_kind() {
+        let text = "\
+# a comment
+sybil identities=3 arrangement=chain user=1 price=2.5
+
+misreport factor=1.5
+withholding quantity=1 user=auto
+coalition size=2 factor=1.3
+screening fraction=0.4
+";
+        let specs = DeviationSpec::parse_document(text).unwrap();
+        assert_eq!(specs.len(), 5);
+        assert_eq!(
+            specs[0],
+            DeviationSpec::Sybil {
+                identities: 3,
+                arrangement: "chain".into(),
+                user: UserSelector::Index(1),
+                price: Some(2.5),
+            }
+        );
+        assert_eq!(
+            specs[1],
+            DeviationSpec::Misreport {
+                factor: 1.5,
+                user: UserSelector::Auto
+            }
+        );
+        assert_eq!(specs[4], DeviationSpec::Screening { fraction: 0.4 });
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "warp factor=9",
+            "sybil identities=1",
+            "sybil identities=3 arrangement=moebius",
+            "misreport factor=-2",
+            "misreport factor=1.5 factor=2.0",
+            "withholding quantity=0",
+            "coalition size=0 factor=1.1",
+            "screening fraction=1.5",
+            "sybil identities",
+            "misreport factor=1.5 who=me",
+        ] {
+            assert!(
+                matches!(
+                    DeviationSpec::parse(bad),
+                    Err(AdversaryError::InvalidSpec { .. })
+                ),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_user_prefers_large_claims() {
+        let asks = asks();
+        // First user with quantity ≥ 4 is user 1.
+        assert_eq!(UserSelector::Auto.resolve(&asks).unwrap(), 1);
+        // With only small claims, fall back to the largest.
+        let small = vec![
+            Ask::new(TaskTypeId::new(0), 2, 1.0).unwrap(),
+            Ask::new(TaskTypeId::new(0), 3, 1.0).unwrap(),
+        ];
+        assert_eq!(UserSelector::Auto.resolve(&small).unwrap(), 1);
+        assert!(UserSelector::Index(7).resolve(&asks).is_err());
+    }
+
+    #[test]
+    fn resolution_names_and_members_are_deterministic() {
+        let asks = asks();
+        let (name, dev) = DeviationSpec::Coalition {
+            size: 2,
+            factor: 1.3,
+        }
+        .resolve(&asks)
+        .unwrap();
+        assert_eq!(name, "coalition(size=2,factor=1.3)");
+        // The two cheapest users are 2 (price 1) and 1 (price 2).
+        assert_eq!(dev.attacker(), vec![2, 1]);
+
+        let (name, dev) = DeviationSpec::Sybil {
+            identities: 2,
+            arrangement: "star".into(),
+            user: UserSelector::Auto,
+            price: None,
+        }
+        .resolve(&asks)
+        .unwrap();
+        assert_eq!(name, "sybil(identities=2,arrangement=star,user=1)");
+        assert_eq!(dev.attacker(), vec![1]);
+    }
+
+    #[test]
+    fn standard_suite_has_at_least_four_attacks() {
+        let suite = AttackSuite::standard(&asks()).unwrap();
+        assert!(suite.len() >= 4);
+        assert!(!suite.is_empty());
+        let names: Vec<&str> = suite.deviations().iter().map(|d| d.name()).collect();
+        assert!(names[0].starts_with("sybil("));
+        assert!(names[1].starts_with("misreport("));
+        assert!(names[2].starts_with("withholding("));
+        assert!(names[3].starts_with("coalition("));
+    }
+}

@@ -564,7 +564,7 @@ mod tests {
 
     #[test]
     fn run_round_respects_q_and_individual_rationality() {
-        let asks: Vec<Ask> = (0..60)
+        let asks: Vec<Ask> = (0..60u32)
             .map(|i| Ask::new(t(0), 1 + u64::from(i % 4), 0.1 + f64::from(i) * 0.13).unwrap())
             .collect();
         let mut c = CompactAsks::new();

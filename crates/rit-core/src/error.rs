@@ -3,7 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
-use rit_model::TaskTypeId;
+use rit_adversary::AdversaryError;
+use rit_model::{ModelError, TaskTypeId};
 use rit_tree::TreeError;
 
 /// Error returned by [`crate::Rit`] and related mechanisms.
@@ -37,6 +38,12 @@ pub enum RitError {
     },
     /// A tree transformation failed.
     Tree(TreeError),
+    /// A constructed ask or profile was invalid.
+    Model(ModelError),
+    /// A deviation of the adversary layer could not be applied (variants
+    /// that map onto [`RitError::Tree`] / [`RitError::Model`] are converted
+    /// to those instead).
+    Adversary(AdversaryError),
 }
 
 impl fmt::Display for RitError {
@@ -57,6 +64,8 @@ impl fmt::Display for RitError {
                 "type {task_type} with {tasks} tasks cannot be (K_max = {k_max}, H)-truthful: job too small (Remark 6.1 needs 2·K_max < mᵢ)"
             ),
             Self::Tree(e) => write!(f, "tree transformation failed: {e}"),
+            Self::Model(e) => write!(f, "invalid model input: {e}"),
+            Self::Adversary(e) => write!(f, "deviation failed: {e}"),
         }
     }
 }
@@ -65,6 +74,8 @@ impl Error for RitError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Tree(e) => Some(e),
+            Self::Model(e) => Some(e),
+            Self::Adversary(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +84,22 @@ impl Error for RitError {
 impl From<TreeError> for RitError {
     fn from(e: TreeError) -> Self {
         Self::Tree(e)
+    }
+}
+
+impl From<ModelError> for RitError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<AdversaryError> for RitError {
+    fn from(e: AdversaryError) -> Self {
+        match e {
+            AdversaryError::Tree(t) => Self::Tree(t),
+            AdversaryError::Model(m) => Self::Model(m),
+            other => Self::Adversary(other),
+        }
     }
 }
 
@@ -91,6 +118,8 @@ mod tests {
                 k_max: 20,
             },
             RitError::Tree(TreeError::CannotAttackRoot),
+            RitError::Model(ModelError::ZeroQuantity),
+            RitError::Adversary(AdversaryError::UserOutOfRange { user: 9, users: 4 }),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -102,5 +131,20 @@ mod tests {
         let e: RitError = TreeError::CannotAttackRoot.into();
         assert!(e.source().is_some());
         assert!(RitError::InvalidProbability { h: 0.0 }.source().is_none());
+    }
+
+    #[test]
+    fn adversary_errors_flatten_into_layer_variants() {
+        // Tree/Model causes collapse into the native variants so callers
+        // match one error shape regardless of which layer raised it.
+        let t: RitError = AdversaryError::Tree(TreeError::CannotAttackRoot).into();
+        assert_eq!(t, RitError::Tree(TreeError::CannotAttackRoot));
+        let m: RitError = AdversaryError::Model(ModelError::ZeroQuantity).into();
+        assert_eq!(m, RitError::Model(ModelError::ZeroQuantity));
+        let a: RitError = AdversaryError::UserOutOfRange { user: 1, users: 0 }.into();
+        assert!(matches!(a, RitError::Adversary(_)));
+        assert!(a.source().is_some());
+        let e: RitError = ModelError::ZeroQuantity.into();
+        assert_eq!(e, RitError::Model(ModelError::ZeroQuantity));
     }
 }

@@ -66,10 +66,10 @@
 //! | [`workspace`] | reusable scratch buffers for allocation-free reruns |
 //! | [`trace`] | per-round execution diagnostics of the auction phase |
 //! | [`recruitment`] | Remark 6.1 solicitation thresholds |
-//! | [`probes`] | Monte-Carlo deviation probes with significance reporting |
+//! | [`probes`] | Monte-Carlo deviation probes (adapters over [`rit_adversary`]) |
 //! | [`quality`] | bid-independent quality screening (the paper's deferred direction) |
 //! | [`referral`] | the referral-reward design space + split-resistance screen |
-//! | [`sybil_exec`] | executing §3-B sybil attacks against a scenario |
+//! | [`sybil_exec`] | §3-B sybil attacks in mechanism terms (over [`rit_adversary`]) |
 //! | [`naive`] | §4 naive auction+tree combination (counterexamples) |
 //! | [`darpa`] | the MIT DARPA Network Challenge referral scheme (§1) |
 

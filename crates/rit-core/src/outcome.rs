@@ -127,6 +127,18 @@ impl RitOutcome {
     }
 }
 
+/// Bridges a mechanism outcome into the adversary layer's mechanism-agnostic
+/// evaluation (moves the payment/allocation vectors, no copy).
+impl From<RitOutcome> for rit_adversary::Evaluation {
+    fn from(o: RitOutcome) -> Self {
+        Self {
+            payments: o.payments,
+            allocation: o.allocation,
+            completed: o.completed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +180,17 @@ mod tests {
     fn solicitation_rewards_split() {
         let o = outcome();
         assert_eq!(o.solicitation_rewards(), vec![1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn converts_into_adversary_evaluation() {
+        let o = outcome();
+        let ev: rit_adversary::Evaluation = o.clone().into();
+        assert_eq!(ev.payments, o.payments);
+        assert_eq!(ev.allocation, o.allocation);
+        assert!(ev.completed);
+        assert_eq!(ev.utility(0, 2.0), o.utility(0, 2.0));
+        assert_eq!(ev.total_payment(), o.total_payment());
     }
 
     #[test]

@@ -3,15 +3,24 @@
 //!
 //! RIT's guarantees are probabilistic, so "does this deployment actually
 //! resist manipulation?" is an empirical question about a *distribution* of
-//! outcomes. Each probe runs an honest arm and a deviating arm over paired
+//! outcomes. Each probe compares a deviation against honesty over paired
 //! seeds and reports a [`ProbeReport`] with the estimated gain and its
 //! standard error, so callers (tests, experiments, operators) can apply
 //! whatever significance threshold they need instead of re-deriving the
 //! statistics.
+//!
+//! The probes here are thin adapters over the adversary layer: each one
+//! names a [`rit_adversary::Deviation`] and hands the paired-seed loop to a
+//! [`rit_adversary::ProbeRunner`] whose evaluation closure runs [`Rit`]
+//! on a reused [`RitWorkspace`]. Custom deviations (coalitions, screening,
+//! spec-driven suites) go through `rit_adversary` directly.
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
+use rit_adversary::{
+    BaseScenario, Deviation, PriceMisreport, ProbeRunner, ScenarioView, SeedSchedule, SybilPricing,
+    SybilSplit, Withholding,
+};
 use rit_model::{Ask, TaskTypeId};
 use rit_tree::sybil::SybilPlan;
 use rit_tree::IncentiveTree;
@@ -19,64 +28,12 @@ use rit_tree::IncentiveTree;
 use crate::observer::AuctionObserver;
 use crate::trace::RoundTrace;
 use crate::workspace::RitWorkspace;
-use crate::{sybil_exec, Rit, RitError};
+use crate::{Rit, RitError};
 
 /// Result of comparing a deviation against honesty over `runs` paired
-/// replications.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct ProbeReport {
-    /// Mean utility of the honest arm.
-    pub honest_mean: f64,
-    /// Mean utility of the deviating arm.
-    pub deviant_mean: f64,
-    /// `deviant_mean − honest_mean`.
-    pub gain: f64,
-    /// Standard error of the gain (independent-arm approximation).
-    pub gain_se: f64,
-    /// Number of replications per arm.
-    pub runs: usize,
-}
-
-impl ProbeReport {
-    /// The z-score of the gain (0 when the standard error vanishes).
-    #[must_use]
-    pub fn z_score(&self) -> f64 {
-        if self.gain_se > 0.0 {
-            self.gain / self.gain_se
-        } else {
-            0.0
-        }
-    }
-
-    /// Whether the deviation shows **no significant advantage** at `z_max`
-    /// standard errors (typical choice: 3.0).
-    #[must_use]
-    pub fn deviation_not_profitable(&self, z_max: f64) -> bool {
-        self.gain <= z_max * self.gain_se.max(f64::EPSILON)
-    }
-
-    fn from_samples(honest: &[f64], deviant: &[f64]) -> Self {
-        let runs = honest.len();
-        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
-        let var = |xs: &[f64], m: f64| {
-            if xs.len() < 2 {
-                0.0
-            } else {
-                xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
-            }
-        };
-        let hm = mean(honest);
-        let dm = mean(deviant);
-        let se = ((var(honest, hm) + var(deviant, dm)) / runs.max(1) as f64).sqrt();
-        Self {
-            honest_mean: hm,
-            deviant_mean: dm,
-            gain: dm - hm,
-            gain_se: se,
-            runs,
-        }
-    }
-}
+/// replications (re-exported from the adversary layer; the gain's standard
+/// error is computed from the paired differences).
+pub use rit_adversary::GainReport as ProbeReport;
 
 /// A scenario under probe: mechanism, job, tree, asks, and the probed user's
 /// true unit cost.
@@ -139,17 +96,31 @@ impl AuctionObserver for RoundActivity {
 }
 
 impl ProbeScenario<'_> {
-    fn honest_utilities(&self, runs: usize, seed: u64) -> Result<Vec<f64>, RitError> {
+    /// Runs one deviation through the adversary layer's paired-seed
+    /// evaluator with this scenario's mechanism as the evaluation closure.
+    fn probe(
+        &self,
+        deviation: &dyn Deviation,
+        runs: usize,
+        seed: u64,
+    ) -> Result<ProbeReport, RitError> {
+        let mut costs = vec![0.0; self.asks.len()];
+        costs[self.user] = self.unit_cost;
+        let base = BaseScenario {
+            tree: self.tree,
+            asks: self.asks,
+            costs: &costs,
+        };
+        let runner = ProbeRunner::new(base, SeedSchedule::Xor { seed }, runs);
         let mut ws = RitWorkspace::new();
-        (0..runs)
-            .map(|r| {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-                let out = self
-                    .rit
-                    .run_with_workspace(self.job, self.tree, self.asks, &mut ws, &mut rng)?;
-                Ok(out.utility(self.user, self.unit_cost))
-            })
-            .collect()
+        runner.run(deviation, &mut |view: ScenarioView<'_>,
+                                    rng: &mut SmallRng|
+         -> Result<_, RitError> {
+            let out = self
+                .rit
+                .run_with_workspace(self.job, view.tree, view.asks, &mut ws, rng)?;
+            Ok(out.into())
+        })
     }
 
     /// Measures the auction-phase round pressure of the honest scenario
@@ -161,18 +132,21 @@ impl ProbeScenario<'_> {
     ///
     /// Propagates mechanism errors.
     pub fn round_activity(&self, runs: usize, seed: u64) -> Result<RoundActivity, RitError> {
+        let base = BaseScenario {
+            tree: self.tree,
+            asks: self.asks,
+            costs: &[],
+        };
+        let runner = ProbeRunner::new(base, SeedSchedule::Xor { seed }, runs);
         let mut ws = RitWorkspace::new();
         let mut activity = RoundActivity::default();
-        for r in 0..runs {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-            self.rit.run_auction_phase_with(
-                self.job,
-                self.asks,
-                &mut ws,
-                &mut activity,
-                &mut rng,
-            )?;
-        }
+        runner.honest_sweep(&mut |view: ScenarioView<'_>,
+                                   rng: &mut SmallRng|
+         -> Result<(), RitError> {
+            self.rit
+                .run_auction_phase_with(self.job, view.asks, &mut ws, &mut activity, rng)?;
+            Ok(())
+        })?;
         Ok(activity)
     }
 
@@ -181,33 +155,22 @@ impl ProbeScenario<'_> {
     ///
     /// # Errors
     ///
-    /// Propagates mechanism errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scaled price is invalid (non-positive factor).
+    /// Propagates mechanism errors; a non-positive `price_factor` surfaces
+    /// as [`RitError::Model`].
     pub fn price_deviation(
         &self,
         price_factor: f64,
         runs: usize,
         seed: u64,
     ) -> Result<ProbeReport, RitError> {
-        let honest = self.honest_utilities(runs, seed)?;
-        let mut asks = self.asks.to_vec();
-        asks[self.user] = asks[self.user]
-            .with_unit_price(asks[self.user].unit_price() * price_factor)
-            .expect("positive factor yields a valid price");
-        let mut ws = RitWorkspace::new();
-        let deviant: Vec<f64> = (0..runs)
-            .map(|r| {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-                let out = self
-                    .rit
-                    .run_with_workspace(self.job, self.tree, &asks, &mut ws, &mut rng)?;
-                Ok::<f64, RitError>(out.utility(self.user, self.unit_cost))
-            })
-            .collect::<Result<_, _>>()?;
-        Ok(ProbeReport::from_samples(&honest, &deviant))
+        self.probe(
+            &PriceMisreport {
+                user: self.user,
+                factor: price_factor,
+            },
+            runs,
+            seed,
+        )
     }
 
     /// Probes a **quantity under-claim**: the user claims only `quantity`
@@ -216,33 +179,22 @@ impl ProbeScenario<'_> {
     ///
     /// # Errors
     ///
-    /// Propagates mechanism errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `quantity` is zero.
+    /// Propagates mechanism errors; a zero `quantity` surfaces as
+    /// [`RitError::Model`].
     pub fn quantity_deviation(
         &self,
         quantity: u64,
         runs: usize,
         seed: u64,
     ) -> Result<ProbeReport, RitError> {
-        let honest = self.honest_utilities(runs, seed)?;
-        let mut asks = self.asks.to_vec();
-        asks[self.user] = asks[self.user]
-            .with_quantity(quantity)
-            .expect("positive quantity");
-        let mut ws = RitWorkspace::new();
-        let deviant: Vec<f64> = (0..runs)
-            .map(|r| {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-                let out = self
-                    .rit
-                    .run_with_workspace(self.job, self.tree, &asks, &mut ws, &mut rng)?;
-                Ok::<f64, RitError>(out.utility(self.user, self.unit_cost))
-            })
-            .collect::<Result<_, _>>()?;
-        Ok(ProbeReport::from_samples(&honest, &deviant))
+        self.probe(
+            &Withholding {
+                user: self.user,
+                quantity,
+            },
+            runs,
+            seed,
+        )
     }
 
     /// Probes a **sybil attack**: the user splits into `plan.num_identities`
@@ -259,34 +211,17 @@ impl ProbeScenario<'_> {
         runs: usize,
         seed: u64,
     ) -> Result<ProbeReport, RitError> {
-        let honest = self.honest_utilities(runs, seed)?;
-        let mut ws = RitWorkspace::new();
-        let mut deviant = Vec::with_capacity(runs);
-        for r in 0..runs {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
-            let identity_asks = sybil_exec::uniform_identity_asks(
-                self.asks[self.user].task_type(),
-                self.asks[self.user]
-                    .quantity()
-                    .max(plan.num_identities as u64),
-                plan.num_identities,
-                identity_price,
-                &mut rng,
-            );
-            let sc = sybil_exec::apply_attack(
-                self.tree,
-                self.asks,
-                self.user,
-                &identity_asks,
-                plan,
-                &mut rng,
-            )?;
-            let out = self
-                .rit
-                .run_with_workspace(self.job, &sc.tree, &sc.asks, &mut ws, &mut rng)?;
-            deviant.push(sc.attacker_utility(&out, self.unit_cost));
-        }
-        Ok(ProbeReport::from_samples(&honest, &deviant))
+        self.probe(
+            &SybilSplit {
+                user: self.user,
+                plan: *plan,
+                pricing: SybilPricing::Uniform {
+                    unit_price: identity_price,
+                },
+            },
+            runs,
+            seed,
+        )
     }
 }
 
@@ -294,6 +229,7 @@ impl ProbeScenario<'_> {
 mod tests {
     use super::*;
     use crate::{RitConfig, RoundLimit};
+    use rand::SeedableRng;
     use rit_model::workload::WorkloadConfig;
     use rit_model::Job;
     use rit_tree::generate;
@@ -400,6 +336,27 @@ mod tests {
     }
 
     #[test]
+    fn invalid_rewrites_surface_as_model_errors() {
+        let (rit, job, tree, asks, costs) = world();
+        let scenario = ProbeScenario {
+            rit: &rit,
+            job: &job,
+            tree: &tree,
+            asks: &asks,
+            user: 0,
+            unit_cost: costs[0],
+        };
+        assert!(matches!(
+            scenario.price_deviation(-1.0, 4, 5),
+            Err(RitError::Model(_))
+        ));
+        assert!(matches!(
+            scenario.quantity_deviation(0, 4, 5),
+            Err(RitError::Model(_))
+        ));
+    }
+
+    #[test]
     fn round_activity_counts_match_tracing() {
         let (rit, job, tree, asks, costs) = world();
         let scenario = ProbeScenario {
@@ -431,7 +388,7 @@ mod tests {
 
     #[test]
     fn degenerate_report_statistics() {
-        let r = ProbeReport::from_samples(&[1.0], &[1.0]);
+        let r = ProbeReport::from_paired_samples(&[1.0], &[1.0]);
         assert_eq!(r.gain, 0.0);
         assert_eq!(r.gain_se, 0.0);
         assert_eq!(r.z_score(), 0.0);

@@ -1,17 +1,16 @@
 //! Executing §3-B sybil attacks against a full mechanism scenario.
 //!
-//! [`rit_tree::sybil`] rewires the tree; this module completes the attack by
-//! also rewriting the *ask vector*: the victim's ask is replaced by the
-//! first identity's ask and the remaining identity asks are appended in step
-//! with the appended identity nodes. The result is a drop-in `(tree, asks)`
-//! pair for [`crate::Rit::run`], plus the bookkeeping needed to total the
-//! attacker's utility across its identities.
+//! The ask-rewriting itself lives in [`rit_adversary`] (shared by every
+//! attack experiment); this module keeps the mechanism-facing view: a
+//! drop-in `(tree, asks)` pair for [`crate::Rit::run`] plus the bookkeeping
+//! needed to total the attacker's utility across its identities under a
+//! [`RitOutcome`].
 
 use rand::Rng;
 
 use rit_model::Ask;
-use rit_tree::sybil::{self, SybilPlan};
-use rit_tree::{IncentiveTree, NodeId};
+use rit_tree::sybil::SybilPlan;
+use rit_tree::IncentiveTree;
 
 use crate::{RitError, RitOutcome};
 
@@ -74,37 +73,12 @@ pub fn apply_attack<R: Rng + ?Sized>(
     plan: &SybilPlan,
     rng: &mut R,
 ) -> Result<AttackScenario, RitError> {
-    assert_eq!(asks.len(), tree.num_users(), "asks must align with tree");
-    assert!(victim_user < asks.len(), "victim user out of range");
-    assert_eq!(
-        identity_asks.len(),
-        plan.num_identities,
-        "need one ask per identity"
-    );
-    let victim_type = asks[victim_user].task_type();
-    assert!(
-        identity_asks.iter().all(|a| a.task_type() == victim_type),
-        "identities must keep the victim's task type"
-    );
-
-    let victim_node = NodeId::from_user_index(victim_user);
-    let outcome = sybil::apply(plan, tree, victim_node, rng)?;
-
-    let mut new_asks = asks.to_vec();
-    new_asks[victim_user] = identity_asks[0];
-    new_asks.extend_from_slice(&identity_asks[1..]);
-    debug_assert_eq!(new_asks.len(), outcome.tree.num_users());
-
-    let identity_users = outcome
-        .identities
-        .iter()
-        .map(|id| id.user_index().expect("identities are user nodes"))
-        .collect();
-
+    let sc = rit_adversary::apply_sybil_attack(tree, asks, victim_user, identity_asks, plan, rng)
+        .map_err(RitError::from)?;
     Ok(AttackScenario {
-        tree: outcome.tree,
-        asks: new_asks,
-        identity_users,
+        tree: sc.tree,
+        asks: sc.asks,
+        identity_users: sc.identity_users,
     })
 }
 
@@ -124,10 +98,7 @@ pub fn uniform_identity_asks<R: Rng + ?Sized>(
     unit_price: f64,
     rng: &mut R,
 ) -> Vec<Ask> {
-    sybil::split_quantity(total_quantity, delta, rng)
-        .into_iter()
-        .map(|k| Ask::new(task_type, k, unit_price).expect("valid split ask"))
-        .collect()
+    rit_adversary::uniform_identity_asks(task_type, total_quantity, delta, unit_price, rng)
 }
 
 #[cfg(test)]

@@ -1,0 +1,273 @@
+//! Equivalence of the adversary-layer probes with the legacy hand-rolled
+//! loops, plus property tests of sybil-proofness through the new framework.
+//!
+//! The probe entry points in `rit_core::probes` are now adapters over
+//! `rit_adversary::ProbeRunner`. These tests pin the refactor: the loops
+//! this file hand-rolls are verbatim transcriptions of the pre-refactor
+//! implementations (fresh reseed per arm, attack randomness drawn before
+//! the mechanism continues on the same generator), and the adapter outputs
+//! must match them **exactly** — same means, same paired-difference
+//! standard error, same verdicts — on fixed seeds.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_adversary::{
+    AttackSuite, BaseScenario, GainReport, NoopAttackObserver, ProbeRunner, SeedSchedule,
+};
+use rit_core::probes::{ProbeReport, ProbeScenario};
+use rit_core::{sybil_exec, Rit, RitConfig, RitError, RitWorkspace, RoundLimit};
+use rit_model::workload::WorkloadConfig;
+use rit_model::{Ask, Job};
+use rit_tree::generate;
+use rit_tree::sybil::SybilPlan;
+
+struct World {
+    rit: Rit,
+    job: Job,
+    tree: rit_tree::IncentiveTree,
+    asks: Vec<Ask>,
+    costs: Vec<f64>,
+}
+
+fn world(n: usize, m_i: u64, seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let config = WorkloadConfig {
+        num_types: 3,
+        capacity_max: 6,
+        cost_max: 10.0,
+    };
+    let pop = config.sample_population(n, &mut rng).unwrap();
+    let tree = generate::preferential(n, &mut rng);
+    let asks = pop.truthful_asks().into_vec();
+    let costs = pop.iter().map(|u| u.unit_cost()).collect();
+    let job = Job::uniform(3, m_i).unwrap();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+    World {
+        rit,
+        job,
+        tree,
+        asks,
+        costs,
+    }
+}
+
+/// The legacy probe seed schedule, transcribed.
+fn legacy_rng(seed: u64, r: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37))
+}
+
+/// The legacy honest arm, transcribed: fresh reseed per replication, one
+/// reused workspace.
+fn legacy_honest(w: &World, user: usize, runs: usize, seed: u64) -> Vec<f64> {
+    let mut ws = RitWorkspace::new();
+    (0..runs)
+        .map(|r| {
+            let mut rng = legacy_rng(seed, r);
+            let out = w
+                .rit
+                .run_with_workspace(&w.job, &w.tree, &w.asks, &mut ws, &mut rng)
+                .unwrap();
+            out.utility(user, w.costs[user])
+        })
+        .collect()
+}
+
+#[test]
+fn price_probe_matches_legacy_loop_exactly() {
+    let w = world(300, 50, 41);
+    let user = (0..w.asks.len())
+        .find(|&j| w.asks[j].quantity() >= 3)
+        .unwrap();
+    let (runs, seed, factor) = (10, 5, 1.4);
+
+    // Legacy deviant arm: rewrite the ask up front, reseed per replication.
+    let honest = legacy_honest(&w, user, runs, seed);
+    let mut asks = w.asks.clone();
+    asks[user] = asks[user]
+        .with_unit_price(asks[user].unit_price() * factor)
+        .unwrap();
+    let mut ws = RitWorkspace::new();
+    let deviant: Vec<f64> = (0..runs)
+        .map(|r| {
+            let mut rng = legacy_rng(seed, r);
+            let out = w
+                .rit
+                .run_with_workspace(&w.job, &w.tree, &asks, &mut ws, &mut rng)
+                .unwrap();
+            out.utility(user, w.costs[user])
+        })
+        .collect();
+    let expected = ProbeReport::from_paired_samples(&honest, &deviant);
+
+    let scenario = ProbeScenario {
+        rit: &w.rit,
+        job: &w.job,
+        tree: &w.tree,
+        asks: &w.asks,
+        user,
+        unit_cost: w.costs[user],
+    };
+    let got = scenario.price_deviation(factor, runs, seed).unwrap();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn quantity_probe_matches_legacy_loop_exactly() {
+    let w = world(300, 50, 43);
+    let user = (0..w.asks.len())
+        .find(|&j| w.asks[j].quantity() >= 4)
+        .unwrap();
+    let (runs, seed) = (10, 13);
+
+    let honest = legacy_honest(&w, user, runs, seed);
+    let mut asks = w.asks.clone();
+    asks[user] = asks[user].with_quantity(1).unwrap();
+    let mut ws = RitWorkspace::new();
+    let deviant: Vec<f64> = (0..runs)
+        .map(|r| {
+            let mut rng = legacy_rng(seed, r);
+            let out = w
+                .rit
+                .run_with_workspace(&w.job, &w.tree, &asks, &mut ws, &mut rng)
+                .unwrap();
+            out.utility(user, w.costs[user])
+        })
+        .collect();
+    let expected = ProbeReport::from_paired_samples(&honest, &deviant);
+
+    let scenario = ProbeScenario {
+        rit: &w.rit,
+        job: &w.job,
+        tree: &w.tree,
+        asks: &w.asks,
+        user,
+        unit_cost: w.costs[user],
+    };
+    let got = scenario.quantity_deviation(1, runs, seed).unwrap();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn sybil_probe_matches_legacy_loop_exactly() {
+    let w = world(300, 50, 47);
+    let user = (0..w.asks.len())
+        .find(|&j| w.asks[j].quantity() >= 4)
+        .unwrap();
+    let (runs, seed) = (10, 17);
+    let plan = SybilPlan::random(3);
+    let price = w.asks[user].unit_price();
+
+    // Legacy deviant arm: per replication reseed, draw the quantity split,
+    // then the tree rewiring, then run the mechanism — all on one stream.
+    let honest = legacy_honest(&w, user, runs, seed);
+    let mut ws = RitWorkspace::new();
+    let deviant: Vec<f64> = (0..runs)
+        .map(|r| {
+            let mut rng = legacy_rng(seed, r);
+            let identity_asks = sybil_exec::uniform_identity_asks(
+                w.asks[user].task_type(),
+                w.asks[user].quantity().max(plan.num_identities as u64),
+                plan.num_identities,
+                price,
+                &mut rng,
+            );
+            let sc =
+                sybil_exec::apply_attack(&w.tree, &w.asks, user, &identity_asks, &plan, &mut rng)
+                    .unwrap();
+            let out = w
+                .rit
+                .run_with_workspace(&w.job, &sc.tree, &sc.asks, &mut ws, &mut rng)
+                .unwrap();
+            sc.attacker_utility(&out, w.costs[user])
+        })
+        .collect();
+    let expected = ProbeReport::from_paired_samples(&honest, &deviant);
+
+    let scenario = ProbeScenario {
+        rit: &w.rit,
+        job: &w.job,
+        tree: &w.tree,
+        asks: &w.asks,
+        user,
+        unit_cost: w.costs[user],
+    };
+    let got = scenario.sybil_deviation(&plan, price, runs, seed).unwrap();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn suite_verdicts_match_individual_probes_on_fixed_seeds() {
+    // The batched AttackSuite pass must reproduce the one-at-a-time probe
+    // reports bit for bit: same seeds, same arms, shared honest run.
+    let w = world(300, 50, 53);
+    let suite = AttackSuite::standard(&w.asks).unwrap();
+    let base = BaseScenario {
+        tree: &w.tree,
+        asks: &w.asks,
+        costs: &w.costs,
+    };
+    let runner = ProbeRunner::new(base, SeedSchedule::Xor { seed: 23 }, 8);
+    let mut ws = RitWorkspace::new();
+    let mut eval = |view: rit_adversary::ScenarioView<'_>,
+                    rng: &mut SmallRng|
+     -> Result<rit_adversary::Evaluation, RitError> {
+        let out = w
+            .rit
+            .run_with_workspace(&w.job, view.tree, view.asks, &mut ws, rng)?;
+        Ok(out.into())
+    };
+    let batched = suite
+        .run::<RitError, _, _>(&runner, &mut eval, &mut NoopAttackObserver)
+        .unwrap();
+    assert!(batched.len() >= 4);
+    for (di, deviation) in suite.deviations().iter().enumerate() {
+        let alone: GainReport = runner.run(deviation.as_ref(), &mut eval).unwrap();
+        assert_eq!(batched[di].report, alone, "attack {}", batched[di].name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sybil-proofness through the adversary framework: across random
+    /// worlds, identity counts and arrangements, a sybil split never shows
+    /// a statistically significant gain (z ≤ 4).
+    #[test]
+    fn sybil_split_not_profitable_through_framework(
+        world_seed in any::<u64>(),
+        probe_seed in any::<u64>(),
+        delta in 2usize..5,
+        arrangement in 0u8..3,
+    ) {
+        let w = world(200, 40, world_seed);
+        let Some(user) = (0..w.asks.len()).find(|&j| w.asks[j].quantity() >= delta as u64)
+        else {
+            return Ok(());
+        };
+        let plan = match arrangement {
+            0 => SybilPlan::chain(delta),
+            1 => SybilPlan::star(delta),
+            _ => SybilPlan::random(delta),
+        };
+        let scenario = ProbeScenario {
+            rit: &w.rit,
+            job: &w.job,
+            tree: &w.tree,
+            asks: &w.asks,
+            user,
+            unit_cost: w.costs[user],
+        };
+        let report = scenario
+            .sybil_deviation(&plan, w.asks[user].unit_price(), 24, probe_seed)
+            .unwrap();
+        prop_assert!(
+            report.deviation_not_profitable(4.0),
+            "sybil split won: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Batched attack-suite evaluation: many deviations against one scenario.
+//!
+//! This is the simulation-side driver of the adversary layer: it builds a
+//! paper-style scenario, resolves an [`AttackSuite`] (the standard
+//! four-attack battery or a declarative spec, see
+//! [`rit_adversary::DeviationSpec`]), and evaluates every attack over
+//! paired seeds in one batched pass — per replication the honest run
+//! happens **once** and is shared across all deviations
+//! ([`ProbeRunner::suite_replication`]), fanned out over CPU cores with
+//! per-worker [`RitWorkspace`] reuse. Results render as a Markdown table
+//! and a CSV of per-attack gain / z-score rows.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use rit_adversary::{
+    AttackResult, AttackSuite, BaseScenario, GainReport, ProbeRunner, SeedSchedule,
+};
+use rit_core::{RitError, RitWorkspace, RoundLimit};
+use rit_model::Job;
+
+use crate::experiments::{paper_mechanism, Scale};
+use crate::runner::{derive_seed, parallel_map_init};
+use crate::scenario::{Scenario, ScenarioConfig};
+
+/// Salt separating the suite's scenario substrate from its mechanism seeds.
+const SUBSTRATE_STREAM: u64 = 0xA77A_C4ED;
+
+/// The significance threshold used for the table's verdict column: an
+/// attack "wins" when its gain exceeds `Z_MAX` standard errors.
+pub const Z_MAX: f64 = 3.0;
+
+/// Configuration of an attack-suite evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttackSuiteConfig {
+    /// Problem size (population and job mirror the screening sweep).
+    pub scale: Scale,
+    /// Paired replications per attack.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// The evaluated suite: one [`AttackResult`] per attack, in suite order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuiteReport {
+    /// Per-attack gain statistics.
+    pub results: Vec<AttackResult>,
+    /// Replications per attack.
+    pub runs: usize,
+}
+
+impl SuiteReport {
+    /// Whether every attack in the suite was resisted at [`Z_MAX`].
+    #[must_use]
+    pub fn all_resisted(&self) -> bool {
+        self.results
+            .iter()
+            .all(|r| r.report.deviation_not_profitable(Z_MAX))
+    }
+
+    /// Renders the suite as a Markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("## attack suite\n\n");
+        out.push_str("| attack | honest mean | deviant mean | gain | se | z | verdict |\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for r in &self.results {
+            let g = &r.report;
+            out.push_str(&format!(
+                "| {} | {:.4} | {:.4} | {:.4} | {:.4} | {:.2} | {} |\n",
+                r.name,
+                g.honest_mean,
+                g.deviant_mean,
+                g.gain,
+                g.gain_se,
+                g.z_score(),
+                verdict(g),
+            ));
+        }
+        out
+    }
+
+    /// Writes the suite as CSV
+    /// (`attack,honest_mean,deviant_mean,gain,gain_se,z,runs,verdict`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(
+            f,
+            "attack,honest_mean,deviant_mean,gain,gain_se,z,runs,verdict"
+        )?;
+        for r in &self.results {
+            let g = &r.report;
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{},{}",
+                r.name,
+                g.honest_mean,
+                g.deviant_mean,
+                g.gain,
+                g.gain_se,
+                g.z_score(),
+                g.runs,
+                verdict(g),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn verdict(g: &GainReport) -> &'static str {
+    if g.deviation_not_profitable(Z_MAX) {
+        "resisted"
+    } else {
+        "PROFITABLE"
+    }
+}
+
+/// Builds the suite's scenario (screening-sweep sizing: 4 task types, the
+/// paper's workload priors).
+#[must_use]
+pub fn scenario(config: &AttackSuiteConfig) -> Scenario {
+    let (n, _) = dimensions(config.scale);
+    let mut scen_config = ScenarioConfig::paper(n);
+    scen_config.workload.num_types = 4;
+    Scenario::generate(&scen_config, derive_seed(config.seed, SUBSTRATE_STREAM, 0))
+}
+
+fn dimensions(scale: Scale) -> (usize, u64) {
+    match scale {
+        Scale::Smoke => (1_200, 80),
+        Scale::Default | Scale::Paper => (8_000, 400),
+    }
+}
+
+/// Evaluates `suite` against the scenario over `config.runs` paired
+/// replications, parallelized over replications with per-worker workspace
+/// reuse. The honest evaluation of each replication is shared across all
+/// attacks in the suite.
+///
+/// # Errors
+///
+/// Propagates mechanism and deviation errors.
+pub fn evaluate(
+    config: &AttackSuiteConfig,
+    scenario: &Scenario,
+    suite: &AttackSuite,
+) -> Result<SuiteReport, RitError> {
+    let (_, m_i) = dimensions(config.scale);
+    let job = Job::uniform(4, m_i).expect("positive types");
+    let rit = paper_mechanism(RoundLimit::until_stall());
+    let costs: Vec<f64> = scenario.population.iter().map(|u| u.unit_cost()).collect();
+    let base = BaseScenario {
+        tree: &scenario.tree,
+        asks: &scenario.asks,
+        costs: &costs,
+    };
+    let runner = ProbeRunner::new(
+        base,
+        SeedSchedule::Derived {
+            master: config.seed,
+            point: 0,
+        },
+        config.runs,
+    );
+
+    let per_replication = parallel_map_init(config.runs, RitWorkspace::new, |ws, r| {
+        runner.suite_replication::<RitError, _>(r, suite.deviations(), &mut |view, rng| {
+            let out = rit.run_with_workspace(&job, view.tree, view.asks, ws, rng)?;
+            Ok(out.into())
+        })
+    });
+
+    let mut samples = vec![Vec::with_capacity(config.runs); suite.len()];
+    for rep in per_replication {
+        for (di, outcome) in rep?.into_iter().enumerate() {
+            samples[di].push(outcome);
+        }
+    }
+    let results = suite
+        .deviations()
+        .iter()
+        .zip(&samples)
+        .map(|(d, s)| AttackResult {
+            name: d.name().to_string(),
+            report: GainReport::from_paired(s),
+        })
+        .collect();
+    Ok(SuiteReport {
+        results,
+        runs: config.runs,
+    })
+}
+
+/// Runs the full pipeline: build the scenario, resolve the suite (`spec`
+/// text, or the standard battery when `None`), evaluate.
+///
+/// # Errors
+///
+/// Propagates spec parse/resolution errors and mechanism errors.
+pub fn run(config: &AttackSuiteConfig, spec: Option<&str>) -> Result<SuiteReport, RitError> {
+    let scenario = scenario(config);
+    let suite = match spec {
+        Some(text) => AttackSuite::from_spec(text, &scenario.asks)?,
+        None => AttackSuite::standard(&scenario.asks)?,
+    };
+    evaluate(config, &scenario, &suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rit_adversary::{AttackObserver, NoopAttackObserver, ScenarioView};
+
+    fn cfg() -> AttackSuiteConfig {
+        AttackSuiteConfig {
+            scale: Scale::Smoke,
+            runs: 4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn standard_suite_runs_end_to_end_and_renders() {
+        let report = run(&cfg(), None).unwrap();
+        assert!(report.results.len() >= 4);
+        assert!(report.results.iter().all(|r| r.report.runs == 4));
+        let md = report.to_markdown();
+        assert!(md.contains("| attack |"));
+        assert!(md.contains("sybil("));
+        assert!(md.contains("coalition("));
+    }
+
+    #[test]
+    fn spec_driven_suite_resolves_against_scenario() {
+        let spec = "misreport factor=2.0 user=0\nscreening fraction=0.5\n";
+        let report = run(&cfg(), Some(spec)).unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.results[0].name, "misreport(factor=2,user=0)");
+        // Screening is attacker-free: both arms' utilities are zero, so the
+        // gain is exactly zero.
+        assert_eq!(report.results[1].report.gain, 0.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_run_suite() {
+        // The parallel fan-out merges per-replication batches in index
+        // order, so it must agree exactly with the runner's sequential
+        // observer-carrying path.
+        let config = cfg();
+        let scenario = scenario(&config);
+        let suite = AttackSuite::standard(&scenario.asks).unwrap();
+        let parallel = evaluate(&config, &scenario, &suite).unwrap();
+
+        let (_, m_i) = dimensions(config.scale);
+        let job = Job::uniform(4, m_i).unwrap();
+        let rit = paper_mechanism(RoundLimit::until_stall());
+        let costs: Vec<f64> = scenario.population.iter().map(|u| u.unit_cost()).collect();
+        let runner = ProbeRunner::new(
+            BaseScenario {
+                tree: &scenario.tree,
+                asks: &scenario.asks,
+                costs: &costs,
+            },
+            SeedSchedule::Derived {
+                master: config.seed,
+                point: 0,
+            },
+            config.runs,
+        );
+        #[derive(Default)]
+        struct Count(usize, usize);
+        impl AttackObserver for Count {
+            fn replication(
+                &mut self,
+                _a: usize,
+                _n: &str,
+                _r: usize,
+                _o: &rit_adversary::PairedOutcome,
+            ) {
+                self.0 += 1;
+            }
+            fn attack_summary(&mut self, _a: usize, _n: &str, _g: &GainReport) {
+                self.1 += 1;
+            }
+        }
+        let mut observer = Count::default();
+        let mut ws = RitWorkspace::new();
+        let sequential = suite
+            .run::<RitError, _, _>(
+                &runner,
+                &mut |view: ScenarioView<'_>, rng: &mut SmallRng| {
+                    let out = rit.run_with_workspace(&job, view.tree, view.asks, &mut ws, rng)?;
+                    Ok(out.into())
+                },
+                &mut observer,
+            )
+            .unwrap();
+        assert_eq!(parallel.results, sequential);
+        assert_eq!(observer.0, config.runs * suite.len());
+        assert_eq!(observer.1, suite.len());
+        let _ = NoopAttackObserver;
+    }
+
+    #[test]
+    fn csv_has_schema_header_and_one_row_per_attack() {
+        let report = run(&cfg(), Some("withholding quantity=1\n")).unwrap();
+        let dir = std::env::temp_dir().join("rit_attacks_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("attack_suite.csv");
+        report.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "attack,honest_mean,deviant_mean,gain,gain_se,z,runs,verdict"
+        );
+        assert_eq!(lines.count(), report.results.len());
+    }
+}

@@ -5,7 +5,15 @@
 //! experiments [--figure all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|fig9]
 //!             [--scale smoke|default|paper] [--runs N] [--seed S]
 //!             [--substrates K] [--out DIR]
+//! experiments attack-suite [--spec FILE] [--scale smoke|default|paper]
+//!             [--runs N] [--seed S] [--out DIR]
 //! ```
+//!
+//! The `attack-suite` subcommand evaluates a battery of deviations (the
+//! standard four-attack suite, or a declarative spec file — one
+//! `kind key=value…` line per attack) against one scenario in a single
+//! batched pass and writes the per-attack gain/z-score table to
+//! `--out/attack_suite.csv`.
 //!
 //! `--substrates K` switches the sweep/ablation/screening experiments from
 //! per-replication scenario generation (paper fidelity, the default) to `K`
@@ -141,7 +149,96 @@ fn emit(figure: &Figure, out: &Path, report: &mut String) {
     }
 }
 
+fn parse_scale(value: &str) -> Result<Scale, String> {
+    match value {
+        "smoke" => Ok(Scale::Smoke),
+        "default" => Ok(Scale::Default),
+        "paper" => Ok(Scale::Paper),
+        other => Err(format!("unknown scale {other}")),
+    }
+}
+
+fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
+    let mut config = rit_sim::attacks::AttackSuiteConfig {
+        scale: Scale::Default,
+        runs: 40,
+        seed: 2017,
+    };
+    let mut spec_path: Option<PathBuf> = None;
+    let mut out = PathBuf::from("results");
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--spec" => spec_path = Some(PathBuf::from(value("--spec")?)),
+            "--scale" => config.scale = parse_scale(&value("--scale")?)?,
+            "--runs" => {
+                config.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("bad --runs: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments attack-suite [--spec FILE] \
+                     [--scale smoke|default|paper] [--runs N] [--seed S] [--out DIR]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let spec_text = match &spec_path {
+        Some(p) => Some(
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?,
+        ),
+        None => None,
+    };
+    eprintln!(
+        "running attack suite ({} runs/attack, scale {:?}, {})…",
+        config.runs,
+        config.scale,
+        spec_path
+            .as_deref()
+            .map_or("standard battery".to_string(), |p| p.display().to_string()),
+    );
+    let report = rit_sim::attacks::run(&config, spec_text.as_deref())
+        .map_err(|e| format!("attack suite failed: {e}"))?;
+    println!("{}", report.to_markdown());
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let csv = out.join("attack_suite.csv");
+    report
+        .write_csv(&csv)
+        .map_err(|e| format!("cannot write {}: {e}", csv.display()))?;
+    println!("wrote {}", csv.display());
+    if !report.all_resisted() {
+        eprintln!(
+            "warning: at least one deviation beat the {}σ threshold",
+            rit_sim::attacks::Z_MAX
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let mut raw = std::env::args();
+    let _argv0 = raw.next();
+    if let Some(first) = std::env::args().nth(1) {
+        if first == "attack-suite" {
+            raw.next(); // consume the subcommand
+            return match run_attack_suite(raw) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -16,10 +16,11 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rit_adversary::{BaseScenario, ProbeRunner, SeedSchedule, SybilPricing, SybilSplit};
 use rit_auction::bounds::WorstCaseQ;
 use rit_auction::extract;
 use rit_core::sybil_exec;
-use rit_core::{naive, Rit, RitConfig, RoundLimit};
+use rit_core::{naive, Rit, RitConfig, RitError, RoundLimit};
 use rit_model::{Ask, Job};
 use rit_tree::sybil::SybilPlan;
 
@@ -170,33 +171,43 @@ pub fn collusion(config: &AblationConfig) -> Figure {
             y_std: 0.0,
         });
 
-        // Mean CRA gain of the same attack.
+        // Mean CRA gain of the same attack, through the adversary layer:
+        // the runner pairs both arms on each replication seed (cutting
+        // variance) and the explicit-pricing sybil split replays the decoy
+        // asks verbatim.
         let rit = Rit::new(RitConfig {
             round_limit: RoundLimit::until_stall(),
             ..RitConfig::default()
         })
         .expect("valid config");
-        // Paired replications (same seed feeds both arms) cut variance.
-        let gains = parallel_map(config.runs * 4, |r| {
-            let seed = derive_seed(config.seed, 1_000 + pi as u64, r as u64);
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let honest = rit
-                .run(&job, &scenario.tree, &scenario.asks, &mut rng)
-                .expect("aligned");
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let sc = sybil_exec::apply_attack(
-                &scenario.tree,
-                &scenario.asks,
-                attacker,
-                &identity_asks,
-                &SybilPlan::chain(2),
-                &mut rng,
-            )
-            .expect("valid attack");
-            let attacked = rit
-                .run(&job, &sc.tree, &sc.asks, &mut rng)
-                .expect("aligned");
-            sc.attacker_utility(&attacked, cost) - honest.utility(attacker, cost)
+        let mut costs = vec![0.0; scenario.num_users()];
+        costs[attacker] = cost;
+        let deviation = SybilSplit {
+            user: attacker,
+            plan: SybilPlan::chain(2),
+            pricing: SybilPricing::Explicit(identity_asks),
+        };
+        let base = BaseScenario {
+            tree: &scenario.tree,
+            asks: &scenario.asks,
+            costs: &costs,
+        };
+        let runner = ProbeRunner::new(
+            base,
+            SeedSchedule::Derived {
+                master: config.seed,
+                point: 1_000 + pi as u64,
+            },
+            config.runs * 4,
+        );
+        let gains = parallel_map(runner.runs(), |r| {
+            runner
+                .replication::<RitError, _>(r, &deviation, &mut |view, rng| {
+                    let out = rit.run(&job, view.tree, view.asks, rng)?;
+                    Ok(out.into())
+                })
+                .expect("aligned")
+                .gain()
         });
         let mut acc = MeanStd::new();
         acc.extend(gains);

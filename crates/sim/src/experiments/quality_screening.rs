@@ -8,9 +8,8 @@
 //! This experiment traces that trade-off: completion rate and per-task
 //! platform cost vs the fraction of users screened out.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rit_core::RoundLimit;
+use rit_adversary::{BaseScenario, ProbeRunner, Screening, SeedSchedule};
+use rit_core::{RitError, RoundLimit};
 use rit_model::Job;
 
 use crate::experiments::{paper_mechanism, Scale};
@@ -73,6 +72,11 @@ pub fn run_with(config: &ScreeningConfig, cache: &SubstrateCache) -> Figure {
     let mut completion_points = Vec::with_capacity(SCREEN_FRACTIONS.len());
     let mut cost_points = Vec::with_capacity(SCREEN_FRACTIONS.len());
     for (fi, &fraction) in SCREEN_FRACTIONS.iter().enumerate() {
+        // Screening is a platform-side, attacker-free deviation: only its
+        // single (deviant) arm runs, with the exogenous quality lottery
+        // drawn by the deviation before the mechanism continues on the
+        // same generator.
+        let deviation = Screening { fraction };
         let samples = parallel_map(config.runs, |r| {
             let seed = derive_seed(config.seed, fi as u64, r as u64);
             let scenario = match config.substrate.slot(r) {
@@ -82,14 +86,33 @@ pub fn run_with(config: &ScreeningConfig, cache: &SubstrateCache) -> Figure {
                     derive_seed(config.seed, SUBSTRATE_STREAM, slot as u64),
                 ),
             };
-            let mut rng = SmallRng::seed_from_u64(seed);
-            // Random exogenous quality scores; threshold at `fraction`.
-            let eligible: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() >= fraction).collect();
-            let out = rit
-                .run_screened(&job, &scenario.tree, &scenario.asks, &eligible, &mut rng)
+            let base = BaseScenario {
+                tree: &scenario.tree,
+                asks: &scenario.asks,
+                costs: &[],
+            };
+            let runner = ProbeRunner::new(
+                base,
+                SeedSchedule::Derived {
+                    master: config.seed,
+                    point: fi as u64,
+                },
+                config.runs,
+            );
+            let arm = runner
+                .deviant_replication::<RitError, _>(r, &deviation, &mut |view, rng| {
+                    let out = rit.run_screened(
+                        &job,
+                        view.tree,
+                        view.asks,
+                        view.eligible.expect("screening sets a mask"),
+                        rng,
+                    )?;
+                    Ok(out.into())
+                })
                 .expect("aligned scenario");
-            if out.completed() {
-                (1.0, Some(out.total_payment() / job.total_tasks() as f64))
+            if arm.completed {
+                (1.0, Some(arm.total_payment / job.total_tasks() as f64))
             } else {
                 (0.0, None)
             }

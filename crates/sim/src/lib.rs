@@ -16,7 +16,9 @@
 //! renders to Markdown, CSV and gnuplot. Beyond the paper's figures the
 //! harness ships two ablations (`ablation`), a Lemma 6.2 `bound_check`, the
 //! `robustness` / `tree_shape` / `quality_screening` sensitivity sweeps, a
-//! `truthfulness_profile`, and multi-epoch [`campaign`]s. [`scenario`]
+//! `truthfulness_profile`, multi-epoch [`campaign`]s, and the [`attacks`]
+//! driver evaluating declarative deviation suites through the
+//! `rit_adversary` layer. [`scenario`]
 //! builds the §7-A populations and solicitation trees; [`substrate`]
 //! memoizes them across replications; [`runner`] spreads replications over
 //! CPU cores; [`analysis`] summarizes payment distributions; [`io`] speaks
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod attacks;
 pub mod campaign;
 pub mod experiments;
 pub mod io;

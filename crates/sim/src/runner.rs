@@ -139,18 +139,9 @@ where
 }
 
 /// Derives a per-run seed from an experiment seed, a sweep-point index, and
-/// a replication index — stable across runs and distinct across points
-/// (SplitMix64 finalizer over the packed triple).
-#[must_use]
-pub fn derive_seed(experiment_seed: u64, point: u64, replication: u64) -> u64 {
-    let mut z = experiment_seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(point.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(replication.wrapping_mul(0x94D0_49BB_1331_11EB));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// a replication index (now owned by the adversary layer, re-exported here
+/// for existing call sites).
+pub use rit_adversary::derive_seed;
 
 #[cfg(test)]
 mod tests {

@@ -69,12 +69,16 @@ impl SubstrateKey {
     }
 }
 
+/// A per-key cell: shared so that waiters block only on their own key's
+/// generation, never on the whole map.
+type SubstrateCell = Arc<OnceLock<Arc<Scenario>>>;
+
 /// Concurrent memoization of [`Scenario::generate`] — see the
 /// [module docs](self).
 #[derive(Debug, Default)]
 pub struct SubstrateCache {
     /// `None` = passthrough mode (count generations, memoize nothing).
-    entries: Option<Mutex<HashMap<SubstrateKey, Arc<OnceLock<Arc<Scenario>>>>>>,
+    entries: Option<Mutex<HashMap<SubstrateKey, SubstrateCell>>>,
     generations: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -179,11 +183,12 @@ impl SubstrateCache {
 }
 
 /// How an experiment sources its per-replication substrates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SubstrateMode {
     /// A fresh substrate per replication — the paper's "averaged over 1000
     /// times" semantics. The cache is bypassed (memoizing every draw would
     /// hold R scenarios alive for zero hits).
+    #[default]
     PerReplication,
     /// Rotate replications over `k` distinct substrates per configuration:
     /// replication `r` uses substrate `r % k`, so generation cost is paid
@@ -191,12 +196,6 @@ pub enum SubstrateMode {
     /// per replication. `Rotating(k ≥ R)` degenerates to per-replication
     /// statistics at full generation cost.
     Rotating(usize),
-}
-
-impl Default for SubstrateMode {
-    fn default() -> Self {
-        Self::PerReplication
-    }
 }
 
 impl SubstrateMode {

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Typecheck/lint/test the workspace in a registry-less container by patching
+# the external deps with the API stubs in devtools/offline-stubs/.
+#
+# Usage:
+#   devtools/check-offline.sh                 # cargo check --all-targets
+#   devtools/check-offline.sh test -q         # cargo test -q
+#   devtools/check-offline.sh clippy -- -D warnings
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmd="${1:-check}"
+[ "$#" -gt 0 ] && shift
+
+if [ "$cmd" = "check" ] && [ "$#" -eq 0 ]; then
+    set -- --all-targets
+fi
+
+exec cargo "$cmd" --offline --workspace \
+    --config 'patch.crates-io.rand.path="devtools/offline-stubs/rand"' \
+    --config 'patch.crates-io.crossbeam.path="devtools/offline-stubs/crossbeam"' \
+    --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
+    --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
+    "$@"

@@ -1,0 +1,168 @@
+//! Offline API stub of `criterion` 0.5.
+//!
+//! Exists so `cargo check --all-targets` can typecheck the bench crate in a
+//! container with no crates.io access (see `devtools/offline-stubs/README.md`).
+//! It mirrors the subset this repo's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros — but performs **no measurement**: each benchmark body is executed
+//! once so the harness at least smoke-tests the benched code paths.
+
+use std::fmt::Display;
+use std::time::Duration;
+
+/// Opaque value barrier (re-export of the std hint).
+pub use std::hint::black_box;
+
+/// Stub of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a (stub) benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single (stub) benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let _ = id.into();
+        f(&mut Bencher { _marker: std::marker::PhantomData });
+        self
+    }
+}
+
+/// Stub of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the intended sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Records the intended measurement time (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the intended warm-up time (ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records throughput metadata (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` once with a stub bencher.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let _ = id.into();
+        f(&mut Bencher { _marker: std::marker::PhantomData });
+        self
+    }
+
+    /// Runs `f` once with a stub bencher and the provided input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let _ = id;
+        f(&mut Bencher { _marker: std::marker::PhantomData }, input);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {
+        let _ = self.name;
+    }
+}
+
+/// Stub of `criterion::Bencher`: runs the routine exactly once.
+///
+/// The lifetime mirrors real criterion's `Bencher<'a, M>`; the stub holds
+/// no borrow.
+pub struct Bencher<'a> {
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Executes `routine` once (real criterion samples it repeatedly).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+    }
+}
+
+/// Stub of `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    /// Rendered id, kept for Debug output.
+    pub id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Stub of `criterion::Throughput`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Stub of `criterion_group!`: builds a `fn $group()` running each target
+/// once against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stub of `criterion_main!`: a `main` that invokes each group function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

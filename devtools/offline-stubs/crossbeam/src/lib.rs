@@ -1,0 +1,106 @@
+//! Offline API stub of `crossbeam` 0.8 (scoped threads only).
+//!
+//! Exists so the workspace typechecks and smoke-runs in a container with no
+//! crates.io access (see `devtools/offline-stubs/README.md`). The API mirrors
+//! `crossbeam::scope` / `Scope::spawn` / `ScopedJoinHandle::join`, but the
+//! execution model is **sequential**: each spawned closure runs to completion
+//! at the `spawn` call site (panics are caught and surfaced by `join`).
+//!
+//! This is behaviorally adequate for this repo's usage — workers claim items
+//! from a shared atomic counter, so a single "worker" draining all work is a
+//! correct (if serial) schedule — but it provides no parallelism. Never
+//! benchmark with this stub.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Stub of `crossbeam::thread` re-exports.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Result type matching `std::thread::Result`.
+pub type ThreadResult<T> = std::thread::Result<T>;
+
+/// Scope handle passed to the `scope` closure (subset of
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'env> {
+    _marker: PhantomData<&'env ()>,
+}
+
+/// Handle to a "spawned" (already-completed) scoped task.
+pub struct ScopedJoinHandle<'scope, T> {
+    result: ThreadResult<T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Returns the closure's result, or the payload of its panic.
+    pub fn join(self) -> ThreadResult<T> {
+        self.result
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Runs `f` immediately and returns a handle with its captured result.
+    pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+        ScopedJoinHandle {
+            result,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Stub of `crossbeam::scope`: runs `f` with a sequential [`Scope`].
+///
+/// # Errors
+///
+/// Never returns `Err` itself — spawned-closure panics surface through each
+/// handle's `join`, and a panic escaping `f` propagates as a panic (unlike
+/// real crossbeam, which would return it as `Err`). Fine for typechecking
+/// and smoke runs.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        _marker: PhantomData,
+    };
+    Ok(f(&scope))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawned_closures_run_and_join() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(|_| {
+                        total.fetch_add(i, std::sync::atomic::Ordering::SeqCst);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<usize>()
+        })
+        .expect("scope ok");
+        assert_eq!(out, 12);
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn panics_surface_via_join() {
+        let caught = super::scope(|s| s.spawn(|_| panic!("boom")).join().is_err()).unwrap();
+        assert!(caught);
+    }
+}

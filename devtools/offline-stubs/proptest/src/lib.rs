@@ -1,0 +1,577 @@
+//! Offline API stub of `proptest` 1.x.
+//!
+//! Exists so the workspace's property tests typecheck **and run** in a
+//! container with no crates.io access (see `devtools/offline-stubs/README.md`).
+//! It covers the subset this repo uses: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, `any::<T>()`, range strategies, tuple strategies,
+//! `prop::collection::vec`, `Just`, and `Strategy::prop_map`.
+//!
+//! Differences from real proptest: cases are drawn from a fixed deterministic
+//! generator (no failure persistence, no shrinking), and value distributions
+//! differ — a property that real proptest would falsify may pass under the
+//! stub (and vice versa for distribution-sensitive statistical properties).
+//! CI with registry access runs real proptest; the stub is for offline
+//! compile checks and smoke runs.
+
+pub mod test_runner {
+    //! Runner configuration and case-level error plumbing.
+
+    /// Stub of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property is exercised with.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Stub of `proptest::test_runner::TestCaseError`.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The drawn inputs were rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with message.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// An input rejection with message.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used to drive strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Generator seeded from `seed`.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a over a test's name: gives each property its own seed stream.
+    #[must_use]
+    pub fn seed_for(test_name: &str, case: u64) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// Stub of `proptest::strategy::Strategy`: a samplable value source.
+    /// (No shrinking — `sample` is the whole interface.)
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Stub of `proptest::strategy::Just`: always yields a clone of the value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Numeric types usable as range-strategy bounds.
+    pub trait RangeValue: Copy + PartialOrd {
+        /// Uniform draw from `[low, high)`.
+        fn draw(rng: &mut TestRng, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! impl_range_value_int {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range strategy");
+                    let span = (high as i128 - low as i128) as u128;
+                    let pick = (rng.next_u64() as u128) % span;
+                    (low as i128 + pick as i128) as $t
+                }
+                fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "empty range strategy");
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    let pick = (rng.next_u64() as u128) % span;
+                    (low as i128 + pick as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_value_float {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range strategy");
+                    low + (rng.next_unit_f64() as $t) * (high - low)
+                }
+                fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "empty range strategy");
+                    low + (rng.next_unit_f64() as $t) * (high - low)
+                }
+            }
+        )*};
+    }
+    impl_range_value_float!(f32, f64);
+
+    impl<T: RangeValue> Strategy for core::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::draw_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    /// String-literal strategies: real proptest treats `&str` as a regex and
+    /// generates matching strings. The stub ignores the pattern and emits
+    /// random printable-ish strings (with occasional whitespace/newlines) —
+    /// adequate for the repo's parser never-panics properties.
+    impl Strategy for str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let len = (rng.next_u64() % 64) as usize;
+            (0..len)
+                .map(|_| {
+                    let draw = rng.next_u64();
+                    match draw % 16 {
+                        0 => '\n',
+                        1 => ' ',
+                        2 => ',',
+                        3 => '.',
+                        4 => '-',
+                        _ => char::from(b' ' + (draw >> 8) as u8 % 95),
+                    }
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a default full-range strategy.
+    pub trait ArbitraryStub {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryStub for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryStub for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryStub for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric; real proptest also emits specials.
+            (rng.next_unit_f64() - 0.5) * 2.0e6
+        }
+    }
+
+    impl ArbitraryStub for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_unit_f64() - 0.5) * 2.0e6) as f32
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: ArbitraryStub> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Stub of `proptest::prelude::any`.
+    #[must_use]
+    pub fn any<T: ArbitraryStub>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Lengths accepted by [`vec`] (stub of `SizeRange` conversions).
+    pub trait IntoSizeRange {
+        /// `(min, max)` inclusive length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len - self.min_len) as u64 + 1;
+            let len = self.min_len + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Stub of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+/// Stub of the `prop` namespace (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Stub of `proptest!`: declares each property as a plain `#[test]` running
+/// `config.cases` deterministic cases (no shrinking, no persistence).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_stub_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_stub_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_stub_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(
+                        $crate::test_runner::seed_for(stringify!($name), case),
+                    );
+                    let outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                        )*
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(())
+                        | ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest stub: {} falsified at case {}: {}",
+                                stringify!($name),
+                                case,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Stub of `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Stub of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Stub of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`\n  both: `{:?}`",
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Stub of `prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..100, 1u64..50).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            (lo, hi) in arb_pair(),
+            xs in prop::collection::vec(0u32..10, 1..20),
+            flip in any::<bool>(),
+        ) {
+            prop_assert!(lo < hi);
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assume!(flip || !flip);
+            prop_assert_eq!(hi - lo >= 1, true);
+        }
+    }
+}
