@@ -2,7 +2,7 @@
 //! recruitment, timed end to end and emitted as machine-readable JSON.
 //!
 //! ```text
-//! bench_sim [--quick] [--reps N] [--seed S] [--out FILE]
+//! bench_sim [--quick] [--reps N] [--seed S] [--out FILE] [--telemetry FILE]
 //! ```
 //!
 //! Four arms, timed with `std::time::Instant`:
@@ -23,6 +23,12 @@
 //! wall-clock seconds per repetition plus cache generation/hit counters —
 //! is written to `BENCH_sim.json` (see EXPERIMENTS.md for the schema).
 //!
+//! The harness always installs an in-memory [`rit_telemetry::Telemetry`]
+//! registry and embeds its counters and histogram summaries (plus the run
+//! manifest's `config_hash`) in the report (`schema_version` 2).
+//! `--telemetry FILE` / `RIT_TELEMETRY` additionally stream the JSONL
+//! event log to `FILE`.
+//!
 //! Set `RIT_THREADS` to pin the worker-thread count for reproducible
 //! timings; the value used is recorded in the report.
 
@@ -35,6 +41,7 @@ use rit_sim::campaign::{self, CampaignConfig, RecruitmentMode};
 use rit_sim::experiments::{sweeps, Scale};
 use rit_sim::runner::default_threads;
 use rit_sim::substrate::{SubstrateCache, SubstrateMode};
+use rit_telemetry::{RunManifest, Telemetry};
 
 #[derive(Clone, Copy, Debug)]
 struct Args {
@@ -60,15 +67,29 @@ impl ArmReport {
     fn mean_wall_s(&self) -> f64 {
         self.wall_s.iter().sum::<f64>() / self.wall_s.len() as f64
     }
+
+    /// Median repetition time — robust against one outlier rep in a way
+    /// neither min nor mean is.
+    fn p50_wall_s(&self) -> f64 {
+        let mut sorted = self.wall_s.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
 }
 
-fn parse_args() -> Result<(Args, PathBuf), String> {
+fn parse_args() -> Result<(Args, PathBuf, Option<PathBuf>), String> {
     let mut args = Args {
         quick: false,
         reps: 3,
         seed: 2017,
     };
     let mut out = PathBuf::from("BENCH_sim.json");
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
@@ -91,14 +112,24 @@ fn parse_args() -> Result<(Args, PathBuf), String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--out" => out = PathBuf::from(value("--out")?),
+            "--telemetry" => telemetry_out = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => {
-                println!("usage: bench_sim [--quick] [--reps N] [--seed S] [--out FILE]");
+                println!(
+                    "usage: bench_sim [--quick] [--reps N] [--seed S] [--out FILE] \
+                     [--telemetry FILE]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok((args, out))
+    if telemetry_out.is_none() {
+        telemetry_out = std::env::var(rit_telemetry::TELEMETRY_ENV)
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map(PathBuf::from);
+    }
+    Ok((args, out, telemetry_out))
 }
 
 /// Times `run` `reps` times; the per-rep cache counters come from a fresh
@@ -144,6 +175,7 @@ fn render_report(
     sweep_config: &sweeps::SweepConfig,
     campaign_config: &CampaignConfig,
     arms: &[ArmReport],
+    telemetry: &Telemetry,
 ) -> String {
     let substrates = match sweep_config.substrate {
         SubstrateMode::PerReplication => 0,
@@ -151,10 +183,15 @@ fn render_report(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"schema_version\": 2,");
     let _ = writeln!(s, "  \"bench\": \"bench_sim\",");
     let _ = writeln!(s, "  \"quick\": {},", args.quick);
     let _ = writeln!(s, "  \"threads\": {},", default_threads());
+    let _ = writeln!(
+        s,
+        "  \"config_hash\": \"{}\",",
+        telemetry.manifest().config_hash_hex()
+    );
     let _ = writeln!(s, "  \"equality_checked\": true,");
     s.push_str("  \"config\": {\n");
     let _ = writeln!(
@@ -180,22 +217,69 @@ fn render_report(
         let _ = write!(
             s,
             "    {{\"name\": \"{}\", \"wall_s\": [{}], \"min_wall_s\": {}, \
-             \"mean_wall_s\": {}, \"substrate_generations\": {}, \"substrate_cache_hits\": {}}}",
+             \"mean_wall_s\": {}, \"p50_wall_s\": {}, \
+             \"substrate_generations\": {}, \"substrate_cache_hits\": {}}}",
             arm.name,
             walls.join(", "),
             json_f64(arm.min_wall_s()),
             json_f64(arm.mean_wall_s()),
+            json_f64(arm.p50_wall_s()),
             arm.generations,
             arm.cache_hits
         );
         s.push_str(if i + 1 < arms.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&render_telemetry(telemetry));
+    s.push_str("}\n");
+    s
+}
+
+/// The embedded `"telemetry"` block: every counter and gauge, plus the
+/// percentile summary of every histogram that recorded anything.
+fn render_telemetry(telemetry: &Telemetry) -> String {
+    let snap = telemetry.snapshot();
+    let mut s = String::from("  \"telemetry\": {\n");
+    s.push_str("    \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        let _ = write!(s, "{}\"{name}\": {value}", if i == 0 { "" } else { ", " });
+    }
+    s.push_str("},\n    \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\"{name}\": {}",
+            if i == 0 { "" } else { ", " },
+            json_f64(*value)
+        );
+    }
+    s.push_str("},\n    \"histograms\": {\n");
+    let populated: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    for (i, (name, h)) in populated.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      \"{name}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            h.count,
+            h.min,
+            h.max,
+            json_f64(h.mean),
+            h.p50,
+            h.p90,
+            h.p99
+        );
+        s.push_str(if i + 1 < populated.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    }\n  }\n");
     s
 }
 
 fn main() -> ExitCode {
-    let (args, out) = match parse_args() {
+    let (args, out, telemetry_out) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -208,6 +292,49 @@ fn main() -> ExitCode {
     sweep_config.substrate = SubstrateMode::Rotating(if args.quick { 2 } else { 4 });
     let mut campaign_config = CampaignConfig::small();
     campaign_config.num_jobs = if args.quick { 4 } else { 10 };
+
+    // The manifest's config hash covers everything that determines the
+    // bench's numbers — and no output paths, so runs into different files
+    // hash identically (CI pins this).
+    let substrates = match sweep_config.substrate {
+        SubstrateMode::PerReplication => 0,
+        SubstrateMode::Rotating(k) => k,
+    };
+    let config_desc = format!(
+        "bench_sim quick={} reps={} seed={} sweep_scale={:?} sweep_runs={} substrates={} \
+         campaign_jobs={}",
+        args.quick,
+        args.reps,
+        args.seed,
+        sweep_config.scale,
+        sweep_config.runs,
+        substrates,
+        campaign_config.num_jobs,
+    );
+    let manifest = RunManifest::new(
+        "bench_sim",
+        env!("CARGO_PKG_VERSION"),
+        &config_desc,
+        args.seed,
+        default_threads(),
+    );
+    let instance = match &telemetry_out {
+        Some(path) => match Telemetry::with_sink(manifest, path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot open telemetry sink {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Telemetry::new(manifest),
+    };
+    let telemetry = match rit_telemetry::install(instance) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("error: telemetry already installed");
+            return ExitCode::FAILURE;
+        }
+    };
 
     // Equality gates: run both members of each pair once and require
     // identical results before any timing happens. A bench that compares
@@ -286,7 +413,13 @@ fn main() -> ExitCode {
         ),
     ];
 
-    let report = render_report(&args, &sweep_config, &campaign_config, &arms);
+    let report = render_report(&args, &sweep_config, &campaign_config, &arms, telemetry);
+    if let Err(e) = telemetry.flush() {
+        eprintln!("warning: telemetry flush failed: {e}");
+    }
+    if let Some(path) = &telemetry_out {
+        eprintln!("wrote telemetry {}", path.display());
+    }
     match std::fs::write(&out, &report) {
         Ok(()) => {
             println!("{report}");

@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rit_core::{recruitment, Rit, RitConfig, RoundLimit};
+use rit_core::{recruitment, Rit, RitConfig, RitError, RitWorkspace, RoundLimit};
 use rit_sim::io;
 use rit_sim::scenario::{Scenario, ScenarioConfig};
 
@@ -90,6 +90,22 @@ pub enum Command {
         tree: PathBuf,
     },
     Help,
+}
+
+impl Command {
+    /// The invocation's RNG seed, for commands that draw randomness
+    /// (recorded in the telemetry run manifest).
+    #[must_use]
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            Self::Generate { seed, .. }
+            | Self::Run { seed, .. }
+            | Self::Trace { seed, .. }
+            | Self::Verify { seed, .. }
+            | Self::Attack { seed, .. } => Some(*seed),
+            Self::Estimate { .. } | Self::Budget { .. } | Self::Dot { .. } | Self::Help => None,
+        }
+    }
 }
 
 /// Errors of parsing or executing a CLI invocation.
@@ -724,7 +740,30 @@ fn run(
         ..RitConfig::default()
     })?;
     let mut rng = SmallRng::seed_from_u64(seed);
-    let outcome = rit.run(&job, &tree, &asks, &mut rng)?;
+    // With global telemetry installed, ride the observer hook through the
+    // auction phase; observers draw no randomness, so the outcome is
+    // bit-identical to the plain `Rit::run` path below.
+    let outcome = match rit_telemetry::active() {
+        Some(t) => {
+            if asks.len() != tree.num_users() {
+                return Err(RitError::AskCountMismatch {
+                    asks: asks.len(),
+                    users: tree.num_users(),
+                }
+                .into());
+            }
+            let mut ws = RitWorkspace::new();
+            let phase = rit.run_auction_phase_with(
+                &job,
+                &asks,
+                &mut ws,
+                &mut rit_telemetry::TelemetryObserver::new(t),
+                &mut rng,
+            )?;
+            rit.determine_final_payments(&tree, &asks, phase)
+        }
+        None => rit.run(&job, &tree, &asks, &mut rng)?,
+    };
 
     let mut summary = String::new();
     if outcome.completed() {

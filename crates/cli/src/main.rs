@@ -1,6 +1,42 @@
 //! Thin binary wrapper over [`rit_cli`].
+//!
+//! Setting `RIT_TELEMETRY=<path>` streams a run manifest plus per-round
+//! auction events to `<path>` as JSONL and prints flush-time metric
+//! summaries there; the variable is read here so every subcommand gets the
+//! same instrumentation without plumbing a flag through each one.
 
 use std::process::ExitCode;
+
+use rit_telemetry::{RunManifest, Telemetry, TELEMETRY_ENV};
+
+/// Installs the global telemetry instance when [`TELEMETRY_ENV`] names a
+/// writable path. Returns the installed handle so `main` can flush it.
+fn install_telemetry(args: &[String], command: &rit_cli::Command) -> Option<&'static Telemetry> {
+    let path = std::env::var(TELEMETRY_ENV)
+        .ok()
+        .filter(|p| !p.is_empty())?;
+    let config_desc = format!("rit {}", args.join(" "));
+    let manifest = RunManifest::new(
+        "rit",
+        env!("CARGO_PKG_VERSION"),
+        &config_desc,
+        command.seed().unwrap_or(0),
+        rit_sim::runner::default_threads(),
+    );
+    match Telemetry::with_sink(manifest, std::path::Path::new(&path)) {
+        Ok(t) => match rit_telemetry::install(t) {
+            Ok(installed) => Some(installed),
+            Err(_) => {
+                eprintln!("warning: telemetry already installed; ignoring {TELEMETRY_ENV}");
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: cannot open telemetry sink {path}: {e}");
+            None
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,7 +47,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match rit_cli::execute(&command) {
+    let telemetry = install_telemetry(&args, &command);
+    let result = rit_cli::execute(&command);
+    if let Some(t) = telemetry {
+        if let Err(e) = t.flush() {
+            eprintln!("warning: telemetry flush failed: {e}");
+        }
+    }
+    match result {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

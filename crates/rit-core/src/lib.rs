@@ -95,7 +95,7 @@ pub mod workspace;
 pub use config::{RitConfig, RoundLimit};
 pub use error::RitError;
 pub use mechanism::{AuctionPhaseResult, Rit};
-pub use observer::{AuctionObserver, NoopObserver};
+pub use observer::{AuctionObserver, NoopObserver, ObserverChain};
 pub use outcome::RitOutcome;
 pub use trace::TraceObserver;
 pub use workspace::{PooledWorkspace, RitWorkspace, WorkspacePool};

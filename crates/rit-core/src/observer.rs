@@ -47,6 +47,47 @@ pub struct NoopObserver;
 
 impl AuctionObserver for NoopObserver {}
 
+/// Fans every auction-phase event out to two observers, first `.0` then
+/// `.1` — e.g. a full [`crate::trace::TraceObserver`] chained with a
+/// telemetry aggregator, so tracing and metrics compose instead of
+/// excluding each other. Chains nest (`ObserverChain(a, ObserverChain(b,
+/// c))`) for wider fan-out. Since observers never draw randomness,
+/// chaining changes no mechanism result: the chained run is bit-identical
+/// to running either observer alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObserverChain<A, B>(pub A, pub B);
+
+impl<A, B> ObserverChain<A, B> {
+    /// Chains two observers.
+    #[must_use]
+    pub fn new(first: A, second: B) -> Self {
+        Self(first, second)
+    }
+
+    /// Consumes the chain, returning both observers.
+    #[must_use]
+    pub fn into_inner(self) -> (A, B) {
+        (self.0, self.1)
+    }
+}
+
+impl<A: AuctionObserver, B: AuctionObserver> AuctionObserver for ObserverChain<A, B> {
+    fn type_start(&mut self, task_type: TaskTypeId, tasks: u64, budget: Option<u32>) {
+        self.0.type_start(task_type, tasks, budget);
+        self.1.type_start(task_type, tasks, budget);
+    }
+
+    fn round(&mut self, round: &RoundTrace) {
+        self.0.round(round);
+        self.1.round(round);
+    }
+
+    fn type_end(&mut self) {
+        self.0.type_end();
+        self.1.type_end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +125,24 @@ mod tests {
             diagnostics: CraDiagnostics::default(),
         });
         noop.type_end();
+    }
+
+    #[test]
+    fn chain_forwards_every_event_to_both_observers() {
+        let mut chain = ObserverChain::new(Counter::default(), Counter::default());
+        chain.type_start(TaskTypeId::new(0), 5, Some(3));
+        chain.round(&RoundTrace {
+            round: 0,
+            q_before: 5,
+            unit_asks: 10,
+            winners: 2,
+            clearing_price: 1.0,
+            diagnostics: CraDiagnostics::default(),
+        });
+        chain.type_end();
+        let (a, b) = chain.into_inner();
+        assert_eq!((a.starts, a.rounds, a.ends), (1, 1, 1));
+        assert_eq!((b.starts, b.rounds, b.ends), (1, 1, 1));
     }
 
     #[test]

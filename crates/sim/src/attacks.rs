@@ -14,7 +14,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use rit_adversary::{
-    AttackResult, AttackSuite, BaseScenario, GainReport, ProbeRunner, SeedSchedule,
+    AttackObserver, AttackResult, AttackSuite, BaseScenario, GainReport, ProbeRunner, SeedSchedule,
 };
 use rit_core::{RitError, RitWorkspace, RoundLimit};
 use rit_model::Job;
@@ -181,7 +181,7 @@ pub fn evaluate(
             samples[di].push(outcome);
         }
     }
-    let results = suite
+    let results: Vec<AttackResult> = suite
         .deviations()
         .iter()
         .zip(&samples)
@@ -190,6 +190,25 @@ pub fn evaluate(
             report: GainReport::from_paired(s),
         })
         .collect();
+
+    // Replay the merged per-replication outcomes through the global
+    // telemetry's attack observer (the parallel pass above cannot carry a
+    // `&mut` observer across workers): per-attack gain distributions land
+    // in the registry, one `attack` summary event per deviation.
+    if let Some(t) = rit_telemetry::active() {
+        let mut observer = rit_telemetry::TelemetryAttackObserver::new(t);
+        observer.suite_start(suite.len(), config.runs);
+        for (di, (d, s)) in suite.deviations().iter().zip(&samples).enumerate() {
+            for (r, outcome) in s.iter().enumerate() {
+                observer.replication(di, d.name(), r, outcome);
+            }
+        }
+        for (di, result) in results.iter().enumerate() {
+            observer.attack_summary(di, &result.name, &result.report);
+        }
+        observer.suite_end();
+    }
+
     Ok(SuiteReport {
         results,
         runs: config.runs,
@@ -215,7 +234,7 @@ pub fn run(config: &AttackSuiteConfig, spec: Option<&str>) -> Result<SuiteReport
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
-    use rit_adversary::{AttackObserver, NoopAttackObserver, ScenarioView};
+    use rit_adversary::{NoopAttackObserver, ScenarioView};
 
     fn cfg() -> AttackSuiteConfig {
         AttackSuiteConfig {

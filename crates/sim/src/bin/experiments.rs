@@ -4,9 +4,9 @@
 //! ```text
 //! experiments [--figure all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|fig9]
 //!             [--scale smoke|default|paper] [--runs N] [--seed S]
-//!             [--substrates K] [--out DIR]
+//!             [--substrates K] [--out DIR] [--telemetry FILE]
 //! experiments attack-suite [--spec FILE] [--scale smoke|default|paper]
-//!             [--runs N] [--seed S] [--out DIR]
+//!             [--runs N] [--seed S] [--out DIR] [--telemetry FILE]
 //! ```
 //!
 //! The `attack-suite` subcommand evaluates a battery of deviations (the
@@ -19,6 +19,12 @@
 //! per-replication scenario generation (paper fidelity, the default) to `K`
 //! rotating substrates served from a shared [`rit_sim::substrate::SubstrateCache`],
 //! amortizing graph/tree/profile construction across replications.
+//!
+//! `--telemetry FILE` (or the `RIT_TELEMETRY` env var — the flag wins)
+//! streams structured JSONL telemetry to `FILE`: a run manifest first, then
+//! per-epoch / per-attack events as they happen, then counter / gauge /
+//! histogram-summary lines at exit. Without it the run is bit-identical and
+//! records nothing.
 //!
 //! Prints each figure as a Markdown table and writes a CSV per figure into
 //! `--out` (default `results/`). `--scale default --runs 20` reproduces the
@@ -34,6 +40,7 @@ use rit_sim::experiments::{
 };
 use rit_sim::metrics::Figure;
 use rit_sim::substrate::SubstrateMode;
+use rit_telemetry::{RunManifest, Telemetry};
 
 #[derive(Clone, Debug)]
 struct Args {
@@ -44,6 +51,56 @@ struct Args {
     substrate: SubstrateMode,
     out: PathBuf,
     report: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+}
+
+/// The telemetry output path: the explicit flag, else the `RIT_TELEMETRY`
+/// environment variable, else none.
+fn telemetry_path(flag: Option<PathBuf>) -> Option<PathBuf> {
+    flag.or_else(|| {
+        std::env::var(rit_telemetry::TELEMETRY_ENV)
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map(PathBuf::from)
+    })
+}
+
+/// Installs the process-global telemetry streaming to `path`. The config
+/// description hashed into the manifest covers everything that determines
+/// the run's numbers — and deliberately excludes output paths, so two runs
+/// into different files carry the same `config_hash` (CI pins this).
+fn install_telemetry(path: &Path, config_desc: &str, seed: u64) -> Option<&'static Telemetry> {
+    let manifest = RunManifest::new(
+        "experiments",
+        env!("CARGO_PKG_VERSION"),
+        config_desc,
+        seed,
+        rit_sim::runner::default_threads(),
+    );
+    match Telemetry::with_sink(manifest, path) {
+        Ok(t) => match rit_telemetry::install(t) {
+            Ok(installed) => Some(installed),
+            Err(_) => {
+                eprintln!("warning: telemetry already installed; ignoring --telemetry");
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open telemetry sink {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+fn flush_telemetry(installed: Option<&'static Telemetry>) {
+    if let Some(t) = installed {
+        if let Err(e) = t.flush() {
+            eprintln!("warning: telemetry flush failed: {e}");
+        }
+    }
 }
 
 const ALL_FIGURES: [&str; 15] = [
@@ -73,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
         substrate: SubstrateMode::PerReplication,
         out: PathBuf::from("results"),
         report: None,
+        telemetry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,11 +175,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--report" => args.report = Some(PathBuf::from(value("--report")?)),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--figure all|fig6a|...|fig9] \
                      [--scale smoke|default|paper] [--runs N] [--seed S] \
-                     [--substrates K] [--out DIR] [--report FILE]"
+                     [--substrates K] [--out DIR] [--report FILE] [--telemetry FILE]"
                 );
                 std::process::exit(0);
             }
@@ -166,6 +225,7 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
     };
     let mut spec_path: Option<PathBuf> = None;
     let mut out = PathBuf::from("results");
+    let mut telemetry_flag: Option<PathBuf> = None;
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
@@ -182,10 +242,12 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--out" => out = PathBuf::from(value("--out")?),
+            "--telemetry" => telemetry_flag = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments attack-suite [--spec FILE] \
-                     [--scale smoke|default|paper] [--runs N] [--seed S] [--out DIR]"
+                     [--scale smoke|default|paper] [--runs N] [--seed S] [--out DIR] \
+                     [--telemetry FILE]"
                 );
                 return Ok(());
             }
@@ -198,6 +260,16 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
         ),
         None => None,
     };
+    let installed = telemetry_path(telemetry_flag).and_then(|path| {
+        let config_desc = format!(
+            "attack-suite scale={:?} runs={} seed={} spec={}",
+            config.scale,
+            config.runs,
+            config.seed,
+            spec_text.as_deref().unwrap_or("standard"),
+        );
+        install_telemetry(&path, &config_desc, config.seed)
+    });
     eprintln!(
         "running attack suite ({} runs/attack, scale {:?}, {})…",
         config.runs,
@@ -208,6 +280,7 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
     );
     let report = rit_sim::attacks::run(&config, spec_text.as_deref())
         .map_err(|e| format!("attack suite failed: {e}"))?;
+    flush_telemetry(installed);
     println!("{}", report.to_markdown());
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let csv = out.join("attack_suite.csv");
@@ -250,6 +323,13 @@ fn main() -> ExitCode {
         eprintln!("error: cannot create {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
+    let installed = telemetry_path(args.telemetry.clone()).and_then(|path| {
+        let config_desc = format!(
+            "experiments figures={:?} scale={:?} runs={} seed={} substrate={:?}",
+            args.figures, args.scale, args.runs, args.seed, args.substrate,
+        );
+        install_telemetry(&path, &config_desc, args.seed)
+    });
 
     let wants = |id: &str| args.figures.iter().any(|f| f == id);
     let mut report = format!(
@@ -415,6 +495,7 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("warning: could not write report {}: {e}", path.display()),
         }
     }
+    flush_telemetry(installed);
     ExitCode::SUCCESS
 }
 

@@ -175,6 +175,7 @@ pub fn run_with_mode(
     let mut epochs = Vec::with_capacity(config.num_jobs);
 
     for epoch in 0..config.num_jobs {
+        let epoch_start = std::time::Instant::now();
         // Recruitment to the new target. Members keep their position: the
         // cascade is deterministic and strictly extends epoch over epoch,
         // so we extend our bookkeeping only for the newcomers.
@@ -260,6 +261,25 @@ pub fn run_with_mode(
                 0.0
             },
         });
+        if let Some(t) = rit_telemetry::active() {
+            let m = t.metrics();
+            let wall_micros = u64::try_from(epoch_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            t.add(m.campaign_epochs, 1);
+            t.record(m.campaign_epoch_micros, wall_micros);
+            if t.has_sink() {
+                let e = epochs.last().expect("epoch just pushed");
+                t.emit(
+                    &rit_telemetry::JsonObject::new("epoch")
+                        .u64_field("epoch", epoch as u64)
+                        .u64_field("members", e.members as u64)
+                        .bool_field("completed", e.completed)
+                        .f64_field("total_payment", e.total_payment)
+                        .f64_field("cost_per_task", e.cost_per_task)
+                        .u64_field("wall_micros", wall_micros)
+                        .finish(),
+                );
+            }
+        }
     }
 
     Ok(CampaignReport {

@@ -97,10 +97,22 @@ pub fn run_once_in(
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = scenario.num_users().max(1) as f64;
 
+    // Observers draw no randomness, so both branches produce bit-identical
+    // outcomes for the same seed (pinned by `rit_telemetry`'s
+    // chain-equivalence test); the untelemetered branch is the exact
+    // pre-telemetry code path.
     let t0 = Instant::now();
-    let phase = rit
-        .run_auction_phase_with(job, &scenario.asks, ws, &mut NoopObserver, &mut rng)
-        .expect("driver-selected round limit must be feasible");
+    let phase = match rit_telemetry::active() {
+        Some(t) => rit.run_auction_phase_with(
+            job,
+            &scenario.asks,
+            ws,
+            &mut rit_telemetry::TelemetryObserver::new(t),
+            &mut rng,
+        ),
+        None => rit.run_auction_phase_with(job, &scenario.asks, ws, &mut NoopObserver, &mut rng),
+    }
+    .expect("driver-selected round limit must be feasible");
     let runtime_auction_s = t0.elapsed().as_secs_f64();
 
     // Auction-only metrics, under the same all-or-nothing rule as RIT so the

@@ -4,88 +4,10 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-/// Streaming mean/variance accumulator (Welford's algorithm).
-///
-/// ```
-/// use rit_sim::metrics::MeanStd;
-///
-/// let mut acc = MeanStd::new();
-/// for x in [1.0, 2.0, 3.0] {
-///     acc.push(x);
-/// }
-/// assert_eq!(acc.mean(), 2.0);
-/// assert_eq!(acc.count(), 3);
-/// assert!((acc.std_dev() - 1.0).abs() < 1e-12);
-/// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct MeanStd {
-    count: u64,
-    mean: f64,
-    m2: f64,
-}
-
-impl MeanStd {
-    /// Creates an empty accumulator.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds an observation.
-    pub fn push(&mut self, x: f64) {
-        self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
-    }
-
-    /// Number of observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The sample mean (0 when empty).
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        self.mean
-    }
-
-    /// The sample standard deviation (Bessel-corrected; 0 with < 2 samples).
-    #[must_use]
-    pub fn std_dev(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            (self.m2 / (self.count - 1) as f64).sqrt()
-        }
-    }
-
-    /// Merges another accumulator (parallel reduction).
-    pub fn merge(&mut self, other: &MeanStd) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = *other;
-            return;
-        }
-        let total = self.count + other.count;
-        let delta = other.mean - self.mean;
-        self.mean += delta * other.count as f64 / total as f64;
-        self.m2 +=
-            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
-        self.count = total;
-    }
-}
-
-impl Extend<f64> for MeanStd {
-    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
-        for x in iter {
-            self.push(x);
-        }
-    }
-}
+// `MeanStd` moved to `rit_telemetry` (per-worker accumulators merge into
+// the registry's flush path); re-exported here so every experiment driver
+// keeps importing it from `rit_sim::metrics`.
+pub use rit_telemetry::MeanStd;
 
 /// One data point of a figure series: `x`, mean `y`, and its std dev.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -255,43 +177,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn mean_std_basics() {
+    fn mean_std_reexport_works() {
+        // Behavior is pinned in `rit_telemetry`; this only guards the
+        // re-export path existing call sites rely on.
         let mut acc = MeanStd::new();
-        assert_eq!(acc.mean(), 0.0);
-        assert_eq!(acc.std_dev(), 0.0);
-        acc.push(10.0);
-        assert_eq!(acc.mean(), 10.0);
-        assert_eq!(acc.std_dev(), 0.0);
-        acc.extend([20.0, 30.0]);
+        acc.extend([10.0, 20.0, 30.0]);
         assert_eq!(acc.mean(), 20.0);
         assert!((acc.std_dev() - 10.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn merge_matches_sequential() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 5.0 + 3.0).collect();
-        let mut all = MeanStd::new();
-        all.extend(xs.iter().copied());
-        let mut a = MeanStd::new();
-        let mut b = MeanStd::new();
-        a.extend(xs[..37].iter().copied());
-        b.extend(xs[37..].iter().copied());
-        a.merge(&b);
-        assert!((a.mean() - all.mean()).abs() < 1e-9);
-        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
-        assert_eq!(a.count(), 100);
-    }
-
-    #[test]
-    fn merge_with_empty() {
-        let mut a = MeanStd::new();
-        let mut b = MeanStd::new();
-        b.push(4.0);
-        a.merge(&b);
-        assert_eq!(a.mean(), 4.0);
-        let empty = MeanStd::new();
-        a.merge(&empty);
-        assert_eq!(a.count(), 1);
     }
 
     fn sample_figure() -> Figure {

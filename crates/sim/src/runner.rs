@@ -9,6 +9,9 @@
 //! order, so output is deterministic regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rit_telemetry::Telemetry;
 
 /// The environment variable that pins the worker-thread count (CI and
 /// benchmarks use it for reproducible timing). Unset, empty, unparsable,
@@ -96,9 +99,15 @@ where
         return Vec::new();
     }
     let threads = threads.max(1).min(count);
+    let telemetry = rit_telemetry::active();
+    if let Some(t) = telemetry {
+        t.set_gauge(t.metrics().worker_threads, threads as f64);
+    }
     if threads <= 1 {
         let mut state = init();
-        return (0..count).map(|i| f(&mut state, i)).collect();
+        return (0..count)
+            .map(|i| timed_item(telemetry, || f(&mut state, i)))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -113,7 +122,7 @@ where
                         if i >= count {
                             break;
                         }
-                        batch.push((i, f(&mut state, i)));
+                        batch.push((i, timed_item(telemetry, || f(&mut state, i))));
                     }
                     batch
                 })
@@ -136,6 +145,29 @@ where
         .into_iter()
         .map(|v| v.expect("every index filled"))
         .collect()
+}
+
+/// Runs one work item, accounting its wall time against the global
+/// telemetry's worker busy-time metrics when one is installed. The
+/// untelemetered path is the bare closure call — no clock reads.
+fn timed_item<T>(telemetry: Option<&'static Telemetry>, f: impl FnOnce() -> T) -> T {
+    let Some(t) = telemetry else {
+        return f();
+    };
+    let start = Instant::now();
+    let out = f();
+    let busy = start.elapsed();
+    let m = t.metrics();
+    t.add(m.worker_items, 1);
+    t.add(
+        m.worker_busy_ns,
+        u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
+    );
+    t.record(
+        m.worker_item_micros,
+        u64::try_from(busy.as_micros()).unwrap_or(u64::MAX),
+    );
+    out
 }
 
 /// Derives a per-run seed from an experiment seed, a sweep-point index, and

@@ -73,6 +73,24 @@ impl SubstrateKey {
 /// generation, never on the whole map.
 type SubstrateCell = Arc<OnceLock<Arc<Scenario>>>;
 
+/// Mirrors cache activity into the process-global telemetry counters (a
+/// no-op — one atomic load — when none is installed). Caches keep their
+/// own per-instance counters; the global ones aggregate across caches.
+fn mirror_to_telemetry(hits: u64, misses: u64, generations: u64) {
+    if let Some(t) = rit_telemetry::active() {
+        let m = t.metrics();
+        if hits > 0 {
+            t.add(m.substrate_hits, hits);
+        }
+        if misses > 0 {
+            t.add(m.substrate_misses, misses);
+        }
+        if generations > 0 {
+            t.add(m.substrate_generations, generations);
+        }
+    }
+}
+
 /// Concurrent memoization of [`Scenario::generate`] — see the
 /// [module docs](self).
 #[derive(Debug, Default)]
@@ -124,6 +142,7 @@ impl SubstrateCache {
         let Some(entries) = &self.entries else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.generations.fetch_add(1, Ordering::Relaxed);
+            mirror_to_telemetry(0, 1, 1);
             return Arc::new(Scenario::generate(config, seed));
         };
         let key = SubstrateKey::new(config, seed);
@@ -133,13 +152,16 @@ impl SubstrateCache {
         };
         if let Some(hit) = cell.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            mirror_to_telemetry(1, 0, 0);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        mirror_to_telemetry(0, 1, 0);
         // First caller generates; concurrent callers of the same key block
         // here (and only here) until the scenario is ready.
         Arc::clone(cell.get_or_init(|| {
             self.generations.fetch_add(1, Ordering::Relaxed);
+            mirror_to_telemetry(0, 0, 1);
             Arc::new(Scenario::generate(config, seed))
         }))
     }

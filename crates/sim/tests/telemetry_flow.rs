@@ -1,0 +1,118 @@
+//! End-to-end flow of the global telemetry through the sim layer: installing
+//! a sink-backed [`rit_telemetry::Telemetry`] changes no experiment result,
+//! and the JSONL file carries the manifest first, streamed epoch/attack
+//! events, and flush-time metric summaries.
+//!
+//! One test only: the global instance installs once per process, and the
+//! baselines must run *before* it exists to prove the untelemetered and
+//! telemetered paths agree.
+
+use rit_core::RoundLimit;
+use rit_model::Job;
+use rit_sim::attacks::{self, AttackSuiteConfig};
+use rit_sim::campaign::{self, CampaignConfig};
+use rit_sim::experiments::{paper_mechanism, run_once, Scale};
+use rit_sim::runner::parallel_map_with_threads;
+use rit_sim::scenario::{Scenario, ScenarioConfig};
+use rit_sim::substrate::SubstrateCache;
+use rit_telemetry::{RunManifest, Telemetry};
+
+#[test]
+fn installing_telemetry_changes_no_result_and_streams_events() {
+    let scenario_config = {
+        let mut c = ScenarioConfig::paper(400);
+        c.workload.num_types = 2;
+        c
+    };
+    let scenario = Scenario::generate(&scenario_config, 5);
+    let job = Job::from_counts(vec![60, 60]).unwrap();
+    let rit = paper_mechanism(RoundLimit::until_stall());
+    let campaign_config = {
+        let mut c = CampaignConfig::small();
+        c.num_jobs = 3;
+        c
+    };
+    let attack_config = AttackSuiteConfig {
+        scale: Scale::Smoke,
+        runs: 3,
+        seed: 11,
+    };
+
+    // Baselines, before any telemetry exists in the process.
+    let base_run = run_once(&rit, &job, &scenario, 42);
+    let base_campaign = campaign::run(&campaign_config, 11).unwrap();
+    let base_suite = attacks::run(&attack_config, None).unwrap();
+
+    // Install the global instance with a JSONL sink.
+    let dir = std::env::temp_dir().join("rit_sim_telemetry_flow_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("telemetry.jsonl");
+    let manifest = RunManifest::new("telemetry-flow-test", "0", "flow", 42, 2);
+    let telemetry = rit_telemetry::install(Telemetry::with_sink(manifest, &path).unwrap()).unwrap();
+
+    // Rerun everything: bit-identical results under observation.
+    let obs_run = run_once(&rit, &job, &scenario, 42);
+    assert_eq!(obs_run.avg_utility_auction, base_run.avg_utility_auction);
+    assert_eq!(obs_run.avg_utility_rit, base_run.avg_utility_rit);
+    assert_eq!(
+        obs_run.total_payment_auction,
+        base_run.total_payment_auction
+    );
+    assert_eq!(obs_run.total_payment_rit, base_run.total_payment_rit);
+    assert_eq!(obs_run.completed, base_run.completed);
+    assert_eq!(campaign::run(&campaign_config, 11).unwrap(), base_campaign);
+    assert_eq!(attacks::run(&attack_config, None).unwrap(), base_suite);
+
+    // Exercise the remaining instrumented surfaces: the substrate cache
+    // (one miss+generation, one hit) and a parallel map (worker items).
+    let cache = SubstrateCache::new();
+    let _ = cache.scenario(&scenario_config, 5);
+    let _ = cache.scenario(&scenario_config, 5);
+    let _ = parallel_map_with_threads(8, 2, |i| i * i);
+
+    // The registry saw every layer.
+    let m = telemetry.metrics();
+    let reg = telemetry.registry();
+    assert!(reg.counter(m.auction_rounds) > 0, "auction rounds observed");
+    assert!(reg.counter(m.auction_types) > 0);
+    assert_eq!(reg.counter(m.substrate_hits), 1);
+    assert_eq!(reg.counter(m.substrate_misses), 1);
+    assert_eq!(reg.counter(m.substrate_generations), 1);
+    assert!(reg.counter(m.worker_items) >= 8);
+    assert_eq!(
+        reg.counter(m.campaign_epochs),
+        campaign_config.num_jobs as u64
+    );
+    assert_eq!(
+        reg.counter(m.attack_replications),
+        (attack_config.runs * base_suite.results.len()) as u64
+    );
+    assert!(reg.histogram_summary(m.round_winners).count > 0);
+    assert!(reg.histogram_summary(m.campaign_epoch_micros).count > 0);
+
+    telemetry.flush().unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let first = text.lines().next().unwrap();
+    assert!(
+        first.contains("\"event\":\"manifest\"") && first.contains("\"config_hash\""),
+        "manifest must be the first line, got: {first}"
+    );
+    for needle in [
+        "\"event\":\"epoch\"",
+        "\"event\":\"attack\"",
+        "\"event\":\"counter\"",
+        "\"event\":\"histogram\"",
+        "\"name\":\"auction.rounds\"",
+        "\"name\":\"worker.item_micros\"",
+        "\"name\":\"substrate.generations\"",
+    ] {
+        assert!(text.contains(needle), "telemetry file missing {needle}");
+    }
+    // Streamed events land before the flush summaries.
+    let epoch_line = text.lines().position(|l| l.contains("\"event\":\"epoch\""));
+    let counter_line = text
+        .lines()
+        .position(|l| l.contains("\"event\":\"counter\""));
+    assert!(epoch_line.unwrap() < counter_line.unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,181 @@
+//! Structured JSONL event export.
+//!
+//! Events are single-line JSON objects built with [`JsonObject`] — a small
+//! hand-rolled writer (the workspace takes no serialization dependency) —
+//! and appended to a [`JsonlSink`], a mutex-guarded buffered file. Sink
+//! writes are deliberately infallible at the call site: telemetry must
+//! never fail an experiment, so I/O errors surface only from
+//! [`JsonlSink::flush`].
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental single-line JSON object builder.
+///
+/// ```
+/// use rit_telemetry::JsonObject;
+///
+/// let line = JsonObject::new("counter")
+///     .str_field("name", "auction.rounds")
+///     .u64_field("value", 17)
+///     .finish();
+/// assert_eq!(line, r#"{"event":"counter","name":"auction.rounds","value":17}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an object whose first field is `"event": kind`.
+    #[must_use]
+    pub fn new(kind: &str) -> Self {
+        Self {
+            buf: format!("{{\"event\":\"{}\"", escape_json(kind)),
+        }
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        let _ = write!(
+            self.buf,
+            ",\"{}\":\"{}\"",
+            escape_json(key),
+            escape_json(value)
+        );
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    #[must_use]
+    pub fn u64_field(mut self, key: &str, value: u64) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{value}", escape_json(key));
+        self
+    }
+
+    /// Appends a float field (`null` when not finite).
+    #[must_use]
+    pub fn f64_field(mut self, key: &str, value: f64) -> Self {
+        if value.is_finite() {
+            let _ = write!(self.buf, ",\"{}\":{value}", escape_json(key));
+        } else {
+            let _ = write!(self.buf, ",\"{}\":null", escape_json(key));
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn bool_field(mut self, key: &str, value: bool) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{value}", escape_json(key));
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A buffered JSONL file sink.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the sink file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends one event line. Write errors are swallowed (telemetry never
+    /// fails the run); they resurface from [`JsonlSink::flush`].
+    pub fn emit(&self, line: &str) {
+        let mut w = self.writer.lock().expect("telemetry sink poisoned");
+        let _ = writeln!(w, "{line}");
+    }
+
+    /// Flushes buffered lines to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("telemetry sink poisoned").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builder_renders_all_field_kinds() {
+        let line = JsonObject::new("demo")
+            .str_field("s", "x\"y")
+            .u64_field("u", 7)
+            .f64_field("f", 1.5)
+            .f64_field("bad", f64::NAN)
+            .bool_field("b", true)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"event":"demo","s":"x\"y","u":7,"f":1.5,"bad":null,"b":true}"#
+        );
+    }
+
+    #[test]
+    fn sink_writes_lines() {
+        let dir = std::env::temp_dir().join("rit_telemetry_events_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(r#"{"event":"a"}"#);
+        sink.emit(r#"{"event":"b"}"#);
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"event\":\"a\"}\n{\"event\":\"b\"}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

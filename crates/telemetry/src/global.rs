@@ -1,0 +1,308 @@
+//! The process-global telemetry instance.
+//!
+//! Deep call sites — the substrate cache, `parallel_map` workers, the
+//! campaign epoch loop — cannot reasonably thread a handle through every
+//! signature, so telemetry follows the global-recorder pattern: a binary
+//! [`install`]s one [`Telemetry`] at startup, instrumented code asks
+//! [`active`] (a single `OnceLock` load) and does nothing when none is
+//! installed. The uninstrumented path is therefore exactly the
+//! pre-telemetry code path.
+
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use crate::events::{JsonObject, JsonlSink};
+use crate::manifest::RunManifest;
+use crate::registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, RegistrySnapshot};
+
+/// Handles to the workspace's standard metrics, pre-registered by
+/// [`Telemetry::new`] so every hot path records through a `Copy` id with
+/// no name lookup.
+#[derive(Clone, Copy, Debug)]
+pub struct StandardMetrics {
+    /// `auction.types` — task-type round loops entered.
+    pub auction_types: CounterId,
+    /// `auction.rounds` — CRA rounds executed.
+    pub auction_rounds: CounterId,
+    /// `auction.winners` — winners applied across all rounds.
+    pub auction_winners: CounterId,
+    /// `auction.consensus` — sum of consensus-rounded counts `n_s`.
+    pub auction_consensus: CounterId,
+    /// `substrate.generations` — scenarios actually generated.
+    pub substrate_generations: CounterId,
+    /// `substrate.hits` — substrate cache hits.
+    pub substrate_hits: CounterId,
+    /// `substrate.misses` — substrate cache misses.
+    pub substrate_misses: CounterId,
+    /// `worker.items` — parallel-map items executed.
+    pub worker_items: CounterId,
+    /// `worker.busy_ns` — cumulative worker busy time.
+    pub worker_busy_ns: CounterId,
+    /// `campaign.epochs` — campaign epochs executed.
+    pub campaign_epochs: CounterId,
+    /// `attack.replications` — paired attack replications observed.
+    pub attack_replications: CounterId,
+    /// `worker.threads` — resolved worker-thread count.
+    pub worker_threads: GaugeId,
+    /// `auction.round_winners` — winners per round.
+    pub round_winners: HistogramId,
+    /// `auction.clearing_price_milli` — clearing price per winning round,
+    /// in 1/1000 currency units.
+    pub clearing_price_milli: HistogramId,
+    /// `auction.rounds_per_type` — rounds per task type.
+    pub rounds_per_type: HistogramId,
+    /// `auction.stall_rounds_per_type` — zero-winner rounds per task type.
+    pub stall_rounds_per_type: HistogramId,
+    /// `worker.item_micros` — wall time per parallel-map item.
+    pub worker_item_micros: HistogramId,
+    /// `campaign.epoch_micros` — wall time per campaign epoch.
+    pub campaign_epoch_micros: HistogramId,
+    /// `attack.abs_gain_milli` — |deviation gain| per replication, in
+    /// 1/1000 utility units.
+    pub attack_abs_gain_milli: HistogramId,
+}
+
+impl StandardMetrics {
+    fn register(registry: &mut MetricsRegistry) -> Self {
+        Self {
+            auction_types: registry.register_counter("auction.types"),
+            auction_rounds: registry.register_counter("auction.rounds"),
+            auction_winners: registry.register_counter("auction.winners"),
+            auction_consensus: registry.register_counter("auction.consensus"),
+            substrate_generations: registry.register_counter("substrate.generations"),
+            substrate_hits: registry.register_counter("substrate.hits"),
+            substrate_misses: registry.register_counter("substrate.misses"),
+            worker_items: registry.register_counter("worker.items"),
+            worker_busy_ns: registry.register_counter("worker.busy_ns"),
+            campaign_epochs: registry.register_counter("campaign.epochs"),
+            attack_replications: registry.register_counter("attack.replications"),
+            worker_threads: registry.register_gauge("worker.threads"),
+            round_winners: registry.register_histogram("auction.round_winners"),
+            clearing_price_milli: registry.register_histogram("auction.clearing_price_milli"),
+            rounds_per_type: registry.register_histogram("auction.rounds_per_type"),
+            stall_rounds_per_type: registry.register_histogram("auction.stall_rounds_per_type"),
+            worker_item_micros: registry.register_histogram("worker.item_micros"),
+            campaign_epoch_micros: registry.register_histogram("campaign.epoch_micros"),
+            attack_abs_gain_milli: registry.register_histogram("attack.abs_gain_milli"),
+        }
+    }
+}
+
+/// One invocation's telemetry: registry + standard metric handles +
+/// manifest + optional JSONL sink.
+#[derive(Debug)]
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    metrics: StandardMetrics,
+    manifest: RunManifest,
+    sink: Option<JsonlSink>,
+}
+
+impl Telemetry {
+    /// An in-memory telemetry instance (registry only, no event sink).
+    /// `bench_sim` uses this to embed histogram summaries in its report
+    /// even when no JSONL path was requested.
+    #[must_use]
+    pub fn new(manifest: RunManifest) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let metrics = StandardMetrics::register(&mut registry);
+        Self {
+            registry,
+            metrics,
+            manifest,
+            sink: None,
+        }
+    }
+
+    /// A telemetry instance streaming events to a JSONL file. The manifest
+    /// line is emitted immediately, so it is always the file's first line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink-creation errors.
+    pub fn with_sink(manifest: RunManifest, path: &Path) -> io::Result<Self> {
+        let mut t = Self::new(manifest);
+        let sink = JsonlSink::create(path)?;
+        sink.emit(&t.manifest.to_event());
+        t.sink = Some(sink);
+        Ok(t)
+    }
+
+    /// The metric registry.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The pre-registered standard metric handles.
+    #[must_use]
+    pub fn metrics(&self) -> &StandardMetrics {
+        &self.metrics
+    }
+
+    /// The run manifest.
+    #[must_use]
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Whether events are being streamed to a sink. Call sites that build
+    /// event strings should gate on this: metric *recording* is
+    /// allocation-free, event *rendering* is not.
+    #[must_use]
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, id: CounterId, delta: u64) {
+        self.registry.add(id, delta);
+    }
+
+    /// Records a value into a histogram.
+    pub fn record(&self, id: HistogramId, value: u64) {
+        self.registry.record(id, value);
+    }
+
+    /// Records a real value into a histogram in fixed-point `scale` units.
+    pub fn record_scaled(&self, id: HistogramId, value: f64, scale: f64) {
+        self.registry.record_scaled(id, value, scale);
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, id: GaugeId, value: f64) {
+        self.registry.set_gauge(id, value);
+    }
+
+    /// Emits one already-rendered event line (no-op without a sink).
+    pub fn emit(&self, line: &str) {
+        if let Some(sink) = &self.sink {
+            sink.emit(line);
+        }
+    }
+
+    /// Snapshot of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Emits a summary event per registered metric (counters, gauges, and
+    /// histogram percentile summaries) and flushes the sink. No-op without
+    /// a sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(sink) = &self.sink else {
+            return Ok(());
+        };
+        let snap = self.registry.snapshot();
+        for (name, value) in &snap.counters {
+            sink.emit(
+                &JsonObject::new("counter")
+                    .str_field("name", name)
+                    .u64_field("value", *value)
+                    .finish(),
+            );
+        }
+        for (name, value) in &snap.gauges {
+            sink.emit(
+                &JsonObject::new("gauge")
+                    .str_field("name", name)
+                    .f64_field("value", *value)
+                    .finish(),
+            );
+        }
+        for (name, s) in &snap.histograms {
+            sink.emit(
+                &JsonObject::new("histogram")
+                    .str_field("name", name)
+                    .u64_field("count", s.count)
+                    .u64_field("min", s.min)
+                    .u64_field("max", s.max)
+                    .f64_field("mean", s.mean)
+                    .u64_field("p50", s.p50)
+                    .u64_field("p90", s.p90)
+                    .u64_field("p99", s.p99)
+                    .finish(),
+            );
+        }
+        sink.flush()
+    }
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// Installs the process-global telemetry instance. At most one install
+/// wins per process; on contention the rejected instance is handed back.
+///
+/// # Errors
+///
+/// Returns `Err(telemetry)` when a global instance is already installed.
+// The large `Err` variant is the point: the rejected instance is handed
+// back intact (registry contents included) rather than dropped, and
+// install happens once per process, never on a hot path.
+#[allow(clippy::result_large_err)]
+pub fn install(telemetry: Telemetry) -> Result<&'static Telemetry, Telemetry> {
+    match GLOBAL.set(telemetry) {
+        Ok(()) => Ok(GLOBAL.get().expect("just installed")),
+        Err(rejected) => Err(rejected),
+    }
+}
+
+/// The installed global telemetry, if any. A single atomic load — cheap
+/// enough for per-round call sites.
+#[must_use]
+pub fn active() -> Option<&'static Telemetry> {
+    GLOBAL.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> RunManifest {
+        RunManifest::new("test", "0.0.0", "unit", 1, 1)
+    }
+
+    #[test]
+    fn standard_metrics_record_through_telemetry() {
+        let t = Telemetry::new(manifest());
+        let m = *t.metrics();
+        t.add(m.auction_rounds, 5);
+        t.record(m.round_winners, 3);
+        t.record_scaled(m.clearing_price_milli, 1.234, 1000.0);
+        t.set_gauge(m.worker_threads, 4.0);
+        assert_eq!(t.registry().counter(m.auction_rounds), 5);
+        assert_eq!(t.registry().histogram_summary(m.round_winners).count, 1);
+        assert_eq!(
+            t.registry().histogram_summary(m.clearing_price_milli).min,
+            1234
+        );
+        assert_eq!(t.registry().gauge(m.worker_threads), 4.0);
+        assert!(!t.has_sink());
+        t.emit("ignored without sink");
+        t.flush().unwrap();
+    }
+
+    #[test]
+    fn sink_gets_manifest_first_then_flush_summaries() {
+        let dir = std::env::temp_dir().join("rit_telemetry_global_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let t = Telemetry::with_sink(manifest(), &path).unwrap();
+        let m = *t.metrics();
+        t.add(m.auction_rounds, 2);
+        t.record(m.round_winners, 9);
+        t.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"event\":\"manifest\""));
+        assert!(text.contains("\"name\":\"auction.rounds\",\"value\":2"));
+        assert!(text.contains("\"name\":\"auction.round_winners\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

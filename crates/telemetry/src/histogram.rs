@@ -1,0 +1,237 @@
+//! Log2-bucketed concurrent histograms.
+//!
+//! A [`Histogram`] holds 65 atomic buckets: bucket 0 is exactly `[0, 0]`
+//! and bucket `b ≥ 1` covers `[2^(b-1), 2^b - 1]` — the bucket of a value
+//! is one plus the position of its highest set bit, so recording is a
+//! `leading_zeros` and two atomic adds: lock-free, allocation-free, and
+//! safe to call from the auction engine's round loop and from concurrent
+//! `parallel_map` workers.
+//!
+//! Percentile summaries resolve to the upper bound of the bucket holding
+//! the requested rank, clamped into the observed `[min, max]`; that keeps
+//! `p50 ≤ p90 ≤ p99` monotone and every reported percentile inside the
+//! recorded range (pinned by the crate's proptests). Values are `u64`
+//! ticks — record real-valued metrics in fixed-point units (microseconds,
+//! milli-dollars) chosen so log2 resolution is adequate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A concurrent log2-bucketed histogram of `u64` values.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Mean of the recorded values (0.0 when empty).
+    pub mean: f64,
+    /// 50th percentile (bucket upper bound, clamped to `[min, max]`).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index holding `value`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[low, high]` range of bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            b => (1 << (b - 1), (1 << b) - 1),
+        }
+    }
+
+    /// Records one value. Lock-free and allocation-free.
+    ///
+    /// The running `sum` (and hence the summary's `mean`) wraps if the
+    /// total of all recorded values exceeds `u64::MAX`; callers record
+    /// fixed-point ticks (microseconds, milli-dollars, counts) for which
+    /// that total is unreachable in practice.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a non-negative real value in fixed-point `scale` units
+    /// (e.g. `scale = 1e6` for seconds → microseconds). Non-finite and
+    /// negative values are dropped rather than poisoning the histogram.
+    pub fn record_scaled(&self, value: f64, scale: f64) {
+        let ticks = value * scale;
+        if ticks.is_finite() && ticks >= 0.0 {
+            self.record(ticks.round() as u64);
+        }
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the current contents. Under concurrent recording the
+    /// summary is a racy-but-consistent-enough snapshot (each field is
+    /// individually atomic); summaries are intended for flush time, after
+    /// the instrumented work has finished.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return HistogramSummary {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+            };
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            // 1-based rank of the requested quantile, at least 1.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_bounds(i).1.clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            min,
+            max,
+            mean: self.sum.load(Ordering::Relaxed) as f64 / count as f64,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_geometry() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.min, s.max, s.p50, s.p90, s.p99), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_value_summary_is_exact() {
+        let h = Histogram::new();
+        h.record(37);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (37, 37));
+        // Clamping pins all percentiles of a single sample to the value.
+        assert_eq!((s.p50, s.p90, s.p99), (37, 37, 37));
+        assert_eq!(s.mean, 37.0);
+    }
+
+    #[test]
+    fn percentiles_track_mass() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket [8, 15]
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512, 1023]
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 <= 15, "p50 {} should sit in the low bucket", s.p50);
+        assert!(s.p99 >= 512, "p99 {} should sit in the high bucket", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    }
+
+    #[test]
+    fn scaled_recording_drops_junk() {
+        let h = Histogram::new();
+        h.record_scaled(1.5, 1000.0);
+        h.record_scaled(f64::NAN, 1000.0);
+        h.record_scaled(f64::INFINITY, 1000.0);
+        h.record_scaled(-2.0, 1000.0);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 1500);
+    }
+}

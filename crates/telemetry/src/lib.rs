@@ -1,0 +1,54 @@
+//! Workspace-wide telemetry: metrics registry, structured event export, and
+//! run manifests over the observer hooks.
+//!
+//! Every layer of the reproduction already exposes an observation seam —
+//! [`rit_core::AuctionObserver`] for the auction engine,
+//! [`rit_adversary::AttackObserver`] for attack suites, the
+//! `SubstrateCache` hit counters, `parallel_map` workers, campaign epochs —
+//! but each reported in its own ad-hoc way. This crate is the one layer
+//! those seams feed:
+//!
+//! * [`MetricsRegistry`] — monotonic counters, gauges, and log2-bucketed
+//!   [`Histogram`]s with p50/p90/p99 summaries. Registration happens once
+//!   at setup (`&mut self`, returns `Copy` handles); recording is `&self`,
+//!   lock-free, and allocation-free, so observers can run inside the
+//!   allocation-free auction round loop.
+//! * [`JsonlSink`] — a buffered structured-event stream, one JSON object
+//!   per line (hand-rolled rendering, no serialization dependency).
+//! * [`RunManifest`] — config hash ([`fnv1a64`]), seed, thread count, and
+//!   package version, emitted as the first event of every instrumented
+//!   invocation so runs are auditable and comparable.
+//! * [`TelemetryObserver`] / [`TelemetryAttackObserver`] — adapters from
+//!   the existing observer traits into the registry.
+//! * a process-global [`Telemetry`] instance ([`install`] / [`active`])
+//!   so deep call sites (cache, worker loop, campaign) can record without
+//!   plumbing a handle through every signature. Not installing it keeps
+//!   every hot path on the exact pre-telemetry code path.
+//!
+//! Observers never draw randomness, so enabling telemetry changes **no**
+//! experimental result: the same RNG stream, the same allocation, the same
+//! figures (pinned by the `ObserverChain` equivalence test and the sim
+//! crate's end-to-end telemetry test).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+mod global;
+pub mod histogram;
+pub mod manifest;
+pub mod observer;
+pub mod registry;
+pub mod stats;
+
+pub use events::{JsonObject, JsonlSink};
+pub use global::{active, install, StandardMetrics, Telemetry};
+pub use histogram::{Histogram, HistogramSummary};
+pub use manifest::{fnv1a64, RunManifest};
+pub use observer::{TelemetryAttackObserver, TelemetryObserver};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, RegistrySnapshot};
+pub use stats::MeanStd;
+
+/// Environment variable naming a JSONL path for the global telemetry sink.
+/// Binaries honor it as a fallback for their `--telemetry` flag.
+pub const TELEMETRY_ENV: &str = "RIT_TELEMETRY";

@@ -1,0 +1,107 @@
+//! Run manifests: who ran what, with which configuration.
+//!
+//! Every instrumented invocation emits one `manifest` event before any
+//! metric event: tool name, package version, a [`fnv1a64`] hash of the
+//! experiment-defining configuration (deliberately *excluding* output
+//! paths, so two runs of the same experiment hash identically regardless
+//! of where their artifacts land — CI asserts this stability), the master
+//! seed, and the resolved worker-thread count.
+
+use crate::events::JsonObject;
+
+/// 64-bit FNV-1a hash. Stable across platforms and releases — manifest
+/// config hashes are comparable between runs and machines.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Identity of one experiment/bench invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunManifest {
+    /// The invoking tool (`"experiments"`, `"bench_sim"`, `"rit"`, …).
+    pub tool: String,
+    /// The tool's package version (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// [`fnv1a64`] over the canonical configuration description.
+    pub config_hash: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Resolved worker-thread count (after the `RIT_THREADS` override).
+    pub threads: usize,
+}
+
+impl RunManifest {
+    /// Builds a manifest, hashing `config_desc` (a canonical description
+    /// of the experiment-defining configuration — no output paths).
+    #[must_use]
+    pub fn new(tool: &str, version: &str, config_desc: &str, seed: u64, threads: usize) -> Self {
+        Self {
+            tool: tool.to_string(),
+            version: version.to_string(),
+            config_hash: fnv1a64(config_desc.as_bytes()),
+            seed,
+            threads,
+        }
+    }
+
+    /// The manifest's `config_hash` as the zero-padded hex string used in
+    /// every rendered artifact.
+    #[must_use]
+    pub fn config_hash_hex(&self) -> String {
+        format!("{:016x}", self.config_hash)
+    }
+
+    /// Renders the manifest as its JSONL event line.
+    #[must_use]
+    pub fn to_event(&self) -> String {
+        JsonObject::new("manifest")
+            .str_field("tool", &self.tool)
+            .str_field("version", &self.version)
+            .str_field("config_hash", &self.config_hash_hex())
+            .u64_field("seed", self.seed)
+            .u64_field("threads", self.threads as u64)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_discriminating() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"config A"), fnv1a64(b"config B"));
+        assert_eq!(fnv1a64(b"same"), fnv1a64(b"same"));
+    }
+
+    #[test]
+    fn manifest_event_shape() {
+        let m = RunManifest::new("experiments", "0.1.0", "scale=smoke runs=2", 2017, 4);
+        let line = m.to_event();
+        assert!(line.starts_with("{\"event\":\"manifest\""));
+        assert!(line.contains("\"tool\":\"experiments\""));
+        assert!(line.contains(&format!("\"config_hash\":\"{}\"", m.config_hash_hex())));
+        assert!(line.contains("\"seed\":2017"));
+        assert!(line.contains("\"threads\":4"));
+        assert_eq!(m.config_hash_hex().len(), 16);
+    }
+
+    #[test]
+    fn hash_ignores_nothing_but_description() {
+        let a = RunManifest::new("t", "v", "desc", 1, 2);
+        let b = RunManifest::new("t", "v", "desc", 9, 8);
+        // Seed/threads are recorded but do not enter the config hash.
+        assert_eq!(a.config_hash, b.config_hash);
+    }
+}

@@ -1,0 +1,248 @@
+//! Adapters from the workspace's observer traits into the registry.
+//!
+//! [`TelemetryObserver`] implements [`rit_core::AuctionObserver`]: per
+//! round it performs a handful of relaxed atomic operations against
+//! pre-registered metrics and keeps two `u32`s of local state — no heap
+//! allocation anywhere in the round loop (pinned by this crate's
+//! counting-allocator test). It composes with a full
+//! [`rit_core::TraceObserver`] through `rit_core`'s `ObserverChain`, and
+//! since neither observer draws randomness, chaining changes no result.
+//!
+//! [`TelemetryAttackObserver`] implements
+//! [`rit_adversary::AttackObserver`]: per-attack gain distributions as
+//! [`MeanStd`] accumulators (allocated once at `suite_start`, mergeable
+//! across workers) plus an `attack` summary event per attack.
+
+use rit_adversary::{AttackObserver, GainReport, PairedOutcome};
+use rit_core::trace::RoundTrace;
+use rit_core::AuctionObserver;
+use rit_model::TaskTypeId;
+
+use crate::events::JsonObject;
+use crate::global::Telemetry;
+use crate::stats::MeanStd;
+
+/// Scale for recording currency/utility values in the log2 histograms.
+const MILLI: f64 = 1000.0;
+
+/// An [`AuctionObserver`] recording per-round statistics into a
+/// [`Telemetry`] registry.
+#[derive(Debug)]
+pub struct TelemetryObserver<'t> {
+    telemetry: &'t Telemetry,
+    type_rounds: u32,
+    type_stalls: u32,
+}
+
+impl<'t> TelemetryObserver<'t> {
+    /// An observer recording into `telemetry`.
+    #[must_use]
+    pub fn new(telemetry: &'t Telemetry) -> Self {
+        Self {
+            telemetry,
+            type_rounds: 0,
+            type_stalls: 0,
+        }
+    }
+}
+
+impl AuctionObserver for TelemetryObserver<'_> {
+    fn type_start(&mut self, _task_type: TaskTypeId, _tasks: u64, _budget: Option<u32>) {
+        self.telemetry
+            .add(self.telemetry.metrics().auction_types, 1);
+        self.type_rounds = 0;
+        self.type_stalls = 0;
+    }
+
+    fn round(&mut self, round: &RoundTrace) {
+        let t = self.telemetry;
+        let m = t.metrics();
+        let winners = round.winners as u64;
+        t.add(m.auction_rounds, 1);
+        t.add(m.auction_winners, winners);
+        t.add(m.auction_consensus, round.diagnostics.consensus_count);
+        t.record(m.round_winners, winners);
+        if round.winners > 0 {
+            t.record_scaled(m.clearing_price_milli, round.clearing_price, MILLI);
+        } else {
+            self.type_stalls += 1;
+        }
+        self.type_rounds += 1;
+    }
+
+    fn type_end(&mut self) {
+        let t = self.telemetry;
+        let m = t.metrics();
+        t.record(m.rounds_per_type, u64::from(self.type_rounds));
+        t.record(m.stall_rounds_per_type, u64::from(self.type_stalls));
+    }
+}
+
+/// An [`AttackObserver`] recording per-attack gain distributions into a
+/// [`Telemetry`] registry.
+#[derive(Debug)]
+pub struct TelemetryAttackObserver<'t> {
+    telemetry: &'t Telemetry,
+    gains: Vec<MeanStd>,
+}
+
+impl<'t> TelemetryAttackObserver<'t> {
+    /// An observer recording into `telemetry`.
+    #[must_use]
+    pub fn new(telemetry: &'t Telemetry) -> Self {
+        Self {
+            telemetry,
+            gains: Vec::new(),
+        }
+    }
+
+    /// Per-attack gain accumulators (suite order), for inspection or for
+    /// merging per-worker observers via [`MeanStd::merge`].
+    #[must_use]
+    pub fn gain_stats(&self) -> &[MeanStd] {
+        &self.gains
+    }
+
+    /// Folds another observer's per-attack accumulators into this one
+    /// (parallel suite evaluation: one observer per worker, merged at the
+    /// end).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the observers saw suites of different widths.
+    pub fn merge(&mut self, other: &TelemetryAttackObserver<'_>) {
+        if self.gains.is_empty() {
+            self.gains = other.gains.clone();
+            return;
+        }
+        assert_eq!(
+            self.gains.len(),
+            other.gains.len(),
+            "merging observers of different suite widths"
+        );
+        for (mine, theirs) in self.gains.iter_mut().zip(&other.gains) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+impl AttackObserver for TelemetryAttackObserver<'_> {
+    fn suite_start(&mut self, deviations: usize, _runs: usize) {
+        self.gains = vec![MeanStd::new(); deviations];
+    }
+
+    fn replication(&mut self, attack: usize, _name: &str, _r: usize, outcome: &PairedOutcome) {
+        let t = self.telemetry;
+        let m = t.metrics();
+        let gain = outcome.gain();
+        t.add(m.attack_replications, 1);
+        t.record_scaled(m.attack_abs_gain_milli, gain.abs(), MILLI);
+        if let Some(acc) = self.gains.get_mut(attack) {
+            acc.push(gain);
+        }
+    }
+
+    fn attack_summary(&mut self, attack: usize, name: &str, report: &GainReport) {
+        if self.telemetry.has_sink() {
+            self.telemetry.emit(
+                &JsonObject::new("attack")
+                    .u64_field("index", attack as u64)
+                    .str_field("name", name)
+                    .f64_field("gain", report.gain)
+                    .f64_field("gain_se", report.gain_se)
+                    .f64_field("z", report.z_score())
+                    .u64_field("runs", report.runs as u64)
+                    .finish(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::RunManifest;
+    use rit_adversary::ArmOutcome;
+    use rit_auction::cra::CraDiagnostics;
+
+    fn telemetry() -> Telemetry {
+        Telemetry::new(RunManifest::new("test", "0", "obs", 1, 1))
+    }
+
+    fn round(winners: usize, price: f64, consensus: u64) -> RoundTrace {
+        RoundTrace {
+            round: 0,
+            q_before: 10,
+            unit_asks: 20,
+            winners,
+            clearing_price: price,
+            diagnostics: CraDiagnostics {
+                consensus_count: consensus,
+                ..CraDiagnostics::default()
+            },
+        }
+    }
+
+    #[test]
+    fn auction_observer_aggregates_rounds_and_stalls() {
+        let t = telemetry();
+        let mut obs = TelemetryObserver::new(&t);
+        obs.type_start(TaskTypeId::new(0), 10, None);
+        obs.round(&round(3, 2.5, 4));
+        obs.round(&round(0, 0.0, 0));
+        obs.round(&round(2, 1.5, 2));
+        obs.type_end();
+        let m = t.metrics();
+        assert_eq!(t.registry().counter(m.auction_types), 1);
+        assert_eq!(t.registry().counter(m.auction_rounds), 3);
+        assert_eq!(t.registry().counter(m.auction_winners), 5);
+        assert_eq!(t.registry().counter(m.auction_consensus), 6);
+        // The stalled round contributes no clearing-price sample.
+        assert_eq!(
+            t.registry().histogram_summary(m.clearing_price_milli).count,
+            2
+        );
+        let rounds = t.registry().histogram_summary(m.rounds_per_type);
+        assert_eq!((rounds.count, rounds.min), (1, 3));
+        let stalls = t.registry().histogram_summary(m.stall_rounds_per_type);
+        assert_eq!((stalls.count, stalls.min), (1, 1));
+    }
+
+    fn paired(gain: f64) -> PairedOutcome {
+        PairedOutcome {
+            honest: ArmOutcome {
+                utility: 1.0,
+                completed: true,
+                total_payment: 10.0,
+            },
+            deviant: ArmOutcome {
+                utility: 1.0 + gain,
+                completed: true,
+                total_payment: 10.0,
+            },
+        }
+    }
+
+    #[test]
+    fn attack_observer_accumulates_and_merges() {
+        let t = telemetry();
+        let mut a = TelemetryAttackObserver::new(&t);
+        let mut b = TelemetryAttackObserver::new(&t);
+        a.suite_start(2, 2);
+        b.suite_start(2, 2);
+        a.replication(0, "sybil", 0, &paired(0.5));
+        a.replication(1, "misreport", 0, &paired(-0.25));
+        b.replication(0, "sybil", 1, &paired(1.5));
+        a.merge(&b);
+        assert_eq!(a.gain_stats()[0].count(), 2);
+        assert!((a.gain_stats()[0].mean() - 1.0).abs() < 1e-12);
+        assert_eq!(a.gain_stats()[1].count(), 1);
+        assert_eq!(t.registry().counter(t.metrics().attack_replications), 3);
+        assert_eq!(
+            t.registry()
+                .histogram_summary(t.metrics().attack_abs_gain_milli)
+                .count,
+            3
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration happens once at setup time through `&mut self` and returns
+//! small `Copy` handles; all recording goes through `&self` and touches
+//! only atomics, so a registry shared behind the global [`crate::Telemetry`]
+//! is written from concurrent workers without locks and without allocating.
+//! Metric names are `&'static str` by design: the registry never owns
+//! string data, so building one costs exactly the three `Vec` spines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::histogram::{Histogram, HistogramSummary};
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A registry of named metrics — see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, AtomicU64)>,
+    gauges: Vec<(&'static str, AtomicU64)>, // f64 bit patterns
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+/// Point-in-time copy of every registered metric, in registration order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// `(name, summary)` per histogram.
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a monotonic counter.
+    pub fn register_counter(&mut self, name: &'static str) -> CounterId {
+        self.counters.push((name, AtomicU64::new(0)));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge (a last-write-wins `f64`).
+    pub fn register_gauge(&mut self, name: &'static str) -> GaugeId {
+        self.gauges.push((name, AtomicU64::new(0f64.to_bits())));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a log2-bucketed histogram.
+    pub fn register_histogram(&mut self, name: &'static str) -> HistogramId {
+        self.histograms.push((name, Histogram::new()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, id: CounterId, delta: u64) {
+        self.counters[id.0].1.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1.load(Ordering::Relaxed)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, id: GaugeId, value: f64) {
+        self.gauges[id.0]
+            .1
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge.
+    #[must_use]
+    pub fn gauge(&self, id: GaugeId) -> f64 {
+        f64::from_bits(self.gauges[id.0].1.load(Ordering::Relaxed))
+    }
+
+    /// Records a value into a histogram.
+    pub fn record(&self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// Records a real value into a histogram in fixed-point `scale` units
+    /// (see [`Histogram::record_scaled`]).
+    pub fn record_scaled(&self, id: HistogramId, value: f64, scale: f64) {
+        self.histograms[id.0].1.record_scaled(value, scale);
+    }
+
+    /// Summary of one histogram.
+    #[must_use]
+    pub fn histogram_summary(&self, id: HistogramId) -> HistogramSummary {
+        self.histograms[id.0].1.summary()
+    }
+
+    /// Snapshot of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (*n, v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| (*n, f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (*n, h.summary()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut r = MetricsRegistry::new();
+        let c = r.register_counter("test.counter");
+        let g = r.register_gauge("test.gauge");
+        let h = r.register_histogram("test.histogram");
+        r.add(c, 3);
+        r.add(c, 4);
+        r.set_gauge(g, 1.5);
+        r.set_gauge(g, 2.5);
+        r.record(h, 10);
+        r.record_scaled(h, 0.02, 1000.0);
+        assert_eq!(r.counter(c), 7);
+        assert_eq!(r.gauge(g), 2.5);
+        assert_eq!(r.histogram_summary(h).count, 2);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("test.counter", 7)]);
+        assert_eq!(snap.gauges, vec![("test.gauge", 2.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "test.histogram");
+        assert_eq!(snap.histograms[0].1.min, 10);
+        assert_eq!(snap.histograms[0].1.max, 20);
+    }
+
+    #[test]
+    fn handles_are_independent() {
+        let mut r = MetricsRegistry::new();
+        let a = r.register_counter("a");
+        let b = r.register_counter("b");
+        r.add(a, 1);
+        r.add(b, 10);
+        assert_eq!((r.counter(a), r.counter(b)), (1, 10));
+    }
+
+    #[test]
+    fn recording_is_shareable_across_threads() {
+        let mut r = MetricsRegistry::new();
+        let c = r.register_counter("c");
+        let h = r.register_histogram("h");
+        let r = &r;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for v in 0..100u64 {
+                        r.add(c, 1);
+                        r.record(h, v);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter(c), 400);
+        assert_eq!(r.histogram_summary(h).count, 400);
+    }
+}

@@ -1,0 +1,187 @@
+//! Streaming scalar statistics.
+//!
+//! [`MeanStd`] started life in `rit_sim::metrics`; it moved here because
+//! the telemetry registry's per-worker accumulators need [`MeanStd::merge`]
+//! without depending on the simulation crate. `rit_sim::metrics` re-exports
+//! it, so experiment code is unaffected.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// ```
+/// use rit_telemetry::MeanStd;
+///
+/// let mut acc = MeanStd::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.count(), 3);
+/// assert!((acc.std_dev() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeanStd {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The sample standard deviation (Bessel-corrected).
+    ///
+    /// With fewer than two samples the standard deviation is undefined;
+    /// this accessor deliberately reports `0.0` there so figure rendering
+    /// (`mean ± std`) needs no special case. Use [`MeanStd::std_dev_opt`]
+    /// when the undefined case must be distinguished from a genuinely
+    /// zero-variance sample.
+    ///
+    /// ```
+    /// use rit_telemetry::MeanStd;
+    ///
+    /// let mut acc = MeanStd::new();
+    /// assert_eq!(acc.std_dev(), 0.0); // empty: documented 0.0
+    /// acc.push(5.0);
+    /// assert_eq!(acc.std_dev(), 0.0); // one sample: documented 0.0
+    /// acc.push(7.0);
+    /// assert!(acc.std_dev() > 0.0); // two samples: defined
+    /// ```
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev_opt().unwrap_or(0.0)
+    }
+
+    /// The sample standard deviation, or `None` when it is undefined
+    /// (`count < 2`).
+    ///
+    /// ```
+    /// use rit_telemetry::MeanStd;
+    ///
+    /// let mut acc = MeanStd::new();
+    /// assert_eq!(acc.std_dev_opt(), None);
+    /// acc.push(5.0);
+    /// assert_eq!(acc.std_dev_opt(), None);
+    /// acc.push(5.0);
+    /// assert_eq!(acc.std_dev_opt(), Some(0.0)); // defined, genuinely zero
+    /// ```
+    #[must_use]
+    pub fn std_dev_opt(&self) -> Option<f64> {
+        if self.count < 2 {
+            None
+        } else {
+            Some((self.m2 / (self.count - 1) as f64).sqrt())
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction): the result is
+    /// statistically identical to having pushed both sample streams into
+    /// one accumulator. The telemetry registry uses this to combine
+    /// per-worker accumulators.
+    ///
+    /// ```
+    /// use rit_telemetry::MeanStd;
+    ///
+    /// let mut whole = MeanStd::new();
+    /// let mut left = MeanStd::new();
+    /// let mut right = MeanStd::new();
+    /// for (i, x) in [1.0, 4.0, 9.0, 16.0, 25.0].into_iter().enumerate() {
+    ///     whole.push(x);
+    ///     if i < 2 { left.push(x) } else { right.push(x) }
+    /// }
+    /// left.merge(&right);
+    /// assert_eq!(left.count(), whole.count());
+    /// assert!((left.mean() - whole.mean()).abs() < 1e-12);
+    /// assert!((left.std_dev() - whole.std_dev()).abs() < 1e-12);
+    /// ```
+    pub fn merge(&mut self, other: &MeanStd) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+impl Extend<f64> for MeanStd {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 5.0 + 3.0).collect();
+        let mut all = MeanStd::new();
+        all.extend(xs.iter().copied());
+        let mut a = MeanStd::new();
+        let mut b = MeanStd::new();
+        a.extend(xs[..37].iter().copied());
+        b.extend(xs[37..].iter().copied());
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut a = MeanStd::new();
+        let mut b = MeanStd::new();
+        b.push(4.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), 4.0);
+        let empty = MeanStd::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn std_dev_edge_cases_are_explicit() {
+        let mut acc = MeanStd::new();
+        assert_eq!(acc.std_dev_opt(), None);
+        assert_eq!(acc.std_dev(), 0.0);
+        acc.push(3.0);
+        assert_eq!(acc.std_dev_opt(), None);
+        assert_eq!(acc.std_dev(), 0.0);
+        acc.push(3.0);
+        assert_eq!(acc.std_dev_opt(), Some(0.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Pins the telemetry path's allocation discipline: with a warm
+//! [`RitWorkspace`] and a pre-built [`Telemetry`] registry, a
+//! telemetry-observed auction phase allocates O(1) — the phase result's
+//! own output vectors plus nothing per round. All registry recording is
+//! relaxed atomics against pre-registered metrics; the observer itself is
+//! two `u32`s of stack state.
+//!
+//! (The matching test in `rit-core` pins the `NoopObserver` fast path;
+//! this file deliberately contains a single test so no concurrent test
+//! thread pollutes the allocation counter.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{Rit, RitConfig, RitWorkspace, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_telemetry::{RunManifest, Telemetry, TelemetryObserver};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn telemetry_observed_warm_phase_allocates_only_its_outputs() {
+    // The same round-heavy scenario as rit-core's Noop-path test: many
+    // users, small capacities, enough tasks that allocation takes dozens
+    // of rounds — any per-round allocation in the telemetry path would
+    // scale the delta with the round count.
+    let n = 3000usize;
+    let job = Job::from_counts(vec![600]).unwrap();
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| {
+            let k = 1 + (j as u64 * 5) % 3;
+            let price = 1.0 + ((j * 17) % 89) as f64 * 0.1;
+            Ask::new(TaskTypeId::new(0), k, price).unwrap()
+        })
+        .collect();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+
+    // Registry setup allocates (the one place telemetry may): build it
+    // before the measured region.
+    let telemetry = Telemetry::new(RunManifest::new("alloc-test", "0", "warm", 7, 1));
+
+    // Warm the workspace under the telemetry observer.
+    let mut ws = RitWorkspace::new();
+    for seed in 0..2 {
+        let mut observer = TelemetryObserver::new(&telemetry);
+        rit.run_auction_phase_with(&job, &asks, &mut ws, &mut observer, &mut rng(seed))
+            .unwrap();
+    }
+
+    // Measure several warm runs (distinct seeds, distinct round counts) so
+    // the witness does not hinge on one RNG stream producing a long run.
+    const MEASURED_RUNS: u64 = 3;
+    let rounds_before = telemetry
+        .registry()
+        .counter(telemetry.metrics().auction_rounds);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut rounds: u32 = 0;
+    for seed in 7..7 + MEASURED_RUNS {
+        let mut observer = TelemetryObserver::new(&telemetry);
+        let phase = rit
+            .run_auction_phase_with(&job, &asks, &mut ws, &mut observer, &mut rng(seed))
+            .unwrap();
+        rounds += phase.rounds_used.iter().sum::<u32>();
+    }
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+
+    assert!(
+        rounds >= 6,
+        "scenario too easy to witness per-round behavior: {rounds} rounds"
+    );
+    // Same O(1)-per-phase budget as the Noop-path test: each phase result
+    // owns 4 output vectors, plus allocator slack. Telemetry recording
+    // must contribute zero per-round allocations.
+    assert!(
+        delta <= 16 * MEASURED_RUNS,
+        "telemetry-observed warm runs allocated {delta} times over {rounds} rounds; \
+         the telemetry path is leaking per-round allocations"
+    );
+
+    // The observer really ran: the registry saw exactly the measured
+    // rounds on top of whatever the warm-up contributed.
+    assert_eq!(
+        telemetry
+            .registry()
+            .counter(telemetry.metrics().auction_rounds),
+        rounds_before + u64::from(rounds)
+    );
+}
+
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

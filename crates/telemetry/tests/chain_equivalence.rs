@@ -1,0 +1,100 @@
+//! Pins the acceptance claim that telemetry composes with tracing without
+//! changing anything: `ObserverChain(TraceObserver, TelemetryObserver)` on
+//! a fixed seed produces bit-identical `TypeTrace`s — and a bit-identical
+//! phase result — to `TraceObserver` alone, because observers never draw
+//! randomness.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{ObserverChain, Rit, RitConfig, RitWorkspace, RoundLimit, TraceObserver};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_telemetry::{RunManifest, Telemetry, TelemetryObserver};
+
+fn scenario() -> (Job, Vec<Ask>, Rit) {
+    let n = 800usize;
+    let job = Job::from_counts(vec![120, 90]).unwrap();
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| {
+            let t = TaskTypeId::new((j % 2) as u32);
+            let k = 1 + (j as u64 * 7) % 4;
+            let price = 0.5 + ((j * 13) % 97) as f64 * 0.11;
+            Ask::new(t, k, price).unwrap()
+        })
+        .collect();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+    (job, asks, rit)
+}
+
+#[test]
+fn chained_trace_plus_telemetry_is_bit_identical_to_trace_alone() {
+    const SEED: u64 = 2017;
+    let (job, asks, rit) = scenario();
+    let telemetry = Telemetry::new(RunManifest::new("test", "0", "chain", SEED, 1));
+
+    let mut ws = RitWorkspace::new();
+    let mut trace_alone = TraceObserver::new();
+    let phase_alone = rit
+        .run_auction_phase_with(
+            &job,
+            &asks,
+            &mut ws,
+            &mut trace_alone,
+            &mut SmallRng::seed_from_u64(SEED),
+        )
+        .unwrap();
+
+    let mut chain = ObserverChain::new(TraceObserver::new(), TelemetryObserver::new(&telemetry));
+    let phase_chained = rit
+        .run_auction_phase_with(
+            &job,
+            &asks,
+            &mut ws,
+            &mut chain,
+            &mut SmallRng::seed_from_u64(SEED),
+        )
+        .unwrap();
+
+    // Bit-identical traces: same rounds, winners, prices, diagnostics.
+    let (trace_chained, _telemetry_obs) = chain.into_inner();
+    assert_eq!(trace_alone.traces(), trace_chained.traces());
+
+    // Bit-identical phase results.
+    assert_eq!(phase_alone.allocation, phase_chained.allocation);
+    assert_eq!(phase_alone.auction_payments, phase_chained.auction_payments);
+    assert_eq!(phase_alone.rounds_used, phase_chained.rounds_used);
+    assert_eq!(phase_alone.unallocated, phase_chained.unallocated);
+
+    // And the telemetry side actually observed the run it rode along on:
+    // counters agree with what the trace says happened.
+    let total_rounds: usize = trace_chained.traces().iter().map(|t| t.rounds.len()).sum();
+    let m = telemetry.metrics();
+    assert_eq!(
+        telemetry.registry().counter(m.auction_rounds),
+        total_rounds as u64
+    );
+    assert_eq!(
+        telemetry.registry().counter(m.auction_types),
+        trace_chained.traces().len() as u64
+    );
+    let total_winners: u64 = trace_chained
+        .traces()
+        .iter()
+        .flat_map(|t| t.rounds.iter())
+        .map(|r| r.winners as u64)
+        .sum();
+    assert_eq!(
+        telemetry.registry().counter(m.auction_winners),
+        total_winners
+    );
+    assert_eq!(
+        telemetry
+            .registry()
+            .histogram_summary(m.round_winners)
+            .count,
+        total_rounds as u64
+    );
+}

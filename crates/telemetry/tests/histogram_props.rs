@@ -1,0 +1,66 @@
+//! Property tests of the log2 histogram: recorded values always fall in
+//! the bucket the geometry reports for them, and percentile summaries are
+//! monotone and bounded by the observed range.
+
+use proptest::prelude::*;
+use rit_telemetry::Histogram;
+
+proptest! {
+    #[test]
+    fn every_value_falls_in_its_reported_bucket(value in any::<u64>()) {
+        let index = Histogram::bucket_index(value);
+        let (low, high) = Histogram::bucket_bounds(index);
+        prop_assert!(low <= value && value <= high,
+            "value {value} outside bucket {index} = [{low}, {high}]");
+    }
+
+    #[test]
+    fn buckets_partition_the_domain(value in any::<u64>()) {
+        // The value's bucket is the *only* bucket containing it.
+        let index = Histogram::bucket_index(value);
+        for other in 0..rit_telemetry::histogram::NUM_BUCKETS {
+            let (low, high) = Histogram::bucket_bounds(other);
+            let contains = low <= value && value <= high;
+            prop_assert_eq!(contains, other == index);
+        }
+    }
+
+    #[test]
+    // Values capped so the histogram's running sum cannot wrap: `mean` is
+    // only meaningful while the total fits in u64 (see `Histogram::record`).
+    fn percentiles_are_monotone_and_bounded(values in prop::collection::vec(0u64..(1 << 48), 1..300)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        let observed_min = *values.iter().min().unwrap();
+        let observed_max = *values.iter().max().unwrap();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.min, observed_min);
+        prop_assert_eq!(s.max, observed_max);
+        prop_assert!(s.p50 <= s.p90, "p50 {} > p90 {}", s.p50, s.p90);
+        prop_assert!(s.p90 <= s.p99, "p90 {} > p99 {}", s.p90, s.p99);
+        prop_assert!(s.min <= s.p50, "p50 {} below min {}", s.p50, s.min);
+        prop_assert!(s.p99 <= s.max, "p99 {} above max {}", s.p99, s.max);
+        prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+    }
+
+    #[test]
+    fn p50_upper_bounds_at_least_half_the_mass(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        // p50 is a bucket upper bound: at least half the recorded values
+        // must be ≤ it (the defining property of a median upper bound).
+        let at_or_below = values.iter().filter(|&&v| v <= s.p50).count();
+        prop_assert!(
+            2 * at_or_below >= values.len(),
+            "only {at_or_below}/{} values ≤ p50 {}",
+            values.len(),
+            s.p50
+        );
+    }
+}

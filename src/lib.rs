@@ -21,6 +21,7 @@
 //! | [`auction`] | CRA, consensus rounding, Extract, k-th price, bounds |
 //! | [`core`] | the RIT mechanism, payment phase, baselines, attack harness |
 //! | [`sim`] | experiment drivers for every figure of the paper |
+//! | [`telemetry`] | metrics registry, JSONL event export, run manifests |
 //!
 //! # Example
 //!
@@ -61,4 +62,5 @@ pub use rit_core as core;
 pub use rit_model as model;
 pub use rit_sim as sim;
 pub use rit_socialgraph as socialgraph;
+pub use rit_telemetry as telemetry;
 pub use rit_tree as tree;
