@@ -1,0 +1,181 @@
+//! RIT vs the paper's baselines through the generic [`Mechanism`] pipeline.
+//!
+//! Three arms over one frozen §7-A scenario, all entering through
+//! `Mechanism::evaluate_in` with a warm per-arm workspace:
+//!
+//! * `rit` — Algorithm 3 (until-stall rounds), i.e. the engine measured by
+//!   `engine_vs_legacy`, here reached through the trait to confirm the
+//!   abstraction layer adds no measurable dispatch cost;
+//! * `naive` — the §4 `k`-th-price + contribution-tree combination;
+//! * `darpa` — the §1 DARPA Network Challenge referral scheme.
+//!
+//! Besides the Criterion group, the bench writes `BENCH_mechanisms.json`
+//! (`schema_version` 1): per-arm wall-clock stats from its own timing loop
+//! plus outcome economics, keyed by a [`rit_telemetry::fnv1a64`]
+//! `config_hash` over the scenario-defining configuration — comparable
+//! across runs and machines, like every other manifest hash in the repo.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rit_bench::BenchWorld;
+use rit_core::{DarpaReferral, Mechanism, MechanismKind, MechanismOutcome, NaiveKthPriceTree};
+use std::hint::black_box;
+
+const USERS: usize = 4_000;
+const TASKS_PER_TYPE: u64 = 200;
+const SEED: u64 = 42;
+const REPORT_REPS: usize = 3;
+
+/// One arm of the JSON report: wall-clock samples plus the (seed-0) outcome
+/// economics, so a regression in *what* a mechanism pays is as visible as a
+/// regression in how fast it runs.
+struct ArmReport {
+    kind: MechanismKind,
+    wall_s: Vec<f64>,
+    completed: bool,
+    total_payment: f64,
+    total_auction_payment: f64,
+}
+
+fn time_arm<M: Mechanism>(world: &BenchWorld, mechanism: &M) -> ArmReport {
+    let mut ws = M::Workspace::default();
+    let mut wall_s = Vec::with_capacity(REPORT_REPS);
+    let mut last: Option<MechanismOutcome> = None;
+    for rep in 0..REPORT_REPS {
+        let mut rng = world.rng(rep as u64);
+        let start = Instant::now();
+        let outcome = mechanism
+            .evaluate_in(
+                &world.job,
+                &world.tree,
+                &world.asks,
+                None,
+                &mut ws,
+                &mut rng,
+            )
+            .expect("aligned world");
+        wall_s.push(start.elapsed().as_secs_f64());
+        last = Some(outcome);
+    }
+    let outcome = last.expect("at least one rep");
+    ArmReport {
+        kind: mechanism.kind(),
+        wall_s,
+        completed: outcome.completed(),
+        total_payment: outcome.total_payment(),
+        total_auction_payment: outcome.total_auction_payment(),
+    }
+}
+
+fn render_report(arms: &[ArmReport]) -> String {
+    let config_desc = format!(
+        "engine_vs_baselines users={USERS} tasks_per_type={TASKS_PER_TYPE} seed={SEED} \
+         reps={REPORT_REPS}"
+    );
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"bench\": \"engine_vs_baselines\",");
+    let _ = writeln!(
+        s,
+        "  \"config_hash\": \"{:016x}\",",
+        rit_telemetry::fnv1a64(config_desc.as_bytes())
+    );
+    let _ = writeln!(s, "  \"users\": {USERS},");
+    let _ = writeln!(s, "  \"tasks_per_type\": {TASKS_PER_TYPE},");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"reps\": {REPORT_REPS},");
+    s.push_str("  \"arms\": [\n");
+    for (i, arm) in arms.iter().enumerate() {
+        let min = arm.wall_s.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = arm.wall_s.iter().sum::<f64>() / arm.wall_s.len() as f64;
+        let walls: Vec<String> = arm.wall_s.iter().map(|w| format!("{w:.6}")).collect();
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"wall_s\": [{}], \"min_wall_s\": {min:.6}, \
+             \"mean_wall_s\": {mean:.6}, \"completed\": {}, \"total_payment\": {:.6}, \
+             \"total_auction_payment\": {:.6}}}",
+            arm.kind.label(),
+            walls.join(", "),
+            arm.completed,
+            arm.total_payment,
+            arm.total_auction_payment,
+        );
+        s.push_str(if i + 1 < arms.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// A warm-workspace measurement closure for one mechanism: the workspace is
+/// reused across iterations (steady-state cost), the seed rotates so no
+/// iteration replays the previous RNG stream.
+fn arm_iter<'w, M: Mechanism>(
+    world: &'w BenchWorld,
+    mechanism: &'w M,
+) -> impl FnMut() -> MechanismOutcome + 'w {
+    let mut ws = M::Workspace::default();
+    let mut seed = 0u64;
+    move || {
+        seed += 1;
+        let mut rng = world.rng(seed);
+        mechanism
+            .evaluate_in(
+                &world.job,
+                &world.tree,
+                &world.asks,
+                None,
+                &mut ws,
+                &mut rng,
+            )
+            .unwrap()
+    }
+}
+
+fn engine_vs_baselines(c: &mut Criterion) {
+    let world = BenchWorld::paper(USERS, TASKS_PER_TYPE, SEED);
+    let naive = NaiveKthPriceTree::new();
+    let darpa = DarpaReferral::new();
+
+    let mut group = c.benchmark_group("engine_vs_baselines");
+    group.sample_size(10);
+
+    group.bench_function("rit", |b| {
+        let mut next = arm_iter(&world, &world.rit);
+        b.iter(|| black_box(next()));
+    });
+
+    group.bench_function("naive", |b| {
+        let mut next = arm_iter(&world, &naive);
+        b.iter(|| black_box(next()));
+    });
+
+    group.bench_function("darpa", |b| {
+        let mut next = arm_iter(&world, &darpa);
+        b.iter(|| black_box(next()));
+    });
+
+    group.finish();
+
+    let arms = vec![
+        time_arm(&world, &world.rit),
+        time_arm(&world, &naive),
+        time_arm(&world, &darpa),
+    ];
+    let report = render_report(&arms);
+    // `cargo bench` runs with the package dir as cwd; anchor the report at
+    // the workspace root next to BENCH_sim.json.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_mechanisms.json");
+    match std::fs::write(&out, &report) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
+    }
+}
+
+criterion_group!(benches, engine_vs_baselines);
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! * `rit generate --users N [--types M] [--seed S] --out DIR` — synthesize
 //!   a §7-A scenario (asks.csv, tree.csv, job.csv);
 //! * `rit run --asks F --tree F --job F [--h 0.8] [--seed S] [--best-effort]
-//!   [--out F]` — run the mechanism on CSV inputs, print a summary, write
-//!   outcome.csv;
+//!   [--mechanism rit|naive|darpa] [--out F]` — run the selected mechanism on
+//!   CSV inputs, print a summary, write outcome.csv;
 //! * `rit estimate --job F [--k-max K] [--safety X]` — the Remark 6.1
 //!   recruitment threshold;
 //! * `rit dot --tree F` — Graphviz dump of a solicitation tree.
@@ -29,7 +29,10 @@ use std::path::{Path, PathBuf};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rit_core::{recruitment, Rit, RitConfig, RitError, RitWorkspace, RoundLimit};
+use rit_core::{
+    recruitment, DarpaReferral, Mechanism, MechanismKind, NaiveKthPriceTree, Rit, RitConfig,
+    RitError, RitWorkspace, RoundLimit,
+};
 use rit_sim::io;
 use rit_sim::scenario::{Scenario, ScenarioConfig};
 
@@ -51,6 +54,7 @@ pub enum Command {
         h: f64,
         seed: u64,
         best_effort: bool,
+        mechanism: MechanismKind,
         out: Option<PathBuf>,
         costs: Option<PathBuf>,
     },
@@ -104,6 +108,16 @@ impl Command {
             | Self::Verify { seed, .. }
             | Self::Attack { seed, .. } => Some(*seed),
             Self::Estimate { .. } | Self::Budget { .. } | Self::Dot { .. } | Self::Help => None,
+        }
+    }
+
+    /// The mechanism the invocation drives (recorded in the telemetry run
+    /// manifest). Only `run` can select a baseline; everything else is RIT.
+    #[must_use]
+    pub fn mechanism(&self) -> MechanismKind {
+        match self {
+            Self::Run { mechanism, .. } => *mechanism,
+            _ => MechanismKind::Rit,
         }
     }
 }
@@ -160,7 +174,8 @@ rit — robust incentive tree mechanism for mobile crowdsensing
 USAGE:
   rit generate --users N [--types M] [--tasks T] [--seed S] --out DIR
   rit run --asks FILE --tree FILE --job FILE [--h 0.8] [--seed S]
-          [--best-effort] [--out FILE] [--costs FILE]
+          [--best-effort] [--mechanism rit|naive|darpa]
+          [--out FILE] [--costs FILE]
   rit estimate --job FILE [--k-max 20] [--safety 1.3]
   rit trace --asks FILE --job FILE [--seed S]
   rit budget --job FILE [--k-max 20] [--h 0.8]
@@ -263,6 +278,10 @@ impl Command {
                     None => 2017,
                 },
                 best_effort: cur.switch("--best-effort"),
+                mechanism: match cur.flag_value("--mechanism")? {
+                    Some(v) => v.parse().map_err(CliError::Usage)?,
+                    None => MechanismKind::Rit,
+                },
                 out: cur.flag_value("--out")?.map(PathBuf::from),
                 costs: cur.flag_value("--costs")?.map(PathBuf::from),
             },
@@ -367,6 +386,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             h,
             seed,
             best_effort,
+            mechanism,
             out,
             costs,
         } => run(
@@ -376,6 +396,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *h,
             *seed,
             *best_effort,
+            *mechanism,
             out.as_deref(),
             costs.as_deref(),
         ),
@@ -722,12 +743,41 @@ fn run(
     h: f64,
     seed: u64,
     best_effort: bool,
+    mechanism: MechanismKind,
     out: Option<&Path>,
     costs_path: Option<&Path>,
 ) -> Result<String, CliError> {
     let asks = io::parse_asks(&fs::read_to_string(asks_path)?)?;
     let tree = io::parse_tree(&fs::read_to_string(tree_path)?)?;
     let job = io::parse_job(&fs::read_to_string(job_path)?)?;
+
+    // Baselines have no recruitment knob (`--h`) and no round limit; they run
+    // through the generic `Mechanism` pipeline and render the normalized view.
+    match mechanism {
+        MechanismKind::Rit => {}
+        MechanismKind::Naive => {
+            return run_baseline(
+                &NaiveKthPriceTree::new(),
+                &asks,
+                &tree,
+                &job,
+                seed,
+                out,
+                costs_path,
+            )
+        }
+        MechanismKind::Darpa => {
+            return run_baseline(
+                &DarpaReferral::new(),
+                &asks,
+                &tree,
+                &job,
+                seed,
+                out,
+                costs_path,
+            )
+        }
+    }
 
     let round_limit = if best_effort {
         RoundLimit::until_stall()
@@ -819,6 +869,70 @@ fn run(
     Ok(summary)
 }
 
+/// `rit run --mechanism naive|darpa`: same inputs and outputs as the RIT
+/// path, but driven through the generic [`Mechanism`] pipeline and summarized
+/// from the normalized [`rit_core::MechanismOutcome`] view.
+fn run_baseline<M: Mechanism>(
+    mechanism: &M,
+    asks: &[rit_model::Ask],
+    tree: &rit_tree::IncentiveTree,
+    job: &rit_model::Job,
+    seed: u64,
+    out: Option<&Path>,
+    costs_path: Option<&Path>,
+) -> Result<String, CliError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let outcome = mechanism.evaluate(job, tree, asks, &mut rng)?;
+
+    let mut summary = format!("mechanism: {}\n", mechanism.kind());
+    if outcome.completed() {
+        let winners = outcome.allocation().iter().filter(|&&x| x > 0).count();
+        let rewards = outcome.solicitation_rewards();
+        let recruiters = rewards.iter().filter(|&&r| r > 1e-12).count();
+        summary.push_str(&format!(
+            "completed: {} tasks to {winners} users\n\
+             total payment {:.4} (auction {:.4} + solicitation {:.4} across {recruiters} recruiters)\n",
+            outcome.total_allocated(),
+            outcome.total_payment(),
+            outcome.total_auction_payment(),
+            outcome.total_payment() - outcome.total_auction_payment(),
+        ));
+        summary.push_str(&format!(
+            "payment distribution: gini {:.3}\n",
+            rit_sim::analysis::gini(outcome.payments())
+        ));
+        if let Some(path) = costs_path {
+            let costs = io::parse_costs(&fs::read_to_string(path)?)?;
+            if costs.len() != asks.len() {
+                return Err(CliError::Usage(format!(
+                    "--costs has {} rows, expected {}",
+                    costs.len(),
+                    asks.len()
+                )));
+            }
+            let utilities: Vec<f64> = (0..asks.len())
+                .map(|j| outcome.utility(j, costs[j]))
+                .collect();
+            let min = utilities.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let mean = utilities.iter().sum::<f64>() / utilities.len() as f64;
+            summary.push_str(&format!(
+                "true-cost audit: mean utility {mean:.4}, min utility {min:.4}\n"
+            ));
+        }
+    } else {
+        let allocated = outcome.total_allocated();
+        summary.push_str(&format!(
+            "NOT completed: {allocated}/{} tasks allocated — all payments void\n",
+            job.total_tasks()
+        ));
+    }
+    if let Some(path) = out {
+        fs::write(path, io::render_mechanism_outcome(asks, &outcome))?;
+        summary.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,15 +990,40 @@ mod tests {
             Command::Run {
                 h,
                 best_effort,
+                mechanism,
                 out,
                 ..
             } => {
                 assert_eq!(h, 0.9);
                 assert!(best_effort);
+                assert_eq!(mechanism, MechanismKind::Rit);
                 assert_eq!(out, Some(PathBuf::from("o.csv")));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_run_mechanism_flag() {
+        let base = [
+            "run", "--asks", "a.csv", "--tree", "t.csv", "--job", "j.csv",
+        ];
+        for (label, kind) in [
+            ("rit", MechanismKind::Rit),
+            ("naive", MechanismKind::Naive),
+            ("darpa", MechanismKind::Darpa),
+        ] {
+            let mut argv = base.to_vec();
+            argv.extend(["--mechanism", label]);
+            let cmd = Command::parse(&args(&argv)).unwrap();
+            assert_eq!(cmd.mechanism(), kind, "--mechanism {label}");
+        }
+        let mut argv = base.to_vec();
+        argv.extend(["--mechanism", "greedy"]);
+        assert!(matches!(
+            Command::parse(&args(&argv)),
+            Err(CliError::Usage(msg)) if msg.contains("greedy")
+        ));
     }
 
     #[test]

@@ -22,7 +22,8 @@ fn install_telemetry(args: &[String], command: &rit_cli::Command) -> Option<&'st
         &config_desc,
         command.seed().unwrap_or(0),
         rit_sim::runner::default_threads(),
-    );
+    )
+    .with_mechanism(command.mechanism().label());
     match Telemetry::with_sink(manifest, std::path::Path::new(&path)) {
         Ok(t) => match rit_telemetry::install(t) {
             Ok(installed) => Some(installed),

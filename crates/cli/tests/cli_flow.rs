@@ -5,6 +5,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use rit_cli::{execute, Command};
+use rit_core::MechanismKind;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("rit_cli_test_{tag}_{}", std::process::id()));
@@ -48,6 +49,7 @@ fn generate_run_round_trip() {
         h: 0.8,
         seed: 3,
         best_effort: true,
+        mechanism: MechanismKind::Rit,
         out: Some(outcome_path.clone()),
         costs: Some(dir.join("costs.csv")),
     })
@@ -97,6 +99,7 @@ fn run_is_deterministic_per_seed() {
             h: 0.8,
             seed,
             best_effort: true,
+            mechanism: MechanismKind::Rit,
             out: Some(path.clone()),
             costs: None,
         })
@@ -108,6 +111,46 @@ fn run_is_deterministic_per_seed() {
     let c = run(10, "c");
     assert_eq!(a, b);
     assert_ne!(a, c);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_baselines_through_the_generic_pipeline() {
+    let dir = temp_dir("baselines");
+    execute(&Command::Generate {
+        users: 600,
+        types: 3,
+        tasks_per_type: 40,
+        seed: 21,
+        out: dir.clone(),
+    })
+    .unwrap();
+    for kind in [MechanismKind::Naive, MechanismKind::Darpa] {
+        let path = dir.join(format!("out_{kind}.csv"));
+        let summary = execute(&Command::Run {
+            asks: dir.join("asks.csv"),
+            tree: dir.join("tree.csv"),
+            job: dir.join("job.csv"),
+            h: 0.8,
+            seed: 7,
+            best_effort: false,
+            mechanism: kind,
+            out: Some(path.clone()),
+            costs: None,
+        })
+        .unwrap();
+        assert!(
+            summary.starts_with(&format!("mechanism: {kind}")),
+            "got: {summary}"
+        );
+        assert!(
+            summary.contains("completed") || summary.contains("NOT completed"),
+            "got: {summary}"
+        );
+        let outcome = fs::read_to_string(&path).unwrap();
+        assert!(outcome.starts_with("user,task_type,allocated"));
+        assert_eq!(outcome.lines().count(), 601);
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -233,6 +276,7 @@ fn missing_files_surface_cleanly() {
         h: 0.8,
         seed: 1,
         best_effort: false,
+        mechanism: MechanismKind::Rit,
         out: None,
         costs: None,
     })
@@ -274,6 +318,7 @@ fn strict_mode_reports_infeasible_guarantee() {
         h: 0.8,
         seed: 1,
         best_effort: false,
+        mechanism: MechanismKind::Rit,
         out: None,
         costs: None,
     })

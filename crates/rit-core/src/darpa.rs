@@ -11,7 +11,80 @@
 //! contrast it with RIT's geometric-in-*absolute-depth* weights, which kill
 //! exactly this attack (Lemma 6.4).
 
+use rit_model::{Ask, Job};
 use rit_tree::IncentiveTree;
+
+use crate::naive::kth_price_allocation;
+
+/// Outcome of the DARPA-style referral mechanism (see [`run`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DarpaOutcome {
+    /// Tasks allocated per user.
+    pub allocation: Vec<u64>,
+    /// Direct rewards per user — the auction payments, playing the role of
+    /// the challenge's per-balloon prize `W`.
+    pub auction_payments: Vec<f64>,
+    /// Final payments: direct reward plus `reward / 2^distance` for every
+    /// descendant's reward.
+    pub payments: Vec<f64>,
+    /// Whether every task of the job was allocated. Like the naive §4
+    /// combination (and unlike RIT), partial runs still pay.
+    pub completed: bool,
+}
+
+impl DarpaOutcome {
+    /// Quasi-linear utility of user `j` at true unit cost `c`.
+    #[must_use]
+    pub fn utility(&self, j: usize, unit_cost: f64) -> f64 {
+        self.payments[j] - self.allocation[j] as f64 * unit_cost
+    }
+}
+
+/// Runs the DARPA scheme end-to-end as a crowdsensing mechanism: tasks are
+/// allocated by the same per-type `(mᵢ+1)`-st lowest price auction as the
+/// naive §4 combination, the auction payments stand in for the challenge's
+/// direct rewards, and the referral chain above each winner collects the
+/// geometric `reward / 2^distance` bonuses ([`referral_payments`]).
+///
+/// Because the halving is relative to the *winner's* depth rather than the
+/// absolute tree depth, the scheme is not sybil-proof — the classic Bob
+/// split (§1) strictly gains — which is exactly what the cross-mechanism
+/// attack battery demonstrates.
+///
+/// # Panics
+///
+/// Panics if `asks.len() != tree.num_users()`.
+#[must_use]
+pub fn run(job: &Job, tree: &IncentiveTree, asks: &[Ask]) -> DarpaOutcome {
+    run_screened(job, tree, asks, None)
+}
+
+/// Like [`run`], with an optional eligibility mask: ineligible users
+/// contribute no unit asks.
+///
+/// # Panics
+///
+/// Panics if `asks.len() != tree.num_users()`, or if a mask of a different
+/// length is supplied.
+#[must_use]
+pub fn run_screened(
+    job: &Job,
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    eligible: Option<&[bool]>,
+) -> DarpaOutcome {
+    let n = tree.num_users();
+    assert_eq!(asks.len(), n, "asks must align with tree users");
+    let (allocation, auction_payments) = kth_price_allocation(job, asks, eligible);
+    let completed = allocation.iter().sum::<u64>() == job.total_tasks();
+    let payments = referral_payments(tree, &auction_payments);
+    DarpaOutcome {
+        allocation,
+        auction_payments,
+        payments,
+        completed,
+    }
+}
 
 /// Computes the referral payments: each user receives its own reward plus
 /// `reward / 2^distance` for every descendant's reward.

@@ -58,7 +58,8 @@
 //!
 //! | module | paper artifact |
 //! |---|---|
-//! | [`mechanism`] | Algorithm 3 (auction phase: rounds of CRA per type) |
+//! | [`rit`](crate::Rit) | Algorithm 3 (auction phase: rounds of CRA per type) |
+//! | [`mechanism`] | the generic recruit→auction→payment pipeline over RIT and the baselines |
 //! | [`payment`] | Algorithm 3, Lines 22–28 (payment determination) |
 //! | [`config`] | `H`, log base, round-budget policy |
 //! | [`outcome`] | `x`, `p^A`, `p`, utilities |
@@ -88,14 +89,16 @@ pub mod probes;
 pub mod quality;
 pub mod recruitment;
 pub mod referral;
+mod rit;
 pub mod sybil_exec;
 pub mod trace;
 pub mod workspace;
 
 pub use config::{RitConfig, RoundLimit};
 pub use error::RitError;
-pub use mechanism::{AuctionPhaseResult, Rit};
+pub use mechanism::{DarpaReferral, Mechanism, MechanismKind, MechanismOutcome, NaiveKthPriceTree};
 pub use observer::{AuctionObserver, NoopObserver, ObserverChain};
 pub use outcome::RitOutcome;
+pub use rit::{AuctionPhaseResult, Rit};
 pub use trace::TraceObserver;
 pub use workspace::{PooledWorkspace, RitWorkspace, WorkspacePool};

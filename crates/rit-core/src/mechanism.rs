@@ -1,125 +1,419 @@
-//! The RIT mechanism (paper Algorithm 3).
+//! The generic recruit→auction→payment pipeline.
 //!
-//! `RIT(J, A, T, H)` runs in two phases:
+//! The paper's claims are *comparative*: RIT is sybil-proof and
+//! `(K_max, H)`-truthful where the §4 naive `k`-th-price + contribution-tree
+//! combination and the DARPA geometric referral scheme (§1) are not. This
+//! module makes that comparison a first-class citizen: [`Mechanism`]
+//! abstracts "given a job, a solicitation tree and the users' asks, allocate
+//! tasks and pay people" so that every driver above `rit-core` — the
+//! simulation runners, the adversary battery, the CLI — is written once and
+//! monomorphized per mechanism (no `dyn`, so RIT's allocation-free hot path
+//! survives the abstraction; pinned by the `alloc_counting_mechanism`
+//! integration test).
 //!
-//! **Auction phase.** Build the run-length unit-ask table
-//! ([`rit_auction::engine::CompactAsks`]) once, then for each task type
-//! `τᵢ` repeatedly run a CRA round ([`rit_auction::engine::run_round`])
-//! over the not-yet-won units to allocate the remaining `q` tasks, up to
-//! the per-type round budget (see [`crate::RoundLimit`]). Each winning unit
-//! allocates one task to its owner and adds the round's clearing price to
-//! the owner's auction payment `p^Aⱼ`. This is outcome- and draw-for-draw
-//! RNG-equivalent to the paper's materializing `Extract` + CRA loop (the
-//! `engine_equivalence` integration tests pin this), but touches only
-//! per-user state per round and allocates nothing once a
-//! [`crate::RitWorkspace`] is warm.
+//! Three implementations ship here:
 //!
-//! **Payment determination phase.** If *every* task of the job was
-//! allocated, final payments are computed by [`crate::payment`]; otherwise
-//! the run is void — no tasks, no payments (Line 27) — because a partial
-//! allocation cannot honor the design goals.
+//! | impl | paper artifact |
+//! |---|---|
+//! | [`Rit`] | Algorithm 3, the paper's mechanism |
+//! | [`NaiveKthPriceTree`] | §4 naive auction + contribution-tree strawman |
+//! | [`DarpaReferral`] | §1 MIT DARPA Network Challenge referral scheme |
+//!
+//! Mechanism-specific outcomes ([`RitOutcome`], [`crate::naive::NaiveOutcome`],
+//! [`crate::darpa::DarpaOutcome`]) are normalized into one
+//! [`MechanismOutcome`] view — allocation, auction payments, final payments,
+//! completion — which is all the comparison layers need. A further mechanism
+//! (e.g. the generalized lottery trees of Zhao et al.) is a ~100-line impl,
+//! not a fork of the stack.
+
+use std::fmt;
+use std::str::FromStr;
 
 use rand::Rng;
 
-use rit_auction::bounds::{self, WorstCaseQ};
-use rit_auction::engine;
-use rit_model::{Ask, Job};
+use rit_model::{Ask, Job, UserProfile};
 use rit_tree::IncentiveTree;
 
-use crate::observer::{AuctionObserver, NoopObserver};
-use crate::trace::{RoundTrace, TraceObserver, TypeTrace};
 use crate::workspace::RitWorkspace;
-use crate::{payment, RitConfig, RitError, RitOutcome, RoundLimit};
+use crate::{darpa, naive, Rit, RitError, RitOutcome};
 
-/// The Robust Incentive Tree mechanism.
+/// An incentive mechanism: allocates a [`Job`]'s tasks over the users of an
+/// [`IncentiveTree`] given their [`Ask`]s, and determines what each user is
+/// paid.
 ///
-/// See the [crate-level documentation](crate) for a quickstart; construction
-/// validates the configuration once so `run` can be called repeatedly.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Rit {
-    config: RitConfig,
-}
+/// Implementations are deterministic functions of `(job, tree, asks,
+/// eligible, rng)`; all randomness flows through the caller-supplied `rng`
+/// (the baselines draw none). The associated [`Workspace`](Self::Workspace)
+/// carries reusable scratch capacity — never results — so per-worker
+/// workspaces make replication sweeps allocation-free where the mechanism
+/// supports it.
+pub trait Mechanism {
+    /// Mechanism parameters, validated at construction.
+    type Config: Clone + fmt::Debug;
+    /// The mechanism-specific outcome (diagnostics included).
+    type Outcome;
+    /// Reusable scratch buffers; `Default` must yield an empty (cold)
+    /// workspace usable for any scenario size.
+    type Workspace: Default;
 
-/// Result of the auction phase alone (Algorithm 3, Lines 1–21): the
-/// allocation and auction payments before any solicitation reward. The
-/// evaluation's "auction phase" series (Figs 6–8) compares this against the
-/// full mechanism.
-#[derive(Clone, Debug, PartialEq)]
-pub struct AuctionPhaseResult {
-    /// Tasks allocated per user.
-    pub allocation: Vec<u64>,
-    /// Auction payments `p^A` per user.
-    pub auction_payments: Vec<f64>,
-    /// CRA rounds run per task type.
-    pub rounds_used: Vec<u32>,
-    /// Tasks left unallocated per task type.
-    pub unallocated: Vec<u64>,
-}
-
-impl AuctionPhaseResult {
-    /// Whether every task of the job was allocated.
-    #[must_use]
-    pub fn completed(&self) -> bool {
-        self.unallocated.iter().all(|&q| q == 0)
-    }
-}
-
-impl Rit {
-    /// Creates the mechanism with `config`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RitError::InvalidProbability`] if `config.h ∉ (0, 1)`.
-    pub fn new(config: RitConfig) -> Result<Self, RitError> {
-        config.validate()?;
-        Ok(Self { config })
-    }
+    /// Which mechanism this is — the stable label used by CLIs, telemetry
+    /// streams and report tables.
+    fn kind(&self) -> MechanismKind;
 
     /// The active configuration.
+    fn config(&self) -> &Self::Config;
+
+    /// Runs the mechanism. `eligible`, when present, is a platform-side
+    /// screening mask: `eligible[j] == false` removes user `j`'s asks from
+    /// the auction (the user keeps its tree position for referral purposes).
+    ///
+    /// # Errors
+    ///
+    /// [`RitError::AskCountMismatch`] if `asks.len() != tree.num_users()`;
+    /// implementations may add their own conditions (e.g.
+    /// [`RitError::GuaranteeInfeasible`] for RIT's paper round budget).
+    fn run_in<R: Rng + ?Sized>(
+        &self,
+        job: &Job,
+        tree: &IncentiveTree,
+        asks: &[Ask],
+        eligible: Option<&[bool]>,
+        ws: &mut Self::Workspace,
+        rng: &mut R,
+    ) -> Result<Self::Outcome, RitError>;
+
+    /// Normalizes a mechanism-specific outcome into the common
+    /// [`MechanismOutcome`] view (moves the vectors — no copies).
+    fn normalize(&self, outcome: Self::Outcome) -> MechanismOutcome;
+
+    /// [`run_in`](Self::run_in) + [`normalize`](Self::normalize): the
+    /// one-call form every generic driver uses.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_in`](Self::run_in).
+    fn evaluate_in<R: Rng + ?Sized>(
+        &self,
+        job: &Job,
+        tree: &IncentiveTree,
+        asks: &[Ask],
+        eligible: Option<&[bool]>,
+        ws: &mut Self::Workspace,
+        rng: &mut R,
+    ) -> Result<MechanismOutcome, RitError> {
+        self.run_in(job, tree, asks, eligible, ws, rng)
+            .map(|o| self.normalize(o))
+    }
+
+    /// [`evaluate_in`](Self::evaluate_in) with a fresh workspace and no
+    /// screening mask — the convenience entry point for one-off runs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_in`](Self::run_in).
+    fn evaluate<R: Rng + ?Sized>(
+        &self,
+        job: &Job,
+        tree: &IncentiveTree,
+        asks: &[Ask],
+        rng: &mut R,
+    ) -> Result<MechanismOutcome, RitError> {
+        let mut ws = Self::Workspace::default();
+        self.evaluate_in(job, tree, asks, None, &mut ws, rng)
+    }
+}
+
+/// The stable identity of a [`Mechanism`] implementation — what `--mechanism`
+/// flags parse into and what telemetry labels carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MechanismKind {
+    /// The paper's mechanism (Algorithm 3).
+    Rit,
+    /// The §4 naive `k`-th-price auction + contribution tree.
+    Naive,
+    /// The §1 DARPA Network Challenge geometric referral scheme.
+    Darpa,
+}
+
+impl MechanismKind {
+    /// Every kind, in report order.
+    pub const ALL: [Self; 3] = [Self::Rit, Self::Naive, Self::Darpa];
+
+    /// The canonical lowercase label (`rit`, `naive`, `darpa`) — stable
+    /// across releases; used in CLI flags, CSV columns and JSONL events.
     #[must_use]
-    pub fn config(&self) -> &RitConfig {
-        &self.config
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::Rit => "rit",
+            Self::Naive => "naive",
+            Self::Darpa => "darpa",
+        }
+    }
+}
+
+impl fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.label())
+    }
+}
+
+impl FromStr for MechanismKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rit" => Ok(Self::Rit),
+            "naive" => Ok(Self::Naive),
+            "darpa" => Ok(Self::Darpa),
+            other => Err(format!(
+                "unknown mechanism `{other}` (expected rit, naive or darpa)"
+            )),
+        }
+    }
+}
+
+/// The mechanism-agnostic view of an outcome: who performs how many tasks,
+/// what the auction said they were worth, and what the platform actually
+/// pays. Everything the comparison layers (campaigns, attack batteries,
+/// `experiments compare`) consume.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MechanismOutcome {
+    completed: bool,
+    allocation: Vec<u64>,
+    auction_payments: Vec<f64>,
+    payments: Vec<f64>,
+}
+
+impl MechanismOutcome {
+    /// Assembles an outcome view; all three vectors must share one length
+    /// (user count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths disagree.
+    #[must_use]
+    pub fn new(
+        completed: bool,
+        allocation: Vec<u64>,
+        auction_payments: Vec<f64>,
+        payments: Vec<f64>,
+    ) -> Self {
+        assert_eq!(allocation.len(), auction_payments.len());
+        assert_eq!(allocation.len(), payments.len());
+        Self {
+            completed,
+            allocation,
+            auction_payments,
+            payments,
+        }
     }
 
-    /// Runs `RIT(J, A, T, H)`: allocates the job `J` among the users of the
-    /// incentive tree `T` according to their sealed asks `A`, and computes
-    /// the final payment for every user.
+    /// Whether every task of the job was allocated. For RIT a `false` means
+    /// the run was voided (Line 27: zero allocation, zero payments); the
+    /// baselines keep their partial allocations and payments.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Tasks allocated per user.
+    #[must_use]
+    pub fn allocation(&self) -> &[u64] {
+        &self.allocation
+    }
+
+    /// Total number of allocated tasks `Σⱼ xⱼ`.
+    #[must_use]
+    pub fn total_allocated(&self) -> u64 {
+        self.allocation.iter().sum()
+    }
+
+    /// The auction-phase payments `p^A` (each mechanism's notion of a user's
+    /// direct task-performance worth, before any referral component).
+    #[must_use]
+    pub fn auction_payments(&self) -> &[f64] {
+        &self.auction_payments
+    }
+
+    /// The final payments `p`: what the platform actually pays each user.
+    #[must_use]
+    pub fn payments(&self) -> &[f64] {
+        &self.payments
+    }
+
+    /// The final payment of user `j`.
+    #[must_use]
+    pub fn payment(&self, j: usize) -> f64 {
+        self.payments[j]
+    }
+
+    /// Total platform expenditure `Σⱼ pⱼ`.
+    #[must_use]
+    pub fn total_payment(&self) -> f64 {
+        self.payments.iter().sum()
+    }
+
+    /// Total auction-phase expenditure `Σⱼ p^Aⱼ`.
+    #[must_use]
+    pub fn total_auction_payment(&self) -> f64 {
+        self.auction_payments.iter().sum()
+    }
+
+    /// The quasi-linear utility `Uⱼ = pⱼ − xⱼ·cⱼ` of user `j` given its true
+    /// unit cost.
+    #[must_use]
+    pub fn utility(&self, j: usize, unit_cost: f64) -> f64 {
+        self.payments[j] - self.allocation[j] as f64 * unit_cost
+    }
+
+    /// All utilities, given the true population profiles.
     ///
-    /// `asks[j]` is the ask of tree node `j + 1`
-    /// ([`rit_tree::NodeId::from_user_index`]).
+    /// # Panics
     ///
-    /// # Errors
-    ///
-    /// * [`RitError::AskCountMismatch`] if `asks.len() != tree.num_users()`;
-    /// * [`RitError::GuaranteeInfeasible`] if a [`RoundLimit::Paper`] budget
-    ///   is unattainable for some type (job too small for `K_max`).
-    pub fn run<R: Rng + ?Sized>(
+    /// Panics if `profiles` is shorter than the user count.
+    #[must_use]
+    pub fn utilities(&self, profiles: &[UserProfile]) -> Vec<f64> {
+        assert!(
+            profiles.len() >= self.payments.len(),
+            "profiles shorter than payment vector"
+        );
+        (0..self.payments.len())
+            .map(|j| self.utility(j, profiles[j].unit_cost()))
+            .collect()
+    }
+
+    /// The referral/solicitation component of each payment, `pⱼ − p^Aⱼ`.
+    /// Reported only for complete runs (matching
+    /// [`RitOutcome::solicitation_rewards`]); zeros otherwise. Note the §4
+    /// naive reward's `ln` term makes this component *negative* for some
+    /// users — one symptom of that design's brokenness.
+    #[must_use]
+    pub fn solicitation_rewards(&self) -> Vec<f64> {
+        if !self.completed {
+            return vec![0.0; self.payments.len()];
+        }
+        self.payments
+            .iter()
+            .zip(&self.auction_payments)
+            .map(|(&p, &pa)| p - pa)
+            .collect()
+    }
+}
+
+/// Bridges the normalized outcome into the adversary layer's evaluation
+/// (moves the vectors, no copy).
+impl From<MechanismOutcome> for rit_adversary::Evaluation {
+    fn from(o: MechanismOutcome) -> Self {
+        Self {
+            payments: o.payments,
+            allocation: o.allocation,
+            completed: o.completed,
+        }
+    }
+}
+
+impl Mechanism for Rit {
+    type Config = crate::RitConfig;
+    type Outcome = RitOutcome;
+    type Workspace = RitWorkspace;
+
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Rit
+    }
+
+    fn config(&self) -> &Self::Config {
+        Rit::config(self)
+    }
+
+    /// Without a mask this is exactly [`Rit::run_with_workspace`] — same
+    /// code path, same RNG draws, bit-identical outcome (pinned by the
+    /// `mechanism_equivalence` integration test). With a mask, the screened
+    /// users are dropped from the unit-ask table before the first CRA round,
+    /// as in [`crate::quality`].
+    fn run_in<R: Rng + ?Sized>(
         &self,
         job: &Job,
         tree: &IncentiveTree,
         asks: &[Ask],
+        eligible: Option<&[bool]>,
+        ws: &mut Self::Workspace,
         rng: &mut R,
-    ) -> Result<RitOutcome, RitError> {
-        let mut ws = RitWorkspace::new();
-        self.run_with_workspace(job, tree, asks, &mut ws, rng)
+    ) -> Result<Self::Outcome, RitError> {
+        match eligible {
+            None => self.run_with_workspace(job, tree, asks, ws, rng),
+            Some(mask) => {
+                let n = tree.num_users();
+                if asks.len() != n {
+                    return Err(RitError::AskCountMismatch {
+                        asks: asks.len(),
+                        users: n,
+                    });
+                }
+                let phase = self.auction_phase_with(
+                    job,
+                    asks,
+                    Some(mask),
+                    ws,
+                    &mut crate::NoopObserver,
+                    rng,
+                )?;
+                Ok(self.determine_final_payments(tree, asks, phase))
+            }
+        }
     }
 
-    /// Like [`Rit::run`], reusing the scratch buffers in `ws`. Repeated runs
-    /// through the same workspace allocate nothing in the auction phase once
-    /// the buffers are warm; outcomes are bit-identical to [`Rit::run`] for
-    /// the same RNG state, regardless of what the workspace ran before.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Rit::run`].
-    pub fn run_with_workspace<R: Rng + ?Sized>(
+    fn normalize(&self, outcome: Self::Outcome) -> MechanismOutcome {
+        MechanismOutcome {
+            completed: outcome.completed,
+            allocation: outcome.allocation,
+            auction_payments: outcome.auction_payments,
+            payments: outcome.payments,
+        }
+    }
+}
+
+/// The §4 naive combination as a [`Mechanism`]: per-type `(mᵢ+1)`-st lowest
+/// price auction ([`rit_auction::kth_price`]) + the contribution-based
+/// incentive-tree reward, with auction payments as contributions
+/// ([`naive::run`]). Deterministic — draws nothing from the RNG.
+///
+/// This is the paper's strawman: truthful auction, sybil-proof tree,
+/// **broken composition** (neither property survives, Figs 2–3). Running it
+/// through the same attack battery as RIT turns those counterexamples into
+/// machine-checked `gain > 0` verdicts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaiveKthPriceTree;
+
+impl NaiveKthPriceTree {
+    /// Creates the baseline (it has no parameters).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+impl Mechanism for NaiveKthPriceTree {
+    type Config = ();
+    type Outcome = naive::NaiveOutcome;
+    type Workspace = ();
+
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Naive
+    }
+
+    fn config(&self) -> &Self::Config {
+        &()
+    }
+
+    fn run_in<R: Rng + ?Sized>(
         &self,
         job: &Job,
         tree: &IncentiveTree,
         asks: &[Ask],
-        ws: &mut RitWorkspace,
-        rng: &mut R,
-    ) -> Result<RitOutcome, RitError> {
+        eligible: Option<&[bool]>,
+        _ws: &mut Self::Workspace,
+        _rng: &mut R,
+    ) -> Result<Self::Outcome, RitError> {
         let n = tree.num_users();
         if asks.len() != n {
             return Err(RitError::AskCountMismatch {
@@ -127,261 +421,73 @@ impl Rit {
                 users: n,
             });
         }
-        let phase = self.auction_phase_with(job, asks, None, ws, &mut NoopObserver, rng)?;
-        Ok(self.determine_final_payments(tree, asks, phase))
+        Ok(naive::run_screened(job, tree, asks, eligible))
     }
 
-    /// Runs only the auction phase (Algorithm 3, Lines 1–21). The incentive
-    /// tree plays no role here — solicitation enters in
-    /// [`Rit::determine_final_payments`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RitError::GuaranteeInfeasible`] if a [`RoundLimit::Paper`]
-    /// budget is unattainable for some type.
-    pub fn run_auction_phase<R: Rng + ?Sized>(
-        &self,
-        job: &Job,
-        asks: &[Ask],
-        rng: &mut R,
-    ) -> Result<AuctionPhaseResult, RitError> {
-        let mut ws = RitWorkspace::new();
-        self.auction_phase_with(job, asks, None, &mut ws, &mut NoopObserver, rng)
-    }
-
-    /// Auction phase with a caller-provided workspace and
-    /// [`AuctionObserver`] — the fully general entry point the others wrap.
-    /// The observer receives type boundaries and per-round results as they
-    /// happen; it never affects the outcome (observers draw no randomness).
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Rit::run_auction_phase`].
-    pub fn run_auction_phase_with<R: Rng + ?Sized, O: AuctionObserver>(
-        &self,
-        job: &Job,
-        asks: &[Ask],
-        ws: &mut RitWorkspace,
-        observer: &mut O,
-        rng: &mut R,
-    ) -> Result<AuctionPhaseResult, RitError> {
-        self.auction_phase_with(job, asks, None, ws, observer, rng)
-    }
-
-    /// Auction phase with a quality-eligibility mask (see
-    /// [`crate::quality`]): ineligible users contribute no unit asks.
-    pub(crate) fn auction_phase_screened<R: Rng + ?Sized>(
-        &self,
-        job: &Job,
-        asks: &[Ask],
-        eligible: &[bool],
-        rng: &mut R,
-    ) -> Result<AuctionPhaseResult, RitError> {
-        let mut ws = RitWorkspace::new();
-        self.auction_phase_with(job, asks, Some(eligible), &mut ws, &mut NoopObserver, rng)
-    }
-
-    /// Like [`Rit::run_auction_phase`], additionally recording one
-    /// [`crate::trace::TypeTrace`] per task type with per-round CRA
-    /// diagnostics — see [`crate::trace`]. Sugar for
-    /// [`Rit::run_auction_phase_with`] and a [`TraceObserver`].
-    ///
-    /// The traced and untraced entry points consume randomness identically:
-    /// given the same RNG state they produce the same
-    /// [`AuctionPhaseResult`].
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Rit::run_auction_phase`].
-    pub fn run_auction_phase_traced<R: Rng + ?Sized>(
-        &self,
-        job: &Job,
-        asks: &[Ask],
-        rng: &mut R,
-    ) -> Result<(AuctionPhaseResult, Vec<TypeTrace>), RitError> {
-        let mut ws = RitWorkspace::new();
-        let mut observer = TraceObserver::with_capacity(job.num_types());
-        let result = self.auction_phase_with(job, asks, None, &mut ws, &mut observer, rng)?;
-        Ok((result, observer.into_traces()))
-    }
-
-    /// The single auction-phase implementation: builds the run-length ask
-    /// table once, then drives [`engine::run_round`] per type, folding
-    /// winners back onto users in place (no per-round re-extraction).
-    fn auction_phase_with<R: Rng + ?Sized, O: AuctionObserver>(
-        &self,
-        job: &Job,
-        asks: &[Ask],
-        eligible: Option<&[bool]>,
-        ws: &mut RitWorkspace,
-        observer: &mut O,
-        rng: &mut R,
-    ) -> Result<AuctionPhaseResult, RitError> {
-        let n = asks.len();
-        let k_max = self
-            .config
-            .k_max_override
-            .unwrap_or_else(|| asks.iter().map(Ask::quantity).max().unwrap_or(1))
-            .max(1);
-        let num_types = job.num_types();
-        let eta = bounds::per_type_target(self.config.h, num_types.max(1));
-
-        // One pass over the asks; afterwards rounds only decrement the
-        // per-run `remaining` counters.
-        ws.compact.rebuild(num_types, asks, eligible);
-
-        let mut allocation = vec![0u64; n];
-        let mut auction_payments = vec![0.0f64; n];
-        let mut rounds_used = Vec::with_capacity(num_types);
-        let mut unallocated = Vec::with_capacity(num_types);
-
-        for (t, (task_type, m_i)) in job.iter().enumerate() {
-            if m_i == 0 {
-                observer.type_start(task_type, 0, None);
-                observer.type_end();
-                rounds_used.push(0);
-                unallocated.push(0);
-                continue;
-            }
-            let budget = self.round_budget(task_type, m_i, k_max, eta)?;
-            observer.type_start(task_type, m_i, budget);
-
-            let mut q = m_i;
-            let mut rounds = 0u32;
-            let mut stall = 0u32;
-            while q > 0 && self.may_continue(budget, rounds, stall) {
-                if ws.compact.active_units(t) == 0 {
-                    break;
-                }
-                let q_before = q;
-                let report = engine::run_round(
-                    &ws.compact,
-                    t,
-                    q,
-                    m_i,
-                    self.config.selection_rule,
-                    &mut ws.auction,
-                    rng,
-                );
-                let price = report.clearing_price;
-                for &r in ws.auction.winners() {
-                    let j = ws.compact.owner(r);
-                    allocation[j] += 1;
-                    auction_payments[j] += price;
-                    ws.compact.consume(t, r);
-                    q -= 1;
-                }
-                observer.round(&RoundTrace {
-                    round: rounds,
-                    q_before,
-                    unit_asks: usize::try_from(report.unit_asks).unwrap_or(usize::MAX),
-                    winners: report.num_winners,
-                    clearing_price: price,
-                    diagnostics: report.diagnostics,
-                });
-                rounds += 1;
-                stall = if report.num_winners > 0 { 0 } else { stall + 1 };
-            }
-            observer.type_end();
-            rounds_used.push(rounds);
-            unallocated.push(q);
+    fn normalize(&self, outcome: Self::Outcome) -> MechanismOutcome {
+        MechanismOutcome {
+            completed: outcome.completed,
+            allocation: outcome.allocation,
+            auction_payments: outcome.auction_payments,
+            payments: outcome.payments,
         }
+    }
+}
 
-        Ok(AuctionPhaseResult {
-            allocation,
-            auction_payments,
-            rounds_used,
-            unallocated,
-        })
+/// The §1 DARPA Network Challenge referral scheme as a [`Mechanism`]: tasks
+/// allocated by the same `k`-th-price auction as [`NaiveKthPriceTree`], then
+/// each winner's auction payment propagates up the referral chain with
+/// geometric halving ([`darpa::run`]). Deterministic — draws nothing from
+/// the RNG.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DarpaReferral;
+
+impl DarpaReferral {
+    /// Creates the baseline (it has no parameters).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+impl Mechanism for DarpaReferral {
+    type Config = ();
+    type Outcome = darpa::DarpaOutcome;
+    type Workspace = ();
+
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Darpa
     }
 
-    /// Runs the payment-determination phase (Algorithm 3, Lines 22–28) on an
-    /// auction-phase result: on completion, final payments add the weighted
-    /// solicitation rewards; otherwise the run is void (Line 27).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `asks`/`phase` do not align with the tree's user count.
-    #[must_use]
-    pub fn determine_final_payments(
+    fn config(&self) -> &Self::Config {
+        &()
+    }
+
+    fn run_in<R: Rng + ?Sized>(
         &self,
+        job: &Job,
         tree: &IncentiveTree,
         asks: &[Ask],
-        phase: AuctionPhaseResult,
-    ) -> RitOutcome {
+        eligible: Option<&[bool]>,
+        _ws: &mut Self::Workspace,
+        _rng: &mut R,
+    ) -> Result<Self::Outcome, RitError> {
         let n = tree.num_users();
-        assert_eq!(asks.len(), n, "asks must align with tree users");
-        assert_eq!(
-            phase.auction_payments.len(),
-            n,
-            "auction phase must align with tree users"
-        );
-        let completed = phase.completed();
-        let AuctionPhaseResult {
-            mut allocation,
-            auction_payments,
-            rounds_used,
-            unallocated,
-        } = phase;
-        let payments = if completed {
-            payment::determine_payments(tree, asks, &auction_payments)
-        } else {
-            // Line 27: the job cannot be finished under the desired
-            // properties — void the run.
-            allocation = vec![0; n];
-            vec![0.0; n]
-        };
-        RitOutcome {
-            completed,
-            allocation,
-            auction_payments,
-            payments,
-            rounds_used,
-            unallocated,
+        if asks.len() != n {
+            return Err(RitError::AskCountMismatch {
+                asks: asks.len(),
+                users: n,
+            });
         }
+        Ok(darpa::run_screened(job, tree, asks, eligible))
     }
 
-    /// Resolves the per-type round budget according to the configured
-    /// [`RoundLimit`]. `None` means "no a-priori budget" (until-stall mode).
-    fn round_budget(
-        &self,
-        task_type: rit_model::TaskTypeId,
-        m_i: u64,
-        k_max: u64,
-        eta: f64,
-    ) -> Result<Option<u32>, RitError> {
-        match self.config.round_limit {
-            RoundLimit::Paper(worst_case) => {
-                let q = match worst_case {
-                    WorstCaseQ::Zero => 0,
-                    WorstCaseQ::FirstRound => m_i,
-                };
-                let beta = bounds::cra_truthfulness_bound(q, m_i, k_max, self.config.log_base);
-                match bounds::max_rounds(beta, eta) {
-                    None => Err(RitError::GuaranteeInfeasible {
-                        task_type,
-                        tasks: m_i,
-                        k_max,
-                    }),
-                    Some(max) => Ok(Some(max)),
-                }
-            }
-            RoundLimit::Fixed(max) => Ok(Some(max)),
-            RoundLimit::UntilStall { .. } => Ok(None),
-        }
-    }
-
-    fn may_continue(&self, budget: Option<u32>, rounds: u32, stall: u32) -> bool {
-        match (self.config.round_limit, budget) {
-            (
-                RoundLimit::UntilStall {
-                    max_rounds,
-                    max_stall,
-                },
-                _,
-            ) => rounds < max_rounds && stall < max_stall,
-            (_, Some(max)) => rounds < max,
-            (_, None) => unreachable!("paper/fixed limits always produce a budget"),
+    fn normalize(&self, outcome: Self::Outcome) -> MechanismOutcome {
+        MechanismOutcome {
+            completed: outcome.completed,
+            allocation: outcome.allocation,
+            auction_payments: outcome.auction_payments,
+            payments: outcome.payments,
         }
     }
 }
@@ -391,316 +497,159 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use rit_model::{TaskTypeId, UserProfile};
+    use rit_model::TaskTypeId;
     use rit_tree::generate;
 
-    fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    use crate::{RitConfig, RoundLimit};
+
+    fn t0() -> TaskTypeId {
+        TaskTypeId::new(0)
     }
 
-    /// A scenario large enough for the paper budget to be positive:
-    /// one type, mᵢ tasks, `n` users of capacity ≤ k each.
-    fn scenario(n: usize, m_i: u64, seed: u64) -> (Job, IncentiveTree, Vec<Ask>, Vec<UserProfile>) {
-        let mut r = rng(seed);
-        let job = Job::from_counts(vec![m_i]).unwrap();
-        let tree = generate::uniform_recursive(n, &mut r);
-        let config = rit_model::workload::WorkloadConfig {
-            num_types: 1,
-            capacity_max: 5,
-            cost_max: 10.0,
-        };
-        let pop = config.sample_population(n, &mut r).unwrap();
-        let asks = pop.truthful_asks().into_vec();
-        (job, tree, asks, pop.as_slice().to_vec())
-    }
-
-    #[test]
-    fn rejects_bad_h() {
-        assert!(Rit::new(RitConfig {
-            h: 0.0,
-            ..RitConfig::default()
-        })
-        .is_err());
-    }
-
-    #[test]
-    fn rejects_ask_mismatch() {
-        let rit = Rit::new(RitConfig::default()).unwrap();
-        let job = Job::from_counts(vec![1]).unwrap();
-        let tree = generate::star(3);
-        let asks = vec![Ask::new(TaskTypeId::new(0), 1, 1.0).unwrap()];
-        assert!(matches!(
-            rit.run(&job, &tree, &asks, &mut rng(1)),
-            Err(RitError::AskCountMismatch { asks: 1, users: 3 })
-        ));
-    }
-
-    #[test]
-    fn infeasible_guarantee_reported() {
-        // 10 tasks, K_max = 20 ⇒ 2K ≥ q + mᵢ under the strict reading.
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::Paper(WorstCaseQ::Zero),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        let job = Job::from_counts(vec![10]).unwrap();
-        let tree = generate::star(2);
+    fn scenario() -> (Job, IncentiveTree, Vec<Ask>) {
+        let job = Job::from_counts(vec![2]).unwrap();
+        let tree = generate::path(3);
         let asks = vec![
-            Ask::new(TaskTypeId::new(0), 20, 1.0).unwrap(),
-            Ask::new(TaskTypeId::new(0), 5, 1.0).unwrap(),
+            Ask::new(t0(), 2, 2.0).unwrap(),
+            Ask::new(t0(), 1, 3.0).unwrap(),
+            Ask::new(t0(), 1, 5.0).unwrap(),
         ];
-        assert!(matches!(
-            rit.run(&job, &tree, &asks, &mut rng(1)),
-            Err(RitError::GuaranteeInfeasible { k_max: 20, .. })
-        ));
+        (job, tree, asks)
     }
 
     #[test]
-    fn completed_run_allocates_exactly_the_job() {
-        let (job, tree, asks, _) = scenario(2000, 500, 42);
-        let rit = Rit::new(RitConfig::default()).unwrap();
-        let mut completed_runs = 0;
-        for seed in 0..20 {
-            let out = rit.run(&job, &tree, &asks, &mut rng(seed)).unwrap();
-            if out.completed() {
-                completed_runs += 1;
-                assert_eq!(out.total_allocated(), 500);
-                assert_eq!(out.unallocated(), &[0]);
-            } else {
-                assert_eq!(out.total_allocated(), 0);
-                assert_eq!(out.total_payment(), 0.0);
-            }
+    fn kind_labels_roundtrip() {
+        for kind in MechanismKind::ALL {
+            assert_eq!(kind.label().parse::<MechanismKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.label());
         }
-        assert!(completed_runs > 0, "expected at least one completed run");
+        assert!("vcg".parse::<MechanismKind>().is_err());
     }
 
     #[test]
-    fn winners_never_exceed_claimed_quantity() {
-        let (job, tree, asks, _) = scenario(1500, 400, 7);
+    fn rit_trait_path_matches_inherent_run() {
+        let (job, tree, asks) = scenario();
         let rit = Rit::new(RitConfig {
             round_limit: RoundLimit::until_stall(),
             ..RitConfig::default()
         })
         .unwrap();
-        let out = rit.run(&job, &tree, &asks, &mut rng(3)).unwrap();
-        if out.completed() {
-            for (j, &x) in out.allocation().iter().enumerate() {
-                assert!(x <= asks[j].quantity());
-            }
-        }
-    }
-
-    #[test]
-    fn individual_rationality_on_completion() {
-        // Theorem 1: with truthful asks, every user's utility is ≥ 0.
-        let (job, tree, asks, profiles) = scenario(1500, 300, 11);
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::until_stall(),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        for seed in 0..10 {
-            let out = rit.run(&job, &tree, &asks, &mut rng(seed)).unwrap();
-            for (j, p) in profiles.iter().enumerate() {
-                assert!(
-                    out.utility(j, p.unit_cost()) >= -1e-9,
-                    "user {j} has negative utility"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn auction_payment_covers_cost_per_user() {
-        // Lemma 6.1: p^Aⱼ ≥ xⱼ·aⱼ for truthful asks.
-        let (job, tree, asks, _) = scenario(1200, 250, 13);
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::until_stall(),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        let out = rit.run(&job, &tree, &asks, &mut rng(5)).unwrap();
-        if out.completed() {
-            #[allow(clippy::needless_range_loop)]
-            for j in 0..asks.len() {
-                let cost = out.allocation()[j] as f64 * asks[j].unit_price();
-                assert!(
-                    out.auction_payments()[j] >= cost - 1e-9,
-                    "user {j}: p^A {} < cost {cost}",
-                    out.auction_payments()[j]
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn multi_type_jobs_allocate_per_type() {
-        let mut r = rng(17);
-        let job = Job::from_counts(vec![200, 300, 0]).unwrap();
-        let tree = generate::uniform_recursive(3000, &mut r);
-        let config = rit_model::workload::WorkloadConfig {
-            num_types: 3,
-            capacity_max: 4,
-            cost_max: 10.0,
-        };
-        let pop = config.sample_population(3000, &mut r).unwrap();
-        let asks = pop.truthful_asks().into_vec();
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::until_stall(),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        let out = rit.run(&job, &tree, &asks, &mut r).unwrap();
-        assert_eq!(out.rounds_used().len(), 3);
-        assert_eq!(out.unallocated().len(), 3);
-        assert_eq!(out.rounds_used()[2], 0, "empty type runs no rounds");
-        if out.completed() {
-            // Per-type totals match the job exactly.
-            let mut per_type = vec![0u64; 3];
-            for (j, &x) in out.allocation().iter().enumerate() {
-                per_type[asks[j].task_type().index()] += x;
-            }
-            assert_eq!(per_type, vec![200, 300, 0]);
-        }
-    }
-
-    #[test]
-    fn failed_run_is_void() {
-        // Demand exceeds total capacity: can never complete.
-        let job = Job::from_counts(vec![100]).unwrap();
-        let tree = generate::star(3);
-        let asks: Vec<Ask> = (0..3)
-            .map(|_| Ask::new(TaskTypeId::new(0), 2, 1.0).unwrap())
-            .collect();
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::until_stall(),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        let out = rit.run(&job, &tree, &asks, &mut rng(1)).unwrap();
-        assert!(!out.completed());
-        assert_eq!(out.total_allocated(), 0);
-        assert_eq!(out.total_payment(), 0.0);
-        assert!(out.unallocated()[0] > 0);
-    }
-
-    #[test]
-    fn fixed_round_limit_respected() {
-        let (job, tree, asks, _) = scenario(800, 200, 23);
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::Fixed(1),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        let out = rit.run(&job, &tree, &asks, &mut rng(2)).unwrap();
-        assert!(out.rounds_used().iter().all(|&r| r <= 1));
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let (job, tree, asks, _) = scenario(600, 150, 29);
-        let rit = Rit::new(RitConfig::default()).unwrap();
-        let a = rit.run(&job, &tree, &asks, &mut rng(9)).unwrap();
-        let b = rit.run(&job, &tree, &asks, &mut rng(9)).unwrap();
-        assert_eq!(a, b);
-        // A caller-provided workspace is pure capacity: same outcome.
-        let mut ws = crate::RitWorkspace::new();
-        let c = rit
-            .run_with_workspace(&job, &tree, &asks, &mut ws, &mut rng(9))
+        let direct = rit
+            .run(&job, &tree, &asks, &mut SmallRng::seed_from_u64(9))
             .unwrap();
-        assert_eq!(a, c);
+        let via_trait = rit
+            .evaluate(&job, &tree, &asks, &mut SmallRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(via_trait.completed(), direct.completed());
+        assert_eq!(via_trait.allocation(), direct.allocation());
+        assert_eq!(via_trait.payments(), direct.payments());
+        assert_eq!(via_trait.auction_payments(), direct.auction_payments());
     }
 
     #[test]
-    fn workspace_reuse_matches_fresh_runs() {
-        // Run scenario A, a differently shaped B, then A again through ONE
-        // workspace; every outcome must equal a fresh-workspace run.
-        let (job_a, tree_a, asks_a, _) = scenario(500, 120, 41);
-        let mut r = rng(43);
-        let job_b = Job::from_counts(vec![40, 0, 60]).unwrap();
-        let tree_b = generate::uniform_recursive(300, &mut r);
-        let config = rit_model::workload::WorkloadConfig {
-            num_types: 3,
-            capacity_max: 3,
-            cost_max: 8.0,
-        };
-        let asks_b = config
-            .sample_population(300, &mut r)
-            .unwrap()
-            .truthful_asks()
-            .into_vec();
+    fn naive_trait_path_matches_module_run() {
+        let (job, tree, asks) = scenario();
+        let mech = NaiveKthPriceTree::new();
+        let direct = naive::run(&job, &tree, &asks);
+        let out = mech
+            .evaluate(&job, &tree, &asks, &mut SmallRng::seed_from_u64(1))
+            .unwrap();
+        assert_eq!(out.allocation(), direct.allocation.as_slice());
+        assert_eq!(out.payments(), direct.payments.as_slice());
+        assert!(out.completed());
+    }
 
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::until_stall(),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        let mut ws = crate::RitWorkspace::new();
-        for (seed, (job, tree, asks)) in [
-            (51u64, (&job_a, &tree_a, &asks_a)),
-            (52, (&job_b, &tree_b, &asks_b)),
-            (53, (&job_a, &tree_a, &asks_a)),
+    #[test]
+    fn darpa_trait_path_matches_module_run() {
+        let (job, tree, asks) = scenario();
+        let mech = DarpaReferral::new();
+        let direct = darpa::run(&job, &tree, &asks);
+        let out = mech
+            .evaluate(&job, &tree, &asks, &mut SmallRng::seed_from_u64(1))
+            .unwrap();
+        assert_eq!(out.allocation(), direct.allocation.as_slice());
+        assert_eq!(out.payments(), direct.payments.as_slice());
+        // Winner P1 (2 tasks at clearing price 3 ⇒ 6) propagates nothing up:
+        // it is the deepest node, so ancestors P1's chain collects halves.
+        assert_eq!(out.total_auction_payment(), 6.0);
+    }
+
+    #[test]
+    fn baselines_draw_no_randomness() {
+        // The RNG stream must be untouched by the deterministic baselines —
+        // a requirement for paired honest/deviant comparisons.
+        let (job, tree, asks) = scenario();
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut twin = SmallRng::seed_from_u64(77);
+        let _ = NaiveKthPriceTree::new().evaluate(&job, &tree, &asks, &mut rng);
+        let _ = DarpaReferral::new().evaluate(&job, &tree, &asks, &mut rng);
+        assert_eq!(rng.gen::<u64>(), twin.gen::<u64>());
+    }
+
+    #[test]
+    fn ask_count_mismatch_is_an_error_not_a_panic() {
+        let (job, tree, mut asks) = scenario();
+        asks.pop();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for err in [
+            NaiveKthPriceTree::new()
+                .evaluate(&job, &tree, &asks, &mut rng)
+                .unwrap_err(),
+            DarpaReferral::new()
+                .evaluate(&job, &tree, &asks, &mut rng)
+                .unwrap_err(),
         ] {
-            let warm = rit
-                .run_with_workspace(job, tree, asks, &mut ws, &mut rng(seed))
-                .unwrap();
-            let fresh = rit.run(job, tree, asks, &mut rng(seed)).unwrap();
-            assert_eq!(warm, fresh, "dirty workspace perturbed seed {seed}");
+            assert!(matches!(
+                err,
+                RitError::AskCountMismatch { asks: 2, users: 3 }
+            ));
         }
     }
 
     #[test]
-    fn traced_run_matches_untraced_and_is_coherent() {
-        let (job, _tree, asks, _) = scenario(900, 200, 37);
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::until_stall(),
-            ..RitConfig::default()
-        })
-        .unwrap();
-        let plain = rit.run_auction_phase(&job, &asks, &mut rng(6)).unwrap();
-        let (traced, traces) = rit
-            .run_auction_phase_traced(&job, &asks, &mut rng(6))
+    fn screening_mask_flows_through_every_impl() {
+        let (job, tree, asks) = scenario();
+        // Mask out the cheapest user: P2 and P3 must win instead.
+        let mask = [false, true, true];
+        let mech = NaiveKthPriceTree::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = mech
+            .evaluate_in(&job, &tree, &asks, Some(&mask), &mut (), &mut rng)
             .unwrap();
-        assert_eq!(plain, traced, "tracing must not perturb randomness");
-        assert_eq!(traces.len(), job.num_types());
-        for (trace, (&rounds, &unalloc)) in traces
-            .iter()
-            .zip(traced.rounds_used.iter().zip(&traced.unallocated))
-        {
-            assert_eq!(trace.rounds.len() as u32, rounds);
-            assert_eq!(trace.allocated(), trace.tasks - unalloc);
-            // Expenditure per type sums to the users' auction payments.
-        }
-        let total_expenditure: f64 = traces.iter().map(|t| t.expenditure()).sum();
-        let total_payments: f64 = traced.auction_payments.iter().sum();
-        assert!((total_expenditure - total_payments).abs() < 1e-6);
-        // Round indices increase and q decreases monotonically.
-        for t in &traces {
-            for (i, r) in t.rounds.iter().enumerate() {
-                assert_eq!(r.round as usize, i);
-            }
-            for w in t.rounds.windows(2) {
-                assert!(w[1].q_before <= w[0].q_before);
-            }
-        }
-    }
+        assert_eq!(out.allocation(), &[0, 1, 1]);
 
-    #[test]
-    fn payment_sums_auction_plus_solicitation() {
-        let (job, tree, asks, _) = scenario(1000, 200, 31);
         let rit = Rit::new(RitConfig {
             round_limit: RoundLimit::until_stall(),
             ..RitConfig::default()
         })
         .unwrap();
-        let out = rit.run(&job, &tree, &asks, &mut rng(4)).unwrap();
-        if out.completed() {
-            // p = p^A + solicitation, and the §7 bound Σ(p−p^A) ≤ Σ p^A.
-            let extra: f64 = out.solicitation_rewards().iter().sum();
-            assert!(extra >= -1e-9);
-            assert!(extra <= out.total_auction_payment() + 1e-9);
-            // Single-type job ⇒ all descendants share the type ⇒ no rewards.
-            assert!(extra < 1e-9);
-        }
+        let mut ws = RitWorkspace::new();
+        let out = rit
+            .evaluate_in(&job, &tree, &asks, Some(&mask), &mut ws, &mut rng)
+            .unwrap();
+        assert_eq!(out.allocation()[0], 0, "screened user must win nothing");
+    }
+
+    #[test]
+    fn outcome_new_validates_lengths() {
+        let out = MechanismOutcome::new(true, vec![1, 0], vec![2.0, 0.0], vec![3.0, 1.0]);
+        assert_eq!(out.total_allocated(), 1);
+        assert_eq!(out.total_payment(), 4.0);
+        assert_eq!(out.solicitation_rewards(), vec![1.0, 1.0]);
+        let ev: rit_adversary::Evaluation = out.into();
+        assert_eq!(ev.payments, vec![3.0, 1.0]);
+        assert!(ev.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn outcome_new_rejects_mismatched_lengths() {
+        let _ = MechanismOutcome::new(true, vec![1], vec![2.0, 0.0], vec![3.0]);
+    }
+
+    #[test]
+    fn incomplete_outcome_reports_zero_solicitation() {
+        let out = MechanismOutcome::new(false, vec![1, 0], vec![2.0, 0.0], vec![2.0, 0.0]);
+        assert_eq!(out.solicitation_rewards(), vec![0.0, 0.0]);
     }
 }

@@ -29,6 +29,10 @@ pub struct NaiveOutcome {
     pub auction_payments: Vec<f64>,
     /// Final (tree-augmented) payments per user.
     pub payments: Vec<f64>,
+    /// Whether every task of the job was allocated. Unlike RIT there is no
+    /// Line 27 void rule — partial allocations keep their payments — so this
+    /// flag is purely informational (completion-rate reporting).
+    pub completed: bool,
 }
 
 impl NaiveOutcome {
@@ -50,16 +54,76 @@ impl NaiveOutcome {
 /// Panics if `asks.len() != tree.num_users()`.
 #[must_use]
 pub fn run(job: &Job, tree: &IncentiveTree, asks: &[Ask]) -> NaiveOutcome {
+    run_screened(job, tree, asks, None)
+}
+
+/// Like [`run`], with an optional eligibility mask: ineligible users
+/// contribute no unit asks (the platform-side screening hook shared by every
+/// mechanism, see [`crate::Mechanism`]).
+///
+/// # Panics
+///
+/// Panics if `asks.len() != tree.num_users()`, or if a mask of a different
+/// length is supplied.
+#[must_use]
+pub fn run_screened(
+    job: &Job,
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    eligible: Option<&[bool]>,
+) -> NaiveOutcome {
     let n = tree.num_users();
     assert_eq!(asks.len(), n, "asks must align with tree users");
+    let (allocation, auction_payments) = kth_price_allocation(job, asks, eligible);
+    let completed = allocation.iter().sum::<u64>() == job.total_tasks();
+    let payments = tree_reward(tree, &auction_payments);
+    NaiveOutcome {
+        allocation,
+        auction_payments,
+        payments,
+        completed,
+    }
+}
+
+/// The per-type `(mᵢ+1)`-st lowest price allocation shared by the §4 naive
+/// combination and the DARPA baseline ([`crate::darpa`]): for each task type,
+/// extract unit asks, run [`kth_price::lowest_price_auction`] for `mᵢ` slots,
+/// and fold winners back onto users. Users masked out by `eligible`
+/// contribute no unit asks.
+///
+/// Returns `(allocation, auction_payments)` per user.
+///
+/// # Panics
+///
+/// Panics if `eligible` is present with a length other than `asks.len()`.
+#[must_use]
+pub fn kth_price_allocation(
+    job: &Job,
+    asks: &[Ask],
+    eligible: Option<&[bool]>,
+) -> (Vec<u64>, Vec<f64>) {
+    let n = asks.len();
+    if let Some(mask) = eligible {
+        assert_eq!(mask.len(), n, "eligibility mask must align with asks");
+    }
+    let quantities: Vec<u64> = asks
+        .iter()
+        .enumerate()
+        .map(|(j, a)| {
+            if eligible.is_none_or(|mask| mask[j]) {
+                a.quantity()
+            } else {
+                0
+            }
+        })
+        .collect();
     let mut allocation = vec![0u64; n];
     let mut auction_payments = vec![0.0f64; n];
-
     for (task_type, m_i) in job.iter() {
         if m_i == 0 {
             continue;
         }
-        let alpha = extract::extract(task_type, asks);
+        let alpha = extract::extract_with_quantities(task_type, asks, &quantities);
         let out = kth_price::lowest_price_auction(alpha.values(), m_i as usize);
         let pay = out.payments(alpha.values());
         for (omega, &payment) in pay.iter().enumerate() {
@@ -70,13 +134,7 @@ pub fn run(job: &Job, tree: &IncentiveTree, asks: &[Ask]) -> NaiveOutcome {
             }
         }
     }
-
-    let payments = tree_reward(tree, &auction_payments);
-    NaiveOutcome {
-        allocation,
-        auction_payments,
-        payments,
-    }
+    (allocation, auction_payments)
 }
 
 /// The contribution-based incentive-tree reward of §4, with the auction

@@ -1,0 +1,106 @@
+//! Re-pins the allocation discipline *through the generic [`Mechanism`]
+//! pipeline*: driving RIT via `Mechanism::evaluate_in` with a warm workspace
+//! must allocate only the outcome's own output vectors plus the payment
+//! phase's constant scratch — nothing per CRA round. This is the guarantee
+//! that lets the sim layers go generic (monomorphized) without giving up the
+//! allocation-free hot path.
+//!
+//! Separate file from `alloc_counting.rs`: each integration-test binary gets
+//! its own `#[global_allocator]`, and a single test per file keeps the
+//! counter unpolluted.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{Mechanism, Rit, RitConfig, RitWorkspace, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::generate;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_generic_pipeline_allocates_a_round_independent_constant() {
+    let n = 3000usize;
+    let job = Job::from_counts(vec![600]).unwrap();
+    let mut tree_rng = SmallRng::seed_from_u64(0xF00D);
+    let tree = generate::uniform_recursive(n, &mut tree_rng);
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| {
+            let k = 1 + (j as u64 * 5) % 3;
+            let price = 1.0 + ((j * 17) % 89) as f64 * 0.1;
+            Ask::new(TaskTypeId::new(0), k, price).unwrap()
+        })
+        .collect();
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap();
+
+    // Warm the workspace through the generic entry point.
+    let mut ws = RitWorkspace::new();
+    for seed in 0..2 {
+        rit.evaluate_in(
+            &job,
+            &tree,
+            &asks,
+            None,
+            &mut ws,
+            &mut SmallRng::seed_from_u64(seed),
+        )
+        .unwrap();
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let outcome = rit
+        .evaluate_in(
+            &job,
+            &tree,
+            &asks,
+            None,
+            &mut ws,
+            &mut SmallRng::seed_from_u64(7),
+        )
+        .unwrap();
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+
+    assert!(outcome.total_allocated() > 0, "degenerate run");
+    // Budget: the auction phase's 4 output vectors, the final-payment vector,
+    // and the payment phase's constant CSR scratch (tree-sized, not
+    // round-scaling). The exact count varies a little with allocator
+    // bookkeeping; what matters is that it is a small constant independent
+    // of how many CRA rounds the auction took.
+    assert!(
+        delta <= 32,
+        "warm generic run allocated {delta} times; the Mechanism layer is \
+         leaking per-round allocations"
+    );
+}

@@ -1,0 +1,97 @@
+//! Property test of the §7 budget bound, generically over every
+//! [`Mechanism`] implementation: the platform's total payout never exceeds
+//! **2×** the total auction payment. For RIT this is the paper's §7
+//! observation (solicitation weights sum to < 1 per contributor); for the
+//! naive §4 combination it follows from `pⱼ = 2·p^Aⱼ + ln(·)` with the log
+//! term ≤ 0; for the DARPA scheme from the geometric halving up the chain.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{DarpaReferral, Mechanism, NaiveKthPriceTree, Rit, RitConfig, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::{IncentiveTree, NodeId};
+
+#[derive(Clone, Debug)]
+struct ArbScenario {
+    job: Job,
+    tree: IncentiveTree,
+    asks: Vec<Ask>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = ArbScenario> {
+    let users = prop::collection::vec((0u32..3, 1u64..6, 0.01f64..10.0, any::<u32>()), 1..60);
+    let job = prop::collection::vec(0u64..30, 1..4);
+    (users, job).prop_map(|(users, counts)| {
+        let parents: Vec<NodeId> = users
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _, _, p))| NodeId::new(p % (i as u32 + 1)))
+            .collect();
+        let tree = IncentiveTree::from_parents(&parents).expect("valid parents");
+        let asks: Vec<Ask> = users
+            .iter()
+            .map(|&(t, k, a, _)| Ask::new(TaskTypeId::new(t), k, a).expect("valid ask"))
+            .collect();
+        ArbScenario {
+            job: Job::from_counts(counts).expect("non-empty"),
+            tree,
+            asks,
+        }
+    })
+}
+
+fn assert_budget_bound<M: Mechanism>(
+    mech: &M,
+    scenario: &ArbScenario,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut ws = M::Workspace::default();
+    let out = mech
+        .evaluate_in(
+            &scenario.job,
+            &scenario.tree,
+            &scenario.asks,
+            None,
+            &mut ws,
+            &mut SmallRng::seed_from_u64(seed),
+        )
+        .expect("aligned inputs never error in best-effort mode");
+    let total = out.total_payment();
+    let auction = out.total_auction_payment();
+    prop_assert!(
+        total.is_finite() && auction.is_finite(),
+        "{}: non-finite totals",
+        mech.kind()
+    );
+    // RIT voids failed runs (payments zero while the diagnostic auction
+    // payments may not be); the bound is claimed for what is actually paid.
+    prop_assert!(
+        total <= 2.0 * auction + 1e-9,
+        "{}: payout {} exceeds twice the auction total {}",
+        mech.kind(),
+        total,
+        auction
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn payout_at_most_twice_auction_total_for_every_mechanism(
+        scenario in arb_scenario(),
+        seed in any::<u64>(),
+    ) {
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        assert_budget_bound(&rit, &scenario, seed)?;
+        assert_budget_bound(&NaiveKthPriceTree::new(), &scenario, seed)?;
+        assert_budget_bound(&DarpaReferral::new(), &scenario, seed)?;
+    }
+}

@@ -1,0 +1,118 @@
+//! Pins the `Mechanism`-trait RIT path to the inherent engine entry point:
+//! for the same RNG state, `<Rit as Mechanism>::run_in` with no screening
+//! mask must produce the **bit-identical** outcome of
+//! [`Rit::run_with_workspace`] *and* leave the RNG in the same state (same
+//! draw count), so generic drivers can replace direct calls with no behavior
+//! change whatsoever.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rit_core::{Mechanism, MechanismKind, Rit, RitConfig, RitWorkspace, RoundLimit};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::{generate, IncentiveTree};
+
+fn scenario(n: usize, num_types: usize, tasks_per_type: u64) -> (Job, IncentiveTree, Vec<Ask>) {
+    let job = Job::from_counts(vec![tasks_per_type; num_types]).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let tree = generate::uniform_recursive(n, &mut rng);
+    let asks: Vec<Ask> = (0..n)
+        .map(|j| {
+            let t = TaskTypeId::new((j % num_types) as u32);
+            let k = 1 + (j as u64 * 7) % 4;
+            let price = 1.0 + ((j * 31) % 97) as f64 * 0.25;
+            Ask::new(t, k, price).unwrap()
+        })
+        .collect();
+    (job, tree, asks)
+}
+
+fn mechanism() -> Rit {
+    Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn trait_path_is_bit_identical_to_run_with_workspace() {
+    let (job, tree, asks) = scenario(400, 3, 40);
+    let rit = mechanism();
+    assert_eq!(rit.kind(), MechanismKind::Rit);
+
+    let mut direct_ws = RitWorkspace::new();
+    let mut trait_ws = RitWorkspace::new();
+    for seed in [1u64, 7, 42, 1337] {
+        let mut direct_rng = SmallRng::seed_from_u64(seed);
+        let mut trait_rng = SmallRng::seed_from_u64(seed);
+
+        let direct = rit
+            .run_with_workspace(&job, &tree, &asks, &mut direct_ws, &mut direct_rng)
+            .unwrap();
+        let via_trait = rit
+            .run_in(&job, &tree, &asks, None, &mut trait_ws, &mut trait_rng)
+            .unwrap();
+
+        // Same outcome, field for field (RitOutcome: PartialEq).
+        assert_eq!(via_trait, direct, "seed {seed}: outcomes diverged");
+
+        // Same RNG stream position afterwards: the trait layer must not
+        // consume (or skip) a single extra draw.
+        assert_eq!(
+            direct_rng.gen::<u64>(),
+            trait_rng.gen::<u64>(),
+            "seed {seed}: RNG streams diverged"
+        );
+    }
+}
+
+#[test]
+fn normalized_view_preserves_every_economic_quantity() {
+    let (job, tree, asks) = scenario(300, 2, 30);
+    let rit = mechanism();
+    let mut ws = RitWorkspace::new();
+    let direct = rit
+        .run_with_workspace(&job, &tree, &asks, &mut ws, &mut SmallRng::seed_from_u64(9))
+        .unwrap();
+    let normalized = rit.normalize(direct.clone());
+
+    assert_eq!(normalized.completed(), direct.completed());
+    assert_eq!(normalized.allocation(), direct.allocation());
+    assert_eq!(normalized.auction_payments(), direct.auction_payments());
+    assert_eq!(normalized.payments(), direct.payments());
+    assert_eq!(normalized.total_payment(), direct.total_payment());
+    assert_eq!(
+        normalized.total_auction_payment(),
+        direct.total_auction_payment()
+    );
+    assert_eq!(
+        normalized.solicitation_rewards(),
+        direct.solicitation_rewards()
+    );
+    for j in 0..asks.len() {
+        assert_eq!(normalized.utility(j, 2.5), direct.utility(j, 2.5));
+    }
+}
+
+#[test]
+fn evaluate_in_warm_workspace_matches_fresh() {
+    let (job, tree, asks) = scenario(250, 2, 25);
+    let rit = mechanism();
+    let mut warm = RitWorkspace::new();
+    for seed in [3u64, 4, 5] {
+        let a = rit
+            .evaluate_in(
+                &job,
+                &tree,
+                &asks,
+                None,
+                &mut warm,
+                &mut SmallRng::seed_from_u64(seed),
+            )
+            .unwrap();
+        let b = rit
+            .evaluate(&job, &tree, &asks, &mut SmallRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(a, b, "seed {seed}: warm workspace changed the outcome");
+    }
+}

@@ -7,8 +7,13 @@
 //! paired seeds in one batched pass — per replication the honest run
 //! happens **once** and is shared across all deviations
 //! ([`ProbeRunner::suite_replication`]), fanned out over CPU cores with
-//! per-worker [`RitWorkspace`] reuse. Results render as a Markdown table
-//! and a CSV of per-attack gain / z-score rows.
+//! per-worker [`Mechanism::Workspace`] reuse. Results render as a Markdown
+//! table and a CSV of per-attack gain / z-score rows.
+//!
+//! The driver is generic over the [`Mechanism`] trait: [`evaluate_with`] and
+//! [`run_with_mechanism`] fire the same battery against the §4 naive
+//! combination and the §1 DARPA baseline that [`evaluate`]/[`run`] fire
+//! against RIT.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -16,7 +21,7 @@ use std::path::Path;
 use rit_adversary::{
     AttackObserver, AttackResult, AttackSuite, BaseScenario, GainReport, ProbeRunner, SeedSchedule,
 };
-use rit_core::{RitError, RitWorkspace, RoundLimit};
+use rit_core::{Mechanism, RitError, RoundLimit};
 use rit_model::Job;
 
 use crate::experiments::{paper_mechanism, Scale};
@@ -137,6 +142,13 @@ fn dimensions(scale: Scale) -> (usize, u64) {
     }
 }
 
+/// Per-type job size `mᵢ` at the given scale (shared with the mechanism
+/// comparison so its economics and attack verdicts describe one workload).
+#[must_use]
+pub fn job_size(scale: Scale) -> u64 {
+    dimensions(scale).1
+}
+
 /// Evaluates `suite` against the scenario over `config.runs` paired
 /// replications, parallelized over replications with per-worker workspace
 /// reuse. The honest evaluation of each replication is shared across all
@@ -150,9 +162,48 @@ pub fn evaluate(
     scenario: &Scenario,
     suite: &AttackSuite,
 ) -> Result<SuiteReport, RitError> {
+    evaluate_with(
+        config,
+        scenario,
+        suite,
+        &paper_mechanism(RoundLimit::until_stall()),
+    )
+}
+
+/// [`evaluate`] against an arbitrary [`Mechanism`] — how the §4 and §1
+/// counterexamples become machine-checked verdicts: the same battery that
+/// RIT resists reports strictly positive gains against the naive and DARPA
+/// baselines. Deviations that impose a screening mask are honored through
+/// the mechanism's eligibility hook.
+///
+/// # Errors
+///
+/// Propagates mechanism and deviation errors.
+pub fn evaluate_with<M: Mechanism + Sync>(
+    config: &AttackSuiteConfig,
+    scenario: &Scenario,
+    suite: &AttackSuite,
+    mechanism: &M,
+) -> Result<SuiteReport, RitError> {
     let (_, m_i) = dimensions(config.scale);
     let job = Job::uniform(4, m_i).expect("positive types");
-    let rit = paper_mechanism(RoundLimit::until_stall());
+    evaluate_job_with(config, scenario, &job, suite, mechanism)
+}
+
+/// [`evaluate_with`] against an explicit job instead of the scale's default
+/// workload (the mechanism comparison runs a heavier job, see
+/// [`crate::experiments::compare`]).
+///
+/// # Errors
+///
+/// Propagates mechanism and deviation errors.
+pub fn evaluate_job_with<M: Mechanism + Sync>(
+    config: &AttackSuiteConfig,
+    scenario: &Scenario,
+    job: &Job,
+    suite: &AttackSuite,
+    mechanism: &M,
+) -> Result<SuiteReport, RitError> {
     let costs: Vec<f64> = scenario.population.iter().map(|u| u.unit_cost()).collect();
     let base = BaseScenario {
         tree: &scenario.tree,
@@ -168,9 +219,9 @@ pub fn evaluate(
         config.runs,
     );
 
-    let per_replication = parallel_map_init(config.runs, RitWorkspace::new, |ws, r| {
+    let per_replication = parallel_map_init(config.runs, M::Workspace::default, |ws, r| {
         runner.suite_replication::<RitError, _>(r, suite.deviations(), &mut |view, rng| {
-            let out = rit.run_with_workspace(&job, view.tree, view.asks, ws, rng)?;
+            let out = mechanism.evaluate_in(job, view.tree, view.asks, view.eligible, ws, rng)?;
             Ok(out.into())
         })
     });
@@ -230,11 +281,31 @@ pub fn run(config: &AttackSuiteConfig, spec: Option<&str>) -> Result<SuiteReport
     evaluate(config, &scenario, &suite)
 }
 
+/// [`run`] against an arbitrary [`Mechanism`] (the `--mechanism` flag of the
+/// `attack-suite` subcommand).
+///
+/// # Errors
+///
+/// Propagates spec parse/resolution errors and mechanism errors.
+pub fn run_with_mechanism<M: Mechanism + Sync>(
+    config: &AttackSuiteConfig,
+    spec: Option<&str>,
+    mechanism: &M,
+) -> Result<SuiteReport, RitError> {
+    let scenario = scenario(config);
+    let suite = match spec {
+        Some(text) => AttackSuite::from_spec(text, &scenario.asks)?,
+        None => AttackSuite::standard(&scenario.asks)?,
+    };
+    evaluate_with(config, &scenario, &suite, mechanism)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rit_adversary::{NoopAttackObserver, ScenarioView};
+    use rit_core::RitWorkspace;
 
     fn cfg() -> AttackSuiteConfig {
         AttackSuiteConfig {

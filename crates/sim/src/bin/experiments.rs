@@ -5,15 +5,24 @@
 //! experiments [--figure all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|fig9]
 //!             [--scale smoke|default|paper] [--runs N] [--seed S]
 //!             [--substrates K] [--out DIR] [--telemetry FILE]
-//! experiments attack-suite [--spec FILE] [--scale smoke|default|paper]
+//! experiments attack-suite [--spec FILE] [--mechanism rit|naive|darpa]
+//!             [--scale smoke|default|paper]
 //!             [--runs N] [--seed S] [--out DIR] [--telemetry FILE]
+//! experiments compare [--scale smoke|default|paper] [--runs N] [--seed S]
+//!             [--quick] [--out DIR] [--telemetry FILE]
 //! ```
 //!
 //! The `attack-suite` subcommand evaluates a battery of deviations (the
 //! standard four-attack suite, or a declarative spec file — one
 //! `kind key=value…` line per attack) against one scenario in a single
 //! batched pass and writes the per-attack gain/z-score table to
-//! `--out/attack_suite.csv`.
+//! `--out/attack_suite.csv`. `--mechanism` aims the same battery at the §4
+//! naive combination or the §1 DARPA referral baseline instead of RIT.
+//!
+//! The `compare` subcommand runs all three mechanisms over one scenario —
+//! honest economics plus a targeted sybil/misreport/withholding battery —
+//! and writes the per-mechanism table to `--out/compare.csv`. `--quick` is
+//! the CI smoke shape (smoke scale, 4 replications).
 //!
 //! `--substrates K` switches the sweep/ablation/screening experiments from
 //! per-replication scenario generation (paper fidelity, the default) to `K`
@@ -34,8 +43,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use rit_core::{DarpaReferral, MechanismKind, NaiveKthPriceTree};
 use rit_sim::experiments::{
-    ablation, bound_check, fig9, quality_screening, robustness, sweeps, tree_shape,
+    ablation, bound_check, compare, fig9, quality_screening, robustness, sweeps, tree_shape,
     truthfulness_profile, Scale,
 };
 use rit_sim::metrics::Figure;
@@ -69,14 +79,20 @@ fn telemetry_path(flag: Option<PathBuf>) -> Option<PathBuf> {
 /// description hashed into the manifest covers everything that determines
 /// the run's numbers — and deliberately excludes output paths, so two runs
 /// into different files carry the same `config_hash` (CI pins this).
-fn install_telemetry(path: &Path, config_desc: &str, seed: u64) -> Option<&'static Telemetry> {
+fn install_telemetry(
+    path: &Path,
+    config_desc: &str,
+    seed: u64,
+    mechanism: MechanismKind,
+) -> Option<&'static Telemetry> {
     let manifest = RunManifest::new(
         "experiments",
         env!("CARGO_PKG_VERSION"),
         config_desc,
         seed,
         rit_sim::runner::default_threads(),
-    );
+    )
+    .with_mechanism(mechanism.label());
     match Telemetry::with_sink(manifest, path) {
         Ok(t) => match rit_telemetry::install(t) {
             Ok(installed) => Some(installed),
@@ -223,6 +239,7 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
         runs: 40,
         seed: 2017,
     };
+    let mut mechanism = MechanismKind::Rit;
     let mut spec_path: Option<PathBuf> = None;
     let mut out = PathBuf::from("results");
     let mut telemetry_flag: Option<PathBuf> = None;
@@ -230,6 +247,7 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
             "--spec" => spec_path = Some(PathBuf::from(value("--spec")?)),
+            "--mechanism" => mechanism = value("--mechanism")?.parse()?,
             "--scale" => config.scale = parse_scale(&value("--scale")?)?,
             "--runs" => {
                 config.runs = value("--runs")?
@@ -246,6 +264,7 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments attack-suite [--spec FILE] \
+                     [--mechanism rit|naive|darpa] \
                      [--scale smoke|default|paper] [--runs N] [--seed S] [--out DIR] \
                      [--telemetry FILE]"
                 );
@@ -262,24 +281,38 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
     };
     let installed = telemetry_path(telemetry_flag).and_then(|path| {
         let config_desc = format!(
-            "attack-suite scale={:?} runs={} seed={} spec={}",
+            "attack-suite mechanism={mechanism} scale={:?} runs={} seed={} spec={}",
             config.scale,
             config.runs,
             config.seed,
             spec_text.as_deref().unwrap_or("standard"),
         );
-        install_telemetry(&path, &config_desc, config.seed)
+        install_telemetry(&path, &config_desc, config.seed, mechanism)
     });
     eprintln!(
-        "running attack suite ({} runs/attack, scale {:?}, {})…",
+        "running attack suite vs {mechanism} ({} runs/attack, scale {:?}, {})…",
         config.runs,
         config.scale,
         spec_path
             .as_deref()
             .map_or("standard battery".to_string(), |p| p.display().to_string()),
     );
-    let report = rit_sim::attacks::run(&config, spec_text.as_deref())
-        .map_err(|e| format!("attack suite failed: {e}"))?;
+    // Monomorphized dispatch: each arm instantiates the generic driver with
+    // its concrete mechanism type, keeping RIT's allocation-free hot path.
+    let report = match mechanism {
+        MechanismKind::Rit => rit_sim::attacks::run(&config, spec_text.as_deref()),
+        MechanismKind::Naive => rit_sim::attacks::run_with_mechanism(
+            &config,
+            spec_text.as_deref(),
+            &NaiveKthPriceTree::new(),
+        ),
+        MechanismKind::Darpa => rit_sim::attacks::run_with_mechanism(
+            &config,
+            spec_text.as_deref(),
+            &DarpaReferral::new(),
+        ),
+    }
+    .map_err(|e| format!("attack suite failed: {e}"))?;
     flush_telemetry(installed);
     println!("{}", report.to_markdown());
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
@@ -297,13 +330,84 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_compare(mut it: std::env::Args) -> Result<(), String> {
+    let mut config = compare::CompareConfig {
+        scale: Scale::Default,
+        runs: 20,
+        seed: 2017,
+    };
+    let mut out = PathBuf::from("results");
+    let mut telemetry_flag: Option<PathBuf> = None;
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--quick" => config = compare::CompareConfig::quick(config.seed),
+            "--scale" => config.scale = parse_scale(&value("--scale")?)?,
+            "--runs" => {
+                config.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("bad --runs: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--telemetry" => telemetry_flag = Some(PathBuf::from(value("--telemetry")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments compare [--scale smoke|default|paper] \
+                     [--runs N] [--seed S] [--quick] [--out DIR] [--telemetry FILE]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let installed = telemetry_path(telemetry_flag).and_then(|path| {
+        let config_desc = format!(
+            "compare scale={:?} runs={} seed={}",
+            config.scale, config.runs, config.seed,
+        );
+        install_telemetry(&path, &config_desc, config.seed, MechanismKind::Rit)
+    });
+    eprintln!(
+        "comparing mechanisms ({} runs each, scale {:?})…",
+        config.runs, config.scale
+    );
+    let report = compare::run(&config).map_err(|e| format!("comparison failed: {e}"))?;
+    flush_telemetry(installed);
+    println!("{}", report.to_markdown());
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let csv = out.join("compare.csv");
+    report
+        .write_csv(&csv)
+        .map_err(|e| format!("cannot write {}: {e}", csv.display()))?;
+    println!("wrote {}", csv.display());
+    for row in &report.rows {
+        if !row.all_resisted() {
+            eprintln!(
+                "note: {} lost at least one attack (the paper's §4/§1 counterexamples)",
+                row.kind
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut raw = std::env::args();
     let _argv0 = raw.next();
     if let Some(first) = std::env::args().nth(1) {
-        if first == "attack-suite" {
+        if first == "attack-suite" || first == "compare" {
             raw.next(); // consume the subcommand
-            return match run_attack_suite(raw) {
+            let result = if first == "attack-suite" {
+                run_attack_suite(raw)
+            } else {
+                run_compare(raw)
+            };
+            return match result {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -328,7 +432,7 @@ fn main() -> ExitCode {
             "experiments figures={:?} scale={:?} runs={} seed={} substrate={:?}",
             args.figures, args.scale, args.runs, args.seed, args.substrate,
         );
-        install_telemetry(&path, &config_desc, args.seed)
+        install_telemetry(&path, &config_desc, args.seed, MechanismKind::Rit)
     });
 
     let wants = |id: &str| args.figures.iter().any(|f| f == id);

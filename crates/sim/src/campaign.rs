@@ -11,7 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rit_core::{Rit, RitConfig, RitError, RitWorkspace, RoundLimit};
+use rit_core::{Mechanism, Rit, RitConfig, RitError, RoundLimit};
 use rit_model::workload::WorkloadConfig;
 use rit_model::{Ask, Job, UserProfile};
 use rit_socialgraph::diffusion::{self, DiffusionConfig, DiffusionState};
@@ -150,13 +150,36 @@ pub fn run_with_mode(
     seed: u64,
     mode: RecruitmentMode,
 ) -> Result<CampaignReport, RitError> {
-    assert!(config.universe > 2, "universe too small");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let graph: SocialGraph = generators::barabasi_albert(config.universe, 2, &mut rng);
     let rit = Rit::new(RitConfig {
         round_limit: RoundLimit::until_stall(),
         ..RitConfig::default()
     })?;
+    run_with_mechanism(config, seed, mode, &rit)
+}
+
+/// Runs a campaign under any [`Mechanism`] — the generic core of
+/// [`run_with_mode`]. With the paper's RIT instance this is bit-identical
+/// to the historical RIT-only driver (the mechanism is monomorphized and
+/// the RIT path delegates to `run_with_workspace` draw-for-draw); with a
+/// baseline it answers "what would the same campaign have cost under the
+/// naive §4 or DARPA scheme?".
+///
+/// # Errors
+///
+/// See [`run`].
+///
+/// # Panics
+///
+/// See [`run_with_mode`].
+pub fn run_with_mechanism<M: Mechanism>(
+    config: &CampaignConfig,
+    seed: u64,
+    mode: RecruitmentMode,
+    mechanism: &M,
+) -> Result<CampaignReport, RitError> {
+    assert!(config.universe > 2, "universe too small");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph: SocialGraph = generators::barabasi_albert(config.universe, 2, &mut rng);
     let job =
         Job::uniform(config.workload.num_types, config.tasks_per_type).expect("workload has types");
 
@@ -166,7 +189,7 @@ pub fn run_with_mode(
     let mut cascade = DiffusionState::new(&graph, &[0]);
     let mut cascade_rng = SmallRng::seed_from_u64(seed ^ 0xCAFE);
 
-    let mut ws = RitWorkspace::new(); // auction scratch, reused across epochs
+    let mut ws = M::Workspace::default(); // auction scratch, reused across epochs
     let mut joined: Vec<u32> = Vec::new(); // graph node per member
     let mut profiles: Vec<UserProfile> = Vec::new();
     let mut asks: Vec<Ask> = Vec::new();
@@ -234,10 +257,11 @@ pub fn run_with_mode(
 
         // Run the job.
         let run_seed = rng.gen::<u64>();
-        let outcome = rit.run_with_workspace(
+        let outcome = mechanism.evaluate_in(
             &job,
             &tree,
             &asks,
+            None,
             &mut ws,
             &mut SmallRng::seed_from_u64(run_seed),
         )?;
@@ -270,6 +294,7 @@ pub fn run_with_mode(
                 let e = epochs.last().expect("epoch just pushed");
                 t.emit(
                     &rit_telemetry::JsonObject::new("epoch")
+                        .str_field("mechanism", mechanism.kind().label())
                         .u64_field("epoch", epoch as u64)
                         .u64_field("members", e.members as u64)
                         .bool_field("completed", e.completed)
@@ -384,6 +409,51 @@ mod tests {
             let replay =
                 run_with_mode(&CampaignConfig::small(), seed, RecruitmentMode::Replay).unwrap();
             assert_eq!(incremental, replay, "modes diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generic_rit_campaign_is_bit_identical_to_default_driver() {
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let generic = run_with_mechanism(
+            &CampaignConfig::small(),
+            11,
+            RecruitmentMode::Incremental,
+            &rit,
+        )
+        .unwrap();
+        let direct = run(&CampaignConfig::small(), 11).unwrap();
+        assert_eq!(generic, direct);
+    }
+
+    #[test]
+    fn baseline_campaigns_run_end_to_end() {
+        use rit_core::{DarpaReferral, NaiveKthPriceTree};
+        let config = CampaignConfig::small();
+        for report in [
+            run_with_mechanism(
+                &config,
+                11,
+                RecruitmentMode::Incremental,
+                &NaiveKthPriceTree::new(),
+            )
+            .unwrap(),
+            run_with_mechanism(
+                &config,
+                11,
+                RecruitmentMode::Incremental,
+                &DarpaReferral::new(),
+            )
+            .unwrap(),
+        ] {
+            assert_eq!(report.epochs.len(), config.num_jobs);
+            // The k-th-price allocation fills these small jobs every epoch,
+            // and partial or not, the baselines always pay their winners.
+            assert!(report.epochs.iter().all(|e| e.total_payment > 0.0));
         }
     }
 

@@ -16,6 +16,7 @@
 
 pub mod ablation;
 pub mod bound_check;
+pub mod compare;
 pub mod fig9;
 pub mod quality_screening;
 pub mod robustness;

@@ -367,6 +367,26 @@ pub fn render_outcome(asks: &[Ask], outcome: &rit_core::RitOutcome) -> String {
     out
 }
 
+/// [`render_outcome`] for the normalized [`rit_core::MechanismOutcome`] view —
+/// same schema, so downstream tooling reads RIT and baseline runs alike.
+#[must_use]
+pub fn render_mechanism_outcome(asks: &[Ask], outcome: &rit_core::MechanismOutcome) -> String {
+    let mut out =
+        String::from("user,task_type,allocated,auction_payment,payment,solicitation_reward\n");
+    let rewards = outcome.solicitation_rewards();
+    for (j, a) in asks.iter().enumerate() {
+        out.push_str(&format!(
+            "{j},{},{},{},{},{}\n",
+            a.task_type().raw(),
+            outcome.allocation()[j],
+            outcome.auction_payments()[j],
+            outcome.payment(j),
+            rewards[j]
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

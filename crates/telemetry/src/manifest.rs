@@ -36,11 +36,17 @@ pub struct RunManifest {
     pub seed: u64,
     /// Resolved worker-thread count (after the `RIT_THREADS` override).
     pub threads: usize,
+    /// Label of the mechanism under measurement (`"rit"`, `"naive"`,
+    /// `"darpa"`). Recorded in the event but — like the seed — *not* part
+    /// of the config hash; callers that want the mechanism to discriminate
+    /// hashes put it in `config_desc`.
+    pub mechanism: String,
 }
 
 impl RunManifest {
     /// Builds a manifest, hashing `config_desc` (a canonical description
-    /// of the experiment-defining configuration — no output paths).
+    /// of the experiment-defining configuration — no output paths). The
+    /// mechanism label defaults to `"rit"`; see [`Self::with_mechanism`].
     #[must_use]
     pub fn new(tool: &str, version: &str, config_desc: &str, seed: u64, threads: usize) -> Self {
         Self {
@@ -49,7 +55,15 @@ impl RunManifest {
             config_hash: fnv1a64(config_desc.as_bytes()),
             seed,
             threads,
+            mechanism: "rit".to_string(),
         }
+    }
+
+    /// Sets the mechanism label carried by the manifest event.
+    #[must_use]
+    pub fn with_mechanism(mut self, label: &str) -> Self {
+        self.mechanism = label.to_string();
+        self
     }
 
     /// The manifest's `config_hash` as the zero-padded hex string used in
@@ -68,6 +82,7 @@ impl RunManifest {
             .str_field("config_hash", &self.config_hash_hex())
             .u64_field("seed", self.seed)
             .u64_field("threads", self.threads as u64)
+            .str_field("mechanism", &self.mechanism)
             .finish()
     }
 }
@@ -94,7 +109,16 @@ mod tests {
         assert!(line.contains(&format!("\"config_hash\":\"{}\"", m.config_hash_hex())));
         assert!(line.contains("\"seed\":2017"));
         assert!(line.contains("\"threads\":4"));
+        assert!(line.contains("\"mechanism\":\"rit\""));
         assert_eq!(m.config_hash_hex().len(), 16);
+    }
+
+    #[test]
+    fn mechanism_label_is_recorded_but_not_hashed() {
+        let rit = RunManifest::new("t", "v", "desc", 1, 2);
+        let naive = RunManifest::new("t", "v", "desc", 1, 2).with_mechanism("naive");
+        assert_eq!(rit.config_hash, naive.config_hash);
+        assert!(naive.to_event().contains("\"mechanism\":\"naive\""));
     }
 
     #[test]

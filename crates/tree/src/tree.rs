@@ -57,10 +57,27 @@ impl NodeId {
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_root() {
-            f.pad("root")
-        } else {
-            f.pad(&format!("P{}", self.0))
+            return f.pad("root");
         }
+        // "P" + decimal digits, composed on the stack: node labels are
+        // printed per node in traces and DOT dumps, so `Display` must not
+        // heap-allocate. 1 byte prefix + at most 10 digits of u32.
+        let mut buf = [0u8; 11];
+        buf[0] = b'P';
+        let mut end = buf.len();
+        let mut v = self.0;
+        loop {
+            end -= 1;
+            buf[end] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        buf.copy_within(end.., 1);
+        let len = 1 + buf.len() - end;
+        let s = core::str::from_utf8(&buf[..len]).expect("ASCII digits");
+        f.pad(s)
     }
 }
 
@@ -352,6 +369,18 @@ impl IncentiveTreeBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn node_display_formats_and_pads() {
+        assert_eq!(NodeId::ROOT.to_string(), "root");
+        assert_eq!(NodeId::new(1).to_string(), "P1");
+        assert_eq!(NodeId::new(42).to_string(), "P42");
+        assert_eq!(NodeId::new(u32::MAX).to_string(), "P4294967295");
+        // Width/alignment flags must keep working through `f.pad`.
+        assert_eq!(format!("{:>6}", NodeId::new(7)), "    P7");
+        assert_eq!(format!("{:<6}|", NodeId::new(123)), "P123  |");
+        assert_eq!(format!("{:^6}", NodeId::ROOT), " root ");
+    }
 
     /// root ─ 1 ─ 2 ─ 4
     ///      │    └ 3

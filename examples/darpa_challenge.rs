@@ -11,7 +11,8 @@
 //! cargo run --example darpa_challenge
 //! ```
 
-use rit::core::{darpa, payment};
+use rit::core::payment;
+use rit::darpa;
 use rit::model::{Ask, TaskTypeId};
 use rit::tree::{generate, IncentiveTree, NodeId};
 

@@ -12,8 +12,8 @@
 //! cargo run --example design_challenges
 //! ```
 
-use rit::core::naive;
 use rit::model::{Ask, Job, TaskTypeId};
+use rit::naive;
 use rit::tree::{generate, IncentiveTree, NodeId};
 
 fn t0() -> TaskTypeId {

@@ -51,6 +51,47 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # Comparing mechanisms
+//!
+//! The [`Mechanism`] trait runs RIT and both paper baselines — the §4 naive
+//! `k`-th-price + contribution-tree combination ([`NaiveKthPriceTree`]) and
+//! the §1 DARPA Network Challenge referral scheme ([`DarpaReferral`]) —
+//! through one recruit→auction→payment pipeline, normalized into a common
+//! [`MechanismOutcome`] view:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rit::core::{Rit, RitConfig, RoundLimit};
+//! use rit::model::Job;
+//! use rit::sim::scenario::{Scenario, ScenarioConfig};
+//! use rit::{DarpaReferral, Mechanism, MechanismKind, NaiveKthPriceTree};
+//!
+//! let scenario = Scenario::generate(&ScenarioConfig::paper(600), 9);
+//! let job = Job::uniform(4, 40)?;
+//! let rit = Rit::new(RitConfig {
+//!     round_limit: RoundLimit::until_stall(),
+//!     ..RitConfig::default()
+//! })?;
+//! for kind in MechanismKind::ALL {
+//!     let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+//!     let outcome = match kind {
+//!         MechanismKind::Rit => rit.evaluate(&job, &scenario.tree, &scenario.asks, &mut rng),
+//!         MechanismKind::Naive => {
+//!             NaiveKthPriceTree::new().evaluate(&job, &scenario.tree, &scenario.asks, &mut rng)
+//!         }
+//!         MechanismKind::Darpa => {
+//!             DarpaReferral::new().evaluate(&job, &scenario.tree, &scenario.asks, &mut rng)
+//!         }
+//!     }?;
+//!     println!("{kind}: total payment {:.2}", outcome.total_payment());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The baselines' internals live in [`core::naive`], [`core::darpa`], and the
+//! underlying [`auction::kth_price`] auction (also re-exported here as
+//! [`naive`], [`darpa`], and [`kth_price`]).
+//!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
 
@@ -64,3 +105,7 @@ pub use rit_sim as sim;
 pub use rit_socialgraph as socialgraph;
 pub use rit_telemetry as telemetry;
 pub use rit_tree as tree;
+
+pub use rit_auction::kth_price;
+pub use rit_core::{darpa, naive};
+pub use rit_core::{DarpaReferral, Mechanism, MechanismKind, MechanismOutcome, NaiveKthPriceTree};
