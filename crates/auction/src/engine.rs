@@ -247,6 +247,127 @@ impl CompactAsks {
             self.type_start[type_index + 1] as usize,
         )
     }
+
+    /// Splits the table into one independently mutable [`TypeAsksView`] per
+    /// type segment.
+    ///
+    /// The per-type segments of `rem` (and the per-type `active` counters)
+    /// tile their arrays exactly, so the views are disjoint and can be
+    /// handed to different worker threads; `values`/`owners`/`sorted` are
+    /// shared read-only. Running [`run_round_type`] on view `t` consumes
+    /// randomness and mutates state exactly like [`run_round`] on
+    /// `type_index = t` would.
+    pub fn split_types(&mut self) -> Vec<TypeAsksView<'_>> {
+        let num_types = self.num_types();
+        let values: &[f64] = &self.values;
+        let owners: &[u32] = &self.owners;
+        let mut sorted_rest: &[u32] = &self.sorted;
+        let mut rem_rest: &mut [u64] = &mut self.rem;
+        let mut active_rest: &mut [u64] = &mut self.active;
+        let mut views = Vec::with_capacity(num_types);
+        for t in 0..num_types {
+            let lo = self.type_start[t] as usize;
+            let hi = self.type_start[t + 1] as usize;
+            let (sorted_seg, s_rest) = sorted_rest.split_at(hi - lo);
+            sorted_rest = s_rest;
+            let (rem_seg, r_rest) = rem_rest.split_at_mut(hi - lo);
+            rem_rest = r_rest;
+            let (active_seg, a_rest) = active_rest.split_at_mut(1);
+            active_rest = a_rest;
+            views.push(TypeAsksView {
+                type_index: t,
+                values,
+                owners,
+                sorted: sorted_seg,
+                rem: rem_seg,
+                lo: lo as u32,
+                active: &mut active_seg[0],
+            });
+        }
+        views
+    }
+}
+
+/// A mutable window onto one type segment of a [`CompactAsks`] table,
+/// produced by [`CompactAsks::split_types`].
+///
+/// Views of different types borrow disjoint mutable state, so a set of
+/// views can be distributed across threads (`TypeAsksView` is `Send`);
+/// each offers the same read/consume surface [`run_round`] uses, addressed
+/// by **global** run id exactly like the parent table.
+#[derive(Debug)]
+pub struct TypeAsksView<'a> {
+    type_index: usize,
+    values: &'a [f64],
+    owners: &'a [u32],
+    sorted: &'a [u32],
+    rem: &'a mut [u64],
+    lo: u32,
+    active: &'a mut u64,
+}
+
+impl TypeAsksView<'_> {
+    /// The type segment this view covers.
+    #[must_use]
+    pub fn type_index(&self) -> usize {
+        self.type_index
+    }
+
+    /// The global run-id range of this view's segment.
+    #[must_use]
+    pub fn run_range(&self) -> std::ops::Range<u32> {
+        self.lo..self.lo + self.rem.len() as u32
+    }
+
+    /// Remaining (not yet won) units of this type.
+    #[must_use]
+    pub fn active_units(&self) -> u64 {
+        *self.active
+    }
+
+    /// The user owning run `run` (global run id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn owner(&self, run: u32) -> usize {
+        self.owners[run as usize] as usize
+    }
+
+    /// The unit value of run `run` (global run id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn value(&self, run: u32) -> f64 {
+        self.values[run as usize]
+    }
+
+    /// Units of run `run` (global run id, within this segment) not yet won.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is outside this view's segment.
+    #[must_use]
+    pub fn remaining(&self, run: u32) -> u64 {
+        self.rem[(run - self.lo) as usize]
+    }
+
+    /// Records that one unit of run `run` (global run id, within this
+    /// segment) was won; mirrors [`CompactAsks::consume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the run is already exhausted, and in all
+    /// builds if `run` is outside this view's segment.
+    pub fn consume(&mut self, run: u32) {
+        let i = (run - self.lo) as usize;
+        debug_assert!(self.rem[i] > 0, "consuming an exhausted run");
+        self.rem[i] -= 1;
+        *self.active -= 1;
+    }
 }
 
 /// Reusable scratch buffers for [`run_round`]. After the first round of a
@@ -313,9 +434,67 @@ pub fn run_round<R: Rng + ?Sized>(
     ws: &mut AuctionWorkspace,
     rng: &mut R,
 ) -> RoundReport {
+    let n = asks.active_units(type_index);
+    let (lo, hi) = asks.type_range(type_index);
+    run_round_core(
+        asks.values.as_slice(),
+        &asks.sorted[lo..hi],
+        &asks.rem[lo..hi],
+        lo as u32,
+        n,
+        q,
+        m_i,
+        rule,
+        ws,
+        rng,
+    )
+}
+
+/// Runs one CRA round on a single-type view, exactly as [`run_round`] would
+/// on the parent table's corresponding `type_index` — same winners (global
+/// run ids in [`AuctionWorkspace::winners`]), same report, same randomness
+/// consumed.
+#[must_use]
+pub fn run_round_type<R: Rng + ?Sized>(
+    view: &TypeAsksView<'_>,
+    q: u64,
+    m_i: u64,
+    rule: SelectionRule,
+    ws: &mut AuctionWorkspace,
+    rng: &mut R,
+) -> RoundReport {
+    run_round_core(
+        view.values,
+        view.sorted,
+        view.rem,
+        view.lo,
+        *view.active,
+        q,
+        m_i,
+        rule,
+        ws,
+        rng,
+    )
+}
+
+/// Shared round body: one type segment, addressed by the segment's sorted
+/// run ids (global), its local `rem` slice (`rem_seg[r - lo]`), and the
+/// global `values` table.
+#[allow(clippy::too_many_arguments)]
+fn run_round_core<R: Rng + ?Sized>(
+    values: &[f64],
+    sorted_seg: &[u32],
+    rem_seg: &[u64],
+    lo: u32,
+    n: u64,
+    q: u64,
+    m_i: u64,
+    rule: SelectionRule,
+    ws: &mut AuctionWorkspace,
+    rng: &mut R,
+) -> RoundReport {
     ws.chosen.clear();
     ws.eligible.clear();
-    let n = asks.active_units(type_index);
     if n == 0 || q == 0 {
         return RoundReport {
             unit_asks: n,
@@ -324,7 +503,6 @@ pub fn run_round<R: Rng + ?Sized>(
             diagnostics: CraDiagnostics::default(),
         };
     }
-    let (lo, hi) = asks.type_range(type_index);
     let qm = usize::try_from(q.saturating_add(m_i)).unwrap_or(usize::MAX);
 
     // Lines 2-3: sample each unit with probability 1/(q+mᵢ) in the same
@@ -332,12 +510,11 @@ pub fn run_round<R: Rng + ?Sized>(
     let sample_p = 1.0 / qm as f64;
     let mut s = f64::INFINITY;
     let mut sample_size = 0usize;
-    for r in lo..hi {
-        let rem = asks.rem[r];
+    for (i, &rem) in rem_seg.iter().enumerate() {
         if rem == 0 {
             continue;
         }
-        let v = asks.values[r];
+        let v = values[lo as usize + i];
         for _ in 0..rem {
             if rng.gen_bool(sample_p) {
                 sample_size += 1;
@@ -364,11 +541,11 @@ pub fn run_round<R: Rng + ?Sized>(
     // the value-sorted runs (all units ≤ s precede any unit > s).
     let lattice = Lattice::random(rng);
     let mut z_s = 0u64;
-    for &ri in &asks.sorted[lo..hi] {
-        if asks.values[ri as usize] > s {
+    for &ri in sorted_seg {
+        if values[ri as usize] > s {
             break;
         }
-        z_s += asks.rem[ri as usize];
+        z_s += rem_seg[(ri - lo) as usize];
     }
     let n_s = lattice.consensus_count(z_s);
     let n_s_usize = usize::try_from(n_s).unwrap_or(usize::MAX);
@@ -380,11 +557,11 @@ pub fn run_round<R: Rng + ?Sized>(
         // so rank below the threshold carries no information.
         let z = usize::try_from(z_s).unwrap_or(usize::MAX);
         let mut left = z;
-        for &ri in &asks.sorted[lo..hi] {
+        for &ri in sorted_seg {
             if left == 0 {
                 break;
             }
-            let c = usize::try_from(asks.rem[ri as usize])
+            let c = usize::try_from(rem_seg[(ri - lo) as usize])
                 .unwrap_or(usize::MAX)
                 .min(left);
             for _ in 0..c {
@@ -405,11 +582,11 @@ pub fn run_round<R: Rng + ?Sized>(
         }
     } else if n_s_usize <= qm {
         let mut left = take;
-        for &ri in &asks.sorted[lo..hi] {
+        for &ri in sorted_seg {
             if left == 0 {
                 break;
             }
-            let c = usize::try_from(asks.rem[ri as usize])
+            let c = usize::try_from(rem_seg[(ri - lo) as usize])
                 .unwrap_or(usize::MAX)
                 .min(left);
             for _ in 0..c {
@@ -420,8 +597,8 @@ pub fn run_round<R: Rng + ?Sized>(
     } else {
         let keep_p = qm as f64 / (2.0 * n_s as f64);
         let mut left = take;
-        for &ri in &asks.sorted[lo..hi] {
-            let mut rem = usize::try_from(asks.rem[ri as usize]).unwrap_or(usize::MAX);
+        for &ri in sorted_seg {
+            let mut rem = usize::try_from(rem_seg[(ri - lo) as usize]).unwrap_or(usize::MAX);
             while rem > 0 && left > 0 {
                 if rng.gen_bool(keep_p) {
                     ws.chosen.push(ri);
@@ -442,7 +619,6 @@ pub fn run_round<R: Rng + ?Sized>(
         if rule == SelectionRule::UniformEligible {
             // Restore ascending value order so the fallback keeps the
             // paper's "smallest q+mᵢ" semantics (individual rationality).
-            let values = &asks.values;
             ws.chosen.sort_unstable_by(|&x, &y| {
                 values[x as usize]
                     .partial_cmp(&values[y as usize])
@@ -450,7 +626,7 @@ pub fn run_round<R: Rng + ?Sized>(
                     .then(x.cmp(&y))
             });
         }
-        price = asks.values[ws.chosen[qm] as usize];
+        price = values[ws.chosen[qm] as usize];
         price_from_fallback = true;
         ws.chosen.truncate(qm);
     }
@@ -597,6 +773,43 @@ mod tests {
         for r in 0..3 {
             assert_eq!(c.owner(r), r as usize);
             assert_eq!(c.remaining(r), 1);
+        }
+    }
+
+    #[test]
+    fn split_views_match_run_round_exactly() {
+        let asks: Vec<Ask> = (0..40u32)
+            .map(|i| Ask::new(t(i % 3), 1 + u64::from(i % 4), 0.2 + f64::from(i) * 0.17).unwrap())
+            .collect();
+        let mut serial = CompactAsks::new();
+        serial.rebuild(3, &asks, None);
+        let mut split = serial.clone();
+        let mut views = split.split_types();
+        assert_eq!(views.len(), 3);
+        let mut ws_a = AuctionWorkspace::new();
+        let mut ws_b = AuctionWorkspace::new();
+        for round in 0..4u64 {
+            for t_idx in 0..3usize {
+                let view = &mut views[t_idx];
+                assert_eq!(view.type_index(), t_idx);
+                for rule in [SelectionRule::SmallestFirst, SelectionRule::UniformEligible] {
+                    let seed = 100 + 17 * round + t_idx as u64;
+                    let ra = run_round(&serial, t_idx, 5, 8, rule, &mut ws_a, &mut rng(seed));
+                    let rb = run_round_type(view, 5, 8, rule, &mut ws_b, &mut rng(seed));
+                    assert_eq!(ra, rb);
+                    assert_eq!(ws_a.winners(), ws_b.winners());
+                }
+                // Apply the last round's winners through both surfaces.
+                let winners: Vec<u32> = ws_a.winners().to_vec();
+                for &r in &winners {
+                    assert_eq!(serial.owner(r), view.owner(r));
+                    assert_eq!(serial.value(r), view.value(r));
+                    serial.consume(t_idx, r);
+                    view.consume(r);
+                    assert_eq!(serial.remaining(r), view.remaining(r));
+                }
+                assert_eq!(serial.active_units(t_idx), view.active_units());
+            }
         }
     }
 

@@ -1,0 +1,355 @@
+//! Million-user single-run scale bench: substrate generation, the parallel
+//! per-type auction phase, and payment determination, timed end to end.
+//!
+//! ```text
+//! bench_scale [--quick] [--users N] [--reps N] [--seed S] [--threads T] [--out FILE]
+//! ```
+//!
+//! One scenario — a Watts–Strogatz small world (`k = 6`, `β = 0.1`) with a
+//! spanning-forest incentive tree and an 8-type workload — is run through
+//! the full mechanism at two thread counts:
+//!
+//! * `auction_serial` — the per-type-streams phase on 1 thread;
+//! * `auction_parallel` — the same phase on the max thread count
+//!   (`--threads`, else `RIT_THREADS`, else available parallelism).
+//!
+//! Both phases use [`rit_core::RngMode::PerTypeStreams`] derived RNG
+//! streams, so their results must be **bit-identical** — asserted every
+//! repetition before any number is reported. The report (`BENCH_scale.json`,
+//! `schema_version` 1) carries per-phase wall-clock samples with medians,
+//! the serial/parallel auction speedup, a peak-RSS reading from
+//! `/proc/self/status` (null off Linux), and the manifest `config_hash`
+//! (which covers users/tasks/seed/scenario shape — not output paths or
+//! thread counts).
+//!
+//! `--quick` drops to 100 000 users and one repetition — the CI smoke arm.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rit_core::{NoopObserver, Rit, RitConfig, RitWorkspace, RngMode, RoundLimit, WorkspacePool};
+use rit_model::Job;
+use rit_sim::runner::default_threads;
+use rit_sim::scenario::{GraphModel, Scenario, ScenarioConfig};
+use rit_telemetry::RunManifest;
+
+const FULL_USERS: usize = 1_000_000;
+const QUICK_USERS: usize = 100_000;
+const NUM_TYPES: usize = 8;
+
+#[derive(Clone, Copy, Debug)]
+struct Args {
+    quick: bool,
+    users: usize,
+    reps: usize,
+    seed: u64,
+    threads: usize,
+}
+
+struct PhaseReport {
+    name: &'static str,
+    threads: usize,
+    wall_s: Vec<f64>,
+}
+
+impl PhaseReport {
+    fn p50_wall_s(&self) -> f64 {
+        let mut sorted = self.wall_s.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+}
+
+fn parse_args() -> Result<(Args, PathBuf), String> {
+    let mut args = Args {
+        quick: false,
+        users: FULL_USERS,
+        reps: 3,
+        seed: 2017,
+        threads: default_threads(),
+    };
+    let mut users_overridden = false;
+    let mut out = PathBuf::from("BENCH_scale.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.reps = 1;
+            }
+            "--users" => {
+                args.users = value("--users")?
+                    .parse()
+                    .map_err(|e| format!("bad --users: {e}"))?;
+                users_overridden = true;
+                if args.users < 100 {
+                    return Err("--users must be at least 100".into());
+                }
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+                if args.reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_scale [--quick] [--users N] [--reps N] [--seed S] \
+                     [--threads T] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.quick && !users_overridden {
+        args.users = QUICK_USERS;
+    }
+    Ok((args, out))
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_report(
+    args: &Args,
+    tasks_per_type: u64,
+    phases: &[PhaseReport],
+    speedup: f64,
+    config_hash_hex: &str,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"bench\": \"bench_scale\",");
+    let _ = writeln!(s, "  \"quick\": {},", args.quick);
+    let _ = writeln!(s, "  \"users\": {},", args.users);
+    let _ = writeln!(s, "  \"task_types\": {NUM_TYPES},");
+    let _ = writeln!(s, "  \"tasks_per_type\": {tasks_per_type},");
+    let _ = writeln!(s, "  \"seed\": {},", args.seed);
+    let _ = writeln!(s, "  \"reps\": {},", args.reps);
+    let _ = writeln!(s, "  \"threads_max\": {},", args.threads);
+    let _ = writeln!(s, "  \"rng_mode\": \"{}\",", RngMode::PerTypeStreams);
+    let _ = writeln!(s, "  \"config_hash\": \"{config_hash_hex}\",");
+    let _ = writeln!(s, "  \"bit_identical\": true,");
+    let _ = writeln!(s, "  \"auction_speedup\": {},", json_f64(speedup));
+    let _ = writeln!(
+        s,
+        "  \"peak_rss_bytes\": {},",
+        peak_rss_bytes().map_or("null".to_string(), |b| b.to_string())
+    );
+    s.push_str("  \"phases\": [\n");
+    for (i, phase) in phases.iter().enumerate() {
+        let walls: Vec<String> = phase.wall_s.iter().map(|&w| json_f64(w)).collect();
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"wall_s\": [{}], \"p50_wall_s\": {}}}",
+            phase.name,
+            phase.threads,
+            walls.join(", "),
+            json_f64(phase.p50_wall_s())
+        );
+        s.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let (args, out) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // ~0.4% of the population per type keeps until-stall round counts in the
+    // dozens at every scale while still allocating hundreds of thousands of
+    // tasks at the full million users.
+    let tasks_per_type = (args.users as u64 / 250).max(1);
+    let job = Job::from_counts(vec![tasks_per_type; NUM_TYPES]).expect("non-empty job");
+    let mut config = ScenarioConfig::paper(args.users);
+    config.workload.num_types = NUM_TYPES;
+    config.graph = GraphModel::WattsStrogatz { k: 6, beta: 0.1 };
+
+    let config_desc = format!(
+        "bench_scale users={} types={NUM_TYPES} tasks_per_type={tasks_per_type} seed={} \
+         graph=ws(k=6,beta=0.1) rounds=until_stall rng=streams",
+        args.users, args.seed
+    );
+    let manifest = RunManifest::new(
+        "bench_scale",
+        env!("CARGO_PKG_VERSION"),
+        &config_desc,
+        args.seed,
+        args.threads,
+    )
+    .with_rng_mode(RngMode::PerTypeStreams.as_str());
+
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .expect("valid config");
+
+    eprintln!(
+        "bench_scale: {} users, {NUM_TYPES} types x {tasks_per_type} tasks, {} reps, \
+         1 vs {} threads",
+        args.users, args.reps, args.threads
+    );
+
+    let mut substrate = PhaseReport {
+        name: "substrate",
+        threads: 1,
+        wall_s: Vec::with_capacity(args.reps),
+    };
+    let mut auction_serial = PhaseReport {
+        name: "auction_serial",
+        threads: 1,
+        wall_s: Vec::with_capacity(args.reps),
+    };
+    let mut auction_parallel = PhaseReport {
+        name: "auction_parallel",
+        threads: args.threads,
+        wall_s: Vec::with_capacity(args.reps),
+    };
+    let mut payment = PhaseReport {
+        name: "payment",
+        threads: 1,
+        wall_s: Vec::with_capacity(args.reps),
+    };
+
+    // Warm workspaces persist across repetitions: after rep 1 the auction
+    // phases reuse capacity, so later reps time the algorithm, not malloc.
+    let mut serial_ws = RitWorkspace::new();
+    let mut parallel_ws = RitWorkspace::new();
+    let pool = WorkspacePool::new();
+
+    for rep in 0..args.reps {
+        let start = Instant::now();
+        let scenario = Scenario::generate(&config, args.seed);
+        substrate.wall_s.push(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let serial = rit
+            .run_auction_phase_streams_with(
+                &job,
+                &scenario.asks,
+                args.seed,
+                1,
+                &mut serial_ws,
+                &pool,
+                &mut NoopObserver,
+            )
+            .expect("auction phase runs");
+        auction_serial.wall_s.push(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let parallel = rit
+            .run_auction_phase_streams_with(
+                &job,
+                &scenario.asks,
+                args.seed,
+                args.threads,
+                &mut parallel_ws,
+                &pool,
+                &mut NoopObserver,
+            )
+            .expect("auction phase runs");
+        auction_parallel.wall_s.push(start.elapsed().as_secs_f64());
+
+        // The determinism contract this bench rides on: same derived
+        // streams, any thread count, same bits.
+        assert_eq!(
+            serial, parallel,
+            "per-type-streams phase diverged between 1 and {} threads",
+            args.threads
+        );
+
+        let start = Instant::now();
+        let outcome = rit.determine_final_payments_with(
+            &scenario.tree,
+            &scenario.asks,
+            parallel,
+            &mut parallel_ws,
+        );
+        payment.wall_s.push(start.elapsed().as_secs_f64());
+
+        eprintln!(
+            "  rep {}: substrate {:.3}s, auction {:.3}s -> {:.3}s, payment {:.3}s, \
+             allocated {} of {}",
+            rep + 1,
+            substrate.wall_s[rep],
+            auction_serial.wall_s[rep],
+            auction_parallel.wall_s[rep],
+            payment.wall_s[rep],
+            outcome.total_allocated(),
+            job.total_tasks(),
+        );
+    }
+
+    let speedup = auction_serial.p50_wall_s() / auction_parallel.p50_wall_s();
+    let phases = [substrate, auction_serial, auction_parallel, payment];
+    let report = render_report(
+        &args,
+        tasks_per_type,
+        &phases,
+        speedup,
+        &manifest.config_hash_hex(),
+    );
+    match std::fs::write(&out, &report) {
+        Ok(()) => {
+            println!("{report}");
+            eprintln!(
+                "auction speedup at {} threads: {speedup:.2}x; wrote {}",
+                args.threads,
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

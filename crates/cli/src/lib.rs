@@ -31,7 +31,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rit_core::{
     recruitment, DarpaReferral, Mechanism, MechanismKind, NaiveKthPriceTree, Rit, RitConfig,
-    RitError, RitWorkspace, RoundLimit,
+    RitError, RitWorkspace, RngMode, RoundLimit, WorkspacePool,
 };
 use rit_sim::io;
 use rit_sim::scenario::{Scenario, ScenarioConfig};
@@ -55,6 +55,7 @@ pub enum Command {
         seed: u64,
         best_effort: bool,
         mechanism: MechanismKind,
+        rng_mode: RngMode,
         out: Option<PathBuf>,
         costs: Option<PathBuf>,
     },
@@ -120,6 +121,17 @@ impl Command {
             _ => MechanismKind::Rit,
         }
     }
+
+    /// The RNG mode the invocation runs under (recorded in the telemetry
+    /// run manifest). Only `run` accepts `--rng-mode`; everything else uses
+    /// the legacy single stream.
+    #[must_use]
+    pub fn rng_mode(&self) -> RngMode {
+        match self {
+            Self::Run { rng_mode, .. } => *rng_mode,
+            _ => RngMode::SharedLegacy,
+        }
+    }
 }
 
 /// Errors of parsing or executing a CLI invocation.
@@ -175,7 +187,7 @@ USAGE:
   rit generate --users N [--types M] [--tasks T] [--seed S] --out DIR
   rit run --asks FILE --tree FILE --job FILE [--h 0.8] [--seed S]
           [--best-effort] [--mechanism rit|naive|darpa]
-          [--out FILE] [--costs FILE]
+          [--rng-mode legacy|streams] [--out FILE] [--costs FILE]
   rit estimate --job FILE [--k-max 20] [--safety 1.3]
   rit trace --asks FILE --job FILE [--seed S]
   rit budget --job FILE [--k-max 20] [--h 0.8]
@@ -282,6 +294,10 @@ impl Command {
                     Some(v) => v.parse().map_err(CliError::Usage)?,
                     None => MechanismKind::Rit,
                 },
+                rng_mode: match cur.flag_value("--rng-mode")? {
+                    Some(v) => v.parse().map_err(CliError::Usage)?,
+                    None => RngMode::SharedLegacy,
+                },
                 out: cur.flag_value("--out")?.map(PathBuf::from),
                 costs: cur.flag_value("--costs")?.map(PathBuf::from),
             },
@@ -387,6 +403,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             seed,
             best_effort,
             mechanism,
+            rng_mode,
             out,
             costs,
         } => run(
@@ -397,6 +414,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *seed,
             *best_effort,
             *mechanism,
+            *rng_mode,
             out.as_deref(),
             costs.as_deref(),
         ),
@@ -744,12 +762,19 @@ fn run(
     seed: u64,
     best_effort: bool,
     mechanism: MechanismKind,
+    rng_mode: RngMode,
     out: Option<&Path>,
     costs_path: Option<&Path>,
 ) -> Result<String, CliError> {
     let asks = io::parse_asks(&fs::read_to_string(asks_path)?)?;
     let tree = io::parse_tree(&fs::read_to_string(tree_path)?)?;
     let job = io::parse_job(&fs::read_to_string(job_path)?)?;
+
+    if rng_mode == RngMode::PerTypeStreams && mechanism != MechanismKind::Rit {
+        return Err(CliError::Usage(format!(
+            "--rng-mode streams only applies to the rit mechanism, not {mechanism}"
+        )));
+    }
 
     // Baselines have no recruitment knob (`--h`) and no round limit; they run
     // through the generic `Mechanism` pipeline and render the normalized view.
@@ -789,10 +814,9 @@ fn run(
         round_limit,
         ..RitConfig::default()
     })?;
-    let mut rng = SmallRng::seed_from_u64(seed);
     // With global telemetry installed, ride the observer hook through the
     // auction phase; observers draw no randomness, so the outcome is
-    // bit-identical to the plain `Rit::run` path below.
+    // bit-identical to the plain seeded path below.
     let outcome = match rit_telemetry::active() {
         Some(t) => {
             if asks.len() != tree.num_users() {
@@ -803,16 +827,28 @@ fn run(
                 .into());
             }
             let mut ws = RitWorkspace::new();
-            let phase = rit.run_auction_phase_with(
-                &job,
-                &asks,
-                &mut ws,
-                &mut rit_telemetry::TelemetryObserver::new(t),
-                &mut rng,
-            )?;
-            rit.determine_final_payments(&tree, &asks, phase)
+            let mut observer = rit_telemetry::TelemetryObserver::new(t);
+            let phase = match rng_mode {
+                RngMode::SharedLegacy => {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    rit.run_auction_phase_with(&job, &asks, &mut ws, &mut observer, &mut rng)?
+                }
+                RngMode::PerTypeStreams => {
+                    let pool = WorkspacePool::new();
+                    rit.run_auction_phase_streams_with(
+                        &job,
+                        &asks,
+                        seed,
+                        rit_core::streams::default_threads(),
+                        &mut ws,
+                        &pool,
+                        &mut observer,
+                    )?
+                }
+            };
+            rit.determine_final_payments_with(&tree, &asks, phase, &mut ws)
         }
-        None => rit.run(&job, &tree, &asks, &mut rng)?,
+        None => rit.run_seeded(&job, &tree, &asks, rng_mode, seed)?,
     };
 
     let mut summary = String::new();
@@ -991,16 +1027,45 @@ mod tests {
                 h,
                 best_effort,
                 mechanism,
+                rng_mode,
                 out,
                 ..
             } => {
                 assert_eq!(h, 0.9);
                 assert!(best_effort);
                 assert_eq!(mechanism, MechanismKind::Rit);
+                assert_eq!(rng_mode, RngMode::SharedLegacy);
                 assert_eq!(out, Some(PathBuf::from("o.csv")));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_run_rng_mode_flag() {
+        let base = [
+            "run", "--asks", "a.csv", "--tree", "t.csv", "--job", "j.csv",
+        ];
+        for (label, mode) in [
+            ("legacy", RngMode::SharedLegacy),
+            ("shared", RngMode::SharedLegacy),
+            ("streams", RngMode::PerTypeStreams),
+            ("per-type", RngMode::PerTypeStreams),
+        ] {
+            let mut argv = base.to_vec();
+            argv.extend(["--rng-mode", label]);
+            let cmd = Command::parse(&args(&argv)).unwrap();
+            assert_eq!(cmd.rng_mode(), mode, "--rng-mode {label}");
+        }
+        let mut argv = base.to_vec();
+        argv.extend(["--rng-mode", "turbo"]);
+        assert!(matches!(
+            Command::parse(&args(&argv)),
+            Err(CliError::Usage(msg)) if msg.contains("turbo")
+        ));
+        // Commands without the flag report the legacy default.
+        let cmd = Command::parse(&args(&["estimate", "--job", "j.csv"])).unwrap();
+        assert_eq!(cmd.rng_mode(), RngMode::SharedLegacy);
     }
 
     #[test]

@@ -23,7 +23,8 @@ fn install_telemetry(args: &[String], command: &rit_cli::Command) -> Option<&'st
         command.seed().unwrap_or(0),
         rit_sim::runner::default_threads(),
     )
-    .with_mechanism(command.mechanism().label());
+    .with_mechanism(command.mechanism().label())
+    .with_rng_mode(command.rng_mode().as_str());
     match Telemetry::with_sink(manifest, std::path::Path::new(&path)) {
         Ok(t) => match rit_telemetry::install(t) {
             Ok(installed) => Some(installed),

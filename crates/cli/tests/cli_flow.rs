@@ -5,7 +5,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use rit_cli::{execute, Command};
-use rit_core::MechanismKind;
+use rit_core::{MechanismKind, RngMode};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("rit_cli_test_{tag}_{}", std::process::id()));
@@ -50,6 +50,7 @@ fn generate_run_round_trip() {
         seed: 3,
         best_effort: true,
         mechanism: MechanismKind::Rit,
+        rng_mode: RngMode::SharedLegacy,
         out: Some(outcome_path.clone()),
         costs: Some(dir.join("costs.csv")),
     })
@@ -90,7 +91,7 @@ fn run_is_deterministic_per_seed() {
         out: dir.clone(),
     })
     .unwrap();
-    let run = |seed: u64, tag: &str| {
+    let run = |seed: u64, rng_mode: RngMode, tag: &str| {
         let path = dir.join(format!("out_{tag}.csv"));
         execute(&Command::Run {
             asks: dir.join("asks.csv"),
@@ -100,17 +101,23 @@ fn run_is_deterministic_per_seed() {
             seed,
             best_effort: true,
             mechanism: MechanismKind::Rit,
+            rng_mode,
             out: Some(path.clone()),
             costs: None,
         })
         .unwrap();
         fs::read_to_string(path).unwrap()
     };
-    let a = run(9, "a");
-    let b = run(9, "b");
-    let c = run(10, "c");
+    let a = run(9, RngMode::SharedLegacy, "a");
+    let b = run(9, RngMode::SharedLegacy, "b");
+    let c = run(10, RngMode::SharedLegacy, "c");
     assert_eq!(a, b);
     assert_ne!(a, c);
+    // Per-type streams: equally deterministic per seed, but a different
+    // (equally valid) draw order than the legacy shared stream.
+    let s1 = run(9, RngMode::PerTypeStreams, "s1");
+    let s2 = run(9, RngMode::PerTypeStreams, "s2");
+    assert_eq!(s1, s2);
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -135,6 +142,7 @@ fn run_baselines_through_the_generic_pipeline() {
             seed: 7,
             best_effort: false,
             mechanism: kind,
+            rng_mode: RngMode::SharedLegacy,
             out: Some(path.clone()),
             costs: None,
         })
@@ -277,6 +285,7 @@ fn missing_files_surface_cleanly() {
         seed: 1,
         best_effort: false,
         mechanism: MechanismKind::Rit,
+        rng_mode: RngMode::SharedLegacy,
         out: None,
         costs: None,
     })
@@ -319,6 +328,7 @@ fn strict_mode_reports_infeasible_guarantee() {
         seed: 1,
         best_effort: false,
         mechanism: MechanismKind::Rit,
+        rng_mode: RngMode::SharedLegacy,
         out: None,
         costs: None,
     })

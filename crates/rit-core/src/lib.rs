@@ -64,6 +64,7 @@
 //! | [`config`] | `H`, log base, round-budget policy |
 //! | [`outcome`] | `x`, `p^A`, `p`, utilities |
 //! | [`observer`] | zero-cost hooks into the auction-phase engine loop |
+//! | [`streams`] | per-type RNG streams for the parallel auction phase |
 //! | [`workspace`] | reusable scratch buffers for allocation-free reruns |
 //! | [`trace`] | per-round execution diagnostics of the auction phase |
 //! | [`recruitment`] | Remark 6.1 solicitation thresholds |
@@ -90,6 +91,7 @@ pub mod quality;
 pub mod recruitment;
 pub mod referral;
 mod rit;
+pub mod streams;
 pub mod sybil_exec;
 pub mod trace;
 pub mod workspace;
@@ -100,5 +102,6 @@ pub use mechanism::{DarpaReferral, Mechanism, MechanismKind, MechanismOutcome, N
 pub use observer::{AuctionObserver, NoopObserver, ObserverChain};
 pub use outcome::RitOutcome;
 pub use rit::{AuctionPhaseResult, Rit};
+pub use streams::RngMode;
 pub use trace::TraceObserver;
 pub use workspace::{PooledWorkspace, RitWorkspace, WorkspacePool};

@@ -38,6 +38,35 @@ pub fn solicitation_weight(depth: u32) -> f64 {
     0.5f64.powi(depth.min(1100) as i32) // beyond ~1074 the value underflows to 0 anyway
 }
 
+/// Reusable scratch buffers for [`determine_payments_with`]: the Euler-tour
+/// query buckets and running-sum snapshots that [`determine_payments`]
+/// would otherwise allocate per call. Once warm for a scenario shape, the
+/// payment phase allocates only its output vector — the same discipline
+/// the auction phase keeps (pinned by the `alloc_counting` tests).
+#[derive(Clone, Debug, Default)]
+pub struct PaymentWorkspace {
+    /// CSR bucket offsets over Euler positions.
+    bucket_start: Vec<u32>,
+    /// Bucket fill cursors (counting-sort scratch).
+    cursor: Vec<u32>,
+    /// Packed `(user, end-flag)` queries, bucketed by Euler position.
+    query_list: Vec<u32>,
+    /// Running weighted sum per task type.
+    acc_type: Vec<f64>,
+    /// Per-user snapshot of the total running sum at subtree entry.
+    start_total: Vec<f64>,
+    /// Per-user snapshot of the same-type running sum at subtree entry.
+    start_type: Vec<f64>,
+}
+
+impl PaymentWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes the final payment vector `p` from the incentive tree, the asks
 /// (for each user's task type) and the auction payments `p^A`
 /// (Algorithm 3, Line 24).
@@ -70,6 +99,23 @@ pub fn determine_payments(
     asks: &[Ask],
     auction_payments: &[f64],
 ) -> Vec<f64> {
+    determine_payments_with(tree, asks, auction_payments, &mut PaymentWorkspace::new())
+}
+
+/// [`determine_payments`] with caller-provided scratch buffers: identical
+/// output, but a warm [`PaymentWorkspace`] makes repeated calls allocate
+/// only the returned payment vector.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree with the tree's user count.
+#[must_use]
+pub fn determine_payments_with(
+    tree: &IncentiveTree,
+    asks: &[Ask],
+    auction_payments: &[f64],
+    ws: &mut PaymentWorkspace,
+) -> Vec<f64> {
     let n = tree.num_users();
     assert_eq!(asks.len(), n, "asks must align with tree users");
     assert_eq!(
@@ -99,49 +145,56 @@ pub fn determine_payments(
     // Bucket two queries per user node at Euler positions:
     //   start  (entry + 1): snapshot the running sums before the descendants;
     //   end    (exit):      take the difference = descendant sums.
-    // Buckets in CSR form (counting sort by position): one flat allocation
+    // Buckets in CSR form (counting sort by position): one flat buffer
     // rather than a Vec per position. Query payload packs the user index
     // with the end-flag in the top bit.
     const END_FLAG: u32 = 1 << 31;
     let num_positions = tree.num_nodes() + 1;
-    let mut bucket_start = vec![0u32; num_positions + 1];
+    ws.bucket_start.clear();
+    ws.bucket_start.resize(num_positions + 1, 0);
     for node in tree.user_nodes() {
-        bucket_start[tree.entry_time(node) + 2] += 1;
-        bucket_start[tree.exit_time(node) + 1] += 1;
+        ws.bucket_start[tree.entry_time(node) + 2] += 1;
+        ws.bucket_start[tree.exit_time(node) + 1] += 1;
     }
     for i in 0..num_positions {
-        bucket_start[i + 1] += bucket_start[i];
+        ws.bucket_start[i + 1] += ws.bucket_start[i];
     }
-    let mut cursor = bucket_start.clone();
-    let mut query_list = vec![0u32; 2 * n];
+    ws.cursor.clear();
+    ws.cursor.extend_from_slice(&ws.bucket_start);
+    ws.query_list.clear();
+    ws.query_list.resize(2 * n, 0);
     for node in tree.user_nodes() {
         let u = node.user_index().expect("user node") as u32;
         let start_pos = tree.entry_time(node) + 1;
-        query_list[cursor[start_pos] as usize] = u;
-        cursor[start_pos] += 1;
+        ws.query_list[ws.cursor[start_pos] as usize] = u;
+        ws.cursor[start_pos] += 1;
         let end_pos = tree.exit_time(node);
-        query_list[cursor[end_pos] as usize] = u | END_FLAG;
-        cursor[end_pos] += 1;
+        ws.query_list[ws.cursor[end_pos] as usize] = u | END_FLAG;
+        ws.cursor[end_pos] += 1;
     }
 
     let mut acc_total = 0.0f64;
-    let mut acc_type = vec![0.0f64; num_types];
-    let mut start_total = vec![0.0f64; n];
-    let mut start_type = vec![0.0f64; n];
+    ws.acc_type.clear();
+    ws.acc_type.resize(num_types, 0.0);
+    ws.start_total.clear();
+    ws.start_total.resize(n, 0.0);
+    ws.start_type.clear();
+    ws.start_type.resize(n, 0.0);
     let mut payments = vec![0.0f64; n];
 
     for pos in 0..num_positions {
-        let bucket = &query_list[bucket_start[pos] as usize..bucket_start[pos + 1] as usize];
+        let bucket =
+            &ws.query_list[ws.bucket_start[pos] as usize..ws.bucket_start[pos + 1] as usize];
         for &packed in bucket {
             let u = (packed & !END_FLAG) as usize;
             let t = asks[u].task_type().index();
             if packed & END_FLAG != 0 {
-                let desc_total = acc_total - start_total[u];
-                let desc_same_type = acc_type[t] - start_type[u];
+                let desc_total = acc_total - ws.start_total[u];
+                let desc_same_type = ws.acc_type[t] - ws.start_type[u];
                 payments[u] = auction_payments[u] + (desc_total - desc_same_type);
             } else {
-                start_total[u] = acc_total;
-                start_type[u] = acc_type[t];
+                ws.start_total[u] = acc_total;
+                ws.start_type[u] = ws.acc_type[t];
             }
         }
         if pos < tree.num_nodes() {
@@ -149,7 +202,7 @@ pub fn determine_payments(
             if let Some(u) = node.user_index() {
                 let w = weight_of(node);
                 acc_total += w;
-                acc_type[asks[u].task_type().index()] += w;
+                ws.acc_type[asks[u].task_type().index()] += w;
             }
         }
     }
@@ -294,6 +347,31 @@ mod tests {
         let p_deep = determine_payments(&deep, &asks3, &[0.0, 0.0, 8.0]);
         assert_eq!(p_shallow[0], 2.0); // ¼ · 8
         assert_eq!(p_deep[0], 1.0); // ⅛ · 8
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_matches_fresh() {
+        // One workspace carried across trees of very different sizes and
+        // shapes (growing, shrinking, type-count changes) must match a
+        // fresh computation every time — stale capacity never leaks into
+        // results.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut ws = PaymentWorkspace::new();
+        for round in 0..20 {
+            let n = if round % 2 == 0 {
+                rng.gen_range(150..300)
+            } else {
+                rng.gen_range(1..20)
+            };
+            let tree = generate::uniform_recursive(n, &mut rng);
+            let asks: Vec<Ask> = (0..n)
+                .map(|_| ask(rng.gen_range(0..7), rng.gen_range(0.1..10.0)))
+                .collect();
+            let pa: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..50.0)).collect();
+            let warm = determine_payments_with(&tree, &asks, &pa, &mut ws);
+            let fresh = determine_payments(&tree, &asks, &pa);
+            assert_eq!(warm, fresh);
+        }
     }
 
     #[test]

@@ -19,17 +19,40 @@
 //! the run is void — no tasks, no payments (Line 27) — because a partial
 //! allocation cannot honor the design goals.
 
-use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use rit_auction::bounds::{self, WorstCaseQ};
-use rit_auction::engine;
-use rit_model::{Ask, Job};
+use rit_auction::engine::{self, AuctionWorkspace, TypeAsksView};
+use rit_model::{Ask, Job, TaskTypeId};
 use rit_tree::IncentiveTree;
 
 use crate::observer::{AuctionObserver, NoopObserver};
+use crate::streams::{self, RngMode};
 use crate::trace::{RoundTrace, TraceObserver, TypeTrace};
-use crate::workspace::RitWorkspace;
+use crate::workspace::{RitWorkspace, WorkspacePool};
 use crate::{payment, RitConfig, RitError, RitOutcome, RoundLimit};
+
+/// Per-type inputs of the auction phase, resolved up front so worker
+/// threads are infallible and errors surface in type order.
+struct TypePlan {
+    task_type: TaskTypeId,
+    m_i: u64,
+    budget: Option<u32>,
+}
+
+/// Everything one task type's round loop produces, merged back onto users
+/// (and replayed to the observer) in type order after all types finish.
+struct TypeRun {
+    rounds: Vec<RoundTrace>,
+    rounds_used: u32,
+    unallocated: u64,
+    /// `(user, tasks won, auction payment)` — sparse winner deltas.
+    deltas: Vec<(u32, u64, f64)>,
+}
 
 /// The Robust Incentive Tree mechanism.
 ///
@@ -128,7 +151,7 @@ impl Rit {
             });
         }
         let phase = self.auction_phase_with(job, asks, None, ws, &mut NoopObserver, rng)?;
-        Ok(self.determine_final_payments(tree, asks, phase))
+        Ok(self.determine_final_payments_with(tree, asks, phase, ws))
     }
 
     /// Runs only the auction phase (Algorithm 3, Lines 1–21). The incentive
@@ -203,6 +226,285 @@ impl Rit {
         let mut observer = TraceObserver::with_capacity(job.num_types());
         let result = self.auction_phase_with(job, asks, None, &mut ws, &mut observer, rng)?;
         Ok((result, observer.into_traces()))
+    }
+
+    /// Runs the full mechanism from a master seed under the given
+    /// [`RngMode`].
+    ///
+    /// * [`RngMode::SharedLegacy`] seeds one [`SmallRng`] and delegates to
+    ///   [`Rit::run`] — bit-identical to every historical trace.
+    /// * [`RngMode::PerTypeStreams`] derives one RNG stream per task type
+    ///   ([`streams::stream_seed`]) and runs the types on
+    ///   [`streams::default_threads`] worker threads; the outcome is
+    ///   independent of the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rit::run`].
+    pub fn run_seeded(
+        &self,
+        job: &Job,
+        tree: &IncentiveTree,
+        asks: &[Ask],
+        mode: RngMode,
+        master_seed: u64,
+    ) -> Result<RitOutcome, RitError> {
+        match mode {
+            RngMode::SharedLegacy => {
+                let mut rng = SmallRng::seed_from_u64(master_seed);
+                self.run(job, tree, asks, &mut rng)
+            }
+            RngMode::PerTypeStreams => {
+                let n = tree.num_users();
+                if asks.len() != n {
+                    return Err(RitError::AskCountMismatch {
+                        asks: asks.len(),
+                        users: n,
+                    });
+                }
+                let phase = self.run_auction_phase_streams(job, asks, master_seed)?;
+                Ok(self.determine_final_payments(tree, asks, phase))
+            }
+        }
+    }
+
+    /// Auction phase under [`RngMode::PerTypeStreams`], with the thread
+    /// count resolved from the environment ([`streams::default_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rit::run_auction_phase`].
+    pub fn run_auction_phase_streams(
+        &self,
+        job: &Job,
+        asks: &[Ask],
+        master_seed: u64,
+    ) -> Result<AuctionPhaseResult, RitError> {
+        let mut ws = RitWorkspace::new();
+        let pool = WorkspacePool::new();
+        self.run_auction_phase_streams_with(
+            job,
+            asks,
+            master_seed,
+            streams::default_threads(),
+            &mut ws,
+            &pool,
+            &mut NoopObserver,
+        )
+    }
+
+    /// The fully general per-type-streams auction phase: caller-provided
+    /// thread count, primary workspace, per-worker [`WorkspacePool`], and
+    /// [`AuctionObserver`].
+    ///
+    /// Task types draw from independent RNG streams
+    /// ([`streams::stream_seed`]) and run on up to `threads` worker threads
+    /// (`threads <= 1` runs them on the calling thread). **The outcome and
+    /// the observed event sequence are bit-identical for every thread
+    /// count**: workers buffer their per-type round traces, and the merge
+    /// step replays them to `observer` in strict type order, exactly as the
+    /// serial loop would have emitted them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rit::run_auction_phase`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_auction_phase_streams_with<O: AuctionObserver>(
+        &self,
+        job: &Job,
+        asks: &[Ask],
+        master_seed: u64,
+        threads: usize,
+        ws: &mut RitWorkspace,
+        pool: &WorkspacePool,
+        observer: &mut O,
+    ) -> Result<AuctionPhaseResult, RitError> {
+        let n = asks.len();
+        let k_max = self
+            .config
+            .k_max_override
+            .unwrap_or_else(|| asks.iter().map(Ask::quantity).max().unwrap_or(1))
+            .max(1);
+        let num_types = job.num_types();
+        let eta = bounds::per_type_target(self.config.h, num_types.max(1));
+
+        // Budgets resolve serially so a GuaranteeInfeasible error surfaces
+        // for the same (first) type regardless of thread count.
+        let mut plans = Vec::with_capacity(num_types);
+        for (task_type, m_i) in job.iter() {
+            let budget = if m_i == 0 {
+                None
+            } else {
+                self.round_budget(task_type, m_i, k_max, eta)?
+            };
+            plans.push(TypePlan {
+                task_type,
+                m_i,
+                budget,
+            });
+        }
+
+        let RitWorkspace {
+            compact, auction, ..
+        } = ws;
+        compact.rebuild(num_types, asks, None);
+        let views = compact.split_types();
+
+        let workers = threads.max(1).min(num_types.max(1));
+        let runs: Vec<TypeRun> = if workers <= 1 {
+            views
+                .into_iter()
+                .zip(&plans)
+                .map(|(mut view, plan)| {
+                    let seed = streams::stream_seed(master_seed, view.type_index());
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    self.run_type_stream(&mut view, plan, auction, &mut rng)
+                })
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Option<TypeAsksView<'_>>>> =
+                views.into_iter().map(|v| Mutex::new(Some(v))).collect();
+            let results: Vec<Mutex<Option<TypeRun>>> =
+                (0..num_types).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let (slots_ref, results_ref, next_ref, plans_ref) = (&slots, &results, &next, &plans);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move || {
+                        let mut pooled = pool.acquire();
+                        loop {
+                            let t = next_ref.fetch_add(1, Ordering::Relaxed);
+                            if t >= num_types {
+                                break;
+                            }
+                            let mut view = slots_ref[t]
+                                .lock()
+                                .expect("view slot poisoned")
+                                .take()
+                                .expect("each view is claimed exactly once");
+                            let seed = streams::stream_seed(master_seed, t);
+                            let mut rng = SmallRng::seed_from_u64(seed);
+                            let run = self.run_type_stream(
+                                &mut view,
+                                &plans_ref[t],
+                                &mut pooled.auction,
+                                &mut rng,
+                            );
+                            *results_ref[t].lock().expect("result slot poisoned") = Some(run);
+                        }
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("workers fill every slot")
+                })
+                .collect()
+        };
+
+        // Merge in type order: scatter winner deltas onto users and replay
+        // the buffered observer events exactly as a serial loop would.
+        let mut allocation = vec![0u64; n];
+        let mut auction_payments = vec![0.0f64; n];
+        let mut rounds_used = Vec::with_capacity(num_types);
+        let mut unallocated = Vec::with_capacity(num_types);
+        for (plan, run) in plans.iter().zip(&runs) {
+            if plan.m_i == 0 {
+                observer.type_start(plan.task_type, 0, None);
+                observer.type_end();
+                rounds_used.push(0);
+                unallocated.push(0);
+                continue;
+            }
+            observer.type_start(plan.task_type, plan.m_i, plan.budget);
+            for round in &run.rounds {
+                observer.round(round);
+            }
+            observer.type_end();
+            for &(j, alloc, pay) in &run.deltas {
+                allocation[j as usize] += alloc;
+                auction_payments[j as usize] += pay;
+            }
+            rounds_used.push(run.rounds_used);
+            unallocated.push(run.unallocated);
+        }
+
+        Ok(AuctionPhaseResult {
+            allocation,
+            auction_payments,
+            rounds_used,
+            unallocated,
+        })
+    }
+
+    /// One task type's round loop over its own [`TypeAsksView`] and RNG
+    /// stream — the unit of work both the serial reference path and the
+    /// worker threads execute, so the two are identical by construction.
+    fn run_type_stream(
+        &self,
+        view: &mut TypeAsksView<'_>,
+        plan: &TypePlan,
+        aws: &mut AuctionWorkspace,
+        rng: &mut SmallRng,
+    ) -> TypeRun {
+        if plan.m_i == 0 {
+            return TypeRun {
+                rounds: Vec::new(),
+                rounds_used: 0,
+                unallocated: 0,
+                deltas: Vec::new(),
+            };
+        }
+        let range = view.run_range();
+        let seg_len = range.len();
+        let mut alloc = vec![0u64; seg_len];
+        let mut pay = vec![0.0f64; seg_len];
+        let mut rounds_vec = Vec::new();
+        let mut q = plan.m_i;
+        let mut rounds = 0u32;
+        let mut stall = 0u32;
+        while q > 0 && self.may_continue(plan.budget, rounds, stall) {
+            if view.active_units() == 0 {
+                break;
+            }
+            let q_before = q;
+            let report =
+                engine::run_round_type(view, q, plan.m_i, self.config.selection_rule, aws, rng);
+            let price = report.clearing_price;
+            for &r in aws.winners() {
+                let i = (r - range.start) as usize;
+                alloc[i] += 1;
+                pay[i] += price;
+                view.consume(r);
+                q -= 1;
+            }
+            rounds_vec.push(RoundTrace {
+                round: rounds,
+                q_before,
+                unit_asks: usize::try_from(report.unit_asks).unwrap_or(usize::MAX),
+                winners: report.num_winners,
+                clearing_price: price,
+                diagnostics: report.diagnostics,
+            });
+            rounds += 1;
+            stall = if report.num_winners > 0 { 0 } else { stall + 1 };
+        }
+        let mut deltas = Vec::new();
+        for (i, (&a, &p)) in alloc.iter().zip(&pay).enumerate() {
+            if a > 0 {
+                let user = view.owner(range.start + i as u32) as u32;
+                deltas.push((user, a, p));
+            }
+        }
+        TypeRun {
+            rounds: rounds_vec,
+            rounds_used: rounds,
+            unallocated: q,
+            deltas,
+        }
     }
 
     /// The single auction-phase implementation: builds the run-length ask
@@ -309,6 +611,25 @@ impl Rit {
         asks: &[Ask],
         phase: AuctionPhaseResult,
     ) -> RitOutcome {
+        let mut ws = RitWorkspace::new();
+        self.determine_final_payments_with(tree, asks, phase, &mut ws)
+    }
+
+    /// [`Rit::determine_final_payments`] with caller-provided scratch:
+    /// identical output, but a warm [`RitWorkspace`] makes the payment
+    /// phase allocate only the outcome's own vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asks`/`phase` do not align with the tree's user count.
+    #[must_use]
+    pub fn determine_final_payments_with(
+        &self,
+        tree: &IncentiveTree,
+        asks: &[Ask],
+        phase: AuctionPhaseResult,
+        ws: &mut RitWorkspace,
+    ) -> RitOutcome {
         let n = tree.num_users();
         assert_eq!(asks.len(), n, "asks must align with tree users");
         assert_eq!(
@@ -324,7 +645,7 @@ impl Rit {
             unallocated,
         } = phase;
         let payments = if completed {
-            payment::determine_payments(tree, asks, &auction_payments)
+            payment::determine_payments_with(tree, asks, &auction_payments, &mut ws.payment)
         } else {
             // Line 27: the job cannot be finished under the desired
             // properties — void the run.
@@ -683,6 +1004,92 @@ mod tests {
                 assert!(w[1].q_before <= w[0].q_before);
             }
         }
+    }
+
+    #[test]
+    fn streams_phase_is_thread_count_invariant() {
+        let mut r = rng(61);
+        let job = Job::from_counts(vec![120, 0, 180, 90]).unwrap();
+        let config = rit_model::workload::WorkloadConfig {
+            num_types: 4,
+            capacity_max: 4,
+            cost_max: 10.0,
+        };
+        let asks = config
+            .sample_population(2500, &mut r)
+            .unwrap()
+            .truthful_asks()
+            .into_vec();
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let pool = WorkspacePool::new();
+        let mut obs_serial = TraceObserver::new();
+        let mut ws = crate::RitWorkspace::new();
+        let serial = rit
+            .run_auction_phase_streams_with(&job, &asks, 77, 1, &mut ws, &pool, &mut obs_serial)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let mut obs = TraceObserver::new();
+            let mut ws = crate::RitWorkspace::new();
+            let parallel = rit
+                .run_auction_phase_streams_with(&job, &asks, 77, threads, &mut ws, &pool, &mut obs)
+                .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads diverged from serial");
+            assert_eq!(
+                obs_serial.traces(),
+                obs.traces(),
+                "{threads}-thread observer stream diverged"
+            );
+        }
+        // Zero-task type produced an empty trace in position 1.
+        assert_eq!(obs_serial.traces()[1].tasks, 0);
+        assert!(obs_serial.traces()[1].rounds.is_empty());
+    }
+
+    #[test]
+    fn run_seeded_legacy_matches_run() {
+        let (job, tree, asks, _) = scenario(700, 150, 67);
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::until_stall(),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let legacy = rit
+            .run_seeded(&job, &tree, &asks, RngMode::SharedLegacy, 9)
+            .unwrap();
+        let direct = rit.run(&job, &tree, &asks, &mut rng(9)).unwrap();
+        assert_eq!(legacy, direct);
+        // The streams mode completes and is reproducible (but is a
+        // different, equally valid draw sequence).
+        let s1 = rit
+            .run_seeded(&job, &tree, &asks, RngMode::PerTypeStreams, 9)
+            .unwrap();
+        let s2 = rit
+            .run_seeded(&job, &tree, &asks, RngMode::PerTypeStreams, 9)
+            .unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn streams_phase_respects_budgets_and_guarantee_errors() {
+        // Infeasible paper budget surfaces identically in streams mode.
+        let rit = Rit::new(RitConfig {
+            round_limit: RoundLimit::Paper(WorstCaseQ::Zero),
+            ..RitConfig::default()
+        })
+        .unwrap();
+        let job = Job::from_counts(vec![10]).unwrap();
+        let asks = vec![
+            Ask::new(TaskTypeId::new(0), 20, 1.0).unwrap(),
+            Ask::new(TaskTypeId::new(0), 5, 1.0).unwrap(),
+        ];
+        assert!(matches!(
+            rit.run_auction_phase_streams(&job, &asks, 1),
+            Err(RitError::GuaranteeInfeasible { k_max: 20, .. })
+        ));
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Reusable scratch state for repeated RIT runs.
 //!
 //! A [`RitWorkspace`] owns the engine's run-length ask table
-//! ([`rit_auction::engine::CompactAsks`]) and per-round scratch buffers
-//! ([`rit_auction::engine::AuctionWorkspace`]). Passing the same workspace
-//! to [`crate::Rit::run_with_workspace`] across replications (the `R`-loop
-//! of every experiment) keeps the buffers warm: after the first run of a
-//! scenario shape, the auction phase performs **zero heap allocations per
-//! CRA round** (pinned by the `alloc_counting` integration test).
+//! ([`rit_auction::engine::CompactAsks`]), per-round scratch buffers
+//! ([`rit_auction::engine::AuctionWorkspace`]), and the payment phase's
+//! Euler-tour scratch ([`crate::payment::PaymentWorkspace`]). Passing the
+//! same workspace to [`crate::Rit::run_with_workspace`] across replications
+//! (the `R`-loop of every experiment) keeps the buffers warm: after the
+//! first run of a scenario shape, the auction phase performs **zero heap
+//! allocations per CRA round** and the payment phase allocates only its
+//! output vector (both pinned by the `alloc_counting` integration test).
 //!
 //! Workspaces carry no results — only capacity. Reusing one across
 //! different jobs, ask vectors, or eligibility masks is always correct
@@ -23,6 +25,8 @@ use std::sync::Mutex;
 
 use rit_auction::engine::{AuctionWorkspace, CompactAsks};
 
+use crate::payment::PaymentWorkspace;
+
 /// Scratch buffers threaded through one mechanism run.
 #[derive(Clone, Debug, Default)]
 pub struct RitWorkspace {
@@ -30,6 +34,9 @@ pub struct RitWorkspace {
     pub(crate) compact: CompactAsks,
     /// Per-round CRA scratch (eligible/chosen unit buffers).
     pub(crate) auction: AuctionWorkspace,
+    /// Euler-tour query buckets and running-sum snapshots for the
+    /// payment-determination phase.
+    pub(crate) payment: PaymentWorkspace,
 }
 
 impl RitWorkspace {

@@ -1,7 +1,8 @@
 //! Pins the engine's allocation discipline: once a [`RitWorkspace`] has run
 //! a scenario shape, further auction phases through it perform **no heap
 //! allocation per CRA round** — only the handful of output vectors of the
-//! phase result itself.
+//! phase result itself — and the warm payment phase allocates only its
+//! output vector.
 //!
 //! A counting global allocator wraps the system allocator; the test warms a
 //! workspace, then compares the allocation count of a multi-round phase
@@ -14,8 +15,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rit_core::payment::{determine_payments_with, PaymentWorkspace};
 use rit_core::{NoopObserver, Rit, RitConfig, RitWorkspace, RoundLimit};
 use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::{IncentiveTreeBuilder, NodeId};
 
 struct CountingAlloc;
 
@@ -89,6 +92,34 @@ fn warm_auction_phase_allocates_only_its_outputs() {
     assert!(
         delta <= 16,
         "warm run allocated {delta} times over {rounds} rounds; engine is leaking per-round allocations"
+    );
+
+    // Payment determination over the same phase result: a solicitation tree
+    // with mixed depths, warmed once. The warm call owns exactly one vector
+    // (the payments themselves); the Euler-tour buckets and running-sum
+    // snapshots must come from the workspace.
+    let tree = {
+        let mut b = IncentiveTreeBuilder::new();
+        let mut parent = NodeId::ROOT;
+        for j in 0..n {
+            let node = b.add_child(parent);
+            if j % 3 == 0 {
+                parent = node;
+            }
+        }
+        b.build()
+    };
+    let mut pws = PaymentWorkspace::new();
+    let warm = determine_payments_with(&tree, &asks, &phase.auction_payments, &mut pws);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let payments = determine_payments_with(&tree, &asks, &phase.auction_payments, &mut pws);
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+
+    assert_eq!(payments, warm);
+    assert!(
+        delta <= 4,
+        "warm payment determination allocated {delta} times; scratch buffers are not being reused"
     );
 }
 

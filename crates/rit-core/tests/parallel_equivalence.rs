@@ -1,0 +1,166 @@
+//! Determinism contracts of the scaled-out auction phase.
+//!
+//! * Under [`RngMode::PerTypeStreams`] the outcome — and the full observer
+//!   event stream — is **bit-identical for every worker-thread count**: each
+//!   task type draws from its own derived RNG stream over a disjoint view of
+//!   the ask table, so scheduling cannot leak into results.
+//! * [`RngMode::SharedLegacy`] reproduces [`Rit::run`] with a single
+//!   [`SmallRng`] exactly, pinning every historical trace.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rit_core::{
+    NoopObserver, Rit, RitConfig, RitWorkspace, RngMode, RoundLimit, TraceObserver, WorkspacePool,
+};
+use rit_model::{Ask, Job, TaskTypeId};
+use rit_tree::{generate, IncentiveTree};
+
+/// A scenario drawn from compact proptest inputs: `counts[i]` tasks of type
+/// `i`, and one user per entry of `profiles` (type selector, capacity
+/// selector, price selector).
+fn build(counts: &[u64], profiles: &[(u8, u8, u16)]) -> (Job, Vec<Ask>, IncentiveTree) {
+    let num_types = counts.len() as u32;
+    let job = Job::from_counts(counts.to_vec()).expect("non-empty job");
+    let asks: Vec<Ask> = profiles
+        .iter()
+        .map(|&(t, k, c)| {
+            let task_type = TaskTypeId::new(u32::from(t) % num_types);
+            let quantity = 1 + u64::from(k) % 5;
+            let price = 0.5 + f64::from(c) * 0.01;
+            Ask::new(task_type, quantity, price).expect("valid ask")
+        })
+        .collect();
+    let mut tree_rng = SmallRng::seed_from_u64(counts.iter().sum::<u64>() ^ 0x5eed);
+    let tree = generate::preferential(asks.len(), &mut tree_rng);
+    (job, asks, tree)
+}
+
+fn rit() -> Rit {
+    Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The per-type-streams phase result and trace are independent of the
+    /// worker-thread count (1 through 8), including jobs with zero-task
+    /// types and types no user asks for.
+    #[test]
+    fn streams_phase_is_identical_across_thread_counts(
+        counts in prop::collection::vec(0u64..40, 1..5),
+        profiles in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 30..200),
+        master_seed in any::<u64>(),
+    ) {
+        let (job, asks, _tree) = build(&counts, &profiles);
+        let rit = rit();
+
+        let reference = {
+            let mut ws = RitWorkspace::new();
+            let pool = WorkspacePool::new();
+            let mut observer = TraceObserver::with_capacity(job.num_types());
+            let phase = rit
+                .run_auction_phase_streams_with(
+                    &job, &asks, master_seed, 1, &mut ws, &pool, &mut observer,
+                )
+                .unwrap();
+            (phase, observer.into_traces())
+        };
+
+        for threads in 2..=8 {
+            let mut ws = RitWorkspace::new();
+            let pool = WorkspacePool::new();
+            let mut observer = TraceObserver::with_capacity(job.num_types());
+            let phase = rit
+                .run_auction_phase_streams_with(
+                    &job, &asks, master_seed, threads, &mut ws, &pool, &mut observer,
+                )
+                .unwrap();
+            prop_assert_eq!(&phase, &reference.0, "phase diverged at {} threads", threads);
+            prop_assert_eq!(
+                &observer.into_traces(),
+                &reference.1,
+                "trace diverged at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Workspace reuse across scenarios never changes per-type-streams
+    /// outcomes: a warm workspace+pool pair matches fresh ones.
+    #[test]
+    fn streams_phase_warm_workspace_matches_fresh(
+        counts in prop::collection::vec(0u64..30, 1..4),
+        profiles in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 20..120),
+        master_seed in any::<u64>(),
+    ) {
+        let (job, asks, _tree) = build(&counts, &profiles);
+        let rit = rit();
+        let mut warm_ws = RitWorkspace::new();
+        let warm_pool = WorkspacePool::new();
+        // Dirty the buffers with an unrelated scenario first.
+        let other_job = Job::from_counts(vec![7, 9]).unwrap();
+        let other_asks: Vec<Ask> = (0..50)
+            .map(|j| Ask::new(TaskTypeId::new(j % 2), 1 + j as u64 % 3, 1.0 + f64::from(j)).unwrap())
+            .collect();
+        let _ = rit
+            .run_auction_phase_streams_with(
+                &other_job, &other_asks, 3, 4, &mut warm_ws, &warm_pool, &mut NoopObserver,
+            )
+            .unwrap();
+
+        let warm = rit
+            .run_auction_phase_streams_with(
+                &job, &asks, master_seed, 4, &mut warm_ws, &warm_pool, &mut NoopObserver,
+            )
+            .unwrap();
+        let mut fresh_ws = RitWorkspace::new();
+        let fresh_pool = WorkspacePool::new();
+        let fresh = rit
+            .run_auction_phase_streams_with(
+                &job, &asks, master_seed, 4, &mut fresh_ws, &fresh_pool, &mut NoopObserver,
+            )
+            .unwrap();
+        prop_assert_eq!(warm, fresh);
+    }
+
+    /// `RngMode::SharedLegacy` is the original mechanism verbatim: the same
+    /// master seed reproduces `Rit::run` with one `SmallRng` bit-for-bit.
+    #[test]
+    fn shared_legacy_reproduces_direct_run(
+        counts in prop::collection::vec(0u64..30, 1..4),
+        profiles in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 20..120),
+        master_seed in any::<u64>(),
+    ) {
+        let (job, asks, tree) = build(&counts, &profiles);
+        let rit = rit();
+        let seeded = rit
+            .run_seeded(&job, &tree, &asks, RngMode::SharedLegacy, master_seed)
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(master_seed);
+        let direct = rit.run(&job, &tree, &asks, &mut rng).unwrap();
+        prop_assert_eq!(seeded, direct);
+    }
+
+    /// The full seeded mechanism run under `PerTypeStreams` equals composing
+    /// the streams auction phase with payment determination by hand.
+    #[test]
+    fn run_seeded_streams_composes_phase_and_payments(
+        counts in prop::collection::vec(0u64..30, 1..4),
+        profiles in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 20..120),
+        master_seed in any::<u64>(),
+    ) {
+        let (job, asks, tree) = build(&counts, &profiles);
+        let rit = rit();
+        let seeded = rit
+            .run_seeded(&job, &tree, &asks, RngMode::PerTypeStreams, master_seed)
+            .unwrap();
+        let phase = rit.run_auction_phase_streams(&job, &asks, master_seed).unwrap();
+        let composed = rit.determine_final_payments(&tree, &asks, phase);
+        prop_assert_eq!(seeded, composed);
+    }
+}

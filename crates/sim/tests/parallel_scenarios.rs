@@ -1,0 +1,102 @@
+//! The parallel auction phase on harness-generated scenarios: every
+//! [`GraphModel`] and [`SubstrateMode`] yields outcomes that are independent
+//! of the worker-thread count, and cached substrates behave exactly like
+//! fresh ones.
+
+use rit_core::{NoopObserver, Rit, RitConfig, RitWorkspace, RngMode, RoundLimit, WorkspacePool};
+use rit_model::Job;
+use rit_sim::scenario::{GraphModel, Scenario, ScenarioConfig};
+use rit_sim::substrate::{SubstrateCache, SubstrateMode};
+
+fn models() -> [GraphModel; 3] {
+    [
+        GraphModel::BarabasiAlbert { m: 3 },
+        GraphModel::ErdosRenyi { p: 0.03 },
+        GraphModel::WattsStrogatz { k: 6, beta: 0.15 },
+    ]
+}
+
+fn rit() -> Rit {
+    Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn streams_phase_thread_invariant_on_every_graph_model() {
+    let job = Job::from_counts(vec![40, 0, 55, 25]).unwrap();
+    let rit = rit();
+    for (i, model) in models().into_iter().enumerate() {
+        let mut config = ScenarioConfig::paper(400);
+        config.workload.num_types = 4;
+        config.graph = model;
+        let scenario = Scenario::generate(&config, 70 + i as u64);
+
+        let mut reference = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut ws = RitWorkspace::new();
+            let pool = WorkspacePool::new();
+            let phase = rit
+                .run_auction_phase_streams_with(
+                    &job,
+                    &scenario.asks,
+                    9_000 + i as u64,
+                    threads,
+                    &mut ws,
+                    &pool,
+                    &mut NoopObserver,
+                )
+                .unwrap();
+            let outcome = rit.determine_final_payments(&scenario.tree, &scenario.asks, phase);
+            match &reference {
+                None => reference = Some(outcome),
+                Some(r) => assert_eq!(
+                    &outcome, r,
+                    "outcome diverged for {model:?} at {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn substrate_modes_agree_on_seeded_outcomes() {
+    // Rotating substrates come out of the cache; per-replication substrates
+    // are generated fresh. For the same (config, seed) both paths must feed
+    // the mechanism bit-identical scenarios — pinned here end-to-end through
+    // a seeded run in each RngMode.
+    let job = Job::from_counts(vec![30, 45]).unwrap();
+    let rit = rit();
+    let mut config = ScenarioConfig::paper(300);
+    config.workload.num_types = 2;
+    let cache = SubstrateCache::new();
+
+    for replication in 0..4usize {
+        let seed = 500 + replication as u64;
+        let slot = SubstrateMode::Rotating(2).slot(replication).unwrap();
+        assert_eq!(slot, replication % 2);
+        assert_eq!(SubstrateMode::PerReplication.slot(replication), None);
+
+        let rotating = Scenario::generate_cached(&cache, &config, 500 + slot as u64);
+        let fresh = Scenario::generate(&config, 500 + slot as u64);
+        assert_eq!(rotating.asks, fresh.asks);
+        assert_eq!(rotating.tree, fresh.tree);
+
+        for mode in RngMode::ALL {
+            let from_cache = rit
+                .run_seeded(&job, &rotating.tree, &rotating.asks, mode, seed)
+                .unwrap();
+            let from_fresh = rit
+                .run_seeded(&job, &fresh.tree, &fresh.asks, mode, seed)
+                .unwrap();
+            assert_eq!(
+                from_cache, from_fresh,
+                "{mode} outcome diverged between cached and fresh substrates"
+            );
+        }
+    }
+    // Two rotating slots were generated; the second pass over each was a hit.
+    assert_eq!(cache.generations(), 2);
+}

@@ -294,11 +294,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn line(n: usize) -> SocialGraph {
-        let mut g = SocialGraph::new(n);
-        for i in 1..n {
-            g.add_edge(i - 1, i);
-        }
-        g
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        SocialGraph::from_edges(n, &edges)
     }
 
     #[test]

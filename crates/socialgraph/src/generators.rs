@@ -2,11 +2,13 @@
 //!
 //! These substitute for the paper's proprietary Twitter trace (see
 //! DESIGN.md). All generators are deterministic given the RNG and are
-//! efficient at the paper's scale (n up to 80,000).
+//! efficient at the paper's scale (n up to 80,000) and beyond: each builds
+//! through [`GraphBuilder`]'s flat half-edge chains straight into CSR, with
+//! no intermediate per-node `Vec<Vec<_>>` adjacency.
 
 use rand::Rng;
 
-use crate::SocialGraph;
+use crate::{GraphBuilder, SocialGraph};
 
 /// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
 /// probability `p`.
@@ -20,18 +22,20 @@ use crate::SocialGraph;
 #[must_use]
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> SocialGraph {
     assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
-    let mut g = SocialGraph::new(n);
     if p <= 0.0 || n < 2 {
-        return g;
+        return SocialGraph::new(n);
     }
+    let pairs = n * (n - 1) / 2;
     if p >= 1.0 {
+        let mut g = GraphBuilder::with_edge_capacity(n, pairs);
         for u in 0..n {
             for v in (u + 1)..n {
                 g.add_edge(u, v);
             }
         }
-        return g;
+        return g.build();
     }
+    let mut g = GraphBuilder::with_edge_capacity(n, (p * pairs as f64).ceil() as usize);
     // Walk the strictly-upper-triangular pair sequence, skipping a
     // Geometric(p)-distributed gap between successive edges.
     let log_q = (1.0 - p).ln();
@@ -48,7 +52,7 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> SocialGrap
             g.add_edge(w as usize, v as usize);
         }
     }
-    g
+    g.build()
 }
 
 /// Barabási–Albert preferential attachment: starts from a clique of
@@ -66,10 +70,11 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> SocialGrap
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> SocialGraph {
     assert!(m > 0, "attachment count m must be positive");
     assert!(n > m, "need at least m + 1 = {} nodes, got {n}", m + 1);
-    let mut g = SocialGraph::new(n);
+    let num_edges = m * (m + 1) / 2 + (n - m - 1) * m;
+    let mut g = GraphBuilder::with_edge_capacity(n, num_edges);
     // `targets` holds one entry per edge endpoint; sampling uniformly from it
     // realizes degree-proportional selection.
-    let mut targets: Vec<u32> = Vec::with_capacity(2 * m * n);
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * num_edges);
     for u in 0..=m {
         for v in (u + 1)..=m {
             g.add_edge(u, v);
@@ -92,7 +97,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Soci
             targets.push(v);
         }
     }
-    g
+    g.build()
 }
 
 /// Watts–Strogatz small world: a ring lattice where each node connects to
@@ -110,7 +115,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
     );
     assert!(k < n, "k = {k} must be smaller than n = {n}");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
-    let mut g = SocialGraph::new(n);
+    let mut g = GraphBuilder::with_edge_capacity(n, n * k / 2);
     for u in 0..n {
         for d in 1..=(k / 2) {
             let v = (u + d) % n;
@@ -134,7 +139,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
             }
         }
     }
-    g
+    g.build()
 }
 
 /// Copying model: each new node picks a random *prototype* among existing
@@ -150,21 +155,16 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
 pub fn copying_model<R: Rng + ?Sized>(n: usize, alpha: f64, rng: &mut R) -> SocialGraph {
     assert!(n > 0, "need at least one node");
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
-    let mut g = SocialGraph::new(n);
+    let mut g = GraphBuilder::new(n);
     for u in 1..n {
         let proto = rng.gen_range(0..u);
-        let copied: Vec<u32> = g
-            .neighbors(proto)
-            .iter()
-            .copied()
-            .filter(|_| rng.gen_bool(alpha))
-            .collect();
+        let copied: Vec<u32> = g.neighbors(proto).filter(|_| rng.gen_bool(alpha)).collect();
         g.add_edge(u, proto);
         for v in copied {
             g.add_edge(u, v as usize);
         }
     }
-    g
+    g.build()
 }
 
 #[cfg(test)]

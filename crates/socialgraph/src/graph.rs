@@ -1,16 +1,41 @@
-//! Undirected social-graph representation.
+//! Undirected social-graph representation (compressed sparse row).
 
 use std::fmt;
 
-/// An undirected social graph over users `0 ‥ n−1`.
+/// Sentinel terminating a half-edge chain in [`GraphBuilder`].
+const NONE: u32 = u32::MAX;
+
+/// An undirected social graph over users `0 ‥ n−1`, stored in CSR
+/// (compressed sparse row) form.
 ///
 /// Edges model social influence: an edge `{i, j}` means either user may
-/// solicit the other into the incentive tree. Parallel edges and self-loops
-/// are silently ignored on insertion, keeping the graph simple.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// solicit the other into the incentive tree. The graph is immutable once
+/// built — construct it with [`GraphBuilder`] (or the [`SocialGraph::from_edges`]
+/// convenience), which silently ignores parallel edges and self-loops,
+/// keeping the graph simple.
+///
+/// The adjacency of every node occupies one contiguous slice of a single
+/// flat array (`neighbors[offsets[u] ‥ offsets[u+1]]`), so a whole-graph
+/// traversal is two linear scans with no per-node pointer chasing, and the
+/// memory footprint is exactly `4·(n + 1) + 8·num_edges` bytes of payload.
+/// Per-node neighbor order is edge-insertion order, identical to the order
+/// the previous `Vec<Vec<u32>>` layout produced — downstream consumers
+/// (diffusion, spanning forests) draw randomness while iterating
+/// [`neighbors`](SocialGraph::neighbors), so this ordering is part of the
+/// determinism contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SocialGraph {
-    adj: Vec<Vec<u32>>,
+    /// CSR row offsets; `offsets.len() == num_nodes + 1`.
+    offsets: Vec<u32>,
+    /// Flat neighbor array; two entries per undirected edge.
+    neighbors: Vec<u32>,
     num_edges: usize,
+}
+
+impl Default for SocialGraph {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl SocialGraph {
@@ -18,15 +43,31 @@ impl SocialGraph {
     #[must_use]
     pub fn new(n: usize) -> Self {
         Self {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
             num_edges: 0,
         }
+    }
+
+    /// Builds a graph with `n` users from an edge list. Self-loops and
+    /// duplicate edges are silently ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
     }
 
     /// Number of users.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of (undirected, deduplicated) edges.
@@ -35,50 +76,39 @@ impl SocialGraph {
         self.num_edges
     }
 
-    /// Adds the undirected edge `{u, v}`. Self-loops and duplicates are
-    /// ignored. Returns whether a new edge was inserted.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` or `v` is out of range.
-    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
-        let n = self.num_nodes();
-        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} nodes");
-        if u == v || self.adj[u].contains(&(v as u32)) {
-            return false;
-        }
-        self.adj[u].push(v as u32);
-        self.adj[v].push(u as u32);
-        self.num_edges += 1;
-        true
-    }
-
     /// Whether the edge `{u, v}` exists.
     #[must_use]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        // Query the smaller adjacency list.
-        let (a, b) = if self.adj[u].len() <= self.adj[v].len() {
+        // Query the smaller adjacency slice.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
-        self.adj[a].contains(&(b as u32))
+        self.neighbors(a).contains(&(b as u32))
     }
 
-    /// The neighbors of `u` in insertion order.
+    /// The neighbors of `u` in edge-insertion order.
     #[must_use]
     pub fn neighbors(&self, u: usize) -> &[u32] {
-        &self.adj[u]
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        &self.neighbors[lo..hi]
     }
 
     /// The degree of `u`.
     #[must_use]
     pub fn degree(&self, u: usize) -> usize {
-        self.adj[u].len()
+        (self.offsets[u + 1] - self.offsets[u]) as usize
     }
 
-    /// The connected components, each listed in ascending node order;
-    /// components are ordered by their smallest member.
+    /// The connected components of the graph.
+    ///
+    /// Caller-visible order is fixed and documented: within each component
+    /// the node indices are listed in ascending order, and the components
+    /// themselves are ordered by their smallest member (equivalently, by
+    /// first discovery in an ascending scan over node indices). Callers may
+    /// rely on this ordering; it is pinned by tests.
     #[must_use]
     pub fn components(&self) -> Vec<Vec<u32>> {
         let n = self.num_nodes();
@@ -94,7 +124,7 @@ impl SocialGraph {
             stack.push(start as u32);
             while let Some(v) = stack.pop() {
                 comp.push(v);
-                for &w in &self.adj[v as usize] {
+                for &w in self.neighbors(v as usize) {
                     if !seen[w as usize] {
                         seen[w as usize] = true;
                         stack.push(w);
@@ -108,12 +138,18 @@ impl SocialGraph {
     }
 
     /// Degree histogram: `hist[d]` = number of users with degree `d`.
+    ///
+    /// Two O(N) passes over the CSR offsets — no per-node temporaries.
     #[must_use]
     pub fn degree_histogram(&self) -> Vec<usize> {
-        let max_deg = self.adj.iter().map(Vec::len).max().unwrap_or(0);
+        let n = self.num_nodes();
+        let mut max_deg = 0;
+        for u in 0..n {
+            max_deg = max_deg.max(self.degree(u));
+        }
         let mut hist = vec![0usize; max_deg + 1];
-        for a in &self.adj {
-            hist[a.len()] += 1;
+        for u in 0..n {
+            hist[self.degree(u)] += 1;
         }
         hist
     }
@@ -130,16 +166,181 @@ impl fmt::Display for SocialGraph {
     }
 }
 
+/// Incremental builder producing a CSR [`SocialGraph`].
+///
+/// Half-edges are appended to per-node linked chains (O(1) per insertion,
+/// two flat arrays — no per-node `Vec`), then [`build`](GraphBuilder::build)
+/// prefix-sums the degrees into CSR offsets and walks each chain in
+/// insertion order to fill the flat neighbor array. The resulting per-node
+/// neighbor order is exactly the order edges were added, matching what
+/// `Vec::push`-based adjacency would have produced.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    /// First half-edge of each node's chain, or [`NONE`].
+    head: Vec<u32>,
+    /// Last half-edge of each node's chain, or [`NONE`].
+    tail: Vec<u32>,
+    /// Current degree of each node.
+    degree: Vec<u32>,
+    /// Per half-edge: the neighbor it points at.
+    target: Vec<u32>,
+    /// Per half-edge: the next half-edge in the same chain, or [`NONE`].
+    next: Vec<u32>,
+    num_edges: usize,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` users and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            head: vec![NONE; n],
+            tail: vec![NONE; n],
+            degree: vec![0; n],
+            target: Vec::new(),
+            next: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// Starts a builder for `n` users with half-edge storage preallocated
+    /// for `edges` edges.
+    #[must_use]
+    pub fn with_edge_capacity(n: usize, edges: usize) -> Self {
+        let mut b = Self::new(n);
+        b.target.reserve(2 * edges);
+        b.next.reserve(2 * edges);
+        b
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of (undirected, deduplicated) edges added so far.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Current degree of `u`.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> usize {
+        self.degree[u] as usize
+    }
+
+    /// The neighbors of `u` added so far, in insertion order.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = u32> + '_ {
+        ChainIter {
+            builder: self,
+            edge: self.head[u],
+        }
+    }
+
+    /// Whether the edge `{u, v}` has been added.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        // Scan the shorter chain.
+        let (a, b) = if self.degree[u] <= self.degree[v] {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).any(|w| w == b as u32)
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops and duplicates are
+    /// ignored. Returns whether a new edge was inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        let n = self.num_nodes();
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} nodes");
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        self.push_half_edge(u, v as u32);
+        self.push_half_edge(v, u as u32);
+        self.num_edges += 1;
+        true
+    }
+
+    fn push_half_edge(&mut self, from: usize, to: u32) {
+        let e = u32::try_from(self.target.len()).expect("more than u32::MAX half-edges");
+        self.target.push(to);
+        self.next.push(NONE);
+        if self.tail[from] == NONE {
+            self.head[from] = e;
+        } else {
+            self.next[self.tail[from] as usize] = e;
+        }
+        self.tail[from] = e;
+        self.degree[from] += 1;
+    }
+
+    /// Finalizes the builder into an immutable CSR [`SocialGraph`].
+    #[must_use]
+    pub fn build(self) -> SocialGraph {
+        let n = self.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc: u32 = 0;
+        offsets.push(0);
+        for &d in &self.degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut neighbors = vec![0u32; acc as usize];
+        for (&start, &head) in offsets.iter().zip(&self.head) {
+            let mut w = start as usize;
+            let mut e = head;
+            while e != NONE {
+                neighbors[w] = self.target[e as usize];
+                w += 1;
+                e = self.next[e as usize];
+            }
+        }
+        SocialGraph {
+            offsets,
+            neighbors,
+            num_edges: self.num_edges,
+        }
+    }
+}
+
+/// Iterator over one node's half-edge chain in insertion order.
+struct ChainIter<'a> {
+    builder: &'a GraphBuilder,
+    edge: u32,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.edge == NONE {
+            return None;
+        }
+        let e = self.edge as usize;
+        self.edge = self.builder.next[e];
+        Some(self.builder.target[e])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn add_edge_dedups_and_ignores_loops() {
-        let mut g = SocialGraph::new(3);
-        assert!(g.add_edge(0, 1));
-        assert!(!g.add_edge(1, 0));
-        assert!(!g.add_edge(2, 2));
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 1));
+        assert!(!b.add_edge(1, 0));
+        assert!(!b.add_edge(2, 2));
+        let g = b.build();
         assert_eq!(g.num_edges(), 1);
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(1, 0));
@@ -148,30 +349,48 @@ mod tests {
 
     #[test]
     fn neighbors_and_degree() {
-        let mut g = SocialGraph::new(4);
-        g.add_edge(0, 1);
-        g.add_edge(0, 2);
+        let g = SocialGraph::from_edges(4, &[(0, 1), (0, 2)]);
         assert_eq!(g.neighbors(0), &[1, 2]);
         assert_eq!(g.degree(0), 2);
         assert_eq!(g.degree(3), 0);
     }
 
     #[test]
+    fn neighbor_order_is_insertion_order() {
+        // Interleave endpoints so chains are non-contiguous in the
+        // half-edge arrays; the CSR fill must still follow chain order.
+        let g = SocialGraph::from_edges(5, &[(2, 4), (0, 3), (2, 1), (2, 0), (4, 0)]);
+        assert_eq!(g.neighbors(2), &[4, 1, 0]);
+        assert_eq!(g.neighbors(0), &[3, 2, 4]);
+        assert_eq!(g.neighbors(4), &[2, 0]);
+    }
+
+    #[test]
+    fn builder_neighbors_match_built_graph() {
+        let edges = [(0, 1), (1, 2), (3, 1), (0, 4), (4, 1)];
+        let mut b = GraphBuilder::new(5);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let chains: Vec<Vec<u32>> = (0..5).map(|u| b.neighbors(u).collect()).collect();
+        assert!(b.has_edge(3, 1) && !b.has_edge(3, 0));
+        let g = b.build();
+        for (u, chain) in chains.iter().enumerate() {
+            assert_eq!(g.neighbors(u), chain.as_slice());
+        }
+    }
+
+    #[test]
     fn components_split_correctly() {
-        let mut g = SocialGraph::new(5);
-        g.add_edge(0, 1);
-        g.add_edge(3, 4);
+        let g = SocialGraph::from_edges(5, &[(0, 1), (3, 4)]);
         let comps = g.components();
         assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
     }
 
     #[test]
     fn degree_histogram_counts() {
-        let mut g = SocialGraph::new(4);
-        g.add_edge(0, 1);
-        g.add_edge(0, 2);
-        g.add_edge(0, 3);
         // Star: one degree-3 hub, three degree-1 leaves.
+        let g = SocialGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
         assert_eq!(g.degree_histogram(), vec![0, 3, 0, 1]);
     }
 
@@ -181,12 +400,14 @@ mod tests {
         assert_eq!(g.num_nodes(), 0);
         assert!(g.components().is_empty());
         assert_eq!(g.degree_histogram(), vec![0]);
+        assert_eq!(g, SocialGraph::default());
+        assert_eq!(g, GraphBuilder::new(0).build());
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn add_edge_bounds_checked() {
-        let mut g = SocialGraph::new(2);
-        g.add_edge(0, 5);
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
     }
 }

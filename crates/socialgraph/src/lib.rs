@@ -42,4 +42,4 @@ mod graph;
 pub mod spanning;
 pub mod stats;
 
-pub use graph::SocialGraph;
+pub use graph::{GraphBuilder, SocialGraph};

@@ -67,11 +67,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> SocialGraph {
-        let mut g = SocialGraph::new(n);
-        for &(u, v) in edges {
-            g.add_edge(u, v);
-        }
-        g
+        SocialGraph::from_edges(n, edges)
     }
 
     #[test]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rit_socialgraph::diffusion::{self, DiffusionConfig};
-use rit_socialgraph::{generators, spanning, SocialGraph};
+use rit_socialgraph::{generators, spanning, GraphBuilder, SocialGraph};
 use rit_tree::NodeId;
 
 fn arb_graph() -> impl Strategy<Value = SocialGraph> {
@@ -14,11 +14,11 @@ fn arb_graph() -> impl Strategy<Value = SocialGraph> {
         prop::collection::vec((any::<u16>(), any::<u16>()), 0..200),
     )
         .prop_map(|(n, edges)| {
-            let mut g = SocialGraph::new(n);
+            let mut g = GraphBuilder::new(n);
             for (a, b) in edges {
                 g.add_edge(a as usize % n, b as usize % n);
             }
-            g
+            g.build()
         })
 }
 

@@ -41,6 +41,10 @@ pub struct RunManifest {
     /// of the config hash; callers that want the mechanism to discriminate
     /// hashes put it in `config_desc`.
     pub mechanism: String,
+    /// Label of the RNG mode (`"legacy"` single-stream or `"streams"`
+    /// per-type). Like seed and thread count this describes *how* the run
+    /// executed, not *what* it computed, so it is recorded but never hashed.
+    pub rng_mode: String,
 }
 
 impl RunManifest {
@@ -56,6 +60,7 @@ impl RunManifest {
             seed,
             threads,
             mechanism: "rit".to_string(),
+            rng_mode: "legacy".to_string(),
         }
     }
 
@@ -63,6 +68,13 @@ impl RunManifest {
     #[must_use]
     pub fn with_mechanism(mut self, label: &str) -> Self {
         self.mechanism = label.to_string();
+        self
+    }
+
+    /// Sets the RNG-mode label carried by the manifest event.
+    #[must_use]
+    pub fn with_rng_mode(mut self, label: &str) -> Self {
+        self.rng_mode = label.to_string();
         self
     }
 
@@ -83,6 +95,7 @@ impl RunManifest {
             .u64_field("seed", self.seed)
             .u64_field("threads", self.threads as u64)
             .str_field("mechanism", &self.mechanism)
+            .str_field("rng_mode", &self.rng_mode)
             .finish()
     }
 }
@@ -119,6 +132,15 @@ mod tests {
         let naive = RunManifest::new("t", "v", "desc", 1, 2).with_mechanism("naive");
         assert_eq!(rit.config_hash, naive.config_hash);
         assert!(naive.to_event().contains("\"mechanism\":\"naive\""));
+    }
+
+    #[test]
+    fn rng_mode_label_is_recorded_but_not_hashed() {
+        let legacy = RunManifest::new("t", "v", "desc", 1, 2);
+        let streams = RunManifest::new("t", "v", "desc", 1, 2).with_rng_mode("streams");
+        assert_eq!(legacy.config_hash, streams.config_hash);
+        assert!(legacy.to_event().contains("\"rng_mode\":\"legacy\""));
+        assert!(streams.to_event().contains("\"rng_mode\":\"streams\""));
     }
 
     #[test]
