@@ -2,7 +2,8 @@
 //! recruitment, timed end to end and emitted as machine-readable JSON.
 //!
 //! ```text
-//! bench_sim [--quick] [--reps N] [--seed S] [--out FILE] [--telemetry FILE]
+//! bench_sim [--quick] [--reps N] [--seed S] [--threads N] [--out FILE]
+//!           [--telemetry FILE]
 //! ```
 //!
 //! Four arms, timed with `std::time::Instant`:
@@ -29,8 +30,12 @@
 //! `--telemetry FILE` / `RIT_TELEMETRY` additionally stream the JSONL
 //! event log to `FILE`.
 //!
-//! Set `RIT_THREADS` to pin the worker-thread count for reproducible
-//! timings; the value used is recorded in the report.
+//! Both sweep arms execute on the `rit_sim::grid` engine (one global work
+//! queue over cells × replications — DESIGN.md §12), so the cached and
+//! uncached timings compare the substrate policy alone, not two different
+//! schedulers. Set `RIT_THREADS` — or `--threads N`, which wins — to pin
+//! the worker-thread count for reproducible timings; the value used is
+//! recorded in the report.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -111,12 +116,22 @@ fn parse_args() -> Result<(Args, PathBuf, Option<PathBuf>), String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--threads" => {
+                let threads: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                rit_sim::runner::set_thread_override(threads);
+                rit_core::streams::set_thread_override(threads);
+            }
             "--out" => out = PathBuf::from(value("--out")?),
             "--telemetry" => telemetry_out = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_sim [--quick] [--reps N] [--seed S] [--out FILE] \
-                     [--telemetry FILE]"
+                    "usage: bench_sim [--quick] [--reps N] [--seed S] [--threads N] \
+                     [--out FILE] [--telemetry FILE]"
                 );
                 std::process::exit(0);
             }

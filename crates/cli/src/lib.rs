@@ -196,6 +196,10 @@ USAGE:
              [--identities 2] [--price P] [--runs 40] [--seed S]
   rit dot --tree FILE
   rit help
+
+Every subcommand also accepts --threads N (worker threads for the
+simulation harness and the streams-mode auction phase; overrides the
+RIT_THREADS environment variable).
 ";
 
 struct ArgCursor {
@@ -245,10 +249,17 @@ where
 impl Command {
     /// Parses an argument list (without the program name).
     ///
+    /// The global `--threads N` flag is accepted on every subcommand; it
+    /// installs a process-wide worker-thread override (via
+    /// [`rit_sim::runner::set_thread_override`] and
+    /// [`rit_core::streams::set_thread_override`]) that wins over the
+    /// `RIT_THREADS` environment variable for both the simulation harness
+    /// and the per-type-streams auction phase.
+    ///
     /// # Errors
     ///
     /// Returns [`CliError::Usage`] for unknown commands, missing required
-    /// flags, or malformed values.
+    /// flags, or malformed values (including `--threads 0`).
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
         let Some(cmd) = args.first() else {
             return Ok(Self::Help);
@@ -257,6 +268,16 @@ impl Command {
             args: args.to_vec(),
             pos: 1,
         };
+        if let Some(v) = cur.flag_value("--threads")? {
+            let threads: usize = parse_num(&v, "--threads")?;
+            if threads == 0 {
+                return Err(CliError::Usage(
+                    "bad value for --threads: must be at least 1".into(),
+                ));
+            }
+            rit_sim::runner::set_thread_override(threads);
+            rit_core::streams::set_thread_override(threads);
+        }
         let require = |opt: Option<String>, flag: &str| {
             opt.ok_or_else(|| CliError::Usage(format!("missing required flag {flag}")))
         };
@@ -1116,5 +1137,42 @@ mod tests {
         let out = execute(&Command::Help).unwrap();
         assert!(out.contains("rit generate"));
         assert!(out.contains("rit run"));
+        assert!(out.contains("--threads"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_threads_values() {
+        let base = ["estimate", "--job", "j.csv"];
+        for bad in ["0", "-2", "many"] {
+            let mut argv = base.to_vec();
+            argv.extend(["--threads", bad]);
+            assert!(
+                matches!(
+                    Command::parse(&args(&argv)),
+                    Err(CliError::Usage(msg)) if msg.contains("--threads")
+                ),
+                "--threads {bad} should be a usage error"
+            );
+        }
+        let mut argv = base.to_vec();
+        argv.push("--threads");
+        assert!(matches!(
+            Command::parse(&args(&argv)),
+            Err(CliError::Usage(msg)) if msg.contains("--threads")
+        ));
+    }
+
+    #[test]
+    fn parse_threads_installs_process_override() {
+        // The flag is global: any subcommand accepts it, and it installs
+        // the process-wide override for both the simulation harness and
+        // the streams-mode auction phase.
+        let cmd = Command::parse(&args(&["dot", "--tree", "t.csv", "--threads", "3"])).unwrap();
+        assert!(matches!(cmd, Command::Dot { .. }));
+        assert_eq!(rit_sim::runner::default_threads(), 3);
+        assert_eq!(rit_core::streams::default_threads(), 3);
+        // Clear so other tests in this process see the env/default path.
+        rit_sim::runner::set_thread_override(0);
+        rit_core::streams::set_thread_override(0);
     }
 }

@@ -103,14 +103,30 @@ pub fn stream_seed(master_seed: u64, type_index: usize) -> u64 {
     fnv1a64(&bytes)
 }
 
+/// Process-wide thread-count override (0 = unset). Set by CLI `--threads`
+/// flags; takes precedence over [`THREADS_ENV`].
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Installs (or with `0` clears) a process-wide worker-thread override that
+/// wins over [`THREADS_ENV`] in [`default_threads`]. CLI `--threads` flags
+/// call this so an explicit flag beats an inherited environment variable.
+pub fn set_thread_override(threads: usize) {
+    THREAD_OVERRIDE.store(threads, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// The worker-thread count the per-type-streams phase uses when the caller
-/// does not pass one explicitly: a positive integer in [`THREADS_ENV`] if
-/// set, otherwise the machine's available parallelism.
+/// does not pass one explicitly: a [`set_thread_override`] value if
+/// installed, else a positive integer in [`THREADS_ENV`] if set, otherwise
+/// the machine's available parallelism.
 ///
 /// Thread count never affects outcomes in
 /// [`RngMode::PerTypeStreams`] — only wall-clock time.
 #[must_use]
 pub fn default_threads() -> usize {
+    match THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => {}
+        n => return n,
+    }
     match std::env::var(THREADS_ENV)
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())

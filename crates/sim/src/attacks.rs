@@ -15,18 +15,21 @@
 //! combination and the §1 DARPA baseline that [`evaluate`]/[`run`] fire
 //! against RIT.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use rit_adversary::{
-    AttackObserver, AttackResult, AttackSuite, BaseScenario, GainReport, ProbeRunner, SeedSchedule,
+    AttackObserver, AttackResult, AttackSuite, BaseScenario, GainReport, PairedOutcome,
+    ProbeRunner, SeedSchedule,
 };
 use rit_core::{Mechanism, RitError, RoundLimit};
 use rit_model::Job;
 
 use crate::experiments::{paper_mechanism, Scale};
-use crate::runner::{derive_seed, parallel_map_init};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
+use crate::io::{Table, Value};
+use crate::runner::derive_seed;
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::substrate::SubstrateCache;
 
 /// Salt separating the suite's scenario substrate from its mechanism seeds.
 const SUBSTRATE_STREAM: u64 = 0xA77A_C4ED;
@@ -93,27 +96,36 @@ impl SuiteReport {
     ///
     /// Propagates I/O errors.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        writeln!(
-            f,
-            "attack,honest_mean,deviant_mean,gain,gain_se,z,runs,verdict"
-        )?;
+        std::fs::write(path, self.to_table().to_csv())
+    }
+
+    /// The suite as the shared [`Table`] emitter's representation.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "attack",
+            "honest_mean",
+            "deviant_mean",
+            "gain",
+            "gain_se",
+            "z",
+            "runs",
+            "verdict",
+        ]);
         for r in &self.results {
             let g = &r.report;
-            writeln!(
-                f,
-                "{},{},{},{},{},{},{},{}",
-                r.name,
-                g.honest_mean,
-                g.deviant_mean,
-                g.gain,
-                g.gain_se,
-                g.z_score(),
-                g.runs,
-                verdict(g),
-            )?;
+            table.push_row(vec![
+                Value::Str(r.name.clone()),
+                Value::F64(g.honest_mean),
+                Value::F64(g.deviant_mean),
+                Value::F64(g.gain),
+                Value::F64(g.gain_se),
+                Value::F64(g.z_score()),
+                Value::U64(g.runs as u64),
+                Value::Str(verdict(g).to_string()),
+            ]);
         }
-        Ok(())
+        table
     }
 }
 
@@ -133,6 +145,21 @@ pub fn scenario(config: &AttackSuiteConfig) -> Scenario {
     let mut scen_config = ScenarioConfig::paper(n);
     scen_config.workload.num_types = 4;
     Scenario::generate(&scen_config, derive_seed(config.seed, SUBSTRATE_STREAM, 0))
+}
+
+/// [`scenario`] through a caller-owned [`SubstrateCache`]: the same
+/// substrate seed, but generated at most once per cache — callers that fire
+/// several batteries (or mechanisms) against one configuration share the
+/// generation.
+#[must_use]
+pub fn scenario_with(
+    config: &AttackSuiteConfig,
+    cache: &SubstrateCache,
+) -> std::sync::Arc<Scenario> {
+    let (n, _) = dimensions(config.scale);
+    let mut scen_config = ScenarioConfig::paper(n);
+    scen_config.workload.num_types = 4;
+    cache.scenario(&scen_config, derive_seed(config.seed, SUBSTRATE_STREAM, 0))
 }
 
 fn dimensions(scale: Scale) -> (usize, u64) {
@@ -204,6 +231,48 @@ pub fn evaluate_job_with<M: Mechanism + Sync>(
     suite: &AttackSuite,
     mechanism: &M,
 ) -> Result<SuiteReport, RitError> {
+    /// Grid adapter: one paired suite replication. Replication seeds come
+    /// from the [`ProbeRunner`]'s own schedule, so the grid's derived seed
+    /// is deliberately unused.
+    struct SuiteRun<'a, M: Mechanism> {
+        runner: &'a ProbeRunner<'a>,
+        suite: &'a AttackSuite,
+        mechanism: &'a M,
+        job: &'a Job,
+    }
+
+    impl<M: Mechanism + Sync> CellRun for SuiteRun<'_, M> {
+        type Cell = ();
+        type Workspace = M::Workspace;
+        type Record = Result<Vec<PairedOutcome>, RitError>;
+
+        fn workspace(&self) -> M::Workspace {
+            M::Workspace::default()
+        }
+
+        fn salt(&self, _cell_index: usize, (): &()) -> u64 {
+            0
+        }
+
+        fn run(
+            &self,
+            ctx: &CellCtx<'_, ()>,
+            ws: &mut M::Workspace,
+        ) -> Result<Vec<PairedOutcome>, RitError> {
+            let mechanism = self.mechanism;
+            let job = self.job;
+            self.runner.suite_replication::<RitError, _>(
+                ctx.replication,
+                self.suite.deviations(),
+                &mut |view, rng| {
+                    let out =
+                        mechanism.evaluate_in(job, view.tree, view.asks, view.eligible, ws, rng)?;
+                    Ok(out.into())
+                },
+            )
+        }
+    }
+
     let costs: Vec<f64> = scenario.population.iter().map(|u| u.unit_cost()).collect();
     let base = BaseScenario {
         tree: &scenario.tree,
@@ -219,12 +288,20 @@ pub fn evaluate_job_with<M: Mechanism + Sync>(
         config.runs,
     );
 
-    let per_replication = parallel_map_init(config.runs, M::Workspace::default, |ws, r| {
-        runner.suite_replication::<RitError, _>(r, suite.deviations(), &mut |view, rng| {
-            let out = mechanism.evaluate_in(job, view.tree, view.asks, view.eligible, ws, rng)?;
-            Ok(out.into())
-        })
-    });
+    let spec = GridSpec::new("attack_suite", config.runs, config.seed);
+    let per_replication = run_grid(
+        &spec,
+        &[()],
+        &SuiteRun {
+            runner: &runner,
+            suite,
+            mechanism,
+            job,
+        },
+        &SubstrateCache::passthrough(),
+    )
+    .pop()
+    .expect("one cell");
 
     let mut samples = vec![Vec::with_capacity(config.runs); suite.len()];
     for rep in per_replication {

@@ -4,12 +4,13 @@
 //! ```text
 //! experiments [--figure all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|fig9]
 //!             [--scale smoke|default|paper] [--runs N] [--seed S]
-//!             [--substrates K] [--out DIR] [--telemetry FILE]
+//!             [--substrates K] [--threads N] [--quick] [--out DIR]
+//!             [--telemetry FILE]
 //! experiments attack-suite [--spec FILE] [--mechanism rit|naive|darpa]
-//!             [--scale smoke|default|paper]
-//!             [--runs N] [--seed S] [--out DIR] [--telemetry FILE]
+//!             [--scale smoke|default|paper] [--runs N] [--seed S]
+//!             [--threads N] [--quick] [--out DIR] [--telemetry FILE]
 //! experiments compare [--scale smoke|default|paper] [--runs N] [--seed S]
-//!             [--quick] [--out DIR] [--telemetry FILE]
+//!             [--quick] [--threads N] [--out DIR] [--telemetry FILE]
 //! ```
 //!
 //! The `attack-suite` subcommand evaluates a battery of deviations (the
@@ -28,6 +29,12 @@
 //! per-replication scenario generation (paper fidelity, the default) to `K`
 //! rotating substrates served from a shared [`rit_sim::substrate::SubstrateCache`],
 //! amortizing graph/tree/profile construction across replications.
+//!
+//! `--threads N` pins the worker-thread count of the grid scheduler and the
+//! streams-mode auction phase (overriding the `RIT_THREADS` environment
+//! variable); thread count never changes results, only wall-clock time.
+//! `--quick` is the CI smoke shape: smoke scale with 3 replications (4 for
+//! `attack-suite`, where z-scores need one more sample).
 //!
 //! `--telemetry FILE` (or the `RIT_TELEMETRY` env var — the flag wins)
 //! streams structured JSONL telemetry to `FILE`: a run manifest first, then
@@ -119,6 +126,19 @@ fn flush_telemetry(installed: Option<&'static Telemetry>) {
     }
 }
 
+/// Validates `--threads N` and installs the process-wide worker-thread
+/// override (the flag wins over the `RIT_THREADS` environment variable)
+/// for both the grid scheduler and the streams-mode auction phase.
+fn apply_threads(value: &str) -> Result<(), String> {
+    let threads: usize = value.parse().map_err(|e| format!("bad --threads: {e}"))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    rit_sim::runner::set_thread_override(threads);
+    rit_core::streams::set_thread_override(threads);
+    Ok(())
+}
+
 const ALL_FIGURES: [&str; 15] = [
     "fig6a",
     "fig6b",
@@ -189,6 +209,11 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.substrate = SubstrateMode::Rotating(k);
             }
+            "--threads" => apply_threads(&value("--threads")?)?,
+            "--quick" => {
+                args.scale = Scale::Smoke;
+                args.runs = 3;
+            }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--report" => args.report = Some(PathBuf::from(value("--report")?)),
             "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
@@ -196,7 +221,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: experiments [--figure all|fig6a|...|fig9] \
                      [--scale smoke|default|paper] [--runs N] [--seed S] \
-                     [--substrates K] [--out DIR] [--report FILE] [--telemetry FILE]"
+                     [--substrates K] [--threads N] [--quick] [--out DIR] \
+                     [--report FILE] [--telemetry FILE]"
                 );
                 std::process::exit(0);
             }
@@ -259,14 +285,19 @@ fn run_attack_suite(mut it: std::env::Args) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--threads" => apply_threads(&value("--threads")?)?,
+            "--quick" => {
+                config.scale = Scale::Smoke;
+                config.runs = 4;
+            }
             "--out" => out = PathBuf::from(value("--out")?),
             "--telemetry" => telemetry_flag = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments attack-suite [--spec FILE] \
                      [--mechanism rit|naive|darpa] \
-                     [--scale smoke|default|paper] [--runs N] [--seed S] [--out DIR] \
-                     [--telemetry FILE]"
+                     [--scale smoke|default|paper] [--runs N] [--seed S] \
+                     [--threads N] [--quick] [--out DIR] [--telemetry FILE]"
                 );
                 return Ok(());
             }
@@ -353,12 +384,14 @@ fn run_compare(mut it: std::env::Args) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--threads" => apply_threads(&value("--threads")?)?,
             "--out" => out = PathBuf::from(value("--out")?),
             "--telemetry" => telemetry_flag = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments compare [--scale smoke|default|paper] \
-                     [--runs N] [--seed S] [--quick] [--out DIR] [--telemetry FILE]"
+                     [--runs N] [--seed S] [--quick] [--threads N] [--out DIR] \
+                     [--telemetry FILE]"
                 );
                 return Ok(());
             }
@@ -397,6 +430,9 @@ fn run_compare(mut it: std::env::Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Interactive harness: show per-cell grid progress on stderr. Library
+    // users and tests keep the silent default.
+    rit_sim::grid::set_progress(true);
     let mut raw = std::env::args();
     let _argv0 = raw.next();
     if let Some(first) = std::env::args().nth(1) {

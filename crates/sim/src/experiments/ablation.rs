@@ -25,8 +25,9 @@ use rit_model::{Ask, Job};
 use rit_tree::sybil::SybilPlan;
 
 use crate::experiments::Scale;
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
+use crate::runner::derive_seed;
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::substrate::{SubstrateCache, SubstrateMode};
 
@@ -57,6 +58,9 @@ impl AblationConfig {
     }
 }
 
+/// Salt separating freshly generated substrates from the round-budget
+/// ablation's mechanism seeds.
+const FRESH_SALT: u64 = 0x5A5A;
 /// Salt separating substrate seeds from the ablation's mechanism seeds.
 const SUBSTRATE_STREAM: u64 = 0x5A5A_F00D;
 
@@ -100,6 +104,65 @@ fn decoy_asks(scenario: &Scenario, attacker: usize, decoy: f64) -> Vec<Ask> {
     ]
 }
 
+/// One manipulable market: everything a replication needs to replay the
+/// best decoy attack against the CRA.
+struct CollusionCell {
+    scenario: Scenario,
+    costs: Vec<f64>,
+    deviation: SybilSplit,
+    job: Job,
+    /// `ProbeRunner` seed point (`1000 + pi`), preserving the pre-engine
+    /// per-size schedule even when some sizes resolve to no manipulation.
+    point: u64,
+}
+
+/// Grid adapter: one CRA replication of the chosen attack in one market
+/// size. The replication seed comes from the cell's own [`ProbeRunner`]
+/// schedule (master/point/replication), so the grid's derived seed is
+/// deliberately unused here.
+struct CollusionRun {
+    rit: Rit,
+    runs: usize,
+}
+
+impl CellRun for CollusionRun {
+    type Cell = CollusionCell;
+    type Workspace = ();
+    type Record = f64;
+
+    fn workspace(&self) {}
+
+    fn salt(&self, cell_index: usize, _cell: &CollusionCell) -> u64 {
+        cell_index as u64
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, CollusionCell>, (): &mut ()) -> f64 {
+        let cell = ctx.cell;
+        let base = BaseScenario {
+            tree: &cell.scenario.tree,
+            asks: &cell.scenario.asks,
+            costs: &cell.costs,
+        };
+        let runner = ProbeRunner::new(
+            base,
+            SeedSchedule::Derived {
+                master: ctx.master_seed(),
+                point: cell.point,
+            },
+            self.runs,
+        );
+        let rit = &self.rit;
+        let job = &cell.job;
+        runner
+            .replication::<RitError, _>(ctx.replication, &cell.deviation, &mut |view, rng| {
+                let out = rit.run(job, view.tree, view.asks, rng)?;
+                Ok(out.into())
+            })
+            .expect("aligned")
+            .gain()
+    }
+}
+
 /// The collusion ablation: exact naive gain vs mean CRA gain of the same
 /// attack, swept over market size (single-type jobs, `n = 12·mᵢ / K̄`).
 #[must_use]
@@ -109,7 +172,10 @@ pub fn collusion(config: &AblationConfig) -> Figure {
         Scale::Default | Scale::Paper => vec![20, 50, 100, 200, 400],
     };
     let mut naive_series = Vec::with_capacity(sizes.len());
-    let mut cra_series = Vec::with_capacity(sizes.len());
+    // One slot per size: the naive point index, plus the grid cell when the
+    // size admits a manipulation.
+    let mut cells: Vec<CollusionCell> = Vec::new();
+    let mut cell_for_size: Vec<Option<usize>> = Vec::with_capacity(sizes.len());
 
     for (pi, &m_i) in sizes.iter().enumerate() {
         // Thin-ish single-type market: expected unit supply ≈ 3× demand.
@@ -136,11 +202,7 @@ pub fn collusion(config: &AblationConfig) -> Figure {
                 y: 0.0,
                 y_std: 0.0,
             });
-            cra_series.push(Point {
-                x: m_i as f64,
-                y: 0.0,
-                y_std: 0.0,
-            });
+            cell_for_size.push(None);
             continue;
         };
         let cost = scenario.population[attacker].unit_cost();
@@ -171,52 +233,60 @@ pub fn collusion(config: &AblationConfig) -> Figure {
             y_std: 0.0,
         });
 
-        // Mean CRA gain of the same attack, through the adversary layer:
-        // the runner pairs both arms on each replication seed (cutting
+        // The CRA replay of the same attack goes through the grid: the
+        // runner pairs both arms on each replication seed (cutting
         // variance) and the explicit-pricing sybil split replays the decoy
         // asks verbatim.
-        let rit = Rit::new(RitConfig {
-            round_limit: RoundLimit::until_stall(),
-            ..RitConfig::default()
-        })
-        .expect("valid config");
         let mut costs = vec![0.0; scenario.num_users()];
         costs[attacker] = cost;
-        let deviation = SybilSplit {
-            user: attacker,
-            plan: SybilPlan::chain(2),
-            pricing: SybilPricing::Explicit(identity_asks),
-        };
-        let base = BaseScenario {
-            tree: &scenario.tree,
-            asks: &scenario.asks,
-            costs: &costs,
-        };
-        let runner = ProbeRunner::new(
-            base,
-            SeedSchedule::Derived {
-                master: config.seed,
-                point: 1_000 + pi as u64,
+        cell_for_size.push(Some(cells.len()));
+        cells.push(CollusionCell {
+            scenario,
+            costs,
+            deviation: SybilSplit {
+                user: attacker,
+                plan: SybilPlan::chain(2),
+                pricing: SybilPricing::Explicit(identity_asks),
             },
-            config.runs * 4,
-        );
-        let gains = parallel_map(runner.runs(), |r| {
-            runner
-                .replication::<RitError, _>(r, &deviation, &mut |view, rng| {
-                    let out = rit.run(&job, view.tree, view.asks, rng)?;
-                    Ok(out.into())
-                })
-                .expect("aligned")
-                .gain()
-        });
-        let mut acc = MeanStd::new();
-        acc.extend(gains);
-        cra_series.push(Point {
-            x: m_i as f64,
-            y: acc.mean(),
-            y_std: acc.std_dev(),
+            job,
+            point: 1_000 + pi as u64,
         });
     }
+
+    let rit = Rit::new(RitConfig {
+        round_limit: RoundLimit::until_stall(),
+        ..RitConfig::default()
+    })
+    .expect("valid config");
+    let runs = config.runs * 4;
+    let spec = GridSpec::new("ablation_collusion", runs, config.seed)
+        .with_axis("market size", cells.len());
+    let rows = run_grid(
+        &spec,
+        &cells,
+        &CollusionRun { rit, runs },
+        &SubstrateCache::passthrough(),
+    );
+
+    let cra_series = sizes
+        .iter()
+        .zip(&cell_for_size)
+        .map(|(&m_i, slot)| {
+            let (y, y_std) = match slot {
+                None => (0.0, 0.0),
+                Some(ci) => {
+                    let mut acc = MeanStd::new();
+                    acc.extend(rows[*ci].iter().copied());
+                    (acc.mean(), acc.std_dev())
+                }
+            };
+            Point {
+                x: m_i as f64,
+                y,
+                y_std,
+            }
+        })
+        .collect();
 
     Figure {
         id: "ablation_collusion",
@@ -233,6 +303,45 @@ pub fn collusion(config: &AblationConfig) -> Figure {
                 points: cra_series,
             },
         ],
+    }
+}
+
+/// One round-budget grid cell: a (job size, round-limit policy) pair. All
+/// cells share one scenario configuration, so rotating substrates are
+/// generated once and replayed under every cell.
+struct RoundBudgetCell {
+    scen_config: ScenarioConfig,
+    job: Job,
+    rit: Rit,
+    /// Pre-engine seed stream `pi * 8 + si`.
+    salt: u64,
+}
+
+/// Grid adapter: one auction-phase replication of one (size, policy) cell.
+struct RoundBudgetRun;
+
+impl CellRun for RoundBudgetRun {
+    type Cell = RoundBudgetCell;
+    type Workspace = ();
+    type Record = u8;
+
+    fn workspace(&self) {}
+
+    fn salt(&self, _cell_index: usize, cell: &RoundBudgetCell) -> u64 {
+        cell.salt
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, RoundBudgetCell>, (): &mut ()) -> u8 {
+        let cell = ctx.cell;
+        let scenario = ctx.scenario(&cell.scen_config, FRESH_SALT, SUBSTRATE_STREAM);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        match cell
+            .rit
+            .run_auction_phase(&cell.job, &scenario.asks, &mut rng)
+        {
+            Ok(phase) => u8::from(phase.completed()),
+            Err(_) => 0, // infeasible guarantee counts as failure
+        }
     }
 }
 
@@ -261,14 +370,7 @@ pub fn round_budget_with(config: &AblationConfig, cache: &SubstrateCache) -> Fig
         ("until stall", RoundLimit::until_stall()),
     ];
 
-    let mut series: Vec<Series> = policies
-        .iter()
-        .map(|(name, _)| Series {
-            name: (*name).to_string(),
-            points: Vec::new(),
-        })
-        .collect();
-
+    let mut cells: Vec<RoundBudgetCell> = Vec::with_capacity(sizes.len() * policies.len());
     for (pi, &m_i) in sizes.iter().enumerate() {
         // The number of types is chosen so total demand stays serviceable at
         // the fixed population size.
@@ -276,30 +378,37 @@ pub fn round_budget_with(config: &AblationConfig, cache: &SubstrateCache) -> Fig
         let job = Job::uniform(num_types, m_i).expect("positive types");
         let mut scen_config = ScenarioConfig::paper(n_users);
         scen_config.workload.num_types = num_types;
-
         for (si, (_, policy)) in policies.iter().enumerate() {
-            let rit = Rit::new(RitConfig {
-                round_limit: *policy,
-                ..RitConfig::default()
-            })
-            .expect("valid config");
-            let completions = parallel_map(config.runs, |r| {
-                let seed = derive_seed(config.seed, (pi * 8 + si) as u64, r as u64);
-                let scenario = match config.substrate.slot(r) {
-                    None => std::sync::Arc::new(Scenario::generate(&scen_config, seed ^ 0x5A5A)),
-                    Some(slot) => cache.scenario(
-                        &scen_config,
-                        derive_seed(config.seed, SUBSTRATE_STREAM, slot as u64),
-                    ),
-                };
-                let mut rng = SmallRng::seed_from_u64(seed);
-                match rit.run_auction_phase(&job, &scenario.asks, &mut rng) {
-                    Ok(phase) => u8::from(phase.completed()),
-                    Err(_) => 0, // infeasible guarantee counts as failure
-                }
+            cells.push(RoundBudgetCell {
+                scen_config: scen_config.clone(),
+                job: job.clone(),
+                rit: Rit::new(RitConfig {
+                    round_limit: *policy,
+                    ..RitConfig::default()
+                })
+                .expect("valid config"),
+                salt: (pi * 8 + si) as u64,
             });
+        }
+    }
+    let spec = GridSpec::new("ablation_rounds", config.runs, config.seed)
+        .with_substrate(config.substrate)
+        .with_axis("job size", sizes.len())
+        .with_axis("round-limit policy", policies.len());
+    let rows = run_grid(&spec, &cells, &RoundBudgetRun, cache);
+
+    let mut series: Vec<Series> = policies
+        .iter()
+        .map(|(name, _)| Series {
+            name: (*name).to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for (pi, &m_i) in sizes.iter().enumerate() {
+        for (si, s) in series.iter_mut().enumerate() {
+            let completions = &rows[pi * policies.len() + si];
             let rate = completions.iter().map(|&c| f64::from(c)).sum::<f64>() / config.runs as f64;
-            series[si].points.push(Point {
+            s.points.push(Point {
                 x: m_i as f64,
                 y: rate,
                 y_std: 0.0,

@@ -30,8 +30,9 @@ use rit_auction::bounds::{cra_truthfulness_bound, LogBase};
 use rit_auction::cra::{self, SelectionRule};
 
 use crate::experiments::Scale;
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
+use crate::substrate::SubstrateCache;
 
 /// Configuration of the bound check.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,32 +97,91 @@ fn best_gain_per_unit(m_i: u64, k: u64, inner_runs: usize, rule: SelectionRule, 
     (deviant - truthful) / k as f64
 }
 
+/// One bound-check grid cell: a (market size, selection rule) pair. Both
+/// rules at one size share the salt `pi`, replaying the *same* outer market
+/// draws under each rule — the pre-engine pairing.
+struct BoundCheckCell {
+    m_i: u64,
+    rule: SelectionRule,
+    salt: u64,
+}
+
+/// Grid adapter: one outer market draw of one (size, rule) cell. Markets
+/// are drawn inline from the item seed, so the cell never touches a
+/// substrate cache.
+struct BoundCheckRun {
+    k: u64,
+    inner_runs: usize,
+}
+
+impl CellRun for BoundCheckRun {
+    type Cell = BoundCheckCell;
+    type Workspace = ();
+    type Record = f64;
+
+    fn workspace(&self) {}
+
+    fn salt(&self, _cell_index: usize, cell: &BoundCheckCell) -> u64 {
+        cell.salt
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, BoundCheckCell>, (): &mut ()) -> f64 {
+        best_gain_per_unit(
+            ctx.cell.m_i,
+            self.k,
+            self.inner_runs,
+            ctx.cell.rule,
+            ctx.seed,
+        )
+    }
+}
+
 /// Runs the bound check over a grid of per-type market sizes.
 #[must_use]
 pub fn run(config: &BoundCheckConfig) -> Figure {
+    run_with(config, &SubstrateCache::passthrough())
+}
+
+/// [`run`] against a caller-owned [`SubstrateCache`]. Outer markets are
+/// bare ask vectors drawn inline per replication, so the cache is threaded
+/// through the engine but never populated.
+#[must_use]
+pub fn run_with(config: &BoundCheckConfig, cache: &SubstrateCache) -> Figure {
     let sizes: Vec<u64> = match config.scale {
         Scale::Smoke => vec![100, 400],
         Scale::Default | Scale::Paper => vec![100, 250, 500, 1_000, 2_500],
     };
+    let rules = [SelectionRule::SmallestFirst, SelectionRule::UniformEligible];
+    let mut cells = Vec::with_capacity(sizes.len() * rules.len());
+    for (pi, &m_i) in sizes.iter().enumerate() {
+        for rule in rules {
+            cells.push(BoundCheckCell {
+                m_i,
+                rule,
+                salt: pi as u64,
+            });
+        }
+    }
+    let spec = GridSpec::new("bound_check", config.runs, config.seed)
+        .with_axis("market size", sizes.len())
+        .with_axis("selection rule", rules.len());
+    let rows = run_grid(
+        &spec,
+        &cells,
+        &BoundCheckRun {
+            k: config.k,
+            inner_runs: config.inner_runs,
+        },
+        cache,
+    );
+
     let mut rank = Vec::with_capacity(sizes.len());
     let mut uniform = Vec::with_capacity(sizes.len());
     let mut analytic = Vec::with_capacity(sizes.len());
     for (pi, &m_i) in sizes.iter().enumerate() {
-        for (rule, out) in [
-            (SelectionRule::SmallestFirst, &mut rank),
-            (SelectionRule::UniformEligible, &mut uniform),
-        ] {
-            let gains = parallel_map(config.runs, |r| {
-                best_gain_per_unit(
-                    m_i,
-                    config.k,
-                    config.inner_runs,
-                    rule,
-                    derive_seed(config.seed, pi as u64, r as u64),
-                )
-            });
+        for (ri, out) in [&mut rank, &mut uniform].into_iter().enumerate() {
             let mut acc = MeanStd::new();
-            acc.extend(gains);
+            acc.extend(rows[pi * rules.len() + ri].iter().copied());
             out.push(Point {
                 x: m_i as f64,
                 y: acc.mean(),
@@ -208,5 +268,19 @@ mod tests {
         assert_eq!(fig.id, "bound_check");
         assert_eq!(fig.series.len(), 3);
         assert_eq!(fig.series[0].points.len(), fig.series[2].points.len());
+    }
+
+    #[test]
+    fn inline_markets_never_touch_the_cache() {
+        let cache = SubstrateCache::new();
+        let _ = run_with(
+            &BoundCheckConfig {
+                runs: 2,
+                inner_runs: 4,
+                ..cfg()
+            },
+            &cache,
+        );
+        assert_eq!(cache.generations(), 0);
     }
 }

@@ -17,7 +17,6 @@
 //! (standard error ≈ 0 up to the deviation's own quantity-split draws);
 //! RIT's verdicts carry the usual Monte-Carlo error bars.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use rand::rngs::SmallRng;
@@ -29,8 +28,10 @@ use rit_tree::NodeId;
 
 use crate::attacks::{self, AttackSuiteConfig, SuiteReport, Z_MAX};
 use crate::experiments::{paper_mechanism, Scale};
-use crate::runner::{derive_seed, parallel_map_init};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
+use crate::io::{Table, Value};
 use crate::scenario::Scenario;
+use crate::substrate::SubstrateCache;
 
 /// Salt separating honest-replication seeds from the attack batteries.
 const HONEST_STREAM: u64 = 0xC0_ABA7ED;
@@ -162,13 +163,27 @@ impl CompareReport {
     ///
     /// Propagates I/O errors.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        writeln!(
-            f,
-            "mechanism,completion_rate,avg_utility,total_payment,auction_payment,\
-             solicitation_share,sybil_gain,sybil_z,misreport_gain,misreport_z,\
-             withholding_gain,withholding_z,resisted_all"
-        )?;
+        std::fs::write(path, self.to_table().to_csv())
+    }
+
+    /// The comparison as the shared [`Table`] emitter's representation.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "mechanism",
+            "completion_rate",
+            "avg_utility",
+            "total_payment",
+            "auction_payment",
+            "solicitation_share",
+            "sybil_gain",
+            "sybil_z",
+            "misreport_gain",
+            "misreport_z",
+            "withholding_gain",
+            "withholding_z",
+            "resisted_all",
+        ]);
         for row in &self.rows {
             let stat = |prefix: &str| -> (f64, f64) {
                 row.attack(prefix)
@@ -177,25 +192,23 @@ impl CompareReport {
             let (sg, sz) = stat("sybil(");
             let (mg, mz) = stat("misreport(");
             let (wg, wz) = stat("withholding(");
-            writeln!(
-                f,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                row.kind,
-                row.completion_rate,
-                row.avg_utility,
-                row.total_payment,
-                row.auction_payment,
-                row.solicitation_share,
-                sg,
-                sz,
-                mg,
-                mz,
-                wg,
-                wz,
-                row.all_resisted(),
-            )?;
+            table.push_row(vec![
+                Value::Str(row.kind.to_string()),
+                Value::F64(row.completion_rate),
+                Value::F64(row.avg_utility),
+                Value::F64(row.total_payment),
+                Value::F64(row.auction_payment),
+                Value::F64(row.solicitation_share),
+                Value::F64(sg),
+                Value::F64(sz),
+                Value::F64(mg),
+                Value::F64(mz),
+                Value::F64(wg),
+                Value::F64(wz),
+                Value::Bool(row.all_resisted()),
+            ]);
         }
-        Ok(())
+        table
     }
 }
 
@@ -303,18 +316,58 @@ fn honest_row<M: Mechanism + Sync>(
     job: &Job,
     mechanism: &M,
 ) -> Result<(f64, f64, f64, f64, f64), RitError> {
+    /// Grid adapter: one honest replication of one mechanism. The salt is
+    /// [`HONEST_STREAM`], preserving the pre-engine
+    /// `derive_seed(seed, HONEST_STREAM, r)` stream.
+    struct HonestRun<'a, M: Mechanism> {
+        scenario: &'a Scenario,
+        job: &'a Job,
+        mechanism: &'a M,
+    }
+
+    impl<M: Mechanism + Sync> CellRun for HonestRun<'_, M> {
+        type Cell = ();
+        type Workspace = M::Workspace;
+        type Record = Result<rit_core::MechanismOutcome, RitError>;
+
+        fn workspace(&self) -> M::Workspace {
+            M::Workspace::default()
+        }
+
+        fn salt(&self, _cell_index: usize, (): &()) -> u64 {
+            HONEST_STREAM
+        }
+
+        fn run(
+            &self,
+            ctx: &CellCtx<'_, ()>,
+            ws: &mut M::Workspace,
+        ) -> Result<rit_core::MechanismOutcome, RitError> {
+            self.mechanism.evaluate_in(
+                self.job,
+                &self.scenario.tree,
+                &self.scenario.asks,
+                None,
+                ws,
+                &mut SmallRng::seed_from_u64(ctx.seed),
+            )
+        }
+    }
+
     let n = scenario.num_users().max(1) as f64;
-    let outcomes = parallel_map_init(config.runs, M::Workspace::default, |ws, r| {
-        let seed = derive_seed(config.seed, HONEST_STREAM, r as u64);
-        mechanism.evaluate_in(
+    let spec = GridSpec::new("compare", config.runs, config.seed);
+    let outcomes = run_grid(
+        &spec,
+        &[()],
+        &HonestRun {
+            scenario,
             job,
-            &scenario.tree,
-            &scenario.asks,
-            None,
-            ws,
-            &mut SmallRng::seed_from_u64(seed),
-        )
-    });
+            mechanism,
+        },
+        &SubstrateCache::passthrough(),
+    )
+    .pop()
+    .expect("one cell");
     let mut completed = 0usize;
     let mut utility = 0.0;
     let mut payment = 0.0;
@@ -396,12 +449,23 @@ fn row<M: Mechanism + Sync>(
 ///
 /// Propagates mechanism and deviation errors.
 pub fn run(config: &CompareConfig) -> Result<CompareReport, RitError> {
+    run_with(config, &SubstrateCache::new())
+}
+
+/// [`run`] against a caller-owned [`SubstrateCache`]. The three mechanism
+/// rows share one scenario; a warm cache (e.g. one already holding the
+/// attack suite's substrate) skips the generation entirely.
+///
+/// # Errors
+///
+/// Propagates mechanism and deviation errors.
+pub fn run_with(config: &CompareConfig, cache: &SubstrateCache) -> Result<CompareReport, RitError> {
     let suite_config = AttackSuiteConfig {
         scale: config.scale,
         runs: config.runs,
         seed: config.seed,
     };
-    let scenario = attacks::scenario(&suite_config);
+    let scenario = attacks::scenario_with(&suite_config, cache);
     // Twice the probe suite's per-type workload: with the clearing price at
     // the cheap tail of the cost distribution the §4 underbid has no room
     // (it is only profitable for a loser whose true cost is below twice the
@@ -486,6 +550,18 @@ mod tests {
             "darpa sybil gain should be strictly positive: {:?}",
             sybil.report
         );
+    }
+
+    #[test]
+    fn shared_cache_generates_the_scenario_once_and_then_hits() {
+        let cache = SubstrateCache::new();
+        let first = run_with(&cfg(), &cache).unwrap();
+        assert_eq!(cache.generations(), 1, "one shared scenario substrate");
+        let second = run_with(&cfg(), &cache).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.generations, 1, "second run must reuse the substrate");
+        assert!(stats.hits >= 1, "second run must hit the cache");
+        assert_eq!(first, second, "cached substrate must not change results");
     }
 
     #[test]

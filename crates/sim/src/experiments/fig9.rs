@@ -23,9 +23,10 @@ use rit_model::{Ask, Job, UserProfile};
 use rit_tree::sybil::SybilPlan;
 
 use crate::experiments::{paper_mechanism, Scale};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::substrate::SubstrateCache;
 
 /// Configuration of the Fig 9 experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -103,6 +104,60 @@ fn build_setup(config: &Fig9Config) -> Setup {
     }
 }
 
+/// One Fig 9 grid cell: the truthful reference, or one `(ask value, δ)`
+/// attack combination. The salt reproduces the pre-engine seed streams:
+/// stream 0 for the reference, `1 + (ai * 64 + di)` for attack cells.
+enum Fig9Cell {
+    Honest,
+    Attack {
+        ask_value: f64,
+        delta: usize,
+        salt: u64,
+    },
+}
+
+struct Fig9Run<'a> {
+    setup: &'a Setup,
+}
+
+impl CellRun for Fig9Run<'_> {
+    type Cell = Fig9Cell;
+    type Workspace = ();
+    type Record = f64;
+
+    fn workspace(&self) {}
+
+    fn salt(&self, _cell_index: usize, cell: &Fig9Cell) -> u64 {
+        match cell {
+            Fig9Cell::Honest => 0,
+            Fig9Cell::Attack { salt, .. } => *salt,
+        }
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, Fig9Cell>, (): &mut ()) -> f64 {
+        let setup = self.setup;
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        match *ctx.cell {
+            // Reference: truthful ask, no sybil attack.
+            Fig9Cell::Honest => {
+                let outcome = setup
+                    .rit
+                    .run(
+                        &setup.job,
+                        &setup.scenario.tree,
+                        &setup.scenario.asks,
+                        &mut rng,
+                    )
+                    .expect("aligned scenario");
+                outcome.utility(setup.attacker, ATTACKER_COST)
+            }
+            Fig9Cell::Attack {
+                ask_value, delta, ..
+            } => attack_utility(setup, ask_value, delta, &mut rng),
+        }
+    }
+}
+
 /// Runs the Fig 9 experiment: attacker utility vs number of identities, one
 /// series per probed ask value, plus a truthful-no-attack reference line.
 #[must_use]
@@ -113,36 +168,37 @@ pub fn run(config: &Fig9Config) -> Figure {
         Scale::Smoke => vec![2, 4, 6],
     };
 
-    // Reference: truthful ask, no sybil attack.
-    let honest_runs = parallel_map(config.runs, |r| {
-        let seed = derive_seed(config.seed, 0, r as u64);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let outcome = setup
-            .rit
-            .run(
-                &setup.job,
-                &setup.scenario.tree,
-                &setup.scenario.asks,
-                &mut rng,
-            )
-            .expect("aligned scenario");
-        outcome.utility(setup.attacker, ATTACKER_COST)
-    });
+    // One grid over every cell — the honest reference plus all
+    // (ask value, δ) combinations — so stragglers in one cell never idle
+    // workers that could be running another.
+    let mut cells: Vec<Fig9Cell> = Vec::with_capacity(1 + ASK_VALUES.len() * deltas.len());
+    cells.push(Fig9Cell::Honest);
+    for (ai, &ask_value) in ASK_VALUES.iter().enumerate() {
+        for (di, &delta) in deltas.iter().enumerate() {
+            cells.push(Fig9Cell::Attack {
+                ask_value,
+                delta,
+                salt: 1 + (ai * 64 + di) as u64,
+            });
+        }
+    }
+    let spec = GridSpec::new("fig9", config.runs, config.seed);
+    let rows = run_grid(
+        &spec,
+        &cells,
+        &Fig9Run { setup: &setup },
+        &SubstrateCache::passthrough(),
+    );
+
     let mut honest = MeanStd::new();
-    honest.extend(honest_runs);
+    honest.extend(rows[0].iter().copied());
 
     let mut series: Vec<Series> = Vec::with_capacity(ASK_VALUES.len() + 1);
     for (ai, &ask_value) in ASK_VALUES.iter().enumerate() {
         let mut points = Vec::with_capacity(deltas.len());
         for (di, &delta) in deltas.iter().enumerate() {
-            let cell = 1 + (ai * 64 + di) as u64;
-            let utils = parallel_map(config.runs, |r| {
-                let seed = derive_seed(config.seed, cell, r as u64);
-                let mut rng = SmallRng::seed_from_u64(seed);
-                attack_utility(&setup, ask_value, delta, &mut rng)
-            });
             let mut acc = MeanStd::new();
-            acc.extend(utils);
+            acc.extend(rows[1 + ai * deltas.len() + di].iter().copied());
             points.push(Point {
                 x: delta as f64,
                 y: acc.mean(),

@@ -81,7 +81,7 @@ pub fn run_once(rit: &Rit, job: &Job, scenario: &Scenario, seed: u64) -> RunMetr
 
 /// Like [`run_once`], reusing the auction scratch in `ws`. Outcomes are
 /// bit-identical to [`run_once`] for the same seed; per-worker workspace
-/// reuse (see [`crate::runner::parallel_map_init`]) keeps the auction
+/// reuse (see [`crate::grid::CellRun::workspace`]) keeps the auction
 /// phase allocation-free across a sweep's replications.
 ///
 /// # Panics

@@ -9,13 +9,13 @@
 //! platform cost vs the fraction of users screened out.
 
 use rit_adversary::{BaseScenario, ProbeRunner, Screening, SeedSchedule};
-use rit_core::{RitError, RoundLimit};
+use rit_core::{Rit, RitError, RoundLimit};
 use rit_model::Job;
 
 use crate::experiments::{paper_mechanism, Scale};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
-use crate::scenario::{Scenario, ScenarioConfig};
+use crate::scenario::ScenarioConfig;
 use crate::substrate::{SubstrateCache, SubstrateMode};
 
 /// Configuration of the screening sweep.
@@ -48,8 +48,75 @@ impl ScreeningConfig {
 
 const SCREEN_FRACTIONS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9];
 
+/// Salt separating freshly generated substrates from screening seeds.
+const FRESH_SALT: u64 = 0x0DDB;
 /// Salt separating substrate seeds from screening/mechanism seeds.
 const SUBSTRATE_STREAM: u64 = 0x0DDB_F00D;
+
+/// Grid adapter: one replication of one screening level. The salt is the
+/// fraction index, preserving the pre-engine `derive_seed(seed, fi, r)`
+/// stream.
+struct ScreeningRun<'a> {
+    scen_config: &'a ScenarioConfig,
+    job: &'a Job,
+    rit: &'a Rit,
+    runs: usize,
+}
+
+impl CellRun for ScreeningRun<'_> {
+    type Cell = f64;
+    type Workspace = ();
+    type Record = (f64, Option<f64>);
+
+    fn workspace(&self) {}
+
+    fn salt(&self, cell_index: usize, _cell: &f64) -> u64 {
+        cell_index as u64
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, f64>, (): &mut ()) -> (f64, Option<f64>) {
+        // Screening is a platform-side, attacker-free deviation: only its
+        // single (deviant) arm runs, with the exogenous quality lottery
+        // drawn by the deviation before the mechanism continues on the
+        // same generator.
+        let deviation = Screening {
+            fraction: *ctx.cell,
+        };
+        let scenario = ctx.scenario(self.scen_config, FRESH_SALT, SUBSTRATE_STREAM);
+        let base = BaseScenario {
+            tree: &scenario.tree,
+            asks: &scenario.asks,
+            costs: &[],
+        };
+        let runner = ProbeRunner::new(
+            base,
+            SeedSchedule::Derived {
+                master: ctx.master_seed(),
+                point: ctx.cell_index as u64,
+            },
+            self.runs,
+        );
+        let job = self.job;
+        let rit = self.rit;
+        let arm = runner
+            .deviant_replication::<RitError, _>(ctx.replication, &deviation, &mut |view, rng| {
+                let out = rit.run_screened(
+                    job,
+                    view.tree,
+                    view.asks,
+                    view.eligible.expect("screening sets a mask"),
+                    rng,
+                )?;
+                Ok(out.into())
+            })
+            .expect("aligned scenario");
+        if arm.completed {
+            (1.0, Some(arm.total_payment / job.total_tasks() as f64))
+        } else {
+            (0.0, None)
+        }
+    }
+}
 
 /// Runs the screening sweep.
 #[must_use]
@@ -69,54 +136,24 @@ pub fn run_with(config: &ScreeningConfig, cache: &SubstrateCache) -> Figure {
     let job = Job::uniform(4, m_i).expect("positive types");
     let rit = paper_mechanism(RoundLimit::until_stall());
 
+    let spec = GridSpec::new("quality_screening", config.runs, config.seed)
+        .with_substrate(config.substrate)
+        .with_axis("screened fraction", SCREEN_FRACTIONS.len());
+    let rows = run_grid(
+        &spec,
+        &SCREEN_FRACTIONS,
+        &ScreeningRun {
+            scen_config: &scen_config,
+            job: &job,
+            rit: &rit,
+            runs: config.runs,
+        },
+        cache,
+    );
+
     let mut completion_points = Vec::with_capacity(SCREEN_FRACTIONS.len());
     let mut cost_points = Vec::with_capacity(SCREEN_FRACTIONS.len());
-    for (fi, &fraction) in SCREEN_FRACTIONS.iter().enumerate() {
-        // Screening is a platform-side, attacker-free deviation: only its
-        // single (deviant) arm runs, with the exogenous quality lottery
-        // drawn by the deviation before the mechanism continues on the
-        // same generator.
-        let deviation = Screening { fraction };
-        let samples = parallel_map(config.runs, |r| {
-            let seed = derive_seed(config.seed, fi as u64, r as u64);
-            let scenario = match config.substrate.slot(r) {
-                None => std::sync::Arc::new(Scenario::generate(&scen_config, seed ^ 0x0DDB)),
-                Some(slot) => cache.scenario(
-                    &scen_config,
-                    derive_seed(config.seed, SUBSTRATE_STREAM, slot as u64),
-                ),
-            };
-            let base = BaseScenario {
-                tree: &scenario.tree,
-                asks: &scenario.asks,
-                costs: &[],
-            };
-            let runner = ProbeRunner::new(
-                base,
-                SeedSchedule::Derived {
-                    master: config.seed,
-                    point: fi as u64,
-                },
-                config.runs,
-            );
-            let arm = runner
-                .deviant_replication::<RitError, _>(r, &deviation, &mut |view, rng| {
-                    let out = rit.run_screened(
-                        &job,
-                        view.tree,
-                        view.asks,
-                        view.eligible.expect("screening sets a mask"),
-                        rng,
-                    )?;
-                    Ok(out.into())
-                })
-                .expect("aligned scenario");
-            if arm.completed {
-                (1.0, Some(arm.total_payment / job.total_tasks() as f64))
-            } else {
-                (0.0, None)
-            }
-        });
+    for (&fraction, samples) in SCREEN_FRACTIONS.iter().zip(rows) {
         let mut completion = MeanStd::new();
         let mut cost = MeanStd::new();
         for (c, p) in samples {

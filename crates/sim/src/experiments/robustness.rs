@@ -17,8 +17,9 @@ use rit_model::Job;
 use rit_socialgraph::{generators, spanning};
 
 use crate::experiments::{paper_mechanism, Scale};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
+use crate::substrate::SubstrateCache;
 
 /// Configuration of the robustness sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -89,30 +90,92 @@ fn payment_ratio(
     Some(outcome.total_payment() / outcome.total_auction_payment())
 }
 
+/// One robustness grid cell: a (cost model, job size) pair with its
+/// pre-engine seed stream `mi_idx * 16 + pi`.
+struct RobustnessCell {
+    cost: CostModel,
+    m_i: u64,
+    salt: u64,
+}
+
+/// Grid adapter: one replication of one (model, size) cell. Substrates are
+/// drawn inline on one continuous generator per replication (the cost model
+/// varies per cell), so the cell deliberately bypasses [`CellCtx::scenario`]
+/// and any caller-provided cache.
+struct RobustnessRun {
+    num_users: usize,
+    num_types: usize,
+}
+
+impl CellRun for RobustnessRun {
+    type Cell = RobustnessCell;
+    type Workspace = ();
+    type Record = Option<f64>;
+
+    fn workspace(&self) {}
+
+    fn salt(&self, _cell_index: usize, cell: &RobustnessCell) -> u64 {
+        cell.salt
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, RobustnessCell>, (): &mut ()) -> Option<f64> {
+        payment_ratio(
+            self.num_users,
+            self.num_types,
+            ctx.cell.m_i,
+            ctx.cell.cost,
+            ctx.seed,
+        )
+    }
+}
+
 /// Runs the robustness sweep: payment ratio vs per-type job size, one
 /// series per cost model.
 #[must_use]
 pub fn run(config: &RobustnessConfig) -> Figure {
+    run_with(config, &SubstrateCache::passthrough())
+}
+
+/// [`run`] against a caller-owned [`SubstrateCache`]. Each replication
+/// samples its own population inline (cost models differ per cell), so the
+/// cache is threaded through the engine but never populated.
+#[must_use]
+pub fn run_with(config: &RobustnessConfig, cache: &SubstrateCache) -> Figure {
     let (num_users, sizes): (usize, Vec<u64>) = match config.scale {
         Scale::Smoke => (1_500, vec![60, 120]),
         Scale::Default | Scale::Paper => (10_000, vec![250, 500, 1_000]),
     };
     let num_types = 4;
-    let mut series = Vec::new();
-    for (mi_idx, (name, cost)) in cost_models().into_iter().enumerate() {
+    let models = cost_models();
+    let mut cells = Vec::with_capacity(models.len() * sizes.len());
+    for (mi_idx, (_, cost)) in models.iter().enumerate() {
+        for (pi, &m_i) in sizes.iter().enumerate() {
+            cells.push(RobustnessCell {
+                cost: *cost,
+                m_i,
+                salt: (mi_idx * 16 + pi) as u64,
+            });
+        }
+    }
+    let spec = GridSpec::new("robustness", config.runs, config.seed)
+        .with_axis("cost model", models.len())
+        .with_axis("job size", sizes.len());
+    let rows = run_grid(
+        &spec,
+        &cells,
+        &RobustnessRun {
+            num_users,
+            num_types,
+        },
+        cache,
+    );
+
+    let mut series = Vec::with_capacity(models.len());
+    for (mi_idx, (name, _)) in models.iter().enumerate() {
         let mut points = Vec::with_capacity(sizes.len());
         for (pi, &m_i) in sizes.iter().enumerate() {
-            let ratios = parallel_map(config.runs, |r| {
-                payment_ratio(
-                    num_users,
-                    num_types,
-                    m_i,
-                    cost,
-                    derive_seed(config.seed, (mi_idx * 16 + pi) as u64, r as u64),
-                )
-            });
             let mut acc = MeanStd::new();
-            acc.extend(ratios.into_iter().flatten());
+            acc.extend(rows[mi_idx * sizes.len() + pi].iter().flatten().copied());
             points.push(Point {
                 x: m_i as f64,
                 y: acc.mean(),
@@ -120,7 +183,7 @@ pub fn run(config: &RobustnessConfig) -> Figure {
             });
         }
         series.push(Series {
-            name: name.into(),
+            name: (*name).into(),
             points,
         });
     }
@@ -164,5 +227,21 @@ mod tests {
                 - ys.iter().fold(f64::INFINITY, |a, &b| a.min(b));
             assert!(spread < 0.25, "cost-model spread too wide: {ys:?}");
         }
+    }
+
+    #[test]
+    fn inline_substrates_never_touch_the_cache() {
+        let cache = SubstrateCache::new();
+        let _ = run_with(
+            &RobustnessConfig {
+                scale: Scale::Smoke,
+                runs: 2,
+                seed: 7,
+            },
+            &cache,
+        );
+        // Populations are drawn inline per replication; the caller's cache
+        // must stay cold.
+        assert_eq!(cache.generations(), 0);
     }
 }

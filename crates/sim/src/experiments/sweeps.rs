@@ -5,19 +5,20 @@
 //! * **Task sweep** (Figs 6b, 7b, 8b): `n = 30,000` users, per-type job
 //!   size swept 1,000 → 3,000.
 //!
-//! Each sweep runs `R` seeded replications per grid point in parallel and
+//! Each sweep is one [`GridSpec`] grid — grid points × `R` seeded
+//! replications flattened into the engine's global work queue — and
 //! accumulates six metrics; the `figures` functions slice one sweep into the
 //! three paper figures (utility / total payment / running time, each with an
 //! "auction phase" and a "RIT" curve).
 
 use rit_model::Job;
 
-use rit_core::{RitWorkspace, RoundLimit};
+use rit_core::{Rit, RitWorkspace, RoundLimit};
 
 use crate::experiments::{paper_mechanism, run_once_in, RunMetrics, Scale};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map_init};
-use crate::scenario::{Scenario, ScenarioConfig};
+use crate::scenario::ScenarioConfig;
 use crate::substrate::{SubstrateCache, SubstrateMode};
 
 /// Configuration of a sweep.
@@ -109,29 +110,41 @@ fn accumulate(x: u64, metrics: &[RunMetrics]) -> PointSummary {
 /// per-replication mechanism seeds.
 const SUBSTRATE_STREAM: u64 = 0xF00D_CAFE;
 
-/// The substrate for replication `r` of grid point `pi`: a fresh
-/// generation per replication in [`SubstrateMode::PerReplication`] (the
-/// cache is bypassed — memoizing single-use draws would only hold memory),
-/// or one of `k` cached substrates in [`SubstrateMode::Rotating`]. Rotating
-/// seeds depend only on the slot, so grid points sharing a scenario
-/// configuration (e.g. every point of the task sweep) share substrates
-/// through `cache`.
-fn substrate_for(
-    cache: &SubstrateCache,
-    scenario_config: &ScenarioConfig,
-    config: &SweepConfig,
-    pi: usize,
-    r: usize,
-) -> std::sync::Arc<Scenario> {
-    match config.substrate.slot(r) {
-        None => {
-            let seed = derive_seed(config.seed, pi as u64, r as u64);
-            std::sync::Arc::new(Scenario::generate(scenario_config, seed ^ 0xA5A5_5A5A))
-        }
-        Some(slot) => {
-            let seed = derive_seed(config.seed, SUBSTRATE_STREAM, slot as u64);
-            cache.scenario(scenario_config, seed)
-        }
+/// Salt decorrelating a fresh per-replication substrate's seed from the
+/// mechanism seed consuming the same `(point, replication)` stream.
+const FRESH_SALT: u64 = 0xA5A5_5A5A;
+
+/// One resolved sweep point: the swept value plus everything a
+/// replication needs.
+struct SweepCell {
+    x: u64,
+    scenario_config: ScenarioConfig,
+    job: Job,
+    rit: Rit,
+}
+
+/// Grid adapter: one replication of one sweep point. The salt is the
+/// point index, preserving the pre-engine `derive_seed(seed, pi, r)`
+/// stream bit-for-bit.
+struct SweepRun;
+
+impl CellRun for SweepRun {
+    type Cell = SweepCell;
+    type Workspace = RitWorkspace;
+    type Record = RunMetrics;
+
+    fn workspace(&self) -> RitWorkspace {
+        RitWorkspace::new()
+    }
+
+    fn salt(&self, cell_index: usize, _cell: &SweepCell) -> u64 {
+        cell_index as u64
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, SweepCell>, ws: &mut RitWorkspace) -> RunMetrics {
+        let cell = ctx.cell;
+        let scenario = ctx.scenario(&cell.scenario_config, FRESH_SALT, SUBSTRATE_STREAM);
+        run_once_in(&cell.rit, &cell.job, &scenario, ws, ctx.seed)
     }
 }
 
@@ -142,25 +155,28 @@ fn sweep(
     cache: &SubstrateCache,
 ) -> SweepData {
     let num_types = 10;
-    let points = grid
-        .iter()
-        .enumerate()
-        .map(|(pi, &(x, num_users, m_i))| {
-            let scenario_config = ScenarioConfig::paper(num_users);
-            let job = Job::uniform(num_types, m_i).expect("positive type count");
+    let cells: Vec<SweepCell> = grid
+        .into_iter()
+        .map(|(x, num_users, m_i)| SweepCell {
+            x,
+            scenario_config: ScenarioConfig::paper(num_users),
+            job: Job::uniform(num_types, m_i).expect("positive type count"),
             // Completion must hold across all 10 types simultaneously; under
             // the paper's own round budget that probability collapses at the
             // small end of the Fig 6(b) sweep (see the `ablation_rounds`
             // figure and DESIGN.md), so the published curves can only have
             // been produced best-effort — which is what we run here.
-            let rit = paper_mechanism(RoundLimit::until_stall());
-            let metrics = parallel_map_init(config.runs, RitWorkspace::new, |ws, r| {
-                let seed = derive_seed(config.seed, pi as u64, r as u64);
-                let scenario = substrate_for(cache, &scenario_config, config, pi, r);
-                run_once_in(&rit, &job, &scenario, ws, seed)
-            });
-            accumulate(x, &metrics)
+            rit: paper_mechanism(RoundLimit::until_stall()),
         })
+        .collect();
+    let spec = GridSpec::new(kind, config.runs, config.seed)
+        .with_substrate(config.substrate)
+        .with_axis(kind, cells.len());
+    let rows = run_grid(&spec, &cells, &SweepRun, cache);
+    let points = cells
+        .iter()
+        .zip(rows)
+        .map(|(cell, metrics)| accumulate(cell.x, &metrics))
         .collect();
     SweepData {
         kind,

@@ -19,9 +19,10 @@ use rit_model::Job;
 use rit_tree::stats::TreeStats;
 
 use crate::experiments::{paper_mechanism, Scale};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
 use crate::scenario::{GraphModel, Scenario, ScenarioConfig};
+use crate::substrate::SubstrateCache;
 
 /// Configuration of the tree-shape sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -73,6 +74,30 @@ fn one_run(num_users: usize, m_i: u64, graph: GraphModel, seed: u64) -> ModelOut
     }
 }
 
+/// Grid adapter: one replication of one graph model. The salt is the
+/// model index (0 = BA, 1 = ER, 2 = WS), preserving the pre-engine
+/// `derive_seed(seed, gi, r)` stream.
+struct TreeShapeRun {
+    num_users: usize,
+    m_i: u64,
+}
+
+impl CellRun for TreeShapeRun {
+    type Cell = GraphModel;
+    type Workspace = ();
+    type Record = ModelOutcome;
+
+    fn workspace(&self) {}
+
+    fn salt(&self, cell_index: usize, _cell: &GraphModel) -> u64 {
+        cell_index as u64
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, GraphModel>, (): &mut ()) -> ModelOutcome {
+        one_run(self.num_users, self.m_i, *ctx.cell, ctx.seed)
+    }
+}
+
 /// Runs the tree-shape sweep. The x axis indexes the graph models (0 = BA,
 /// 1 = ER, 2 = WS); two series report the payment ratio and the mean
 /// recruiter depth.
@@ -82,24 +107,30 @@ pub fn run(config: &TreeShapeConfig) -> Figure {
         Scale::Smoke => (1_200, 80),
         Scale::Default | Scale::Paper => (10_000, 500),
     };
+    let cells: Vec<GraphModel> = graph_models()
+        .into_iter()
+        .map(|(_, mut graph)| {
+            if let GraphModel::ErdosRenyi { ref mut p } = graph {
+                // Match BA's mean degree (≈ 4).
+                *p = 4.0 / (num_users as f64 - 1.0);
+            }
+            graph
+        })
+        .collect();
+    let spec =
+        GridSpec::new("tree_shape", config.runs, config.seed).with_axis("graph model", cells.len());
+    let rows = run_grid(
+        &spec,
+        &cells,
+        &TreeShapeRun { num_users, m_i },
+        &SubstrateCache::passthrough(),
+    );
     let mut ratio_points = Vec::new();
     let mut depth_points = Vec::new();
-    for (gi, (_, mut graph)) in graph_models().into_iter().enumerate() {
-        if let GraphModel::ErdosRenyi { ref mut p } = graph {
-            // Match BA's mean degree (≈ 4).
-            *p = 4.0 / (num_users as f64 - 1.0);
-        }
-        let outcomes = parallel_map(config.runs, |r| {
-            one_run(
-                num_users,
-                m_i,
-                graph,
-                derive_seed(config.seed, gi as u64, r as u64),
-            )
-        });
+    for (gi, outcomes) in rows.iter().enumerate() {
         let mut ratio = MeanStd::new();
         let mut depth = MeanStd::new();
-        for o in &outcomes {
+        for o in outcomes {
             if let Some(x) = o.ratio {
                 ratio.push(x);
             }

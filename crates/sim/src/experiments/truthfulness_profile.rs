@@ -11,13 +11,14 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rit_core::RoundLimit;
-use rit_model::Job;
+use rit_core::{Rit, RoundLimit};
+use rit_model::{Ask, Job};
 
 use crate::experiments::{paper_mechanism, Scale};
+use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
 use crate::metrics::{Figure, MeanStd, Point, Series};
-use crate::runner::{derive_seed, parallel_map};
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::substrate::SubstrateCache;
 
 /// Configuration of the truthfulness profile.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,6 +32,51 @@ pub struct ProfileConfig {
 }
 
 const FACTORS: [f64; 9] = [0.5, 0.65, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
+
+/// One price factor's cell: the factor plus the full ask vector with the
+/// probed user's price already rescaled.
+struct FactorCell {
+    factor: f64,
+    asks: Vec<Ask>,
+}
+
+/// Grid adapter: one replication of one price factor. The salt is the
+/// factor index, preserving the pre-engine `derive_seed(seed, fi, r)`
+/// stream.
+struct ProfileRun<'a> {
+    rit: &'a Rit,
+    job: &'a Job,
+    user: usize,
+    cost: f64,
+}
+
+impl CellRun for ProfileRun<'_> {
+    type Cell = FactorCell;
+    type Workspace = ();
+    type Record = (f64, f64);
+
+    fn workspace(&self) {}
+
+    fn salt(&self, cell_index: usize, _cell: &FactorCell) -> u64 {
+        cell_index as u64
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, FactorCell>, (): &mut ()) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        // Auction-phase utility only: the solicitation term is additive
+        // and independent of the user's own ask (Lemma 6.3's argument),
+        // so including it would only add variance to the curve.
+        let phase = self
+            .rit
+            .run_auction_phase(self.job, &ctx.cell.asks, &mut rng)
+            .expect("aligned");
+        let won = phase.allocation[self.user];
+        (
+            phase.auction_payments[self.user] - won as f64 * self.cost,
+            won as f64,
+        )
+    }
+}
 
 /// Runs the profile: expected utility (and win count) vs price factor.
 #[must_use]
@@ -68,25 +114,33 @@ pub fn run(config: &ProfileConfig) -> Figure {
         .expect("a winner exists");
     let cost = scenario.population[user].unit_cost();
 
+    let cells: Vec<FactorCell> = FACTORS
+        .iter()
+        .map(|&factor| {
+            let mut asks = scenario.asks.clone();
+            asks[user] = asks[user]
+                .with_unit_price(cost * factor)
+                .expect("positive factor");
+            FactorCell { factor, asks }
+        })
+        .collect();
+    let spec = GridSpec::new("truthfulness_profile", config.runs, config.seed)
+        .with_axis("price factor", cells.len());
+    let rows = run_grid(
+        &spec,
+        &cells,
+        &ProfileRun {
+            rit: &rit,
+            job: &job,
+            user,
+            cost,
+        },
+        &SubstrateCache::passthrough(),
+    );
+
     let mut utility_points = Vec::with_capacity(FACTORS.len());
     let mut allocation_points = Vec::with_capacity(FACTORS.len());
-    for (fi, &factor) in FACTORS.iter().enumerate() {
-        let mut asks = scenario.asks.clone();
-        asks[user] = asks[user]
-            .with_unit_price(cost * factor)
-            .expect("positive factor");
-        let samples = parallel_map(config.runs, |r| {
-            let seed = derive_seed(config.seed, fi as u64, r as u64);
-            let mut rng = SmallRng::seed_from_u64(seed);
-            // Auction-phase utility only: the solicitation term is additive
-            // and independent of the user's own ask (Lemma 6.3's argument),
-            // so including it would only add variance to the curve.
-            let phase = rit
-                .run_auction_phase(&job, &asks, &mut rng)
-                .expect("aligned");
-            let won = phase.allocation[user];
-            (phase.auction_payments[user] - won as f64 * cost, won as f64)
-        });
+    for (cell, samples) in cells.iter().zip(rows) {
         let mut utility = MeanStd::new();
         let mut allocation = MeanStd::new();
         for (u, x) in samples {
@@ -94,12 +148,12 @@ pub fn run(config: &ProfileConfig) -> Figure {
             allocation.push(x);
         }
         utility_points.push(Point {
-            x: factor,
+            x: cell.factor,
             y: utility.mean(),
             y_std: utility.std_dev(),
         });
         allocation_points.push(Point {
-            x: factor,
+            x: cell.factor,
             y: allocation.mean(),
             y_std: allocation.std_dev(),
         });

@@ -1,0 +1,671 @@
+//! The declarative experiment grid engine.
+//!
+//! Every experiment in this crate has the same shape: a parameter grid of
+//! *cells*, each averaged over `R` seeded *replications*. Before this
+//! module each experiment hand-rolled that loop — enumerate points, derive
+//! seeds, fan each point out with
+//! [`parallel_map`](crate::runner::parallel_map), fold — which put a
+//! synchronization barrier between grid points: a straggler replication at
+//! one point idled every other worker until the point finished.
+//!
+//! The engine inverts that. A [`GridSpec`] declares the grid (named axes,
+//! replication count, master seed, [`SubstrateMode`]); a [`CellRun`]
+//! adapter maps one resolved cell + derived seed to a metrics record; and
+//! [`run_grid`] flattens the *entire* `cells × replications` product into
+//! one global work queue drained by `RIT_THREADS` workers. Workers reuse a
+//! per-worker workspace across everything they claim and share one
+//! [`SubstrateCache`], so there is no barrier anywhere between the first
+//! and last item of a grid.
+//!
+//! # Determinism contract
+//!
+//! Scheduling never leaks into results:
+//!
+//! - the seed of item `(cell, replication)` is
+//!   `derive_seed(master_seed, salt(cell), replication)` — a pure function
+//!   of the spec and the adapter, independent of which worker runs it or
+//!   when;
+//! - records are scattered into their `(cell, replication)` slot and
+//!   handed back in grid order, whatever order the queue was drained in;
+//! - workspaces carry *capacity, not results*: an adapter's
+//!   [`run`](CellRun::run) must produce the same record for an item
+//!   regardless of the workspace's history (the
+//!   replication-order proptests pin this).
+//!
+//! Consequently the output is bit-identical at any thread count and any
+//! claim order — the same contract the per-point `parallel_map` loops
+//! provided, now with one queue instead of one barrier per point.
+//!
+//! # Telemetry
+//!
+//! When a global [`rit_telemetry`] instance is installed the engine emits
+//! per-cell spans: a `grid.cells` completed counter, a `grid.cell_micros`
+//! wall-time histogram (first item claimed → last item finished), and a
+//! `grid.straggler_micros` gauge tracking the slowest cell so far. Worker
+//! items continue to feed the `worker.*` metrics exactly as
+//! `parallel_map` does.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rit_telemetry::Telemetry;
+
+use crate::runner::{default_threads, derive_seed, timed_item};
+use crate::scenario::{Scenario, ScenarioConfig};
+use crate::substrate::{SubstrateCache, SubstrateMode};
+
+/// A named grid dimension — purely descriptive (progress lines, manifest
+/// text); the engine only checks that the axis lengths multiply out to the
+/// number of resolved cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Axis {
+    /// Human-readable dimension name (`"num_users"`, `"ask_value"`, …).
+    pub name: &'static str,
+    /// Number of distinct values along this dimension.
+    pub len: usize,
+}
+
+/// Declarative description of one experiment grid: what varies (named
+/// axes), how often each cell repeats, and which seed/substrate policy the
+/// replications draw from.
+#[derive(Clone, Debug)]
+pub struct GridSpec {
+    /// Grid name, used in progress lines and telemetry.
+    pub name: &'static str,
+    /// Replications per cell. Every cell runs exactly this many times.
+    pub replications: usize,
+    /// Master seed; item seeds derive from it via
+    /// `derive_seed(master_seed, salt, replication)`.
+    pub master_seed: u64,
+    /// How replications source their scenario substrate (fresh per
+    /// replication, or rotating over a cached pool).
+    pub substrate: SubstrateMode,
+    /// Declared dimensions. Empty means "unspecified"; non-empty lengths
+    /// must multiply out to the cell count handed to [`run_grid`].
+    pub axes: Vec<Axis>,
+}
+
+impl GridSpec {
+    /// A spec with per-replication substrates and no declared axes.
+    #[must_use]
+    pub fn new(name: &'static str, replications: usize, master_seed: u64) -> Self {
+        Self {
+            name,
+            replications,
+            master_seed,
+            substrate: SubstrateMode::PerReplication,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Sets the substrate mode (builder style).
+    #[must_use]
+    pub fn with_substrate(mut self, substrate: SubstrateMode) -> Self {
+        self.substrate = substrate;
+        self
+    }
+
+    /// Declares a named axis of `len` values (builder style).
+    #[must_use]
+    pub fn with_axis(mut self, name: &'static str, len: usize) -> Self {
+        self.axes.push(Axis { name, len });
+        self
+    }
+
+    /// The cell count implied by the declared axes, or `None` when no axes
+    /// were declared.
+    #[must_use]
+    pub fn declared_cells(&self) -> Option<usize> {
+        if self.axes.is_empty() {
+            None
+        } else {
+            Some(self.axes.iter().map(|a| a.len).product())
+        }
+    }
+}
+
+/// Everything the engine resolves for one work item, handed to
+/// [`CellRun::run`].
+#[derive(Debug)]
+pub struct CellCtx<'a, C> {
+    /// The resolved cell configuration.
+    pub cell: &'a C,
+    /// Index of the cell in the grid's cell list.
+    pub cell_index: usize,
+    /// Replication index within the cell, `0..spec.replications`.
+    pub replication: usize,
+    /// The item's derived seed:
+    /// `derive_seed(master_seed, salt(cell), replication)`.
+    pub seed: u64,
+    spec: &'a GridSpec,
+    cache: &'a SubstrateCache,
+}
+
+impl<C> CellCtx<'_, C> {
+    /// The grid's master seed.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.spec.master_seed
+    }
+
+    /// The grid's substrate mode.
+    #[must_use]
+    pub fn substrate_mode(&self) -> SubstrateMode {
+        self.spec.substrate
+    }
+
+    /// The shared substrate cache.
+    #[must_use]
+    pub fn cache(&self) -> &SubstrateCache {
+        self.cache
+    }
+
+    /// The item's scenario substrate under the grid's [`SubstrateMode`],
+    /// preserving the seed scheme the experiments have always used:
+    ///
+    /// - **per-replication**: a fresh
+    ///   `Scenario::generate(config, seed ^ fresh_salt)` — the xor
+    ///   decorrelates the substrate stream from the mechanism stream that
+    ///   consumes [`seed`](Self::seed) directly;
+    /// - **rotating(k)**: substrate slot `replication % k`, served from the
+    ///   shared cache under
+    ///   `derive_seed(master_seed, rotating_stream, slot)` — one
+    ///   generation per slot for the whole grid.
+    ///
+    /// `fresh_salt` and `rotating_stream` are per-experiment constants so
+    /// distinct experiments never collide on a substrate seed.
+    ///
+    /// # Panics
+    ///
+    /// Propagates [`Scenario::generate`] panics (invalid configuration).
+    #[must_use]
+    pub fn scenario(
+        &self,
+        config: &ScenarioConfig,
+        fresh_salt: u64,
+        rotating_stream: u64,
+    ) -> Arc<Scenario> {
+        match self.spec.substrate.slot(self.replication) {
+            None => Arc::new(Scenario::generate(config, self.seed ^ fresh_salt)),
+            Some(slot) => self.cache.scenario(
+                config,
+                derive_seed(self.spec.master_seed, rotating_stream, slot as u64),
+            ),
+        }
+    }
+}
+
+/// One experiment's cell executor: resolved cell + derived seed +
+/// per-worker workspace → metrics record. Monomorphized per experiment —
+/// no dynamic dispatch on the hot path.
+pub trait CellRun: Sync {
+    /// Resolved cell configuration (one grid point).
+    type Cell: Sync;
+    /// Per-worker scratch state, created once per worker thread and reused
+    /// across every item the worker claims. Must carry capacity, not
+    /// results — see the module-level determinism contract.
+    type Workspace;
+    /// The metrics record one `(cell, replication)` item produces.
+    type Record: Send;
+
+    /// Creates one worker's workspace (called once per worker thread).
+    fn workspace(&self) -> Self::Workspace;
+
+    /// The seed salt of a cell: item seeds are
+    /// `derive_seed(master_seed, salt, replication)`. Ported experiments
+    /// return exactly the point index their pre-engine loop used, keeping
+    /// every output bit-identical.
+    fn salt(&self, cell_index: usize, cell: &Self::Cell) -> u64;
+
+    /// Executes one `(cell, replication)` item. Must be deterministic in
+    /// `ctx` alone (not workspace history, not scheduling).
+    fn run(&self, ctx: &CellCtx<'_, Self::Cell>, workspace: &mut Self::Workspace) -> Self::Record;
+}
+
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enables (or disables) per-cell progress lines on stderr for every
+/// subsequent grid run in this process. Off by default; the `experiments`
+/// binary switches it on. Progress is stderr-only and never affects
+/// results.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Runs the full `cells × replications` grid on the default worker count
+/// (the `RIT_THREADS` override, else available parallelism) and returns
+/// records grouped per cell, replications in order.
+///
+/// # Panics
+///
+/// Panics when the spec declares axes whose lengths do not multiply out to
+/// `cells.len()`, or when a worker thread panics.
+pub fn run_grid<R: CellRun>(
+    spec: &GridSpec,
+    cells: &[R::Cell],
+    runner: &R,
+    cache: &SubstrateCache,
+) -> Vec<Vec<R::Record>> {
+    run_grid_with_threads(spec, cells, runner, cache, default_threads())
+}
+
+/// [`run_grid`] with an explicit worker-thread count (clamped to
+/// `[1, cells × replications]`).
+///
+/// # Panics
+///
+/// Same conditions as [`run_grid`].
+pub fn run_grid_with_threads<R: CellRun>(
+    spec: &GridSpec,
+    cells: &[R::Cell],
+    runner: &R,
+    cache: &SubstrateCache,
+    threads: usize,
+) -> Vec<Vec<R::Record>> {
+    check_axes(spec, cells.len());
+    let reps = spec.replications;
+    let total = cells.len() * reps;
+    if total == 0 {
+        return cells.iter().map(|_| Vec::new()).collect();
+    }
+    let threads = threads.max(1).min(total);
+    let telemetry = rit_telemetry::active();
+    if let Some(t) = telemetry {
+        t.set_gauge(t.metrics().worker_threads, threads as f64);
+    }
+    let spans = CellSpans::new(spec.name, cells.len(), reps, telemetry);
+
+    if threads <= 1 {
+        let mut state = runner.workspace();
+        let flat: Vec<R::Record> = (0..total)
+            .map(|i| run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i))
+            .collect();
+        return collect_rows(flat, cells.len(), reps);
+    }
+
+    let next = AtomicUsize::new(0);
+    let batches: Vec<Vec<(usize, R::Record)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut state = runner.workspace();
+                    let mut batch: Vec<(usize, R::Record)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let record =
+                            run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i);
+                        batch.push((i, record));
+                    }
+                    batch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid worker panicked"))
+            .collect()
+    })
+    .expect("grid worker panicked");
+
+    // Single merge pass: scatter each batch into its slot by flat index.
+    let mut slots: Vec<Option<R::Record>> = (0..total).map(|_| None).collect();
+    for (i, value) in batches.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} claimed twice");
+        slots[i] = Some(value);
+    }
+    let flat: Vec<R::Record> = slots
+        .into_iter()
+        .map(|v| v.expect("every item filled"))
+        .collect();
+    collect_rows(flat, cells.len(), reps)
+}
+
+/// Processes the grid's items sequentially in an arbitrary claim order —
+/// the schedule-independence test hook. `order` must be a permutation of
+/// `0..cells.len() × replications`; one workspace is threaded through the
+/// whole permutation (the worst case for workspace-history dependence).
+/// Results come back in grid order, exactly like [`run_grid`].
+///
+/// # Panics
+///
+/// Panics when `order` is not a permutation of the grid's flat item
+/// indices, or when the spec's axes disagree with `cells.len()`.
+#[doc(hidden)]
+pub fn run_grid_in_order<R: CellRun>(
+    spec: &GridSpec,
+    cells: &[R::Cell],
+    runner: &R,
+    cache: &SubstrateCache,
+    order: &[usize],
+) -> Vec<Vec<R::Record>> {
+    check_axes(spec, cells.len());
+    let reps = spec.replications;
+    let total = cells.len() * reps;
+    assert_eq!(order.len(), total, "order must cover every item");
+    let telemetry = rit_telemetry::active();
+    let spans = CellSpans::new(spec.name, cells.len(), reps, telemetry);
+    let mut state = runner.workspace();
+    let mut slots: Vec<Option<R::Record>> = (0..total).map(|_| None).collect();
+    for &i in order {
+        let record = run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i);
+        assert!(slots[i].is_none(), "item {i} claimed twice");
+        slots[i] = Some(record);
+    }
+    let flat: Vec<R::Record> = slots
+        .into_iter()
+        .map(|v| v.expect("order must be a permutation"))
+        .collect();
+    collect_rows(flat, cells.len(), reps)
+}
+
+/// Executes one flat work item: resolve the cell, derive the seed, account
+/// the cell span, run the adapter.
+#[allow(clippy::too_many_arguments)]
+fn run_item<R: CellRun>(
+    spec: &GridSpec,
+    cells: &[R::Cell],
+    runner: &R,
+    cache: &SubstrateCache,
+    spans: &CellSpans<'_>,
+    telemetry: Option<&'static Telemetry>,
+    state: &mut R::Workspace,
+    flat: usize,
+) -> R::Record {
+    let reps = spec.replications;
+    let cell_index = flat / reps;
+    let replication = flat % reps;
+    let cell = &cells[cell_index];
+    let ctx = CellCtx {
+        cell,
+        cell_index,
+        replication,
+        seed: derive_seed(
+            spec.master_seed,
+            runner.salt(cell_index, cell),
+            replication as u64,
+        ),
+        spec,
+        cache,
+    };
+    spans.item_start(cell_index);
+    let record = timed_item(telemetry, || runner.run(&ctx, state));
+    spans.item_end(cell_index);
+    record
+}
+
+fn check_axes(spec: &GridSpec, cells: usize) {
+    if let Some(declared) = spec.declared_cells() {
+        assert_eq!(
+            declared, cells,
+            "grid '{}': declared axes imply {declared} cells, got {cells}",
+            spec.name
+        );
+    }
+}
+
+fn collect_rows<T>(flat: Vec<T>, cells: usize, reps: usize) -> Vec<Vec<T>> {
+    let mut it = flat.into_iter();
+    let mut rows = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        rows.push(it.by_ref().take(reps).collect());
+    }
+    rows
+}
+
+/// Per-cell span accounting: each cell's wall time runs from the moment
+/// its first item is claimed to the moment its last item finishes,
+/// whichever workers ran them. Feeds the `grid.*` telemetry metrics and
+/// the optional progress line; results never depend on it.
+struct CellSpans<'a> {
+    name: &'a str,
+    epoch: Instant,
+    /// Nanoseconds (since `epoch`) each cell's first item started;
+    /// `u64::MAX` = untouched.
+    started_ns: Vec<AtomicU64>,
+    /// Items still outstanding per cell.
+    remaining: Vec<AtomicUsize>,
+    completed_cells: AtomicUsize,
+    total_cells: usize,
+    straggler_ns: AtomicU64,
+    telemetry: Option<&'static Telemetry>,
+}
+
+impl<'a> CellSpans<'a> {
+    fn new(
+        name: &'a str,
+        cells: usize,
+        reps: usize,
+        telemetry: Option<&'static Telemetry>,
+    ) -> Self {
+        Self {
+            name,
+            epoch: Instant::now(),
+            started_ns: (0..cells).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            remaining: (0..cells).map(|_| AtomicUsize::new(reps)).collect(),
+            completed_cells: AtomicUsize::new(0),
+            total_cells: cells,
+            straggler_ns: AtomicU64::new(0),
+            telemetry,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn item_start(&self, cell: usize) {
+        self.started_ns[cell].fetch_min(self.now_ns(), Ordering::Relaxed);
+    }
+
+    fn item_end(&self, cell: usize) {
+        if self.remaining[cell].fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        // Last item of this cell: close the span.
+        let span_ns = self
+            .now_ns()
+            .saturating_sub(self.started_ns[cell].load(Ordering::Relaxed));
+        let slowest = self
+            .straggler_ns
+            .fetch_max(span_ns, Ordering::Relaxed)
+            .max(span_ns);
+        let done = self.completed_cells.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(t) = self.telemetry {
+            let m = t.metrics();
+            t.add(m.grid_cells, 1);
+            t.record(m.grid_cell_micros, span_ns / 1_000);
+            t.set_gauge(m.grid_straggler_micros, slowest as f64 / 1_000.0);
+        }
+        if progress_enabled() {
+            eprintln!(
+                "  [{}] {done}/{} cells ({:.1}s)",
+                self.name,
+                self.total_cells,
+                self.epoch.elapsed().as_secs_f64()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy adapter whose record captures everything scheduling could
+    /// leak: the resolved seed, indices, and a workspace-history counter.
+    struct Probe;
+
+    impl CellRun for Probe {
+        type Cell = u64;
+        type Workspace = usize;
+        type Record = (usize, usize, u64);
+
+        fn workspace(&self) -> usize {
+            0
+        }
+
+        fn salt(&self, _cell_index: usize, cell: &u64) -> u64 {
+            *cell
+        }
+
+        fn run(&self, ctx: &CellCtx<'_, u64>, calls: &mut usize) -> (usize, usize, u64) {
+            *calls += 1; // workspace history must NOT appear in the record
+            (ctx.cell_index, ctx.replication, ctx.seed)
+        }
+    }
+
+    fn spec(reps: usize) -> GridSpec {
+        GridSpec::new("test", reps, 42)
+    }
+
+    #[test]
+    fn records_come_back_in_grid_order_with_derived_seeds() {
+        let cells = [10u64, 20, 30];
+        let rows = run_grid(&spec(4), &cells, &Probe, &SubstrateCache::passthrough());
+        assert_eq!(rows.len(), 3);
+        for (ci, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), 4);
+            for (r, &(got_ci, got_r, got_seed)) in row.iter().enumerate() {
+                assert_eq!(got_ci, ci);
+                assert_eq!(got_r, r);
+                assert_eq!(got_seed, derive_seed(42, cells[ci], r as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let cells: Vec<u64> = (0..7).collect();
+        let cache = SubstrateCache::passthrough();
+        let reference = run_grid_with_threads(&spec(5), &cells, &Probe, &cache, 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                run_grid_with_threads(&spec(5), &cells, &Probe, &cache, threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn claim_order_never_changes_results() {
+        let cells: Vec<u64> = (0..4).collect();
+        let cache = SubstrateCache::passthrough();
+        let reference = run_grid_with_threads(&spec(3), &cells, &Probe, &cache, 1);
+        let total = cells.len() * 3;
+        let reversed: Vec<usize> = (0..total).rev().collect();
+        assert_eq!(
+            run_grid_in_order(&spec(3), &cells, &Probe, &cache, &reversed),
+            reference
+        );
+        // Interleave replications across cells (round-robin by replication).
+        let mut interleaved = Vec::with_capacity(total);
+        for r in 0..3 {
+            for ci in 0..cells.len() {
+                interleaved.push(ci * 3 + r);
+            }
+        }
+        assert_eq!(
+            run_grid_in_order(&spec(3), &cells, &Probe, &cache, &interleaved),
+            reference
+        );
+    }
+
+    // The satellite proptest: the global-queue schedule is
+    // replication-order-independent. Random sort keys induce an arbitrary
+    // permutation of the flat work queue; the records must be identical to
+    // the in-order sequential schedule every time.
+    proptest::proptest! {
+        #[test]
+        fn schedule_is_replication_order_independent(
+            shuffle in proptest::collection::vec(proptest::prelude::any::<u64>(), 20),
+        ) {
+            let cells: Vec<u64> = (0..5).collect();
+            let reps = 4; // 5 cells × 4 reps = 20 = shuffle.len()
+            let total = cells.len() * reps;
+            let cache = SubstrateCache::passthrough();
+            let reference = run_grid_with_threads(&spec(reps), &cells, &Probe, &cache, 1);
+            let mut order: Vec<usize> = (0..total).collect();
+            order.sort_by_key(|&i| (shuffle[i], i));
+            let rows = run_grid_in_order(&spec(reps), &cells, &Probe, &cache, &order);
+            proptest::prop_assert_eq!(rows, reference);
+        }
+    }
+
+    #[test]
+    fn empty_grids_and_zero_replications() {
+        let cache = SubstrateCache::passthrough();
+        let empty: Vec<Vec<(usize, usize, u64)>> = run_grid(&spec(3), &[], &Probe, &cache);
+        assert!(empty.is_empty());
+        let zero_reps = run_grid(&spec(0), &[1u64, 2], &Probe, &cache);
+        assert_eq!(zero_reps, vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn declared_axes_multiply_out() {
+        let s = GridSpec::new("axes", 2, 1)
+            .with_axis("model", 3)
+            .with_axis("size", 2);
+        assert_eq!(s.declared_cells(), Some(6));
+        let cells: Vec<u64> = (0..6).collect();
+        let rows = run_grid(&s, &cells, &Probe, &SubstrateCache::passthrough());
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared axes imply")]
+    fn axis_mismatch_panics() {
+        let s = GridSpec::new("axes", 1, 1).with_axis("model", 3);
+        let _ = run_grid(&s, &[1u64], &Probe, &SubstrateCache::passthrough());
+    }
+
+    #[test]
+    fn rotating_substrates_share_generations_across_cells() {
+        use crate::scenario::ScenarioConfig;
+
+        struct Substrates;
+        impl CellRun for Substrates {
+            type Cell = ();
+            type Workspace = ();
+            type Record = u64;
+            fn workspace(&self) {}
+            fn salt(&self, cell_index: usize, (): &()) -> u64 {
+                cell_index as u64
+            }
+            fn run(&self, ctx: &CellCtx<'_, ()>, (): &mut ()) -> u64 {
+                let config = ScenarioConfig::paper(60);
+                // Fingerprint the substrate by its allocation: rotating
+                // replications on the same slot must share one Arc.
+                Arc::as_ptr(&ctx.scenario(&config, 0xABCD, 0x1234)) as u64
+            }
+        }
+
+        let cache = SubstrateCache::new();
+        let s = spec(6).with_substrate(SubstrateMode::Rotating(2));
+        let rows = run_grid(&s, &[(), ()], &Substrates, &cache);
+        // 2 slots shared across both cells: exactly 2 generations.
+        assert_eq!(cache.generations(), 2);
+        // Replications on the same slot see the same substrate.
+        assert_eq!(rows[0][0], rows[0][2]);
+        assert_eq!(rows[0][1], rows[0][3]);
+        // And both cells see the same slots.
+        assert_eq!(rows[0], rows[1]);
+
+        // Per-replication mode generates fresh substrates every time.
+        let fresh_cache = SubstrateCache::new();
+        let _ = run_grid(&spec(3), &[(), ()], &Substrates, &fresh_cache);
+        assert_eq!(
+            fresh_cache.generations(),
+            0,
+            "fresh path bypasses the cache"
+        );
+    }
+}

@@ -15,12 +15,166 @@
 //! * **outcome.csv** (written) — per-user allocation and payments.
 //!
 //! All readers validate ordering and ranges and report the offending line.
+//!
+//! The module also hosts the workspace's **one** tabular emitter: every
+//! result table the drivers write — figure CSVs, the mechanism-comparison
+//! CSV, the attack-suite CSV — renders through [`Table`], and every float in
+//! them through [`fmt_f64`], so numeric formatting is defined in exactly one
+//! place.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::num::{ParseFloatError, ParseIntError};
 
 use rit_model::{Ask, Job, ModelError, TaskTypeId};
 use rit_tree::{IncentiveTree, NodeId, TreeError};
+
+/// Canonical float rendering for every table the workspace emits.
+///
+/// This is Rust's shortest-round-trip `Display` (`format!("{v}")`): the
+/// fewest digits that parse back to the same `f64`, no exponent notation
+/// for the magnitudes these tables carry, `0` for zero, a leading `-` for
+/// negatives, and the literal `NaN` for NaN (readers treat it as
+/// missing-by-convention). Centralizing the call keeps every emitter
+/// byte-identical about numbers.
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// One cell of a [`Table`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Raw text, written as-is in CSV (callers pre-sanitize commas) and
+    /// JSON-escaped in JSON lines.
+    Str(String),
+    /// A float, rendered via [`fmt_f64`] (JSON: NaN becomes `null`).
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A boolean (`true`/`false`).
+    Bool(bool),
+    /// An empty cell (CSV: empty field; JSON: `null`).
+    Empty,
+}
+
+impl Value {
+    fn render_csv(&self, out: &mut String) {
+        match self {
+            Self::Str(s) => out.push_str(s),
+            Self::F64(v) => out.push_str(&fmt_f64(*v)),
+            Self::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Self::Empty => {}
+        }
+    }
+
+    fn render_json(&self, out: &mut String) {
+        match self {
+            Self::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Self::F64(v) if v.is_nan() => out.push_str("null"),
+            Self::F64(v) => out.push_str(&fmt_f64(*v)),
+            Self::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Self::Empty => out.push_str("null"),
+        }
+    }
+}
+
+/// A result table with a fixed column set: the single path every driver's
+/// CSV (and JSON-lines mirror) goes through.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// A table with the given column names (stable order).
+    #[must_use]
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// If the row's width does not match the header's.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match the {}-column header",
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as CSV: the header line, then one line per row,
+    /// every line `\n`-terminated, floats via [`fmt_f64`].
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                cell.render_csv(&mut out);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as JSON lines: one object per row, keys in column
+    /// order, non-finite floats as `null`.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (i, (name, cell)) in self.columns.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                Value::Str(name.clone()).render_json(&mut out);
+                out.push(':');
+                cell.render_json(&mut out);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
 
 /// Error while parsing a scenario file.
 #[derive(Clone, Debug, PartialEq)]
@@ -391,6 +545,56 @@ pub fn render_mechanism_outcome(asks: &[Ask], outcome: &rit_core::MechanismOutco
 mod tests {
     use super::*;
     use rit_tree::generate;
+
+    #[test]
+    fn fmt_f64_edge_values() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(-0.0), "-0");
+        assert_eq!(fmt_f64(-1.5), "-1.5");
+        assert_eq!(fmt_f64(1e-12), "0.000000000001");
+        assert_eq!(fmt_f64(0.1 + 0.2), "0.30000000000000004");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+        // Round trip: the rendering parses back to the same bits.
+        for v in [0.0, -1.5, 1e-12, 1.0 / 3.0, 123_456.789] {
+            assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn table_renders_csv_and_json_lines() {
+        let mut t = Table::new(vec!["name", "x", "count", "ok", "note"]);
+        t.push_row(vec![
+            Value::Str("a;b".into()),
+            Value::F64(1.25),
+            Value::U64(3),
+            Value::Bool(true),
+            Value::Empty,
+        ]);
+        t.push_row(vec![
+            Value::Str("q\"uote".into()),
+            Value::F64(f64::NAN),
+            Value::U64(0),
+            Value::Bool(false),
+            Value::Empty,
+        ]);
+        assert_eq!(
+            t.to_csv(),
+            "name,x,count,ok,note\na;b,1.25,3,true,\nq\"uote,NaN,0,false,\n"
+        );
+        assert_eq!(
+            t.to_json_lines(),
+            "{\"name\":\"a;b\",\"x\":1.25,\"count\":3,\"ok\":true,\"note\":null}\n\
+             {\"name\":\"q\\\"uote\",\"x\":null,\"count\":0,\"ok\":false,\"note\":null}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec![Value::U64(1)]);
+    }
 
     #[test]
     fn asks_round_trip() {

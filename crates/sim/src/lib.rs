@@ -20,9 +20,12 @@
 //! driver evaluating declarative deviation suites through the
 //! `rit_adversary` layer. [`scenario`]
 //! builds the §7-A populations and solicitation trees; [`substrate`]
-//! memoizes them across replications; [`runner`] spreads replications over
-//! CPU cores; [`analysis`] summarizes payment distributions; [`io`] speaks
-//! the CSV interchange formats.
+//! memoizes them across replications; [`grid`] is the declarative
+//! experiment engine every module above runs on (one global work queue
+//! over the whole `cells × replications` product); [`runner`] provides the
+//! lower-level replication fan-out; [`analysis`] summarizes payment
+//! distributions; [`io`] speaks the CSV interchange formats and owns the
+//! canonical float formatter every table emitter shares.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod analysis;
 pub mod attacks;
 pub mod campaign;
 pub mod experiments;
+pub mod grid;
 pub mod io;
 pub mod metrics;
 pub mod runner;

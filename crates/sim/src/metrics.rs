@@ -4,6 +4,8 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use crate::io::{Table, Value};
+
 // `MeanStd` moved to `rit_telemetry` (per-worker accumulators merge into
 // the registry's flush path); re-exported here so every experiment driver
 // keeps importing it from `rit_sim::metrics`.
@@ -90,16 +92,25 @@ impl Figure {
     }
 
     /// Renders the figure as CSV with columns
-    /// `x, <series>_mean, <series> _std, …`.
+    /// `x, <series>_mean, <series> _std, …`, through the workspace's shared
+    /// [`Table`] emitter (floats via [`crate::io::fmt_f64`]).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        let _ = write!(out, "{}", self.x_label.replace(',', ";"));
+        self.to_table().to_csv()
+    }
+
+    /// The figure as the shared [`Table`] (the CSV and JSON-lines source).
+    /// Commas in labels become `;` so the header stays one field per
+    /// column.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut columns = vec![self.x_label.replace(',', ";")];
         for s in &self.series {
             let name = s.name.replace(',', ";");
-            let _ = write!(out, ",{name}_mean,{name}_std");
+            columns.push(format!("{name}_mean"));
+            columns.push(format!("{name}_std"));
         }
-        let _ = writeln!(out);
+        let mut table = Table::new(columns);
         let rows = self
             .series
             .iter()
@@ -112,20 +123,23 @@ impl Figure {
                 .iter()
                 .find_map(|s| s.points.get(r).map(|p| p.x))
                 .unwrap_or(f64::NAN);
-            let _ = write!(out, "{x}");
+            let mut row = Vec::with_capacity(1 + 2 * self.series.len());
+            row.push(Value::F64(x));
             for s in &self.series {
                 match s.points.get(r) {
                     Some(p) => {
-                        let _ = write!(out, ",{},{}", p.y, p.y_std);
+                        row.push(Value::F64(p.y));
+                        row.push(Value::F64(p.y_std));
                     }
                     None => {
-                        let _ = write!(out, ",,");
+                        row.push(Value::Empty);
+                        row.push(Value::Empty);
                     }
                 }
             }
-            let _ = writeln!(out);
+            table.push_row(row);
         }
-        out
+        table
     }
 
     /// Writes the CSV rendering to `path`.

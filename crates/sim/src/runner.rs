@@ -18,6 +18,18 @@ use rit_telemetry::Telemetry;
 /// or `0` means "use all available cores".
 pub const THREADS_ENV: &str = "RIT_THREADS";
 
+/// Process-wide programmatic thread override (0 = unset). Set by the
+/// binaries' `--threads` flag; wins over [`THREADS_ENV`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the worker-thread count for the whole process, overriding
+/// [`THREADS_ENV`]. The binaries call this from their `--threads N` flag
+/// (validated there — this function trusts its input). `0` clears the
+/// override, restoring env-then-auto resolution.
+pub fn set_thread_override(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
 /// Parses a `RIT_THREADS`-style value: `Some(n)` for a positive integer,
 /// `None` (auto) otherwise.
 #[must_use]
@@ -28,10 +40,15 @@ pub fn parse_thread_override(value: &str) -> Option<usize> {
     }
 }
 
-/// The worker-thread count honoring the [`THREADS_ENV`] override, falling
-/// back to the available parallelism.
+/// The worker-thread count: the [`set_thread_override`] value if one was
+/// set (the `--threads` flag), else the [`THREADS_ENV`] override, else the
+/// available parallelism.
 #[must_use]
 pub fn default_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => {}
+        n => return n,
+    }
     std::env::var(THREADS_ENV)
         .ok()
         .as_deref()
@@ -149,8 +166,10 @@ where
 
 /// Runs one work item, accounting its wall time against the global
 /// telemetry's worker busy-time metrics when one is installed. The
-/// untelemetered path is the bare closure call — no clock reads.
-fn timed_item<T>(telemetry: Option<&'static Telemetry>, f: impl FnOnce() -> T) -> T {
+/// untelemetered path is the bare closure call — no clock reads. Shared
+/// with the grid engine so `worker.*` metrics mean the same thing under
+/// both schedulers.
+pub(crate) fn timed_item<T>(telemetry: Option<&'static Telemetry>, f: impl FnOnce() -> T) -> T {
     let Some(t) = telemetry else {
         return f();
     };

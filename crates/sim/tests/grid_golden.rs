@@ -1,0 +1,188 @@
+//! Golden-CSV equivalence tests for the grid-engine experiment drivers.
+//!
+//! Every experiment module now runs through [`rit_sim::grid`]; these tests
+//! pin the rendered CSV of each adapter on a small fixed-seed
+//! configuration, so any future scheduler or port change that silently
+//! shifts a number fails loudly. The same pass also renders everything at
+//! 1 and 4 worker threads and asserts the bytes agree — the engine's
+//! thread-count-independence contract, end to end through the public
+//! drivers.
+//!
+//! The timing figures (fig8a/fig8b, wall-clock seconds) are deliberately
+//! absent: they are the one nondeterministic output of the harness.
+//!
+//! Golden files live in `tests/golden/*.csv` and follow the same
+//! bless-explicitly pattern as `rit-core`'s `engine_equivalence` test: they
+//! are (re)generated only when `RIT_BLESS=1` is set, and a missing golden
+//! without `RIT_BLESS=1` is a hard failure. See `tests/golden/README.md`
+//! for why the files are minted in CI rather than committed.
+
+use rit_sim::attacks::{self, AttackSuiteConfig};
+use rit_sim::experiments::{
+    ablation, bound_check, compare, fig9, quality_screening, robustness, sweeps, tree_shape,
+    truthfulness_profile, Scale,
+};
+use rit_sim::substrate::SubstrateMode;
+
+const SEED: u64 = 2017;
+const RUNS: usize = 2;
+
+/// Renders every grid-backed driver at smoke scale with a fixed seed and
+/// returns `(golden file stem, CSV bytes)` pairs.
+fn render_all() -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+
+    let user = sweeps::user_sweep(&sweeps::SweepConfig::new(Scale::Smoke, RUNS, SEED));
+    out.push(("fig6a", sweeps::utility_figure(&user).to_csv()));
+    out.push(("fig7a", sweeps::payment_figure(&user).to_csv()));
+    let task = sweeps::task_sweep(&sweeps::SweepConfig::new(Scale::Smoke, RUNS, SEED));
+    out.push(("fig6b", sweeps::utility_figure(&task).to_csv()));
+    out.push(("fig7b", sweeps::payment_figure(&task).to_csv()));
+
+    out.push((
+        "fig9",
+        fig9::run(&fig9::Fig9Config {
+            scale: Scale::Smoke,
+            runs: RUNS,
+            seed: SEED,
+        })
+        .to_csv(),
+    ));
+
+    let ablation_config = ablation::AblationConfig::new(Scale::Smoke, RUNS, SEED);
+    out.push((
+        "ablation_collusion",
+        ablation::collusion(&ablation_config).to_csv(),
+    ));
+    out.push((
+        "ablation_rounds",
+        ablation::round_budget(&ablation_config).to_csv(),
+    ));
+
+    out.push((
+        "bound_check",
+        bound_check::run(&bound_check::BoundCheckConfig {
+            scale: Scale::Smoke,
+            runs: RUNS,
+            inner_runs: 8,
+            seed: SEED,
+            k: 10,
+        })
+        .to_csv(),
+    ));
+    out.push((
+        "robustness",
+        robustness::run(&robustness::RobustnessConfig {
+            scale: Scale::Smoke,
+            runs: RUNS,
+            seed: SEED,
+        })
+        .to_csv(),
+    ));
+    out.push((
+        "tree_shape",
+        tree_shape::run(&tree_shape::TreeShapeConfig {
+            scale: Scale::Smoke,
+            runs: RUNS,
+            seed: SEED,
+        })
+        .to_csv(),
+    ));
+    out.push((
+        "truthfulness_profile",
+        truthfulness_profile::run(&truthfulness_profile::ProfileConfig {
+            scale: Scale::Smoke,
+            runs: RUNS,
+            seed: SEED,
+        })
+        .to_csv(),
+    ));
+
+    // Screening twice: the paper-fidelity fresh-substrate path and the
+    // rotating shared-cache path are distinct scheduler code paths.
+    let mut screening = quality_screening::ScreeningConfig::new(Scale::Smoke, RUNS, SEED);
+    out.push((
+        "quality_screening",
+        quality_screening::run(&screening).to_csv(),
+    ));
+    screening.substrate = SubstrateMode::Rotating(2);
+    out.push((
+        "quality_screening_rotating",
+        quality_screening::run(&screening).to_csv(),
+    ));
+
+    out.push((
+        "attack_suite",
+        attacks::run(
+            &AttackSuiteConfig {
+                scale: Scale::Smoke,
+                runs: 4,
+                seed: SEED,
+            },
+            None,
+        )
+        .expect("smoke attack suite runs")
+        .to_table()
+        .to_csv(),
+    ));
+    out.push((
+        "compare",
+        compare::run(&compare::CompareConfig::quick(SEED))
+            .expect("smoke comparison runs")
+            .to_table()
+            .to_csv(),
+    ));
+
+    out
+}
+
+/// One test (not one per driver) because the thread override is
+/// process-global: parallel test threads toggling it would race.
+#[test]
+fn grid_drivers_match_goldens_and_are_thread_count_independent() {
+    rit_sim::runner::set_thread_override(1);
+    let at1 = render_all();
+    rit_sim::runner::set_thread_override(4);
+    let at4 = render_all();
+    rit_sim::runner::set_thread_override(0);
+
+    for ((name, csv1), (name4, csv4)) in at1.iter().zip(&at4) {
+        assert_eq!(name, name4);
+        assert_eq!(
+            csv1, csv4,
+            "{name}: CSV differs between 1 and 4 worker threads — the grid \
+             scheduler leaked thread count into results"
+        );
+    }
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let blessing = std::env::var("RIT_BLESS").is_ok_and(|v| v == "1");
+    if blessing {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, csv) in &at1 {
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, csv).unwrap();
+            eprintln!("blessed golden file at {}", path.display());
+        }
+        return;
+    }
+    for (name, csv) in &at1 {
+        let path = dir.join(format!("{name}.csv"));
+        let want = match std::fs::read_to_string(&path) {
+            Ok(want) => want,
+            Err(e) => panic!(
+                "missing golden file {}: {e}\n\
+                 run `RIT_BLESS=1 cargo test -p rit-sim --test grid_golden` \
+                 and keep the generated files for the comparison run",
+                path.display()
+            ),
+        };
+        assert_eq!(
+            csv,
+            &want,
+            "{name}: golden mismatch — if the change is intentional, \
+             re-bless with RIT_BLESS=1 and commit {}",
+            path.display()
+        );
+    }
+}

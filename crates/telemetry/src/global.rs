@@ -43,8 +43,14 @@ pub struct StandardMetrics {
     pub campaign_epochs: CounterId,
     /// `attack.replications` — paired attack replications observed.
     pub attack_replications: CounterId,
+    /// `grid.cells` — experiment-grid cells completed (all replications
+    /// done).
+    pub grid_cells: CounterId,
     /// `worker.threads` — resolved worker-thread count.
     pub worker_threads: GaugeId,
+    /// `grid.straggler_micros` — wall time of the slowest grid cell so
+    /// far (first item claimed → last item finished).
+    pub grid_straggler_micros: GaugeId,
     /// `auction.round_winners` — winners per round.
     pub round_winners: HistogramId,
     /// `auction.clearing_price_milli` — clearing price per winning round,
@@ -61,6 +67,8 @@ pub struct StandardMetrics {
     /// `attack.abs_gain_milli` — |deviation gain| per replication, in
     /// 1/1000 utility units.
     pub attack_abs_gain_milli: HistogramId,
+    /// `grid.cell_micros` — wall time per completed grid cell.
+    pub grid_cell_micros: HistogramId,
 }
 
 impl StandardMetrics {
@@ -77,7 +85,9 @@ impl StandardMetrics {
             worker_busy_ns: registry.register_counter("worker.busy_ns"),
             campaign_epochs: registry.register_counter("campaign.epochs"),
             attack_replications: registry.register_counter("attack.replications"),
+            grid_cells: registry.register_counter("grid.cells"),
             worker_threads: registry.register_gauge("worker.threads"),
+            grid_straggler_micros: registry.register_gauge("grid.straggler_micros"),
             round_winners: registry.register_histogram("auction.round_winners"),
             clearing_price_milli: registry.register_histogram("auction.clearing_price_milli"),
             rounds_per_type: registry.register_histogram("auction.rounds_per_type"),
@@ -85,6 +95,7 @@ impl StandardMetrics {
             worker_item_micros: registry.register_histogram("worker.item_micros"),
             campaign_epoch_micros: registry.register_histogram("campaign.epoch_micros"),
             attack_abs_gain_milli: registry.register_histogram("attack.abs_gain_milli"),
+            grid_cell_micros: registry.register_histogram("grid.cell_micros"),
         }
     }
 }
