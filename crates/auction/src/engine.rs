@@ -789,8 +789,7 @@ mod tests {
         let mut ws_a = AuctionWorkspace::new();
         let mut ws_b = AuctionWorkspace::new();
         for round in 0..4u64 {
-            for t_idx in 0..3usize {
-                let view = &mut views[t_idx];
+            for (t_idx, view) in views.iter_mut().enumerate() {
                 assert_eq!(view.type_index(), t_idx);
                 for rule in [SelectionRule::SmallestFirst, SelectionRule::UniformEligible] {
                     let seed = 100 + 17 * round + t_idx as u64;

@@ -2,7 +2,8 @@
 //! per-type auction phase, and payment determination, timed end to end.
 //!
 //! ```text
-//! bench_scale [--quick] [--users N] [--reps N] [--seed S] [--threads T] [--out FILE]
+//! bench_scale [--quick] [--users N] [--reps N] [--seed S] [--threads T]
+//!             [--out FILE] [--telemetry FILE]
 //! ```
 //!
 //! One scenario — a Watts–Strogatz small world (`k = 6`, `β = 0.1`) with a
@@ -23,6 +24,13 @@
 //! thread counts).
 //!
 //! `--quick` drops to 100 000 users and one repetition — the CI smoke arm.
+//!
+//! `--telemetry FILE` (or the `RIT_TELEMETRY` environment variable)
+//! installs the global JSONL sink: the run manifest, one `run` span, and
+//! per-phase `substrate.gen` / `auction.phase` / `payment.phase` spans
+//! stream to FILE, ready for `rit report` and `rit report trace`. Without
+//! it the bench records nothing — spans are inert — and timings are
+//! unchanged.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -33,7 +41,7 @@ use rit_core::{NoopObserver, Rit, RitConfig, RitWorkspace, RngMode, RoundLimit, 
 use rit_model::Job;
 use rit_sim::runner::default_threads;
 use rit_sim::scenario::{GraphModel, Scenario, ScenarioConfig};
-use rit_telemetry::RunManifest;
+use rit_telemetry::{RunManifest, SpanKind, Telemetry};
 
 const FULL_USERS: usize = 1_000_000;
 const QUICK_USERS: usize = 100_000;
@@ -67,7 +75,7 @@ impl PhaseReport {
     }
 }
 
-fn parse_args() -> Result<(Args, PathBuf), String> {
+fn parse_args() -> Result<(Args, PathBuf, Option<PathBuf>), String> {
     let mut args = Args {
         quick: false,
         users: FULL_USERS,
@@ -77,6 +85,7 @@ fn parse_args() -> Result<(Args, PathBuf), String> {
     };
     let mut users_overridden = false;
     let mut out = PathBuf::from("BENCH_scale.json");
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
@@ -116,10 +125,11 @@ fn parse_args() -> Result<(Args, PathBuf), String> {
                 }
             }
             "--out" => out = PathBuf::from(value("--out")?),
+            "--telemetry" => telemetry_out = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: bench_scale [--quick] [--users N] [--reps N] [--seed S] \
-                     [--threads T] [--out FILE]"
+                     [--threads T] [--out FILE] [--telemetry FILE]"
                 );
                 std::process::exit(0);
             }
@@ -129,7 +139,13 @@ fn parse_args() -> Result<(Args, PathBuf), String> {
     if args.quick && !users_overridden {
         args.users = QUICK_USERS;
     }
-    Ok((args, out))
+    if telemetry_out.is_none() {
+        telemetry_out = std::env::var(rit_telemetry::TELEMETRY_ENV)
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from);
+    }
+    Ok((args, out, telemetry_out))
 }
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
@@ -195,7 +211,7 @@ fn render_report(
 }
 
 fn main() -> ExitCode {
-    let (args, out) = match parse_args() {
+    let (args, out, telemetry_out) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -225,6 +241,27 @@ fn main() -> ExitCode {
         args.threads,
     )
     .with_rng_mode(RngMode::PerTypeStreams.as_str());
+    let config_hash_hex = manifest.config_hash_hex();
+
+    // The JSONL sink is opt-in; without it the manifest still feeds the
+    // report's config hash and no telemetry is installed, so the phase
+    // spans below are inert and cost nothing.
+    let telemetry: Option<&'static Telemetry> = match &telemetry_out {
+        Some(path) => match Telemetry::with_sink(manifest, path) {
+            Ok(t) => match rit_telemetry::install(t) {
+                Ok(installed) => Some(installed),
+                Err(_) => {
+                    eprintln!("error: telemetry already installed");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot open telemetry sink {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let rit = Rit::new(RitConfig {
         round_limit: RoundLimit::until_stall(),
@@ -265,11 +302,15 @@ fn main() -> ExitCode {
     let mut parallel_ws = RitWorkspace::new();
     let pool = WorkspacePool::new();
 
+    let run_span = rit_telemetry::span(SpanKind::Run);
     for rep in 0..args.reps {
+        let span = rit_telemetry::span(SpanKind::SubstrateGen);
         let start = Instant::now();
         let scenario = Scenario::generate(&config, args.seed);
+        drop(span);
         substrate.wall_s.push(start.elapsed().as_secs_f64());
 
+        let span = rit_telemetry::span(SpanKind::AuctionPhase);
         let start = Instant::now();
         let serial = rit
             .run_auction_phase_streams_with(
@@ -282,8 +323,10 @@ fn main() -> ExitCode {
                 &mut NoopObserver,
             )
             .expect("auction phase runs");
+        drop(span);
         auction_serial.wall_s.push(start.elapsed().as_secs_f64());
 
+        let span = rit_telemetry::span(SpanKind::AuctionPhase);
         let start = Instant::now();
         let parallel = rit
             .run_auction_phase_streams_with(
@@ -296,6 +339,7 @@ fn main() -> ExitCode {
                 &mut NoopObserver,
             )
             .expect("auction phase runs");
+        drop(span);
         auction_parallel.wall_s.push(start.elapsed().as_secs_f64());
 
         // The determinism contract this bench rides on: same derived
@@ -306,6 +350,7 @@ fn main() -> ExitCode {
             args.threads
         );
 
+        let span = rit_telemetry::span(SpanKind::PaymentPhase);
         let start = Instant::now();
         let outcome = rit.determine_final_payments_with(
             &scenario.tree,
@@ -313,6 +358,7 @@ fn main() -> ExitCode {
             parallel,
             &mut parallel_ws,
         );
+        drop(span);
         payment.wall_s.push(start.elapsed().as_secs_f64());
 
         eprintln!(
@@ -328,15 +374,20 @@ fn main() -> ExitCode {
         );
     }
 
+    // Close the run span before flushing so its event reaches the sink.
+    drop(run_span);
+    if let Some(t) = telemetry {
+        if let Err(e) = t.flush() {
+            eprintln!("warning: telemetry flush failed: {e}");
+        }
+        if let Some(path) = &telemetry_out {
+            eprintln!("wrote telemetry {}", path.display());
+        }
+    }
+
     let speedup = auction_serial.p50_wall_s() / auction_parallel.p50_wall_s();
     let phases = [substrate, auction_serial, auction_parallel, payment];
-    let report = render_report(
-        &args,
-        tasks_per_type,
-        &phases,
-        speedup,
-        &manifest.config_hash_hex(),
-    );
+    let report = render_report(&args, tasks_per_type, &phases, speedup, &config_hash_hex);
     match std::fs::write(&out, &report) {
         Ok(()) => {
             println!("{report}");

@@ -350,6 +350,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The whole bench is one `run` span; every grid cell, worker item, and
+    // campaign/epoch span recorded below starts after it in the trace.
+    let run_span = telemetry.start_span(rit_telemetry::SpanKind::Run);
 
     // Equality gates: run both members of each pair once and require
     // identical results before any timing happens. A bench that compares
@@ -428,6 +431,8 @@ fn main() -> ExitCode {
         ),
     ];
 
+    // Close the run span before flushing so its event reaches the sink.
+    drop(run_span);
     let report = render_report(&args, &sweep_config, &campaign_config, &arms, telemetry);
     if let Err(e) = telemetry.flush() {
         eprintln!("warning: telemetry flush failed: {e}");

@@ -10,7 +10,12 @@
 //!   CSV inputs, print a summary, write outcome.csv;
 //! * `rit estimate --job F [--k-max K] [--safety X]` — the Remark 6.1
 //!   recruitment threshold;
-//! * `rit dot --tree F` — Graphviz dump of a solicitation tree.
+//! * `rit dot --tree F` — Graphviz dump of a solicitation tree;
+//! * `rit report FILE...`, `rit report diff A B [--threshold 0.5]`,
+//!   `rit report trace F [--out trace.json]` — markdown run summaries,
+//!   a perf-regression gate, and Chrome-trace export over recorded
+//!   `telemetry.jsonl` / `BENCH_*.json` artifacts (see
+//!   [`rit_sim::report`]).
 //!
 //! ```
 //! use rit_cli::{execute, Command};
@@ -94,6 +99,18 @@ pub enum Command {
     Dot {
         tree: PathBuf,
     },
+    Report {
+        files: Vec<PathBuf>,
+    },
+    ReportDiff {
+        baseline: PathBuf,
+        candidate: PathBuf,
+        threshold: f64,
+    },
+    ReportTrace {
+        input: PathBuf,
+        out: Option<PathBuf>,
+    },
     Help,
 }
 
@@ -108,7 +125,13 @@ impl Command {
             | Self::Trace { seed, .. }
             | Self::Verify { seed, .. }
             | Self::Attack { seed, .. } => Some(*seed),
-            Self::Estimate { .. } | Self::Budget { .. } | Self::Dot { .. } | Self::Help => None,
+            Self::Estimate { .. }
+            | Self::Budget { .. }
+            | Self::Dot { .. }
+            | Self::Report { .. }
+            | Self::ReportDiff { .. }
+            | Self::ReportTrace { .. }
+            | Self::Help => None,
         }
     }
 
@@ -146,6 +169,12 @@ pub enum CliError {
     Format(io::ScenarioIoError),
     /// The mechanism rejected the inputs.
     Mechanism(rit_core::RitError),
+    /// `rit report` could not ingest an artifact file.
+    Report(rit_sim::report::ReportError),
+    /// `rit report diff` found a gating perf regression; the payload is
+    /// the full markdown diff (printed to stderr; the process exits
+    /// nonzero, which is the CI gate).
+    Regression(String),
 }
 
 impl fmt::Display for CliError {
@@ -155,6 +184,8 @@ impl fmt::Display for CliError {
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::Format(e) => write!(f, "input format error: {e}"),
             Self::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            Self::Report(e) => write!(f, "report error: {e}"),
+            Self::Regression(markdown) => f.write_str(markdown),
         }
     }
 }
@@ -179,6 +210,12 @@ impl From<rit_core::RitError> for CliError {
     }
 }
 
+impl From<rit_sim::report::ReportError> for CliError {
+    fn from(e: rit_sim::report::ReportError) -> Self {
+        Self::Report(e)
+    }
+}
+
 /// The usage text printed by `rit help`.
 pub const USAGE: &str = "\
 rit — robust incentive tree mechanism for mobile crowdsensing
@@ -195,6 +232,9 @@ USAGE:
   rit attack --asks FILE --tree FILE --job FILE --victim J
              [--identities 2] [--price P] [--runs 40] [--seed S]
   rit dot --tree FILE
+  rit report FILE [FILE...]
+  rit report diff BASELINE CANDIDATE [--threshold 0.5]
+  rit report trace TELEMETRY_JSONL [--out trace.json]
   rit help
 
 Every subcommand also accepts --threads N (worker threads for the
@@ -393,6 +433,51 @@ impl Command {
             "dot" => Self::Dot {
                 tree: PathBuf::from(require(cur.flag_value("--tree")?, "--tree")?),
             },
+            // `report` has positional file arguments and word sub-subcommands
+            // (`diff`, `trace`), unlike the flag-only commands above.
+            "report" => match cur.args.get(1).map(String::as_str) {
+                Some("diff") => {
+                    cur.pos = 2;
+                    let threshold = match cur.flag_value("--threshold")? {
+                        Some(v) => parse_num(&v, "--threshold")?,
+                        None => rit_sim::report::DEFAULT_THRESHOLD,
+                    };
+                    let rest: Vec<String> = cur.args.drain(2..).collect();
+                    let [baseline, candidate] = rest.as_slice() else {
+                        return Err(CliError::Usage(
+                            "report diff takes exactly two files: BASELINE CANDIDATE".into(),
+                        ));
+                    };
+                    Self::ReportDiff {
+                        baseline: PathBuf::from(baseline),
+                        candidate: PathBuf::from(candidate),
+                        threshold,
+                    }
+                }
+                Some("trace") => {
+                    cur.pos = 2;
+                    let out = cur.flag_value("--out")?.map(PathBuf::from);
+                    let rest: Vec<String> = cur.args.drain(2..).collect();
+                    let [input] = rest.as_slice() else {
+                        return Err(CliError::Usage(
+                            "report trace takes exactly one telemetry JSONL file".into(),
+                        ));
+                    };
+                    Self::ReportTrace {
+                        input: PathBuf::from(input),
+                        out,
+                    }
+                }
+                _ => {
+                    let files: Vec<PathBuf> = cur.args.drain(1..).map(PathBuf::from).collect();
+                    if files.is_empty() {
+                        return Err(CliError::Usage(
+                            "report needs at least one artifact file".into(),
+                        ));
+                    }
+                    Self::Report { files }
+                }
+            },
             "help" | "--help" | "-h" => return Ok(Self::Help),
             other => return Err(CliError::Usage(format!("unknown command `{other}`"))),
         };
@@ -471,6 +556,44 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Command::Dot { tree } => {
             let tree = io::parse_tree(&fs::read_to_string(tree)?)?;
             Ok(rit_tree::dot::to_dot(&tree, |n| n.to_string()))
+        }
+        Command::Report { files } => {
+            let mut artifacts = Vec::with_capacity(files.len());
+            for file in files {
+                artifacts.push((file.display().to_string(), fs::read_to_string(file)?));
+            }
+            Ok(rit_sim::report::summarize(&artifacts)?)
+        }
+        Command::ReportDiff {
+            baseline,
+            candidate,
+            threshold,
+        } => {
+            let base = fs::read_to_string(baseline)?;
+            let cand = fs::read_to_string(candidate)?;
+            let report = rit_sim::report::diff(
+                (&baseline.display().to_string(), &base),
+                (&candidate.display().to_string(), &cand),
+                *threshold,
+            )?;
+            if report.has_regressions() {
+                return Err(CliError::Regression(report.markdown));
+            }
+            Ok(report.markdown)
+        }
+        Command::ReportTrace { input, out } => {
+            let jsonl = fs::read_to_string(input)?;
+            let (json, slices) = rit_sim::report::render_trace(&jsonl);
+            match out {
+                Some(path) => {
+                    fs::write(path, &json)?;
+                    Ok(format!(
+                        "wrote {slices} span slice(s) to {}\n",
+                        path.display()
+                    ))
+                }
+                None => Ok(json),
+            }
         }
     }
 }
@@ -867,7 +990,10 @@ fn run(
                     )?
                 }
             };
-            rit.determine_final_payments_with(&tree, &asks, phase, &mut ws)
+            let payment_span = t.start_span(rit_telemetry::SpanKind::PaymentPhase);
+            let outcome = rit.determine_final_payments_with(&tree, &asks, phase, &mut ws);
+            drop(payment_span);
+            outcome
         }
         None => rit.run_seeded(&job, &tree, &asks, rng_mode, seed)?,
     };
@@ -1130,6 +1256,153 @@ mod tests {
             Command::parse(&args(&["generate", "--users"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_report_variants() {
+        assert_eq!(
+            Command::parse(&args(&["report", "telemetry.jsonl", "BENCH_sim.json"])).unwrap(),
+            Command::Report {
+                files: vec![
+                    PathBuf::from("telemetry.jsonl"),
+                    PathBuf::from("BENCH_sim.json")
+                ]
+            }
+        );
+        assert_eq!(
+            Command::parse(&args(&["report", "diff", "a.json", "b.json"])).unwrap(),
+            Command::ReportDiff {
+                baseline: PathBuf::from("a.json"),
+                candidate: PathBuf::from("b.json"),
+                threshold: rit_sim::report::DEFAULT_THRESHOLD,
+            }
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "report",
+                "diff",
+                "--threshold",
+                "0.1",
+                "a.json",
+                "b.json"
+            ]))
+            .unwrap(),
+            Command::ReportDiff {
+                baseline: PathBuf::from("a.json"),
+                candidate: PathBuf::from("b.json"),
+                threshold: 0.1,
+            }
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "report",
+                "trace",
+                "t.jsonl",
+                "--out",
+                "trace.json"
+            ]))
+            .unwrap(),
+            Command::ReportTrace {
+                input: PathBuf::from("t.jsonl"),
+                out: Some(PathBuf::from("trace.json")),
+            }
+        );
+        // Report commands carry no seed and default mechanism/RNG labels.
+        let cmd = Command::parse(&args(&["report", "x.jsonl"])).unwrap();
+        assert_eq!(cmd.seed(), None);
+        assert_eq!(cmd.mechanism(), MechanismKind::Rit);
+    }
+
+    #[test]
+    fn parse_report_rejects_bad_arity() {
+        assert!(matches!(
+            Command::parse(&args(&["report"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(&args(&["report", "diff", "only-one.json"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(&args(&["report", "trace", "a.jsonl", "b.jsonl"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn report_diff_execution_gates_on_regression() {
+        let dir = std::env::temp_dir().join("rit_cli_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = |wall: f64| {
+            format!(
+                r#"{{"schema_version": 1, "bench": "bench_scale",
+                    "phases": [{{"name": "auction_parallel", "threads": 2,
+                                 "wall_s": [{wall}], "p50_wall_s": {wall}}}]}}"#
+            )
+        };
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, bench(1.0)).unwrap();
+        std::fs::write(&b, bench(10.0)).unwrap();
+
+        // Identical runs pass and render the gate verdict.
+        let same = execute(&Command::ReportDiff {
+            baseline: a.clone(),
+            candidate: a.clone(),
+            threshold: rit_sim::report::DEFAULT_THRESHOLD,
+        })
+        .unwrap();
+        assert!(same.contains("Gate: **pass**"));
+
+        // An injected 10x slowdown fails the gate and names the metric.
+        let err = execute(&Command::ReportDiff {
+            baseline: a.clone(),
+            candidate: b.clone(),
+            threshold: rit_sim::report::DEFAULT_THRESHOLD,
+        })
+        .unwrap_err();
+        match err {
+            CliError::Regression(markdown) => {
+                assert!(
+                    markdown.contains("phase.auction_parallel.wall_s"),
+                    "{markdown}"
+                );
+            }
+            other => panic!("expected Regression, got {other:?}"),
+        }
+
+        // The summary renders the phase table from the same artifact.
+        let summary = execute(&Command::Report { files: vec![a] }).unwrap();
+        assert!(summary.contains("auction_parallel"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_trace_execution_writes_chrome_trace_json() {
+        let dir = std::env::temp_dir().join("rit_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("telemetry.jsonl");
+        std::fs::write(
+            &jsonl,
+            concat!(
+                r#"{"event":"manifest","tool":"rit","version":"0"}"#,
+                "\n",
+                r#"{"event":"span","name":"run","id":1,"parent":0,"thread":1,"start_us":0,"dur_us":5}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let out = dir.join("trace.json");
+        let msg = execute(&Command::ReportTrace {
+            input: jsonl,
+            out: Some(out.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("1 span slice"));
+        let trace = std::fs::read_to_string(&out).unwrap();
+        let v = rit_telemetry::JsonValue::parse(&trace).unwrap();
+        assert!(v.get("traceEvents").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,6 +26,15 @@ use crate::trace::RoundTrace;
 /// job order, exactly once each (zero-task types produce an empty
 /// `type_start`/`type_end` pair with no rounds).
 pub trait AuctionObserver {
+    /// The auction phase is about to run its type loop over `num_types`
+    /// task types. Fired once per phase, before the first `type_start` —
+    /// and in the parallel per-type-streams path before the workers launch,
+    /// so a timing observer brackets the real execution rather than the
+    /// post-hoc replay of buffered events.
+    fn phase_start(&mut self, num_types: usize) {
+        let _ = num_types;
+    }
+
     /// A task type's round loop is about to start. `budget` is the a-priori
     /// round budget (`None` for zero-task types and in until-stall mode).
     fn type_start(&mut self, task_type: TaskTypeId, tasks: u64, budget: Option<u32>) {
@@ -39,6 +48,9 @@ pub trait AuctionObserver {
 
     /// The current task type's round loop finished.
     fn type_end(&mut self) {}
+
+    /// The auction phase finished (after the last `type_end`).
+    fn phase_end(&mut self) {}
 }
 
 /// The do-nothing observer: the untraced fast path.
@@ -72,6 +84,11 @@ impl<A, B> ObserverChain<A, B> {
 }
 
 impl<A: AuctionObserver, B: AuctionObserver> AuctionObserver for ObserverChain<A, B> {
+    fn phase_start(&mut self, num_types: usize) {
+        self.0.phase_start(num_types);
+        self.1.phase_start(num_types);
+    }
+
     fn type_start(&mut self, task_type: TaskTypeId, tasks: u64, budget: Option<u32>) {
         self.0.type_start(task_type, tasks, budget);
         self.1.type_start(task_type, tasks, budget);
@@ -85,6 +102,11 @@ impl<A: AuctionObserver, B: AuctionObserver> AuctionObserver for ObserverChain<A
     fn type_end(&mut self) {
         self.0.type_end();
         self.1.type_end();
+    }
+
+    fn phase_end(&mut self) {
+        self.0.phase_end();
+        self.1.phase_end();
     }
 }
 

@@ -344,6 +344,11 @@ impl Rit {
             });
         }
 
+        // The phase bracket surrounds the real (possibly parallel)
+        // execution below, not the later per-type replay of buffered
+        // events, so timing observers see actual wall-clock.
+        observer.phase_start(num_types);
+
         let RitWorkspace {
             compact, auction, ..
         } = ws;
@@ -431,6 +436,7 @@ impl Rit {
             rounds_used.push(run.rounds_used);
             unallocated.push(run.unallocated);
         }
+        observer.phase_end();
 
         Ok(AuctionPhaseResult {
             allocation,
@@ -528,6 +534,8 @@ impl Rit {
         let num_types = job.num_types();
         let eta = bounds::per_type_target(self.config.h, num_types.max(1));
 
+        observer.phase_start(num_types);
+
         // One pass over the asks; afterwards rounds only decrement the
         // per-run `remaining` counters.
         ws.compact.rebuild(num_types, asks, eligible);
@@ -588,6 +596,7 @@ impl Rit {
             rounds_used.push(rounds);
             unallocated.push(q);
         }
+        observer.phase_end();
 
         Ok(AuctionPhaseResult {
             allocation,

@@ -231,6 +231,7 @@ pub fn evaluate_job_with<M: Mechanism + Sync>(
     suite: &AttackSuite,
     mechanism: &M,
 ) -> Result<SuiteReport, RitError> {
+    let _probe_span = rit_telemetry::span(rit_telemetry::SpanKind::AttackProbe);
     /// Grid adapter: one paired suite replication. Replication seeds come
     /// from the [`ProbeRunner`]'s own schedule, so the grid's derived seed
     /// is deliberately unused.

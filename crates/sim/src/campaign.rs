@@ -178,6 +178,7 @@ pub fn run_with_mechanism<M: Mechanism>(
     mechanism: &M,
 ) -> Result<CampaignReport, RitError> {
     assert!(config.universe > 2, "universe too small");
+    let _campaign_span = rit_telemetry::span(rit_telemetry::SpanKind::Campaign);
     let mut rng = SmallRng::seed_from_u64(seed);
     let graph: SocialGraph = generators::barabasi_albert(config.universe, 2, &mut rng);
     let job =
@@ -198,6 +199,7 @@ pub fn run_with_mechanism<M: Mechanism>(
     let mut epochs = Vec::with_capacity(config.num_jobs);
 
     for epoch in 0..config.num_jobs {
+        let _epoch_span = rit_telemetry::span(rit_telemetry::SpanKind::Epoch);
         let epoch_start = std::time::Instant::now();
         // Recruitment to the new target. Members keep their position: the
         // cascade is deterministic and strictly extends epoch over epoch,

@@ -380,7 +380,7 @@ pub fn round_budget_with(config: &AblationConfig, cache: &SubstrateCache) -> Fig
         scen_config.workload.num_types = num_types;
         for (si, (_, policy)) in policies.iter().enumerate() {
             cells.push(RoundBudgetCell {
-                scen_config: scen_config.clone(),
+                scen_config,
                 job: job.clone(),
                 rit: Rit::new(RitConfig {
                     round_limit: *policy,

@@ -41,15 +41,19 @@
 //! When a global [`rit_telemetry`] instance is installed the engine emits
 //! per-cell spans: a `grid.cells` completed counter, a `grid.cell_micros`
 //! wall-time histogram (first item claimed → last item finished), and a
-//! `grid.straggler_micros` gauge tracking the slowest cell so far. Worker
+//! `grid.straggler_micros` gauge tracking the slowest cell so far — plus a
+//! `grid.cell` span (histogram + JSONL `span` event) per completed cell,
+//! which the Chrome-trace exporter renders as one slice per cell. Worker
 //! items continue to feed the `worker.*` metrics exactly as
-//! `parallel_map` does.
+//! `parallel_map` does, and each item is additionally a `worker.item`
+//! span. With progress enabled, completion lines carry cells/s and an ETA
+//! derived from completed-cell wall time (stderr only).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use rit_telemetry::Telemetry;
+use rit_telemetry::{span::trace_now_us, SpanKind, Telemetry};
 
 use crate::runner::{default_threads, derive_seed, timed_item};
 use crate::scenario::{Scenario, ScenarioConfig};
@@ -483,13 +487,25 @@ impl<'a> CellSpans<'a> {
             t.add(m.grid_cells, 1);
             t.record(m.grid_cell_micros, span_ns / 1_000);
             t.set_gauge(m.grid_straggler_micros, slowest as f64 / 1_000.0);
+            // The cell's first and last item may have run on different
+            // workers, so the span is assembled here rather than held as an
+            // RAII guard; its start is back-dated from the close.
+            let dur_us = span_ns / 1_000;
+            t.record_span_at(
+                SpanKind::GridCell,
+                trace_now_us().saturating_sub(dur_us),
+                dur_us,
+            );
         }
         if progress_enabled() {
+            // Throughput and ETA from completed-cell wall time. Stderr
+            // only: scheduling-dependent numbers must never reach results.
+            let elapsed = self.epoch.elapsed().as_secs_f64();
+            let rate = done as f64 / elapsed.max(1e-9);
+            let eta = (self.total_cells - done) as f64 / rate.max(1e-9);
             eprintln!(
-                "  [{}] {done}/{} cells ({:.1}s)",
-                self.name,
-                self.total_cells,
-                self.epoch.elapsed().as_secs_f64()
+                "  [{}] {done}/{} cells ({elapsed:.1}s, {rate:.1} cells/s, eta {eta:.0}s)",
+                self.name, self.total_cells,
             );
         }
     }

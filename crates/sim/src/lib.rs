@@ -48,6 +48,7 @@ pub mod experiments;
 pub mod grid;
 pub mod io;
 pub mod metrics;
+pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod substrate;

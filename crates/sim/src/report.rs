@@ -1,0 +1,807 @@
+//! The read side of the observability stack: run summaries, perf diffs,
+//! and Chrome-trace export over recorded artifacts.
+//!
+//! The write side (`rit_telemetry` spans + JSONL sink, the bench bins'
+//! `BENCH_*.json` reports) produces files; this module ingests them back
+//! with the hand-rolled [`rit_telemetry::JsonValue`] parser — no external
+//! dependencies — and renders:
+//!
+//! - [`summarize`]: a markdown run summary per file — manifest header, top
+//!   spans by total/self time with exact p50/p90/p99 over the raw span
+//!   events, counter/gauge/histogram tables, bench arm/phase timings.
+//! - [`diff`]: a regression gate comparing two runs metric-by-metric via
+//!   [`MeanStd`]. Only *timing* metrics gate (names ending in `.wall_s`,
+//!   or containing `_micros`/`_ns`); `speedup` metrics regress when they
+//!   *drop*; everything else is reported as drift but never fails the
+//!   gate. Tiny timings (below [`GATE_FLOOR_WALL_S`] / [`GATE_FLOOR_US`])
+//!   are jitter-dominated and also never gate.
+//! - [`render_trace`]: `telemetry.jsonl` → Chrome `trace_event` JSON
+//!   (delegates to [`rit_telemetry::chrome_trace`]).
+//!
+//! Both bench report schemas (`BENCH_sim.json` schema 2, `BENCH_scale.json`
+//! schema 1) and the JSONL event stream are recognized by content, not by
+//! file name: a file whose first parsed line carries an `"event"` field is
+//! a JSONL stream, anything else must parse as one bench report object.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rit_telemetry::{chrome_trace, JsonValue, MeanStd};
+
+/// Relative change below which a timing delta is never flagged, and above
+/// which (for gating classes) the diff exits nonzero. The default is
+/// deliberately loose — CI timing noise on shared runners routinely hits
+/// tens of percent — and can be tightened per-call.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// Wall-clock floor (seconds): `.wall_s` metrics whose baseline mean is
+/// below this are jitter-dominated and reported as drift, never gated.
+pub const GATE_FLOOR_WALL_S: f64 = 0.01;
+
+/// Microsecond floor for `_micros`/`_ns`-classified metrics (ns values are
+/// scaled to µs before the comparison with this floor).
+pub const GATE_FLOOR_US: f64 = 10_000.0;
+
+/// A report-side failure: unreadable file, unparsable JSON, or a schema
+/// the ingester does not recognize.
+#[derive(Debug)]
+pub struct ReportError {
+    message: String,
+}
+
+impl ReportError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// One recorded span event (`"event":"span"` JSONL line).
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span kind name (`run`, `grid.cell`, `auction.phase`, …).
+    pub name: String,
+    /// Process-unique span id (nonzero).
+    pub id: u64,
+    /// Parent span id (`0` = root / cross-thread assembly).
+    pub parent: u64,
+    /// Recording thread's trace id.
+    pub thread: u64,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// A histogram percentile summary as recorded in a flush event or a bench
+/// report's embedded telemetry block.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HistLine {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Bucketed 50th percentile.
+    pub p50: u64,
+    /// Bucketed 90th percentile.
+    pub p90: u64,
+    /// Bucketed 99th percentile.
+    pub p99: u64,
+}
+
+/// Everything extracted from one artifact file, ready for rendering and
+/// diffing.
+#[derive(Debug, Default)]
+pub struct RunData {
+    /// Display label (the file name as given).
+    pub label: String,
+    /// Manifest header fields in emission order (tool, version, …).
+    pub manifest: Vec<(String, String)>,
+    /// Diffable scalars: metric key → accumulated samples.
+    pub metrics: BTreeMap<String, MeanStd>,
+    /// Raw span events (JSONL streams only).
+    pub spans: Vec<SpanRecord>,
+    /// Counter summaries.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge summaries.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistLine)>,
+    /// Bench arm/phase timings: `(section, name, mean_s, p50_s)`.
+    pub timings: Vec<(&'static str, String, f64, f64)>,
+}
+
+impl RunData {
+    /// Parses one artifact (JSONL event stream or `BENCH_*.json` report),
+    /// recognized by content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError`] when the content is neither a JSONL stream
+    /// whose lines are objects nor a parsable bench report object.
+    pub fn parse(label: &str, content: &str) -> Result<RunData, ReportError> {
+        let mut data = RunData {
+            label: label.to_string(),
+            ..RunData::default()
+        };
+        let first_line = content.lines().find(|l| !l.trim().is_empty());
+        let looks_jsonl = first_line
+            .and_then(|l| JsonValue::parse(l).ok())
+            .is_some_and(|v| v.get("event").is_some());
+        if looks_jsonl {
+            data.ingest_jsonl(content);
+            return Ok(data);
+        }
+        let value = JsonValue::parse(content)
+            .map_err(|e| ReportError::new(format!("{label}: not a bench report: {e}")))?;
+        data.ingest_bench(&value)?;
+        Ok(data)
+    }
+
+    fn push_metric(&mut self, key: &str, value: f64) {
+        self.metrics.entry(key.to_string()).or_default().push(value);
+    }
+
+    /// Ingests a `telemetry.jsonl` stream. Malformed lines are skipped —
+    /// the stream may have been truncated by a crash, and a partial
+    /// summary beats none.
+    fn ingest_jsonl(&mut self, content: &str) {
+        for line in content.lines() {
+            let Ok(value) = JsonValue::parse(line) else {
+                continue;
+            };
+            let get_str = |key: &str| value.get(key).and_then(JsonValue::as_str).unwrap_or("");
+            let get_u64 = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let get_f64 = |key: &str| value.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+            match value.get("event").and_then(JsonValue::as_str) {
+                Some("manifest") => {
+                    self.manifest = value
+                        .entries()
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter(|(k, _)| k != "event")
+                        .map(|(k, v)| {
+                            let rendered = match v {
+                                JsonValue::String(s) => s.clone(),
+                                other => render_scalar(other),
+                            };
+                            (k.clone(), rendered)
+                        })
+                        .collect();
+                }
+                Some("span") => {
+                    self.spans.push(SpanRecord {
+                        name: get_str("name").to_string(),
+                        id: get_u64("id"),
+                        parent: get_u64("parent"),
+                        thread: get_u64("thread"),
+                        start_us: get_u64("start_us"),
+                        dur_us: get_u64("dur_us"),
+                    });
+                }
+                Some("counter") => {
+                    let name = get_str("name").to_string();
+                    let v = get_u64("value");
+                    self.push_metric(&format!("counter.{name}"), v as f64);
+                    self.counters.push((name, v));
+                }
+                Some("gauge") => {
+                    let name = get_str("name").to_string();
+                    let v = get_f64("value");
+                    self.push_metric(&format!("gauge.{name}"), v);
+                    self.gauges.push((name, v));
+                }
+                Some("histogram") => {
+                    let name = get_str("name").to_string();
+                    let h = HistLine {
+                        count: get_u64("count"),
+                        min: get_u64("min"),
+                        max: get_u64("max"),
+                        mean: get_f64("mean"),
+                        p50: get_u64("p50"),
+                        p90: get_u64("p90"),
+                        p99: get_u64("p99"),
+                    };
+                    self.push_metric(&format!("hist.{name}.mean"), h.mean);
+                    self.histograms.push((name, h));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Ingests a `BENCH_sim.json` (schema 2, `arms`) or `BENCH_scale.json`
+    /// (schema 1, `phases`) report.
+    fn ingest_bench(&mut self, value: &JsonValue) -> Result<(), ReportError> {
+        let label = self.label.clone();
+        let entries = value
+            .entries()
+            .ok_or_else(|| ReportError::new(format!("{label}: bench report is not an object")))?;
+        // Scalar header fields double as the manifest table.
+        for (key, v) in entries {
+            match v {
+                JsonValue::Array(_) | JsonValue::Object(_) => {}
+                other => self.manifest.push((key.clone(), render_scalar(other))),
+            }
+        }
+        if let Some(speedup) = value.get("auction_speedup").and_then(JsonValue::as_f64) {
+            self.push_metric("auction_speedup", speedup);
+        }
+        for (section, key) in [("arm", "arms"), ("phase", "phases")] {
+            let Some(items) = value.get(key).and_then(JsonValue::as_array) else {
+                continue;
+            };
+            for item in items {
+                let Some(name) = item.get("name").and_then(JsonValue::as_str) else {
+                    continue;
+                };
+                let walls: Vec<f64> = item
+                    .get("wall_s")
+                    .and_then(JsonValue::as_array)
+                    .map(|xs| xs.iter().filter_map(JsonValue::as_f64).collect())
+                    .unwrap_or_default();
+                let metric = format!("{section}.{name}.wall_s");
+                for w in &walls {
+                    self.push_metric(&metric, *w);
+                }
+                let mean = if walls.is_empty() {
+                    0.0
+                } else {
+                    walls.iter().sum::<f64>() / walls.len() as f64
+                };
+                let p50 = item
+                    .get("p50_wall_s")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(mean);
+                self.timings.push((section, name.to_string(), mean, p50));
+            }
+        }
+        if let Some(telemetry) = value.get("telemetry") {
+            self.ingest_bench_telemetry(telemetry);
+        }
+        if self.timings.is_empty() && self.metrics.is_empty() {
+            return Err(ReportError::new(format!(
+                "{label}: no arms/phases/telemetry found — unrecognized report schema"
+            )));
+        }
+        Ok(())
+    }
+
+    fn ingest_bench_telemetry(&mut self, telemetry: &JsonValue) {
+        if let Some(counters) = telemetry.get("counters").and_then(JsonValue::entries) {
+            for (name, v) in counters {
+                if let Some(x) = v.as_u64() {
+                    self.push_metric(&format!("counter.{name}"), x as f64);
+                    self.counters.push((name.clone(), x));
+                }
+            }
+        }
+        if let Some(gauges) = telemetry.get("gauges").and_then(JsonValue::entries) {
+            for (name, v) in gauges {
+                if let Some(x) = v.as_f64() {
+                    self.push_metric(&format!("gauge.{name}"), x);
+                    self.gauges.push((name.clone(), x));
+                }
+            }
+        }
+        if let Some(hists) = telemetry.get("histograms").and_then(JsonValue::entries) {
+            for (name, h) in hists {
+                let u = |key: &str| h.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+                let line = HistLine {
+                    count: u("count"),
+                    min: u("min"),
+                    max: u("max"),
+                    mean: h.get("mean").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                    p50: u("p50"),
+                    p90: u("p90"),
+                    p99: u("p99"),
+                };
+                self.push_metric(&format!("hist.{name}.mean"), line.mean);
+                self.histograms.push((name.clone(), line));
+            }
+        }
+    }
+}
+
+fn render_scalar(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Number(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{}", *x as i64)
+            } else {
+                format!("{x}")
+            }
+        }
+        JsonValue::String(s) => s.clone(),
+        JsonValue::Array(_) | JsonValue::Object(_) => String::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summary rendering
+// ---------------------------------------------------------------------------
+
+/// Per-span-name aggregate over the raw span events of one run.
+#[derive(Debug)]
+struct SpanAgg {
+    name: String,
+    count: u64,
+    total_us: u64,
+    self_us: u64,
+    durs: Vec<u64>,
+}
+
+/// Aggregates raw span events by name, computing total and *self* time
+/// (total minus the duration of direct children, via the parent links).
+fn aggregate_spans(spans: &[SpanRecord]) -> Vec<SpanAgg> {
+    let mut self_by_id: BTreeMap<u64, i128> = BTreeMap::new();
+    let mut name_by_id: BTreeMap<u64, &str> = BTreeMap::new();
+    for s in spans {
+        self_by_id.insert(s.id, i128::from(s.dur_us));
+        name_by_id.insert(s.id, &s.name);
+    }
+    for s in spans {
+        if s.parent != 0 {
+            if let Some(parent_self) = self_by_id.get_mut(&s.parent) {
+                *parent_self -= i128::from(s.dur_us);
+            }
+        }
+    }
+    let mut by_name: BTreeMap<&str, SpanAgg> = BTreeMap::new();
+    for s in spans {
+        let agg = by_name.entry(&s.name).or_insert_with(|| SpanAgg {
+            name: s.name.clone(),
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+            durs: Vec::new(),
+        });
+        agg.count += 1;
+        agg.total_us += s.dur_us;
+        // Clamp: overlapping children (cross-thread nesting) can push a
+        // parent's self time below zero; report it as zero.
+        let own = self_by_id.get(&s.id).copied().unwrap_or(0).max(0);
+        agg.self_us += u64::try_from(own).unwrap_or(0);
+        agg.durs.push(s.dur_us);
+    }
+    let mut aggs: Vec<SpanAgg> = by_name.into_values().collect();
+    aggs.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    aggs
+}
+
+/// Exact percentile over raw samples (nearest-rank on the sorted vector).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// Renders a markdown run summary over one or more artifact files
+/// (`telemetry.jsonl` streams and/or `BENCH_*.json` reports), in the order
+/// given. Each `(label, content)` pair is one already-read file.
+///
+/// # Errors
+///
+/// Propagates the first [`RunData::parse`] failure.
+pub fn summarize(files: &[(String, String)]) -> Result<String, ReportError> {
+    let mut out = String::from("# Run report\n");
+    for (label, content) in files {
+        let data = RunData::parse(label, content)?;
+        render_run(&mut out, &data);
+    }
+    Ok(out)
+}
+
+fn render_run(out: &mut String, data: &RunData) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "\n## {}\n", data.label);
+    if !data.manifest.is_empty() {
+        out.push_str("| field | value |\n|---|---|\n");
+        for (key, value) in &data.manifest {
+            let _ = writeln!(out, "| {key} | {value} |");
+        }
+        out.push('\n');
+    }
+    if !data.timings.is_empty() {
+        out.push_str("### Timings\n\n| section | name | mean | p50 |\n|---|---|---|---|\n");
+        for (section, name, mean, p50) in &data.timings {
+            let _ = writeln!(out, "| {section} | {name} | {mean:.3}s | {p50:.3}s |");
+        }
+        out.push('\n');
+    }
+    if !data.spans.is_empty() {
+        out.push_str(
+            "### Top spans by total time\n\n\
+             | span | count | total | self | p50 | p90 | p99 |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for agg in aggregate_spans(&data.spans) {
+            let mut sorted = agg.durs.clone();
+            sorted.sort_unstable();
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                agg.name,
+                agg.count,
+                fmt_us(agg.total_us),
+                fmt_us(agg.self_us),
+                fmt_us(percentile(&sorted, 50.0)),
+                fmt_us(percentile(&sorted, 90.0)),
+                fmt_us(percentile(&sorted, 99.0)),
+            );
+        }
+        out.push('\n');
+    }
+    if !data.counters.is_empty() {
+        out.push_str("### Counters\n\n| counter | value |\n|---|---|\n");
+        for (name, value) in &data.counters {
+            let _ = writeln!(out, "| {name} | {value} |");
+        }
+        out.push('\n');
+    }
+    if !data.gauges.is_empty() {
+        out.push_str("### Gauges\n\n| gauge | value |\n|---|---|\n");
+        for (name, value) in &data.gauges {
+            let _ = writeln!(out, "| {name} | {value} |");
+        }
+        out.push('\n');
+    }
+    if !data.histograms.is_empty() {
+        out.push_str(
+            "### Histograms\n\n| histogram | count | min | max | mean | p50 | p90 | p99 |\n\
+             |---|---|---|---|---|---|---|---|\n",
+        );
+        for (name, h) in &data.histograms {
+            let _ = writeln!(
+                out,
+                "| {name} | {} | {} | {} | {:.1} | {} | {} | {} |",
+                h.count, h.min, h.max, h.mean, h.p50, h.p90, h.p99
+            );
+        }
+        out.push('\n');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diff / regression gate
+// ---------------------------------------------------------------------------
+
+/// How a metric participates in the regression gate, decided by name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricClass {
+    /// Wall-clock-like: higher is worse; gates the exit code.
+    Time,
+    /// `speedup`-like: lower is worse; gates the exit code.
+    HigherBetter,
+    /// Everything else: reported as drift, never gates.
+    Neutral,
+}
+
+fn classify(key: &str) -> MetricClass {
+    if key.contains("speedup") {
+        return MetricClass::HigherBetter;
+    }
+    if key.ends_with(".wall_s") || key.contains("_micros") || key.contains("_ns") {
+        return MetricClass::Time;
+    }
+    MetricClass::Neutral
+}
+
+/// `true` when a timing metric is large enough for its relative delta to
+/// mean anything (sub-floor timings are scheduler jitter).
+fn above_gate_floor(key: &str, baseline_mean: f64) -> bool {
+    if key.ends_with(".wall_s") {
+        baseline_mean >= GATE_FLOOR_WALL_S
+    } else if key.contains("_ns") {
+        baseline_mean / 1_000.0 >= GATE_FLOOR_US
+    } else {
+        baseline_mean >= GATE_FLOOR_US
+    }
+}
+
+/// The outcome of [`diff`]: a rendered markdown comparison plus the list
+/// of gating regressions (empty = the gate passes).
+#[derive(Debug)]
+pub struct DiffReport {
+    /// The full markdown comparison table.
+    pub markdown: String,
+    /// One `metric: Δ` line per gating regression.
+    pub regressions: Vec<String>,
+}
+
+impl DiffReport {
+    /// `true` when at least one gating metric regressed beyond the
+    /// threshold.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Compares two runs metric-by-metric. `baseline` and `candidate` are
+/// `(label, content)` pairs of already-read artifact files; `threshold` is
+/// the relative change beyond which a gating metric regresses (e.g. `0.5`
+/// = 50%).
+///
+/// # Errors
+///
+/// Propagates [`RunData::parse`] failures for either file.
+pub fn diff(
+    baseline: (&str, &str),
+    candidate: (&str, &str),
+    threshold: f64,
+) -> Result<DiffReport, ReportError> {
+    use std::fmt::Write;
+    let base = RunData::parse(baseline.0, baseline.1)?;
+    let cand = RunData::parse(candidate.0, candidate.1)?;
+    let mut markdown = format!(
+        "# Perf diff\n\nbaseline: `{}`\ncandidate: `{}`\nthreshold: {:.0}%\n\n\
+         | metric | baseline | candidate | Δ | status |\n|---|---|---|---|---|\n",
+        base.label,
+        cand.label,
+        threshold * 100.0
+    );
+    let mut regressions = Vec::new();
+    let mut only_base = Vec::new();
+    let mut only_cand: Vec<&String> = cand
+        .metrics
+        .keys()
+        .filter(|k| !base.metrics.contains_key(*k))
+        .collect();
+    for (key, b) in &base.metrics {
+        let Some(c) = cand.metrics.get(key) else {
+            only_base.push(key);
+            continue;
+        };
+        let (bm, cm) = (b.mean(), c.mean());
+        let delta = if bm.abs() > f64::EPSILON {
+            (cm - bm) / bm.abs()
+        } else if cm.abs() > f64::EPSILON {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let class = classify(key);
+        let beyond = delta.abs() > threshold;
+        let status = match class {
+            MetricClass::Time if beyond && delta > 0.0 => {
+                if above_gate_floor(key, bm) {
+                    regressions.push(format!("{key}: +{:.0}%", delta * 100.0));
+                    "**REGRESSION**"
+                } else {
+                    "drift (sub-floor)"
+                }
+            }
+            MetricClass::HigherBetter if beyond && delta < 0.0 => {
+                regressions.push(format!("{key}: {:.0}%", delta * 100.0));
+                "**REGRESSION**"
+            }
+            MetricClass::Time | MetricClass::HigherBetter if beyond => "improved",
+            MetricClass::Neutral if beyond => "drift",
+            _ => "ok",
+        };
+        if status != "ok" || class != MetricClass::Neutral {
+            let _ = writeln!(
+                markdown,
+                "| {key} | {bm:.4} | {cm:.4} | {:+.1}% | {status} |",
+                delta * 100.0
+            );
+        }
+    }
+    for key in only_base {
+        let _ = writeln!(markdown, "| {key} | present | missing | — | removed |");
+    }
+    only_cand.sort();
+    for key in only_cand {
+        let _ = writeln!(markdown, "| {key} | missing | present | — | added |");
+    }
+    if regressions.is_empty() {
+        markdown.push_str("\nGate: **pass** — no gating metric regressed.\n");
+    } else {
+        let _ = writeln!(
+            markdown,
+            "\nGate: **FAIL** — {} regression(s):",
+            regressions.len()
+        );
+        for r in &regressions {
+            let _ = writeln!(markdown, "- {r}");
+        }
+    }
+    Ok(DiffReport {
+        markdown,
+        regressions,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Trace export
+// ---------------------------------------------------------------------------
+
+/// Converts a `telemetry.jsonl` stream to Chrome `trace_event` JSON;
+/// returns the JSON document and the number of slices emitted.
+#[must_use]
+pub fn render_trace(jsonl: &str) -> (String, usize) {
+    chrome_trace(jsonl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JSONL: &str = concat!(
+        r#"{"event":"manifest","tool":"bench_sim","version":"0.1.0","config_hash":"00000000deadbeef","seed":42,"threads":4,"mechanism":"rit","rng_mode":"streams"}"#,
+        "\n",
+        r#"{"event":"span","name":"run","id":1,"parent":0,"thread":1,"start_us":0,"dur_us":1000}"#,
+        "\n",
+        r#"{"event":"span","name":"auction.phase","id":2,"parent":1,"thread":1,"start_us":100,"dur_us":600}"#,
+        "\n",
+        r#"{"event":"counter","name":"auction.rounds","value":17}"#,
+        "\n",
+        r#"{"event":"gauge","name":"worker.threads","value":4}"#,
+        "\n",
+        r#"{"event":"histogram","name":"span.run_micros","count":1,"min":1000,"max":1000,"mean":1000.0,"p50":1000,"p90":1000,"p99":1000}"#,
+        "\n",
+    );
+
+    fn bench_sim_json(wall: f64) -> String {
+        format!(
+            r#"{{
+  "schema_version": 2,
+  "bench": "bench_sim",
+  "quick": true,
+  "threads": 4,
+  "config_hash": "00000000deadbeef",
+  "arms": [
+    {{"name": "fig3_sweep", "wall_s": [{w}, {w}, {w}], "min_wall_s": {w}, "mean_wall_s": {w}, "p50_wall_s": {w}, "substrate_generations": 3, "substrate_cache_hits": 0}}
+  ],
+  "telemetry": {{
+    "counters": {{"auction.rounds": 17, "worker.items": 9}},
+    "gauges": {{"worker.threads": 4}},
+    "histograms": {{
+      "worker.item_micros": {{"count": 9, "min": 10, "max": 20, "mean": 15.0, "p50": 15, "p90": 20, "p99": 20}}
+    }}
+  }}
+}}
+"#,
+            w = wall
+        )
+    }
+
+    #[test]
+    fn jsonl_ingestion_extracts_manifest_spans_and_metrics() {
+        let data = RunData::parse("telemetry.jsonl", JSONL).unwrap();
+        assert_eq!(data.spans.len(), 2);
+        assert_eq!(
+            data.manifest[0],
+            ("tool".to_string(), "bench_sim".to_string())
+        );
+        assert!(data.manifest.iter().any(|(k, v)| k == "seed" && v == "42"));
+        assert_eq!(data.metrics["counter.auction.rounds"].mean(), 17.0);
+        assert_eq!(data.metrics["hist.span.run_micros.mean"].mean(), 1000.0);
+    }
+
+    #[test]
+    fn bench_ingestion_extracts_arms_and_embedded_telemetry() {
+        let data = RunData::parse("BENCH_sim.json", &bench_sim_json(2.0)).unwrap();
+        let arm = &data.metrics["arm.fig3_sweep.wall_s"];
+        assert_eq!(arm.count(), 3);
+        assert!((arm.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(data.metrics["counter.worker.items"].mean(), 9.0);
+        assert!(data
+            .manifest
+            .iter()
+            .any(|(k, v)| k == "config_hash" && v == "00000000deadbeef"));
+    }
+
+    #[test]
+    fn summary_reports_span_self_time_separately_from_total() {
+        let report = summarize(&[("telemetry.jsonl".to_string(), JSONL.to_string())]).unwrap();
+        assert!(report.contains("### Top spans by total time"));
+        // run: total 1000µs, self 1000 - 600 (child auction.phase) = 400µs.
+        assert!(report.contains("| run | 1 | 1.00ms | 400µs |"), "{report}");
+        assert!(report.contains("| auction.phase | 1 | 600µs | 600µs |"));
+        assert!(report.contains("| auction.rounds | 17 |"));
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let a = bench_sim_json(2.0);
+        let d = diff(("a.json", &a), ("b.json", &a), DEFAULT_THRESHOLD).unwrap();
+        assert!(!d.has_regressions(), "{}", d.markdown);
+        assert!(d.markdown.contains("Gate: **pass**"));
+    }
+
+    #[test]
+    fn injected_timing_regression_fails_the_gate_and_names_the_metric() {
+        let a = bench_sim_json(2.0);
+        let b = bench_sim_json(20.0);
+        let d = diff(("a.json", &a), ("b.json", &b), DEFAULT_THRESHOLD).unwrap();
+        assert!(d.has_regressions());
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| r.contains("arm.fig3_sweep.wall_s")),
+            "{:?}",
+            d.regressions
+        );
+        assert!(d.markdown.contains("**REGRESSION**"));
+        // The improvement direction does not gate.
+        let d = diff(("a.json", &b), ("b.json", &a), DEFAULT_THRESHOLD).unwrap();
+        assert!(!d.has_regressions(), "{}", d.markdown);
+        assert!(d.markdown.contains("improved"));
+    }
+
+    #[test]
+    fn speedup_drop_gates_and_counter_drift_does_not() {
+        let base = r#"{"schema_version": 1, "bench": "bench_scale", "auction_speedup": 4.0,
+            "phases": [{"name": "auction_parallel", "threads": 4, "wall_s": [1.0], "p50_wall_s": 1.0}]}"#;
+        let cand = r#"{"schema_version": 1, "bench": "bench_scale", "auction_speedup": 1.2,
+            "phases": [{"name": "auction_parallel", "threads": 4, "wall_s": [1.0], "p50_wall_s": 1.0}]}"#;
+        let d = diff(("a", base), ("b", cand), DEFAULT_THRESHOLD).unwrap();
+        assert!(d.has_regressions());
+        assert!(d.regressions.iter().any(|r| r.contains("auction_speedup")));
+
+        // A counter changing wildly is drift, not a gate failure.
+        let base = r#"{"event":"manifest","tool":"t"}
+{"event":"counter","name":"auction.rounds","value":10}"#;
+        let cand = r#"{"event":"manifest","tool":"t"}
+{"event":"counter","name":"auction.rounds","value":1000}"#;
+        let d = diff(("a", base), ("b", cand), DEFAULT_THRESHOLD).unwrap();
+        assert!(!d.has_regressions(), "{}", d.markdown);
+        assert!(d.markdown.contains("drift"));
+    }
+
+    #[test]
+    fn sub_floor_timings_never_gate() {
+        let base = r#"{"schema_version": 1, "bench": "x",
+            "phases": [{"name": "tiny", "threads": 1, "wall_s": [0.0001], "p50_wall_s": 0.0001}]}"#;
+        let cand = r#"{"schema_version": 1, "bench": "x",
+            "phases": [{"name": "tiny", "threads": 1, "wall_s": [0.005], "p50_wall_s": 0.005}]}"#;
+        let d = diff(("a", base), ("b", cand), DEFAULT_THRESHOLD).unwrap();
+        assert!(!d.has_regressions(), "{}", d.markdown);
+        assert!(d.markdown.contains("sub-floor"));
+    }
+
+    #[test]
+    fn unreadable_content_is_a_report_error() {
+        assert!(RunData::parse("x", "not json at all").is_err());
+        assert!(RunData::parse("x", "{\"schema_version\": 9}").is_err());
+    }
+
+    #[test]
+    fn trace_export_round_trips_through_the_parser() {
+        let (json, slices) = render_trace(JSONL);
+        assert_eq!(slices, 2);
+        let v = JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+        // 2 slices + 1 process-name metadata record from the manifest.
+        assert_eq!(events.len(), 3);
+    }
+}

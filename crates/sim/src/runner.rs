@@ -168,13 +168,17 @@ where
 /// telemetry's worker busy-time metrics when one is installed. The
 /// untelemetered path is the bare closure call — no clock reads. Shared
 /// with the grid engine so `worker.*` metrics mean the same thing under
-/// both schedulers.
+/// both schedulers. Each item is also a `worker.item` span, so spans
+/// opened inside the item (substrate generation, auction phases) nest
+/// under it in trace exports.
 pub(crate) fn timed_item<T>(telemetry: Option<&'static Telemetry>, f: impl FnOnce() -> T) -> T {
     let Some(t) = telemetry else {
         return f();
     };
+    let span = t.start_span(rit_telemetry::SpanKind::WorkerItem);
     let start = Instant::now();
     let out = f();
+    drop(span);
     let busy = start.elapsed();
     let m = t.metrics();
     t.add(m.worker_items, 1);

@@ -143,6 +143,7 @@ impl SubstrateCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.generations.fetch_add(1, Ordering::Relaxed);
             mirror_to_telemetry(0, 1, 1);
+            let _span = rit_telemetry::span(rit_telemetry::SpanKind::SubstrateGen);
             return Arc::new(Scenario::generate(config, seed));
         };
         let key = SubstrateKey::new(config, seed);
@@ -162,6 +163,7 @@ impl SubstrateCache {
         Arc::clone(cell.get_or_init(|| {
             self.generations.fetch_add(1, Ordering::Relaxed);
             mirror_to_telemetry(0, 0, 1);
+            let _span = rit_telemetry::span(rit_telemetry::SpanKind::SubstrateGen);
             Arc::new(Scenario::generate(config, seed))
         }))
     }

@@ -38,10 +38,15 @@ fn installing_telemetry_changes_no_result_and_streams_events() {
         seed: 11,
     };
 
-    // Baselines, before any telemetry exists in the process.
+    // Baselines, before any telemetry exists in the process. The rendered
+    // CSV artifacts are kept as byte strings: the contract is not just
+    // equal structs but byte-identical experiment outputs with spans
+    // enabled vs disabled.
     let base_run = run_once(&rit, &job, &scenario, 42);
     let base_campaign = campaign::run(&campaign_config, 11).unwrap();
     let base_suite = attacks::run(&attack_config, None).unwrap();
+    let base_campaign_csv = campaign::to_figure(&base_campaign).to_csv();
+    let base_suite_csv = base_suite.to_table().to_csv();
 
     // Install the global instance with a JSONL sink.
     let dir = std::env::temp_dir().join("rit_sim_telemetry_flow_test");
@@ -60,8 +65,16 @@ fn installing_telemetry_changes_no_result_and_streams_events() {
     );
     assert_eq!(obs_run.total_payment_rit, base_run.total_payment_rit);
     assert_eq!(obs_run.completed, base_run.completed);
-    assert_eq!(campaign::run(&campaign_config, 11).unwrap(), base_campaign);
-    assert_eq!(attacks::run(&attack_config, None).unwrap(), base_suite);
+    let obs_campaign = campaign::run(&campaign_config, 11).unwrap();
+    let obs_suite = attacks::run(&attack_config, None).unwrap();
+    assert_eq!(obs_campaign, base_campaign);
+    assert_eq!(obs_suite, base_suite);
+    // Byte-for-byte identical CSV artifacts under span recording.
+    assert_eq!(
+        campaign::to_figure(&obs_campaign).to_csv(),
+        base_campaign_csv
+    );
+    assert_eq!(obs_suite.to_table().to_csv(), base_suite_csv);
 
     // Exercise the remaining instrumented surfaces: the substrate cache
     // (one miss+generation, one hit) and a parallel map (worker items).
@@ -89,6 +102,19 @@ fn installing_telemetry_changes_no_result_and_streams_events() {
     );
     assert!(reg.histogram_summary(m.round_winners).count > 0);
     assert!(reg.histogram_summary(m.campaign_epoch_micros).count > 0);
+    // The span layer recorded at every instrumented seam.
+    use rit_telemetry::SpanKind;
+    let span_count = |kind: SpanKind| reg.histogram_summary(m.span_micros[kind as usize]).count;
+    assert!(span_count(SpanKind::Campaign) >= 1, "campaign spans");
+    assert_eq!(
+        span_count(SpanKind::Epoch) % campaign_config.num_jobs as u64,
+        0
+    );
+    assert!(span_count(SpanKind::Epoch) > 0, "epoch spans");
+    assert!(span_count(SpanKind::AttackProbe) > 0, "attack probe spans");
+    assert!(span_count(SpanKind::SubstrateGen) >= 1, "substrate spans");
+    assert!(span_count(SpanKind::WorkerItem) >= 8, "worker item spans");
+    assert!(span_count(SpanKind::GridCell) > 0, "grid cell spans");
 
     telemetry.flush().unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
@@ -102,12 +128,33 @@ fn installing_telemetry_changes_no_result_and_streams_events() {
         "\"event\":\"attack\"",
         "\"event\":\"counter\"",
         "\"event\":\"histogram\"",
+        "\"event\":\"span\"",
         "\"name\":\"auction.rounds\"",
         "\"name\":\"worker.item_micros\"",
         "\"name\":\"substrate.generations\"",
+        "\"name\":\"campaign.epoch\"",
+        "\"name\":\"attack.probe\"",
+        "\"name\":\"grid.cell\"",
+        "\"name\":\"span.campaign_micros\"",
     ] {
         assert!(text.contains(needle), "telemetry file missing {needle}");
     }
+    // Every streamed span event carries the full id/timing payload, and
+    // the file as a whole converts to non-empty Chrome trace JSON.
+    for line in text.lines().filter(|l| l.contains("\"event\":\"span\"")) {
+        for field in [
+            "\"id\":",
+            "\"parent\":",
+            "\"thread\":",
+            "\"start_us\":",
+            "\"dur_us\":",
+        ] {
+            assert!(line.contains(field), "span event missing {field}: {line}");
+        }
+    }
+    let (trace_json, slices) = rit_telemetry::chrome_trace(&text);
+    assert!(slices > 0, "no span slices exported");
+    assert!(trace_json.starts_with("{\"traceEvents\":["));
     // Streamed events land before the flush summaries.
     let epoch_line = text.lines().position(|l| l.contains("\"event\":\"epoch\""));
     let counter_line = text

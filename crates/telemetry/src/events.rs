@@ -138,6 +138,23 @@ impl JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Last-chance flush: binaries that exit without calling
+    /// [`JsonlSink::flush`] (early return, error path) would otherwise lose
+    /// the buffered tail silently — `BufWriter`'s own drop flushes but
+    /// swallows errors. Failures here can only be reported, not propagated,
+    /// so they go to stderr.
+    fn drop(&mut self) {
+        let writer = match self.writer.get_mut() {
+            Ok(writer) => writer,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Err(e) = writer.flush() {
+            eprintln!("warning: telemetry sink lost buffered events on drop: {e}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +165,48 @@ mod tests {
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape_json("line\nbreak\ttab"), "line\\nbreak\\ttab");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn escaping_covers_every_control_char_and_carriage_return() {
+        assert_eq!(escape_json("a\rb"), "a\\rb");
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let escaped = escape_json(&c.to_string());
+            // Every C0 control character must leave as an escape sequence,
+            // never as a raw byte (raw controls are invalid in JSON strings).
+            assert!(escaped.starts_with('\\'), "U+{code:04X} not escaped");
+            assert!(escaped.is_ascii());
+        }
+        assert_eq!(escape_json("\u{0}"), "\\u0000");
+        assert_eq!(escape_json("\u{1f}"), "\\u001f");
+        // 0x20 (space) and above pass through untouched.
+        assert_eq!(escape_json(" ~"), " ~");
+    }
+
+    #[test]
+    fn escaping_passes_multi_byte_utf8_through_untouched() {
+        // 2-, 3-, and 4-byte sequences: é, λ/→, 😀.
+        assert_eq!(escape_json("é λ→😀"), "é λ→😀");
+        // Mixed with escapes on both sides.
+        assert_eq!(escape_json("π=\"3\"\n😀"), "π=\\\"3\\\"\\n😀");
+        //  (DEL) is not a C0 control; JSON allows it raw.
+        assert_eq!(escape_json("\u{7f}"), "\u{7f}");
+    }
+
+    #[test]
+    fn sink_flushes_on_drop() {
+        let dir = std::env::temp_dir().join("rit_telemetry_drop_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.emit(r#"{"event":"tail"}"#);
+            // No explicit flush: the Drop impl must persist the buffer.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"event\":\"tail\"}\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::OnceLock;
 use crate::events::{JsonObject, JsonlSink};
 use crate::manifest::RunManifest;
 use crate::registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, RegistrySnapshot};
+use crate::span::{self, SpanGuard, SpanKind};
 
 /// Handles to the workspace's standard metrics, pre-registered by
 /// [`Telemetry::new`] so every hot path records through a `Copy` id with
@@ -69,6 +70,9 @@ pub struct StandardMetrics {
     pub attack_abs_gain_milli: HistogramId,
     /// `grid.cell_micros` — wall time per completed grid cell.
     pub grid_cell_micros: HistogramId,
+    /// `span.*_micros` — wall time per closed span, one histogram per
+    /// [`SpanKind`], indexed by `SpanKind::index` ([`SpanKind::ALL`] order).
+    pub span_micros: [HistogramId; SpanKind::COUNT],
 }
 
 impl StandardMetrics {
@@ -96,6 +100,7 @@ impl StandardMetrics {
             campaign_epoch_micros: registry.register_histogram("campaign.epoch_micros"),
             attack_abs_gain_milli: registry.register_histogram("attack.abs_gain_milli"),
             grid_cell_micros: registry.register_histogram("grid.cell_micros"),
+            span_micros: SpanKind::ALL.map(|kind| registry.register_histogram(kind.metric_name())),
         }
     }
 }
@@ -184,6 +189,32 @@ impl Telemetry {
     /// Sets a gauge.
     pub fn set_gauge(&self, id: GaugeId, value: f64) {
         self.registry.set_gauge(id, value);
+    }
+
+    /// Opens a timed span against this instance; dropping the guard records
+    /// the elapsed wall time (and, with a sink, emits a `span` event). See
+    /// [`crate::span()`] for the nesting model.
+    pub fn start_span(&self, kind: SpanKind) -> SpanGuard<'_> {
+        SpanGuard::start(self, kind)
+    }
+
+    /// Records a manually assembled span — for spans whose start and end
+    /// are observed on different threads (e.g. grid cells, whose first item
+    /// and last item may run on different workers). `start_us` is an offset
+    /// against [`span::trace_now_us`]'s epoch. The span gets a fresh id and
+    /// no parent link.
+    pub fn record_span_at(&self, kind: SpanKind, start_us: u64, dur_us: u64) {
+        self.record(self.metrics.span_micros[kind.index()], dur_us);
+        if self.has_sink() {
+            self.emit(&span::span_event(
+                kind,
+                span::next_span_id(),
+                0,
+                span::current_thread_id(),
+                start_us,
+                dur_us,
+            ));
+        }
     }
 
     /// Emits one already-rendered event line (no-op without a sink).

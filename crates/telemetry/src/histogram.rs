@@ -208,6 +208,33 @@ mod tests {
     }
 
     #[test]
+    fn single_bucket_summary_clamps_percentiles_to_observed_range() {
+        // All mass in one bucket ([8, 15]): the bucket's upper bound (15)
+        // exceeds the observed max (12), so clamping must pin every
+        // percentile inside [min, max] rather than report bucket geometry.
+        let h = Histogram::new();
+        for v in [9u64, 10, 12] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!((s.min, s.max), (9, 12));
+        for p in [s.p50, s.p90, s.p99] {
+            assert!((9..=12).contains(&p), "percentile {p} outside [9, 12]");
+        }
+        assert!((s.mean - 31.0 / 3.0).abs() < 1e-12);
+
+        // Same property in the degenerate zero bucket ([0, 0]).
+        let z = Histogram::new();
+        z.record(0);
+        z.record(0);
+        let s = z.summary();
+        assert_eq!((s.count, s.min, s.max), (2, 0, 0));
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
     fn percentiles_track_mass() {
         let h = Histogram::new();
         for _ in 0..90 {

@@ -24,6 +24,12 @@
 //!   so deep call sites (cache, worker loop, campaign) can record without
 //!   plumbing a handle through every signature. Not installing it keeps
 //!   every hot path on the exact pre-telemetry code path.
+//! * [`span()`] / [`SpanGuard`] — nested, thread-aware RAII wall-clock spans
+//!   over the same seams (grid cells, substrate generation, auction
+//!   phases, campaign epochs, workers), recorded as `span.*_micros`
+//!   histograms and streamed as `span` events; [`chrome_trace`] exports the
+//!   stream as Chrome `trace_event` JSON for Perfetto, and [`JsonValue`]
+//!   reads the crate's own artifacts back (the `rit report` tooling).
 //!
 //! Observers never draw randomness, so enabling telemetry changes **no**
 //! experimental result: the same RNG stream, the same allocation, the same
@@ -36,18 +42,24 @@
 pub mod events;
 mod global;
 pub mod histogram;
+pub mod json;
 pub mod manifest;
 pub mod observer;
 pub mod registry;
+pub mod span;
 pub mod stats;
+pub mod trace;
 
 pub use events::{JsonObject, JsonlSink};
 pub use global::{active, install, StandardMetrics, Telemetry};
 pub use histogram::{Histogram, HistogramSummary};
+pub use json::{JsonError, JsonValue};
 pub use manifest::{fnv1a64, RunManifest};
 pub use observer::{TelemetryAttackObserver, TelemetryObserver};
 pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, RegistrySnapshot};
+pub use span::{span, SpanGuard, SpanKind};
 pub use stats::MeanStd;
+pub use trace::chrome_trace;
 
 /// Environment variable naming a JSONL path for the global telemetry sink.
 /// Binaries honor it as a fallback for their `--telemetry` flag.

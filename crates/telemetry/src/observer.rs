@@ -20,6 +20,7 @@ use rit_model::TaskTypeId;
 
 use crate::events::JsonObject;
 use crate::global::Telemetry;
+use crate::span::{SpanGuard, SpanKind};
 use crate::stats::MeanStd;
 
 /// Scale for recording currency/utility values in the log2 histograms.
@@ -32,6 +33,7 @@ pub struct TelemetryObserver<'t> {
     telemetry: &'t Telemetry,
     type_rounds: u32,
     type_stalls: u32,
+    phase_span: Option<SpanGuard<'t>>,
 }
 
 impl<'t> TelemetryObserver<'t> {
@@ -42,11 +44,23 @@ impl<'t> TelemetryObserver<'t> {
             telemetry,
             type_rounds: 0,
             type_stalls: 0,
+            phase_span: None,
         }
     }
 }
 
 impl AuctionObserver for TelemetryObserver<'_> {
+    fn phase_start(&mut self, _num_types: usize) {
+        // `phase_start`/`phase_end` bracket the real (possibly parallel)
+        // phase execution, so the span measures actual wall-clock even when
+        // the per-type round events arrive as a post-hoc replay.
+        self.phase_span = Some(self.telemetry.start_span(SpanKind::AuctionPhase));
+    }
+
+    fn phase_end(&mut self) {
+        self.phase_span = None;
+    }
+
     fn type_start(&mut self, _task_type: TaskTypeId, _tasks: u64, _budget: Option<u32>) {
         self.telemetry
             .add(self.telemetry.metrics().auction_types, 1);
@@ -187,12 +201,20 @@ mod tests {
     fn auction_observer_aggregates_rounds_and_stalls() {
         let t = telemetry();
         let mut obs = TelemetryObserver::new(&t);
+        obs.phase_start(1);
         obs.type_start(TaskTypeId::new(0), 10, None);
         obs.round(&round(3, 2.5, 4));
         obs.round(&round(0, 0.0, 0));
         obs.round(&round(2, 1.5, 2));
         obs.type_end();
+        obs.phase_end();
         let m = t.metrics();
+        assert_eq!(
+            t.registry()
+                .histogram_summary(m.span_micros[SpanKind::AuctionPhase as usize])
+                .count,
+            1
+        );
         assert_eq!(t.registry().counter(m.auction_types), 1);
         assert_eq!(t.registry().counter(m.auction_rounds), 3);
         assert_eq!(t.registry().counter(m.auction_winners), 5);

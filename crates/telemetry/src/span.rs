@@ -1,0 +1,348 @@
+//! Nested, thread-aware timed spans.
+//!
+//! A [`SpanGuard`] is an RAII wall-clock timer. [`span`] opens one against
+//! the process-global [`Telemetry`] instance; when none is installed the
+//! guard is inert — no clock read, no atomics, no allocation — so
+//! uninstrumented binaries keep the exact pre-telemetry code path. With
+//! telemetry installed, opening and closing a span is O(1): one atomic id
+//! fetch, two thread-local cell writes, two monotonic clock reads, and a
+//! relaxed histogram record into the span kind's `span.*_micros` histogram.
+//! Only when a JSONL sink is attached does the close additionally render a
+//! `span` event (that path allocates the event line, like every other
+//! event).
+//!
+//! Parent links come from a per-thread cursor: spans opened on the same
+//! thread nest (the guard restores its parent on drop), while spans on
+//! different threads are roots of their own thread's timeline. Ids are
+//! process-globally unique either way, and every event carries a stable
+//! per-thread id plus a start offset against one process-wide epoch, so the
+//! emitted stream reassembles into a single coherent timeline — this is
+//! what [`crate::trace::chrome_trace`] renders for Perfetto /
+//! `chrome://tracing`.
+//!
+//! Spans never draw randomness and never touch experiment state, so
+//! enabling them changes no result (pinned end-to-end by the sim crate's
+//! telemetry-equivalence test).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::events::JsonObject;
+use crate::global::{self, Telemetry};
+
+/// The instrumented seams of the workspace, one histogram per kind
+/// (`span.<kind>_micros`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A whole binary invocation (opened right after install, closed before
+    /// the final flush).
+    Run,
+    /// One experiment-grid cell, first item claimed to last item finished.
+    GridCell,
+    /// One scenario substrate generation (cache miss or passthrough).
+    SubstrateGen,
+    /// One auction phase — the full type loop, serial or parallel.
+    AuctionPhase,
+    /// One final-payment computation (Algorithm 3, Lines 22–27).
+    PaymentPhase,
+    /// One campaign (all epochs).
+    Campaign,
+    /// One campaign epoch (recruit, profile, run the job).
+    Epoch,
+    /// One attack-suite evaluation (all deviations, all replications).
+    AttackProbe,
+    /// One `parallel_map` work item.
+    WorkerItem,
+}
+
+impl SpanKind {
+    /// Number of span kinds (length of [`SpanKind::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// Every kind, in declaration order (the order of the
+    /// `StandardMetrics` span histogram array).
+    pub const ALL: [SpanKind; Self::COUNT] = [
+        SpanKind::Run,
+        SpanKind::GridCell,
+        SpanKind::SubstrateGen,
+        SpanKind::AuctionPhase,
+        SpanKind::PaymentPhase,
+        SpanKind::Campaign,
+        SpanKind::Epoch,
+        SpanKind::AttackProbe,
+        SpanKind::WorkerItem,
+    ];
+
+    /// The event name of this kind (the `"name"` field of `span` events and
+    /// of exported Chrome trace slices).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::GridCell => "grid.cell",
+            SpanKind::SubstrateGen => "substrate.gen",
+            SpanKind::AuctionPhase => "auction.phase",
+            SpanKind::PaymentPhase => "payment.phase",
+            SpanKind::Campaign => "campaign",
+            SpanKind::Epoch => "campaign.epoch",
+            SpanKind::AttackProbe => "attack.probe",
+            SpanKind::WorkerItem => "worker.item",
+        }
+    }
+
+    /// The registry name of this kind's duration histogram.
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            SpanKind::Run => "span.run_micros",
+            SpanKind::GridCell => "span.grid_cell_micros",
+            SpanKind::SubstrateGen => "span.substrate_gen_micros",
+            SpanKind::AuctionPhase => "span.auction_phase_micros",
+            SpanKind::PaymentPhase => "span.payment_phase_micros",
+            SpanKind::Campaign => "span.campaign_micros",
+            SpanKind::Epoch => "span.campaign_epoch_micros",
+            SpanKind::AttackProbe => "span.attack_probe_micros",
+            SpanKind::WorkerItem => "span.worker_item_micros",
+        }
+    }
+
+    /// Index into the `StandardMetrics` span histogram array.
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Monotonic span ids, process-global so ids from different threads never
+/// collide. 0 is reserved for "no span" (inert guards, absent parents).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Stable small thread ids for trace export (`std::thread::ThreadId` has no
+/// stable integer form). 0 is reserved for "unassigned".
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The process-wide trace epoch: all `start_us` offsets are measured from
+/// the first span-layer clock read of the process.
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Microseconds elapsed since the process trace epoch (established on
+/// first call). Monotonic and allocation-free.
+#[must_use]
+pub fn trace_now_us() -> u64 {
+    let epoch = *TRACE_EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// This thread's stable trace id (assigned on first use, starting at 1).
+#[must_use]
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|cell| match cell.get() {
+        0 => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            cell.set(id);
+            id
+        }
+        id => id,
+    })
+}
+
+/// A fresh process-globally-unique span id.
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Renders one `span` event line.
+pub(crate) fn span_event(
+    kind: SpanKind,
+    id: u64,
+    parent: u64,
+    thread: u64,
+    start_us: u64,
+    dur_us: u64,
+) -> String {
+    JsonObject::new("span")
+        .str_field("name", kind.name())
+        .u64_field("id", id)
+        .u64_field("parent", parent)
+        .u64_field("thread", thread)
+        .u64_field("start_us", start_us)
+        .u64_field("dur_us", dur_us)
+        .finish()
+}
+
+/// An open span: records its wall time (and, with a sink, a `span` event)
+/// when dropped. Obtained from [`span`] or [`Telemetry::start_span`].
+#[derive(Debug)]
+#[must_use = "a span measures until the guard is dropped"]
+pub struct SpanGuard<'t> {
+    active: Option<ActiveSpan<'t>>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan<'t> {
+    telemetry: &'t Telemetry,
+    kind: SpanKind,
+    id: u64,
+    parent: u64,
+    start_us: u64,
+}
+
+impl<'t> SpanGuard<'t> {
+    /// The do-nothing guard handed out when no telemetry is installed.
+    pub(crate) fn inert() -> Self {
+        Self { active: None }
+    }
+
+    pub(crate) fn start(telemetry: &'t Telemetry, kind: SpanKind) -> Self {
+        let id = next_span_id();
+        let parent = CURRENT_PARENT.with(|cell| cell.replace(id));
+        Self {
+            active: Some(ActiveSpan {
+                telemetry,
+                kind,
+                id,
+                parent,
+                start_us: trace_now_us(),
+            }),
+        }
+    }
+
+    /// The span's id (0 for an inert guard).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.id)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur_us = trace_now_us().saturating_sub(a.start_us);
+        CURRENT_PARENT.with(|cell| cell.set(a.parent));
+        let t = a.telemetry;
+        t.record(t.metrics().span_micros[a.kind.index()], dur_us);
+        if t.has_sink() {
+            t.emit(&span_event(
+                a.kind,
+                a.id,
+                a.parent,
+                current_thread_id(),
+                a.start_us,
+                dur_us,
+            ));
+        }
+    }
+}
+
+/// Opens a span against the installed global telemetry. Inert — and free:
+/// no clock read, no id allocation — when none is installed.
+pub fn span(kind: SpanKind) -> SpanGuard<'static> {
+    match global::active() {
+        Some(t) => t.start_span(kind),
+        None => SpanGuard::inert(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::RunManifest;
+
+    fn manifest() -> RunManifest {
+        RunManifest::new("test", "0.0.0", "span-unit", 1, 1)
+    }
+
+    #[test]
+    fn kind_names_and_metric_names_are_unique_and_indexed() {
+        let mut names: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+        let mut metrics: Vec<&str> = SpanKind::ALL.iter().map(|k| k.metric_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        metrics.sort_unstable();
+        metrics.dedup();
+        assert_eq!(names.len(), SpanKind::COUNT);
+        assert_eq!(metrics.len(), SpanKind::COUNT);
+        for (i, kind) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn inert_guard_records_nothing_and_has_id_zero() {
+        let guard = SpanGuard::inert();
+        assert_eq!(guard.id(), 0);
+        drop(guard);
+    }
+
+    #[test]
+    fn spans_nest_per_thread_and_record_histograms() {
+        let t = Telemetry::new(manifest());
+        let outer = t.start_span(SpanKind::Campaign);
+        let outer_id = outer.id();
+        assert_ne!(outer_id, 0);
+        {
+            let inner = t.start_span(SpanKind::Epoch);
+            assert_ne!(inner.id(), outer_id);
+        }
+        drop(outer);
+        let m = t.metrics();
+        assert_eq!(
+            t.registry()
+                .histogram_summary(m.span_micros[SpanKind::Campaign.index()])
+                .count,
+            1
+        );
+        assert_eq!(
+            t.registry()
+                .histogram_summary(m.span_micros[SpanKind::Epoch.index()])
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn sinked_spans_emit_parent_linked_events() {
+        let dir = std::env::temp_dir().join("rit_telemetry_span_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spans.jsonl");
+        let t = Telemetry::with_sink(manifest(), &path).unwrap();
+        let outer = t.start_span(SpanKind::AuctionPhase);
+        let outer_id = outer.id();
+        let inner = t.start_span(SpanKind::PaymentPhase);
+        let inner_id = inner.id();
+        drop(inner);
+        drop(outer);
+        t.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Inner closes first, so its line precedes the outer's.
+        let inner_line = text
+            .lines()
+            .find(|l| l.contains("\"name\":\"payment.phase\""))
+            .expect("inner span event");
+        assert!(inner_line.contains(&format!("\"id\":{inner_id}")));
+        assert!(inner_line.contains(&format!("\"parent\":{outer_id}")));
+        assert!(inner_line.contains("\"start_us\":"));
+        assert!(inner_line.contains("\"dur_us\":"));
+        let outer_line = text
+            .lines()
+            .find(|l| l.contains("\"name\":\"auction.phase\""))
+            .expect("outer span event");
+        assert!(outer_line.contains(&format!("\"id\":{outer_id}")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let here = current_thread_id();
+        assert_eq!(here, current_thread_id());
+        let there = std::thread::spawn(current_thread_id).join().unwrap();
+        assert_ne!(here, there);
+        assert_ne!(there, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Chrome `trace_event` export of recorded `span` events.
+//!
+//! [`chrome_trace`] converts a `telemetry.jsonl` stream into the Trace
+//! Event Format's "JSON object format" (`{"traceEvents":[...]}`), loadable
+//! in Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`. Every
+//! `span` event becomes a complete slice (`"ph":"X"`) with microsecond
+//! timestamps against the process trace epoch and the emitting thread as
+//! its `tid`, so a whole grid run — cells across workers, substrate
+//! generations, auction phases nested inside items — renders as a flame
+//! chart. The manifest line (always first in the stream) becomes process
+//! metadata, labelling the track with the tool that produced the run.
+
+use std::fmt::Write as _;
+
+use crate::events::escape_json;
+use crate::json::JsonValue;
+
+/// Converts telemetry JSONL text into Chrome trace JSON. Non-span lines
+/// (counters, epochs, attacks, …) are skipped; malformed lines are ignored
+/// (the exporter is a viewer, not a validator). Returns the rendered JSON
+/// and the number of exported slices.
+#[must_use]
+pub fn chrome_trace(jsonl: &str) -> (String, usize) {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut slices = 0usize;
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, event: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(event);
+    };
+    for line in jsonl.lines() {
+        let Ok(value) = JsonValue::parse(line) else {
+            continue;
+        };
+        match value.get("event").and_then(JsonValue::as_str) {
+            Some("manifest") => {
+                let tool = value
+                    .get("tool")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("rit");
+                let mut meta = String::new();
+                let _ = write!(
+                    meta,
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape_json(tool)
+                );
+                push(&mut out, &mut first, &meta);
+            }
+            Some("span") => {
+                let name = value
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("span");
+                let get = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+                let mut slice = String::new();
+                let _ = write!(
+                    slice,
+                    "{{\"name\":\"{}\",\"cat\":\"rit\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+                    escape_json(name),
+                    get("start_us"),
+                    get("dur_us"),
+                    get("thread"),
+                    get("id"),
+                    get("parent"),
+                );
+                push(&mut out, &mut first, &slice);
+                slices += 1;
+            }
+            _ => {}
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    (out, slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::Telemetry;
+    use crate::manifest::RunManifest;
+    use crate::span::SpanKind;
+
+    #[test]
+    fn exported_trace_is_schema_valid_chrome_trace_event_json() {
+        let dir = std::env::temp_dir().join("rit_telemetry_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let t = Telemetry::with_sink(RunManifest::new("trace-unit", "0.0.0", "cfg", 7, 2), &path)
+            .unwrap();
+        {
+            let _outer = t.start_span(SpanKind::GridCell);
+            let _inner = t.start_span(SpanKind::SubstrateGen);
+        }
+        t.flush().unwrap();
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let (trace, slices) = chrome_trace(&jsonl);
+        assert_eq!(slices, 2);
+
+        // Schema check: the export must parse as JSON and carry the Trace
+        // Event Format's required fields on every event.
+        let v = JsonValue::parse(&trace).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        assert!(events.len() >= 3, "metadata + 2 slices");
+        for e in events {
+            let ph = e.get("ph").and_then(JsonValue::as_str).expect("ph");
+            assert!(matches!(ph, "X" | "M"), "unexpected phase {ph}");
+            assert!(e.get("name").and_then(JsonValue::as_str).is_some());
+            assert!(e.get("pid").and_then(JsonValue::as_u64).is_some());
+            if ph == "X" {
+                assert!(e.get("ts").and_then(JsonValue::as_u64).is_some());
+                assert!(e.get("dur").and_then(JsonValue::as_u64).is_some());
+                assert!(e.get("tid").and_then(JsonValue::as_u64).is_some());
+            }
+        }
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("trace-unit")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_span_lines_and_garbage_are_skipped() {
+        let jsonl = "{\"event\":\"counter\",\"name\":\"x\",\"value\":1}\n\
+                     not json at all\n\
+                     {\"event\":\"span\",\"name\":\"run\",\"id\":1,\"parent\":0,\
+                     \"thread\":1,\"start_us\":0,\"dur_us\":10}\n";
+        let (trace, slices) = chrome_trace(jsonl);
+        assert_eq!(slices, 1);
+        let v = JsonValue::parse(&trace).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_input_still_renders_valid_json() {
+        let (trace, slices) = chrome_trace("");
+        assert_eq!(slices, 0);
+        let v = JsonValue::parse(&trace).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

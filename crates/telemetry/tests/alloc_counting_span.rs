@@ -1,0 +1,94 @@
+//! Pins the span layer's allocation discipline: with telemetry **not
+//! installed**, [`rit_telemetry::span`] guards are fully inert — zero
+//! allocations per open/close — and with a registry (no sink) a span is
+//! O(1) relaxed-atomic recording, also allocation-free after the first
+//! thread-local touch.
+//!
+//! (Single test per file so no concurrent test thread pollutes the
+//! allocation counter; the global-install measurement must also run
+//! before anything else installs telemetry in this process.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rit_telemetry::{RunManifest, SpanKind, Telemetry};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn span_guards_allocate_nothing_installed_or_not() {
+    const ITERS: u64 = 10_000;
+
+    // Phase 1: telemetry not installed — the exact state of every run that
+    // does not set RIT_TELEMETRY. Guards must be fully inert: any
+    // allocation here would tax the auction round loop of every untraced
+    // run.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..ITERS {
+        let outer = rit_telemetry::span(SpanKind::AuctionPhase);
+        let inner = rit_telemetry::span(SpanKind::WorkerItem);
+        drop(inner);
+        drop(outer);
+    }
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "uninstalled span guards allocated {delta} times over {ITERS} nested pairs"
+    );
+
+    // Phase 2: registry without a sink. Building the registry allocates
+    // (that is the one permitted place); the guards themselves record into
+    // pre-registered histograms with relaxed atomics only. Warm one
+    // open/close first so lazy thread-local/clock init is outside the
+    // measured window.
+    let telemetry = Telemetry::new(RunManifest::new("alloc-test", "0", "span", 7, 1));
+    drop(telemetry.start_span(SpanKind::Run));
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..ITERS {
+        let outer = telemetry.start_span(SpanKind::AuctionPhase);
+        let inner = telemetry.start_span(SpanKind::WorkerItem);
+        drop(inner);
+        drop(outer);
+    }
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "sinkless span guards allocated {delta} times over {ITERS} nested pairs"
+    );
+
+    // The spans really recorded: both histograms saw every iteration.
+    let m = telemetry.metrics();
+    let phase = telemetry
+        .registry()
+        .histogram_summary(m.span_micros[SpanKind::AuctionPhase as usize]);
+    let item = telemetry
+        .registry()
+        .histogram_summary(m.span_micros[SpanKind::WorkerItem as usize]);
+    assert_eq!((phase.count, item.count), (ITERS, ITERS));
+}
