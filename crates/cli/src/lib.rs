@@ -233,7 +233,10 @@ USAGE:
              [--identities 2] [--price P] [--runs 40] [--seed S]
   rit dot --tree FILE
   rit report FILE [FILE...]
+      (summaries include any quarantined grid cells recorded as
+       cell_failure telemetry events)
   rit report diff BASELINE CANDIDATE [--threshold 0.5]
+      (a metric present in only one run is reported as drift, never gated)
   rit report trace TELEMETRY_JSONL [--out trace.json]
   rit help
 

@@ -5,7 +5,8 @@
 //! experiments [--figure all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|fig9]
 //!             [--scale smoke|default|paper] [--runs N] [--seed S]
 //!             [--substrates K] [--threads N] [--quick] [--out DIR]
-//!             [--telemetry FILE]
+//!             [--telemetry FILE] [--checkpoint FILE] [--resume]
+//!             [--fail-fast]
 //! experiments attack-suite [--spec FILE] [--mechanism rit|naive|darpa]
 //!             [--scale smoke|default|paper] [--runs N] [--seed S]
 //!             [--threads N] [--quick] [--out DIR] [--telemetry FILE]
@@ -42,6 +43,17 @@
 //! histogram-summary lines at exit. Without it the run is bit-identical and
 //! records nothing.
 //!
+//! `--checkpoint FILE` appends each completed grid item to `FILE` as one
+//! JSONL line; `--resume` additionally loads the file first and skips every
+//! item already recorded, producing byte-identical outputs after a crash or
+//! kill (see EXPERIMENTS.md, "Interrupting and resuming runs"). A panicking
+//! cell item is retried once, then quarantined: the run completes, reports
+//! the failed cell on stderr (and as a `cell_failure` telemetry event), and
+//! still exits zero. `--fail-fast` aborts on the first quarantine instead,
+//! re-raising the original panic. The `RIT_FAULTS` environment variable
+//! injects deterministic faults (`panic@grid/cell[:once]`, `delay@cell:ms`,
+//! `exit@cell`) for testing exactly these paths.
+//!
 //! Prints each figure as a Markdown table and writes a CSV per figure into
 //! `--out` (default `results/`). `--scale default --runs 20` reproduces the
 //! paper's curve shapes in minutes; `--scale paper --runs 1000` is the
@@ -69,6 +81,9 @@ struct Args {
     out: PathBuf,
     report: Option<PathBuf>,
     telemetry: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    fail_fast: bool,
 }
 
 /// The telemetry output path: the explicit flag, else the `RIT_TELEMETRY`
@@ -167,6 +182,9 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("results"),
         report: None,
         telemetry: None,
+        checkpoint: None,
+        resume: false,
+        fail_fast: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -217,17 +235,24 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--report" => args.report = Some(PathBuf::from(value("--report")?)),
             "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => args.resume = true,
+            "--fail-fast" => args.fail_fast = true,
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--figure all|fig6a|...|fig9] \
                      [--scale smoke|default|paper] [--runs N] [--seed S] \
                      [--substrates K] [--threads N] [--quick] [--out DIR] \
-                     [--report FILE] [--telemetry FILE]"
+                     [--report FILE] [--telemetry FILE] \
+                     [--checkpoint FILE] [--resume] [--fail-fast]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint FILE".into());
     }
     Ok(args)
 }
@@ -433,6 +458,16 @@ fn main() -> ExitCode {
     // Interactive harness: show per-cell grid progress on stderr. Library
     // users and tests keep the silent default.
     rit_sim::grid::set_progress(true);
+    // Deterministic fault injection (RIT_FAULTS env), honored by every
+    // subcommand: a malformed plan is a hard error, not a silent no-op.
+    match rit_sim::faults::install_from_env() {
+        Ok(false) => {}
+        Ok(true) => eprintln!("fault injection active ({})", rit_sim::faults::FAULTS_ENV),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let mut raw = std::env::args();
     let _argv0 = raw.next();
     if let Some(first) = std::env::args().nth(1) {
@@ -462,6 +497,25 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("error: cannot create {}: {e}", args.out.display());
         return ExitCode::FAILURE;
+    }
+    rit_sim::grid::set_fail_fast(args.fail_fast);
+    if let Some(path) = &args.checkpoint {
+        match rit_sim::checkpoint::set_checkpoint(path, args.resume) {
+            Ok(restored) => {
+                if args.resume {
+                    eprintln!(
+                        "resuming from {}: {restored} completed item(s) restored",
+                        path.display()
+                    );
+                } else {
+                    eprintln!("checkpointing to {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot open checkpoint {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let installed = telemetry_path(args.telemetry.clone()).and_then(|path| {
         let config_desc = format!(
@@ -636,6 +690,20 @@ fn main() -> ExitCode {
         }
     }
     flush_telemetry(installed);
+    // Quarantined cells are reported, not fatal: every other cell's output
+    // is intact, so the exit code stays zero unless --fail-fast aborted the
+    // run (which panics with the original payload before reaching here).
+    let failures = rit_sim::grid::take_failures();
+    if !failures.is_empty() {
+        eprintln!(
+            "\n{} cell item(s) quarantined after panics:",
+            failures.len()
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("figures averaging a quarantined cell are missing those samples");
+    }
     ExitCode::SUCCESS
 }
 

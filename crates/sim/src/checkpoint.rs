@@ -1,0 +1,304 @@
+//! JSONL checkpoint/resume for the experiment grid engine.
+//!
+//! A long grid run should survive preemption the way a training job
+//! survives a node loss: everything computed before the kill is kept,
+//! everything after resumes exactly where it stopped, and the final
+//! output is byte-identical to an uninterrupted run. This module is the
+//! persistence half of that contract (the engine half lives in
+//! [`crate::grid`]).
+//!
+//! # Format
+//!
+//! The checkpoint is a JSONL file routed through the same
+//! [`Table`](crate::io::Table) emitter as every other artifact: one
+//! object per completed `(grid, cell, replication)` item, three header
+//! fields followed by the adapter's record fields in its declared
+//! [`checkpoint_columns`](crate::grid::CellRun::checkpoint_columns)
+//! order:
+//!
+//! ```text
+//! {"grid":"users","cell":3,"replication":1,"avg_utility_auction":12.5,...}
+//! ```
+//!
+//! Lines are appended and flushed as items land, so a hard kill loses at
+//! most the in-flight items. Floats go through
+//! [`fmt_f64`](crate::io::fmt_f64)'s shortest-round-trip rendering and
+//! come back bit-identical through [`rit_telemetry::JsonValue`], which is
+//! what makes resumed CSVs byte-identical: a restored record is
+//! indistinguishable from the freshly computed one. (`NaN` renders as
+//! `null` and restores as `NaN`; non-finite values other than `NaN` do
+//! not survive JSON and cause the item to re-run.)
+//!
+//! # Robustness
+//!
+//! Loading is lenient: malformed lines (e.g. a torn final write), lines
+//! with unexpected header fields, and records whose field shape no longer
+//! matches the adapter are skipped — the affected items simply re-run.
+//! Failed (quarantined) items are never checkpointed, so a resume retries
+//! them. Append errors disable further appends with a warning rather than
+//! killing the run: a broken checkpoint must never take the results with
+//! it.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use rit_telemetry::JsonValue;
+
+use crate::io::{Table, Value};
+
+struct CheckpointState {
+    /// Append handle; dropped (with a warning) on the first write error.
+    file: Option<File>,
+    /// Restored records from a previous run, keyed by
+    /// `(grid, cell, replication)`.
+    completed: HashMap<(String, u64, u64), Vec<Value>>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<CheckpointState>> = Mutex::new(None);
+
+fn lock() -> std::sync::MutexGuard<'static, Option<CheckpointState>> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Activates checkpointing to `path` for every subsequent grid run in
+/// this process. With `resume`, previously completed records are loaded
+/// first (leniently — unreadable lines are skipped) and their items will
+/// be restored instead of re-run; without it the file is truncated.
+/// Returns the number of restored records.
+///
+/// # Errors
+///
+/// Propagates file creation/read errors. Malformed *content* is never an
+/// error, only malformed I/O.
+pub fn set_checkpoint(path: &Path, resume: bool) -> io::Result<usize> {
+    let mut completed = HashMap::new();
+    if resume {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    if let Some((key, fields)) = parse_line(line) {
+                        completed.insert(key, fields);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let file = OpenOptions::new()
+        .create(true)
+        .append(resume)
+        .write(true)
+        .truncate(!resume)
+        .open(path)?;
+    let restored = completed.len();
+    let mut slot = lock();
+    *slot = Some(CheckpointState {
+        file: Some(file),
+        completed,
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(restored)
+}
+
+/// Deactivates checkpointing and drops the file handle and restored
+/// records.
+pub fn clear_checkpoint() {
+    let mut slot = lock();
+    ACTIVE.store(false, Ordering::Relaxed);
+    *slot = None;
+}
+
+/// Whether a checkpoint is currently active.
+#[must_use]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The restored record fields for one item, if the active checkpoint has
+/// them. A single relaxed load when no checkpoint is active.
+pub(crate) fn restore(grid: &str, cell: usize, replication: usize) -> Option<Vec<Value>> {
+    if !is_active() {
+        return None;
+    }
+    let slot = lock();
+    slot.as_ref()?
+        .completed
+        .get(&(grid.to_string(), cell as u64, replication as u64))
+        .cloned()
+}
+
+/// Appends one completed item to the active checkpoint and flushes it.
+/// No-op when inactive; on a write error, warns once and stops appending
+/// (restores keep working).
+pub(crate) fn append(
+    grid: &str,
+    cell: usize,
+    replication: usize,
+    columns: &[&'static str],
+    fields: &[Value],
+) {
+    if !is_active() {
+        return;
+    }
+    let mut header: Vec<String> = vec!["grid".into(), "cell".into(), "replication".into()];
+    header.extend(columns.iter().map(|c| (*c).to_string()));
+    let mut table = Table::new(header);
+    let mut row = vec![
+        Value::Str(grid.to_string()),
+        Value::U64(cell as u64),
+        Value::U64(replication as u64),
+    ];
+    row.extend_from_slice(fields);
+    table.push_row(row);
+    let line = table.to_json_lines();
+
+    let mut slot = lock();
+    let Some(state) = slot.as_mut() else { return };
+    let Some(file) = state.file.as_mut() else {
+        return;
+    };
+    let result = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+    if let Err(e) = result {
+        eprintln!(
+            "warning: checkpoint append failed ({e}); further cells will not be checkpointed"
+        );
+        state.file = None;
+    }
+}
+
+/// Parses one checkpoint line into its key and record fields; `None` for
+/// anything that does not look like a checkpoint record.
+fn parse_line(line: &str) -> Option<((String, u64, u64), Vec<Value>)> {
+    let parsed = JsonValue::parse(line.trim()).ok()?;
+    let entries = parsed.entries()?;
+    if entries.len() < 3 {
+        return None;
+    }
+    let (grid_key, grid) = &entries[0];
+    let (cell_key, cell) = &entries[1];
+    let (rep_key, rep) = &entries[2];
+    if grid_key != "grid" || cell_key != "cell" || rep_key != "replication" {
+        return None;
+    }
+    let key = (grid.as_str()?.to_string(), cell.as_u64()?, rep.as_u64()?);
+    let mut fields = Vec::with_capacity(entries.len() - 3);
+    for (_, value) in &entries[3..] {
+        fields.push(match value {
+            JsonValue::String(s) => Value::Str(s.clone()),
+            JsonValue::Bool(b) => Value::Bool(*b),
+            JsonValue::Number(n) => Value::F64(*n),
+            JsonValue::Null => Value::F64(f64::NAN),
+            JsonValue::Array(_) | JsonValue::Object(_) => return None,
+        });
+    }
+    Some((key, fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checkpoint state is process-global; every test that activates it
+    /// serializes through this lock (and clears on the way out).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rit_checkpoint_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_records_including_nan_and_exact_floats() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let path = tmp("roundtrip.jsonl");
+        set_checkpoint(&path, false).unwrap();
+        let fields = vec![
+            Value::F64(0.1 + 0.2), // not representable exactly in decimal
+            Value::F64(f64::NAN),
+            Value::Bool(true),
+            Value::Str("a \"quoted\" label".to_string()),
+        ];
+        append("users", 3, 1, &["x", "y", "ok", "label"], &fields);
+        clear_checkpoint();
+
+        let restored = set_checkpoint(&path, true).unwrap();
+        assert_eq!(restored, 1);
+        assert!(restore("users", 0, 0).is_none());
+        assert!(restore("tasks", 3, 1).is_none());
+        let got = restore("users", 3, 1).unwrap();
+        assert_eq!(got.len(), 4);
+        match (&got[0], &fields[0]) {
+            (Value::F64(a), Value::F64(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "floats restore bit-identically");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&got[1], Value::F64(v) if v.is_nan()));
+        assert_eq!(got[2], Value::Bool(true));
+        assert_eq!(got[3], Value::Str("a \"quoted\" label".to_string()));
+        clear_checkpoint();
+        assert!(!is_active());
+        assert!(
+            restore("users", 3, 1).is_none(),
+            "inactive restores nothing"
+        );
+    }
+
+    #[test]
+    fn lenient_load_skips_torn_and_foreign_lines() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let path = tmp("lenient.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"grid\":\"g\",\"cell\":0,\"replication\":0,\"v\":1.5}\n",
+                "{\"grid\":\"g\",\"cell\":1,\"repl", // torn mid-write
+                "\n",
+                "not json at all\n",
+                "{\"event\":\"manifest\",\"seed\":7}\n", // wrong header fields
+                "{\"grid\":\"g\",\"cell\":2,\"replication\":0,\"v\":null}\n",
+            ),
+        )
+        .unwrap();
+        let restored = set_checkpoint(&path, true).unwrap();
+        assert_eq!(restored, 2);
+        assert_eq!(restore("g", 0, 0).unwrap(), vec![Value::F64(1.5)]);
+        assert!(matches!(restore("g", 2, 0).unwrap()[0], Value::F64(v) if v.is_nan()));
+        assert!(restore("g", 1, 0).is_none());
+        clear_checkpoint();
+    }
+
+    #[test]
+    fn fresh_checkpoint_truncates_and_resume_appends() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let path = tmp("truncate.jsonl");
+        set_checkpoint(&path, false).unwrap();
+        append("g", 0, 0, &["v"], &[Value::F64(1.0)]);
+        clear_checkpoint();
+
+        // Resume keeps the old line and appends new ones.
+        assert_eq!(set_checkpoint(&path, true).unwrap(), 1);
+        append("g", 1, 0, &["v"], &[Value::F64(2.0)]);
+        clear_checkpoint();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+
+        // A non-resume open truncates.
+        set_checkpoint(&path, false).unwrap();
+        clear_checkpoint();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+
+        // Resuming from a missing file is an empty checkpoint, not an error.
+        let missing = tmp("does_not_exist.jsonl");
+        let _ = std::fs::remove_file(&missing);
+        assert_eq!(set_checkpoint(&missing, true).unwrap(), 0);
+        clear_checkpoint();
+    }
+}

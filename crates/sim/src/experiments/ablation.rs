@@ -26,6 +26,7 @@ use rit_tree::sybil::SybilPlan;
 
 use crate::experiments::Scale;
 use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
+use crate::io::Value;
 use crate::metrics::{Figure, MeanStd, Point, Series};
 use crate::runner::derive_seed;
 use crate::scenario::{Scenario, ScenarioConfig};
@@ -134,6 +135,21 @@ impl CellRun for CollusionRun {
 
     fn salt(&self, cell_index: usize, _cell: &CollusionCell) -> u64 {
         cell_index as u64
+    }
+
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        Some(&["gain"])
+    }
+
+    fn encode_record(&self, record: &f64) -> Vec<Value> {
+        vec![Value::F64(*record)]
+    }
+
+    fn decode_record(&self, fields: &[Value]) -> Option<f64> {
+        match fields {
+            [Value::F64(v)] => Some(*v),
+            _ => None,
+        }
     }
 
     fn run(&self, ctx: &CellCtx<'_, CollusionCell>, (): &mut ()) -> f64 {
@@ -329,6 +345,23 @@ impl CellRun for RoundBudgetRun {
 
     fn salt(&self, _cell_index: usize, cell: &RoundBudgetCell) -> u64 {
         cell.salt
+    }
+
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        Some(&["completed"])
+    }
+
+    fn encode_record(&self, record: &u8) -> Vec<Value> {
+        vec![Value::U64(u64::from(*record))]
+    }
+
+    fn decode_record(&self, fields: &[Value]) -> Option<u8> {
+        // Integers come back as `F64` after the JSONL round trip.
+        match fields {
+            [Value::U64(v)] => u8::try_from(*v).ok(),
+            [Value::F64(v)] if v.fract() == 0.0 && (0.0..=255.0).contains(v) => Some(*v as u8),
+            _ => None,
+        }
     }
 
     fn run(&self, ctx: &CellCtx<'_, RoundBudgetCell>, (): &mut ()) -> u8 {

@@ -31,6 +31,7 @@ use rit_auction::cra::{self, SelectionRule};
 
 use crate::experiments::Scale;
 use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
+use crate::io::Value;
 use crate::metrics::{Figure, MeanStd, Point, Series};
 use crate::substrate::SubstrateCache;
 
@@ -133,6 +134,21 @@ impl CellRun for BoundCheckRun {
             ctx.cell.rule,
             ctx.seed,
         )
+    }
+
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        Some(&["gain_per_unit"])
+    }
+
+    fn encode_record(&self, record: &f64) -> Vec<Value> {
+        vec![Value::F64(*record)]
+    }
+
+    fn decode_record(&self, fields: &[Value]) -> Option<f64> {
+        match fields {
+            [Value::F64(v)] => Some(*v),
+            _ => None,
+        }
     }
 }
 

@@ -24,6 +24,7 @@ use rit_tree::sybil::SybilPlan;
 
 use crate::experiments::{paper_mechanism, Scale};
 use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
+use crate::io::Value;
 use crate::metrics::{Figure, MeanStd, Point, Series};
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::substrate::SubstrateCache;
@@ -131,6 +132,21 @@ impl CellRun for Fig9Run<'_> {
         match cell {
             Fig9Cell::Honest => 0,
             Fig9Cell::Attack { salt, .. } => *salt,
+        }
+    }
+
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        Some(&["utility"])
+    }
+
+    fn encode_record(&self, record: &f64) -> Vec<Value> {
+        vec![Value::F64(*record)]
+    }
+
+    fn decode_record(&self, fields: &[Value]) -> Option<f64> {
+        match fields {
+            [Value::F64(v)] => Some(*v),
+            _ => None,
         }
     }
 

@@ -31,6 +31,7 @@ use rand::SeedableRng;
 use rit_core::{NoopObserver, Rit, RitConfig, RitOutcome, RitWorkspace, RoundLimit};
 use rit_model::Job;
 
+use crate::io::Value;
 use crate::scenario::Scenario;
 
 /// Sweep granularity / problem size.
@@ -61,6 +62,54 @@ pub struct RunMetrics {
     pub runtime_rit_s: f64,
     /// Whether the job was fully allocated.
     pub completed: bool,
+}
+
+impl RunMetrics {
+    /// Checkpoint column names, in [`RunMetrics::to_values`] order.
+    pub const CHECKPOINT_COLUMNS: [&'static str; 7] = [
+        "avg_utility_auction",
+        "avg_utility_rit",
+        "total_payment_auction",
+        "total_payment_rit",
+        "runtime_auction_s",
+        "runtime_rit_s",
+        "completed",
+    ];
+
+    /// Encodes the record as checkpoint fields (see
+    /// [`crate::grid::CellRun::encode_record`]).
+    #[must_use]
+    pub fn to_values(&self) -> Vec<Value> {
+        vec![
+            Value::F64(self.avg_utility_auction),
+            Value::F64(self.avg_utility_rit),
+            Value::F64(self.total_payment_auction),
+            Value::F64(self.total_payment_rit),
+            Value::F64(self.runtime_auction_s),
+            Value::F64(self.runtime_rit_s),
+            Value::Bool(self.completed),
+        ]
+    }
+
+    /// Decodes [`RunMetrics::to_values`] output; `None` on any shape
+    /// mismatch (the grid then re-runs the item instead of restoring it).
+    #[must_use]
+    pub fn from_values(fields: &[Value]) -> Option<Self> {
+        match fields {
+            [Value::F64(avg_utility_auction), Value::F64(avg_utility_rit), Value::F64(total_payment_auction), Value::F64(total_payment_rit), Value::F64(runtime_auction_s), Value::F64(runtime_rit_s), Value::Bool(completed)] => {
+                Some(Self {
+                    avg_utility_auction: *avg_utility_auction,
+                    avg_utility_rit: *avg_utility_rit,
+                    total_payment_auction: *total_payment_auction,
+                    total_payment_rit: *total_payment_rit,
+                    runtime_auction_s: *runtime_auction_s,
+                    runtime_rit_s: *runtime_rit_s,
+                    completed: *completed,
+                })
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Runs RIT once on a scenario, timing the two phases separately.

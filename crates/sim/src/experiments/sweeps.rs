@@ -17,6 +17,7 @@ use rit_core::{Rit, RitWorkspace, RoundLimit};
 
 use crate::experiments::{paper_mechanism, run_once_in, RunMetrics, Scale};
 use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
+use crate::io::Value;
 use crate::metrics::{Figure, MeanStd, Point, Series};
 use crate::scenario::ScenarioConfig;
 use crate::substrate::{SubstrateCache, SubstrateMode};
@@ -145,6 +146,18 @@ impl CellRun for SweepRun {
         let cell = ctx.cell;
         let scenario = ctx.scenario(&cell.scenario_config, FRESH_SALT, SUBSTRATE_STREAM);
         run_once_in(&cell.rit, &cell.job, &scenario, ws, ctx.seed)
+    }
+
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        Some(&RunMetrics::CHECKPOINT_COLUMNS)
+    }
+
+    fn encode_record(&self, record: &RunMetrics) -> Vec<Value> {
+        record.to_values()
+    }
+
+    fn decode_record(&self, fields: &[Value]) -> Option<RunMetrics> {
+        RunMetrics::from_values(fields)
     }
 }
 

@@ -16,6 +16,7 @@ use rit_model::{Ask, Job};
 
 use crate::experiments::{paper_mechanism, Scale};
 use crate::grid::{run_grid, CellCtx, CellRun, GridSpec};
+use crate::io::Value;
 use crate::metrics::{Figure, MeanStd, Point, Series};
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::substrate::SubstrateCache;
@@ -75,6 +76,21 @@ impl CellRun for ProfileRun<'_> {
             phase.auction_payments[self.user] - won as f64 * self.cost,
             won as f64,
         )
+    }
+
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        Some(&["utility", "won"])
+    }
+
+    fn encode_record(&self, record: &(f64, f64)) -> Vec<Value> {
+        vec![Value::F64(record.0), Value::F64(record.1)]
+    }
+
+    fn decode_record(&self, fields: &[Value]) -> Option<(f64, f64)> {
+        match fields {
+            [Value::F64(utility), Value::F64(won)] => Some((*utility, *won)),
+            _ => None,
+        }
     }
 }
 

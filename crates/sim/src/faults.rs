@@ -1,0 +1,320 @@
+//! Deterministic fault injection for the experiment grid engine.
+//!
+//! Crash-safety code is only trustworthy if its failure paths actually
+//! run, so this module lets tests and CI inject faults at exact, seeded
+//! grid coordinates instead of hoping for real crashes. A [`FaultPlan`]
+//! names grid items by cell index (optionally scoped to one grid) and an
+//! action — panic, delay, or hard process exit — and the engine consults
+//! it once per item attempt, right before the adapter runs. With no plan
+//! installed the check is a single relaxed atomic load, so production
+//! runs pay nothing.
+//!
+//! Plans are threadable through the environment ([`FAULTS_ENV`],
+//! `RIT_FAULTS`) with a compact grammar, one directive per fault:
+//!
+//! ```text
+//! RIT_FAULTS = directive[,directive ...]
+//! directive  = kind '@' [grid '/'] cell [':' arg]
+//! kind       = 'panic' | 'delay' | 'exit'
+//! arg        = 'once'   (panic: first attempt only, retries succeed)
+//!            | MILLIS   (delay: sleep that many ms, default 50)
+//! ```
+//!
+//! Examples: `panic@3` (every attempt of cell 3, any grid),
+//! `panic@users/1:once` (first attempt of cell 1 of the `users` grid),
+//! `exit@tasks/0` (kill the process when the `tasks` grid reaches cell 0 —
+//! the CI mid-run kill), `delay@2:250` (stretch cell 2 by 250 ms).
+//!
+//! Faults are deterministic by construction: they key on grid name and
+//! cell index, which the engine derives from the spec alone — never from
+//! scheduling. [`FaultPlan::seeded_panics`] additionally derives a
+//! reproducible cell subset from a seed for property tests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::runner::derive_seed;
+
+/// Environment variable holding a fault plan for the `experiments`
+/// binary (same grammar as [`FaultPlan::parse`]).
+pub const FAULTS_ENV: &str = "RIT_FAULTS";
+
+/// What an injected fault does when its coordinates match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with a recognizable message. With `once`, only the item's
+    /// first attempt panics — the retry path's happy case.
+    Panic {
+        /// Panic only on attempt 0 (retries then succeed).
+        once: bool,
+    },
+    /// Sleep before running the item — a straggler, not a failure.
+    Delay(Duration),
+    /// Terminate the process immediately (exit code 3) — simulates
+    /// preemption/OOM-kill for checkpoint-resume tests.
+    Exit,
+}
+
+/// One fault directive: an action pinned to a cell index, optionally
+/// scoped to a single grid by name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Grid name this fault applies to; `None` matches every grid.
+    pub grid: Option<String>,
+    /// Target cell index within the grid.
+    pub cell: usize,
+    /// What happens when the cell is reached.
+    pub action: FaultAction,
+}
+
+/// A deterministic set of injected faults, consulted by the grid engine
+/// once per item attempt.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The directives, checked in order; the first match wins.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Parses the `RIT_FAULTS` grammar (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the malformed directive.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for raw in text.split(',') {
+            let directive = raw.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            let (kind, target) = directive
+                .split_once('@')
+                .ok_or_else(|| format!("fault '{directive}': expected KIND@CELL"))?;
+            let (place, arg) = match target.split_once(':') {
+                Some((place, arg)) => (place, Some(arg)),
+                None => (target, None),
+            };
+            let (grid, cell_text) = match place.split_once('/') {
+                Some((grid, cell)) => (Some(grid.to_string()), cell),
+                None => (None, place),
+            };
+            let cell: usize = cell_text
+                .parse()
+                .map_err(|_| format!("fault '{directive}': bad cell index '{cell_text}'"))?;
+            let action = match kind {
+                "panic" => match arg {
+                    None => FaultAction::Panic { once: false },
+                    Some("once") => FaultAction::Panic { once: true },
+                    Some(other) => {
+                        return Err(format!("fault '{directive}': bad panic arg '{other}'"))
+                    }
+                },
+                "delay" => {
+                    let ms: u64 = match arg {
+                        None => 50,
+                        Some(ms) => ms
+                            .parse()
+                            .map_err(|_| format!("fault '{directive}': bad delay millis '{ms}'"))?,
+                    };
+                    FaultAction::Delay(Duration::from_millis(ms))
+                }
+                "exit" => {
+                    if let Some(other) = arg {
+                        return Err(format!(
+                            "fault '{directive}': exit takes no arg, got '{other}'"
+                        ));
+                    }
+                    FaultAction::Exit
+                }
+                other => return Err(format!("fault '{directive}': unknown kind '{other}'")),
+            };
+            faults.push(Fault { grid, cell, action });
+        }
+        Ok(Self { faults })
+    }
+
+    /// A seeded plan panicking (once each) on `count` distinct cells of
+    /// `total_cells`, drawn reproducibly from `seed` — the property-test
+    /// constructor.
+    #[must_use]
+    pub fn seeded_panics(seed: u64, count: usize, total_cells: usize) -> Self {
+        let mut faults = Vec::new();
+        let mut picked = vec![false; total_cells];
+        let mut draw = 0u64;
+        while faults.len() < count.min(total_cells) {
+            let cell = (derive_seed(seed, 0xFA17, draw) % total_cells.max(1) as u64) as usize;
+            draw += 1;
+            if !picked[cell] {
+                picked[cell] = true;
+                faults.push(Fault {
+                    grid: None,
+                    cell,
+                    action: FaultAction::Panic { once: true },
+                });
+            }
+        }
+        Self { faults }
+    }
+
+    /// The action (if any) for an attempt at `(grid, cell)`. `once`
+    /// panics only fire on attempt 0.
+    #[must_use]
+    pub fn action(&self, grid: &str, cell: usize, attempt: usize) -> Option<FaultAction> {
+        self.faults
+            .iter()
+            .find(|f| f.cell == cell && f.grid.as_deref().is_none_or(|g| g == grid))
+            .map(|f| f.action)
+            .filter(|a| !matches!(a, FaultAction::Panic { once: true } if attempt > 0))
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Installs (or, with `None`, clears) the process-global fault plan
+/// consulted by every subsequent grid item.
+pub fn set_fault_plan(plan: Option<FaultPlan>) {
+    let mut slot = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+    ACTIVE.store(plan.is_some(), Ordering::Relaxed);
+    *slot = plan;
+}
+
+/// Installs a fault plan from [`FAULTS_ENV`] if the variable is set and
+/// non-empty. Returns whether a plan was installed.
+///
+/// # Errors
+///
+/// Propagates [`FaultPlan::parse`] errors (the variable's value is left
+/// uninstalled).
+pub fn install_from_env() -> Result<bool, String> {
+    match std::env::var(FAULTS_ENV) {
+        Ok(text) if !text.trim().is_empty() => {
+            let plan = FaultPlan::parse(&text)?;
+            set_fault_plan(Some(plan));
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Applies any installed fault matching this item attempt: sleeps for
+/// delays, panics for panics, exits the process for exits. Called by the
+/// grid engine inside its `catch_unwind` envelope; a single relaxed load
+/// when no plan is installed.
+pub(crate) fn apply(grid: &str, cell: usize, attempt: usize) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let action = {
+        let slot = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.as_ref().and_then(|p| p.action(grid, cell, attempt))
+    };
+    match action {
+        None => {}
+        Some(FaultAction::Delay(dur)) => std::thread::sleep(dur),
+        Some(FaultAction::Panic { .. }) => {
+            panic!("injected fault: panic at grid '{grid}' cell {cell} (attempt {attempt})")
+        }
+        Some(FaultAction::Exit) => {
+            eprintln!("injected fault: exiting at grid '{grid}' cell {cell}");
+            std::process::exit(3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_directive_kind() {
+        let plan =
+            FaultPlan::parse("panic@3, panic@users/1:once, delay@2:250, exit@tasks/0").unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(
+            plan.faults[0],
+            Fault {
+                grid: None,
+                cell: 3,
+                action: FaultAction::Panic { once: false }
+            }
+        );
+        assert_eq!(
+            plan.faults[1],
+            Fault {
+                grid: Some("users".into()),
+                cell: 1,
+                action: FaultAction::Panic { once: true }
+            }
+        );
+        assert_eq!(
+            plan.faults[2],
+            Fault {
+                grid: None,
+                cell: 2,
+                action: FaultAction::Delay(Duration::from_millis(250))
+            }
+        );
+        assert_eq!(
+            plan.faults[3],
+            Fault {
+                grid: Some("tasks".into()),
+                cell: 0,
+                action: FaultAction::Exit
+            }
+        );
+    }
+
+    #[test]
+    fn empty_and_blank_directives_are_ignored() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert_eq!(FaultPlan::parse(" , ,").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn malformed_directives_name_the_problem() {
+        for (text, needle) in [
+            ("panic", "expected KIND@CELL"),
+            ("panic@x", "bad cell index"),
+            ("panic@1:twice", "bad panic arg"),
+            ("delay@1:soon", "bad delay millis"),
+            ("exit@1:now", "exit takes no arg"),
+            ("explode@1", "unknown kind"),
+        ] {
+            let err = FaultPlan::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn grid_scoping_and_once_semantics() {
+        let plan = FaultPlan::parse("panic@users/1:once,delay@9").unwrap();
+        assert_eq!(
+            plan.action("users", 1, 0),
+            Some(FaultAction::Panic { once: true })
+        );
+        assert_eq!(plan.action("users", 1, 1), None, "once: retry succeeds");
+        assert_eq!(plan.action("tasks", 1, 0), None, "scoped to users");
+        assert_eq!(
+            plan.action("anything", 9, 5),
+            Some(FaultAction::Delay(Duration::from_millis(50)))
+        );
+    }
+
+    #[test]
+    fn seeded_panics_are_reproducible_and_distinct() {
+        let a = FaultPlan::seeded_panics(7, 3, 10);
+        let b = FaultPlan::seeded_panics(7, 3, 10);
+        assert_eq!(a, b);
+        let mut cells: Vec<usize> = a.faults.iter().map(|f| f.cell).collect();
+        assert_eq!(cells.len(), 3);
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(cells.len(), 3, "cells are distinct");
+        assert!(cells.iter().all(|&c| c < 10));
+        // Requesting more faults than cells saturates instead of looping.
+        assert_eq!(FaultPlan::seeded_panics(1, 99, 4).faults.len(), 4);
+    }
+}

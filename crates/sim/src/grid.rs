@@ -47,17 +47,45 @@
 //! items continue to feed the `worker.*` metrics exactly as
 //! `parallel_map` does, and each item is additionally a `worker.item`
 //! span. With progress enabled, completion lines carry cells/s and an ETA
-//! derived from completed-cell wall time (stderr only).
+//! derived from completed-cell wall time (stderr only; `eta --` until the
+//! first cell lands over measurable wall time).
+//!
+//! # Failure model
+//!
+//! One panicking item must not abort a million-item grid. Every
+//! [`CellRun::run`] executes inside `catch_unwind`: a panic is caught,
+//! the worker's workspace is rebuilt (a panic may have left it in an
+//! arbitrary intermediate state), and the item is retried up to
+//! [`set_max_retries`] times. An item that keeps panicking is
+//! *quarantined* — recorded as a [`CellFailure`] (grid, cell index, axis
+//! coordinates, panic message, retry count) and excluded from the cell's
+//! records — while the queue keeps draining. Failures are drained with
+//! [`take_failures`], counted (`grid.cell_failures` / `grid.cell_retries`)
+//! and streamed as `cell_failure` events; a cell with quarantined items
+//! closes its `grid.cell` span with status `"failed"`. Under
+//! [`set_fail_fast`] the first quarantine instead stops the queue and
+//! re-raises with the original payload's message and the cell's axes.
+//! Panics *outside* items (worker machinery) always propagate, payload
+//! preserved. When a [`crate::checkpoint`] is active, checkpointable
+//! adapters (see [`CellRun::checkpoint_columns`]) persist each completed
+//! item as it lands and restore completed items on resume instead of
+//! re-running them; [`crate::faults`] can inject deterministic
+//! panics/delays/exits to exercise all of the above.
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
-use rit_telemetry::{span::trace_now_us, SpanKind, Telemetry};
+use rit_telemetry::{span::trace_now_us, JsonObject, SpanKind, Telemetry};
 
+use crate::io::Value;
 use crate::runner::{default_threads, derive_seed, timed_item};
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::substrate::{SubstrateCache, SubstrateMode};
+use crate::{checkpoint, faults};
 
 /// A named grid dimension — purely descriptive (progress lines, manifest
 /// text); the engine only checks that the axis lengths multiply out to the
@@ -225,6 +253,31 @@ pub trait CellRun: Sync {
     /// Executes one `(cell, replication)` item. Must be deterministic in
     /// `ctx` alone (not workspace history, not scheduling).
     fn run(&self, ctx: &CellCtx<'_, Self::Cell>, workspace: &mut Self::Workspace) -> Self::Record;
+
+    /// Column names of this adapter's checkpoint encoding, or `None` (the
+    /// default) when its records cannot be checkpointed. Checkpointable
+    /// adapters persist every completed item through the active
+    /// [`crate::checkpoint`] file as it lands, and skip items restored
+    /// from it on resume.
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        None
+    }
+
+    /// Encodes one record as checkpoint fields, in
+    /// [`checkpoint_columns`](CellRun::checkpoint_columns) order. Called
+    /// only when `checkpoint_columns` returns `Some`.
+    fn encode_record(&self, _record: &Self::Record) -> Vec<Value> {
+        Vec::new()
+    }
+
+    /// Decodes checkpoint fields back into a record. `None` on any shape
+    /// mismatch — the item is then re-run instead of restored. Must be the
+    /// exact inverse of [`encode_record`](CellRun::encode_record) (up to
+    /// the JSONL round trip, which is bit-exact for finite floats and
+    /// `NaN`) or resumed outputs will not be byte-identical.
+    fn decode_record(&self, _fields: &[Value]) -> Option<Self::Record> {
+        None
+    }
 }
 
 static PROGRESS: AtomicBool = AtomicBool::new(false);
@@ -239,6 +292,139 @@ pub fn set_progress(enabled: bool) {
 
 fn progress_enabled() -> bool {
     PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Default bound on re-runs of a panicking item before it is quarantined.
+pub const DEFAULT_MAX_RETRIES: usize = 1;
+
+static FAIL_FAST: AtomicBool = AtomicBool::new(false);
+static MAX_RETRIES: AtomicUsize = AtomicUsize::new(DEFAULT_MAX_RETRIES);
+static FAILURES: Mutex<Vec<CellFailure>> = Mutex::new(Vec::new());
+
+/// Makes every subsequent grid run in this process stop claiming items on
+/// the first quarantined failure and re-raise it (original panic message
+/// and cell axes included) instead of completing the remaining cells. Off
+/// by default; the `experiments` binary switches it on under
+/// `--fail-fast`.
+pub fn set_fail_fast(enabled: bool) {
+    FAIL_FAST.store(enabled, Ordering::Relaxed);
+}
+
+fn fail_fast_enabled() -> bool {
+    FAIL_FAST.load(Ordering::Relaxed)
+}
+
+/// Sets how many times a panicking item is re-run before quarantine
+/// (default [`DEFAULT_MAX_RETRIES`]). Zero quarantines on the first
+/// panic.
+pub fn set_max_retries(retries: usize) {
+    MAX_RETRIES.store(retries, Ordering::Relaxed);
+}
+
+fn max_retries() -> usize {
+    MAX_RETRIES.load(Ordering::Relaxed)
+}
+
+/// One quarantined grid item: an item that panicked through all of its
+/// retries and was excluded from its cell's records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Name of the grid the item belonged to.
+    pub grid: String,
+    /// Flat cell index within the grid's cell list.
+    pub cell_index: usize,
+    /// Replication index within the cell.
+    pub replication: usize,
+    /// The cell's coordinates along the spec's declared axes (name,
+    /// value index), first axis slowest — `[("cell", index)]` when the
+    /// spec declared none.
+    pub axes: Vec<(String, usize)>,
+    /// The captured panic message (`"non-string panic payload"` when the
+    /// payload was neither `&str` nor `String`).
+    pub message: String,
+    /// How many re-runs were attempted before quarantine.
+    pub retries: usize,
+}
+
+impl CellFailure {
+    /// The axis coordinates as a compact `"name=i, name=j"` label.
+    #[must_use]
+    pub fn axes_label(&self) -> String {
+        let mut out = String::new();
+        for (i, (name, coord)) in self.axes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(name);
+            out.push('=');
+            out.push_str(&coord.to_string());
+        }
+        out
+    }
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grid '{}' cell {} ({}) replication {}: {} (after {} retr{})",
+            self.grid,
+            self.cell_index,
+            self.axes_label(),
+            self.replication,
+            self.message,
+            self.retries,
+            if self.retries == 1 { "y" } else { "ies" },
+        )
+    }
+}
+
+/// Drains every failure quarantined since the last call, in the order
+/// they were quarantined. The `experiments` binary prints these as its
+/// end-of-run summary.
+#[must_use]
+pub fn take_failures() -> Vec<CellFailure> {
+    std::mem::take(&mut *FAILURES.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+fn push_failure(failure: CellFailure) {
+    FAILURES
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(failure);
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Decomposes a flat cell index into per-axis coordinates (first declared
+/// axis slowest, matching the row-major cell layout every ported
+/// experiment uses). Falls back to a `("cell", index)` pseudo-axis when
+/// the spec declares no axes.
+fn cell_axes(spec: &GridSpec, cell_index: usize) -> Vec<(String, usize)> {
+    if spec.axes.is_empty() {
+        return vec![("cell".to_string(), cell_index)];
+    }
+    let mut coords = vec![0usize; spec.axes.len()];
+    let mut rem = cell_index;
+    for (k, axis) in spec.axes.iter().enumerate().rev() {
+        let len = axis.len.max(1);
+        coords[k] = rem % len;
+        rem /= len;
+    }
+    spec.axes
+        .iter()
+        .zip(coords)
+        .map(|(axis, coord)| (axis.name.to_string(), coord))
+        .collect()
 }
 
 /// Runs the full `cells × replications` grid on the default worker count
@@ -286,13 +472,24 @@ pub fn run_grid_with_threads<R: CellRun>(
 
     if threads <= 1 {
         let mut state = runner.workspace();
-        let flat: Vec<R::Record> = (0..total)
-            .map(|i| run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i))
-            .collect();
+        let mut flat: Vec<Option<R::Record>> = Vec::with_capacity(total);
+        for i in 0..total {
+            if spans.aborted() {
+                break;
+            }
+            flat.push(run_item(
+                spec, cells, runner, cache, &spans, telemetry, &mut state, i,
+            ));
+        }
+        spans.raise_fatal();
+        flat.resize_with(total, || None);
         return collect_rows(flat, cells.len(), reps);
     }
 
     let next = AtomicUsize::new(0);
+    // Worker-machinery panics (never item panics — those are caught in
+    // `run_item`) propagate with their original payload instead of the
+    // old static "grid worker panicked" string.
     let batches: Vec<Vec<(usize, R::Record)>> = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -300,13 +497,18 @@ pub fn run_grid_with_threads<R: CellRun>(
                     let mut state = runner.workspace();
                     let mut batch: Vec<(usize, R::Record)> = Vec::new();
                     loop {
+                        if spans.aborted() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
                             break;
                         }
-                        let record =
-                            run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i);
-                        batch.push((i, record));
+                        if let Some(record) =
+                            run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i)
+                        {
+                            batch.push((i, record));
+                        }
                     }
                     batch
                 })
@@ -314,22 +516,21 @@ pub fn run_grid_with_threads<R: CellRun>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("grid worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
             .collect()
     })
-    .expect("grid worker panicked");
+    .unwrap_or_else(|payload| resume_unwind(payload));
+    spans.raise_fatal();
 
     // Single merge pass: scatter each batch into its slot by flat index.
+    // Quarantined (and, under fail-fast, never-claimed) items leave their
+    // slot empty.
     let mut slots: Vec<Option<R::Record>> = (0..total).map(|_| None).collect();
     for (i, value) in batches.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "item {i} claimed twice");
         slots[i] = Some(value);
     }
-    let flat: Vec<R::Record> = slots
-        .into_iter()
-        .map(|v| v.expect("every item filled"))
-        .collect();
-    collect_rows(flat, cells.len(), reps)
+    collect_rows(slots, cells.len(), reps)
 }
 
 /// Processes the grid's items sequentially in an arbitrary claim order —
@@ -358,20 +559,27 @@ pub fn run_grid_in_order<R: CellRun>(
     let spans = CellSpans::new(spec.name, cells.len(), reps, telemetry);
     let mut state = runner.workspace();
     let mut slots: Vec<Option<R::Record>> = (0..total).map(|_| None).collect();
+    let mut claimed = vec![false; total];
     for &i in order {
-        let record = run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i);
-        assert!(slots[i].is_none(), "item {i} claimed twice");
-        slots[i] = Some(record);
+        if spans.aborted() {
+            break;
+        }
+        assert!(!claimed[i], "item {i} claimed twice");
+        claimed[i] = true;
+        slots[i] = run_item(spec, cells, runner, cache, &spans, telemetry, &mut state, i);
     }
-    let flat: Vec<R::Record> = slots
-        .into_iter()
-        .map(|v| v.expect("order must be a permutation"))
-        .collect();
-    collect_rows(flat, cells.len(), reps)
+    spans.raise_fatal();
+    assert!(
+        claimed.iter().all(|&c| c),
+        "order must be a permutation of the flat item indices"
+    );
+    collect_rows(slots, cells.len(), reps)
 }
 
 /// Executes one flat work item: resolve the cell, derive the seed, account
-/// the cell span, run the adapter.
+/// the cell span, run the adapter — restoring from the active checkpoint
+/// when possible, catching panics into retry/quarantine otherwise.
+/// `None` means the item was quarantined.
 #[allow(clippy::too_many_arguments)]
 fn run_item<R: CellRun>(
     spec: &GridSpec,
@@ -382,7 +590,7 @@ fn run_item<R: CellRun>(
     telemetry: Option<&'static Telemetry>,
     state: &mut R::Workspace,
     flat: usize,
-) -> R::Record {
+) -> Option<R::Record> {
     let reps = spec.replications;
     let cell_index = flat / reps;
     let replication = flat % reps;
@@ -399,10 +607,102 @@ fn run_item<R: CellRun>(
         spec,
         cache,
     };
+    let checkpointable = runner.checkpoint_columns();
     spans.item_start(cell_index);
-    let record = timed_item(telemetry, || runner.run(&ctx, state));
-    spans.item_end(cell_index);
-    record
+    if checkpointable.is_some() {
+        if let Some(record) = checkpoint::restore(spec.name, cell_index, replication)
+            .and_then(|fields| runner.decode_record(&fields))
+        {
+            // Restored from a previous run: count it as done without
+            // re-running (a shape mismatch falls through and re-runs).
+            spans.item_end(cell_index);
+            return Some(record);
+        }
+    }
+    let mut attempt = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            faults::apply(spec.name, cell_index, attempt);
+            timed_item(telemetry, || runner.run(&ctx, state))
+        }));
+        match outcome {
+            Ok(record) => {
+                if let Some(columns) = checkpointable {
+                    checkpoint::append(
+                        spec.name,
+                        cell_index,
+                        replication,
+                        columns,
+                        &runner.encode_record(&record),
+                    );
+                }
+                spans.item_end(cell_index);
+                return Some(record);
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                // The panic may have left the workspace in an arbitrary
+                // intermediate state; rebuild it before anything else runs
+                // on it.
+                *state = runner.workspace();
+                if attempt < max_retries() {
+                    attempt += 1;
+                    if let Some(t) = telemetry {
+                        t.add(t.metrics().grid_cell_retries, 1);
+                    }
+                    if progress_enabled() {
+                        eprintln!(
+                            "  [{}] cell {cell_index} replication {replication} panicked \
+                             ({message}); retry {attempt}",
+                            spec.name,
+                        );
+                    }
+                    continue;
+                }
+                let failure = CellFailure {
+                    grid: spec.name.to_string(),
+                    cell_index,
+                    replication,
+                    axes: cell_axes(spec, cell_index),
+                    message,
+                    retries: attempt,
+                };
+                quarantine(spans, telemetry, failure);
+                spans.item_end(cell_index);
+                return None;
+            }
+        }
+    }
+}
+
+/// Records one quarantined item everywhere it is observable: the global
+/// failure sink, the telemetry counters and `cell_failure` event stream,
+/// the cell's span status, the progress log, and — under fail-fast — the
+/// grid's abort flag.
+fn quarantine(spans: &CellSpans<'_>, telemetry: Option<&'static Telemetry>, failure: CellFailure) {
+    spans.mark_failed(failure.cell_index);
+    if let Some(t) = telemetry {
+        t.add(t.metrics().grid_cell_failures, 1);
+        if t.has_sink() {
+            t.emit(
+                &JsonObject::new("cell_failure")
+                    .str_field("grid", &failure.grid)
+                    .u64_field("cell", failure.cell_index as u64)
+                    .u64_field("replication", failure.replication as u64)
+                    .str_field("axes", &failure.axes_label())
+                    .str_field("message", &failure.message)
+                    .u64_field("retries", failure.retries as u64)
+                    .finish(),
+            );
+        }
+    }
+    if progress_enabled() {
+        eprintln!("  quarantined: {failure}");
+    }
+    if fail_fast_enabled() {
+        spans.flag_fatal(&failure);
+    }
+    push_failure(failure);
 }
 
 fn check_axes(spec: &GridSpec, cells: usize) {
@@ -415,11 +715,13 @@ fn check_axes(spec: &GridSpec, cells: usize) {
     }
 }
 
-fn collect_rows<T>(flat: Vec<T>, cells: usize, reps: usize) -> Vec<Vec<T>> {
+/// Groups the flat slot vector back into per-cell rows, dropping
+/// quarantined (empty) slots; surviving replications keep their order.
+fn collect_rows<T>(flat: Vec<Option<T>>, cells: usize, reps: usize) -> Vec<Vec<T>> {
     let mut it = flat.into_iter();
     let mut rows = Vec::with_capacity(cells);
     for _ in 0..cells {
-        rows.push(it.by_ref().take(reps).collect());
+        rows.push(it.by_ref().take(reps).flatten().collect());
     }
     rows
 }
@@ -436,6 +738,14 @@ struct CellSpans<'a> {
     started_ns: Vec<AtomicU64>,
     /// Items still outstanding per cell.
     remaining: Vec<AtomicUsize>,
+    /// Whether any of the cell's items were quarantined (closes the
+    /// cell's span with status `"failed"`).
+    failed: Vec<AtomicBool>,
+    /// Fail-fast: stop claiming new items.
+    abort: AtomicBool,
+    /// The failure that triggered the abort, re-raised after the workers
+    /// drain.
+    fatal: Mutex<Option<CellFailure>>,
     completed_cells: AtomicUsize,
     total_cells: usize,
     straggler_ns: AtomicU64,
@@ -454,6 +764,9 @@ impl<'a> CellSpans<'a> {
             epoch: Instant::now(),
             started_ns: (0..cells).map(|_| AtomicU64::new(u64::MAX)).collect(),
             remaining: (0..cells).map(|_| AtomicUsize::new(reps)).collect(),
+            failed: (0..cells).map(|_| AtomicBool::new(false)).collect(),
+            abort: AtomicBool::new(false),
+            fatal: Mutex::new(None),
             completed_cells: AtomicUsize::new(0),
             total_cells: cells,
             straggler_ns: AtomicU64::new(0),
@@ -469,6 +782,37 @@ impl<'a> CellSpans<'a> {
         self.started_ns[cell].fetch_min(self.now_ns(), Ordering::Relaxed);
     }
 
+    fn mark_failed(&self, cell: usize) {
+        self.failed[cell].store(true, Ordering::Relaxed);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Arms the fail-fast abort with the triggering failure (first one
+    /// wins).
+    fn flag_fatal(&self, failure: &CellFailure) {
+        let mut fatal = self.fatal.lock().unwrap_or_else(PoisonError::into_inner);
+        if fatal.is_none() {
+            *fatal = Some(failure.clone());
+        }
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    /// Re-raises the armed fail-fast failure, if any — called once after
+    /// the workers have drained so in-flight items finish cleanly first.
+    fn raise_fatal(&self) {
+        let fatal = self
+            .fatal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(failure) = fatal {
+            panic!("grid '{}' aborted (fail-fast): {failure}", self.name);
+        }
+    }
+
     fn item_end(&self, cell: usize) {
         if self.remaining[cell].fetch_sub(1, Ordering::AcqRel) != 1 {
             return;
@@ -482,6 +826,7 @@ impl<'a> CellSpans<'a> {
             .fetch_max(span_ns, Ordering::Relaxed)
             .max(span_ns);
         let done = self.completed_cells.fetch_add(1, Ordering::Relaxed) + 1;
+        let failed = self.failed[cell].load(Ordering::Relaxed);
         if let Some(t) = self.telemetry {
             let m = t.metrics();
             t.add(m.grid_cells, 1);
@@ -491,22 +836,33 @@ impl<'a> CellSpans<'a> {
             // workers, so the span is assembled here rather than held as an
             // RAII guard; its start is back-dated from the close.
             let dur_us = span_ns / 1_000;
-            t.record_span_at(
+            t.record_span_at_status(
                 SpanKind::GridCell,
                 trace_now_us().saturating_sub(dur_us),
                 dur_us,
+                failed.then_some("failed"),
             );
         }
         if progress_enabled() {
             // Throughput and ETA from completed-cell wall time. Stderr
             // only: scheduling-dependent numbers must never reach results.
+            // Until a cell has completed over measurable wall time there
+            // is no meaningful rate — print `eta --` instead of the
+            // clamped absurdities the old `.max(1e-9)` produced.
             let elapsed = self.epoch.elapsed().as_secs_f64();
-            let rate = done as f64 / elapsed.max(1e-9);
-            let eta = (self.total_cells - done) as f64 / rate.max(1e-9);
-            eprintln!(
-                "  [{}] {done}/{} cells ({elapsed:.1}s, {rate:.1} cells/s, eta {eta:.0}s)",
-                self.name, self.total_cells,
-            );
+            if done == 0 || elapsed <= 0.0 {
+                eprintln!(
+                    "  [{}] {done}/{} cells ({elapsed:.1}s, eta --)",
+                    self.name, self.total_cells,
+                );
+            } else {
+                let rate = done as f64 / elapsed;
+                let eta = (self.total_cells - done) as f64 / rate;
+                eprintln!(
+                    "  [{}] {done}/{} cells ({elapsed:.1}s, {rate:.1} cells/s, eta {eta:.0}s)",
+                    self.name, self.total_cells,
+                );
+            }
         }
     }
 }
@@ -641,6 +997,218 @@ mod tests {
     fn axis_mismatch_panics() {
         let s = GridSpec::new("axes", 1, 1).with_axis("model", 3);
         let _ = run_grid(&s, &[1u64], &Probe, &SubstrateCache::passthrough());
+    }
+
+    /// Serializes tests that touch the process-global failure sink and
+    /// the fail-fast knob (the sink is drained cross-test otherwise).
+    static FAILURE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn failure_guard() -> std::sync::MutexGuard<'static, ()> {
+        FAILURE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Panics on every attempt of every replication of one cell.
+    struct PanicOn {
+        cell: usize,
+    }
+
+    impl CellRun for PanicOn {
+        type Cell = u64;
+        type Workspace = ();
+        type Record = u64;
+
+        fn workspace(&self) {}
+
+        fn salt(&self, _cell_index: usize, cell: &u64) -> u64 {
+            *cell
+        }
+
+        fn run(&self, ctx: &CellCtx<'_, u64>, (): &mut ()) -> u64 {
+            assert!(
+                ctx.cell_index != self.cell,
+                "boom at replication {}",
+                ctx.replication
+            );
+            ctx.seed
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_quarantined_while_the_rest_complete() {
+        let _guard = failure_guard();
+        let _ = take_failures();
+        let s = GridSpec::new("quarantine", 2, 42).with_axis("size", 3);
+        let cells = [10u64, 20, 30];
+        let rows = run_grid_with_threads(
+            &s,
+            &cells,
+            &PanicOn { cell: 1 },
+            &SubstrateCache::passthrough(),
+            2,
+        );
+        // The panicking cell loses its replications; every other item
+        // completes with its usual derived seed.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], Vec::<u64>::new());
+        for ci in [0usize, 2] {
+            let expected: Vec<u64> = (0..2).map(|r| derive_seed(42, cells[ci], r)).collect();
+            assert_eq!(rows[ci], expected, "cell {ci}");
+        }
+        let mut failures = take_failures();
+        failures.sort_by_key(|f| f.replication);
+        assert_eq!(failures.len(), 2, "one failure per replication");
+        for (r, f) in failures.iter().enumerate() {
+            assert_eq!(f.grid, "quarantine");
+            assert_eq!(f.cell_index, 1);
+            assert_eq!(f.replication, r);
+            assert_eq!(f.axes, vec![("size".to_string(), 1)]);
+            assert_eq!(f.axes_label(), "size=1");
+            assert_eq!(f.message, format!("boom at replication {r}"));
+            assert_eq!(f.retries, DEFAULT_MAX_RETRIES);
+        }
+    }
+
+    #[test]
+    fn multi_axis_failures_carry_row_major_coordinates() {
+        let _guard = failure_guard();
+        let _ = take_failures();
+        let s = GridSpec::new("axes2d", 1, 7)
+            .with_axis("model", 2)
+            .with_axis("size", 3);
+        let cells: Vec<u64> = (0..6).collect();
+        let rows = run_grid_with_threads(
+            &s,
+            &cells,
+            &PanicOn { cell: 4 },
+            &SubstrateCache::passthrough(),
+            1,
+        );
+        assert_eq!(rows[4], Vec::<u64>::new());
+        let failures = take_failures();
+        assert_eq!(failures.len(), 1);
+        // Cell 4 in a 2×3 row-major grid is (model=1, size=1).
+        assert_eq!(
+            failures[0].axes,
+            vec![("model".to_string(), 1), ("size".to_string(), 1)]
+        );
+        assert_eq!(failures[0].axes_label(), "model=1, size=1");
+        assert_eq!(failures[0].to_string(), format!("{}", failures[0]));
+        assert!(failures[0]
+            .to_string()
+            .contains("cell 4 (model=1, size=1) replication 0"));
+    }
+
+    #[test]
+    fn flaky_items_recover_through_the_retry_path() {
+        let _guard = failure_guard();
+        let _ = take_failures();
+
+        /// Panics on the first attempt of every item, succeeds after.
+        struct FlakyOnce {
+            seen: Mutex<std::collections::HashSet<(usize, usize)>>,
+        }
+
+        impl CellRun for FlakyOnce {
+            type Cell = u64;
+            type Workspace = ();
+            type Record = u64;
+
+            fn workspace(&self) {}
+
+            fn salt(&self, _cell_index: usize, cell: &u64) -> u64 {
+                *cell
+            }
+
+            fn run(&self, ctx: &CellCtx<'_, u64>, (): &mut ()) -> u64 {
+                let fresh = self
+                    .seen
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert((ctx.cell_index, ctx.replication));
+                assert!(!fresh, "transient failure");
+                ctx.seed
+            }
+        }
+
+        let cells = [1u64, 2, 3];
+        let flaky = FlakyOnce {
+            seen: Mutex::new(std::collections::HashSet::new()),
+        };
+        let rows =
+            run_grid_with_threads(&spec(3), &cells, &flaky, &SubstrateCache::passthrough(), 2);
+        // Every item panicked once and succeeded on its retry: full rows,
+        // no quarantines.
+        assert!(take_failures().is_empty());
+        let reference =
+            run_grid_with_threads(&spec(3), &cells, &Probe, &SubstrateCache::passthrough(), 1);
+        let seeds: Vec<Vec<u64>> = reference
+            .iter()
+            .map(|row| row.iter().map(|&(_, _, seed)| seed).collect())
+            .collect();
+        assert_eq!(rows, seeds);
+    }
+
+    #[test]
+    fn fail_fast_re_raises_the_original_payload_with_axes() {
+        let _guard = failure_guard();
+        let _ = take_failures();
+        set_fail_fast(true);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_grid_with_threads(
+                &GridSpec::new("fatal", 2, 42).with_axis("size", 3),
+                &[10u64, 20, 30],
+                &PanicOn { cell: 0 },
+                &SubstrateCache::passthrough(),
+                1,
+            )
+        }));
+        set_fail_fast(false);
+        let _ = take_failures();
+        let message = panic_message(result.expect_err("fail-fast must re-raise").as_ref());
+        assert!(
+            message.contains("grid 'fatal' aborted (fail-fast)"),
+            "{message}"
+        );
+        assert!(message.contains("cell 0 (size=0)"), "{message}");
+        assert!(message.contains("boom at replication 0"), "{message}");
+    }
+
+    #[test]
+    fn injected_faults_panic_and_recover_deterministically() {
+        let _guard = failure_guard();
+        let _ = take_failures();
+        // The plan is scoped to this test's grid name so concurrently
+        // running grid tests (which share the process-global plan) never
+        // match it. `once` faults panic on attempt 0 only; the default
+        // retry budget absorbs them, so the grid completes clean.
+        let faulted = GridSpec::new("faulted", 2, 42);
+        crate::faults::set_fault_plan(Some(
+            crate::faults::FaultPlan::parse("panic@faulted/2:once").unwrap(),
+        ));
+        let cells: Vec<u64> = (0..4).collect();
+        let with_faults =
+            run_grid_with_threads(&faulted, &cells, &Probe, &SubstrateCache::passthrough(), 2);
+        crate::faults::set_fault_plan(None);
+        assert!(take_failures().is_empty(), "once-faults recover via retry");
+        let reference =
+            run_grid_with_threads(&faulted, &cells, &Probe, &SubstrateCache::passthrough(), 1);
+        assert_eq!(with_faults, reference);
+
+        // A persistent fault exhausts retries and quarantines the cell.
+        crate::faults::set_fault_plan(Some(
+            crate::faults::FaultPlan::parse("panic@faulted/2").unwrap(),
+        ));
+        let rows =
+            run_grid_with_threads(&faulted, &cells, &Probe, &SubstrateCache::passthrough(), 2);
+        crate::faults::set_fault_plan(None);
+        assert_eq!(rows[2], Vec::new());
+        let failures = take_failures();
+        assert_eq!(failures.len(), 2);
+        assert!(
+            failures[0].message.contains("injected fault"),
+            "{}",
+            failures[0].message
+        );
     }
 
     #[test]

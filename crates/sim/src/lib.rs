@@ -22,7 +22,10 @@
 //! builds the §7-A populations and solicitation trees; [`substrate`]
 //! memoizes them across replications; [`grid`] is the declarative
 //! experiment engine every module above runs on (one global work queue
-//! over the whole `cells × replications` product); [`runner`] provides the
+//! over the whole `cells × replications` product); [`checkpoint`]
+//! persists completed grid items so interrupted runs resume
+//! byte-identically, and [`faults`] injects deterministic failures to
+//! exercise the engine's crash paths; [`runner`] provides the
 //! lower-level replication fan-out; [`analysis`] summarizes payment
 //! distributions; [`io`] speaks the CSV interchange formats and owns the
 //! canonical float formatter every table emitter shares.
@@ -44,7 +47,9 @@
 pub mod analysis;
 pub mod attacks;
 pub mod campaign;
+pub mod checkpoint;
 pub mod experiments;
+pub mod faults;
 pub mod grid;
 pub mod io;
 pub mod metrics;

@@ -6,15 +6,19 @@
 //! with the hand-rolled [`rit_telemetry::JsonValue`] parser — no external
 //! dependencies — and renders:
 //!
-//! - [`summarize`]: a markdown run summary per file — manifest header, top
-//!   spans by total/self time with exact p50/p90/p99 over the raw span
-//!   events, counter/gauge/histogram tables, bench arm/phase timings.
+//! - [`summarize`]: a markdown run summary per file — manifest header,
+//!   quarantined grid cells (panic message, axes, retries), top spans by
+//!   total/self time with exact p50/p90/p99 over the raw span events,
+//!   counter/gauge/histogram tables, bench arm/phase timings.
 //! - [`diff`]: a regression gate comparing two runs metric-by-metric via
 //!   [`MeanStd`]. Only *timing* metrics gate (names ending in `.wall_s`,
 //!   or containing `_micros`/`_ns`); `speedup` metrics regress when they
 //!   *drop*; everything else is reported as drift but never fails the
-//!   gate. Tiny timings (below [`GATE_FLOOR_WALL_S`] / [`GATE_FLOOR_US`])
-//!   are jitter-dominated and also never gate.
+//!   gate. A metric present in only one run has nothing to compare
+//!   against: it is classified as drift too — rendered in the table so a
+//!   schema change or a quarantined cell is visible, never gating. Tiny
+//!   timings (below [`GATE_FLOOR_WALL_S`] / [`GATE_FLOOR_US`]) are
+//!   jitter-dominated and also never gate.
 //! - [`render_trace`]: `telemetry.jsonl` → Chrome `trace_event` JSON
 //!   (delegates to [`rit_telemetry::chrome_trace`]).
 //!
@@ -80,6 +84,27 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Duration, microseconds.
     pub dur_us: u64,
+    /// Terminal status (`"failed"` for quarantined grid cells); empty for
+    /// ordinary spans.
+    pub status: String,
+}
+
+/// One quarantined grid cell (`"event":"cell_failure"` JSONL line), as
+/// emitted by the grid engine's failure path.
+#[derive(Clone, Debug)]
+pub struct CellFailureRecord {
+    /// Grid name the cell belongs to.
+    pub grid: String,
+    /// Flat cell index within the grid.
+    pub cell: u64,
+    /// Replication index within the cell.
+    pub replication: u64,
+    /// Human-readable axis coordinates (`"model=1, size=2"`).
+    pub axes: String,
+    /// The panic message that quarantined the item.
+    pub message: String,
+    /// Retries attempted before quarantine.
+    pub retries: u64,
 }
 
 /// A histogram percentile summary as recorded in a flush event or a bench
@@ -122,6 +147,8 @@ pub struct RunData {
     pub histograms: Vec<(String, HistLine)>,
     /// Bench arm/phase timings: `(section, name, mean_s, p50_s)`.
     pub timings: Vec<(&'static str, String, f64, f64)>,
+    /// Quarantined grid cells (JSONL streams only).
+    pub failures: Vec<CellFailureRecord>,
 }
 
 impl RunData {
@@ -190,6 +217,17 @@ impl RunData {
                         thread: get_u64("thread"),
                         start_us: get_u64("start_us"),
                         dur_us: get_u64("dur_us"),
+                        status: get_str("status").to_string(),
+                    });
+                }
+                Some("cell_failure") => {
+                    self.failures.push(CellFailureRecord {
+                        grid: get_str("grid").to_string(),
+                        cell: get_u64("cell"),
+                        replication: get_u64("replication"),
+                        axes: get_str("axes").to_string(),
+                        message: get_str("message").to_string(),
+                        retries: get_u64("retries"),
                     });
                 }
                 Some("counter") => {
@@ -429,6 +467,23 @@ fn render_run(out: &mut String, data: &RunData) {
         }
         out.push('\n');
     }
+    if !data.failures.is_empty() {
+        let _ = writeln!(
+            out,
+            "### Failed cells ({} quarantined)\n\n\
+             | grid | cell | axes | replication | retries | panic |\n\
+             |---|---|---|---|---|---|",
+            data.failures.len()
+        );
+        for f in &data.failures {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                f.grid, f.cell, f.axes, f.replication, f.retries, f.message
+            );
+        }
+        out.push('\n');
+    }
     if !data.timings.is_empty() {
         out.push_str("### Timings\n\n| section | name | mean | p50 |\n|---|---|---|---|\n");
         for (section, name, mean, p50) in &data.timings {
@@ -615,12 +670,21 @@ pub fn diff(
             );
         }
     }
+    // Metrics present in only one run cannot be compared, so they can
+    // never gate — but silently dropping them would hide a schema change
+    // or a quarantined cell's missing samples. Report them as drift.
     for key in only_base {
-        let _ = writeln!(markdown, "| {key} | present | missing | — | removed |");
+        let _ = writeln!(
+            markdown,
+            "| {key} | present | missing | — | drift (only in baseline) |"
+        );
     }
     only_cand.sort();
     for key in only_cand {
-        let _ = writeln!(markdown, "| {key} | missing | present | — | added |");
+        let _ = writeln!(
+            markdown,
+            "| {key} | missing | present | — | drift (only in candidate) |"
+        );
     }
     if regressions.is_empty() {
         markdown.push_str("\nGate: **pass** — no gating metric regressed.\n");
@@ -787,6 +851,63 @@ mod tests {
         let d = diff(("a", base), ("b", cand), DEFAULT_THRESHOLD).unwrap();
         assert!(!d.has_regressions(), "{}", d.markdown);
         assert!(d.markdown.contains("sub-floor"));
+    }
+
+    #[test]
+    fn one_sided_metrics_are_drift_and_never_gate() {
+        let base = r#"{"event":"manifest","tool":"t"}
+{"event":"counter","name":"auction.rounds","value":10}
+{"event":"counter","name":"grid.cell_failures","value":2}"#;
+        let cand = r#"{"event":"manifest","tool":"t"}
+{"event":"counter","name":"auction.rounds","value":10}
+{"event":"gauge","name":"worker.threads","value":4}"#;
+        let d = diff(("a", base), ("b", cand), DEFAULT_THRESHOLD).unwrap();
+        // Present-in-one-run metrics are reported, classified as drift,
+        // and the gate still passes.
+        assert!(!d.has_regressions(), "{}", d.markdown);
+        assert!(
+            d.markdown
+                .contains("| counter.grid.cell_failures | present | missing | — | drift"),
+            "{}",
+            d.markdown
+        );
+        assert!(
+            d.markdown
+                .contains("| gauge.worker.threads | missing | present | — | drift"),
+            "{}",
+            d.markdown
+        );
+        assert!(d.markdown.contains("Gate: **pass**"));
+    }
+
+    #[test]
+    fn cell_failures_are_ingested_and_rendered() {
+        let jsonl = concat!(
+            r#"{"event":"manifest","tool":"experiments"}"#,
+            "\n",
+            r#"{"event":"cell_failure","grid":"users","cell":3,"replication":1,"axes":"size=3","message":"boom","retries":1}"#,
+            "\n",
+            r#"{"event":"span","name":"grid.cell","id":7,"parent":0,"thread":1,"start_us":0,"dur_us":10,"status":"failed"}"#,
+            "\n",
+        );
+        let data = RunData::parse("telemetry.jsonl", jsonl).unwrap();
+        assert_eq!(data.failures.len(), 1);
+        let f = &data.failures[0];
+        assert_eq!(f.grid, "users");
+        assert_eq!(f.cell, 3);
+        assert_eq!(f.axes, "size=3");
+        assert_eq!(f.message, "boom");
+        assert_eq!(data.spans[0].status, "failed");
+
+        let report = summarize(&[("t.jsonl".to_string(), jsonl.to_string())]).unwrap();
+        assert!(
+            report.contains("### Failed cells (1 quarantined)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| users | 3 | size=3 | 1 | 1 | boom |"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -145,12 +145,18 @@ where
                 })
             })
             .collect();
+        // Re-raise worker panics with their original payload so the
+        // message (and anything downcastable) survives, instead of the
+        // old static "worker thread panicked" string.
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     })
-    .expect("worker thread panicked");
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
 
     // Single merge pass: scatter each batch into its slots by index.
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
@@ -268,6 +274,23 @@ mod tests {
         // counters over all indices must sum to the total count.
         let max_calls = out.iter().map(|&(_, c)| c).max().unwrap();
         assert!(max_calls >= 100 / 4, "some worker claimed a full share");
+    }
+
+    #[test]
+    fn worker_panics_preserve_their_payload() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with_threads(8, 2, |i| {
+                if i == 5 {
+                    panic!("item exploded: {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("original String payload survives the join");
+        assert_eq!(message, "item exploded: 5");
     }
 
     #[test]

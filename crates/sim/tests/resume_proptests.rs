@@ -1,0 +1,237 @@
+//! Resume determinism: a grid run restored from *any* prefix of a
+//! checkpoint file produces byte-identical output to an uninterrupted run.
+//!
+//! The checkpoint/fault machinery is process-global (like the thread
+//! override), so every test here serializes on one local mutex; each test
+//! clears the global state before and after its runs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use proptest::prelude::*;
+use rit_sim::experiments::{sweeps, Scale};
+use rit_sim::grid::{run_grid_with_threads, CellCtx, CellRun, GridSpec};
+use rit_sim::io::{Table, Value};
+use rit_sim::substrate::SubstrateCache;
+use rit_sim::{checkpoint, faults};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fresh temp path per call; the process id keeps concurrent test
+/// binaries apart, the counter keeps sequential tests apart.
+fn temp_path(stem: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rit_resume_{stem}_{}_{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Toy checkpointable adapter: the record is a seed-derived f64 (with an
+/// occasional `NaN` to exercise the null round trip), deterministic in the
+/// item context alone.
+struct ToyRun;
+
+impl CellRun for ToyRun {
+    type Cell = u64;
+    type Workspace = ();
+    type Record = f64;
+
+    fn workspace(&self) {}
+
+    fn salt(&self, cell_index: usize, _cell: &u64) -> u64 {
+        cell_index as u64
+    }
+
+    fn run(&self, ctx: &CellCtx<'_, u64>, (): &mut ()) -> f64 {
+        if ctx.seed.is_multiple_of(7) {
+            f64::NAN
+        } else {
+            (ctx.seed % 100_003) as f64 * 1.0e-3 + *ctx.cell as f64
+        }
+    }
+
+    fn checkpoint_columns(&self) -> Option<&'static [&'static str]> {
+        Some(&["value"])
+    }
+
+    fn encode_record(&self, record: &f64) -> Vec<Value> {
+        vec![Value::F64(*record)]
+    }
+
+    fn decode_record(&self, fields: &[Value]) -> Option<f64> {
+        match fields {
+            [Value::F64(v)] => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Renders grid rows as the CSV an experiment would write, for byte
+/// comparison.
+fn rows_to_csv(rows: &[Vec<f64>]) -> String {
+    let mut table = Table::new(vec!["cell", "replication", "value"]);
+    for (ci, row) in rows.iter().enumerate() {
+        for (r, v) in row.iter().enumerate() {
+            table.push_row(vec![
+                Value::U64(ci as u64),
+                Value::U64(r as u64),
+                Value::F64(*v),
+            ]);
+        }
+    }
+    table.to_csv()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The core resume contract: truncate the checkpoint to an arbitrary
+    /// prefix, resume at 1 or 4 worker threads, and the CSV bytes match an
+    /// uninterrupted run exactly.
+    #[test]
+    fn resume_from_any_prefix_is_byte_identical(
+        num_cells in 1usize..5,
+        replications in 1usize..5,
+        seed in 0u64..1_000,
+        prefix_permille in 0u32..1001,
+        four_threads in any::<bool>(),
+    ) {
+        let threads = if four_threads { 4 } else { 1 };
+        let _guard = guard();
+        checkpoint::clear_checkpoint();
+        let cells: Vec<u64> = (0..num_cells as u64).collect();
+        let spec = GridSpec::new("resume_prop", replications, seed)
+            .with_axis("size", num_cells);
+        let ckpt = temp_path("prop");
+
+        // Uninterrupted reference, writing the full checkpoint.
+        checkpoint::set_checkpoint(&ckpt, false).unwrap();
+        let reference = run_grid_with_threads(
+            &spec, &cells, &ToyRun, &SubstrateCache::passthrough(), threads,
+        );
+        checkpoint::clear_checkpoint();
+        let reference_csv = rows_to_csv(&reference);
+
+        // Truncate to an arbitrary prefix of completed items.
+        let full = std::fs::read_to_string(&ckpt).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        let keep = lines.len() * prefix_permille as usize / 1000;
+        let mut prefix = lines[..keep].join("\n");
+        if keep > 0 {
+            prefix.push('\n');
+        }
+        std::fs::write(&ckpt, prefix).unwrap();
+
+        // Resume: restored items are skipped, the rest re-run.
+        let restored = checkpoint::set_checkpoint(&ckpt, true).unwrap();
+        prop_assert_eq!(restored, keep);
+        let resumed = run_grid_with_threads(
+            &spec, &cells, &ToyRun, &SubstrateCache::passthrough(), threads,
+        );
+        checkpoint::clear_checkpoint();
+        let _ = std::fs::remove_file(&ckpt);
+
+        let resumed_csv = rows_to_csv(&resumed);
+        prop_assert_eq!(resumed_csv, reference_csv);
+    }
+}
+
+/// A run killed mid-flight by an injected panic checkpoints only the items
+/// that completed; resuming without the fault finishes the grid with output
+/// byte-identical to a never-faulted run.
+#[test]
+fn faulted_then_resumed_run_matches_a_clean_run() {
+    let _guard = guard();
+    checkpoint::clear_checkpoint();
+    faults::set_fault_plan(None);
+    let cells: Vec<u64> = (0..4).collect();
+    let spec = GridSpec::new("resume_fault", 3, 11).with_axis("size", 4);
+
+    let clean = run_grid_with_threads(&spec, &cells, &ToyRun, &SubstrateCache::passthrough(), 2);
+    let clean_csv = rows_to_csv(&clean);
+
+    // Faulted pass: cell 2 panics through both attempts and is quarantined;
+    // everything else lands in the checkpoint.
+    let ckpt = temp_path("fault");
+    checkpoint::set_checkpoint(&ckpt, false).unwrap();
+    faults::set_fault_plan(Some(
+        faults::FaultPlan::parse("panic@resume_fault/2").unwrap(),
+    ));
+    let faulted = run_grid_with_threads(&spec, &cells, &ToyRun, &SubstrateCache::passthrough(), 2);
+    faults::set_fault_plan(None);
+    checkpoint::clear_checkpoint();
+    assert!(faulted[2].is_empty(), "faulted cell must be quarantined");
+    let failures = rit_sim::grid::take_failures();
+    assert_eq!(failures.len(), 3, "one failure per replication of cell 2");
+
+    // Quarantined items must not have been checkpointed.
+    let recorded = std::fs::read_to_string(&ckpt).unwrap();
+    assert_eq!(
+        recorded.lines().count(),
+        3 * 3,
+        "only the 9 completed items"
+    );
+    assert!(!recorded.contains("\"cell\":2"), "{recorded}");
+
+    // Resume without the fault: the quarantined cell re-runs, the rest are
+    // restored, and the bytes match the clean run.
+    let restored = checkpoint::set_checkpoint(&ckpt, true).unwrap();
+    assert_eq!(restored, 9);
+    let resumed = run_grid_with_threads(&spec, &cells, &ToyRun, &SubstrateCache::passthrough(), 2);
+    checkpoint::clear_checkpoint();
+    let _ = std::fs::remove_file(&ckpt);
+    assert_eq!(rows_to_csv(&resumed), clean_csv);
+    assert!(rit_sim::grid::take_failures().is_empty());
+}
+
+/// End to end through a real driver: a user sweep resumed from a half-done
+/// checkpoint renders byte-identical figure CSVs at both thread counts.
+#[test]
+fn real_sweep_resumes_byte_identical() {
+    let _guard = guard();
+    checkpoint::clear_checkpoint();
+    let config = sweeps::SweepConfig::new(Scale::Smoke, 2, 2017);
+
+    for threads in [1usize, 4] {
+        rit_sim::runner::set_thread_override(threads);
+        let ckpt = temp_path("sweep");
+        checkpoint::set_checkpoint(&ckpt, false).unwrap();
+        let reference = sweeps::user_sweep(&config);
+        checkpoint::clear_checkpoint();
+        let ref_utility = sweeps::utility_figure(&reference).to_csv();
+        let ref_payment = sweeps::payment_figure(&reference).to_csv();
+
+        let full = std::fs::read_to_string(&ckpt).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        assert!(!lines.is_empty(), "sweep must have checkpointed items");
+        let keep = lines.len() / 2;
+        let mut prefix = lines[..keep].join("\n");
+        prefix.push('\n');
+        std::fs::write(&ckpt, prefix).unwrap();
+
+        let restored = checkpoint::set_checkpoint(&ckpt, true).unwrap();
+        assert_eq!(restored, keep);
+        let resumed = sweeps::user_sweep(&config);
+        checkpoint::clear_checkpoint();
+        let _ = std::fs::remove_file(&ckpt);
+
+        assert_eq!(
+            sweeps::utility_figure(&resumed).to_csv(),
+            ref_utility,
+            "fig6a bytes diverged after resume at {threads} threads"
+        );
+        assert_eq!(
+            sweeps::payment_figure(&resumed).to_csv(),
+            ref_payment,
+            "fig7a bytes diverged after resume at {threads} threads"
+        );
+    }
+    rit_sim::runner::set_thread_override(0);
+}

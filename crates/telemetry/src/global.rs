@@ -47,6 +47,11 @@ pub struct StandardMetrics {
     /// `grid.cells` — experiment-grid cells completed (all replications
     /// done).
     pub grid_cells: CounterId,
+    /// `grid.cell_failures` — grid items quarantined after exhausting
+    /// their retries (one per failed cell × replication).
+    pub grid_cell_failures: CounterId,
+    /// `grid.cell_retries` — grid item re-runs after a caught panic.
+    pub grid_cell_retries: CounterId,
     /// `worker.threads` — resolved worker-thread count.
     pub worker_threads: GaugeId,
     /// `grid.straggler_micros` — wall time of the slowest grid cell so
@@ -90,6 +95,8 @@ impl StandardMetrics {
             campaign_epochs: registry.register_counter("campaign.epochs"),
             attack_replications: registry.register_counter("attack.replications"),
             grid_cells: registry.register_counter("grid.cells"),
+            grid_cell_failures: registry.register_counter("grid.cell_failures"),
+            grid_cell_retries: registry.register_counter("grid.cell_retries"),
             worker_threads: registry.register_gauge("worker.threads"),
             grid_straggler_micros: registry.register_gauge("grid.straggler_micros"),
             round_winners: registry.register_histogram("auction.round_winners"),
@@ -204,6 +211,19 @@ impl Telemetry {
     /// against [`span::trace_now_us`]'s epoch. The span gets a fresh id and
     /// no parent link.
     pub fn record_span_at(&self, kind: SpanKind, start_us: u64, dur_us: u64) {
+        self.record_span_at_status(kind, start_us, dur_us, None);
+    }
+
+    /// [`Telemetry::record_span_at`] with an explicit terminal status.
+    /// `Some("failed")` marks the span as failed in the event stream (grid
+    /// cells whose items were quarantined); `None` is the ordinary path.
+    pub fn record_span_at_status(
+        &self,
+        kind: SpanKind,
+        start_us: u64,
+        dur_us: u64,
+        status: Option<&str>,
+    ) {
         self.record(self.metrics.span_micros[kind.index()], dur_us);
         if self.has_sink() {
             self.emit(&span::span_event(
@@ -213,6 +233,7 @@ impl Telemetry {
                 span::current_thread_id(),
                 start_us,
                 dur_us,
+                status,
             ));
         }
     }

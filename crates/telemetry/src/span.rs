@@ -157,7 +157,9 @@ pub(crate) fn next_span_id() -> u64 {
     NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Renders one `span` event line.
+/// Renders one `span` event line. `status` is an optional terminal state
+/// ("failed" for quarantined grid cells); `None` omits the field, so
+/// ordinary spans render exactly as before.
 pub(crate) fn span_event(
     kind: SpanKind,
     id: u64,
@@ -165,15 +167,19 @@ pub(crate) fn span_event(
     thread: u64,
     start_us: u64,
     dur_us: u64,
+    status: Option<&str>,
 ) -> String {
-    JsonObject::new("span")
+    let mut obj = JsonObject::new("span")
         .str_field("name", kind.name())
         .u64_field("id", id)
         .u64_field("parent", parent)
         .u64_field("thread", thread)
         .u64_field("start_us", start_us)
-        .u64_field("dur_us", dur_us)
-        .finish()
+        .u64_field("dur_us", dur_us);
+    if let Some(status) = status {
+        obj = obj.str_field("status", status);
+    }
+    obj.finish()
 }
 
 /// An open span: records its wall time (and, with a sink, a `span` event)
@@ -235,6 +241,7 @@ impl Drop for SpanGuard<'_> {
                 current_thread_id(),
                 a.start_us,
                 dur_us,
+                None,
             ));
         }
     }

@@ -45,6 +45,14 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn span_guards_allocate_nothing_installed_or_not() {
     const ITERS: u64 = 10_000;
 
+    // The property pinned here is "no *per-iteration* allocation": a leak in
+    // the guard path shows up as O(ITERS) allocations. The counter is
+    // process-global, though, and the measured loops take long enough that
+    // an out-of-band allocation (the libtest harness main thread waking up,
+    // OS-level lazy init) can land inside the window — so each phase allows
+    // a small constant slack instead of demanding an exact zero.
+    const AMBIENT_SLACK: u64 = 8;
+
     // Phase 1: telemetry not installed — the exact state of every run that
     // does not set RIT_TELEMETRY. Guards must be fully inert: any
     // allocation here would tax the auction round loop of every untraced
@@ -57,8 +65,8 @@ fn span_guards_allocate_nothing_installed_or_not() {
         drop(outer);
     }
     let delta = ALLOCS.load(Ordering::SeqCst) - before;
-    assert_eq!(
-        delta, 0,
+    assert!(
+        delta <= AMBIENT_SLACK,
         "uninstalled span guards allocated {delta} times over {ITERS} nested pairs"
     );
 
@@ -77,8 +85,8 @@ fn span_guards_allocate_nothing_installed_or_not() {
         drop(outer);
     }
     let delta = ALLOCS.load(Ordering::SeqCst) - before;
-    assert_eq!(
-        delta, 0,
+    assert!(
+        delta <= AMBIENT_SLACK,
         "sinkless span guards allocated {delta} times over {ITERS} nested pairs"
     );
 
