@@ -157,8 +157,14 @@ proptest! {
 }
 
 /// Pins the complete outcome of one `Rit::run` on a fixed seed. Runs compare
-/// against the committed `tests/golden/rit_run_fixed_seed.txt`, so any
+/// against the local `tests/golden/rit_run_fixed_seed.txt`, so any
 /// refactor that shifts a single RNG draw or payment bit fails loudly.
+///
+/// The golden file is gitignored, never committed: its bytes depend on the
+/// exact `rand` build, so each toolchain (CI included) mints its own
+/// reference with `RIT_BLESS=1` before comparing — see
+/// `tests/golden/README.md` and the same pattern in
+/// `crates/sim/tests/golden/`.
 ///
 /// (Re)blessing is explicit: the file is only (over)written when the
 /// `RIT_BLESS=1` environment variable is set. A silent first-run bless would
@@ -222,15 +228,16 @@ fn golden_run_on_fixed_seed() {
         Err(e) => panic!(
             "missing golden file {}: {e}\n\
              run `RIT_BLESS=1 cargo test -p rit-core --test engine_equivalence \
-             golden_run_on_fixed_seed` and commit the generated file",
+             golden_run_on_fixed_seed` and keep the generated file for the \
+             comparison run",
             path.display()
         ),
     };
     assert_eq!(
         got,
         want,
-        "golden mismatch — if the change is intentional, re-bless with \
-         RIT_BLESS=1 and commit {}",
+        "golden mismatch — if the change is intentional, re-bless {} with \
+         RIT_BLESS=1",
         path.display()
     );
 }

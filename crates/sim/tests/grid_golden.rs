@@ -15,7 +15,8 @@
 //! bless-explicitly pattern as `rit-core`'s `engine_equivalence` test: they
 //! are (re)generated only when `RIT_BLESS=1` is set, and a missing golden
 //! without `RIT_BLESS=1` is a hard failure. See `tests/golden/README.md`
-//! for why the files are minted in CI rather than committed.
+//! for why the files are gitignored and minted per-toolchain rather than
+//! committed.
 
 use rit_sim::attacks::{self, AttackSuiteConfig};
 use rit_sim::experiments::{
@@ -181,7 +182,7 @@ fn grid_drivers_match_goldens_and_are_thread_count_independent() {
             csv,
             &want,
             "{name}: golden mismatch — if the change is intentional, \
-             re-bless with RIT_BLESS=1 and commit {}",
+             re-bless {} with RIT_BLESS=1",
             path.display()
         );
     }
